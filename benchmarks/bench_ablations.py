@@ -1,0 +1,100 @@
+"""Ablation benchmarks for the reproduction's design choices (see DESIGN.md).
+
+Not part of the paper's evaluation; these quantify the levers of the
+implementation so downstream users can see what each component contributes:
+the consistency step, DAWA's budget split, the spanner stretch penalty and the
+choice of per-slab strategy on the grid policy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ablate_consistency,
+    ablate_dawa_budget_split,
+    ablate_grid_strategy,
+    ablate_spanner_stretch,
+    render_results,
+)
+
+from bench_utils import save_and_print
+
+
+def test_ablation_consistency(benchmark):
+    results = benchmark.pedantic(
+        ablate_consistency,
+        kwargs={
+            "epsilon": 0.1,
+            "domain_size": 1024,
+            "zero_fractions": (0.2, 0.6, 0.95),
+            "trials": 2,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(
+        "ablation_consistency",
+        render_results(results, title="Consistency post-processing vs data sparsity"),
+    )
+    assert results
+
+
+def test_ablation_dawa_budget_split(benchmark):
+    results = benchmark.pedantic(
+        ablate_dawa_budget_split,
+        kwargs={
+            "epsilon": 0.1,
+            "domain_size": 1024,
+            "fractions": (0.1, 0.25, 0.5, 0.75),
+            "trials": 2,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(
+        "ablation_dawa_budget", render_results(results, title="DAWA partition-budget fraction")
+    )
+    assert results
+
+
+def test_ablation_spanner_stretch(benchmark):
+    results = benchmark.pedantic(
+        ablate_spanner_stretch,
+        kwargs={
+            "epsilon": 0.1,
+            "domain_size": 1024,
+            "thetas": (1, 2, 4, 8, 16),
+            "num_queries": 300,
+            "trials": 2,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(
+        "ablation_spanner_stretch",
+        render_results(results, title="Theta-threshold policies through the H^theta spanner"),
+    )
+    errors = {r.extra["theta"]: r.mean_error for r in results}
+    assert errors[16] > errors[1]
+
+
+def test_ablation_grid_strategy(benchmark):
+    results = benchmark.pedantic(
+        ablate_grid_strategy,
+        kwargs={
+            "epsilon": 0.1,
+            "grid_size": 24,
+            "num_queries": 300,
+            "trials": 2,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(
+        "ablation_grid_strategy",
+        render_results(results, title="Per-slab Haar vs identity strategies (grid policy)"),
+    )
+    assert {r.algorithm for r in results} == {"slab-haar", "slab-identity"}

@@ -1,0 +1,60 @@
+"""Benchmark / reproduction of Figure 10 (Appendix A): SVD lower-bound curves.
+
+Figure 10a plots the Li–Miklau lower bound (transferred to Blowfish through
+Corollary A.2) for 1-D range queries under ``G^θ_k`` against the domain size;
+Figure 10b does the same for 2-D range queries under ``G^θ_{k²}``.  Both use
+ε = 1 and δ = 0.001.
+
+Reduced configuration: domain sizes up to 128 (1-D) and 81 (2-D); the paper's
+ranges (up to 300 / 90) are reachable by passing larger ``domain_sizes`` to
+the runners but take a few minutes of dense SVD time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    figure10_rows,
+    format_table,
+    qualitative_findings_1d,
+    qualitative_findings_2d,
+    run_figure10a,
+    run_figure10b,
+)
+
+from bench_utils import save_and_print
+
+
+def test_figure10a_1d_lower_bounds(benchmark):
+    points = benchmark.pedantic(
+        run_figure10a,
+        kwargs={"domain_sizes": (32, 64, 96, 128), "thetas": (1, 2, 4, 8, 16)},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(figure10_rows(points))
+    save_and_print("figure10a_1d_lower_bounds", text)
+    findings = qualitative_findings_1d(points)
+    # Paper reading of Figure 10a: the unbounded-DP bound grows faster than the
+    # Blowfish bounds, and at moderate domain sizes the small-theta policies are
+    # already below it (larger theta values cross over only at larger domains,
+    # which is also visible in the paper's plot).
+    assert findings["unbounded_grows_faster_than_theta1"]
+    grouped = {point.series: point for point in points if point.domain_size == 128}
+    for theta in (1, 2, 4):
+        assert grouped[f"theta={theta}"].bound < grouped["unbounded DP"].bound
+
+
+def test_figure10b_2d_lower_bounds(benchmark):
+    points = benchmark.pedantic(
+        run_figure10b,
+        kwargs={"domain_sizes": (16, 36, 64, 81), "thetas": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(figure10_rows(points))
+    save_and_print("figure10b_2d_lower_bounds", text)
+    findings = qualitative_findings_2d(points)
+    # Paper reading of Figure 10b: only theta = 1 beats unbounded DP, but every
+    # theta beats bounded DP.
+    assert findings["theta1_below_unbounded"]
+    assert findings["all_theta_below_bounded"]

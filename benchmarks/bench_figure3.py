@@ -1,0 +1,68 @@
+"""Benchmark / reproduction of Figure 3: data-independent error bound summary.
+
+Prints the paper's bound table with concrete values for the evaluation
+parameters (k = 4096, d = 2, θ = 4) and backs it with two small empirical
+scaling studies: 1-D range-query error versus domain size (Blowfish flat,
+Privelet growing) and the 2-D grid-policy comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    empirical_scaling_1d,
+    empirical_scaling_2d,
+    figure3_rows,
+    format_table,
+    render_results,
+)
+
+from bench_utils import join_sections, save_and_print
+
+
+def test_figure3_bound_table(benchmark):
+    rows = benchmark.pedantic(
+        figure3_rows, kwargs={"epsilon": 1.0, "k": 4096, "d": 2, "theta": 4}, rounds=1, iterations=1
+    )
+    text = format_table(rows)
+    save_and_print("figure3_bounds", text)
+    assert all(row["improvement"] > 1 for row in rows)
+
+
+def test_figure3_empirical_1d_scaling(benchmark):
+    results = benchmark.pedantic(
+        empirical_scaling_1d,
+        kwargs={
+            "epsilon": 0.1,
+            "domain_sizes": (128, 256, 512, 1024),
+            "num_queries": 300,
+            "trials": 2,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_results(results, title="1D range error vs domain size (eps=0.1)")
+    save_and_print("figure3_empirical_1d", text)
+    blowfish = [r.mean_error for r in results if r.algorithm == "Transformed+Laplace"]
+    privelet = [r.mean_error for r in results if r.algorithm == "Privelet"]
+    assert blowfish[-1] < privelet[-1]
+
+
+def test_figure3_empirical_2d_scaling(benchmark):
+    results = benchmark.pedantic(
+        empirical_scaling_2d,
+        kwargs={
+            "epsilon": 0.1,
+            "grid_sizes": (16, 24, 32),
+            "num_queries": 200,
+            "trials": 2,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_results(results, title="2D range error vs grid size (eps=0.1)")
+    save_and_print("figure3_empirical_2d", text)
+    blowfish = [r.mean_error for r in results if r.algorithm == "Transformed+Privelet"]
+    privelet = [r.mean_error for r in results if r.algorithm == "Privelet"]
+    assert all(b < p for b, p in zip(blowfish, privelet))

@@ -1,0 +1,50 @@
+"""Benchmark / reproduction of Figure 8(a, e) and 9(a, e): 2D-Range under G¹_k².
+
+Compares ε/2-DP Privelet and DAWA against Transformed+Privelet (the grid-slab
+matrix mechanism of Theorem 5.4) on random 2-D range queries over the Twitter
+grids T25 / T50 / T100.
+
+Reduced configuration: 300 random range queries (the paper uses 10 000),
+2 trials.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import mean_error_of, render_results, run_range2d_experiment
+
+from bench_utils import save_and_print
+
+DATASETS = ("T25", "T50", "T100")
+NUM_QUERIES = 300
+TRIALS = 2
+
+
+@pytest.mark.parametrize("epsilon", [0.01, 0.1])
+def test_figure8_2d_range_panel(benchmark, epsilon):
+    results = benchmark.pedantic(
+        run_range2d_experiment,
+        kwargs={
+            "epsilon": epsilon,
+            "datasets": DATASETS,
+            "num_queries": NUM_QUERIES,
+            "trials": TRIALS,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_results(results, title=f"2D-Range under G^1_k2, eps={epsilon}")
+    save_and_print(f"figure8_2d_range_eps{epsilon}", text)
+
+    # Paper finding 1: Transformed+Privelet significantly outperforms Privelet
+    # on every grid size.
+    for dataset in DATASETS:
+        assert mean_error_of(results, "Transformed+Privelet", dataset) < mean_error_of(
+            results, "Privelet", dataset
+        )
+    # Paper finding 2: it also improves over DAWA when the domain is large.
+    assert mean_error_of(results, "Transformed+Privelet", "T100") < mean_error_of(
+        results, "Dawa", "T100"
+    )

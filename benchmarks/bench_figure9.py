@@ -1,0 +1,89 @@
+"""Benchmark / reproduction of Figure 9 (Appendix B): the ε ∈ {0.001, 1} panels.
+
+Figure 9 repeats the four Figure 8 experiments at the extreme privacy budgets.
+To keep the suite fast each panel runs on a reduced dataset subset; the
+qualitative orderings asserted here are the ones the paper highlights for the
+extreme budgets (the Blowfish advantage persists at ε = 1 and ε = 0.001, and
+at ε = 1 the data-dependent variants remain competitive).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    mean_error_of,
+    render_results,
+    run_hist_experiment,
+    run_range1d_experiment,
+    run_range2d_experiment,
+)
+
+from bench_utils import join_sections, save_and_print
+
+TRIALS = 2
+
+
+@pytest.mark.parametrize("epsilon", [0.001, 1.0])
+def test_figure9_hist_panel(benchmark, epsilon):
+    results = benchmark.pedantic(
+        run_hist_experiment,
+        kwargs={
+            "epsilon": epsilon,
+            "datasets": ("B", "E"),
+            "trials": TRIALS,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_results(results, title=f"Hist under G^1_k, eps={epsilon}")
+    save_and_print(f"figure9_hist_eps{epsilon}", text)
+    for dataset in ("B", "E"):
+        assert mean_error_of(results, "Transformed+Laplace", dataset) < mean_error_of(
+            results, "Laplace", dataset
+        )
+
+
+@pytest.mark.parametrize("epsilon", [0.001, 1.0])
+def test_figure9_1d_range_panel(benchmark, epsilon):
+    results = benchmark.pedantic(
+        run_range1d_experiment,
+        kwargs={
+            "epsilon": epsilon,
+            "datasets": ("D", "G"),
+            "num_queries": 400,
+            "trials": TRIALS,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_results(results, title=f"1D-Range under G^1_k, eps={epsilon}")
+    save_and_print(f"figure9_1d_range_eps{epsilon}", text)
+    for dataset in ("D", "G"):
+        assert mean_error_of(results, "Transformed+Laplace", dataset) < mean_error_of(
+            results, "Privelet", dataset
+        ) / 50
+
+
+@pytest.mark.parametrize("epsilon", [0.001, 1.0])
+def test_figure9_2d_range_panel(benchmark, epsilon):
+    results = benchmark.pedantic(
+        run_range2d_experiment,
+        kwargs={
+            "epsilon": epsilon,
+            "datasets": ("T25", "T50"),
+            "num_queries": 300,
+            "trials": TRIALS,
+            "random_state": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = render_results(results, title=f"2D-Range under G^1_k2, eps={epsilon}")
+    save_and_print(f"figure9_2d_range_eps{epsilon}", text)
+    for dataset in ("T25", "T50"):
+        assert mean_error_of(results, "Transformed+Privelet", dataset) < mean_error_of(
+            results, "Privelet", dataset
+        )

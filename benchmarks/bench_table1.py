@@ -1,0 +1,28 @@
+"""Benchmark / reproduction of Table 1: the dataset catalogue statistics.
+
+Regenerates every synthetic stand-in dataset and reports its domain size,
+scale and percentage of zero counts next to the published targets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, table1_rows
+
+from bench_utils import save_and_print
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(table1_rows, kwargs={"random_state": 0}, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        columns=[
+            "dataset",
+            "domain_size",
+            "target_scale",
+            "generated_scale",
+            "target_zero_percent",
+            "generated_zero_percent",
+        ],
+    )
+    save_and_print("table1_datasets", text)
+    assert len(rows) == 10

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on a reduced
+(but representative) configuration, prints the resulting series as a text
+table and also writes it to ``results/`` so that EXPERIMENTS.md can reference
+stable artefacts.  The pytest-benchmark timing wraps the full experiment so
+the cost of each reproduction is also recorded.
+
+Reduced defaults keep the whole suite to a few minutes; the experiment runners
+in :mod:`repro.experiments` accept the paper's full parameters (10 000
+queries, 5 trials, all datasets) when an exhaustive run is desired.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIRECTORY = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print a result table and persist it under ``results/<name>.txt``."""
+    os.makedirs(RESULTS_DIRECTORY, exist_ok=True)
+    path = os.path.join(RESULTS_DIRECTORY, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def join_sections(sections: Sequence[str]) -> str:
+    """Join several rendered tables with blank lines."""
+    return "\n\n".join(sections)

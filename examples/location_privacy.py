@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Location privacy with grid policies (geo-indistinguishability).
+
+The paper's motivating example for the grid policy ``G^θ_{k²}`` (Sections 1
+and 3): it is acceptable to reveal an individual's *rough* location (their
+city), but their fine-grained location (home vs. the cafe next door) must stay
+hidden.  Two grid cells are policy-neighbors exactly when they are within
+Manhattan distance θ, which matches geo-indistinguishability.
+
+The example builds a synthetic city-scale check-in dataset, answers 2-D range
+queries ("how many check-ins in this rectangle?") under the grid policy, and
+compares against the standard differentially private baselines — reproducing
+the shape of Figure 8(a/e).
+
+Run with::
+
+    python examples/location_privacy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blowfish import (
+    blowfish_transformed_privelet_grid,
+    dp_dawa_baseline,
+    dp_privelet_baseline,
+)
+from repro.core import Database, Domain, mean_squared_error, random_range_queries_workload
+from repro.data import load_dataset
+from repro.policy import grid_policy, policy_distance
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A 50x50 grid over a metropolitan area; counts are synthetic geo-tagged
+    # check-ins clustered around a few hot spots (the T50 dataset of Table 1).
+    database = load_dataset("T50", random_state=3)
+    domain = database.domain
+    print(f"Check-in database: {database}")
+
+    # The unit grid policy: only cells at Manhattan distance 1 are
+    # indistinguishable.  Farther cells receive a guarantee that degrades with
+    # their distance (Equation 1 of the paper) — exactly geo-indistinguishability.
+    policy = grid_policy(domain)
+    cell_home = domain.index_of((10, 10))
+    cell_cafe = domain.index_of((10, 11))
+    cell_other_city = domain.index_of((45, 45))
+    print(
+        "Policy distance home->cafe:        "
+        f"{policy_distance(policy, cell_home, cell_cafe):.0f} (strongly protected)"
+    )
+    print(
+        "Policy distance home->other city:  "
+        f"{policy_distance(policy, cell_home, cell_other_city):.0f} "
+        "(weak protection, rough location may be learned)"
+    )
+
+    # Analysts ask rectangular "how many check-ins here?" queries.
+    workload = random_range_queries_workload(domain, 1000, random_state=11)
+    epsilon = 0.1
+    true_answers = workload.answer(database)
+
+    algorithms = [
+        dp_privelet_baseline(epsilon, domain.shape),
+        dp_dawa_baseline(epsilon, domain.shape),
+        blowfish_transformed_privelet_grid(policy, epsilon),
+    ]
+
+    print(f"\n2-D range queries, epsilon = {epsilon}")
+    print(f"{'algorithm':28s} {'mean squared error/query':>26s}")
+    for algorithm in algorithms:
+        noisy = algorithm.answer(workload, database, rng)
+        error = mean_squared_error(true_answers, noisy)
+        print(f"{algorithm.name:28s} {error:26.1f}")
+
+    print(
+        "\nThe policy-aware mechanism (Transformed + Privelet, Theorem 5.4) measures "
+        "one-dimensional ranges over the grid's edge slabs and beats the epsilon/2-DP "
+        "baselines, because the grid policy only requires hiding *nearby* moves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: answer range queries under a Blowfish policy.
+
+This example walks through the core workflow of the library:
+
+1. describe the data domain and the database (a histogram vector);
+2. pick a Blowfish policy graph describing *which pairs of values* must be
+   indistinguishable (here: adjacent salary bins, the line policy of the
+   paper's Section 3);
+3. let the policy-aware planner choose a mechanism, or pick one explicitly;
+4. compare the error against the standard differentially private baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blowfish import (
+    blowfish_transformed_dawa,
+    blowfish_transformed_laplace,
+    dp_privelet_baseline,
+    plan_mechanism,
+)
+from repro.core import Database, Domain, mean_squared_error, random_range_queries_workload
+from repro.policy import line_policy
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. A domain of 1024 binned salaries and a sparse histogram over it.
+    domain = Domain((1024,))
+    counts = np.zeros(domain.size)
+    employed_bins = rng.integers(100, 900, size=60)
+    counts[employed_bins] = rng.integers(1, 500, size=60)
+    database = Database(domain, counts, name="salaries")
+    print(f"Database: {database}")
+
+    # 2. The line policy: only adjacent salary bins must be indistinguishable,
+    #    i.e. an adversary may learn the rough salary range but not the exact bin.
+    policy = line_policy(domain)
+    print(f"Policy:   {policy}")
+
+    # 3. A workload of 2 000 random range queries ("how many people earn
+    #    between bin l and bin r?") and a privacy budget.
+    workload = random_range_queries_workload(domain, 2000, random_state=1)
+    epsilon = 0.1
+
+    # 3a. Let the planner pick a mechanism for this policy...
+    plan = plan_mechanism(policy, epsilon)
+    print(f"\nPlanner chose: {plan.name} (route: {plan.route})")
+    print(f"Rationale:     {plan.rationale}\n")
+
+    # 3b. ...and also build the paper's named algorithms explicitly.
+    algorithms = [
+        dp_privelet_baseline(epsilon, (domain.size,)),     # eps/2-DP baseline
+        blowfish_transformed_laplace(policy, epsilon),     # Algorithm 1
+        blowfish_transformed_dawa(policy, epsilon),        # data-dependent variant
+        plan.algorithm,
+    ]
+
+    # 4. Compare mean squared error per query.
+    true_answers = workload.answer(database)
+    print(f"{'algorithm':32s} {'mean squared error/query':>26s}")
+    for algorithm in algorithms:
+        noisy = algorithm.answer(workload, database, rng)
+        error = mean_squared_error(true_answers, noisy)
+        print(f"{algorithm.name:32s} {error:26.2f}")
+
+    print(
+        "\nThe Blowfish mechanisms answer the same queries orders of magnitude more "
+        "accurately than the epsilon/2-differentially-private baseline, because the "
+        "line policy only protects adjacent salary bins (Theorem 5.2 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Releasing a salary histogram under the line policy (Section 3's example).
+
+A totally ordered domain of binned salaries is protected with the line policy
+``G^1_k``: an adversary may distinguish far-apart salaries (junior vs.
+executive) but not adjacent bins.  The example releases the full histogram
+(the ``Hist`` workload) with every algorithm of the paper's Figure 8(b/f) and
+shows how the transformed-domain structure (prefix sums are non-decreasing) is
+exploited by the consistency post-processing on sparse data.
+
+Run with::
+
+    python examples/salary_histogram.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blowfish import (
+    blowfish_transformed_consistent,
+    blowfish_transformed_dawa,
+    blowfish_transformed_laplace,
+    dp_dawa_baseline,
+    dp_laplace_baseline,
+    verify_answer_preservation,
+    verify_tree_neighbor_preservation,
+)
+from repro.core import Database, Domain, identity_workload, mean_squared_error
+from repro.data import load_dataset
+from repro.policy import PolicyTransform, TreeTransform, line_policy
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Dataset G of Table 1: personal medical expenses — reinterpreted here as a
+    # binned-salary histogram (sparse: ~75% of the 4096 bins are empty).
+    database = load_dataset("G", random_state=5).rename("salaries")
+    domain = database.domain
+    policy = line_policy(domain)
+    workload = identity_workload(domain)
+    print(f"Database: {database}")
+
+    # Peek under the hood: the transform turns the histogram into prefix sums.
+    transform = PolicyTransform(policy)
+    tree = TreeTransform(transform)
+    prefix_sums = tree.transform_database(database)
+    print(
+        f"Transformed database x_G: length {prefix_sums.shape[0]}, "
+        f"non-decreasing: {bool(np.all(np.diff(prefix_sums) >= 0))}, "
+        f"distinct values: {len(np.unique(prefix_sums))} "
+        f"(= number of non-empty bins + 1 boundary effects)"
+    )
+    print(
+        "Theorem checks — answers preserved:",
+        verify_answer_preservation(policy, workload, database),
+        "| neighbors preserved (Lemma 4.9):",
+        verify_tree_neighbor_preservation(policy, database),
+    )
+
+    epsilon = 0.1
+    algorithms = [
+        dp_laplace_baseline(epsilon),
+        dp_dawa_baseline(epsilon, (domain.size,)),
+        blowfish_transformed_laplace(policy, epsilon),
+        blowfish_transformed_consistent(policy, epsilon),
+        blowfish_transformed_dawa(policy, epsilon),
+    ]
+
+    true_answers = workload.answer(database)
+    print(f"\nHist workload, epsilon = {epsilon}")
+    print(f"{'algorithm':32s} {'mean squared error/bin':>24s}")
+    for algorithm in algorithms:
+        noisy = algorithm.answer(workload, database, rng)
+        error = mean_squared_error(true_answers, noisy)
+        print(f"{algorithm.name:32s} {error:24.2f}")
+
+    print(
+        "\nTransformed + Laplace is about 2x better than the epsilon/2-DP Laplace "
+        "baseline; the consistency step (projecting the noisy prefix sums onto "
+        "non-decreasing sequences) wins big because the data is sparse, exactly as "
+        "reported for the sparse datasets E, F and G in Section 6.1."
+    )
+
+
+if __name__ == "__main__":
+    main()

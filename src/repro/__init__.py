@@ -1,0 +1,79 @@
+"""repro — policy-aware differentially private algorithms (Blowfish privacy).
+
+A faithful, from-scratch reproduction of
+
+    Samuel Haney, Ashwin Machanavajjhala, Bolin Ding.
+    "Design of Policy-Aware Differentially Private Algorithms", VLDB 2015.
+
+The package is organised as follows:
+
+``repro.core``
+    Domains, histogram databases, workloads (identity, cumulative, range
+    queries), sensitivity and error metrics.
+``repro.policy``
+    Blowfish policy graphs, the transform ``P_G`` (Section 4.4), tree
+    transforms (Theorem 4.3), spanning-tree approximations (Lemma 4.5) and
+    policy metrics.
+``repro.mechanisms``
+    Standard differentially private mechanisms used as substrates and
+    baselines: Laplace, geometric, exponential, matrix mechanism, hierarchical,
+    Privelet (wavelet), DAWA.
+``repro.postprocess``
+    Consistency and least-squares post-processing.
+``repro.blowfish``
+    The paper's policy-aware mechanisms: policy matrix mechanisms
+    (Theorem 4.1), tree-transform mechanisms with data-dependent plug-ins
+    (Theorem 4.3, Section 5.4), the Section 5 strategies for histograms and
+    range queries, and the policy-aware planner.
+``repro.bounds``
+    Analytic error bounds (Figure 3) and the Li–Miklau SVD lower bound
+    transferred to Blowfish (Appendix A, Figure 10).
+``repro.data``
+    Synthetic dataset catalogue calibrated to Table 1.
+``repro.experiments``
+    Runners that regenerate every table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+from . import core, policy
+from .core import (
+    Database,
+    Domain,
+    RangeQuery,
+    Workload,
+    cumulative_workload,
+    identity_workload,
+    random_range_queries_workload,
+)
+from .policy import (
+    BOTTOM,
+    PolicyGraph,
+    PolicyTransform,
+    TreeTransform,
+    grid_policy,
+    line_policy,
+    threshold_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "Database",
+    "Domain",
+    "PolicyGraph",
+    "PolicyTransform",
+    "RangeQuery",
+    "TreeTransform",
+    "Workload",
+    "core",
+    "cumulative_workload",
+    "grid_policy",
+    "identity_workload",
+    "line_policy",
+    "policy",
+    "random_range_queries_workload",
+    "threshold_policy",
+    "__version__",
+]

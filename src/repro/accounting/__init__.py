@@ -1,0 +1,15 @@
+"""Privacy-budget accounting (sequential and parallel composition)."""
+
+from .composition import (
+    BudgetedOperation,
+    PrivacyAccountant,
+    parallel_composition,
+    sequential_composition,
+)
+
+__all__ = [
+    "BudgetedOperation",
+    "PrivacyAccountant",
+    "parallel_composition",
+    "sequential_composition",
+]

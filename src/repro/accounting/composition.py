@@ -1,0 +1,127 @@
+"""Privacy-budget accounting: sequential and parallel composition.
+
+The Section 5 strategies rely on two composition facts:
+
+* **Sequential composition** — running mechanisms with budgets ε₁, …, ε_m on
+  the same data costs ε₁ + … + ε_m (used by DAWA's two stages and by the
+  G^θ_{k^d} strategy that splits the budget across dimensions);
+* **Parallel composition** — mechanisms operating on *disjoint* parts of the
+  data (disjoint groups of policy edges in the transformed domain) each enjoy
+  the full budget (used by every per-line / per-group strategy).
+
+:class:`PrivacyAccountant` is a small bookkeeping helper that the experiment
+harness and the planner use to make the budget arithmetic explicit and
+testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import PrivacyBudgetError
+
+
+@dataclass(frozen=True)
+class BudgetedOperation:
+    """One charged operation: a label, a budget, and the data partition it touched."""
+
+    label: str
+    epsilon: float
+    partition: Optional[frozenset] = None
+
+
+@dataclass
+class PrivacyAccountant:
+    """Track budget consumption under sequential and parallel composition.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The overall budget that must not be exceeded.
+
+    Notes
+    -----
+    Operations charged with a ``partition`` (any hashable collection of keys,
+    e.g. edge-group identifiers) compose in parallel with other operations
+    whose partitions are disjoint; operations without a partition compose
+    sequentially with everything.
+    """
+
+    total_epsilon: float
+    operations: List[BudgetedOperation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise PrivacyBudgetError(
+                f"total_epsilon must be positive, got {self.total_epsilon}"
+            )
+
+    def charge(
+        self,
+        label: str,
+        epsilon: float,
+        partition: Optional[Sequence] = None,
+    ) -> None:
+        """Charge ``epsilon`` for an operation, optionally over a data partition."""
+        if epsilon <= 0:
+            raise PrivacyBudgetError(f"Charged epsilon must be positive, got {epsilon}")
+        frozen = None if partition is None else frozenset(partition)
+        operation = BudgetedOperation(label=label, epsilon=float(epsilon), partition=frozen)
+        projected = self._spent_with(self.operations + [operation])
+        if projected > self.total_epsilon * (1 + 1e-12):
+            raise PrivacyBudgetError(
+                f"Charging {epsilon} for {label!r} would exceed the total budget "
+                f"{self.total_epsilon} (already spent {self.spent():.6g})"
+            )
+        self.operations.append(operation)
+
+    def spent(self) -> float:
+        """Total budget consumed so far under the composition rules."""
+        return self._spent_with(self.operations)
+
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self.total_epsilon - self.spent()
+
+    @staticmethod
+    def _spent_with(operations: List[BudgetedOperation]) -> float:
+        """Composition cost of a list of operations.
+
+        Sequential operations (no partition) always add up.  Partitioned
+        operations are grouped greedily: operations whose partitions overlap
+        add up, disjoint ones take the maximum.  The computation is
+        conservative (never underestimates the true composition cost).
+        """
+        sequential = sum(op.epsilon for op in operations if op.partition is None)
+        partitioned = [op for op in operations if op.partition is not None]
+        # Group partitioned operations into overlap classes.
+        groups: List[Tuple[Set, float]] = []
+        for op in partitioned:
+            merged_keys: Set = set(op.partition)
+            merged_cost = op.epsilon
+            remaining_groups: List[Tuple[Set, float]] = []
+            for keys, cost in groups:
+                if keys & merged_keys:
+                    merged_keys |= keys
+                    merged_cost += cost
+                else:
+                    remaining_groups.append((keys, cost))
+            remaining_groups.append((merged_keys, merged_cost))
+            groups = remaining_groups
+        parallel = max((cost for _, cost in groups), default=0.0)
+        return sequential + parallel
+
+
+def sequential_composition(epsilons: Sequence[float]) -> float:
+    """Budget of running mechanisms with the given budgets on the same data."""
+    if any(eps <= 0 for eps in epsilons):
+        raise PrivacyBudgetError("All epsilons must be positive")
+    return float(sum(epsilons))
+
+
+def parallel_composition(epsilons: Sequence[float]) -> float:
+    """Budget of running mechanisms on disjoint parts of the data."""
+    if any(eps <= 0 for eps in epsilons):
+        raise PrivacyBudgetError("All epsilons must be positive")
+    return float(max(epsilons, default=0.0))

@@ -1,0 +1,70 @@
+"""Policy-aware (Blowfish) private mechanisms — the paper's core contribution."""
+
+from .algorithms import (
+    NamedAlgorithm,
+    blowfish_transformed_consistent,
+    blowfish_transformed_dawa,
+    blowfish_transformed_laplace,
+    blowfish_transformed_laplace_matrix,
+    blowfish_transformed_privelet_grid,
+    dp_dawa_baseline,
+    dp_laplace_baseline,
+    dp_privelet_baseline,
+)
+from .base import BlowfishMechanism
+from .equivalence import (
+    cycle_has_no_isometric_tree_embedding,
+    subgraph_approximation_budget,
+    verify_answer_preservation,
+    verify_sensitivity_equality,
+    verify_tree_neighbor_preservation,
+)
+from .matrix_mechanism import (
+    PolicyMatrixMechanism,
+    transformed_laplace_mechanism,
+    transformed_privelet_grid_mechanism,
+)
+from .planner import Plan, plan_mechanism
+from .strategies import (
+    edge_identity_strategy,
+    grid_slab_groups,
+    grid_slab_strategy,
+    spanner_group_strategy,
+    tensor_strategy,
+)
+from .tree_mechanism import (
+    TreeTransformMechanism,
+    dawa_estimator_factory,
+    laplace_estimator_factory,
+)
+
+__all__ = [
+    "BlowfishMechanism",
+    "NamedAlgorithm",
+    "Plan",
+    "PolicyMatrixMechanism",
+    "TreeTransformMechanism",
+    "blowfish_transformed_consistent",
+    "blowfish_transformed_dawa",
+    "blowfish_transformed_laplace",
+    "blowfish_transformed_laplace_matrix",
+    "blowfish_transformed_privelet_grid",
+    "cycle_has_no_isometric_tree_embedding",
+    "dawa_estimator_factory",
+    "dp_dawa_baseline",
+    "dp_laplace_baseline",
+    "dp_privelet_baseline",
+    "edge_identity_strategy",
+    "grid_slab_groups",
+    "grid_slab_strategy",
+    "laplace_estimator_factory",
+    "plan_mechanism",
+    "spanner_group_strategy",
+    "subgraph_approximation_budget",
+    "tensor_strategy",
+    "transformed_laplace_mechanism",
+    "transformed_privelet_grid_mechanism",
+    "verify_answer_preservation",
+    "verify_sensitivity_equality",
+    "verify_tree_neighbor_preservation",
+]

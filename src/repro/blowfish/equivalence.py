@@ -1,0 +1,111 @@
+"""Executable statements of the paper's equivalence theorems.
+
+These helpers do not add new mechanisms; they *verify* the claims of
+Section 4 numerically so that the test-suite, the examples and downstream
+users can check a policy/workload/database triple against the theory:
+
+* :func:`verify_answer_preservation` — ``W x = W_G x_G + c`` (the invariant
+  behind both Theorem 4.1 and Theorem 4.3);
+* :func:`verify_sensitivity_equality` — ``Δ_W(G) = Δ_{W_G}`` (Lemma 4.7);
+* :func:`verify_tree_neighbor_preservation` — Blowfish neighbors map to
+  unbounded-DP neighbors and vice versa when the policy is a tree
+  (Lemma 4.9 / Claim 4.2);
+* :func:`subgraph_approximation_budget` — the ``ε / ℓ`` budget split of
+  Corollary 4.6;
+* :func:`cycle_has_no_isometric_tree_embedding` — the obstruction behind the
+  negative result (Theorem 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.sensitivity import unbounded_sensitivity
+from ..core.workload import Workload
+from ..exceptions import PolicyError
+from ..policy.graph import PolicyGraph, is_bottom
+from ..policy.metric import embedding_stretch_and_shrink, tree_embedding
+from ..policy.spanner import SpannerApproximation
+from ..policy.transform import PolicyTransform
+from ..policy.tree import TreeTransform
+
+
+def verify_answer_preservation(
+    policy: PolicyGraph,
+    workload: Workload,
+    database: Database,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Check ``W x = W_G x_G + c(W, n)`` for one instance."""
+    transform = PolicyTransform(policy)
+    instance = transform.transform_instance(workload, database)
+    return bool(np.allclose(workload.answer(database), instance.true_answers(), atol=tolerance))
+
+
+def verify_sensitivity_equality(
+    policy: PolicyGraph, workload: Workload, tolerance: float = 1e-9
+) -> bool:
+    """Check Lemma 4.7: the policy sensitivity of ``W`` equals the DP sensitivity of ``W_G``."""
+    transform = PolicyTransform(policy)
+    direct = transform.policy_sensitivity(workload)
+    via_transform = unbounded_sensitivity(transform.transform_workload(workload))
+    return bool(abs(direct - via_transform) <= tolerance * max(1.0, abs(direct)))
+
+
+def verify_tree_neighbor_preservation(
+    policy: PolicyGraph, database: Database
+) -> bool:
+    """Check Lemma 4.9 on every policy edge with at least one record available.
+
+    For a tree policy, moving one record across any policy edge must change
+    the transformed database in exactly one coordinate by exactly one.
+    """
+    transform = PolicyTransform(policy)
+    tree = TreeTransform(transform)
+    checked = 0
+    for edge_index, (u, v) in enumerate(policy.edges):
+        source = v if is_bottom(u) else u
+        if is_bottom(source):
+            continue
+        if database.counts[int(source)] < 1:
+            continue
+        if not tree.verify_neighbor_preservation(database, edge_index):
+            return False
+        checked += 1
+    if checked == 0:
+        raise PolicyError(
+            "The database has no record adjacent to any policy edge; nothing to verify"
+        )
+    return True
+
+
+def subgraph_approximation_budget(
+    spanner: SpannerApproximation, epsilon: float
+) -> Tuple[float, int]:
+    """The (budget, stretch) pair realising Corollary 4.6.
+
+    Running any ``(ε', G')``-Blowfish mechanism with ``ε' = ε / ℓ`` on the
+    spanner ``G'`` yields an ``(ε, G)``-Blowfish mechanism on the original
+    policy.
+    """
+    return spanner.budget_for(epsilon), spanner.stretch
+
+
+def cycle_has_no_isometric_tree_embedding(policy: PolicyGraph) -> bool:
+    """Return ``True`` when the ``P_G``-induced tree embedding cannot be isometric.
+
+    For policies whose reduced graph is not a tree this returns ``True``
+    vacuously (no tree embedding exists through ``P_G``); for tree policies it
+    checks the stretch/shrink of the actual embedding.  Combined with
+    Theorem 4.4 this is the executable form of the negative result: a cycle
+    policy admits no exact transformation, only the ``ℓ``-approximate one.
+    """
+    transform = PolicyTransform(policy)
+    if not transform.is_tree():
+        return True
+    embedding = tree_embedding(policy)
+    stretch_value, shrink_value = embedding_stretch_and_shrink(policy, embedding)
+    return not (np.isclose(stretch_value, 1.0) and np.isclose(shrink_value, 1.0))

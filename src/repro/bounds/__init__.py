@@ -1,0 +1,37 @@
+"""Error bounds: analytic per-query bounds (Figure 3) and SVD lower bounds (Figure 10)."""
+
+from .analytic import (
+    Figure3Row,
+    blowfish_grid_error_per_query,
+    blowfish_improvement_factor,
+    blowfish_line_error_per_query,
+    blowfish_theta_grid_error_per_query,
+    blowfish_theta_line_error_per_query,
+    figure3_table,
+    privelet_error_per_query,
+)
+from .svd import (
+    LowerBoundPoint,
+    blowfish_svd_lower_bound,
+    curves_by_series,
+    figure10_curves,
+    privacy_constant,
+    svd_lower_bound,
+)
+
+__all__ = [
+    "Figure3Row",
+    "LowerBoundPoint",
+    "blowfish_grid_error_per_query",
+    "blowfish_improvement_factor",
+    "blowfish_line_error_per_query",
+    "blowfish_svd_lower_bound",
+    "blowfish_theta_grid_error_per_query",
+    "blowfish_theta_line_error_per_query",
+    "curves_by_series",
+    "figure10_curves",
+    "figure3_table",
+    "privacy_constant",
+    "privelet_error_per_query",
+    "svd_lower_bound",
+]

@@ -1,0 +1,184 @@
+"""The Li–Miklau SVD lower bound transferred to Blowfish (Appendix A, Figure 10).
+
+Li and Miklau [16] show that every (ε, δ) matrix mechanism answering a
+workload ``W`` incurs total squared error at least::
+
+    MINERROR(W) = P(ε, δ) · (λ₁ + ... + λ_s)² / n
+
+where ``λ_i`` are the singular values of ``W``, ``n`` its number of columns
+and ``P(ε, δ) = 2·log(2/δ) / ε²``.  Because transformational equivalence holds
+for all matrix mechanisms under every policy graph (Theorem 4.1), the same
+bound applied to the *transformed* workload ``W_G`` (with ``n_G = |E|``
+columns) lower-bounds every ``(ε, δ, G)``-Blowfish matrix mechanism
+(Corollary A.2).  Figure 10 plots this bound against the domain size for range
+queries under several threshold policies; :func:`figure10_curves` regenerates
+those series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.domain import Domain
+from ..core.range_queries import all_range_queries_workload
+from ..core.workload import Workload
+from ..exceptions import ExperimentError
+from ..policy.builders import bounded_dp_policy, threshold_policy
+from ..policy.graph import PolicyGraph
+from ..policy.transform import PolicyTransform
+
+
+def privacy_constant(epsilon: float, delta: float) -> float:
+    """``P(ε, δ) = 2·log(2/δ) / ε²`` (Corollary A.2)."""
+    if epsilon <= 0:
+        raise ExperimentError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ExperimentError(f"delta must lie in (0, 1), got {delta}")
+    return 2.0 * float(np.log(2.0 / delta)) / (epsilon**2)
+
+
+def _singular_value_sum(matrix: sp.spmatrix | np.ndarray) -> float:
+    """Sum of singular values (nuclear norm) via the Gram matrix's eigenvalues."""
+    if sp.issparse(matrix):
+        dense = np.asarray(matrix.todense(), dtype=np.float64)
+    else:
+        dense = np.asarray(matrix, dtype=np.float64)
+    if dense.size == 0:
+        return 0.0
+    # Work with the smaller Gram matrix for speed.
+    if dense.shape[0] >= dense.shape[1]:
+        gram = dense.T @ dense
+    else:
+        gram = dense @ dense.T
+    eigenvalues = np.linalg.eigvalsh(gram)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return float(np.sqrt(eigenvalues).sum())
+
+
+def svd_lower_bound(
+    workload_matrix: sp.spmatrix | np.ndarray,
+    epsilon: float,
+    delta: float,
+) -> float:
+    """Total-error lower bound ``P(ε,δ)·(Σλ_i)²/n`` for one workload matrix."""
+    matrix = workload_matrix
+    num_columns = matrix.shape[1]
+    if num_columns == 0:
+        return 0.0
+    nuclear = _singular_value_sum(matrix)
+    return privacy_constant(epsilon, delta) * (nuclear**2) / float(num_columns)
+
+
+def blowfish_svd_lower_bound(
+    policy: PolicyGraph,
+    workload: Workload,
+    epsilon: float,
+    delta: float,
+) -> float:
+    """The Corollary A.2 bound: the DP SVD bound applied to ``W_G`` with ``n_G = |E|``."""
+    transform = PolicyTransform(policy)
+    transformed = transform.transform_workload(workload)
+    return svd_lower_bound(transformed, epsilon, delta)
+
+
+@dataclass(frozen=True)
+class LowerBoundPoint:
+    """One point of a Figure 10 curve."""
+
+    series: str
+    domain_size: int
+    bound: float
+
+
+def figure10_curves(
+    dimension: int = 1,
+    domain_sizes: Optional[Sequence[int]] = None,
+    thetas: Optional[Sequence[int]] = None,
+    epsilon: float = 1.0,
+    delta: float = 0.001,
+    include_unbounded: bool = True,
+    include_bounded: Optional[bool] = None,
+) -> List[LowerBoundPoint]:
+    """Regenerate the lower-bound curves of Figure 10.
+
+    Parameters
+    ----------
+    dimension:
+        1 reproduces Figure 10a (``R_k`` under ``G^θ_k``), 2 reproduces
+        Figure 10b (``R_{k²}`` under ``G^θ_{k²}``).
+    domain_sizes:
+        Total domain sizes to evaluate.  Defaults follow the paper's ranges
+        but are kept modest so the computation stays fast; pass larger values
+        to extend the curves.
+    thetas:
+        Threshold parameters.  Defaults: ``(1, 2, 4, 8, 16)`` in 1-D and
+        ``(1, 2, 3)`` in 2-D, as in the paper.
+    include_unbounded:
+        Also compute the unbounded-DP curve (the bound on the original ``W``).
+    include_bounded:
+        Also compute the bounded-DP curve (complete-graph policy); defaults to
+        ``True`` for 2-D only, matching the paper's plots.
+    """
+    if dimension not in (1, 2):
+        raise ExperimentError("Figure 10 covers dimensions 1 and 2 only")
+    if domain_sizes is None:
+        domain_sizes = (32, 64, 96, 128) if dimension == 1 else (16, 36, 64, 81)
+    if thetas is None:
+        thetas = (1, 2, 4, 8, 16) if dimension == 1 else (1, 2, 3)
+    if include_bounded is None:
+        include_bounded = dimension == 2
+
+    points: List[LowerBoundPoint] = []
+    for total_size in domain_sizes:
+        if dimension == 1:
+            domain = Domain((int(total_size),))
+        else:
+            side = int(round(np.sqrt(total_size)))
+            if side * side != int(total_size):
+                raise ExperimentError(
+                    f"2-D domain sizes must be perfect squares, got {total_size}"
+                )
+            domain = Domain((side, side))
+        workload = all_range_queries_workload(domain)
+
+        if include_unbounded:
+            points.append(
+                LowerBoundPoint(
+                    series="unbounded DP",
+                    domain_size=int(total_size),
+                    bound=svd_lower_bound(workload.matrix, epsilon, delta),
+                )
+            )
+        if include_bounded:
+            bounded = bounded_dp_policy(domain)
+            points.append(
+                LowerBoundPoint(
+                    series="bounded DP",
+                    domain_size=int(total_size),
+                    bound=blowfish_svd_lower_bound(bounded, workload, epsilon, delta),
+                )
+            )
+        for theta in thetas:
+            policy = threshold_policy(domain, int(theta))
+            points.append(
+                LowerBoundPoint(
+                    series=f"theta={theta}",
+                    domain_size=int(total_size),
+                    bound=blowfish_svd_lower_bound(policy, workload, epsilon, delta),
+                )
+            )
+    return points
+
+
+def curves_by_series(points: Sequence[LowerBoundPoint]) -> Dict[str, List[LowerBoundPoint]]:
+    """Group lower-bound points by series name, each sorted by domain size."""
+    grouped: Dict[str, List[LowerBoundPoint]] = {}
+    for point in points:
+        grouped.setdefault(point.series, []).append(point)
+    for series in grouped:
+        grouped[series] = sorted(grouped[series], key=lambda p: p.domain_size)
+    return grouped

@@ -1,0 +1,72 @@
+"""Core data model: domains, databases, workloads, sensitivity and error metrics."""
+
+from .database import Database
+from .domain import Domain, common_domain, grid_domain, line_domain
+from .error import (
+    ErrorAccumulator,
+    laplace_error,
+    laplace_error_per_query,
+    mean_absolute_error,
+    mean_squared_error,
+    squared_error,
+)
+from .range_queries import (
+    RangeQuery,
+    all_range_queries,
+    all_range_queries_workload,
+    prefix_range_queries_workload,
+    random_range_queries,
+    random_range_queries_workload,
+    range_queries_workload,
+)
+from .rng import RandomState, ensure_rng, spawn_rngs
+from .sensitivity import (
+    bounded_sensitivity,
+    per_edge_sensitivities,
+    policy_sensitivity_from_incidence,
+    unbounded_sensitivity,
+    workload_sensitivity,
+)
+from .workload import (
+    Workload,
+    cumulative_workload,
+    identity_workload,
+    marginal_workload,
+    total_workload,
+    workload_from_rows,
+)
+
+__all__ = [
+    "Database",
+    "Domain",
+    "ErrorAccumulator",
+    "RandomState",
+    "RangeQuery",
+    "Workload",
+    "all_range_queries",
+    "all_range_queries_workload",
+    "bounded_sensitivity",
+    "common_domain",
+    "cumulative_workload",
+    "ensure_rng",
+    "grid_domain",
+    "identity_workload",
+    "laplace_error",
+    "laplace_error_per_query",
+    "line_domain",
+    "marginal_workload",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "per_edge_sensitivities",
+    "policy_sensitivity_from_incidence",
+    "prefix_range_queries_workload",
+    "random_range_queries",
+    "random_range_queries_workload",
+    "range_queries_workload",
+    "spawn_rngs",
+    "squared_error",
+    "total_workload",
+    "unbounded_sensitivity",
+    "workload_from_rows",
+    "workload_sensitivity",
+]

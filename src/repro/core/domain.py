@@ -1,0 +1,169 @@
+"""Domains of database records.
+
+The paper works with a finite, totally indexed domain ``T = {v_1, ..., v_k}``.
+One-dimensional domains are simply ``k`` cells; multi-dimensional domains are
+Cartesian products ``[k_1] x ... x [k_d]`` whose cells are flattened in
+row-major (C) order so that databases remain plain histogram vectors.
+
+:class:`Domain` is the single source of truth for
+
+* the number of cells (``size``),
+* the mapping between multi-dimensional cell coordinates and flat indices,
+* L1 (Manhattan) distances between cells, which define the distance-threshold
+  policy graphs ``G^theta`` of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DomainError
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A finite multi-dimensional domain of record values.
+
+    Parameters
+    ----------
+    shape:
+        Number of cells along each dimension.  A one-dimensional domain of
+        size ``k`` is ``Domain((k,))``.
+
+    Examples
+    --------
+    >>> dom = Domain((4, 4))
+    >>> dom.size
+    16
+    >>> dom.index_of((1, 2))
+    6
+    >>> dom.cell_of(6)
+    (1, 2)
+    """
+
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise DomainError("Domain shape must have at least one dimension")
+        if any(int(k) <= 0 for k in self.shape):
+            raise DomainError(f"All dimension sizes must be positive, got {self.shape}")
+        object.__setattr__(self, "shape", tuple(int(k) for k in self.shape))
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions ``d``."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of cells ``k_1 * ... * k_d``."""
+        return int(np.prod(self.shape))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate over cells in flat (row-major) order."""
+        return iter(np.ndindex(*self.shape))
+
+    # ------------------------------------------------------------ conversions
+    def index_of(self, cell: Sequence[int]) -> int:
+        """Return the flat index of a multi-dimensional ``cell``."""
+        cell = tuple(int(c) for c in cell)
+        if len(cell) != self.ndim:
+            raise DomainError(
+                f"Cell {cell} has {len(cell)} coordinates but the domain has "
+                f"{self.ndim} dimensions"
+            )
+        for coordinate, extent in zip(cell, self.shape):
+            if not 0 <= coordinate < extent:
+                raise DomainError(f"Cell {cell} is outside the domain of shape {self.shape}")
+        return int(np.ravel_multi_index(cell, self.shape))
+
+    def cell_of(self, index: int) -> Tuple[int, ...]:
+        """Return the multi-dimensional cell of a flat ``index``."""
+        index = int(index)
+        if not 0 <= index < self.size:
+            raise DomainError(f"Index {index} is outside the domain of size {self.size}")
+        return tuple(int(c) for c in np.unravel_index(index, self.shape))
+
+    def all_cells(self) -> np.ndarray:
+        """Return an ``(size, ndim)`` array of all cells in flat order."""
+        grids = np.indices(self.shape).reshape(self.ndim, -1).T
+        return grids.astype(np.int64)
+
+    # --------------------------------------------------------------- geometry
+    def l1_distance(self, cell_a: Sequence[int], cell_b: Sequence[int]) -> int:
+        """Manhattan (L1) distance between two cells.
+
+        This is the distance used by the distance-threshold policy graphs
+        ``G^theta_{k^d}`` (Section 5.1 of the paper).
+        """
+        a = np.asarray(cell_a, dtype=np.int64)
+        b = np.asarray(cell_b, dtype=np.int64)
+        if a.shape != (self.ndim,) or b.shape != (self.ndim,):
+            raise DomainError("Cells must have the same dimensionality as the domain")
+        return int(np.abs(a - b).sum())
+
+    def contains_cell(self, cell: Sequence[int]) -> bool:
+        """Return ``True`` when ``cell`` lies inside the domain."""
+        if len(cell) != self.ndim:
+            return False
+        return all(0 <= int(c) < extent for c, extent in zip(cell, self.shape))
+
+    # ------------------------------------------------------------- refinement
+    def coarsen(self, factor: int) -> "Domain":
+        """Return a coarsened domain where each dimension shrinks by ``factor``.
+
+        Used by the experiments that aggregate a dataset to smaller domain
+        sizes (e.g. dataset D at 4096, 2048, 1024 and 512 cells).
+        """
+        if factor <= 0:
+            raise DomainError(f"factor must be positive, got {factor}")
+        new_shape = []
+        for extent in self.shape:
+            if extent % factor != 0:
+                raise DomainError(
+                    f"Dimension of size {extent} is not divisible by factor {factor}"
+                )
+            new_shape.append(extent // factor)
+        return Domain(tuple(new_shape))
+
+    # ----------------------------------------------------------------- dunder
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Domain(shape={self.shape})"
+
+
+def line_domain(k: int) -> Domain:
+    """Convenience constructor for a one-dimensional domain of size ``k``."""
+    return Domain((k,))
+
+
+def grid_domain(k: int, ndim: int = 2) -> Domain:
+    """Convenience constructor for a ``k^ndim`` hyper-grid domain."""
+    if ndim <= 0:
+        raise DomainError(f"ndim must be positive, got {ndim}")
+    return Domain((k,) * ndim)
+
+
+def common_domain(domains: Iterable[Domain]) -> Domain:
+    """Return the single domain shared by ``domains``.
+
+    Raises
+    ------
+    DomainError
+        If the iterable is empty or the domains differ.
+    """
+    domains = list(domains)
+    if not domains:
+        raise DomainError("At least one domain is required")
+    first = domains[0]
+    for other in domains[1:]:
+        if other != first:
+            raise DomainError(f"Domains differ: {first} vs {other}")
+    return first

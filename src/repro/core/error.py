@@ -1,0 +1,121 @@
+"""Error metrics for private query answering.
+
+The paper measures utility as the mean squared error of the noisy workload
+answers (Definition 2.4), reported *per query* in the experiments of
+Section 6.  This module provides:
+
+* :func:`squared_error` / :func:`mean_squared_error` — error of one noisy
+  answer vector against the truth;
+* :class:`ErrorAccumulator` — running mean over repeated trials, with standard
+  errors, as used by the experiment harness ("average mean square error over 5
+  independent runs");
+* analytic helpers such as :func:`laplace_error` implementing Theorem 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+
+
+def squared_error(true_answers: np.ndarray, noisy_answers: np.ndarray) -> float:
+    """Total squared error ``sum_i (true_i - noisy_i)^2``."""
+    true_answers = np.asarray(true_answers, dtype=np.float64).ravel()
+    noisy_answers = np.asarray(noisy_answers, dtype=np.float64).ravel()
+    if true_answers.shape != noisy_answers.shape:
+        raise ExperimentError(
+            f"Answer vectors have different shapes: {true_answers.shape} vs "
+            f"{noisy_answers.shape}"
+        )
+    return float(np.sum((true_answers - noisy_answers) ** 2))
+
+
+def mean_squared_error(true_answers: np.ndarray, noisy_answers: np.ndarray) -> float:
+    """Per-query mean squared error (the quantity plotted in Figures 8 and 9)."""
+    true_answers = np.asarray(true_answers, dtype=np.float64).ravel()
+    if true_answers.size == 0:
+        return 0.0
+    return squared_error(true_answers, noisy_answers) / true_answers.size
+
+
+def mean_absolute_error(true_answers: np.ndarray, noisy_answers: np.ndarray) -> float:
+    """Per-query mean absolute error (secondary metric, not used by the paper)."""
+    true_answers = np.asarray(true_answers, dtype=np.float64).ravel()
+    noisy_answers = np.asarray(noisy_answers, dtype=np.float64).ravel()
+    if true_answers.shape != noisy_answers.shape:
+        raise ExperimentError("Answer vectors have different shapes")
+    if true_answers.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(true_answers - noisy_answers)))
+
+
+def laplace_error(num_queries: int, sensitivity: float, epsilon: float) -> float:
+    """Expected total squared error of the Laplace mechanism (Theorem 2.1).
+
+    ``ERROR_L(W) = 2 q (Delta_W)^2 / epsilon^2``.
+    """
+    if epsilon <= 0:
+        raise ExperimentError(f"epsilon must be positive, got {epsilon}")
+    if num_queries < 0:
+        raise ExperimentError(f"num_queries must be non-negative, got {num_queries}")
+    return 2.0 * num_queries * (sensitivity**2) / (epsilon**2)
+
+
+def laplace_error_per_query(sensitivity: float, epsilon: float) -> float:
+    """Expected per-query squared error of the Laplace mechanism: ``2 Delta^2 / eps^2``."""
+    return laplace_error(1, sensitivity, epsilon)
+
+
+@dataclass
+class ErrorAccumulator:
+    """Running per-query mean-squared-error statistics over repeated trials.
+
+    The experiment harness runs each mechanism several times (the paper uses 5
+    independent runs) and reports the average per-query error; this class
+    keeps the per-trial values so that standard errors can also be reported.
+    """
+
+    per_trial: List[float] = field(default_factory=list)
+
+    def add_trial(self, true_answers: np.ndarray, noisy_answers: np.ndarray) -> float:
+        """Record one trial and return its per-query mean squared error."""
+        value = mean_squared_error(true_answers, noisy_answers)
+        self.per_trial.append(value)
+        return value
+
+    def add_value(self, value: float) -> None:
+        """Record a pre-computed per-query error value."""
+        self.per_trial.append(float(value))
+
+    @property
+    def num_trials(self) -> int:
+        """Number of recorded trials."""
+        return len(self.per_trial)
+
+    @property
+    def mean(self) -> float:
+        """Mean per-query squared error across trials."""
+        if not self.per_trial:
+            raise ExperimentError("No trials recorded")
+        return float(np.mean(self.per_trial))
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean across trials (0 for a single trial)."""
+        if not self.per_trial:
+            raise ExperimentError("No trials recorded")
+        if len(self.per_trial) == 1:
+            return 0.0
+        return float(np.std(self.per_trial, ddof=1) / np.sqrt(len(self.per_trial)))
+
+    def summary(self) -> Dict[str, float]:
+        """Return ``{"mean": ..., "std_error": ..., "trials": ...}``."""
+        return {
+            "mean": self.mean,
+            "std_error": self.std_error,
+            "trials": float(self.num_trials),
+        }

@@ -1,0 +1,213 @@
+"""Range-query workloads ``R_k`` and ``R_{k^d}``.
+
+A multi-dimensional range query is an axis-aligned hyper-rectangle with lower
+corner ``l`` and upper corner ``r`` (both inclusive); its answer counts the
+records falling inside the rectangle (Section 5.1 of the paper).  This module
+provides:
+
+* :class:`RangeQuery` — a single query with conversion to a workload row;
+* :func:`all_range_queries_workload` — the full workload ``R_k`` / ``R_{k^d}``
+  (quadratic in the domain size; only use for small domains, e.g. the
+  lower-bound experiments of Figure 10);
+* :func:`random_range_queries_workload` — uniformly random range queries,
+  matching the 10 000-query evaluation workloads of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import WorkloadError
+from .domain import Domain
+from .rng import RandomState, ensure_rng
+from .workload import Workload
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """An axis-aligned (inclusive) range query ``q(l, r)``.
+
+    Parameters
+    ----------
+    lower, upper:
+        Cell coordinates of the lower-left and upper-right corners.  Both are
+        inclusive; every coordinate of ``lower`` must not exceed the matching
+        coordinate of ``upper``.
+    """
+
+    lower: Tuple[int, ...]
+    upper: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lower = tuple(int(c) for c in self.lower)
+        upper = tuple(int(c) for c in self.upper)
+        if len(lower) != len(upper):
+            raise WorkloadError("lower and upper corners must have the same dimension")
+        if any(lo > hi for lo, hi in zip(lower, upper)):
+            raise WorkloadError(f"Invalid range query: lower={lower} exceeds upper={upper}")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the query."""
+        return len(self.lower)
+
+    def num_cells(self) -> int:
+        """Number of domain cells covered by the query."""
+        return int(np.prod([hi - lo + 1 for lo, hi in zip(self.lower, self.upper)]))
+
+    def cells(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate over the cells covered by the query."""
+        ranges = [range(lo, hi + 1) for lo, hi in zip(self.lower, self.upper)]
+        grid = np.meshgrid(*ranges, indexing="ij")
+        stacked = np.stack([g.ravel() for g in grid], axis=1)
+        for row in stacked:
+            yield tuple(int(c) for c in row)
+
+    def contains(self, cell: Sequence[int]) -> bool:
+        """Return ``True`` when ``cell`` falls inside the query rectangle."""
+        return all(
+            lo <= int(c) <= hi for c, lo, hi in zip(cell, self.lower, self.upper)
+        )
+
+    def to_row(self, domain: Domain) -> np.ndarray:
+        """Return the dense workload row of this query over ``domain``."""
+        if domain.ndim != self.ndim:
+            raise WorkloadError(
+                f"Query dimension {self.ndim} does not match domain dimension {domain.ndim}"
+            )
+        row = np.zeros(domain.size, dtype=np.float64)
+        for cell in self.cells():
+            row[domain.index_of(cell)] = 1.0
+        return row
+
+    def evaluate(self, histogram: np.ndarray, domain: Domain) -> float:
+        """Evaluate the query exactly against a histogram vector."""
+        array = np.asarray(histogram, dtype=np.float64).reshape(domain.shape)
+        slices = tuple(slice(lo, hi + 1) for lo, hi in zip(self.lower, self.upper))
+        return float(array[slices].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RangeQuery(lower={self.lower}, upper={self.upper})"
+
+
+# ---------------------------------------------------------------------------
+# Workload constructors.
+# ---------------------------------------------------------------------------
+def _queries_to_workload(
+    domain: Domain, queries: Sequence[RangeQuery], name: str
+) -> Workload:
+    """Assemble a sparse workload matrix from a list of range queries."""
+    rows: List[int] = []
+    cols: List[int] = []
+    shape = domain.shape
+    for query_index, query in enumerate(queries):
+        if query.ndim != domain.ndim:
+            raise WorkloadError(
+                f"Query {query} does not match the {domain.ndim}-D domain"
+            )
+        # Vectorised cell enumeration: build the index grid for the rectangle.
+        ranges = [
+            np.arange(lo, hi + 1) for lo, hi in zip(query.lower, query.upper)
+        ]
+        mesh = np.meshgrid(*ranges, indexing="ij")
+        flat = np.ravel_multi_index([m.ravel() for m in mesh], shape)
+        rows.extend([query_index] * flat.size)
+        cols.extend(flat.tolist())
+    data = np.ones(len(rows), dtype=np.float64)
+    matrix = sp.csr_matrix(
+        (data, (rows, cols)), shape=(len(queries), domain.size)
+    )
+    workload = Workload(domain=domain, matrix=matrix, name=name)
+    return workload
+
+
+def all_range_queries(domain: Domain) -> List[RangeQuery]:
+    """Enumerate every axis-aligned range query over ``domain``.
+
+    The count is ``prod_i k_i (k_i + 1) / 2`` and grows quadratically per
+    dimension — use only for small domains (as the paper does for the
+    lower-bound study of Figure 10).
+    """
+    per_dim_intervals: List[List[Tuple[int, int]]] = []
+    for extent in domain.shape:
+        intervals = [
+            (lo, hi) for lo in range(extent) for hi in range(lo, extent)
+        ]
+        per_dim_intervals.append(intervals)
+
+    queries: List[RangeQuery] = []
+
+    def build(dim: int, lower: Tuple[int, ...], upper: Tuple[int, ...]) -> None:
+        if dim == domain.ndim:
+            queries.append(RangeQuery(lower=lower, upper=upper))
+            return
+        for lo, hi in per_dim_intervals[dim]:
+            build(dim + 1, lower + (lo,), upper + (hi,))
+
+    build(0, (), ())
+    return queries
+
+
+def all_range_queries_workload(domain: Domain) -> Workload:
+    """The full range-query workload ``R_k`` (1-D) or ``R_{k^d}``."""
+    queries = all_range_queries(domain)
+    return _queries_to_workload(domain, queries, name=f"AllRanges[{domain.shape}]")
+
+
+def random_range_queries(
+    domain: Domain, num_queries: int, random_state: RandomState = None
+) -> List[RangeQuery]:
+    """Sample ``num_queries`` uniformly random range queries over ``domain``.
+
+    Each dimension's endpoints are drawn uniformly and sorted, matching the
+    "10,000 random range queries" workloads of Section 6.
+    """
+    if num_queries < 0:
+        raise WorkloadError(f"num_queries must be non-negative, got {num_queries}")
+    rng = ensure_rng(random_state)
+    queries: List[RangeQuery] = []
+    for _ in range(num_queries):
+        lower: List[int] = []
+        upper: List[int] = []
+        for extent in domain.shape:
+            a, b = rng.integers(0, extent, size=2)
+            lo, hi = (int(min(a, b)), int(max(a, b)))
+            lower.append(lo)
+            upper.append(hi)
+        queries.append(RangeQuery(lower=tuple(lower), upper=tuple(upper)))
+    return queries
+
+
+def random_range_queries_workload(
+    domain: Domain, num_queries: int, random_state: RandomState = None
+) -> Workload:
+    """Workload of uniformly random range queries (Section 6 evaluation workload)."""
+    queries = random_range_queries(domain, num_queries, random_state)
+    return _queries_to_workload(
+        domain, queries, name=f"RandomRanges[{num_queries}]"
+    )
+
+
+def range_queries_workload(
+    domain: Domain, queries: Iterable[RangeQuery], name: str = "Ranges"
+) -> Workload:
+    """Workload built from an explicit list of range queries."""
+    return _queries_to_workload(domain, list(queries), name=name)
+
+
+def prefix_range_queries_workload(domain: Domain) -> Workload:
+    """All prefix ranges ``q(0, r)`` of a one-dimensional domain.
+
+    Equivalent to the cumulative workload ``C_k``; provided for symmetry with
+    the range-query API.
+    """
+    if domain.ndim != 1:
+        raise WorkloadError("Prefix ranges are only defined for 1-D domains")
+    queries = [RangeQuery((0,), (r,)) for r in range(domain.size)]
+    return _queries_to_workload(domain, queries, name="PrefixRanges")

@@ -1,0 +1,130 @@
+"""Sensitivity computations.
+
+Two notions of sensitivity appear in the paper:
+
+* the standard L1 sensitivity of a workload under (unbounded or bounded)
+  differential privacy (Definition 2.3), and
+* the *policy-specific* sensitivity with respect to a Blowfish policy graph
+  ``G`` (Definition 4.1), which by Lemma 4.7 / D.1 equals the maximum L1
+  column norm of the transformed workload ``W_G = W P_G``.
+
+The functions here operate directly on matrices so they can be reused both by
+the standard mechanisms (which only need unbounded/bounded sensitivity) and by
+the Blowfish mechanisms (which pass in the policy's ``P_G``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import WorkloadError
+from .workload import Workload
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def _column_l1_norms(matrix: MatrixLike) -> np.ndarray:
+    """Return the L1 norm of every column of ``matrix``."""
+    if sp.issparse(matrix):
+        return np.asarray(np.abs(matrix).sum(axis=0)).ravel()
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.ndim != 2:
+        raise WorkloadError("Sensitivity is only defined for 2-D matrices")
+    return np.abs(array).sum(axis=0)
+
+
+def unbounded_sensitivity(matrix: MatrixLike) -> float:
+    """L1 sensitivity under *unbounded* DP (add/remove one record).
+
+    Adding or removing a record with value ``v`` changes the answer vector by
+    the ``v``-th column of the matrix, so the sensitivity is the largest
+    column L1 norm.
+    """
+    norms = _column_l1_norms(matrix)
+    return float(norms.max()) if norms.size else 0.0
+
+
+def bounded_sensitivity(matrix: MatrixLike) -> float:
+    """L1 sensitivity under *bounded* DP (replace one record's value).
+
+    Replacing a record with value ``u`` by value ``v`` changes the answer by
+    ``column_u - column_v``; the sensitivity is the largest L1 distance
+    between two columns.  Computed exactly; quadratic in the number of
+    columns, so intended for moderate domain sizes.
+    """
+    if sp.issparse(matrix):
+        dense = np.asarray(matrix.todense(), dtype=np.float64)
+    else:
+        dense = np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2:
+        raise WorkloadError("Sensitivity is only defined for 2-D matrices")
+    k = dense.shape[1]
+    if k == 0:
+        return 0.0
+    best = 0.0
+    # Pairwise column L1 distances, blocked to keep memory bounded.
+    block = max(1, min(k, 4096 // max(1, dense.shape[0] // 256 + 1)))
+    for start in range(0, k, block):
+        chunk = dense[:, start : start + block]  # (q, b)
+        # |chunk[:, :, None] - dense[:, None, :]| summed over rows.
+        diffs = np.abs(chunk[:, :, None] - dense[:, None, :]).sum(axis=0)
+        best = max(best, float(diffs.max()))
+    return best
+
+
+def workload_sensitivity(workload: Workload, bounded: bool = False) -> float:
+    """Sensitivity of a :class:`Workload` under unbounded or bounded DP."""
+    if bounded:
+        return bounded_sensitivity(workload.matrix)
+    return unbounded_sensitivity(workload.matrix)
+
+
+def policy_sensitivity_from_incidence(
+    matrix: MatrixLike, incidence: MatrixLike
+) -> float:
+    """Policy-specific sensitivity ``Delta_W(G)`` via the transform (Lemma 4.7).
+
+    Parameters
+    ----------
+    matrix:
+        The workload matrix ``W`` (``q x k``), whose columns are indexed by
+        the policy graph's non-``bottom`` vertices in the same order as the
+        rows of ``incidence``.
+    incidence:
+        The policy transform ``P_G`` (``k x |E|``): each column is the signed
+        indicator of one policy edge (Section 4.4).
+
+    Returns
+    -------
+    float
+        ``max_{(x, x') in N(G)} || W x - W x' ||_1``, which equals the largest
+        L1 column norm of ``W P_G``.
+    """
+    left = sp.csr_matrix(matrix) if not sp.issparse(matrix) else sp.csr_matrix(matrix)
+    right = sp.csr_matrix(incidence) if not sp.issparse(incidence) else sp.csr_matrix(incidence)
+    if left.shape[1] != right.shape[0]:
+        raise WorkloadError(
+            f"Workload has {left.shape[1]} columns but P_G has {right.shape[0]} rows"
+        )
+    transformed = left @ right
+    return unbounded_sensitivity(transformed)
+
+
+def per_edge_sensitivities(matrix: MatrixLike, incidence: MatrixLike) -> np.ndarray:
+    """L1 change of the workload answer for every single policy edge.
+
+    Entry ``e`` is ``|| W (e_u - e_v) ||_1`` for policy edge ``e = (u, v)``
+    (or ``|| W e_u ||_1`` for an edge to ``bottom``).  The maximum over the
+    result equals :func:`policy_sensitivity_from_incidence`.
+    """
+    left = sp.csr_matrix(matrix) if not sp.issparse(matrix) else sp.csr_matrix(matrix)
+    right = sp.csr_matrix(incidence) if not sp.issparse(incidence) else sp.csr_matrix(incidence)
+    if left.shape[1] != right.shape[0]:
+        raise WorkloadError(
+            f"Workload has {left.shape[1]} columns but P_G has {right.shape[0]} rows"
+        )
+    transformed = left @ right
+    return _column_l1_norms(transformed)

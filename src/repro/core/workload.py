@@ -1,0 +1,223 @@
+"""Workloads of linear queries.
+
+A workload of ``q`` linear queries over a domain of size ``k`` is a
+``q x k`` real matrix ``W``; its answer on a database ``x`` is ``W x``
+(Section 2 of the paper).  :class:`Workload` wraps the matrix (stored as a
+SciPy CSR matrix so that the large range-query workloads of the experiments
+stay affordable), remembers the domain it refers to, and offers the named
+constructors used throughout the paper:
+
+* :func:`identity_workload` — the histogram workload ``I_k`` (Figure 1, left);
+* :func:`cumulative_workload` — the prefix-sum workload ``C_k`` (Figure 1, right);
+* :func:`total_workload` — the single query counting the database size ``n``;
+* range-query workloads live in :mod:`repro.core.range_queries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import WorkloadError
+from .database import Database
+from .domain import Domain
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def _as_csr(matrix: MatrixLike) -> sp.csr_matrix:
+    """Convert any matrix-like object into a CSR matrix of floats."""
+    if sp.issparse(matrix):
+        return sp.csr_matrix(matrix, dtype=np.float64)
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise WorkloadError(f"Workload matrices must be 2-D, got {array.ndim}-D")
+    return sp.csr_matrix(array)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A workload ``W`` of linear queries over a :class:`Domain`.
+
+    Parameters
+    ----------
+    domain:
+        Domain whose cells index the columns of the matrix.
+    matrix:
+        A ``q x domain.size`` matrix; rows are linear queries.
+    name:
+        Optional human-readable name for reports.
+    """
+
+    domain: Domain
+    matrix: sp.csr_matrix
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        matrix = _as_csr(self.matrix)
+        if matrix.shape[1] != self.domain.size:
+            raise WorkloadError(
+                f"Workload has {matrix.shape[1]} columns but the domain has "
+                f"{self.domain.size} cells"
+            )
+        object.__setattr__(self, "matrix", matrix)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_queries(self) -> int:
+        """Number of queries ``q`` (rows of the matrix)."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns (the domain size, plus any appended dummy column)."""
+        return int(self.matrix.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape ``(q, k)``."""
+        return (int(self.matrix.shape[0]), int(self.matrix.shape[1]))
+
+    def dense(self) -> np.ndarray:
+        """Return the workload as a dense NumPy array (use only for small workloads)."""
+        return self.matrix.toarray()
+
+    def row(self, index: int) -> np.ndarray:
+        """Return the ``index``-th query as a dense vector."""
+        if not 0 <= index < self.num_queries:
+            raise WorkloadError(f"Query index {index} out of range")
+        return np.asarray(self.matrix.getrow(index).todense()).ravel()
+
+    def is_counting(self, tolerance: float = 1e-12) -> bool:
+        """Return ``True`` when every entry of the workload is 0 or 1.
+
+        Linear *counting* queries (Section 2) are the inputs to Lemma 5.1; the
+        transformed-query structure exploited by the Section 5 strategies only
+        holds for counting workloads.
+        """
+        data = self.matrix.data
+        if data.size == 0:
+            return True
+        return bool(np.all(np.abs(data * (data - 1.0)) <= tolerance))
+
+    # ------------------------------------------------------------- operations
+    def answer(self, database: Database) -> np.ndarray:
+        """Exact (non-private) workload answer ``W x``."""
+        self._check_domain(database.domain)
+        return np.asarray(self.matrix @ database.counts).ravel()
+
+    def answer_vector(self, x: np.ndarray) -> np.ndarray:
+        """Exact answer ``W x`` for a raw histogram vector ``x``."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != self.num_columns:
+            raise WorkloadError(
+                f"Vector has {x.shape[0]} entries, workload expects {self.num_columns}"
+            )
+        return np.asarray(self.matrix @ x).ravel()
+
+    def stack(self, other: "Workload", name: str = "") -> "Workload":
+        """Vertically stack two workloads over the same domain."""
+        self._check_domain(other.domain)
+        stacked = sp.vstack([self.matrix, other.matrix], format="csr")
+        return Workload(domain=self.domain, matrix=stacked, name=name or self.name)
+
+    def subset(self, rows: Sequence[int], name: str = "") -> "Workload":
+        """Return the workload restricted to the given query ``rows``."""
+        rows = list(int(r) for r in rows)
+        for r in rows:
+            if not 0 <= r < self.num_queries:
+                raise WorkloadError(f"Query index {r} out of range")
+        return Workload(
+            domain=self.domain, matrix=self.matrix[rows, :], name=name or self.name
+        )
+
+    def right_multiply(self, matrix: MatrixLike, name: str = "") -> sp.csr_matrix:
+        """Return ``W @ matrix`` as a CSR matrix (used by the policy transform)."""
+        other = _as_csr(matrix) if not sp.issparse(matrix) else sp.csr_matrix(matrix)
+        if other.shape[0] != self.num_columns:
+            raise WorkloadError(
+                f"Cannot multiply a {self.shape} workload by a {other.shape} matrix"
+            )
+        return sp.csr_matrix(self.matrix @ other)
+
+    def l1_sensitivity(self) -> float:
+        """L1 sensitivity under unbounded differential privacy (Definition 2.3).
+
+        For unbounded neighbors (add/remove one record) the sensitivity equals
+        the maximum L1 norm of a column of ``W``.
+        """
+        if self.matrix.nnz == 0:
+            return 0.0
+        column_norms = np.asarray(np.abs(self.matrix).sum(axis=0)).ravel()
+        return float(column_norms.max())
+
+    # ----------------------------------------------------------------- helper
+    def _check_domain(self, other: Domain) -> None:
+        if other != self.domain:
+            raise WorkloadError(f"Domain mismatch: {self.domain} vs {other}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Workload(shape={self.shape}{label})"
+
+
+# ---------------------------------------------------------------------------
+# Named constructors used throughout the paper.
+# ---------------------------------------------------------------------------
+def identity_workload(domain: Domain) -> Workload:
+    """The histogram workload ``I_k`` (Figure 1, left): one query per cell."""
+    return Workload(
+        domain=domain,
+        matrix=sp.identity(domain.size, format="csr", dtype=np.float64),
+        name="Hist",
+    )
+
+
+def cumulative_workload(domain: Domain) -> Workload:
+    """The cumulative-histogram workload ``C_k`` (Figure 1, right).
+
+    Query ``i`` is the prefix sum ``x[0] + ... + x[i]``.  Only defined for
+    one-dimensional domains, matching the paper's usage.
+    """
+    if domain.ndim != 1:
+        raise WorkloadError("The cumulative workload C_k is one-dimensional")
+    k = domain.size
+    rows, cols = np.tril_indices(k)
+    data = np.ones(rows.shape[0], dtype=np.float64)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(k, k))
+    return Workload(domain=domain, matrix=matrix, name="Cumulative")
+
+
+def total_workload(domain: Domain) -> Workload:
+    """The single query returning the database size ``n``."""
+    matrix = sp.csr_matrix(np.ones((1, domain.size), dtype=np.float64))
+    return Workload(domain=domain, matrix=matrix, name="Total")
+
+
+def marginal_workload(domain: Domain, axis: int) -> Workload:
+    """The one-way marginal workload along ``axis`` of a multi-dimensional domain.
+
+    Query ``j`` counts all records whose ``axis`` coordinate equals ``j``.
+    """
+    if not 0 <= axis < domain.ndim:
+        raise WorkloadError(f"axis {axis} out of range for a {domain.ndim}-D domain")
+    cells = domain.all_cells()
+    extent = domain.shape[axis]
+    rows = cells[:, axis]
+    cols = np.arange(domain.size)
+    data = np.ones(domain.size, dtype=np.float64)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(extent, domain.size))
+    return Workload(domain=domain, matrix=matrix, name=f"Marginal[{axis}]")
+
+
+def workload_from_rows(
+    domain: Domain, rows: Iterable[np.ndarray], name: str = ""
+) -> Workload:
+    """Build a workload from an iterable of dense query rows."""
+    stacked = np.vstack([np.asarray(row, dtype=np.float64).ravel() for row in rows])
+    return Workload(domain=domain, matrix=stacked, name=name)

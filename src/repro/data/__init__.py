@@ -1,0 +1,25 @@
+"""Synthetic dataset catalogue calibrated to the paper's Table 1."""
+
+from .catalog import (
+    DATASET_SPECS,
+    ONE_DIMENSIONAL_DATASETS,
+    ONE_DIMENSIONAL_DOMAIN_SIZE,
+    TWO_DIMENSIONAL_DATASETS,
+    dataset_names,
+    load_dataset,
+    table1_statistics,
+)
+from .synthetic import ShapeFamily, SyntheticSpec, generate_histogram
+
+__all__ = [
+    "DATASET_SPECS",
+    "ONE_DIMENSIONAL_DATASETS",
+    "ONE_DIMENSIONAL_DOMAIN_SIZE",
+    "ShapeFamily",
+    "SyntheticSpec",
+    "TWO_DIMENSIONAL_DATASETS",
+    "dataset_names",
+    "generate_histogram",
+    "load_dataset",
+    "table1_statistics",
+]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch every failure mode of the library with a single ``except`` clause while
+still being able to distinguish individual problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class DomainError(ReproError):
+    """Raised when a domain specification is invalid or two domains mismatch."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload matrix is malformed or incompatible with a domain."""
+
+
+class PolicyError(ReproError):
+    """Raised when a policy graph is malformed or unsupported for an operation."""
+
+
+class PolicyNotTreeError(PolicyError):
+    """Raised when an operation requiring a tree policy receives a non-tree policy.
+
+    Data-dependent transformed mechanisms (Theorem 4.3 of the paper) are only
+    sound when the policy graph is a tree; attempting to apply them to a
+    non-tree policy raises this error instead of silently producing a
+    mechanism with an invalid privacy guarantee.
+    """
+
+
+class PrivacyBudgetError(ReproError):
+    """Raised for non-positive or otherwise invalid privacy parameters."""
+
+
+class MechanismError(ReproError):
+    """Raised when a mechanism is configured or invoked inconsistently."""
+
+
+class TransformError(ReproError):
+    """Raised when the policy transformation ``P_G`` cannot be constructed."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset specification or generated dataset is invalid."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is inconsistent."""

@@ -1,0 +1,199 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+The paper itself does not publish ablations; these experiments probe the
+levers of the reproduction so that downstream users understand what each
+component buys:
+
+* :func:`ablate_consistency` — value of the monotone-consistency step
+  (Section 5.4.2) at several sparsity levels;
+* :func:`ablate_dawa_budget_split` — sensitivity of DAWA to the fraction of
+  budget spent on partitioning;
+* :func:`ablate_spanner_stretch` — cost of the ε/ℓ budget split (Lemma 4.5)
+  as θ grows;
+* :func:`ablate_grid_strategy` — Haar versus identity per-slab strategies for
+  the 2-D grid policy (the "Transformed + Privelet" versus
+  "Transformed + Laplace" choice of Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..blowfish.algorithms import (
+    NamedAlgorithm,
+    blowfish_transformed_consistent,
+    blowfish_transformed_dawa,
+    blowfish_transformed_laplace,
+)
+from ..blowfish.matrix_mechanism import PolicyMatrixMechanism
+from ..blowfish.strategies import grid_slab_strategy
+from ..core.database import Database
+from ..core.domain import Domain
+from ..core.range_queries import random_range_queries_workload
+from ..core.rng import RandomState, ensure_rng
+from ..core.workload import identity_workload
+from ..mechanisms.dawa import DawaMechanism
+from ..mechanisms.strategies import haar_strategy, identity_strategy
+from ..policy.builders import grid_policy, line_policy, threshold_policy
+from ..policy.spanner import approximate_with_line_spanner
+from .harness import ComparisonResult, run_comparison
+
+
+def _sparse_database(domain: Domain, zero_fraction: float, rng) -> Database:
+    counts = np.zeros(domain.size)
+    support_size = max(1, int(round(domain.size * (1.0 - zero_fraction))))
+    support = rng.choice(domain.size, size=support_size, replace=False)
+    counts[support] = rng.integers(1, 200, size=support_size)
+    return Database(domain, counts, name=f"zero={zero_fraction:.2f}")
+
+
+def ablate_consistency(
+    epsilon: float = 0.1,
+    domain_size: int = 1024,
+    zero_fractions: Sequence[float] = (0.2, 0.6, 0.95),
+    trials: int = 3,
+    random_state: RandomState = 0,
+) -> List[ComparisonResult]:
+    """Hist error with and without the monotone-consistency post-processing."""
+    rng = ensure_rng(random_state)
+    domain = Domain((domain_size,))
+    policy = line_policy(domain)
+    workload = identity_workload(domain)
+    results: List[ComparisonResult] = []
+    for zero_fraction in zero_fractions:
+        database = _sparse_database(domain, zero_fraction, rng)
+        algorithms = [
+            blowfish_transformed_laplace(policy, epsilon),
+            blowfish_transformed_consistent(policy, epsilon),
+        ]
+        results.extend(
+            run_comparison(
+                algorithms,
+                workload,
+                database,
+                epsilon=epsilon,
+                trials=trials,
+                random_state=rng,
+                workload_label="Hist",
+                extra={"zero_fraction": zero_fraction},
+            )
+        )
+    return results
+
+
+def ablate_dawa_budget_split(
+    epsilon: float = 0.1,
+    domain_size: int = 1024,
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75),
+    trials: int = 3,
+    random_state: RandomState = 0,
+) -> List[ComparisonResult]:
+    """DAWA error as a function of the partition-budget fraction ρ."""
+    rng = ensure_rng(random_state)
+    domain = Domain((domain_size,))
+    database = _sparse_database(domain, 0.9, rng)
+    workload = identity_workload(domain)
+    results: List[ComparisonResult] = []
+    for fraction in fractions:
+        algorithm = NamedAlgorithm(
+            name=f"DAWA(rho={fraction})",
+            mechanism=DawaMechanism(
+                epsilon, (domain_size,), partition_budget_fraction=fraction
+            ),
+            data_dependent=True,
+        )
+        results.extend(
+            run_comparison(
+                [algorithm],
+                workload,
+                database,
+                epsilon=epsilon,
+                trials=trials,
+                random_state=rng,
+                workload_label="Hist",
+                extra={"rho": fraction},
+            )
+        )
+    return results
+
+
+def ablate_spanner_stretch(
+    epsilon: float = 0.1,
+    domain_size: int = 1024,
+    thetas: Sequence[int] = (1, 2, 4, 8, 16),
+    num_queries: int = 400,
+    trials: int = 3,
+    random_state: RandomState = 0,
+) -> List[ComparisonResult]:
+    """Range-query error of the spanner route as θ (and hence the stretch penalty) grows."""
+    rng = ensure_rng(random_state)
+    domain = Domain((domain_size,))
+    database = _sparse_database(domain, 0.8, rng)
+    workload = random_range_queries_workload(domain, num_queries, rng)
+    results: List[ComparisonResult] = []
+    for theta in thetas:
+        policy = threshold_policy(domain, theta)
+        if theta == 1:
+            algorithm = blowfish_transformed_laplace(policy, epsilon)
+            stretch = 1
+        else:
+            spanner = approximate_with_line_spanner(policy, theta)
+            algorithm = blowfish_transformed_laplace(policy, epsilon, spanner=spanner)
+            stretch = spanner.stretch
+        algorithm = NamedAlgorithm(
+            name=f"theta={theta}", mechanism=algorithm.mechanism, data_dependent=False
+        )
+        results.extend(
+            run_comparison(
+                [algorithm],
+                workload,
+                database,
+                epsilon=epsilon,
+                trials=trials,
+                random_state=rng,
+                workload_label="1D-Range",
+                extra={"theta": theta, "stretch": stretch},
+            )
+        )
+    return results
+
+
+def ablate_grid_strategy(
+    epsilon: float = 0.1,
+    grid_size: int = 24,
+    num_queries: int = 300,
+    trials: int = 3,
+    random_state: RandomState = 0,
+) -> List[ComparisonResult]:
+    """Per-slab Haar versus per-slab identity strategies on the grid policy."""
+    rng = ensure_rng(random_state)
+    domain = Domain((grid_size, grid_size))
+    database = _sparse_database(domain, 0.7, rng)
+    policy = grid_policy(domain)
+    workload = random_range_queries_workload(domain, num_queries, rng)
+    haar = NamedAlgorithm(
+        name="slab-haar",
+        mechanism=PolicyMatrixMechanism(
+            policy, epsilon, strategy=lambda t: grid_slab_strategy(t, haar_strategy)
+        ),
+        data_dependent=False,
+    )
+    identity = NamedAlgorithm(
+        name="slab-identity",
+        mechanism=PolicyMatrixMechanism(
+            policy, epsilon, strategy=lambda t: grid_slab_strategy(t, identity_strategy)
+        ),
+        data_dependent=False,
+    )
+    return run_comparison(
+        [haar, identity],
+        workload,
+        database,
+        epsilon=epsilon,
+        trials=trials,
+        random_state=rng,
+        workload_label="2D-Range",
+        extra={"grid_size": grid_size},
+    )

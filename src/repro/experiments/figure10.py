@@ -1,0 +1,124 @@
+"""Runner for the lower-bound study of Appendix A (Figure 10).
+
+Figure 10 plots the Li–Miklau SVD lower bound (transferred to Blowfish via
+Corollary A.2) against the domain size:
+
+* **Figure 10a** — one-dimensional range queries ``R_k`` under ``G^θ_k`` for
+  θ ∈ {1, 2, 4, 8, 16}, compared to unbounded differential privacy;
+* **Figure 10b** — two-dimensional range queries ``R_{k²}`` under
+  ``G^θ_{k²}`` for θ ∈ {1, 2, 3}, compared to both unbounded and bounded
+  differential privacy.
+
+Both use ε = 1 and δ = 0.001.  The runner returns the curves as rows that the
+benchmark harness prints, plus helpers asserting the qualitative findings
+(Blowfish bounds grow more slowly in 1-D; in 2-D only θ=1 beats unbounded DP
+while every θ beats bounded DP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..bounds.svd import LowerBoundPoint, curves_by_series, figure10_curves
+
+
+def run_figure10a(
+    domain_sizes: Sequence[int] = (32, 64, 96, 128),
+    thetas: Sequence[int] = (1, 2, 4, 8, 16),
+    epsilon: float = 1.0,
+    delta: float = 0.001,
+) -> List[LowerBoundPoint]:
+    """Lower-bound curves for 1-D range queries (Figure 10a)."""
+    return figure10_curves(
+        dimension=1,
+        domain_sizes=domain_sizes,
+        thetas=thetas,
+        epsilon=epsilon,
+        delta=delta,
+        include_unbounded=True,
+        include_bounded=False,
+    )
+
+
+def run_figure10b(
+    domain_sizes: Sequence[int] = (16, 36, 64, 81),
+    thetas: Sequence[int] = (1, 2, 3),
+    epsilon: float = 1.0,
+    delta: float = 0.001,
+) -> List[LowerBoundPoint]:
+    """Lower-bound curves for 2-D range queries (Figure 10b)."""
+    return figure10_curves(
+        dimension=2,
+        domain_sizes=domain_sizes,
+        thetas=thetas,
+        epsilon=epsilon,
+        delta=delta,
+        include_unbounded=True,
+        include_bounded=True,
+    )
+
+
+def figure10_rows(points: Sequence[LowerBoundPoint]) -> List[Dict[str, object]]:
+    """Pivot lower-bound points into one row per domain size (series as columns)."""
+    grouped = curves_by_series(points)
+    domain_sizes = sorted({point.domain_size for point in points})
+    rows: List[Dict[str, object]] = []
+    for size in domain_sizes:
+        row: Dict[str, object] = {"domain_size": size}
+        for series, series_points in grouped.items():
+            match: Optional[float] = None
+            for point in series_points:
+                if point.domain_size == size:
+                    match = point.bound
+                    break
+            row[series] = match if match is not None else ""
+        rows.append(row)
+    return rows
+
+
+def qualitative_findings_1d(points: Sequence[LowerBoundPoint]) -> Dict[str, bool]:
+    """Check the paper's reading of Figure 10a.
+
+    * every Blowfish (θ) bound is below the unbounded-DP bound at the largest
+      domain size, and
+    * the unbounded-DP bound grows faster than the θ=1 bound (ratio of largest
+      to smallest domain size is larger for unbounded DP).
+    """
+    grouped = curves_by_series(points)
+    unbounded = grouped["unbounded DP"]
+    largest = unbounded[-1].domain_size
+    findings = {}
+    unbounded_at_largest = unbounded[-1].bound
+    findings["blowfish_below_unbounded_at_largest_domain"] = all(
+        series_points[-1].bound <= unbounded_at_largest
+        for series, series_points in grouped.items()
+        if series.startswith("theta=") and series_points[-1].domain_size == largest
+    )
+    theta1 = grouped.get("theta=1", [])
+    if len(theta1) >= 2 and len(unbounded) >= 2:
+        unbounded_growth = unbounded[-1].bound / unbounded[0].bound
+        theta1_growth = theta1[-1].bound / theta1[0].bound
+        findings["unbounded_grows_faster_than_theta1"] = unbounded_growth > theta1_growth
+    return findings
+
+
+def qualitative_findings_2d(points: Sequence[LowerBoundPoint]) -> Dict[str, bool]:
+    """Check the paper's reading of Figure 10b.
+
+    * θ=1 is below unbounded DP at the largest domain size,
+    * every θ is below bounded DP at the largest domain size.
+    """
+    grouped = curves_by_series(points)
+    findings = {}
+    unbounded = grouped["unbounded DP"][-1].bound
+    bounded = grouped["bounded DP"][-1].bound
+    theta_series = {
+        series: series_points[-1].bound
+        for series, series_points in grouped.items()
+        if series.startswith("theta=")
+    }
+    findings["theta1_below_unbounded"] = theta_series.get("theta=1", float("inf")) <= unbounded
+    findings["all_theta_below_bounded"] = all(
+        value <= bounded for value in theta_series.values()
+    )
+    return findings

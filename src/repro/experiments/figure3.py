@@ -1,0 +1,130 @@
+"""Runner for the error-bound summary (Figure 3) and its empirical validation.
+
+Figure 3 is an analytic table; beyond reprinting it
+(:func:`repro.bounds.analytic.figure3_table`), this runner validates the two
+headline claims empirically on small instances:
+
+* the per-query error of the Blowfish line mechanism for ``R_k`` under
+  ``G^1_k`` is essentially independent of ``k`` (Θ(1/ε²), Theorem 5.2), while
+  Privelet's grows polylogarithmically;
+* the grid mechanism for ``R_{k²}`` under ``G^1_{k²}`` beats Privelet by a
+  polylogarithmic factor (Theorem 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..blowfish.algorithms import (
+    blowfish_transformed_laplace,
+    blowfish_transformed_privelet_grid,
+    dp_privelet_baseline,
+)
+from ..bounds.analytic import Figure3Row, figure3_table
+from ..core.database import Database
+from ..core.domain import Domain
+from ..core.range_queries import random_range_queries_workload
+from ..core.rng import RandomState, ensure_rng
+from ..policy.builders import grid_policy, line_policy
+from .harness import ComparisonResult, run_comparison
+
+
+def figure3_rows(
+    epsilon: float = 1.0, k: int = 4096, d: int = 2, theta: int = 4
+) -> List[Dict[str, object]]:
+    """The Figure 3 table as printable rows."""
+    rows: List[Dict[str, object]] = []
+    for entry in figure3_table(epsilon=epsilon, k=k, d=d, theta=theta):
+        rows.append(
+            {
+                "workload": entry.workload,
+                "policy": entry.policy,
+                "blowfish_bound": entry.blowfish_bound,
+                "blowfish_value": entry.blowfish_value,
+                "dp_bound": entry.dp_bound,
+                "dp_value": entry.dp_value,
+                "improvement": entry.improvement,
+            }
+        )
+    return rows
+
+
+def empirical_scaling_1d(
+    epsilon: float = 0.1,
+    domain_sizes: Sequence[int] = (128, 256, 512, 1024),
+    num_queries: int = 400,
+    trials: int = 3,
+    random_state: RandomState = 0,
+) -> List[ComparisonResult]:
+    """Measure how 1-D range-query error scales with the domain size.
+
+    The Blowfish line mechanism should stay roughly flat while Privelet's
+    error grows with ``log³ k`` — the empirical counterpart of the first row
+    of Figure 3 (and the domain-size trend of Figure 8d).
+    """
+    rng = ensure_rng(random_state)
+    results: List[ComparisonResult] = []
+    for k in domain_sizes:
+        domain = Domain((int(k),))
+        counts = np.zeros(k)
+        support = rng.integers(0, k, size=max(4, k // 16))
+        counts[support] = rng.integers(1, 100, size=support.shape[0])
+        database = Database(domain, counts, name=str(k))
+        policy = line_policy(domain)
+        workload = random_range_queries_workload(domain, num_queries, rng)
+        algorithms = [
+            dp_privelet_baseline(epsilon, (int(k),)),
+            blowfish_transformed_laplace(policy, epsilon),
+        ]
+        results.extend(
+            run_comparison(
+                algorithms,
+                workload,
+                database,
+                epsilon=epsilon,
+                trials=trials,
+                random_state=rng,
+                workload_label="1D-Range",
+                extra={"domain_size": int(k)},
+            )
+        )
+    return results
+
+
+def empirical_scaling_2d(
+    epsilon: float = 0.1,
+    grid_sizes: Sequence[int] = (16, 24, 32),
+    num_queries: int = 300,
+    trials: int = 3,
+    random_state: RandomState = 0,
+) -> List[ComparisonResult]:
+    """Measure 2-D range-query error versus grid size (Theorem 5.4 vs Privelet)."""
+    rng = ensure_rng(random_state)
+    results: List[ComparisonResult] = []
+    for k in grid_sizes:
+        domain = Domain((int(k), int(k)))
+        counts = np.zeros(domain.size)
+        support = rng.integers(0, domain.size, size=max(8, domain.size // 12))
+        counts[support] = rng.integers(1, 50, size=support.shape[0])
+        database = Database(domain, counts, name=f"{k}x{k}")
+        policy = grid_policy(domain)
+        workload = random_range_queries_workload(domain, num_queries, rng)
+        algorithms = [
+            dp_privelet_baseline(epsilon, (int(k), int(k))),
+            blowfish_transformed_privelet_grid(policy, epsilon),
+        ]
+        results.extend(
+            run_comparison(
+                algorithms,
+                workload,
+                database,
+                epsilon=epsilon,
+                trials=trials,
+                random_state=rng,
+                workload_label="2D-Range",
+                extra={"grid_size": int(k)},
+            )
+        )
+    return results

@@ -1,0 +1,122 @@
+"""Experiment harness: run algorithm comparisons and collect per-query errors.
+
+The harness mirrors the paper's protocol: every algorithm answers the same
+workload on the same database several times (the paper averages 5 independent
+runs) and the *average mean squared error per query* is reported.  Results are
+plain dictionaries so the benchmark scripts can print them and the tests can
+assert the qualitative claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.error import ErrorAccumulator
+from ..core.rng import RandomState, ensure_rng, spawn_rngs
+from ..core.workload import Workload
+from ..blowfish.algorithms import NamedAlgorithm
+from ..exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Average per-query error of one algorithm on one experimental cell."""
+
+    algorithm: str
+    dataset: str
+    epsilon: float
+    workload: str
+    mean_error: float
+    std_error: float
+    trials: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten into a plain dictionary (used by the reporting helpers)."""
+        row: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "epsilon": self.epsilon,
+            "workload": self.workload,
+            "mean_error": self.mean_error,
+            "std_error": self.std_error,
+            "trials": self.trials,
+        }
+        row.update(self.extra)
+        return row
+
+
+def run_comparison(
+    algorithms: Sequence[NamedAlgorithm],
+    workload: Workload,
+    database: Database,
+    epsilon: float,
+    trials: int = 5,
+    random_state: RandomState = None,
+    workload_label: Optional[str] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> List[ComparisonResult]:
+    """Run every algorithm ``trials`` times and return their average errors.
+
+    Each (algorithm, trial) pair receives an independent, reproducible random
+    stream derived from ``random_state``, so adding or removing an algorithm
+    does not change the noise seen by the others.
+    """
+    if trials < 1:
+        raise ExperimentError(f"trials must be at least 1, got {trials}")
+    if not algorithms:
+        raise ExperimentError("At least one algorithm is required")
+    rng = ensure_rng(random_state)
+    true_answers = workload.answer(database)
+    results: List[ComparisonResult] = []
+    label = workload_label or workload.name or "workload"
+    for algorithm in algorithms:
+        streams = spawn_rngs(rng, trials)
+        accumulator = ErrorAccumulator()
+        for trial_rng in streams:
+            noisy = algorithm.answer(workload, database, trial_rng)
+            accumulator.add_trial(true_answers, noisy)
+        results.append(
+            ComparisonResult(
+                algorithm=algorithm.name,
+                dataset=database.name or "dataset",
+                epsilon=float(epsilon),
+                workload=label,
+                mean_error=accumulator.mean,
+                std_error=accumulator.std_error,
+                trials=trials,
+                extra=dict(extra or {}),
+            )
+        )
+    return results
+
+
+def results_by_algorithm(
+    results: Iterable[ComparisonResult],
+) -> Dict[str, List[ComparisonResult]]:
+    """Group results by algorithm name."""
+    grouped: Dict[str, List[ComparisonResult]] = {}
+    for result in results:
+        grouped.setdefault(result.algorithm, []).append(result)
+    return grouped
+
+
+def mean_error_of(
+    results: Iterable[ComparisonResult], algorithm: str, dataset: Optional[str] = None
+) -> float:
+    """Average the mean error of one algorithm (optionally on one dataset)."""
+    selected = [
+        r.mean_error
+        for r in results
+        if r.algorithm == algorithm and (dataset is None or r.dataset == dataset)
+    ]
+    if not selected:
+        raise ExperimentError(
+            f"No results for algorithm {algorithm!r}"
+            + (f" on dataset {dataset!r}" if dataset else "")
+        )
+    return float(np.mean(selected))

@@ -1,0 +1,95 @@
+"""Plain-text reporting of experiment results.
+
+The paper's figures are log-scale bar charts; the reproduction prints the same
+series as aligned text tables (one row per dataset / domain size, one column
+per algorithm), which is what the benchmark harness emits and what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .harness import ComparisonResult
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Format a list of dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(cell[i]) for cell in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell[i].ljust(widths[i]) for i in range(len(columns)))
+        for cell in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def pivot_results(
+    results: Iterable[ComparisonResult],
+    row_key: str = "dataset",
+    column_key: str = "algorithm",
+) -> List[Dict[str, object]]:
+    """Pivot comparison results into one row per ``row_key`` value.
+
+    The default layout (datasets as rows, algorithms as columns) matches the
+    bar groups of Figures 8 and 9.
+    """
+    results = list(results)
+    row_values: List[object] = []
+    column_values: List[object] = []
+    for result in results:
+        row_value = getattr(result, row_key) if hasattr(result, row_key) else result.extra.get(row_key)
+        column_value = (
+            getattr(result, column_key)
+            if hasattr(result, column_key)
+            else result.extra.get(column_key)
+        )
+        if row_value not in row_values:
+            row_values.append(row_value)
+        if column_value not in column_values:
+            column_values.append(column_value)
+
+    table: List[Dict[str, object]] = []
+    for row_value in row_values:
+        row: Dict[str, object] = {row_key: row_value}
+        for column_value in column_values:
+            matches = [
+                r.mean_error
+                for r in results
+                if (getattr(r, row_key, r.extra.get(row_key)) == row_value)
+                and (getattr(r, column_key, r.extra.get(column_key)) == column_value)
+            ]
+            row[str(column_value)] = matches[0] if matches else ""
+        table.append(row)
+    return table
+
+
+def render_results(
+    results: Iterable[ComparisonResult],
+    title: str = "",
+    row_key: str = "dataset",
+) -> str:
+    """Render comparison results as a titled text table."""
+    table = pivot_results(results, row_key=row_key)
+    body = format_table(table)
+    return f"{title}\n{body}" if title else body

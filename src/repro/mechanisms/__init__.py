@@ -1,0 +1,66 @@
+"""Standard differentially private mechanisms (substrates and baselines)."""
+
+from .base import HistogramMechanism, Mechanism, check_epsilon, laplace_noise
+from .baselines import UniformMechanism, ZeroMechanism
+from .dawa import DawaMechanism, bucket_deviation, greedy_partition, optimal_partition
+from .exponential import ExponentialMechanism, graph_distance_exponential_mechanism
+from .gaussian import (
+    GaussianHistogram,
+    gaussian_estimator_factory,
+    gaussian_noise,
+    gaussian_sigma,
+)
+from .geometric import GeometricHistogram, geometric_noise
+from .hierarchical import HierarchicalMechanism, TreeNode, build_interval_tree
+from .hilbert import hilbert_index, hilbert_order, ordering_for_shape
+from .laplace import LaplaceHistogram, LaplaceMechanism
+from .matrix import MatrixMechanism, laplace_matrix_mechanism
+from .privelet import PriveletMechanism
+from .strategies import (
+    Strategy,
+    block_diagonal_strategy,
+    haar_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    kron_strategy,
+    total_strategy,
+)
+
+__all__ = [
+    "DawaMechanism",
+    "ExponentialMechanism",
+    "GaussianHistogram",
+    "GeometricHistogram",
+    "HierarchicalMechanism",
+    "HistogramMechanism",
+    "LaplaceHistogram",
+    "LaplaceMechanism",
+    "MatrixMechanism",
+    "Mechanism",
+    "PriveletMechanism",
+    "Strategy",
+    "TreeNode",
+    "UniformMechanism",
+    "ZeroMechanism",
+    "block_diagonal_strategy",
+    "bucket_deviation",
+    "build_interval_tree",
+    "check_epsilon",
+    "gaussian_estimator_factory",
+    "gaussian_noise",
+    "gaussian_sigma",
+    "geometric_noise",
+    "graph_distance_exponential_mechanism",
+    "greedy_partition",
+    "haar_strategy",
+    "hierarchical_strategy",
+    "hilbert_index",
+    "hilbert_order",
+    "identity_strategy",
+    "kron_strategy",
+    "laplace_matrix_mechanism",
+    "laplace_noise",
+    "optimal_partition",
+    "ordering_for_shape",
+    "total_strategy",
+]

@@ -1,0 +1,156 @@
+"""Mechanism interfaces.
+
+Two kinds of differentially private mechanisms appear in the paper:
+
+* *workload mechanisms* answer a workload ``W`` on a database ``x`` directly
+  (Laplace on the workload, matrix mechanisms, Privelet, the hierarchical
+  mechanism);
+* *histogram estimators* release a private estimate of the full histogram
+  ``x̃`` from which any workload can be answered as ``W x̃`` (Laplace on the
+  identity, DAWA).
+
+Every mechanism here also exposes a *matrix-level* entry point
+(:meth:`Mechanism.answer_matrix`) that operates on a raw matrix/vector pair.
+The Blowfish machinery relies on it: transformed instances ``(W_G, x_G)``
+live in the edge domain, which is not a :class:`~repro.core.domain.Domain`,
+yet the same differentially private code must run on them (Theorems 4.1 and
+4.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.database import Database
+from ..core.rng import RandomState, ensure_rng
+from ..core.workload import Workload
+from ..exceptions import PrivacyBudgetError
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate a privacy budget and return it as a float."""
+    epsilon = float(epsilon)
+    if not np.isfinite(epsilon) or epsilon <= 0:
+        raise PrivacyBudgetError(f"epsilon must be a positive finite number, got {epsilon}")
+    return epsilon
+
+
+class Mechanism(abc.ABC):
+    """Base class for differentially private workload-answering mechanisms.
+
+    Parameters
+    ----------
+    epsilon:
+        The privacy budget the mechanism consumes.
+
+    Notes
+    -----
+    Subclasses set the class attribute :attr:`data_dependent` to ``True`` when
+    the distribution of the added noise depends on the input database
+    (Section 2, "Sensitivity and Private Mechanisms").  Data-independent
+    mechanisms are exactly the ones covered by the matrix-mechanism
+    equivalence (Theorem 4.1); data-dependent ones additionally require a tree
+    policy (Theorem 4.3).
+    """
+
+    #: Whether the added noise depends on the input database.
+    data_dependent: bool = False
+    #: Human-readable mechanism name used by the experiment harness.
+    name: str = "Mechanism"
+
+    def __init__(self, epsilon: float) -> None:
+        self._epsilon = check_epsilon(epsilon)
+
+    @property
+    def epsilon(self) -> float:
+        """Privacy budget ``ε``."""
+        return self._epsilon
+
+    # ------------------------------------------------------------------ API
+    def answer(
+        self,
+        workload: Workload,
+        database: Database,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Noisy answers to ``workload`` on ``database``.
+
+        The default implementation forwards to :meth:`answer_matrix`.
+        """
+        if workload.domain != database.domain:
+            raise ValueError(
+                f"Workload domain {workload.domain} does not match database domain "
+                f"{database.domain}"
+            )
+        return self.answer_matrix(workload.matrix, database.counts, random_state)
+
+    @abc.abstractmethod
+    def answer_matrix(
+        self,
+        matrix: MatrixLike,
+        vector: np.ndarray,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Noisy answers for a raw ``matrix @ vector`` product.
+
+        Implementations must guarantee ε-differential privacy with respect to
+        *unbounded* neighbors of ``vector`` (vectors at L1 distance 1), unless
+        their docstring states otherwise.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(epsilon={self._epsilon})"
+
+
+class HistogramMechanism(Mechanism):
+    """A mechanism that privately estimates the data vector itself.
+
+    Subclasses implement :meth:`estimate_vector`; workload answers are then
+    computed as ``W x̃`` (post-processing, no extra budget).
+    """
+
+    @abc.abstractmethod
+    def estimate_vector(
+        self, vector: np.ndarray, random_state: RandomState = None
+    ) -> np.ndarray:
+        """Return an ε-differentially private estimate of ``vector``."""
+
+    def estimate_histogram(
+        self, database: Database, random_state: RandomState = None
+    ) -> np.ndarray:
+        """Private estimate of the database's histogram vector."""
+        return self.estimate_vector(database.counts, random_state)
+
+    def answer_matrix(
+        self,
+        matrix: MatrixLike,
+        vector: np.ndarray,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        estimate = self.estimate_vector(np.asarray(vector, dtype=np.float64), random_state)
+        if sp.issparse(matrix):
+            return np.asarray(matrix @ estimate).ravel()
+        return np.asarray(np.asarray(matrix, dtype=np.float64) @ estimate).ravel()
+
+
+def laplace_noise(
+    scale: float, size: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Sample ``size`` i.i.d. Laplace(0, scale) random variables.
+
+    ``scale`` is the usual ``b`` parameter (standard deviation ``sqrt(2) b``);
+    a zero scale returns zeros so that "infinite ε" corner cases degrade
+    gracefully in tests.
+    """
+    if scale < 0:
+        raise PrivacyBudgetError(f"Noise scale must be non-negative, got {scale}")
+    rng = ensure_rng(random_state)
+    if scale == 0:
+        return np.zeros(size, dtype=np.float64)
+    return rng.laplace(loc=0.0, scale=scale, size=size)

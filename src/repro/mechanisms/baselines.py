@@ -1,0 +1,59 @@
+"""Trivial baseline mechanisms used in ablations and sanity checks.
+
+These are not part of the paper's evaluation but give useful reference points
+when exploring the privacy/utility trade-off: the uniform mechanism spends the
+whole budget on a single total count, and the zero mechanism releases nothing
+data-dependent at all (infinite privacy, maximal error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import RandomState
+from .base import HistogramMechanism, laplace_noise
+
+
+class UniformMechanism(HistogramMechanism):
+    """Measure only the noisy grand total and spread it uniformly.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget.
+    sensitivity:
+        L1 sensitivity of the total count (1 for unbounded DP).
+    """
+
+    name = "Uniform"
+    data_dependent = False
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0) -> None:
+        super().__init__(epsilon)
+        if sensitivity < 0:
+            raise ValueError(f"sensitivity must be non-negative, got {sensitivity}")
+        self._sensitivity = float(sensitivity)
+
+    def estimate_vector(
+        self, vector: np.ndarray, random_state: RandomState = None
+    ) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.size == 0:
+            return vector.copy()
+        noisy_total = float(vector.sum()) + float(
+            laplace_noise(self._sensitivity / self.epsilon, 1, random_state)[0]
+        )
+        return np.full_like(vector, noisy_total / vector.size)
+
+
+class ZeroMechanism(HistogramMechanism):
+    """Release the all-zero histogram (a perfectly private, data-free baseline)."""
+
+    name = "Zero"
+    data_dependent = False
+
+    def estimate_vector(
+        self, vector: np.ndarray, random_state: RandomState = None
+    ) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        return np.zeros_like(vector)

@@ -1,0 +1,233 @@
+"""DAWA — a data- and workload-aware mechanism (Li, Hay & Miklau [14]).
+
+DAWA is the state-of-the-art *data-dependent* baseline in the paper's
+experiments.  It spends part of the budget learning a partition of the domain
+into buckets of (roughly) uniform counts, then measures only the bucket totals
+and spreads them uniformly.  On sparse or piecewise-constant data very few
+buckets are needed, so the per-cell error collapses far below the Laplace
+baseline; on irregular data the partition degenerates towards singletons and
+DAWA behaves like the Laplace mechanism.
+
+This is a from-scratch re-implementation with one documented simplification
+(see DESIGN.md): the partitioning stage uses a single-pass greedy grower on a
+noisy copy of the data instead of the original O(k²) dynamic program.  The
+cost model is the same — a bucket pays its (noise-adjusted) L1 deviation plus
+a fixed per-bucket measurement cost — so the qualitative behaviour the paper
+relies on (large wins on sparse data, parity on dense data) is preserved, and
+the exact dynamic program is available as :func:`optimal_partition` for small
+domains and for the tests.
+
+Privacy: stage 1 releases a noisy copy of the data with budget ``ρ·ε`` and the
+partition is post-processing of that release; stage 2 measures bucket totals
+with the remaining ``(1-ρ)·ε``.  Sequential composition gives ``ε`` overall.
+The ``sensitivity`` parameter scales both stages (1 for unbounded DP, 2 for
+bounded DP, or the policy-specific sensitivity on transformed instances).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.rng import RandomState, ensure_rng
+from ..exceptions import MechanismError
+from .base import HistogramMechanism, laplace_noise
+from .hilbert import ordering_for_shape
+
+
+def bucket_deviation(values: np.ndarray, noise_level: float = 0.0) -> float:
+    """Noise-adjusted L1 deviation of a bucket around its median.
+
+    ``sum_i max(0, |v_i - median| - noise_level)`` — subtracting the expected
+    absolute noise keeps buckets of identical *true* counts (e.g. runs of
+    zeros observed through Laplace noise) essentially free to merge, which is
+    the behaviour of DAWA's exact cost model.
+    """
+    if values.size == 0:
+        return 0.0
+    deviations = np.abs(values - np.median(values))
+    if noise_level > 0:
+        deviations = np.maximum(deviations - noise_level, 0.0)
+    return float(deviations.sum())
+
+
+def greedy_partition(
+    noisy: np.ndarray, bucket_cost: float, noise_level: float
+) -> List[Tuple[int, int]]:
+    """Single-pass greedy partition of a (noisy) vector into contiguous buckets.
+
+    Grows the current bucket while its noise-adjusted deviation stays below
+    ``bucket_cost`` (the fixed price of one extra measured bucket); otherwise
+    closes it.  Returns half-open ``(start, end)`` intervals covering the
+    domain.
+    """
+    size = noisy.shape[0]
+    if size == 0:
+        return []
+    buckets: List[Tuple[int, int]] = []
+    start = 0
+    for end in range(1, size + 1):
+        if end - start == 1:
+            continue
+        deviation = bucket_deviation(noisy[start:end], noise_level)
+        if deviation > bucket_cost:
+            buckets.append((start, end - 1))
+            start = end - 1
+    buckets.append((start, size))
+    return buckets
+
+
+def optimal_partition(
+    noisy: np.ndarray, bucket_cost: float, noise_level: float
+) -> List[Tuple[int, int]]:
+    """Exact interval dynamic program minimising ``sum_b dev(b) + bucket_cost``.
+
+    Quadratic in the domain size; used for small domains and to validate the
+    greedy partition in the tests.
+    """
+    size = noisy.shape[0]
+    if size == 0:
+        return []
+    best_cost = np.full(size + 1, np.inf)
+    best_cut = np.zeros(size + 1, dtype=np.int64)
+    best_cost[0] = 0.0
+    for end in range(1, size + 1):
+        for start in range(0, end):
+            cost = (
+                best_cost[start]
+                + bucket_deviation(noisy[start:end], noise_level)
+                + bucket_cost
+            )
+            if cost < best_cost[end]:
+                best_cost[end] = cost
+                best_cut[end] = start
+    buckets: List[Tuple[int, int]] = []
+    end = size
+    while end > 0:
+        start = int(best_cut[end])
+        buckets.append((start, end))
+        end = start
+    return list(reversed(buckets))
+
+
+class DawaMechanism(HistogramMechanism):
+    """Two-stage data-aware histogram estimator.
+
+    Parameters
+    ----------
+    epsilon:
+        Total privacy budget.
+    shape:
+        Shape of the histogram (used to pick a Hilbert linearisation for 2-D
+        data).  ``None`` or a 1-tuple treats the vector as already linearised,
+        which is also how the Blowfish tree mechanisms use it on transformed
+        (edge-domain) databases.
+    partition_budget_fraction:
+        Fraction ``ρ`` of the budget spent learning the partition (stage 1).
+    sensitivity:
+        L1 sensitivity of the data vector (1 for unbounded DP, 2 for bounded
+        DP, or the policy-specific sensitivity on transformed instances).
+    use_optimal_partition:
+        Use the exact O(k²) dynamic program instead of the greedy pass (small
+        domains only).
+    """
+
+    name = "DAWA"
+    data_dependent = True
+
+    def __init__(
+        self,
+        epsilon: float,
+        shape: Optional[Sequence[int]] = None,
+        partition_budget_fraction: float = 0.25,
+        sensitivity: float = 1.0,
+        use_optimal_partition: bool = False,
+    ) -> None:
+        super().__init__(epsilon)
+        if not 0.0 < partition_budget_fraction < 1.0:
+            raise MechanismError(
+                "partition_budget_fraction must be strictly between 0 and 1, got "
+                f"{partition_budget_fraction}"
+            )
+        if sensitivity <= 0:
+            raise MechanismError(f"sensitivity must be positive, got {sensitivity}")
+        self._shape = None if shape is None else tuple(int(s) for s in shape)
+        self._rho = float(partition_budget_fraction)
+        self._sensitivity = float(sensitivity)
+        self._use_optimal = bool(use_optimal_partition)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def partition_epsilon(self) -> float:
+        """Budget spent on the partitioning stage."""
+        return self._rho * self.epsilon
+
+    @property
+    def measurement_epsilon(self) -> float:
+        """Budget spent measuring bucket totals."""
+        return (1.0 - self._rho) * self.epsilon
+
+    @property
+    def sensitivity(self) -> float:
+        """L1 sensitivity used to scale both stages."""
+        return self._sensitivity
+
+    # ------------------------------------------------------------------- API
+    def estimate_vector(
+        self, vector: np.ndarray, random_state: RandomState = None
+    ) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        rng = ensure_rng(random_state)
+        ordering = self._ordering(vector.shape[0])
+        ordered = vector[ordering]
+
+        # Stage 1: learn a partition from an eps1-DP noisy copy of the data.
+        eps1 = self.partition_epsilon
+        eps2 = self.measurement_epsilon
+        noise_level = self._sensitivity / eps1
+        noisy = ordered + laplace_noise(noise_level, ordered.shape[0], rng)
+        bucket_cost = self._sensitivity / eps2
+        if self._use_optimal:
+            buckets = optimal_partition(noisy, bucket_cost, noise_level)
+        else:
+            buckets = greedy_partition(noisy, bucket_cost, noise_level)
+
+        # Stage 2: measure bucket totals and spread them uniformly.
+        estimate_ordered = np.zeros_like(ordered)
+        scale = self._sensitivity / eps2
+        for start, end in buckets:
+            total = float(ordered[start:end].sum())
+            noisy_total = total + float(laplace_noise(scale, 1, rng)[0])
+            estimate_ordered[start:end] = noisy_total / (end - start)
+
+        estimate = np.empty_like(estimate_ordered)
+        estimate[ordering] = estimate_ordered
+        return estimate
+
+    def partition_for(
+        self, vector: np.ndarray, random_state: RandomState = None
+    ) -> List[Tuple[int, int]]:
+        """Expose the stage-1 partition (in the linearised order) for diagnostics."""
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        rng = ensure_rng(random_state)
+        ordering = self._ordering(vector.shape[0])
+        ordered = vector[ordering]
+        noise_level = self._sensitivity / self.partition_epsilon
+        noisy = ordered + laplace_noise(noise_level, ordered.shape[0], rng)
+        bucket_cost = self._sensitivity / self.measurement_epsilon
+        if self._use_optimal:
+            return optimal_partition(noisy, bucket_cost, noise_level)
+        return greedy_partition(noisy, bucket_cost, noise_level)
+
+    # ----------------------------------------------------------------- helper
+    def _ordering(self, size: int) -> np.ndarray:
+        if self._shape is None:
+            return np.arange(size, dtype=np.int64)
+        expected = int(np.prod(self._shape))
+        if expected != size:
+            raise MechanismError(
+                f"DAWA was configured for shape {self._shape} ({expected} cells) but "
+                f"received a vector with {size} cells"
+            )
+        return ordering_for_shape(self._shape)

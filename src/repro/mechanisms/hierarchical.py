@@ -1,0 +1,218 @@
+"""The hierarchical mechanism of Hay et al. [10].
+
+The mechanism measures the interval tree over a one-dimensional domain with
+Laplace noise calibrated to the tree height (every record contributes to one
+interval per level).  A range query is then answered by decomposing it into
+``O(branching · log k)`` disjoint tree intervals and summing their noisy
+counts, giving ``O(log^3 k / ε²)`` error per range query — comparable to
+Privelet.  The paper cites it both as a building block and as the source of
+the consistency idea reused by the Blowfish mechanisms (Section 5.4.2).
+
+This implementation follows the basic mechanism: noisy tree counts plus
+greedy query decomposition; the (optional) least-squares consistency step
+lives in :mod:`repro.postprocess.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.rng import RandomState
+from ..exceptions import MechanismError
+from .base import MatrixLike, Mechanism, laplace_noise
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One node (interval) of the hierarchical decomposition."""
+
+    lower: int
+    upper: int  # exclusive
+    level: int
+    index: int  # position in the measurement vector
+
+    @property
+    def width(self) -> int:
+        """Number of leaf cells covered by the node."""
+        return self.upper - self.lower
+
+
+def build_interval_tree(size: int, branching: int = 2) -> List[TreeNode]:
+    """Enumerate the nodes of a ``branching``-ary interval tree over ``size`` cells."""
+    if size <= 0:
+        raise MechanismError(f"size must be positive, got {size}")
+    if branching < 2:
+        raise MechanismError(f"branching must be at least 2, got {branching}")
+    nodes: List[TreeNode] = []
+    frontier: List[Tuple[int, int]] = [(0, size)]
+    level = 0
+    index = 0
+    while frontier:
+        next_frontier: List[Tuple[int, int]] = []
+        for lower, upper in frontier:
+            nodes.append(TreeNode(lower=lower, upper=upper, level=level, index=index))
+            index += 1
+            if upper - lower > 1:
+                width = upper - lower
+                step = int(np.ceil(width / branching))
+                start = lower
+                while start < upper:
+                    end = min(start + step, upper)
+                    next_frontier.append((start, end))
+                    start = end
+        frontier = next_frontier
+        level += 1
+    return nodes
+
+
+class HierarchicalMechanism(Mechanism):
+    """Noisy interval-tree counts with greedy range-query decomposition.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget.
+    size:
+        Domain size ``k``.
+    branching:
+        Tree fan-out (2 reproduces the classic H2 mechanism).
+    sensitivity_multiplier:
+        1 for unbounded DP (default), 2 for bounded DP, or the policy-specific
+        multiplier when run on transformed instances.
+
+    Notes
+    -----
+    Only 0/1 (counting) workload rows whose support is a contiguous range are
+    answered through the tree decomposition; any other row falls back to the
+    exact dot product with the noisy leaf estimates, which is still private
+    because the leaves are part of the measured tree.
+    """
+
+    name = "Hierarchical"
+    data_dependent = False
+
+    def __init__(
+        self,
+        epsilon: float,
+        size: int,
+        branching: int = 2,
+        sensitivity_multiplier: float = 1.0,
+    ) -> None:
+        super().__init__(epsilon)
+        self._size = int(size)
+        self._branching = int(branching)
+        if sensitivity_multiplier <= 0:
+            raise MechanismError(
+                f"sensitivity_multiplier must be positive, got {sensitivity_multiplier}"
+            )
+        self._multiplier = float(sensitivity_multiplier)
+        self._nodes = build_interval_tree(self._size, self._branching)
+        self._levels = 1 + max(node.level for node in self._nodes)
+        self._children: Dict[int, List[int]] = self._link_children()
+
+    def _link_children(self) -> Dict[int, List[int]]:
+        children: Dict[int, List[int]] = {node.index: [] for node in self._nodes}
+        by_level: Dict[int, List[TreeNode]] = {}
+        for node in self._nodes:
+            by_level.setdefault(node.level, []).append(node)
+        for level, nodes in by_level.items():
+            for node in nodes:
+                for candidate in by_level.get(level + 1, []):
+                    if node.lower <= candidate.lower and candidate.upper <= node.upper:
+                        children[node.index].append(candidate.index)
+        return children
+
+    # ------------------------------------------------------------- properties
+    @property
+    def size(self) -> int:
+        """Domain size ``k``."""
+        return self._size
+
+    @property
+    def nodes(self) -> List[TreeNode]:
+        """All tree nodes in measurement order."""
+        return list(self._nodes)
+
+    @property
+    def sensitivity(self) -> float:
+        """Noise-calibration sensitivity: ``multiplier * number_of_levels``."""
+        return self._multiplier * float(self._levels)
+
+    # ------------------------------------------------------------ measurement
+    def measure(
+        self, vector: np.ndarray, random_state: RandomState = None
+    ) -> np.ndarray:
+        """Noisy counts of every tree node (a single ε-DP release)."""
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != self._size:
+            raise MechanismError(
+                f"Expected a vector with {self._size} cells, got {vector.shape[0]}"
+            )
+        prefix = np.concatenate([[0.0], np.cumsum(vector)])
+        true_counts = np.array(
+            [prefix[node.upper] - prefix[node.lower] for node in self._nodes]
+        )
+        scale = self.sensitivity / self.epsilon
+        return true_counts + laplace_noise(scale, true_counts.shape[0], random_state)
+
+    def decompose_range(self, lower: int, upper: int) -> List[int]:
+        """Greedy decomposition of the half-open range ``[lower, upper)`` into node indices."""
+        if not 0 <= lower <= upper <= self._size:
+            raise MechanismError(f"Invalid range [{lower}, {upper}) for size {self._size}")
+        result: List[int] = []
+
+        def visit(node_index: int) -> None:
+            node = self._nodes[node_index]
+            if node.upper <= lower or node.lower >= upper:
+                return
+            if lower <= node.lower and node.upper <= upper:
+                result.append(node_index)
+                return
+            for child in self._children[node_index]:
+                visit(child)
+
+        visit(0)
+        return result
+
+    # ------------------------------------------------------------------- API
+    def answer_matrix(
+        self,
+        matrix: MatrixLike,
+        vector: np.ndarray,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        noisy_counts = self.measure(vector, random_state)
+        leaf_estimates = self._leaf_estimates(noisy_counts)
+        dense = (
+            np.asarray(matrix.todense()) if sp.issparse(matrix) else np.asarray(matrix)
+        )
+        answers = np.zeros(dense.shape[0], dtype=np.float64)
+        for query_index in range(dense.shape[0]):
+            row = dense[query_index]
+            answers[query_index] = self._answer_row(row, noisy_counts, leaf_estimates)
+        return answers
+
+    def _answer_row(
+        self, row: np.ndarray, noisy_counts: np.ndarray, leaf_estimates: np.ndarray
+    ) -> float:
+        support = np.nonzero(row)[0]
+        is_contiguous_counting = (
+            support.size > 0
+            and np.all(np.isclose(row[support], 1.0))
+            and support[-1] - support[0] + 1 == support.size
+        )
+        if is_contiguous_counting:
+            node_indices = self.decompose_range(int(support[0]), int(support[-1]) + 1)
+            return float(sum(noisy_counts[i] for i in node_indices))
+        return float(row @ leaf_estimates)
+
+    def _leaf_estimates(self, noisy_counts: np.ndarray) -> np.ndarray:
+        estimates = np.zeros(self._size, dtype=np.float64)
+        for node in self._nodes:
+            if node.width == 1:
+                estimates[node.lower] = noisy_counts[node.index]
+        return estimates

@@ -1,0 +1,306 @@
+"""Strategy matrices for matrix mechanisms (Li et al. [15]).
+
+A *strategy* ``A`` is a set of linear measurements that is answered with the
+Laplace mechanism; the workload is then reconstructed from the noisy
+measurements (Equation 2 of the paper).  This module builds the standard
+strategies used by the substrates and by the Blowfish mechanisms:
+
+* :func:`identity_strategy` — measure every cell;
+* :func:`total_strategy` — measure only the grand total;
+* :func:`hierarchical_strategy` — the interval tree of Hay et al. [10];
+* :func:`haar_strategy` — the Haar wavelet measurements behind Privelet [20];
+* :func:`block_diagonal_strategy` — glue independent strategies over disjoint
+  groups of coordinates (parallel composition), used by the Section 5
+  edge-space strategies.
+
+Each builder returns a :class:`Strategy`, which bundles the measurement
+matrix, its L1 sensitivity and, when cheaply available, an explicit
+pseudo-inverse (for strategies with orthogonal rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.sensitivity import unbounded_sensitivity
+from ..exceptions import MechanismError
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A measurement strategy for the matrix mechanism.
+
+    Attributes
+    ----------
+    matrix:
+        The ``p x k`` measurement matrix ``A``.
+    sensitivity:
+        The L1 sensitivity ``Δ_A`` used to scale the Laplace noise.  For
+        Blowfish mechanisms this is the *policy-specific* sensitivity of the
+        strategy, which for edge-space strategies is again the maximum column
+        L1 norm.
+    pseudo_inverse:
+        Optional explicit ``A⁺`` (``k x p``).  When omitted, consumers fall
+        back to an iterative least-squares solve, which is exact but slower.
+    name:
+        Label used in reports and ablations.
+    """
+
+    matrix: sp.csr_matrix
+    sensitivity: float
+    pseudo_inverse: Optional[sp.csr_matrix] = None
+    name: str = "strategy"
+
+    @property
+    def num_measurements(self) -> int:
+        """Number of measurements ``p`` (rows of ``A``)."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def num_columns(self) -> int:
+        """Number of data coordinates ``k`` (columns of ``A``)."""
+        return int(self.matrix.shape[1])
+
+    def apply_pseudo_inverse(self, values: np.ndarray) -> np.ndarray:
+        """Compute ``A⁺ values`` (explicitly or via sparse least squares)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.shape[0] != self.num_measurements:
+            raise MechanismError(
+                f"Expected {self.num_measurements} measurement values, got {values.shape[0]}"
+            )
+        if self.pseudo_inverse is not None:
+            return np.asarray(self.pseudo_inverse @ values).ravel()
+        result = sp.linalg.lsqr(self.matrix, values, atol=1e-12, btol=1e-12)
+        return np.asarray(result[0]).ravel()
+
+
+# ---------------------------------------------------------------------------
+# Elementary strategies.
+# ---------------------------------------------------------------------------
+def identity_strategy(size: int) -> Strategy:
+    """Measure every coordinate once (the Laplace-histogram strategy)."""
+    if size <= 0:
+        raise MechanismError(f"size must be positive, got {size}")
+    identity = sp.identity(size, format="csr", dtype=np.float64)
+    return Strategy(
+        matrix=identity, sensitivity=1.0, pseudo_inverse=identity, name="identity"
+    )
+
+
+def total_strategy(size: int) -> Strategy:
+    """Measure only the grand total (useful for tiny ablation studies)."""
+    if size <= 0:
+        raise MechanismError(f"size must be positive, got {size}")
+    matrix = sp.csr_matrix(np.ones((1, size), dtype=np.float64))
+    pseudo_inverse = sp.csr_matrix(np.full((size, 1), 1.0 / size))
+    return Strategy(
+        matrix=matrix, sensitivity=1.0, pseudo_inverse=pseudo_inverse, name="total"
+    )
+
+
+def hierarchical_strategy(size: int, branching: int = 2) -> Strategy:
+    """The interval-tree strategy of Hay et al. [10].
+
+    Rows are indicators of the intervals of a ``branching``-ary tree over the
+    ``size`` coordinates, from the root interval down to the unit intervals.
+    The sensitivity equals the number of levels (each coordinate appears once
+    per level).
+    """
+    if size <= 0:
+        raise MechanismError(f"size must be positive, got {size}")
+    if branching < 2:
+        raise MechanismError(f"branching must be at least 2, got {branching}")
+    rows: List[int] = []
+    cols: List[int] = []
+    levels = 0
+    intervals: List[Tuple[int, int]] = [(0, size)]
+    row_index = 0
+    while intervals:
+        levels += 1
+        next_intervals: List[Tuple[int, int]] = []
+        for lo, hi in intervals:
+            for position in range(lo, hi):
+                rows.append(row_index)
+                cols.append(position)
+            row_index += 1
+            if hi - lo > 1:
+                width = hi - lo
+                step = int(np.ceil(width / branching))
+                start = lo
+                while start < hi:
+                    end = min(start + step, hi)
+                    next_intervals.append((start, end))
+                    start = end
+        intervals = next_intervals
+    data = np.ones(len(rows), dtype=np.float64)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(row_index, size))
+    return Strategy(
+        matrix=matrix,
+        sensitivity=unbounded_sensitivity(matrix),
+        pseudo_inverse=None,
+        name=f"hierarchical(b={branching})",
+    )
+
+
+def haar_strategy(size: int) -> Strategy:
+    """The Haar wavelet strategy behind Privelet [20].
+
+    The coordinates are implicitly padded to the next power of two ``m``; the
+    strategy has one "total" row plus, for every dyadic interval of length at
+    least 2, a row that is ``+1`` on its left half and ``-1`` on its right
+    half, truncated back to the first ``size`` columns.  On a power-of-two
+    domain the rows are mutually orthogonal, so the pseudo-inverse is the
+    scaled transpose and is returned explicitly; for other sizes the
+    truncation breaks exact orthogonality and consumers fall back to least
+    squares.
+
+    The sensitivity is ``1 + log2(m)``: a unit change of one coordinate
+    touches the total row and exactly one row per dyadic level.
+    """
+    if size <= 0:
+        raise MechanismError(f"size must be positive, got {size}")
+    padded = 1 << int(np.ceil(np.log2(size))) if size > 1 else 1
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+
+    # Total row.
+    row_index = 0
+    for position in range(size):
+        rows.append(row_index)
+        cols.append(position)
+        data.append(1.0)
+    row_index += 1
+
+    # Dyadic difference rows over the padded domain, truncated to `size` columns.
+    length = padded
+    while length >= 2:
+        half = length // 2
+        for start in range(0, padded, length):
+            touched = False
+            for position in range(start, min(start + half, size)):
+                rows.append(row_index)
+                cols.append(position)
+                data.append(1.0)
+                touched = True
+            for position in range(start + half, min(start + length, size)):
+                rows.append(row_index)
+                cols.append(position)
+                data.append(-1.0)
+                touched = True
+            if touched:
+                row_index += 1
+            # Rows entirely in the zero padding are dropped.
+        length = half
+
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(row_index, size))
+    sensitivity = 1.0 + float(np.log2(padded)) if padded > 1 else 1.0
+    pseudo_inverse: Optional[sp.csr_matrix] = None
+    if padded == size:
+        row_norms = np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel()
+        scaling = sp.diags(1.0 / row_norms)
+        pseudo_inverse = sp.csr_matrix(matrix.T @ scaling)
+    return Strategy(
+        matrix=matrix,
+        sensitivity=sensitivity,
+        pseudo_inverse=pseudo_inverse,
+        name="haar",
+    )
+
+
+def kron_strategy(first: Strategy, second: Strategy, name: str = "") -> Strategy:
+    """Tensor (Kronecker) product of two strategies for product domains.
+
+    The sensitivity multiplies; an explicit pseudo-inverse is propagated when
+    both factors provide one (``(A ⊗ B)⁺ = A⁺ ⊗ B⁺``).
+    """
+    matrix = sp.csr_matrix(sp.kron(first.matrix, second.matrix, format="csr"))
+    pseudo_inverse = None
+    if first.pseudo_inverse is not None and second.pseudo_inverse is not None:
+        pseudo_inverse = sp.csr_matrix(
+            sp.kron(first.pseudo_inverse, second.pseudo_inverse, format="csr")
+        )
+    return Strategy(
+        matrix=matrix,
+        sensitivity=first.sensitivity * second.sensitivity,
+        pseudo_inverse=pseudo_inverse,
+        name=name or f"{first.name}x{second.name}",
+    )
+
+
+def block_diagonal_strategy(
+    blocks: Sequence[Tuple[Sequence[int], Strategy]],
+    num_columns: int,
+    name: str = "block",
+) -> Strategy:
+    """Glue per-group strategies into one strategy over ``num_columns`` coordinates.
+
+    Parameters
+    ----------
+    blocks:
+        Pairs ``(coordinates, strategy)``: the strategy's columns are mapped
+        onto the listed coordinate indices (in order).  Groups may not
+        overlap; coordinates not covered by any group are simply not measured.
+    num_columns:
+        Total number of coordinates of the resulting strategy.
+
+    Notes
+    -----
+    Because the groups are disjoint, a unit change in one coordinate only
+    touches that coordinate's group, so the overall sensitivity is the
+    maximum of the per-group sensitivities — this is exactly the parallel
+    composition the Section 5 strategies rely on.
+    """
+    seen: set[int] = set()
+    triples_rows: List[int] = []
+    triples_cols: List[int] = []
+    triples_data: List[float] = []
+    pinv_rows: List[int] = []
+    pinv_cols: List[int] = []
+    pinv_data: List[float] = []
+    have_all_pinv = True
+    row_offset = 0
+    sensitivity = 0.0
+    for coordinates, strategy in blocks:
+        coordinates = [int(c) for c in coordinates]
+        if len(coordinates) != strategy.num_columns:
+            raise MechanismError(
+                f"Group has {len(coordinates)} coordinates but the strategy expects "
+                f"{strategy.num_columns}"
+            )
+        overlap = seen.intersection(coordinates)
+        if overlap:
+            raise MechanismError(f"Groups overlap on coordinates {sorted(overlap)}")
+        seen.update(coordinates)
+        coo = strategy.matrix.tocoo()
+        triples_rows.extend((coo.row + row_offset).tolist())
+        triples_cols.extend([coordinates[c] for c in coo.col])
+        triples_data.extend(coo.data.tolist())
+        if strategy.pseudo_inverse is None:
+            have_all_pinv = False
+        else:
+            pcoo = strategy.pseudo_inverse.tocoo()
+            pinv_rows.extend([coordinates[r] for r in pcoo.row])
+            pinv_cols.extend((pcoo.col + row_offset).tolist())
+            pinv_data.extend(pcoo.data.tolist())
+        sensitivity = max(sensitivity, strategy.sensitivity)
+        row_offset += strategy.num_measurements
+
+    matrix = sp.csr_matrix(
+        (triples_data, (triples_rows, triples_cols)), shape=(row_offset, num_columns)
+    )
+    pseudo_inverse = None
+    if have_all_pinv:
+        pseudo_inverse = sp.csr_matrix(
+            (pinv_data, (pinv_rows, pinv_cols)), shape=(num_columns, row_offset)
+        )
+    return Strategy(
+        matrix=matrix,
+        sensitivity=sensitivity,
+        pseudo_inverse=pseudo_inverse,
+        name=name,
+    )

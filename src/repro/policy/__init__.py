@@ -1,0 +1,72 @@
+"""Blowfish policy graphs, the ``P_G`` transform, trees, spanners and metrics."""
+
+from .builders import (
+    bounded_dp_policy,
+    cycle_policy,
+    grid_policy,
+    line_policy,
+    policy_from_edges,
+    sensitive_attribute_policy,
+    star_policy,
+    threshold_policy,
+    unbounded_dp_policy,
+)
+from .graph import BOTTOM, PolicyGraph, is_bottom, neighboring_databases
+from .metric import (
+    cycle_embedding_lower_bound,
+    database_distance,
+    embedding_stretch_and_shrink,
+    graph_distance_matrix,
+    is_isometrically_embeddable_as_tree,
+    policy_distance,
+    tree_embedding,
+)
+from .spanner import (
+    SpannerApproximation,
+    approximate_with_bfs_tree,
+    approximate_with_grid_spanner,
+    approximate_with_line_spanner,
+    bfs_spanning_tree,
+    grid_spanner,
+    line_spanner,
+    line_spanner_groups,
+    stretch,
+)
+from .transform import PolicyTransform, TransformedInstance
+from .tree import TreeStructure, TreeTransform
+
+__all__ = [
+    "BOTTOM",
+    "PolicyGraph",
+    "PolicyTransform",
+    "SpannerApproximation",
+    "TransformedInstance",
+    "TreeStructure",
+    "TreeTransform",
+    "approximate_with_bfs_tree",
+    "approximate_with_grid_spanner",
+    "approximate_with_line_spanner",
+    "bfs_spanning_tree",
+    "bounded_dp_policy",
+    "cycle_embedding_lower_bound",
+    "cycle_policy",
+    "database_distance",
+    "embedding_stretch_and_shrink",
+    "graph_distance_matrix",
+    "grid_policy",
+    "grid_spanner",
+    "is_bottom",
+    "is_isometrically_embeddable_as_tree",
+    "line_policy",
+    "line_spanner",
+    "line_spanner_groups",
+    "neighboring_databases",
+    "policy_distance",
+    "policy_from_edges",
+    "sensitive_attribute_policy",
+    "star_policy",
+    "stretch",
+    "threshold_policy",
+    "tree_embedding",
+    "unbounded_dp_policy",
+]

@@ -1,0 +1,179 @@
+"""Constructors for the policy graphs studied in the paper.
+
+* :func:`line_policy` — the line graph ``G^1_k`` over a totally ordered domain
+  (e.g. binned salaries, Section 3);
+* :func:`threshold_policy` — the distance-threshold graph ``G^theta_{k^d}``
+  connecting cells within L1 distance ``theta`` (Section 5.1), which for
+  ``d = 2`` is the grid/geo-indistinguishability policy of Sections 1 and 3;
+* :func:`grid_policy` — shorthand for ``G^1_{k^d}``;
+* :func:`unbounded_dp_policy` — every value connected to ``⊥``
+  (recovers unbounded differential privacy);
+* :func:`bounded_dp_policy` — the complete graph over the domain
+  (recovers bounded differential privacy);
+* :func:`sensitive_attribute_policy` — the disconnected policy of Appendix E
+  where only a subset of attributes is sensitive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.domain import Domain
+from ..exceptions import PolicyError
+from .graph import BOTTOM, PolicyGraph, Vertex
+
+
+def line_policy(domain: Domain, attach_bottom: bool = False) -> PolicyGraph:
+    """The line-graph policy ``G^1_k`` over a one-dimensional ordered domain.
+
+    Adjacent domain values ``a_i`` and ``a_{i+1}`` are connected; far-apart
+    values are distinguishable.  Edges are ordered left to right, which is the
+    edge order the 1-D strategies of Section 5.2.1 rely on.
+
+    Parameters
+    ----------
+    domain:
+        One-dimensional domain.
+    attach_bottom:
+        When ``True`` also connect the last value to ``⊥`` (making the policy
+        unbounded-style); by default the policy is bounded, as in the paper.
+    """
+    if domain.ndim != 1:
+        raise PolicyError("line_policy requires a one-dimensional domain")
+    k = domain.size
+    edges: List[Tuple[Vertex, Vertex]] = [(i, i + 1) for i in range(k - 1)]
+    if attach_bottom:
+        edges.append((k - 1, BOTTOM))
+    return PolicyGraph(domain=domain, edges=edges, name=f"G^1_{k}")
+
+
+def threshold_policy(domain: Domain, theta: int) -> PolicyGraph:
+    """The distance-threshold policy ``G^theta_{k^d}`` (Section 5.1).
+
+    Two cells ``u`` and ``v`` are connected iff their L1 (Manhattan) distance
+    is at most ``theta``.  For ``d = 1, theta = 1`` this is the line graph;
+    for ``d = 2, theta = 1`` it is the grid graph used for location privacy.
+
+    Edge order: cells are visited in flat (row-major) order and, for each
+    cell, its neighbors within distance ``theta`` that have a *larger* flat
+    index are appended, offsets in lexicographic order.  The order is
+    deterministic, which the strategies and tests rely on.
+    """
+    if theta < 1:
+        raise PolicyError(f"theta must be at least 1, got {theta}")
+    offsets = _l1_ball_offsets(domain.ndim, theta)
+    shape = domain.shape
+    edges: List[Tuple[Vertex, Vertex]] = []
+    for cell in np.ndindex(*shape):
+        u = int(np.ravel_multi_index(cell, shape))
+        for offset in offsets:
+            neighbor = tuple(int(c) + int(o) for c, o in zip(cell, offset))
+            if not all(0 <= nc < extent for nc, extent in zip(neighbor, shape)):
+                continue
+            v = int(np.ravel_multi_index(neighbor, shape))
+            if v > u:
+                edges.append((u, v))
+    name = f"G^{theta}_{{{'x'.join(str(s) for s in shape)}}}"
+    return PolicyGraph(domain=domain, edges=edges, name=name)
+
+
+def _l1_ball_offsets(ndim: int, theta: int) -> List[Tuple[int, ...]]:
+    """Non-zero integer offsets with L1 norm at most ``theta`` in ``ndim`` dimensions."""
+    ranges = [range(-theta, theta + 1)] * ndim
+    offsets = []
+    for offset in itertools.product(*ranges):
+        norm = sum(abs(o) for o in offset)
+        if 0 < norm <= theta:
+            offsets.append(offset)
+    return offsets
+
+
+def grid_policy(domain: Domain) -> PolicyGraph:
+    """The unit grid policy ``G^1_{k^d}``: cells at L1 distance 1 are connected."""
+    return threshold_policy(domain, theta=1)
+
+
+def unbounded_dp_policy(domain: Domain) -> PolicyGraph:
+    """Policy whose edges are ``{(u, ⊥) : u in T}`` — unbounded differential privacy."""
+    edges: List[Tuple[Vertex, Vertex]] = [(u, BOTTOM) for u in range(domain.size)]
+    return PolicyGraph(domain=domain, edges=edges, name="UnboundedDP")
+
+
+def bounded_dp_policy(domain: Domain) -> PolicyGraph:
+    """Policy whose edges are all pairs ``{(u, v)}`` — bounded differential privacy."""
+    edges: List[Tuple[Vertex, Vertex]] = [
+        (u, v) for u in range(domain.size) for v in range(u + 1, domain.size)
+    ]
+    return PolicyGraph(domain=domain, edges=edges, name="BoundedDP")
+
+
+def star_policy(domain: Domain, center: int) -> PolicyGraph:
+    """A star policy: every value is connected only to the ``center`` value.
+
+    Not used directly by the paper's experiments but a handy tree policy for
+    tests and examples (it is the extreme ``theta -> infinity`` analogue of a
+    hub-and-spoke policy).
+    """
+    if not 0 <= center < domain.size:
+        raise PolicyError(f"center {center} is outside the domain")
+    edges = [(u, center) for u in range(domain.size) if u != center]
+    return PolicyGraph(domain=domain, edges=edges, name=f"Star[{center}]")
+
+
+def cycle_policy(domain: Domain) -> PolicyGraph:
+    """A cycle policy over a one-dimensional domain.
+
+    Cycles are the canonical example of a policy with *no* isometric L1
+    embedding (Section 4.3), used to demonstrate the negative result of
+    Theorem 4.4 and the limits of subgraph approximation.
+    """
+    if domain.ndim != 1:
+        raise PolicyError("cycle_policy requires a one-dimensional domain")
+    k = domain.size
+    if k < 3:
+        raise PolicyError("A cycle needs at least 3 vertices")
+    edges: List[Tuple[Vertex, Vertex]] = [(i, i + 1) for i in range(k - 1)]
+    edges.append((0, k - 1))
+    return PolicyGraph(domain=domain, edges=edges, name=f"Cycle_{k}")
+
+
+def sensitive_attribute_policy(
+    domain: Domain, sensitive_axes: Sequence[int]
+) -> PolicyGraph:
+    """The "sensitive attributes" policy of Appendix E.
+
+    The domain is a product of attributes ``A_1 x ... x A_d``; two cells are
+    connected iff they differ in exactly one attribute *and* that attribute is
+    sensitive.  The resulting policy graph is disconnected: cells that differ
+    on a non-sensitive attribute fall in different components, so the
+    non-sensitive attributes are disclosed exactly.
+    """
+    sensitive = sorted(set(int(a) for a in sensitive_axes))
+    for axis in sensitive:
+        if not 0 <= axis < domain.ndim:
+            raise PolicyError(f"Sensitive axis {axis} out of range for a {domain.ndim}-D domain")
+    if not sensitive:
+        raise PolicyError("At least one sensitive attribute is required")
+    shape = domain.shape
+    edges: List[Tuple[Vertex, Vertex]] = []
+    for cell in np.ndindex(*shape):
+        u = int(np.ravel_multi_index(cell, shape))
+        for axis in sensitive:
+            for value in range(cell[axis] + 1, shape[axis]):
+                neighbor = list(cell)
+                neighbor[axis] = value
+                v = int(np.ravel_multi_index(tuple(neighbor), shape))
+                edges.append((u, v))
+    return PolicyGraph(
+        domain=domain, edges=edges, name=f"Sensitive{tuple(sensitive)}"
+    )
+
+
+def policy_from_edges(
+    domain: Domain, edges: Iterable[Tuple[Vertex, Vertex]], name: str = "Custom"
+) -> PolicyGraph:
+    """Build a custom policy graph from explicit edges."""
+    return PolicyGraph(domain=domain, edges=edges, name=name)

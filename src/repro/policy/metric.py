@@ -1,0 +1,185 @@
+"""Policy metrics and L1 embeddings (Sections 3 and 4.3).
+
+A policy graph induces a metric on databases: moving one record from value
+``u`` to value ``v`` costs ``dist_G(u, v)`` (the shortest-path distance),
+and the privacy guarantee degrades by ``exp(ε · dist_G(u, v))`` (Equation 1
+of the paper).  Transformational equivalence for *all* mechanisms requires an
+isometric embedding of this graph metric into L1 (Definition 4.2 and
+Theorem 4.4); trees always admit one (the path-coordinate embedding built
+from ``P_G``) whereas cycles do not.
+
+This module provides the graph metric, the database metric, and stretch/
+shrink diagnostics for candidate vertex embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core.database import Database
+from ..exceptions import PolicyError
+from .graph import PolicyGraph, Vertex, is_bottom
+from .transform import PolicyTransform
+
+
+def graph_distance_matrix(policy: PolicyGraph, include_bottom: bool = False) -> np.ndarray:
+    """All-pairs shortest-path distances between domain vertices.
+
+    Disconnected pairs get ``numpy.inf``.  Quadratic in the domain size, so
+    intended for the small policies used in tests and in the lower-bound
+    experiments.
+    """
+    graph = policy.to_networkx()
+    size = policy.domain.size
+    nodes = list(range(size)) + (["bottom"] if include_bottom and policy.has_bottom else [])
+    index_of = {node: index for index, node in enumerate(nodes)}
+    distances = np.full((len(nodes), len(nodes)), np.inf)
+    np.fill_diagonal(distances, 0.0)
+    for source, lengths in nx.all_pairs_shortest_path_length(graph):
+        if source not in index_of:
+            continue
+        i = index_of[source]
+        for target, length in lengths.items():
+            if target in index_of:
+                distances[i, index_of[target]] = float(length)
+    return distances
+
+
+def policy_distance(policy: PolicyGraph, u: Vertex, v: Vertex) -> float:
+    """Shortest-path distance ``dist_G(u, v)`` between two domain values."""
+    return policy.shortest_path_length(u, v)
+
+
+def database_distance(
+    policy: PolicyGraph, first: Database, second: Database
+) -> float:
+    """Policy-induced distance between two databases of equal size.
+
+    The distance is the minimum total ``dist_G`` cost of moving records so
+    that ``first`` becomes ``second`` — an earth-mover distance with the
+    policy metric as ground cost, computed with a min-cost-flow.  Databases of
+    different sizes are at infinite distance unless the policy has ``⊥``
+    (records can then be added/removed at cost ``dist_G(u, ⊥)``), which the
+    flow handles through a virtual node.
+    """
+    if first.domain != second.domain or first.domain != policy.domain:
+        raise PolicyError("Databases and policy must share a domain")
+    difference = second.counts - first.counts
+    imbalance = float(difference.sum())
+    if abs(imbalance) > 1e-9 and not policy.has_bottom:
+        return float("inf")
+
+    graph = policy.to_networkx().copy()
+    flow_graph = nx.DiGraph()
+    for u, v in graph.edges():
+        flow_graph.add_edge(u, v, weight=1, capacity=np.iinfo(np.int64).max)
+        flow_graph.add_edge(v, u, weight=1, capacity=np.iinfo(np.int64).max)
+    demands: Dict[object, int] = {}
+    for vertex in range(policy.domain.size):
+        demand = int(round(difference[vertex]))
+        if demand != 0:
+            demands[vertex] = demand
+    if policy.has_bottom:
+        bottom_demand = -int(round(imbalance))
+        if bottom_demand != 0:
+            demands["bottom"] = demands.get("bottom", 0) + bottom_demand
+    for node, demand in demands.items():
+        if node not in flow_graph:
+            flow_graph.add_node(node)
+        flow_graph.nodes[node]["demand"] = demand
+    for node in flow_graph.nodes:
+        flow_graph.nodes[node].setdefault("demand", 0)
+    try:
+        cost = nx.min_cost_flow_cost(flow_graph)
+    except nx.NetworkXUnfeasible:
+        return float("inf")
+    return float(cost)
+
+
+def embedding_stretch_and_shrink(
+    policy: PolicyGraph, embedding: Dict[int, np.ndarray]
+) -> Tuple[float, float]:
+    """Stretch and shrink of a vertex embedding into L1 (Definition 4.2).
+
+    ``embedding`` maps every domain vertex to a real vector; the stretch is
+    the maximum ratio of embedded L1 distance to graph distance over all
+    vertex pairs, the shrink is the minimum such ratio.  An isometric
+    embedding has stretch = shrink = 1.
+    """
+    size = policy.domain.size
+    for vertex in range(size):
+        if vertex not in embedding:
+            raise PolicyError(f"Embedding is missing vertex {vertex}")
+    distances = graph_distance_matrix(policy)
+    stretch_value = 0.0
+    shrink_value = np.inf
+    for u in range(size):
+        for v in range(u + 1, size):
+            graph_d = distances[u, v]
+            if not np.isfinite(graph_d) or graph_d == 0:
+                continue
+            embedded_d = float(np.abs(embedding[u] - embedding[v]).sum())
+            ratio = embedded_d / graph_d
+            stretch_value = max(stretch_value, ratio)
+            shrink_value = min(shrink_value, ratio)
+    if not np.isfinite(shrink_value):
+        shrink_value = 1.0
+    return stretch_value, shrink_value
+
+
+def tree_embedding(policy: PolicyGraph) -> Dict[int, np.ndarray]:
+    """The isometric L1 embedding induced by ``P_G`` when the policy is a tree.
+
+    Vertex ``u`` is mapped to the transformed representation of the singleton
+    database ``{u}``; for trees these vectors are 0/1 indicators of the
+    root-path edges, and the L1 distance between two vertices' embeddings
+    equals their tree distance.  This is the constructive half of the remark
+    after Theorem 4.4 ("trees can be isometrically embedded into points in
+    L1, and the P_G we construct is one such mapping").
+    """
+    transform = PolicyTransform(policy)
+    if not transform.is_tree():
+        raise PolicyError("tree_embedding requires a (reduced) tree policy")
+    from .tree import TreeTransform  # local import to avoid a cycle
+
+    tree = TreeTransform(transform)
+    embedding: Dict[int, np.ndarray] = {}
+    size = policy.domain.size
+    for vertex in range(size):
+        counts = np.zeros(size)
+        counts[vertex] = 1.0
+        embedding[vertex] = tree.transform_database(
+            Database(domain=policy.domain, counts=counts)
+        )
+    return embedding
+
+
+def is_isometrically_embeddable_as_tree(policy: PolicyGraph) -> bool:
+    """Quick check: does the ``P_G`` tree embedding of this policy have stretch 1?
+
+    Only meaningful for (reduced) tree policies; returns ``False`` for
+    non-tree policies rather than attempting the (hard) general L1
+    embeddability decision.
+    """
+    try:
+        embedding = tree_embedding(policy)
+    except PolicyError:
+        return False
+    stretch_value, shrink_value = embedding_stretch_and_shrink(policy, embedding)
+    return bool(np.isclose(stretch_value, 1.0) and np.isclose(shrink_value, 1.0))
+
+
+def cycle_embedding_lower_bound(num_vertices: int) -> float:
+    """Best possible stretch of any deterministic tree embedding of a cycle.
+
+    Dropping any edge of an ``n``-cycle leaves its endpoints at distance
+    ``n - 1`` while they were at distance 1, so every spanning tree has
+    stretch exactly ``n - 1`` (Section 4.3).  Returned as a float for direct
+    comparison with :func:`stretch`-style quantities.
+    """
+    if num_vertices < 3:
+        raise PolicyError("A cycle needs at least 3 vertices")
+    return float(num_vertices - 1)

@@ -1,0 +1,257 @@
+"""Spanning-tree approximations of policy graphs (Lemma 4.5, Section 5.3).
+
+The subgraph-approximation lemma says that if every edge of a policy graph
+``G`` is connected by a path of length at most ``ℓ`` in a spanning tree
+``G'``, then an ``(ε, G')``-Blowfish mechanism run with budget ``ε / ℓ`` is
+``(ε, G)``-Blowfish private.  This module provides:
+
+* :func:`line_spanner` — the tree ``H^θ_k`` of Section 5.3.1 (red vertices at
+  intervals of θ, non-red vertices attached to the next red vertex), which
+  approximates ``G^θ_k`` with stretch at most 3;
+* :func:`grid_spanner` — the multi-dimensional analogue ``H^θ_{k^d}`` of
+  Section 5.3.2 (red corner vertices forming a coarse grid; interior vertices
+  attached to their block's red vertex);
+* :func:`bfs_spanning_tree` — a generic breadth-first spanning tree for
+  arbitrary connected policies;
+* :class:`SpannerApproximation` — a spanner together with its exact stretch,
+  ready to be used by the mechanisms (they divide ε by the stretch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core.domain import Domain
+from ..exceptions import PolicyError
+from .graph import BOTTOM, PolicyGraph, Vertex, is_bottom
+
+
+@dataclass(frozen=True)
+class SpannerApproximation:
+    """A spanning-tree policy together with its stretch over the original policy.
+
+    Attributes
+    ----------
+    original:
+        The policy graph ``G`` being approximated.
+    spanner:
+        The tree policy ``G'`` (same vertex set).
+    stretch:
+        ``ℓ = max_{(u,v) in E(G)} dist_{G'}(u, v)`` — a mechanism that is
+        ``(ε, G')``-private is ``(ℓ·ε, G)``-private (Lemma 4.5), so running it
+        with budget ``ε / ℓ`` yields ``(ε, G)``-Blowfish privacy
+        (Corollary 4.6).
+    """
+
+    original: PolicyGraph
+    spanner: PolicyGraph
+    stretch: int
+
+    def budget_for(self, epsilon: float) -> float:
+        """Privacy budget to hand the spanner mechanism for an ``(ε, G)`` guarantee."""
+        if epsilon <= 0:
+            raise PolicyError(f"epsilon must be positive, got {epsilon}")
+        return epsilon / float(self.stretch)
+
+
+# ---------------------------------------------------------------------------
+# 1-D spanner H^theta_k (Section 5.3.1, Figure 6).
+# ---------------------------------------------------------------------------
+def line_spanner(domain: Domain, theta: int) -> PolicyGraph:
+    """The spanning tree ``H^θ_k`` of the 1-D threshold policy ``G^θ_k``.
+
+    Using 0-based indices, the *red* vertices are ``θ-1, 2θ-1, ...`` (every
+    θ-th vertex); consecutive red vertices form a path, and every non-red
+    vertex is attached to the next red vertex to its right (the last,
+    possibly shorter, block attaches to the final vertex which is made red).
+    Every policy edge of ``G^θ_k`` (a pair at distance at most θ) is connected
+    in ``H^θ_k`` by a path of length at most 3.
+
+    Edges are ordered by their left endpoint, the order the Section 5.3.1
+    strategy relies on.
+    """
+    if domain.ndim != 1:
+        raise PolicyError("line_spanner requires a one-dimensional domain")
+    if theta < 1:
+        raise PolicyError(f"theta must be at least 1, got {theta}")
+    k = domain.size
+    red = _red_vertices_1d(k, theta)
+    red_set = set(red)
+    next_red = np.zeros(k, dtype=np.int64)
+    pointer = 0
+    for vertex in range(k):
+        while red[pointer] < vertex:
+            pointer += 1
+        next_red[vertex] = red[pointer]
+
+    edges: List[Tuple[Vertex, Vertex]] = []
+    for vertex in range(k):
+        if vertex in red_set:
+            # Connect this red vertex to the next red vertex (path of reds).
+            position = red.index(vertex)
+            if position + 1 < len(red):
+                edges.append((vertex, red[position + 1]))
+        else:
+            edges.append((vertex, int(next_red[vertex])))
+    return PolicyGraph(domain=domain, edges=edges, name=f"H^{theta}_{k}")
+
+
+def _red_vertices_1d(k: int, theta: int) -> List[int]:
+    """Red vertices of ``H^θ_k``: every θ-th vertex, always including the last."""
+    red = list(range(theta - 1, k, theta))
+    if not red or red[-1] != k - 1:
+        red.append(k - 1)
+    return red
+
+
+def line_spanner_groups(domain: Domain, theta: int) -> List[List[int]]:
+    """Edge-index groups of ``H^θ_k`` used by the Section 5.3.1 strategy.
+
+    Each group contains the edges attached to one red vertex from its left
+    (the non-red attachments of its block plus the red-red edge entering it).
+    Groups partition the edge set, so range queries within different groups
+    compose in parallel.
+    """
+    spanner = line_spanner(domain, theta)
+    red = _red_vertices_1d(domain.size, theta)
+    group_of_red: Dict[int, int] = {vertex: index for index, vertex in enumerate(red)}
+    groups: List[List[int]] = [[] for _ in red]
+    for edge_index, (u, v) in enumerate(spanner.edges):
+        right = max(int(u), int(v))
+        groups[group_of_red[right]].append(edge_index)
+    return [group for group in groups if group]
+
+
+# ---------------------------------------------------------------------------
+# Multi-dimensional spanner H^theta_{k^d} (Section 5.3.2, Figure 7).
+# ---------------------------------------------------------------------------
+def grid_spanner(domain: Domain, theta: int) -> PolicyGraph:
+    """The spanning tree-like subgraph ``H^θ_{k^d}`` of ``G^θ_{k^d}``.
+
+    The domain is divided into hyper-cubes with edge length ``max(1, θ // d)``;
+    the top corner of every block is a *red* vertex.  Interior vertices attach
+    to their block's red vertex ("internal" edges) and red vertices are
+    connected to neighbouring red vertices along each axis ("external" edges),
+    forming a coarse grid.  The result is connected and approximates
+    ``G^θ_{k^d}``; its exact stretch is computed by :func:`stretch`.
+
+    Note: unlike the 1-D case the result is generally *not* a tree (the red
+    vertices form a grid), so it is used with the matrix-mechanism route; the
+    paper uses the same structure.
+    """
+    if theta < 1:
+        raise PolicyError(f"theta must be at least 1, got {theta}")
+    d = domain.ndim
+    block = max(1, theta // d)
+    shape = domain.shape
+    edges: List[Tuple[Vertex, Vertex]] = []
+
+    def red_cell_of(cell: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(
+            min(((c // block) + 1) * block - 1, extent - 1)
+            for c, extent in zip(cell, shape)
+        )
+
+    # Internal edges: each non-red cell attaches to its block's red corner.
+    for cell in np.ndindex(*shape):
+        red = red_cell_of(cell)
+        if cell != red:
+            edges.append((domain.index_of(cell), domain.index_of(red)))
+
+    # External edges: red corners form a coarse grid along each axis.
+    red_coordinates_per_axis = [
+        sorted({min(((c // block) + 1) * block - 1, extent - 1) for c in range(extent)})
+        for extent in shape
+    ]
+    red_cells = list(np.stack(np.meshgrid(*red_coordinates_per_axis, indexing="ij"), axis=-1).reshape(-1, d))
+    red_index = {tuple(int(c) for c in cell): domain.index_of(cell) for cell in red_cells}
+    for cell in red_index:
+        for axis in range(d):
+            coords = red_coordinates_per_axis[axis]
+            position = coords.index(cell[axis])
+            if position + 1 < len(coords):
+                neighbor = list(cell)
+                neighbor[axis] = coords[position + 1]
+                edges.append((red_index[cell], red_index[tuple(neighbor)]))
+    name = f"H^{theta}_{{{'x'.join(str(s) for s in shape)}}}"
+    return PolicyGraph(domain=domain, edges=edges, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Generic spanners and stretch computation.
+# ---------------------------------------------------------------------------
+def bfs_spanning_tree(policy: PolicyGraph, root: int = 0) -> PolicyGraph:
+    """A breadth-first spanning tree of a connected policy graph.
+
+    ``⊥`` (if present) is kept attached through the BFS tree as well.  The
+    result is a valid policy to use with Lemma 4.5 once its stretch is known.
+    """
+    graph = policy.to_networkx()
+    if graph.number_of_nodes() == 0:
+        return PolicyGraph(domain=policy.domain, edges=[], name="BFSTree")
+    if not nx.is_connected(graph):
+        raise PolicyError("bfs_spanning_tree requires a connected policy graph")
+    source = "bottom" if policy.has_bottom else int(root)
+    tree = nx.bfs_tree(graph, source)
+    edges: List[Tuple[Vertex, Vertex]] = []
+    for u, v in tree.edges():
+        a: Vertex = BOTTOM if u == "bottom" else int(u)
+        b: Vertex = BOTTOM if v == "bottom" else int(v)
+        edges.append((a, b))
+    name = f"BFSTree({policy.name})" if policy.name else "BFSTree"
+    return PolicyGraph(domain=policy.domain, edges=edges, name=name)
+
+
+def stretch(original: PolicyGraph, spanner: PolicyGraph) -> int:
+    """Exact stretch ``ℓ = max_{(u,v) in E(original)} dist_spanner(u, v)``.
+
+    Uses per-source BFS on the spanner restricted to the sources that actually
+    appear as edge endpoints, so the cost is ``O(#sources * |E(spanner)|)``.
+    Raises if some original edge's endpoints are disconnected in the spanner.
+    """
+    spanner_graph = spanner.to_networkx()
+    sources = set()
+    for u, v in original.edges:
+        sources.add("bottom" if is_bottom(u) else int(u))
+    lengths_cache: Dict[object, Dict[object, int]] = {}
+    worst = 0
+    for u, v in original.edges:
+        a = "bottom" if is_bottom(u) else int(u)
+        b = "bottom" if is_bottom(v) else int(v)
+        if a not in lengths_cache:
+            lengths_cache[a] = dict(nx.single_source_shortest_path_length(spanner_graph, a))
+        distance = lengths_cache[a].get(b)
+        if distance is None:
+            raise PolicyError(
+                f"Spanner does not connect the endpoints of original edge ({u}, {v})"
+            )
+        worst = max(worst, int(distance))
+    return worst
+
+
+def approximate_with_line_spanner(policy: PolicyGraph, theta: int) -> SpannerApproximation:
+    """Build ``H^θ_k`` for a 1-D threshold policy and package it with its stretch."""
+    spanner = line_spanner(policy.domain, theta)
+    return SpannerApproximation(
+        original=policy, spanner=spanner, stretch=stretch(policy, spanner)
+    )
+
+
+def approximate_with_grid_spanner(policy: PolicyGraph, theta: int) -> SpannerApproximation:
+    """Build ``H^θ_{k^d}`` for a threshold policy and package it with its stretch."""
+    spanner = grid_spanner(policy.domain, theta)
+    return SpannerApproximation(
+        original=policy, spanner=spanner, stretch=stretch(policy, spanner)
+    )
+
+
+def approximate_with_bfs_tree(policy: PolicyGraph, root: int = 0) -> SpannerApproximation:
+    """Build a BFS spanning tree of ``policy`` and package it with its stretch."""
+    spanner = bfs_spanning_tree(policy, root=root)
+    return SpannerApproximation(
+        original=policy, spanner=spanner, stretch=stretch(policy, spanner)
+    )

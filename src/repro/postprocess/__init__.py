@@ -1,0 +1,24 @@
+"""Free (budget-less) post-processing: consistency and least-squares inference."""
+
+from .hierarchy import consistent_leaf_estimates, consistent_tree_counts
+from .isotonic import consistent_prefix_sums, distinct_block_count, isotonic_regression
+from .least_squares import (
+    least_squares_estimate,
+    project_non_negative,
+    rescale_to_total,
+    round_to_integers,
+    weighted_least_squares_estimate,
+)
+
+__all__ = [
+    "consistent_leaf_estimates",
+    "consistent_prefix_sums",
+    "consistent_tree_counts",
+    "distinct_block_count",
+    "isotonic_regression",
+    "least_squares_estimate",
+    "project_non_negative",
+    "rescale_to_total",
+    "round_to_integers",
+    "weighted_least_squares_estimate",
+]

@@ -1,0 +1,121 @@
+"""Isotonic (monotone) consistency via the pool-adjacent-violators algorithm.
+
+Section 5.4.2 of the paper observes that when the policy is the line graph,
+the transformed database ``x_G`` is the vector of prefix sums and is therefore
+*non-decreasing*.  Projecting the noisy estimate onto the monotone cone (the
+"ConsistentEst" post-processing, following Hay et al. [10]) never increases
+the L2 error and collapses it on sparse data, where many prefix sums are
+equal.  The projection is computed with the classic pool-adjacent-violators
+algorithm (PAVA), which runs in linear time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+
+def isotonic_regression(
+    values: np.ndarray, weights: Optional[np.ndarray] = None, increasing: bool = True
+) -> np.ndarray:
+    """Weighted L2 projection of ``values`` onto the monotone cone.
+
+    Parameters
+    ----------
+    values:
+        The noisy sequence to make monotone.
+    weights:
+        Optional positive weights (all ones by default).
+    increasing:
+        Project onto non-decreasing sequences (default) or non-increasing
+        ones.
+
+    Returns
+    -------
+    numpy.ndarray
+        The closest (weighted L2) monotone sequence.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return values.copy()
+    if weights is None:
+        weights = np.ones_like(values)
+    else:
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.shape != values.shape:
+            raise ReproError("weights must have the same shape as values")
+        if np.any(weights <= 0):
+            raise ReproError("weights must be strictly positive")
+
+    if not increasing:
+        return isotonic_regression(values[::-1], weights[::-1], increasing=True)[::-1]
+
+    # Pool adjacent violators: maintain a stack of blocks (mean, weight, count).
+    block_means: list[float] = []
+    block_weights: list[float] = []
+    block_counts: list[int] = []
+    for value, weight in zip(values, weights):
+        block_means.append(float(value))
+        block_weights.append(float(weight))
+        block_counts.append(1)
+        while len(block_means) > 1 and block_means[-2] > block_means[-1]:
+            merged_weight = block_weights[-2] + block_weights[-1]
+            merged_mean = (
+                block_means[-2] * block_weights[-2] + block_means[-1] * block_weights[-1]
+            ) / merged_weight
+            merged_count = block_counts[-2] + block_counts[-1]
+            for stack in (block_means, block_weights, block_counts):
+                stack.pop()
+                stack.pop()
+            block_means.append(merged_mean)
+            block_weights.append(merged_weight)
+            block_counts.append(merged_count)
+
+    result = np.empty_like(values)
+    position = 0
+    for mean, count in zip(block_means, block_counts):
+        result[position : position + count] = mean
+        position += count
+    return result
+
+
+def consistent_prefix_sums(
+    noisy_prefix_sums: np.ndarray,
+    total: Optional[float] = None,
+    non_negative: bool = True,
+) -> np.ndarray:
+    """Post-process noisy prefix sums into a consistent, monotone estimate.
+
+    This is the "ConsistentEst" step used by the Blowfish mechanisms on line
+    (and line-spanner) policies:
+
+    1. project onto non-decreasing sequences (PAVA);
+    2. optionally clamp below at 0 (counts cannot be negative);
+    3. optionally clamp above at the publicly known database size ``total``.
+    """
+    estimate = isotonic_regression(noisy_prefix_sums, increasing=True)
+    if non_negative:
+        estimate = np.maximum(estimate, 0.0)
+    if total is not None:
+        estimate = np.minimum(estimate, float(total))
+        # Clamping can only break monotonicity at the ends, where min/max with a
+        # constant preserves order, so the estimate is still non-decreasing.
+    return estimate
+
+
+def distinct_block_count(values: np.ndarray, tolerance: float = 1e-9) -> int:
+    """Number of constant blocks in a (monotone) sequence.
+
+    Hay et al.'s analysis bounds the post-consistency error by the number of
+    *distinct* values in the true sequence; for prefix sums that number equals
+    the number of non-zero histogram cells (Section 5.4.2).  The helper is
+    used by the tests and the ablation benchmarks.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return 0
+    changes = np.abs(np.diff(values)) > tolerance
+    return int(changes.sum()) + 1

@@ -1,0 +1,104 @@
+"""Least-squares inference over noisy linear measurements.
+
+Several mechanisms release noisy answers ``y ≈ A x`` to a strategy ``A`` and
+then infer a consistent estimate of ``x`` (or of a derived workload) by
+ordinary least squares.  The matrix mechanism, the hierarchical mechanism with
+consistency, and the Blowfish strategies that measure overlapping edge-ranges
+all reduce to this primitive.  Post-processing never consumes privacy budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..exceptions import ReproError
+
+
+def least_squares_estimate(
+    measurement_matrix: sp.spmatrix | np.ndarray,
+    noisy_measurements: np.ndarray,
+    regulariser: float = 0.0,
+) -> np.ndarray:
+    """Minimum-norm least-squares solution of ``A x ≈ y``.
+
+    Parameters
+    ----------
+    measurement_matrix:
+        The strategy ``A`` (``p x k``).
+    noisy_measurements:
+        The noisy answers ``y`` (length ``p``).
+    regulariser:
+        Optional Tikhonov damping; 0 gives the plain pseudo-inverse solution.
+    """
+    noisy_measurements = np.asarray(noisy_measurements, dtype=np.float64).ravel()
+    if sp.issparse(measurement_matrix):
+        matrix = sp.csr_matrix(measurement_matrix)
+    else:
+        matrix = sp.csr_matrix(np.asarray(measurement_matrix, dtype=np.float64))
+    if matrix.shape[0] != noisy_measurements.shape[0]:
+        raise ReproError(
+            f"Measurement matrix has {matrix.shape[0]} rows but {noisy_measurements.shape[0]} "
+            "measurements were provided"
+        )
+    result = spla.lsqr(
+        matrix, noisy_measurements, damp=float(regulariser), atol=1e-12, btol=1e-12
+    )
+    return np.asarray(result[0]).ravel()
+
+
+def weighted_least_squares_estimate(
+    measurement_matrix: sp.spmatrix | np.ndarray,
+    noisy_measurements: np.ndarray,
+    variances: np.ndarray,
+) -> np.ndarray:
+    """Generalised least squares with per-measurement variances.
+
+    Measurements taken with different noise scales (e.g. different ε shares)
+    should be weighted by inverse variance before solving.
+    """
+    variances = np.asarray(variances, dtype=np.float64).ravel()
+    noisy_measurements = np.asarray(noisy_measurements, dtype=np.float64).ravel()
+    if np.any(variances <= 0):
+        raise ReproError("All measurement variances must be strictly positive")
+    if variances.shape != noisy_measurements.shape:
+        raise ReproError("variances must have one entry per measurement")
+    weights = 1.0 / np.sqrt(variances)
+    if sp.issparse(measurement_matrix):
+        matrix = sp.csr_matrix(measurement_matrix)
+    else:
+        matrix = sp.csr_matrix(np.asarray(measurement_matrix, dtype=np.float64))
+    scaled_matrix = sp.diags(weights) @ matrix
+    scaled_measurements = weights * noisy_measurements
+    result = spla.lsqr(scaled_matrix, scaled_measurements, atol=1e-12, btol=1e-12)
+    return np.asarray(result[0]).ravel()
+
+
+def project_non_negative(values: np.ndarray) -> np.ndarray:
+    """Clamp an estimated histogram at zero (counts cannot be negative)."""
+    return np.maximum(np.asarray(values, dtype=np.float64), 0.0)
+
+
+def round_to_integers(values: np.ndarray) -> np.ndarray:
+    """Round an estimated histogram to integers (counts are integral)."""
+    return np.rint(np.asarray(values, dtype=np.float64))
+
+
+def rescale_to_total(values: np.ndarray, total: Optional[float]) -> np.ndarray:
+    """Rescale a non-negative estimate so that it sums to a known total.
+
+    Useful when the database size ``n`` is public (bounded policies), in which
+    case matching it is free post-processing.
+    """
+    values = project_non_negative(values)
+    if total is None:
+        return values
+    current = float(values.sum())
+    if current <= 0:
+        if values.size == 0:
+            return values
+        return np.full_like(values, float(total) / values.size)
+    return values * (float(total) / current)

@@ -1,0 +1,87 @@
+"""Tests for :mod:`repro.accounting.composition`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting import (
+    PrivacyAccountant,
+    parallel_composition,
+    sequential_composition,
+)
+from repro.exceptions import PrivacyBudgetError
+
+
+class TestCompositionHelpers:
+    def test_sequential_adds(self):
+        assert sequential_composition([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_parallel_takes_max(self):
+        assert parallel_composition([0.1, 0.5, 0.3]) == 0.5
+
+    def test_parallel_empty_is_zero(self):
+        assert parallel_composition([]) == 0.0
+
+    def test_invalid_epsilons_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            sequential_composition([0.1, 0.0])
+        with pytest.raises(PrivacyBudgetError):
+            parallel_composition([-0.1])
+
+
+class TestPrivacyAccountant:
+    def test_sequential_charges_add(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge("stage-1", 0.25)
+        accountant.charge("stage-2", 0.75)
+        assert accountant.spent() == pytest.approx(1.0)
+        assert accountant.remaining() == pytest.approx(0.0)
+
+    def test_overdraft_rejected(self):
+        accountant = PrivacyAccountant(total_epsilon=0.5)
+        accountant.charge("stage-1", 0.4)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge("stage-2", 0.2)
+
+    def test_parallel_charges_take_max(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge("group-a", 0.8, partition=["a"])
+        accountant.charge("group-b", 0.8, partition=["b"])
+        assert accountant.spent() == pytest.approx(0.8)
+
+    def test_overlapping_partitions_add(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge("first", 0.4, partition=["a", "b"])
+        accountant.charge("second", 0.4, partition=["b", "c"])
+        assert accountant.spent() == pytest.approx(0.8)
+
+    def test_mixed_sequential_and_parallel(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge("global", 0.2)
+        accountant.charge("group-a", 0.5, partition=["a"])
+        accountant.charge("group-b", 0.5, partition=["b"])
+        assert accountant.spent() == pytest.approx(0.7)
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyAccountant(total_epsilon=0.0)
+
+    def test_invalid_charge_rejected(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge("bad", 0.0)
+
+    def test_dawa_style_budget_fits(self):
+        # The DAWA split (rho*eps partitioning + (1-rho)*eps measurement) must
+        # exactly exhaust the budget.
+        accountant = PrivacyAccountant(total_epsilon=0.1)
+        accountant.charge("partition", 0.025)
+        accountant.charge("measure", 0.075)
+        assert accountant.remaining() == pytest.approx(0.0, abs=1e-12)
+
+    def test_slab_strategy_budget_is_parallel(self):
+        # The Section 5.2.2 strategy measures disjoint slabs, each at full eps.
+        accountant = PrivacyAccountant(total_epsilon=0.1)
+        for slab in range(10):
+            accountant.charge(f"slab-{slab}", 0.1, partition=[f"slab-{slab}"])
+        assert accountant.spent() == pytest.approx(0.1)

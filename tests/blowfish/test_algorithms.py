@@ -1,0 +1,179 @@
+"""Tests for :mod:`repro.blowfish.algorithms` (the named Section 6 algorithms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    identity_workload,
+    mean_squared_error,
+    random_range_queries_workload,
+)
+from repro.exceptions import MechanismError
+from repro.blowfish import (
+    blowfish_transformed_consistent,
+    blowfish_transformed_dawa,
+    blowfish_transformed_laplace,
+    blowfish_transformed_laplace_matrix,
+    blowfish_transformed_privelet_grid,
+    dp_dawa_baseline,
+    dp_laplace_baseline,
+    dp_privelet_baseline,
+)
+from repro.policy import approximate_with_line_spanner, grid_policy, line_policy, threshold_policy
+
+
+@pytest.fixture
+def sparse_line_instance():
+    domain = Domain((512,))
+    counts = np.zeros(512)
+    counts[[5, 100, 311, 500]] = [20.0, 70.0, 45.0, 10.0]
+    database = Database(domain, counts, name="sparse512")
+    policy = line_policy(domain)
+    workload = random_range_queries_workload(domain, 300, random_state=2)
+    return policy, workload, database
+
+
+class TestBaselineConstructors:
+    def test_names(self):
+        assert dp_laplace_baseline(1.0).name == "Laplace"
+        assert dp_privelet_baseline(1.0, (64,)).name == "Privelet"
+        assert dp_dawa_baseline(1.0, (64,)).name == "Dawa"
+
+    def test_baselines_use_half_epsilon(self):
+        assert dp_laplace_baseline(1.0).mechanism.epsilon == pytest.approx(0.5)
+        assert dp_privelet_baseline(1.0, (64,)).mechanism.epsilon == pytest.approx(0.5)
+        assert dp_dawa_baseline(1.0, (64,)).mechanism.epsilon == pytest.approx(0.5)
+
+    def test_custom_dp_fraction(self):
+        assert dp_laplace_baseline(1.0, dp_fraction=1.0).mechanism.epsilon == 1.0
+
+    def test_data_dependence_flags(self):
+        assert dp_laplace_baseline(1.0).data_dependent is False
+        assert dp_dawa_baseline(1.0, (64,)).data_dependent is True
+
+
+class TestBlowfishConstructors:
+    def test_names(self, line_policy_16):
+        assert blowfish_transformed_laplace(line_policy_16, 1.0).name == "Transformed+Laplace"
+        assert (
+            blowfish_transformed_consistent(line_policy_16, 1.0).name
+            == "Transformed+ConsistentEst"
+        )
+        assert blowfish_transformed_dawa(line_policy_16, 1.0).name == "Trans+Dawa+Cons"
+        assert (
+            blowfish_transformed_dawa(line_policy_16, 1.0, consistency=False).name
+            == "Trans+Dawa"
+        )
+
+    def test_grid_constructor_name(self, grid_policy_5):
+        assert (
+            blowfish_transformed_privelet_grid(grid_policy_5, 1.0).name
+            == "Transformed+Privelet"
+        )
+
+    def test_matrix_variant_handles_any_policy(self, grid_policy_5, grid_database_5, rng):
+        algorithm = blowfish_transformed_laplace_matrix(grid_policy_5, 1e9)
+        workload = identity_workload(grid_policy_5.domain)
+        answers = algorithm.answer(workload, grid_database_5, rng)
+        assert np.allclose(answers, grid_database_5.counts, atol=1e-2)
+
+    def test_theta_argument_builds_spanner(self, theta_policy_16):
+        algorithm = blowfish_transformed_laplace(theta_policy_16, 0.9, theta=3)
+        assert algorithm.mechanism.spanner is not None
+        assert algorithm.mechanism.effective_epsilon == pytest.approx(0.3)
+
+    def test_explicit_spanner_used(self, theta_policy_16):
+        spanner = approximate_with_line_spanner(theta_policy_16, 3)
+        algorithm = blowfish_transformed_dawa(theta_policy_16, 0.9, spanner=spanner)
+        assert algorithm.mechanism.spanner is spanner
+
+    def test_theta_on_2d_policy_rejected(self, grid_policy_5):
+        with pytest.raises(MechanismError):
+            blowfish_transformed_laplace(grid_policy_5, 1.0, theta=2)
+
+
+class TestQualitativeOrdering:
+    def test_1d_range_blowfish_beats_baselines(self, sparse_line_instance, rng):
+        # The headline claim of Figure 8(c/g): 2-3 orders of magnitude improvement.
+        policy, workload, database = sparse_line_instance
+        epsilon = 0.1
+        true_answers = workload.answer(database)
+
+        def mean_error(algorithm, trials=3):
+            return np.mean(
+                [
+                    mean_squared_error(true_answers, algorithm.answer(workload, database, rng))
+                    for _ in range(trials)
+                ]
+            )
+
+        privelet_error = mean_error(dp_privelet_baseline(epsilon, (512,)))
+        blowfish_error = mean_error(blowfish_transformed_laplace(policy, epsilon))
+        assert blowfish_error < privelet_error / 50
+
+    def test_hist_transformed_laplace_beats_dp_laplace(self, rng):
+        # Figure 8(b/f): Transformed+Laplace is about a factor 2 better than the
+        # eps/2 Laplace baseline, regardless of the data.
+        domain = Domain((256,))
+        database = Database(domain, np.full(256, 5.0))
+        policy = line_policy(domain)
+        workload = identity_workload(domain)
+        epsilon = 0.5
+        true_answers = workload.answer(database)
+
+        def mean_error(algorithm, trials=12):
+            return np.mean(
+                [
+                    mean_squared_error(true_answers, algorithm.answer(workload, database, rng))
+                    for _ in range(trials)
+                ]
+            )
+
+        laplace_error = mean_error(dp_laplace_baseline(epsilon))
+        blowfish_error = mean_error(blowfish_transformed_laplace(policy, epsilon))
+        assert blowfish_error < laplace_error
+        assert blowfish_error == pytest.approx(laplace_error / 2, rel=0.5)
+
+    def test_consistency_beats_plain_transformed_on_sparse(self, sparse_line_instance, rng):
+        policy, workload, database = sparse_line_instance
+        epsilon = 0.1
+        true_answers = workload.answer(database)
+
+        def mean_error(algorithm, trials=4):
+            return np.mean(
+                [
+                    mean_squared_error(true_answers, algorithm.answer(workload, database, rng))
+                    for _ in range(trials)
+                ]
+            )
+
+        assert mean_error(blowfish_transformed_consistent(policy, epsilon)) < mean_error(
+            blowfish_transformed_laplace(policy, epsilon)
+        )
+
+    def test_2d_transformed_privelet_beats_privelet(self, rng):
+        # Figure 8(a/e): Transformed+Privelet beats the eps/2-DP Privelet baseline.
+        domain = Domain((20, 20))
+        policy = grid_policy(domain)
+        counts = np.zeros(400)
+        counts[rng.integers(0, 400, 60)] = rng.integers(1, 50, 60)
+        database = Database(domain, counts, name="grid20")
+        workload = random_range_queries_workload(domain, 200, random_state=9)
+        epsilon = 0.1
+        true_answers = workload.answer(database)
+
+        def mean_error(algorithm, trials=3):
+            return np.mean(
+                [
+                    mean_squared_error(true_answers, algorithm.answer(workload, database, rng))
+                    for _ in range(trials)
+                ]
+            )
+
+        assert mean_error(blowfish_transformed_privelet_grid(policy, epsilon)) < mean_error(
+            dp_privelet_baseline(epsilon, (20, 20))
+        )

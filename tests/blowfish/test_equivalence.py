@@ -1,0 +1,122 @@
+"""Tests for :mod:`repro.blowfish.equivalence` (executable theorem statements)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    cumulative_workload,
+    identity_workload,
+    random_range_queries_workload,
+)
+from repro.exceptions import PolicyError
+from repro.blowfish import (
+    cycle_has_no_isometric_tree_embedding,
+    subgraph_approximation_budget,
+    verify_answer_preservation,
+    verify_sensitivity_equality,
+    verify_tree_neighbor_preservation,
+)
+from repro.policy import (
+    approximate_with_bfs_tree,
+    approximate_with_line_spanner,
+    cycle_policy,
+    grid_policy,
+    line_policy,
+    star_policy,
+    threshold_policy,
+    unbounded_dp_policy,
+)
+
+
+class TestAnswerPreservation:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda d: line_policy(d),
+            lambda d: threshold_policy(d, 3),
+            lambda d: unbounded_dp_policy(d),
+            lambda d: star_policy(d, center=2),
+        ],
+    )
+    def test_1d_policies(self, policy_factory, rng):
+        domain = Domain((24,))
+        policy = policy_factory(domain)
+        database = Database(domain, rng.integers(0, 9, 24).astype(float))
+        for workload in (
+            identity_workload(domain),
+            cumulative_workload(domain),
+            random_range_queries_workload(domain, 20, random_state=0),
+        ):
+            assert verify_answer_preservation(policy, workload, database)
+
+    def test_grid_policy(self, grid_policy_5, grid_database_5):
+        workload = random_range_queries_workload(grid_policy_5.domain, 15, random_state=1)
+        assert verify_answer_preservation(grid_policy_5, workload, grid_database_5)
+
+    def test_cycle_policy(self):
+        domain = Domain((9,))
+        policy = cycle_policy(domain)
+        database = Database(domain, np.arange(9, dtype=float))
+        assert verify_answer_preservation(policy, identity_workload(domain), database)
+
+
+class TestSensitivityEquality:
+    @pytest.mark.parametrize("theta", [1, 2, 4])
+    def test_lemma_4_7_for_threshold_policies(self, theta):
+        domain = Domain((20,))
+        policy = threshold_policy(domain, theta)
+        assert verify_sensitivity_equality(policy, identity_workload(domain))
+        assert verify_sensitivity_equality(policy, cumulative_workload(domain))
+
+    def test_lemma_4_7_for_grid(self, grid_policy_5):
+        workload = random_range_queries_workload(grid_policy_5.domain, 12, random_state=3)
+        assert verify_sensitivity_equality(grid_policy_5, workload)
+
+
+class TestTreeNeighborPreservation:
+    def test_line_policy(self, line_policy_16, dense_database_16):
+        assert verify_tree_neighbor_preservation(line_policy_16, dense_database_16)
+
+    def test_star_policy(self):
+        domain = Domain((10,))
+        policy = star_policy(domain, center=4)
+        database = Database(domain, np.full(10, 2.0))
+        assert verify_tree_neighbor_preservation(policy, database)
+
+    def test_empty_database_rejected(self, line_policy_16):
+        with pytest.raises(PolicyError):
+            verify_tree_neighbor_preservation(
+                line_policy_16, Database(line_policy_16.domain, np.zeros(16))
+            )
+
+
+class TestSubgraphApproximation:
+    def test_budget_matches_stretch(self):
+        domain = Domain((40,))
+        policy = threshold_policy(domain, 4)
+        spanner = approximate_with_line_spanner(policy, 4)
+        budget, stretch = subgraph_approximation_budget(spanner, 0.9)
+        assert stretch == spanner.stretch
+        assert budget == pytest.approx(0.9 / stretch)
+
+    def test_cycle_spanner_budget_is_tiny(self):
+        policy = cycle_policy(Domain((20,)))
+        spanner = approximate_with_bfs_tree(policy)
+        budget, stretch = subgraph_approximation_budget(spanner, 1.0)
+        assert stretch == 19
+        assert budget == pytest.approx(1.0 / 19)
+
+
+class TestNegativeResult:
+    def test_cycle_has_no_isometric_embedding(self):
+        assert cycle_has_no_isometric_tree_embedding(cycle_policy(Domain((8,))))
+
+    def test_line_policy_has_isometric_embedding(self):
+        assert not cycle_has_no_isometric_tree_embedding(line_policy(Domain((8,))))
+
+    def test_grid_policy_counts_as_non_embeddable(self, grid_policy_5):
+        assert cycle_has_no_isometric_tree_embedding(grid_policy_5)

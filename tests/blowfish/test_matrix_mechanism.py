@@ -1,0 +1,146 @@
+"""Tests for :mod:`repro.blowfish.matrix_mechanism` (Theorem 4.1 mechanisms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    cumulative_workload,
+    identity_workload,
+    mean_squared_error,
+    random_range_queries_workload,
+)
+from repro.exceptions import MechanismError, PolicyError
+from repro.mechanisms import PriveletMechanism, identity_strategy
+from repro.blowfish import (
+    PolicyMatrixMechanism,
+    transformed_laplace_mechanism,
+    transformed_privelet_grid_mechanism,
+)
+from repro.policy import cycle_policy, grid_policy, line_policy
+
+
+class TestPolicyMatrixMechanism:
+    def test_unbiased_at_huge_epsilon(self, line_policy_16, dense_database_16, rng):
+        workload = cumulative_workload(line_policy_16.domain)
+        mechanism = PolicyMatrixMechanism(line_policy_16, epsilon=1e9)
+        answers = mechanism.answer(workload, dense_database_16, rng)
+        assert np.allclose(answers, workload.answer(dense_database_16), atol=1e-3)
+
+    def test_strategy_column_count_validated(self, line_policy_16):
+        with pytest.raises(MechanismError):
+            PolicyMatrixMechanism(line_policy_16, 1.0, strategy=identity_strategy(3))
+
+    def test_budget_fraction_validated(self, line_policy_16):
+        with pytest.raises(MechanismError):
+            PolicyMatrixMechanism(line_policy_16, 1.0, budget_fraction=0.0)
+        with pytest.raises(MechanismError):
+            PolicyMatrixMechanism(line_policy_16, 1.0, budget_fraction=1.5)
+
+    def test_domain_mismatch_rejected(self, line_policy_16):
+        mechanism = PolicyMatrixMechanism(line_policy_16, 1.0)
+        other_domain = Domain((8,))
+        with pytest.raises(PolicyError):
+            mechanism.answer(
+                identity_workload(other_domain), Database(other_domain, np.ones(8)), None
+            )
+
+    def test_works_for_non_tree_policies(self, grid_policy_5, grid_database_5, rng):
+        workload = random_range_queries_workload(grid_policy_5.domain, 20, random_state=1)
+        mechanism = PolicyMatrixMechanism(grid_policy_5, epsilon=1e9)
+        answers = mechanism.answer(workload, grid_database_5, rng)
+        assert np.allclose(answers, workload.answer(grid_database_5), atol=1e-2)
+
+    def test_works_for_cycle_policies(self, rng):
+        # Theorem 4.1 covers every policy graph, including non-embeddable cycles.
+        domain = Domain((10,))
+        policy = cycle_policy(domain)
+        database = Database(domain, np.arange(10, dtype=float))
+        workload = identity_workload(domain)
+        mechanism = PolicyMatrixMechanism(policy, epsilon=1e9)
+        answers = mechanism.answer(workload, database, rng)
+        assert np.allclose(answers, database.counts, atol=1e-2)
+
+    def test_check_supports_identity_strategy(self, line_policy_16):
+        mechanism = PolicyMatrixMechanism(line_policy_16, 1.0)
+        assert mechanism.check_supports(cumulative_workload(line_policy_16.domain))
+
+    def test_expected_error_theorem_5_2(self, line_policy_16):
+        # Theorem 5.2: range queries under the line policy with the identity
+        # (prefix-sum) strategy cost at most 2 noisy coordinates => 2 * 2/eps^2.
+        epsilon = 0.5
+        mechanism = PolicyMatrixMechanism(line_policy_16, epsilon)
+        workload = random_range_queries_workload(line_policy_16.domain, 50, random_state=0)
+        expected = mechanism.expected_error_per_query(workload)
+        assert expected.max() <= 2 * 2 / epsilon**2 + 1e-9
+
+    def test_empirical_error_matches_expected(self, line_policy_16, dense_database_16, rng):
+        epsilon = 1.0
+        mechanism = PolicyMatrixMechanism(line_policy_16, epsilon)
+        workload = cumulative_workload(line_policy_16.domain)
+        expected = mechanism.expected_error_per_query(workload).mean()
+        true_answers = workload.answer(dense_database_16)
+        errors = []
+        for _ in range(400):
+            noisy = mechanism.answer(workload, dense_database_16, rng)
+            errors.append(np.mean((noisy - true_answers) ** 2))
+        assert np.mean(errors) == pytest.approx(expected, rel=0.15)
+
+    def test_error_is_data_independent(self, line_policy_16, rng):
+        # The mechanism's error must not depend on the database (only on W_G, A).
+        epsilon = 0.5
+        workload = cumulative_workload(line_policy_16.domain)
+        mechanism = PolicyMatrixMechanism(line_policy_16, epsilon)
+        errors = {}
+        for label, counts in {
+            "sparse": np.concatenate([np.zeros(15), [100.0]]),
+            "dense": np.full(16, 50.0),
+        }.items():
+            database = Database(line_policy_16.domain, counts)
+            true_answers = workload.answer(database)
+            trial_errors = []
+            for _ in range(300):
+                noisy = mechanism.answer(workload, database, rng)
+                trial_errors.append(np.mean((noisy - true_answers) ** 2))
+            errors[label] = np.mean(trial_errors)
+        assert errors["sparse"] == pytest.approx(errors["dense"], rel=0.2)
+
+
+class TestNamedConstructors:
+    def test_transformed_laplace_name(self, line_policy_16):
+        mechanism = transformed_laplace_mechanism(line_policy_16, 1.0)
+        assert mechanism.name == "Transformed+Laplace"
+
+    def test_budget_fraction_reduces_effective_epsilon(self, line_policy_16):
+        mechanism = transformed_laplace_mechanism(line_policy_16, 0.9, budget_fraction=1 / 3)
+        assert mechanism.effective_epsilon == pytest.approx(0.3)
+
+    def test_transformed_privelet_grid_beats_dp_privelet(self, rng):
+        # Theorem 5.4's mechanism should beat plain epsilon/2-DP Privelet on 2-D
+        # range queries over a moderately sized grid.
+        domain = Domain((16, 16))
+        policy = grid_policy(domain)
+        counts = np.zeros(domain.size)
+        counts[rng.integers(0, domain.size, 50)] = rng.integers(1, 40, 50)
+        database = Database(domain, counts)
+        workload = random_range_queries_workload(domain, 150, random_state=3)
+        epsilon = 0.2
+        blowfish = transformed_privelet_grid_mechanism(policy, epsilon)
+        baseline = PriveletMechanism(epsilon / 2, (16, 16))
+        true_answers = workload.answer(database)
+
+        def mean_error(mechanism):
+            errors = []
+            for _ in range(5):
+                noisy = mechanism.answer(workload, database, rng)
+                errors.append(mean_squared_error(true_answers, noisy))
+            return np.mean(errors)
+
+        assert mean_error(blowfish) < mean_error(baseline)
+
+    def test_transformed_privelet_grid_rejects_non_grid(self, theta_policy_16):
+        with pytest.raises(PolicyError):
+            transformed_privelet_grid_mechanism(theta_policy_16, 1.0)

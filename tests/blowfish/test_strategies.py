@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.blowfish.strategies` (the Section 5 edge-space strategies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain, random_range_queries_workload
+from repro.exceptions import PolicyError
+from repro.mechanisms import identity_strategy
+from repro.blowfish import (
+    edge_identity_strategy,
+    grid_slab_groups,
+    grid_slab_strategy,
+    spanner_group_strategy,
+    tensor_strategy,
+)
+from repro.policy import (
+    PolicyTransform,
+    grid_policy,
+    line_policy,
+    line_spanner,
+    threshold_policy,
+)
+
+
+class TestEdgeIdentityStrategy:
+    def test_matches_edge_count(self, line_policy_16):
+        transform = PolicyTransform(line_policy_16)
+        strategy = edge_identity_strategy(transform)
+        assert strategy.num_columns == transform.num_edges
+        assert strategy.sensitivity == 1.0
+
+
+class TestTensorStrategy:
+    def test_1d_passthrough(self):
+        strategy = tensor_strategy((8,), identity_strategy)
+        assert strategy.num_columns == 8
+
+    def test_2d_product(self):
+        strategy = tensor_strategy((4, 8), identity_strategy)
+        assert strategy.num_columns == 32
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(PolicyError):
+            tensor_strategy((), identity_strategy)
+
+
+class TestGridSlabGroups:
+    def test_groups_partition_edges(self, grid_policy_5):
+        groups = grid_slab_groups(grid_policy_5)
+        edges = sorted(edge for group, _ in groups for edge in group)
+        assert edges == list(range(grid_policy_5.num_edges))
+
+    def test_group_count_2d(self, grid_policy_5):
+        # 2 axes x (k-1) levels per axis.
+        groups = grid_slab_groups(grid_policy_5)
+        assert len(groups) == 2 * 4
+
+    def test_slab_shape_2d(self, grid_policy_5):
+        groups = grid_slab_groups(grid_policy_5)
+        assert all(shape == (5,) for _, shape in groups)
+        assert all(len(group) == 5 for group, _ in groups)
+
+    def test_group_count_3d(self):
+        policy = grid_policy(Domain((3, 3, 3)))
+        groups = grid_slab_groups(policy)
+        assert len(groups) == 3 * 2
+        assert all(shape == (3, 3) for _, shape in groups)
+
+    def test_rejects_theta_greater_than_one(self, line_domain_16):
+        policy = threshold_policy(line_domain_16, 2)
+        with pytest.raises(PolicyError):
+            grid_slab_groups(policy)
+
+    def test_rejects_policy_with_bottom(self, line_domain_16):
+        policy = line_policy(line_domain_16, attach_bottom=True)
+        with pytest.raises(PolicyError):
+            grid_slab_groups(policy)
+
+    def test_1d_line_policy_is_single_edge_slabs(self, line_policy_16):
+        groups = grid_slab_groups(line_policy_16)
+        assert len(groups) == 15
+        assert all(len(group) == 1 for group, _ in groups)
+
+
+class TestGridSlabStrategy:
+    def test_strategy_covers_all_edges(self, grid_policy_5):
+        transform = PolicyTransform(grid_policy_5)
+        strategy = grid_slab_strategy(transform)
+        assert strategy.num_columns == transform.num_edges
+
+    def test_sensitivity_is_per_slab(self, grid_policy_5):
+        transform = PolicyTransform(grid_policy_5)
+        strategy = grid_slab_strategy(transform)
+        # Each slab has 5 edges, padded to 8 for the Haar strategy: 1 + log2(8) = 4.
+        assert strategy.sensitivity == pytest.approx(4.0)
+
+    def test_transformed_range_query_supported(self, grid_policy_5, grid_domain_5):
+        # W_G rows must lie in the strategy's row space so reconstruction is exact.
+        transform = PolicyTransform(grid_policy_5)
+        strategy = grid_slab_strategy(transform)
+        workload = random_range_queries_workload(grid_domain_5, 20, random_state=0)
+        transformed = transform.transform_workload(workload).toarray()
+        dense_strategy = strategy.matrix.toarray()
+        pseudo = np.linalg.pinv(dense_strategy)
+        assert np.allclose(transformed @ pseudo @ dense_strategy, transformed, atol=1e-8)
+
+    def test_identity_per_slab_variant(self, grid_policy_5):
+        transform = PolicyTransform(grid_policy_5)
+        strategy = grid_slab_strategy(transform, per_axis_strategy=identity_strategy)
+        assert strategy.sensitivity == 1.0
+
+
+class TestSpannerGroupStrategy:
+    def test_covers_all_spanner_edges(self, line_domain_16):
+        spanner = line_spanner(line_domain_16, theta=4)
+        transform = PolicyTransform(spanner)
+        strategy = spanner_group_strategy(transform, line_domain_16, theta=4)
+        assert strategy.num_columns == transform.num_edges
+
+    def test_sensitivity_depends_on_theta_not_k(self):
+        small = Domain((32,))
+        large = Domain((256,))
+        theta = 4
+        sensitivity_small = spanner_group_strategy(
+            PolicyTransform(line_spanner(small, theta)), small, theta
+        ).sensitivity
+        sensitivity_large = spanner_group_strategy(
+            PolicyTransform(line_spanner(large, theta)), large, theta
+        ).sensitivity
+        assert sensitivity_small == sensitivity_large
+
+    def test_group_mismatch_rejected(self, line_domain_16):
+        # Passing the transform of a different policy (wrong edge count) fails.
+        transform = PolicyTransform(line_policy(line_domain_16))
+        spanner_strategy_domain = Domain((32,))
+        with pytest.raises(PolicyError):
+            spanner_group_strategy(transform, spanner_strategy_domain, theta=4)

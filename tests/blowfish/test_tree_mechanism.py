@@ -1,0 +1,211 @@
+"""Tests for :mod:`repro.blowfish.tree_mechanism` (Theorem 4.3 mechanisms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    cumulative_workload,
+    identity_workload,
+    mean_squared_error,
+    random_range_queries_workload,
+)
+from repro.exceptions import MechanismError, PolicyNotTreeError
+from repro.mechanisms import LaplaceHistogram
+from repro.blowfish import (
+    TreeTransformMechanism,
+    dawa_estimator_factory,
+    laplace_estimator_factory,
+)
+from repro.policy import (
+    approximate_with_line_spanner,
+    grid_policy,
+    line_policy,
+    star_policy,
+    threshold_policy,
+)
+
+
+class TestConstruction:
+    def test_requires_tree_policy(self, grid_policy_5):
+        with pytest.raises(PolicyNotTreeError):
+            TreeTransformMechanism(grid_policy_5, 1.0)
+
+    def test_accepts_line_policy(self, line_policy_16):
+        mechanism = TreeTransformMechanism(line_policy_16, 1.0)
+        assert mechanism.effective_epsilon == 1.0
+
+    def test_accepts_star_policy(self):
+        policy = star_policy(Domain((8,)), center=0)
+        mechanism = TreeTransformMechanism(policy, 1.0)
+        assert mechanism.tree.num_edges == 7
+
+    def test_spanner_reduces_effective_epsilon(self, theta_policy_16):
+        spanner = approximate_with_line_spanner(theta_policy_16, 3)
+        mechanism = TreeTransformMechanism(theta_policy_16, 0.9, spanner=spanner)
+        assert mechanism.effective_epsilon == pytest.approx(0.9 / spanner.stretch)
+
+    def test_spanner_for_wrong_policy_rejected(self, theta_policy_16, line_policy_16):
+        spanner = approximate_with_line_spanner(theta_policy_16, 3)
+        with pytest.raises(MechanismError):
+            TreeTransformMechanism(line_policy_16, 1.0, spanner=spanner)
+
+    def test_unknown_consistency_mode_rejected(self, line_policy_16):
+        with pytest.raises(MechanismError):
+            TreeTransformMechanism(line_policy_16, 1.0, consistency="bogus")
+
+    def test_monotone_consistency_requires_path(self):
+        policy = star_policy(Domain((8,)), center=0)
+        mechanism = TreeTransformMechanism(policy, 1.0, consistency="monotone")
+        database = Database(Domain((8,)), np.ones(8))
+        with pytest.raises(MechanismError):
+            mechanism.answer(identity_workload(Domain((8,))), database, 0)
+
+
+class TestAnswering:
+    def test_unbiased_at_huge_epsilon(self, line_policy_16, dense_database_16, rng):
+        mechanism = TreeTransformMechanism(line_policy_16, 1e9, consistency="none")
+        workload = cumulative_workload(line_policy_16.domain)
+        answers = mechanism.answer(workload, dense_database_16, rng)
+        assert np.allclose(answers, workload.answer(dense_database_16), atol=1e-3)
+
+    def test_unbiased_with_consistency_at_huge_epsilon(
+        self, line_policy_16, dense_database_16, rng
+    ):
+        mechanism = TreeTransformMechanism(line_policy_16, 1e9, consistency="auto")
+        workload = identity_workload(line_policy_16.domain)
+        answers = mechanism.answer(workload, dense_database_16, rng)
+        assert np.allclose(answers, dense_database_16.counts, atol=1e-3)
+
+    def test_unbiased_through_spanner_at_huge_epsilon(self, theta_policy_16, dense_database_16, rng):
+        spanner = approximate_with_line_spanner(theta_policy_16, 3)
+        mechanism = TreeTransformMechanism(
+            theta_policy_16, 1e9, spanner=spanner, consistency="none"
+        )
+        workload = random_range_queries_workload(theta_policy_16.domain, 20, random_state=0)
+        answers = mechanism.answer(workload, dense_database_16, rng)
+        assert np.allclose(answers, workload.answer(dense_database_16), atol=1e-3)
+
+    def test_range_error_theta_independent_of_domain_size(self, rng):
+        # The paper's Figure 8(d/h) observation: through the spanner the error
+        # does not grow with the domain size (the strategy is identity-like).
+        epsilon = 0.5
+        errors = {}
+        for k in (64, 256):
+            domain = Domain((k,))
+            policy = threshold_policy(domain, 4)
+            spanner = approximate_with_line_spanner(policy, 4)
+            mechanism = TreeTransformMechanism(
+                policy, epsilon, spanner=spanner, consistency="none"
+            )
+            database = Database(domain, np.zeros(k))
+            workload = random_range_queries_workload(domain, 100, random_state=1)
+            true_answers = workload.answer(database)
+            trial_errors = []
+            for _ in range(10):
+                noisy = mechanism.answer(workload, database, rng)
+                trial_errors.append(mean_squared_error(true_answers, noisy))
+            errors[k] = np.mean(trial_errors)
+        assert errors[256] < 3 * errors[64]
+
+    def test_consistency_helps_on_sparse_data(self, rng):
+        epsilon = 0.1
+        domain = Domain((256,))
+        counts = np.zeros(256)
+        counts[[17, 120]] = [40.0, 90.0]
+        database = Database(domain, counts)
+        policy = line_policy(domain)
+        workload = identity_workload(domain)
+        raw = TreeTransformMechanism(
+            policy, epsilon, laplace_estimator_factory, consistency="none"
+        )
+        consistent = TreeTransformMechanism(
+            policy, epsilon, laplace_estimator_factory, consistency="auto"
+        )
+        true_answers = workload.answer(database)
+
+        def mean_error(mechanism):
+            return np.mean(
+                [
+                    mean_squared_error(true_answers, mechanism.answer(workload, database, rng))
+                    for _ in range(8)
+                ]
+            )
+
+        assert mean_error(consistent) < 0.5 * mean_error(raw)
+
+    def test_dawa_estimator_runs(self, line_policy_16, sparse_database_16, rng):
+        mechanism = TreeTransformMechanism(
+            line_policy_16, 0.5, dawa_estimator_factory, consistency="auto"
+        )
+        workload = identity_workload(line_policy_16.domain)
+        answers = mechanism.answer(workload, sparse_database_16, rng)
+        assert answers.shape == (16,)
+
+    def test_custom_estimator_factory_receives_effective_epsilon(self, theta_policy_16):
+        received = {}
+
+        def factory(epsilon, size):
+            received["epsilon"] = epsilon
+            received["size"] = size
+            return LaplaceHistogram(epsilon)
+
+        spanner = approximate_with_line_spanner(theta_policy_16, 3)
+        mechanism = TreeTransformMechanism(theta_policy_16, 0.9, factory, spanner=spanner)
+        database = Database(theta_policy_16.domain, np.ones(16))
+        mechanism.answer(identity_workload(theta_policy_16.domain), database, 0)
+        assert received["epsilon"] == pytest.approx(0.3)
+        assert received["size"] == mechanism.tree.num_edges
+
+
+class TestTransformedEstimate:
+    def test_estimate_respects_monotone_constraint(self, line_policy_16, dense_database_16, rng):
+        mechanism = TreeTransformMechanism(line_policy_16, 0.2, consistency="auto")
+        estimate = mechanism.estimate_transformed_database(dense_database_16, rng)
+        order = mechanism.tree.monotone_root_path_indices()
+        assert np.all(np.diff(estimate[order]) >= -1e-9)
+
+    def test_estimate_respects_bounds(self, line_policy_16, dense_database_16, rng):
+        mechanism = TreeTransformMechanism(line_policy_16, 0.2, consistency="auto")
+        estimate = mechanism.estimate_transformed_database(dense_database_16, rng)
+        assert np.all(estimate >= -1e-9)
+        assert np.all(estimate <= dense_database_16.scale + 1e-9)
+
+    def test_nonnegative_mode_for_star_policy(self, rng):
+        policy = star_policy(Domain((8,)), center=0)
+        database = Database(Domain((8,)), np.arange(8, dtype=float))
+        mechanism = TreeTransformMechanism(policy, 0.5, consistency="nonnegative")
+        estimate = mechanism.estimate_transformed_database(database, rng)
+        assert np.all(estimate >= -1e-9)
+
+
+class TestBlowfishPrivacyProperty:
+    def test_output_distribution_ratio_on_neighbors(self):
+        """Statistical check of the (ε, G)-Blowfish guarantee for the tree mechanism.
+
+        Using a coarse discretisation of the output of a single released count,
+        the empirical probability ratio between two Blowfish-neighboring
+        databases must stay within exp(ε) up to sampling slack.
+        """
+        epsilon = 1.0
+        domain = Domain((4,))
+        policy = line_policy(domain)
+        workload = identity_workload(domain).subset([1])
+        first = Database(domain, np.array([2.0, 3.0, 1.0, 4.0]))
+        second = Database(domain, np.array([2.0, 2.0, 2.0, 4.0]))  # one record moved 1->2
+        mechanism = TreeTransformMechanism(policy, epsilon, consistency="none")
+        rng = np.random.default_rng(0)
+        bins = np.linspace(-10, 15, 6)
+        trials = 4000
+        counts_first = np.zeros(len(bins) + 1)
+        counts_second = np.zeros(len(bins) + 1)
+        for _ in range(trials):
+            counts_first[np.digitize(mechanism.answer(workload, first, rng)[0], bins)] += 1
+            counts_second[np.digitize(mechanism.answer(workload, second, rng)[0], bins)] += 1
+        mask = (counts_first > 80) & (counts_second > 80)
+        ratios = counts_first[mask] / counts_second[mask]
+        assert np.all(ratios <= np.exp(epsilon) * 1.35)
+        assert np.all(ratios >= np.exp(-epsilon) / 1.35)

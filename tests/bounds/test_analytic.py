@@ -1,0 +1,100 @@
+"""Tests for :mod:`repro.bounds.analytic` (the Figure 3 bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds import (
+    blowfish_grid_error_per_query,
+    blowfish_improvement_factor,
+    blowfish_line_error_per_query,
+    blowfish_theta_grid_error_per_query,
+    blowfish_theta_line_error_per_query,
+    figure3_table,
+    privelet_error_per_query,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestIndividualBounds:
+    def test_line_bound_is_domain_independent(self):
+        assert blowfish_line_error_per_query(1.0, 64) == blowfish_line_error_per_query(1.0, 4096)
+
+    def test_line_bound_scales_with_epsilon(self):
+        assert blowfish_line_error_per_query(0.5, 64) == 4 * blowfish_line_error_per_query(1.0, 64)
+
+    def test_privelet_bound_grows_with_domain(self):
+        assert privelet_error_per_query(1.0, 4096) > privelet_error_per_query(1.0, 64)
+
+    def test_privelet_bound_grows_with_dimension(self):
+        assert privelet_error_per_query(1.0, 64, d=2) > privelet_error_per_query(1.0, 64, d=1)
+
+    def test_theta_line_bound_between_line_and_privelet(self):
+        epsilon, k, theta = 1.0, 4096, 16
+        assert (
+            blowfish_line_error_per_query(epsilon, k)
+            < blowfish_theta_line_error_per_query(epsilon, k, theta)
+            < privelet_error_per_query(epsilon, k)
+        )
+
+    def test_theta_one_reduces_to_line_bound(self):
+        assert blowfish_theta_line_error_per_query(1.0, 256, 1) == blowfish_line_error_per_query(
+            1.0, 256
+        )
+
+    def test_grid_bound_d1_reduces_to_line(self):
+        assert blowfish_grid_error_per_query(1.0, 256, 1) == blowfish_line_error_per_query(1.0, 256)
+
+    def test_grid_bound_beats_privelet_bound(self):
+        # Theorem 5.4: a log^3 k factor improvement for fixed d.
+        assert blowfish_grid_error_per_query(1.0, 4096, 2) < privelet_error_per_query(
+            1.0, 4096, 2
+        )
+
+    def test_theta_grid_reduces_to_grid_at_theta_one(self):
+        assert blowfish_theta_grid_error_per_query(1.0, 256, 2, 1) == blowfish_grid_error_per_query(
+            1.0, 256, 2
+        )
+
+    def test_improvement_factor_larger_for_small_theta(self):
+        # Discussion at the end of Section 5.3: the win shrinks as d log theta grows.
+        assert blowfish_improvement_factor(1.0, 4096, 2, theta=1) > blowfish_improvement_factor(
+            1.0, 4096, 2, theta=64
+        )
+
+    def test_location_privacy_regime_wins(self):
+        # d = 2 and theta << k (the paper's location-privacy argument): Blowfish wins.
+        assert blowfish_improvement_factor(1.0, 4096, 2, theta=4) > 1.0
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: privelet_error_per_query(0.0, 64),
+            lambda: privelet_error_per_query(1.0, 1),
+            lambda: blowfish_grid_error_per_query(1.0, 64, 0),
+            lambda: blowfish_theta_line_error_per_query(1.0, 64, 0),
+        ],
+    )
+    def test_invalid_arguments(self, call):
+        with pytest.raises(ExperimentError):
+            call()
+
+
+class TestFigure3Table:
+    def test_has_four_rows(self):
+        assert len(figure3_table()) == 4
+
+    def test_every_row_shows_improvement(self):
+        for row in figure3_table(epsilon=1.0, k=4096, d=2, theta=4):
+            assert row.improvement > 1.0
+
+    def test_rows_carry_bound_strings(self):
+        rows = figure3_table()
+        assert rows[0].workload == "R_k"
+        assert "eps" in rows[0].blowfish_bound
+
+    def test_epsilon_cancels_in_improvement(self):
+        strict = figure3_table(epsilon=0.01)
+        loose = figure3_table(epsilon=1.0)
+        for a, b in zip(strict, loose):
+            assert a.improvement == pytest.approx(b.improvement)

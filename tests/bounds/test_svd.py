@@ -1,0 +1,117 @@
+"""Tests for :mod:`repro.bounds.svd` (the Li–Miklau bound and Figure 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    blowfish_svd_lower_bound,
+    curves_by_series,
+    figure10_curves,
+    privacy_constant,
+    svd_lower_bound,
+)
+from repro.core import Domain, all_range_queries_workload, identity_workload
+from repro.exceptions import ExperimentError
+from repro.policy import bounded_dp_policy, line_policy, threshold_policy
+
+
+class TestPrivacyConstant:
+    def test_formula(self):
+        assert privacy_constant(1.0, 0.001) == pytest.approx(2 * np.log(2000))
+
+    def test_scales_with_epsilon(self):
+        assert privacy_constant(0.5, 0.001) == pytest.approx(4 * privacy_constant(1.0, 0.001))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ExperimentError):
+            privacy_constant(0.0, 0.001)
+        with pytest.raises(ExperimentError):
+            privacy_constant(1.0, 1.5)
+
+
+class TestSvdLowerBound:
+    def test_identity_workload_value(self):
+        # All singular values of I_k are 1, so the bound is P * k^2 / k = P * k.
+        domain = Domain((16,))
+        bound = svd_lower_bound(identity_workload(domain).matrix, 1.0, 0.001)
+        assert bound == pytest.approx(privacy_constant(1.0, 0.001) * 16)
+
+    def test_bound_positive_for_ranges(self):
+        domain = Domain((16,))
+        bound = svd_lower_bound(all_range_queries_workload(domain).matrix, 1.0, 0.001)
+        assert bound > 0
+
+    def test_bound_grows_with_domain_size(self):
+        small = svd_lower_bound(all_range_queries_workload(Domain((16,))).matrix, 1.0, 0.001)
+        large = svd_lower_bound(all_range_queries_workload(Domain((48,))).matrix, 1.0, 0.001)
+        assert large > small
+
+    def test_dense_and_sparse_agree(self):
+        domain = Domain((12,))
+        workload = all_range_queries_workload(domain)
+        sparse_bound = svd_lower_bound(workload.matrix, 1.0, 0.001)
+        dense_bound = svd_lower_bound(workload.dense(), 1.0, 0.001)
+        assert sparse_bound == pytest.approx(dense_bound)
+
+    def test_blowfish_bound_for_line_policy_is_below_unbounded(self):
+        # Figure 10a at theta = 1: the Blowfish bound sits below the DP bound.
+        domain = Domain((48,))
+        workload = all_range_queries_workload(domain)
+        unbounded = svd_lower_bound(workload.matrix, 1.0, 0.001)
+        blowfish = blowfish_svd_lower_bound(line_policy(domain), workload, 1.0, 0.001)
+        assert blowfish < unbounded
+
+    def test_blowfish_bound_achievable_by_mechanism(self):
+        # Sanity: the lower bound must not exceed the error actually achieved by
+        # the Theorem 5.2 mechanism (2 * 2/eps^2 per query, summed over queries).
+        domain = Domain((32,))
+        workload = all_range_queries_workload(domain)
+        policy = line_policy(domain)
+        bound = blowfish_svd_lower_bound(policy, workload, epsilon=1.0, delta=0.001)
+        achievable_total = workload.num_queries * 4.0 / 1.0**2
+        # The (eps, delta) bound uses a generous constant; compare orders of magnitude.
+        assert bound <= 40 * achievable_total
+
+
+class TestFigure10Curves:
+    def test_series_present_1d(self):
+        points = figure10_curves(dimension=1, domain_sizes=(16, 32), thetas=(1, 2))
+        series = set(curves_by_series(points))
+        assert series == {"unbounded DP", "theta=1", "theta=2"}
+
+    def test_series_present_2d(self):
+        points = figure10_curves(dimension=2, domain_sizes=(16,), thetas=(1, 2))
+        series = set(curves_by_series(points))
+        assert series == {"unbounded DP", "bounded DP", "theta=1", "theta=2"}
+
+    def test_curves_sorted_by_domain_size(self):
+        points = figure10_curves(dimension=1, domain_sizes=(32, 16), thetas=(1,))
+        for series_points in curves_by_series(points).values():
+            sizes = [p.domain_size for p in series_points]
+            assert sizes == sorted(sizes)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ExperimentError):
+            figure10_curves(dimension=3)
+
+    def test_non_square_2d_domain_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure10_curves(dimension=2, domain_sizes=(15,), thetas=(1,))
+
+    def test_qualitative_shape_1d(self):
+        # theta=1 grows more slowly than unbounded DP (the Figure 10a reading).
+        points = figure10_curves(dimension=1, domain_sizes=(16, 64), thetas=(1,))
+        grouped = curves_by_series(points)
+        unbounded_growth = grouped["unbounded DP"][-1].bound / grouped["unbounded DP"][0].bound
+        theta1_growth = grouped["theta=1"][-1].bound / grouped["theta=1"][0].bound
+        assert theta1_growth < unbounded_growth
+
+    def test_qualitative_shape_2d(self):
+        # Every theta beats bounded DP (the Figure 10b reading).
+        points = figure10_curves(dimension=2, domain_sizes=(36,), thetas=(1, 2, 3))
+        grouped = curves_by_series(points)
+        bounded = grouped["bounded DP"][0].bound
+        for theta in (1, 2, 3):
+            assert grouped[f"theta={theta}"][0].bound <= bounded

@@ -1,0 +1,108 @@
+"""Tests for :mod:`repro.core.database`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain
+from repro.exceptions import DataError, DomainError
+
+
+class TestConstruction:
+    def test_basic_construction(self, line_domain_16):
+        database = Database(line_domain_16, np.ones(16))
+        assert database.scale == 16
+
+    def test_counts_are_float64(self, line_domain_16):
+        database = Database(line_domain_16, np.arange(16, dtype=np.int32))
+        assert database.counts.dtype == np.float64
+
+    def test_rejects_wrong_length(self, line_domain_16):
+        with pytest.raises(DataError):
+            Database(line_domain_16, np.ones(15))
+
+    def test_rejects_negative_counts(self, line_domain_16):
+        counts = np.ones(16)
+        counts[3] = -1
+        with pytest.raises(DataError):
+            Database(line_domain_16, counts)
+
+    def test_rejects_non_finite_counts(self, line_domain_16):
+        counts = np.ones(16)
+        counts[3] = np.nan
+        with pytest.raises(DataError):
+            Database(line_domain_16, counts)
+
+    def test_multi_dimensional_counts_are_flattened(self):
+        database = Database(Domain((2, 3)), np.ones((2, 3)))
+        assert database.counts.shape == (6,)
+
+    def test_from_records_counts_cells(self):
+        domain = Domain((4,))
+        database = Database.from_records(domain, [0, 0, 3, 1])
+        assert list(database.counts) == [2, 1, 0, 1]
+
+    def test_from_records_multi_dimensional(self):
+        domain = Domain((2, 2))
+        database = Database.from_records(domain, [(0, 1), (1, 1), (1, 1)])
+        assert database.counts[domain.index_of((1, 1))] == 2
+
+    def test_from_histogram_infers_domain(self):
+        histogram = np.arange(6).reshape(2, 3)
+        database = Database.from_histogram(histogram)
+        assert database.domain == Domain((2, 3))
+        assert database.scale == 15
+
+
+class TestStatistics:
+    def test_scale(self, sparse_database_16):
+        assert sparse_database_16.scale == 20
+
+    def test_zero_fraction(self, sparse_database_16):
+        assert sparse_database_16.zero_fraction == pytest.approx(12 / 16)
+
+    def test_nonzero_cells(self, sparse_database_16):
+        assert sparse_database_16.nonzero_cells == 4
+
+    def test_as_array_shape(self, grid_database_5):
+        assert grid_database_5.as_array().shape == (5, 5)
+
+    def test_vector_alias(self, sparse_database_16):
+        assert np.array_equal(sparse_database_16.vector, sparse_database_16.counts)
+
+
+class TestOperations:
+    def test_rename(self, sparse_database_16):
+        renamed = sparse_database_16.rename("other")
+        assert renamed.name == "other"
+        assert np.array_equal(renamed.counts, sparse_database_16.counts)
+
+    def test_aggregate_preserves_scale(self, dense_database_16):
+        aggregated = dense_database_16.aggregate(4)
+        assert aggregated.domain.size == 4
+        assert aggregated.scale == dense_database_16.scale
+
+    def test_aggregate_sums_blocks(self):
+        database = Database(Domain((4,)), np.array([1.0, 2.0, 3.0, 4.0]))
+        aggregated = database.aggregate(2)
+        assert list(aggregated.counts) == [3.0, 7.0]
+
+    def test_aggregate_two_dimensional(self):
+        database = Database(Domain((4, 4)), np.ones(16))
+        aggregated = database.aggregate(2)
+        assert aggregated.domain.shape == (2, 2)
+        assert np.all(aggregated.counts == 4.0)
+
+    def test_prefix_sums(self):
+        database = Database(Domain((4,)), np.array([1.0, 0.0, 2.0, 3.0]))
+        assert list(database.prefix_sums()) == [1.0, 1.0, 3.0, 6.0]
+
+    def test_prefix_sums_rejects_2d(self, grid_database_5):
+        with pytest.raises(DomainError):
+            grid_database_5.prefix_sums()
+
+    def test_with_counts_keeps_domain(self, sparse_database_16):
+        new = sparse_database_16.with_counts(np.ones(16))
+        assert new.domain == sparse_database_16.domain
+        assert new.scale == 16

@@ -1,0 +1,136 @@
+"""Tests for :mod:`repro.core.domain`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain, common_domain, grid_domain, line_domain
+from repro.exceptions import DomainError
+
+
+class TestDomainConstruction:
+    def test_one_dimensional_size(self):
+        assert Domain((8,)).size == 8
+
+    def test_multi_dimensional_size(self):
+        assert Domain((4, 5, 6)).size == 120
+
+    def test_ndim(self):
+        assert Domain((4, 5)).ndim == 2
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(DomainError):
+            Domain(())
+
+    def test_rejects_non_positive_dimension(self):
+        with pytest.raises(DomainError):
+            Domain((4, 0))
+
+    def test_shape_coerced_to_ints(self):
+        domain = Domain((np.int64(3), np.int64(4)))
+        assert domain.shape == (3, 4)
+        assert all(isinstance(s, int) for s in domain.shape)
+
+    def test_len_matches_size(self):
+        assert len(Domain((3, 3))) == 9
+
+    def test_equality_and_hash(self):
+        assert Domain((4, 4)) == Domain((4, 4))
+        assert Domain((4, 4)) != Domain((4, 5))
+        assert hash(Domain((4, 4))) == hash(Domain((4, 4)))
+
+
+class TestIndexing:
+    def test_index_of_roundtrip(self):
+        domain = Domain((3, 4, 5))
+        for index in range(domain.size):
+            assert domain.index_of(domain.cell_of(index)) == index
+
+    def test_row_major_order(self):
+        domain = Domain((2, 3))
+        assert domain.index_of((0, 0)) == 0
+        assert domain.index_of((0, 2)) == 2
+        assert domain.index_of((1, 0)) == 3
+
+    def test_index_of_rejects_wrong_dimension(self):
+        with pytest.raises(DomainError):
+            Domain((3, 3)).index_of((1,))
+
+    def test_index_of_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            Domain((3, 3)).index_of((3, 0))
+
+    def test_cell_of_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            Domain((3, 3)).cell_of(9)
+
+    def test_iteration_is_flat_order(self):
+        domain = Domain((2, 2))
+        cells = list(domain)
+        assert cells == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_all_cells_shape(self):
+        domain = Domain((3, 4))
+        cells = domain.all_cells()
+        assert cells.shape == (12, 2)
+        assert domain.index_of(tuple(cells[7])) == 7
+
+
+class TestGeometry:
+    def test_l1_distance(self):
+        domain = Domain((5, 5))
+        assert domain.l1_distance((0, 0), (2, 3)) == 5
+
+    def test_l1_distance_symmetric(self):
+        domain = Domain((5, 5))
+        assert domain.l1_distance((1, 4), (3, 0)) == domain.l1_distance((3, 0), (1, 4))
+
+    def test_l1_distance_rejects_bad_dimension(self):
+        with pytest.raises(DomainError):
+            Domain((5, 5)).l1_distance((1,), (2, 2))
+
+    def test_contains_cell(self):
+        domain = Domain((4, 4))
+        assert domain.contains_cell((3, 3))
+        assert not domain.contains_cell((4, 0))
+        assert not domain.contains_cell((0,))
+
+
+class TestCoarsen:
+    def test_coarsen_halves_each_dimension(self):
+        assert Domain((8, 8)).coarsen(2).shape == (4, 4)
+
+    def test_coarsen_rejects_non_divisible(self):
+        with pytest.raises(DomainError):
+            Domain((9,)).coarsen(2)
+
+    def test_coarsen_rejects_non_positive_factor(self):
+        with pytest.raises(DomainError):
+            Domain((8,)).coarsen(0)
+
+
+class TestConvenienceConstructors:
+    def test_line_domain(self):
+        assert line_domain(10).shape == (10,)
+
+    def test_grid_domain_default_dimension(self):
+        assert grid_domain(6).shape == (6, 6)
+
+    def test_grid_domain_custom_dimension(self):
+        assert grid_domain(4, ndim=3).shape == (4, 4, 4)
+
+    def test_grid_domain_rejects_bad_ndim(self):
+        with pytest.raises(DomainError):
+            grid_domain(4, ndim=0)
+
+    def test_common_domain_accepts_identical(self):
+        assert common_domain([Domain((4,)), Domain((4,))]) == Domain((4,))
+
+    def test_common_domain_rejects_mismatch(self):
+        with pytest.raises(DomainError):
+            common_domain([Domain((4,)), Domain((5,))])
+
+    def test_common_domain_rejects_empty(self):
+        with pytest.raises(DomainError):
+            common_domain([])

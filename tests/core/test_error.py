@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.core.error`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorAccumulator,
+    laplace_error,
+    laplace_error_per_query,
+    mean_absolute_error,
+    mean_squared_error,
+    squared_error,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestErrorMetrics:
+    def test_squared_error(self):
+        assert squared_error(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == 5.0
+
+    def test_mean_squared_error(self):
+        assert mean_squared_error(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == 2.5
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == 1.5
+
+    def test_zero_for_equal_vectors(self):
+        values = np.arange(10, dtype=float)
+        assert squared_error(values, values) == 0.0
+        assert mean_squared_error(values, values) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            squared_error(np.ones(3), np.ones(4))
+        with pytest.raises(ExperimentError):
+            mean_absolute_error(np.ones(3), np.ones(4))
+
+    def test_empty_vectors(self):
+        assert mean_squared_error(np.array([]), np.array([])) == 0.0
+        assert mean_absolute_error(np.array([]), np.array([])) == 0.0
+
+
+class TestLaplaceError:
+    def test_matches_theorem_2_1(self):
+        # ERROR = 2 q Delta^2 / eps^2.
+        assert laplace_error(num_queries=10, sensitivity=3.0, epsilon=0.5) == pytest.approx(
+            2 * 10 * 9 / 0.25
+        )
+
+    def test_per_query(self):
+        assert laplace_error_per_query(1.0, 1.0) == 2.0
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ExperimentError):
+            laplace_error(1, 1.0, 0.0)
+
+    def test_rejects_negative_queries(self):
+        with pytest.raises(ExperimentError):
+            laplace_error(-1, 1.0, 1.0)
+
+    def test_empirical_laplace_variance_matches(self, rng):
+        # Sample mean of squared Laplace(b) noise should be close to 2 b^2.
+        scale = 3.0
+        samples = rng.laplace(0.0, scale, size=200_000)
+        assert np.mean(samples**2) == pytest.approx(2 * scale**2, rel=0.05)
+
+
+class TestErrorAccumulator:
+    def test_mean_over_trials(self):
+        accumulator = ErrorAccumulator()
+        accumulator.add_value(2.0)
+        accumulator.add_value(4.0)
+        assert accumulator.num_trials == 2
+        assert accumulator.mean == 3.0
+
+    def test_add_trial_returns_value(self):
+        accumulator = ErrorAccumulator()
+        value = accumulator.add_trial(np.array([1.0, 1.0]), np.array([2.0, 1.0]))
+        assert value == 0.5
+        assert accumulator.mean == 0.5
+
+    def test_std_error_zero_for_single_trial(self):
+        accumulator = ErrorAccumulator()
+        accumulator.add_value(1.0)
+        assert accumulator.std_error == 0.0
+
+    def test_std_error_positive_for_varied_trials(self):
+        accumulator = ErrorAccumulator()
+        accumulator.add_value(1.0)
+        accumulator.add_value(3.0)
+        assert accumulator.std_error > 0.0
+
+    def test_summary_keys(self):
+        accumulator = ErrorAccumulator()
+        accumulator.add_value(1.0)
+        summary = accumulator.summary()
+        assert set(summary) == {"mean", "std_error", "trials"}
+
+    def test_empty_accumulator_raises(self):
+        with pytest.raises(ExperimentError):
+            _ = ErrorAccumulator().mean

@@ -1,0 +1,120 @@
+"""Tests for :mod:`repro.core.range_queries`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    RangeQuery,
+    all_range_queries,
+    all_range_queries_workload,
+    cumulative_workload,
+    prefix_range_queries_workload,
+    random_range_queries,
+    random_range_queries_workload,
+    range_queries_workload,
+)
+from repro.exceptions import WorkloadError
+
+
+class TestRangeQuery:
+    def test_num_cells_1d(self):
+        assert RangeQuery((2,), (5,)).num_cells() == 4
+
+    def test_num_cells_2d(self):
+        assert RangeQuery((1, 1), (2, 3)).num_cells() == 6
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(WorkloadError):
+            RangeQuery((3,), (2,))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(WorkloadError):
+            RangeQuery((1, 2), (3,))
+
+    def test_contains(self):
+        query = RangeQuery((1, 1), (3, 3))
+        assert query.contains((2, 2))
+        assert not query.contains((0, 2))
+
+    def test_cells_enumeration(self):
+        cells = list(RangeQuery((0, 0), (1, 1)).cells())
+        assert set(cells) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_to_row(self):
+        domain = Domain((4,))
+        row = RangeQuery((1,), (2,)).to_row(domain)
+        assert list(row) == [0, 1, 1, 0]
+
+    def test_to_row_rejects_dimension_mismatch(self):
+        with pytest.raises(WorkloadError):
+            RangeQuery((1,), (2,)).to_row(Domain((4, 4)))
+
+    def test_evaluate_matches_row(self, grid_domain_5, grid_database_5):
+        query = RangeQuery((1, 0), (3, 2))
+        via_row = query.to_row(grid_domain_5) @ grid_database_5.counts
+        via_eval = query.evaluate(grid_database_5.counts, grid_domain_5)
+        assert via_eval == pytest.approx(via_row)
+
+
+class TestWorkloadBuilders:
+    def test_all_range_queries_count_1d(self):
+        domain = Domain((5,))
+        assert len(all_range_queries(domain)) == 15  # k(k+1)/2
+
+    def test_all_range_queries_count_2d(self):
+        domain = Domain((3, 3))
+        assert len(all_range_queries(domain)) == 36  # (3*4/2)^2
+
+    def test_all_range_queries_workload_answers(self):
+        domain = Domain((4,))
+        database = Database(domain, np.array([1.0, 2.0, 3.0, 4.0]))
+        workload = all_range_queries_workload(domain)
+        answers = workload.answer(database)
+        assert answers.max() == pytest.approx(10.0)
+        assert answers.min() == pytest.approx(1.0)
+
+    def test_random_range_queries_count_and_bounds(self):
+        domain = Domain((10, 10))
+        queries = random_range_queries(domain, 50, random_state=3)
+        assert len(queries) == 50
+        for query in queries:
+            assert all(0 <= lo <= hi < 10 for lo, hi in zip(query.lower, query.upper))
+
+    def test_random_range_queries_reproducible(self):
+        domain = Domain((20,))
+        first = random_range_queries(domain, 10, random_state=7)
+        second = random_range_queries(domain, 10, random_state=7)
+        assert first == second
+
+    def test_random_range_queries_rejects_negative_count(self):
+        with pytest.raises(WorkloadError):
+            random_range_queries(Domain((4,)), -1)
+
+    def test_random_workload_is_counting(self):
+        workload = random_range_queries_workload(Domain((12,)), 30, random_state=0)
+        assert workload.is_counting()
+        assert workload.num_queries == 30
+
+    def test_prefix_ranges_match_cumulative(self, line_domain_16, dense_database_16):
+        prefix = prefix_range_queries_workload(line_domain_16).answer(dense_database_16)
+        cumulative = cumulative_workload(line_domain_16).answer(dense_database_16)
+        assert np.allclose(prefix, cumulative)
+
+    def test_prefix_ranges_rejects_2d(self, grid_domain_5):
+        with pytest.raises(WorkloadError):
+            prefix_range_queries_workload(grid_domain_5)
+
+    def test_explicit_queries_workload(self, grid_domain_5, grid_database_5):
+        queries = [RangeQuery((0, 0), (4, 4)), RangeQuery((2, 2), (2, 2))]
+        workload = range_queries_workload(grid_domain_5, queries)
+        answers = workload.answer(grid_database_5)
+        assert answers[0] == pytest.approx(grid_database_5.scale)
+        assert answers[1] == pytest.approx(grid_database_5.counts[grid_domain_5.index_of((2, 2))])
+
+    def test_workload_rejects_mismatched_query_dimension(self, grid_domain_5):
+        with pytest.raises(WorkloadError):
+            range_queries_workload(grid_domain_5, [RangeQuery((0,), (1,))])

@@ -1,0 +1,52 @@
+"""Tests for :mod:`repro.core.rng`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = ensure_rng(42).integers(0, 1000, 5)
+        second = ensure_rng(42).integers(0, 1000, 5)
+        assert np.array_equal(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_differ(self):
+        streams = spawn_rngs(0, 2)
+        assert not np.array_equal(
+            streams[0].integers(0, 1000, 10), streams[1].integers(0, 1000, 10)
+        )
+
+    def test_deterministic_given_seed(self):
+        first = [g.integers(0, 1000, 3).tolist() for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 1000, 3).tolist() for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []

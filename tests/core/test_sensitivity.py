@@ -1,0 +1,111 @@
+"""Tests for :mod:`repro.core.sensitivity`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    Domain,
+    bounded_sensitivity,
+    cumulative_workload,
+    identity_workload,
+    per_edge_sensitivities,
+    policy_sensitivity_from_incidence,
+    total_workload,
+    unbounded_sensitivity,
+    workload_sensitivity,
+)
+from repro.exceptions import WorkloadError
+from repro.policy import PolicyTransform, line_policy
+
+
+class TestUnboundedSensitivity:
+    def test_identity_is_one(self, line_domain_16):
+        assert unbounded_sensitivity(identity_workload(line_domain_16).matrix) == 1.0
+
+    def test_cumulative_is_k(self, line_domain_16):
+        assert unbounded_sensitivity(cumulative_workload(line_domain_16).matrix) == 16.0
+
+    def test_dense_and_sparse_agree(self):
+        matrix = np.array([[1.0, -2.0], [0.0, 3.0]])
+        assert unbounded_sensitivity(matrix) == unbounded_sensitivity(sp.csr_matrix(matrix))
+        assert unbounded_sensitivity(matrix) == 5.0
+
+    def test_empty_matrix(self):
+        assert unbounded_sensitivity(sp.csr_matrix((3, 4))) == 0.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(WorkloadError):
+            unbounded_sensitivity(np.ones((2, 2, 2)))
+
+
+class TestBoundedSensitivity:
+    def test_identity_is_two(self, line_domain_16):
+        # Replacing one record changes two cells by 1 each.
+        assert bounded_sensitivity(identity_workload(line_domain_16).matrix) == 2.0
+
+    def test_total_is_zero(self, line_domain_16):
+        # The total count does not change when a record is replaced.
+        assert bounded_sensitivity(total_workload(line_domain_16).matrix) == 0.0
+
+    def test_cumulative_is_k_minus_one(self, line_domain_16):
+        # Replacing the smallest value by the largest flips k-1 prefix sums.
+        assert bounded_sensitivity(cumulative_workload(line_domain_16).matrix) == 15.0
+
+    def test_bounded_at_most_twice_unbounded(self, line_domain_16):
+        for workload in (identity_workload(line_domain_16), cumulative_workload(line_domain_16)):
+            assert bounded_sensitivity(workload.matrix) <= 2 * unbounded_sensitivity(
+                workload.matrix
+            )
+
+    def test_workload_sensitivity_dispatch(self, line_domain_16):
+        workload = identity_workload(line_domain_16)
+        assert workload_sensitivity(workload) == 1.0
+        assert workload_sensitivity(workload, bounded=True) == 2.0
+
+
+class TestPolicySensitivity:
+    def test_matches_lemma_4_7(self, line_policy_16, line_domain_16):
+        # Policy sensitivity computed through P_G equals the direct definition.
+        transform = PolicyTransform(line_policy_16)
+        workload = cumulative_workload(line_domain_16)
+        via_incidence = policy_sensitivity_from_incidence(
+            transform.reduce_workload_matrix(workload), transform.incidence
+        )
+        assert via_incidence == pytest.approx(transform.policy_sensitivity(workload))
+
+    def test_identity_under_line_policy_is_two(self, line_policy_16, line_domain_16):
+        transform = PolicyTransform(line_policy_16)
+        assert transform.policy_sensitivity(identity_workload(line_domain_16)) == 2.0
+
+    def test_cumulative_under_line_policy_is_one(self, line_policy_16, line_domain_16):
+        # Moving a record between adjacent values changes exactly one prefix sum.
+        transform = PolicyTransform(line_policy_16)
+        assert transform.policy_sensitivity(cumulative_workload(line_domain_16)) == 1.0
+
+    def test_per_edge_sensitivities_max_equals_policy_sensitivity(
+        self, line_policy_16, line_domain_16
+    ):
+        transform = PolicyTransform(line_policy_16)
+        workload = cumulative_workload(line_domain_16)
+        per_edge = per_edge_sensitivities(
+            transform.reduce_workload_matrix(workload), transform.incidence
+        )
+        assert per_edge.shape[0] == transform.num_edges
+        assert per_edge.max() == pytest.approx(transform.policy_sensitivity(workload))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            policy_sensitivity_from_incidence(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_policy_sensitivity_never_exceeds_twice_unbounded(self, line_domain_16):
+        # A single policy edge move changes the answer by at most the bounded-DP
+        # sensitivity, which is at most twice the unbounded-DP sensitivity.
+        policy = line_policy(line_domain_16)
+        transform = PolicyTransform(policy)
+        for workload in (identity_workload(line_domain_16), cumulative_workload(line_domain_16)):
+            assert transform.policy_sensitivity(workload) <= 2 * unbounded_sensitivity(
+                workload.matrix
+            ) + 1e-9

@@ -1,0 +1,97 @@
+"""Tests for :mod:`repro.data.catalog` (the Table 1 datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_SPECS,
+    ONE_DIMENSIONAL_DATASETS,
+    TWO_DIMENSIONAL_DATASETS,
+    dataset_names,
+    load_dataset,
+    table1_statistics,
+)
+from repro.exceptions import DataError
+
+
+class TestCatalog:
+    def test_all_table1_datasets_present(self):
+        assert set(dataset_names()) == {
+            "A", "B", "C", "D", "E", "F", "G", "T100", "T50", "T25",
+        }
+
+    def test_partition_into_1d_and_2d(self):
+        assert set(ONE_DIMENSIONAL_DATASETS) | set(TWO_DIMENSIONAL_DATASETS) == set(
+            dataset_names()
+        )
+
+    def test_1d_specs_have_domain_4096(self):
+        for name in ONE_DIMENSIONAL_DATASETS:
+            assert DATASET_SPECS[name].shape == (4096,)
+
+    def test_2d_specs_have_square_grids(self):
+        assert DATASET_SPECS["T100"].shape == (100, 100)
+        assert DATASET_SPECS["T50"].shape == (50, 50)
+        assert DATASET_SPECS["T25"].shape == (25, 25)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DataError):
+            load_dataset("Z")
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", ["A", "D", "E", "G", "T25"])
+    def test_scale_matches_spec(self, name):
+        database = load_dataset(name, random_state=0)
+        assert database.scale == pytest.approx(DATASET_SPECS[name].scale, rel=1e-6)
+
+    @pytest.mark.parametrize("name", ["B", "E", "F", "T50"])
+    def test_sparsity_close_to_spec(self, name):
+        database = load_dataset(name, random_state=0)
+        assert database.zero_fraction == pytest.approx(
+            DATASET_SPECS[name].zero_fraction, abs=0.08
+        )
+
+    def test_sparse_datasets_are_sparser_than_dense_ones(self):
+        sparse = load_dataset("F", random_state=0)
+        dense = load_dataset("A", random_state=0)
+        assert sparse.zero_fraction > dense.zero_fraction + 0.5
+
+    def test_deterministic_default_seed(self):
+        first = load_dataset("D")
+        second = load_dataset("D")
+        assert np.array_equal(first.counts, second.counts)
+
+    def test_name_recorded(self):
+        assert load_dataset("C", random_state=0).name == "C"
+
+    def test_domain_size_aggregation(self):
+        database = load_dataset("D", random_state=0, domain_size=512)
+        assert database.domain.size == 512
+        assert database.scale == pytest.approx(DATASET_SPECS["D"].scale, rel=1e-6)
+
+    def test_aggregation_rejects_non_divisor(self):
+        with pytest.raises(DataError):
+            load_dataset("D", random_state=0, domain_size=1000)
+
+    def test_aggregation_rejected_for_2d(self):
+        with pytest.raises(DataError):
+            load_dataset("T25", random_state=0, domain_size=5)
+
+
+class TestTable1Statistics:
+    def test_one_row_per_dataset(self):
+        rows = table1_statistics(random_state=0)
+        assert len(rows) == len(DATASET_SPECS)
+
+    def test_rows_report_target_and_generated(self):
+        rows = table1_statistics(random_state=0)
+        for row in rows:
+            assert row["generated_scale"] == pytest.approx(row["target_scale"], rel=1e-6)
+            assert abs(row["generated_zero_percent"] - row["target_zero_percent"]) < 8.0
+
+    def test_descriptions_present(self):
+        rows = table1_statistics(random_state=0)
+        assert all(row["description"] for row in rows)

@@ -1,0 +1,101 @@
+"""Tests for :mod:`repro.data.synthetic`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ShapeFamily, SyntheticSpec, generate_histogram
+from repro.exceptions import DataError
+
+
+def _spec(family: ShapeFamily, shape=(512,), scale=1e4, zero_fraction=0.5) -> SyntheticSpec:
+    return SyntheticSpec(
+        name="test", shape=shape, scale=scale, zero_fraction=zero_fraction, family=family
+    )
+
+
+class TestSpecValidation:
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(DataError):
+            _spec(ShapeFamily.SMOOTH_GROWTH, scale=0)
+
+    def test_rejects_bad_zero_fraction(self):
+        with pytest.raises(DataError):
+            _spec(ShapeFamily.SMOOTH_GROWTH, zero_fraction=1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DataError):
+            _spec(ShapeFamily.SMOOTH_GROWTH, shape=(0,))
+
+    def test_domain_size(self):
+        assert _spec(ShapeFamily.CLUSTERED_2D, shape=(10, 20)).domain_size == 200
+
+
+class TestGeneration:
+    @pytest.mark.parametrize(
+        "family",
+        [
+            ShapeFamily.SMOOTH_GROWTH,
+            ShapeFamily.HEAVY_TAIL,
+            ShapeFamily.BURSTY,
+            ShapeFamily.SPARSE_SPIKES,
+        ],
+    )
+    def test_scale_matches_exactly(self, family):
+        spec = _spec(family, scale=12345)
+        histogram = generate_histogram(spec, random_state=0)
+        assert histogram.sum() == pytest.approx(12345)
+
+    @pytest.mark.parametrize(
+        "zero_fraction",
+        [0.1, 0.5, 0.9],
+    )
+    def test_zero_fraction_approximately_matches(self, zero_fraction):
+        spec = _spec(ShapeFamily.HEAVY_TAIL, scale=5e4, zero_fraction=zero_fraction)
+        histogram = generate_histogram(spec, random_state=1)
+        observed = np.mean(histogram == 0)
+        assert observed == pytest.approx(zero_fraction, abs=0.08)
+
+    def test_counts_are_non_negative_integers(self):
+        spec = _spec(ShapeFamily.BURSTY, scale=2e4)
+        histogram = generate_histogram(spec, random_state=2)
+        assert np.all(histogram >= 0)
+        assert np.allclose(histogram, np.round(histogram))
+
+    def test_reproducible_given_seed(self):
+        spec = _spec(ShapeFamily.SPARSE_SPIKES)
+        first = generate_histogram(spec, random_state=7)
+        second = generate_histogram(spec, random_state=7)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        spec = _spec(ShapeFamily.SPARSE_SPIKES)
+        first = generate_histogram(spec, random_state=1)
+        second = generate_histogram(spec, random_state=2)
+        assert not np.array_equal(first, second)
+
+    def test_clustered_2d_generation(self):
+        spec = _spec(ShapeFamily.CLUSTERED_2D, shape=(30, 30), scale=5e4, zero_fraction=0.6)
+        histogram = generate_histogram(spec, random_state=3)
+        assert histogram.shape == (900,)
+        assert histogram.sum() == pytest.approx(5e4)
+
+    def test_clustered_2d_requires_2d_shape(self):
+        spec = _spec(ShapeFamily.CLUSTERED_2D, shape=(100,))
+        with pytest.raises(DataError):
+            generate_histogram(spec, random_state=0)
+
+    def test_clustered_2d_is_spatially_concentrated(self):
+        # The top 10% densest cells should hold the majority of the mass.
+        spec = _spec(ShapeFamily.CLUSTERED_2D, shape=(40, 40), scale=1e5, zero_fraction=0.7)
+        histogram = generate_histogram(spec, random_state=4)
+        sorted_counts = np.sort(histogram)[::-1]
+        top_decile = sorted_counts[: len(sorted_counts) // 10].sum()
+        assert top_decile > 0.5 * histogram.sum()
+
+    def test_sparse_spikes_family_is_heavy_tailed(self):
+        spec = _spec(ShapeFamily.SPARSE_SPIKES, scale=1e4, zero_fraction=0.95)
+        histogram = generate_histogram(spec, random_state=5)
+        nonzero = histogram[histogram > 0]
+        assert nonzero.max() > 5 * np.median(nonzero)

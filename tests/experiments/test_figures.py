@@ -1,0 +1,172 @@
+"""Integration tests for the figure/table runners (reduced-size configurations).
+
+These tests run every experiment runner on miniature configurations and check
+both the plumbing (result shapes, labels) and the qualitative findings the
+paper reports for each panel.  The full-size runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablate_consistency,
+    ablate_dawa_budget_split,
+    ablate_grid_strategy,
+    ablate_spanner_stretch,
+    empirical_scaling_1d,
+    figure10_rows,
+    figure3_rows,
+    mean_error_of,
+    qualitative_findings_1d,
+    qualitative_findings_2d,
+    run_figure10a,
+    run_figure10b,
+    run_hist_experiment,
+    run_range1d_experiment,
+    run_range1d_theta_experiment,
+    run_range2d_experiment,
+    table1_fidelity,
+    table1_rows,
+)
+
+
+class TestTable1Runner:
+    def test_rows_cover_all_datasets(self):
+        rows = table1_rows(random_state=0)
+        assert len(rows) == 10
+
+    def test_fidelity_is_tight(self):
+        fidelity = table1_fidelity(random_state=0)
+        for stats in fidelity.values():
+            assert stats["scale_relative_error"] < 1e-6
+            assert stats["zero_percent_absolute_error"] < 8.0
+
+
+class TestFigure3Runner:
+    def test_table_rows(self):
+        rows = figure3_rows()
+        assert len(rows) == 4
+        assert all(row["improvement"] > 1 for row in rows)
+
+    def test_empirical_scaling_1d_blowfish_flat(self):
+        results = empirical_scaling_1d(
+            epsilon=0.2, domain_sizes=(64, 256), num_queries=150, trials=2, random_state=0
+        )
+        blowfish = [r for r in results if r.algorithm == "Transformed+Laplace"]
+        privelet = [r for r in results if r.algorithm == "Privelet"]
+        # Blowfish error roughly flat; Privelet error grows with the domain.
+        assert blowfish[-1].mean_error < 5 * blowfish[0].mean_error
+        assert privelet[-1].mean_error > privelet[0].mean_error
+
+
+class TestFigure8Runners:
+    def test_hist_panel_qualitative(self):
+        results = run_hist_experiment(
+            epsilon=0.1, datasets=("E",), trials=2, domain_size=1024, random_state=0
+        )
+        assert mean_error_of(results, "Transformed+ConsistentEst") < mean_error_of(
+            results, "Laplace"
+        )
+        assert mean_error_of(results, "Transformed+Laplace") < mean_error_of(results, "Laplace")
+
+    def test_range1d_panel_qualitative(self):
+        results = run_range1d_experiment(
+            epsilon=0.1, datasets=("D",), num_queries=200, trials=2,
+            domain_size=1024, random_state=0,
+        )
+        assert mean_error_of(results, "Transformed+Laplace") < mean_error_of(
+            results, "Privelet"
+        ) / 20
+
+    def test_range1d_theta_panel_qualitative(self):
+        results = run_range1d_theta_experiment(
+            epsilon=0.1, theta=4, domain_sizes=(512, 1024), num_queries=200,
+            trials=2, random_state=0,
+        )
+        # Blowfish beats Privelet at every domain size, and its error does not
+        # blow up with the domain size.
+        for size in (512, 1024):
+            blowfish = mean_error_of(results, "Transformed+Laplace", dataset=str(size))
+            privelet = mean_error_of(results, "Privelet", dataset=str(size))
+            assert blowfish < privelet
+        blowfish_small = mean_error_of(results, "Transformed+Laplace", dataset="512")
+        blowfish_large = mean_error_of(results, "Transformed+Laplace", dataset="1024")
+        assert blowfish_large < 5 * blowfish_small
+
+    def test_range2d_panel_qualitative(self):
+        results = run_range2d_experiment(
+            epsilon=0.1, datasets=("T25",), num_queries=200, trials=2, random_state=0
+        )
+        assert mean_error_of(results, "Transformed+Privelet") < mean_error_of(
+            results, "Privelet"
+        )
+
+    def test_results_carry_policy_metadata(self):
+        results = run_hist_experiment(
+            epsilon=0.1, datasets=("G",), trials=1, domain_size=512, random_state=0
+        )
+        assert all("policy" in r.extra for r in results)
+
+
+class TestFigure10Runners:
+    def test_figure10a_findings(self):
+        points = run_figure10a(domain_sizes=(32, 64), thetas=(1, 2, 4))
+        findings = qualitative_findings_1d(points)
+        assert findings["unbounded_grows_faster_than_theta1"]
+
+    def test_figure10b_findings(self):
+        points = run_figure10b(domain_sizes=(16, 36), thetas=(1, 2))
+        findings = qualitative_findings_2d(points)
+        assert findings["theta1_below_unbounded"]
+        assert findings["all_theta_below_bounded"]
+
+    def test_rows_pivot(self):
+        points = run_figure10a(domain_sizes=(32,), thetas=(1,))
+        rows = figure10_rows(points)
+        assert rows[0]["domain_size"] == 32
+        assert "theta=1" in rows[0]
+
+
+class TestAblations:
+    def test_consistency_helps_more_on_sparse_data(self):
+        results = ablate_consistency(
+            epsilon=0.1, domain_size=256, zero_fractions=(0.2, 0.95), trials=2, random_state=0
+        )
+
+        def gain(zero_fraction):
+            raw = [
+                r.mean_error
+                for r in results
+                if r.algorithm == "Transformed+Laplace"
+                and r.extra["zero_fraction"] == zero_fraction
+            ][0]
+            consistent = [
+                r.mean_error
+                for r in results
+                if r.algorithm == "Transformed+ConsistentEst"
+                and r.extra["zero_fraction"] == zero_fraction
+            ][0]
+            return raw / consistent
+
+        assert gain(0.95) > gain(0.2)
+
+    def test_dawa_budget_split_returns_all_fractions(self):
+        results = ablate_dawa_budget_split(
+            epsilon=0.1, domain_size=256, fractions=(0.25, 0.5), trials=1, random_state=0
+        )
+        assert {r.extra["rho"] for r in results} == {0.25, 0.5}
+
+    def test_spanner_stretch_penalty_grows_with_theta(self):
+        results = ablate_spanner_stretch(
+            epsilon=0.2, domain_size=256, thetas=(1, 8), num_queries=150, trials=2, random_state=0
+        )
+        error_theta1 = [r.mean_error for r in results if r.extra["theta"] == 1][0]
+        error_theta8 = [r.mean_error for r in results if r.extra["theta"] == 8][0]
+        assert error_theta8 > error_theta1
+
+    def test_grid_strategy_ablation_runs(self):
+        results = ablate_grid_strategy(
+            epsilon=0.2, grid_size=12, num_queries=100, trials=1, random_state=0
+        )
+        assert {r.algorithm for r in results} == {"slab-haar", "slab-identity"}

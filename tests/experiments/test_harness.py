@@ -1,0 +1,113 @@
+"""Tests for :mod:`repro.experiments.harness` and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, identity_workload
+from repro.exceptions import ExperimentError
+from repro.blowfish import blowfish_transformed_laplace, dp_laplace_baseline
+from repro.experiments import (
+    ComparisonResult,
+    format_table,
+    mean_error_of,
+    pivot_results,
+    render_results,
+    results_by_algorithm,
+    run_comparison,
+)
+from repro.policy import line_policy
+
+
+@pytest.fixture
+def tiny_setup():
+    domain = Domain((32,))
+    database = Database(domain, np.full(32, 3.0), name="tiny")
+    workload = identity_workload(domain)
+    policy = line_policy(domain)
+    algorithms = [dp_laplace_baseline(0.5), blowfish_transformed_laplace(policy, 0.5)]
+    return algorithms, workload, database
+
+
+class TestRunComparison:
+    def test_one_result_per_algorithm(self, tiny_setup):
+        algorithms, workload, database = tiny_setup
+        results = run_comparison(algorithms, workload, database, epsilon=0.5, trials=2, random_state=0)
+        assert len(results) == 2
+        assert {r.algorithm for r in results} == {"Laplace", "Transformed+Laplace"}
+
+    def test_trials_recorded(self, tiny_setup):
+        algorithms, workload, database = tiny_setup
+        results = run_comparison(algorithms, workload, database, epsilon=0.5, trials=3, random_state=0)
+        assert all(r.trials == 3 for r in results)
+
+    def test_reproducible_with_seed(self, tiny_setup):
+        algorithms, workload, database = tiny_setup
+        first = run_comparison(algorithms, workload, database, epsilon=0.5, trials=2, random_state=7)
+        second = run_comparison(algorithms, workload, database, epsilon=0.5, trials=2, random_state=7)
+        assert [r.mean_error for r in first] == [r.mean_error for r in second]
+
+    def test_extra_metadata_propagates(self, tiny_setup):
+        algorithms, workload, database = tiny_setup
+        results = run_comparison(
+            algorithms, workload, database, epsilon=0.5, trials=1,
+            random_state=0, extra={"policy": "G^1"},
+        )
+        assert all(r.extra["policy"] == "G^1" for r in results)
+        assert all(r.as_dict()["policy"] == "G^1" for r in results)
+
+    def test_invalid_arguments(self, tiny_setup):
+        algorithms, workload, database = tiny_setup
+        with pytest.raises(ExperimentError):
+            run_comparison(algorithms, workload, database, epsilon=0.5, trials=0)
+        with pytest.raises(ExperimentError):
+            run_comparison([], workload, database, epsilon=0.5, trials=1)
+
+    def test_mean_error_positive(self, tiny_setup):
+        algorithms, workload, database = tiny_setup
+        results = run_comparison(algorithms, workload, database, epsilon=0.5, trials=2, random_state=0)
+        assert all(r.mean_error > 0 for r in results)
+
+
+class TestResultHelpers:
+    def _results(self):
+        return [
+            ComparisonResult("Laplace", "A", 0.1, "Hist", 10.0, 0.1, 3),
+            ComparisonResult("Laplace", "B", 0.1, "Hist", 20.0, 0.1, 3),
+            ComparisonResult("Blowfish", "A", 0.1, "Hist", 2.0, 0.1, 3),
+        ]
+
+    def test_results_by_algorithm(self):
+        grouped = results_by_algorithm(self._results())
+        assert len(grouped["Laplace"]) == 2
+        assert len(grouped["Blowfish"]) == 1
+
+    def test_mean_error_of(self):
+        assert mean_error_of(self._results(), "Laplace") == 15.0
+        assert mean_error_of(self._results(), "Laplace", dataset="A") == 10.0
+
+    def test_mean_error_of_missing_algorithm(self):
+        with pytest.raises(ExperimentError):
+            mean_error_of(self._results(), "Unknown")
+
+    def test_pivot_results(self):
+        table = pivot_results(self._results())
+        assert table[0]["dataset"] == "A"
+        assert table[0]["Laplace"] == 10.0
+        assert table[0]["Blowfish"] == 2.0
+        assert table[1]["Blowfish"] == ""
+
+    def test_render_results_contains_all_names(self):
+        text = render_results(self._results(), title="demo")
+        assert "demo" in text
+        assert "Laplace" in text and "Blowfish" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1.0, "b": "x"}, {"a": 22.5, "b": "yy"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1

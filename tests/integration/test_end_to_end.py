@@ -1,0 +1,154 @@
+"""End-to-end integration tests across the whole library.
+
+Each test is a miniature version of a complete use case: load (generate) a
+dataset, pick a policy, plan or build mechanisms, answer a workload and check
+both the exactness plumbing and the qualitative utility ordering of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blowfish import (
+    blowfish_transformed_consistent,
+    blowfish_transformed_dawa,
+    blowfish_transformed_laplace,
+    blowfish_transformed_privelet_grid,
+    dp_laplace_baseline,
+    dp_privelet_baseline,
+    plan_mechanism,
+    verify_answer_preservation,
+    verify_sensitivity_equality,
+)
+from repro.bounds import blowfish_svd_lower_bound
+from repro.core import (
+    all_range_queries_workload,
+    identity_workload,
+    mean_squared_error,
+    random_range_queries_workload,
+)
+from repro.data import load_dataset
+from repro.experiments import run_comparison
+from repro.policy import grid_policy, line_policy, threshold_policy
+
+
+class TestHistogramPipeline:
+    def test_full_hist_pipeline_on_dataset_g(self, rng):
+        database = load_dataset("G", random_state=1).aggregate(8)  # domain 512
+        policy = line_policy(database.domain)
+        workload = identity_workload(database.domain)
+        epsilon = 0.1
+
+        assert verify_answer_preservation(policy, workload, database)
+        assert verify_sensitivity_equality(policy, workload)
+
+        algorithms = [
+            dp_laplace_baseline(epsilon),
+            blowfish_transformed_laplace(policy, epsilon),
+            blowfish_transformed_consistent(policy, epsilon),
+        ]
+        results = run_comparison(
+            algorithms, workload, database, epsilon=epsilon, trials=2, random_state=rng
+        )
+        errors = {r.algorithm: r.mean_error for r in results}
+        assert errors["Transformed+Laplace"] < errors["Laplace"]
+        assert errors["Transformed+ConsistentEst"] < errors["Transformed+Laplace"]
+
+
+class TestRangeQueryPipeline:
+    def test_full_1d_pipeline_with_planner(self, rng):
+        database = load_dataset("E", random_state=2).aggregate(8)  # domain 512
+        policy = threshold_policy(database.domain, 4)
+        workload = random_range_queries_workload(database.domain, 200, random_state=3)
+        epsilon = 0.1
+
+        plan = plan_mechanism(policy, epsilon)
+        assert plan.route == "spanner"
+
+        baseline = dp_privelet_baseline(epsilon, database.domain.shape)
+        true_answers = workload.answer(database)
+        plan_error = mean_squared_error(
+            true_answers, plan.algorithm.answer(workload, database, rng)
+        )
+        baseline_error = mean_squared_error(
+            true_answers, baseline.answer(workload, database, rng)
+        )
+        assert plan_error < baseline_error
+
+    def test_full_2d_pipeline(self, rng):
+        database = load_dataset("T25", random_state=4)
+        policy = grid_policy(database.domain)
+        workload = random_range_queries_workload(database.domain, 200, random_state=5)
+        epsilon = 0.1
+
+        blowfish = blowfish_transformed_privelet_grid(policy, epsilon)
+        baseline = dp_privelet_baseline(epsilon, database.domain.shape)
+        true_answers = workload.answer(database)
+        blowfish_error = np.mean(
+            [
+                mean_squared_error(true_answers, blowfish.answer(workload, database, rng))
+                for _ in range(2)
+            ]
+        )
+        baseline_error = np.mean(
+            [
+                mean_squared_error(true_answers, baseline.answer(workload, database, rng))
+                for _ in range(2)
+            ]
+        )
+        assert blowfish_error < baseline_error
+
+
+class TestLowerBoundConsistency:
+    def test_mechanism_error_respects_lower_bound_shape(self, rng):
+        # The achievable error of the Theorem 5.2 mechanism must exceed the
+        # (epsilon, delta) SVD lower bound scaled to pure-epsilon conservatively:
+        # we only check it is not absurdly below (within a constant factor).
+        domain = load_dataset("G", random_state=1).aggregate(128).domain  # size 32
+        database = load_dataset("G", random_state=1).aggregate(128)
+        policy = line_policy(domain)
+        workload = all_range_queries_workload(domain)
+        epsilon = 1.0
+        bound = blowfish_svd_lower_bound(policy, workload, epsilon=epsilon, delta=0.001)
+        mechanism = blowfish_transformed_laplace(policy, epsilon)
+        true_answers = workload.answer(database)
+        total_error = np.mean(
+            [
+                np.sum(
+                    (mechanism.answer(workload, database, rng) - true_answers) ** 2
+                )
+                for _ in range(5)
+            ]
+        )
+        # The (eps, delta) constant P = 2 ln(2/delta) ~ 15 is generous; allow it.
+        assert total_error > bound / 50
+
+
+class TestDataDependenceOrdering:
+    def test_dawa_transformed_wins_on_sparse_loses_less_on_dense(self, rng):
+        epsilon = 1.0
+        sparse = load_dataset("F", random_state=3).aggregate(8)  # very sparse, 512 cells
+        dense = load_dataset("A", random_state=3).aggregate(8)  # dense, 512 cells
+        results = {}
+        for label, database in (("sparse", sparse), ("dense", dense)):
+            policy = line_policy(database.domain)
+            workload = identity_workload(database.domain)
+            true_answers = workload.answer(database)
+            laplace = blowfish_transformed_laplace(policy, epsilon)
+            dawa = blowfish_transformed_dawa(policy, epsilon)
+            laplace_error = np.mean(
+                [
+                    mean_squared_error(true_answers, laplace.answer(workload, database, rng))
+                    for _ in range(3)
+                ]
+            )
+            dawa_error = np.mean(
+                [
+                    mean_squared_error(true_answers, dawa.answer(workload, database, rng))
+                    for _ in range(3)
+                ]
+            )
+            results[label] = dawa_error / laplace_error
+        # Data dependence pays off more on the sparse dataset.
+        assert results["sparse"] < results["dense"]

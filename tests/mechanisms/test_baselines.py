@@ -1,0 +1,42 @@
+"""Tests for :mod:`repro.mechanisms.baselines`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, identity_workload, total_workload
+from repro.mechanisms import UniformMechanism, ZeroMechanism
+
+
+class TestUniformMechanism:
+    def test_estimate_is_constant(self, rng):
+        estimate = UniformMechanism(1.0).estimate_vector(np.arange(8.0), rng)
+        assert np.allclose(estimate, estimate[0])
+
+    def test_total_is_preserved_approximately(self, rng, line_domain_16, dense_database_16):
+        mechanism = UniformMechanism(1e9)
+        answers = mechanism.answer(total_workload(line_domain_16), dense_database_16, rng)
+        assert answers[0] == pytest.approx(dense_database_16.scale, abs=1e-3)
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            UniformMechanism(1.0, sensitivity=-1.0)
+
+    def test_empty_vector(self, rng):
+        assert UniformMechanism(1.0).estimate_vector(np.array([]), rng).shape == (0,)
+
+
+class TestZeroMechanism:
+    def test_always_zero(self, rng, line_domain_16, dense_database_16):
+        answers = ZeroMechanism(1.0).answer(
+            identity_workload(line_domain_16), dense_database_16, rng
+        )
+        assert np.all(answers == 0.0)
+
+    def test_error_equals_data_energy(self, line_domain_16, dense_database_16):
+        answers = ZeroMechanism(1.0).answer(
+            identity_workload(line_domain_16), dense_database_16, None
+        )
+        error = np.mean((answers - dense_database_16.counts) ** 2)
+        assert error == pytest.approx(np.mean(dense_database_16.counts**2))

@@ -1,0 +1,167 @@
+"""Tests for :mod:`repro.mechanisms.dawa`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, identity_workload
+from repro.exceptions import MechanismError
+from repro.mechanisms import (
+    DawaMechanism,
+    LaplaceHistogram,
+    bucket_deviation,
+    greedy_partition,
+    optimal_partition,
+)
+
+
+class TestBucketDeviation:
+    def test_constant_bucket_has_zero_deviation(self):
+        assert bucket_deviation(np.full(10, 3.0)) == 0.0
+
+    def test_deviation_around_median(self):
+        assert bucket_deviation(np.array([0.0, 0.0, 10.0])) == 10.0
+
+    def test_noise_adjustment_reduces_deviation(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5])
+        assert bucket_deviation(values, noise_level=1.0) <= bucket_deviation(values)
+
+    def test_empty_bucket(self):
+        assert bucket_deviation(np.array([])) == 0.0
+
+
+class TestPartitions:
+    def test_greedy_covers_domain(self):
+        noisy = np.array([0.0, 0.1, -0.2, 5.0, 5.1, 4.9, 0.0, 0.05])
+        buckets = greedy_partition(noisy, bucket_cost=1.0, noise_level=0.1)
+        covered = []
+        for start, end in buckets:
+            covered.extend(range(start, end))
+        assert covered == list(range(8))
+
+    def test_greedy_merges_constant_regions(self):
+        noisy = np.zeros(64)
+        buckets = greedy_partition(noisy, bucket_cost=1.0, noise_level=0.0)
+        assert len(buckets) == 1
+
+    def test_greedy_splits_heterogeneous_regions(self):
+        noisy = np.array([0.0] * 8 + [100.0] * 8)
+        buckets = greedy_partition(noisy, bucket_cost=1.0, noise_level=0.0)
+        assert len(buckets) >= 2
+
+    def test_optimal_covers_domain(self):
+        noisy = np.array([1.0, 1.0, 8.0, 8.0, 1.0])
+        buckets = optimal_partition(noisy, bucket_cost=0.5, noise_level=0.0)
+        covered = []
+        for start, end in buckets:
+            covered.extend(range(start, end))
+        assert covered == list(range(5))
+
+    def test_optimal_cost_not_worse_than_greedy(self):
+        rng = np.random.default_rng(0)
+        noisy = np.concatenate([np.zeros(10), rng.normal(20, 1, 10), np.zeros(10)])
+        bucket_cost, noise_level = 2.0, 1.0
+
+        def cost(buckets):
+            return sum(
+                bucket_deviation(noisy[s:e], noise_level) + bucket_cost for s, e in buckets
+            )
+
+        greedy_cost = cost(greedy_partition(noisy, bucket_cost, noise_level))
+        optimal_cost = cost(optimal_partition(noisy, bucket_cost, noise_level))
+        assert optimal_cost <= greedy_cost + 1e-9
+
+    def test_empty_input(self):
+        assert greedy_partition(np.array([]), 1.0, 0.0) == []
+        assert optimal_partition(np.array([]), 1.0, 0.0) == []
+
+
+class TestDawaMechanism:
+    def test_estimate_shape(self, rng):
+        mechanism = DawaMechanism(1.0, (64,))
+        estimate = mechanism.estimate_vector(np.zeros(64), rng)
+        assert estimate.shape == (64,)
+
+    def test_budget_split(self):
+        mechanism = DawaMechanism(1.0, partition_budget_fraction=0.25)
+        assert mechanism.partition_epsilon == 0.25
+        assert mechanism.measurement_epsilon == 0.75
+
+    def test_invalid_budget_fraction(self):
+        with pytest.raises(MechanismError):
+            DawaMechanism(1.0, partition_budget_fraction=0.0)
+        with pytest.raises(MechanismError):
+            DawaMechanism(1.0, partition_budget_fraction=1.0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(MechanismError):
+            DawaMechanism(1.0, sensitivity=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MechanismError):
+            DawaMechanism(1.0, (8, 8)).estimate_vector(np.zeros(10))
+
+    def test_beats_laplace_on_sparse_data(self, rng):
+        # The defining behaviour the paper relies on (Section 5.4.1): on sparse
+        # data DAWA's partitioning collapses the error well below Laplace.
+        k = 512
+        domain = Domain((k,))
+        counts = np.zeros(k)
+        counts[[10, 200, 401]] = [50.0, 80.0, 30.0]
+        database = Database(domain, counts)
+        workload = identity_workload(domain)
+        epsilon = 0.1
+        true_answers = workload.answer(database)
+
+        def mean_error(mechanism):
+            errors = []
+            for _ in range(5):
+                noisy = mechanism.answer(workload, database, rng)
+                errors.append(np.mean((noisy - true_answers) ** 2))
+            return np.mean(errors)
+
+        assert mean_error(DawaMechanism(epsilon, (k,))) < 0.5 * mean_error(
+            LaplaceHistogram(epsilon)
+        )
+
+    def test_comparable_to_laplace_on_irregular_data(self, rng):
+        # On highly irregular data DAWA should not be catastrophically worse
+        # than Laplace (within a small constant factor).
+        k = 256
+        domain = Domain((k,))
+        counts = rng.integers(0, 1000, k).astype(float)
+        database = Database(domain, counts)
+        workload = identity_workload(domain)
+        epsilon = 1.0
+        true_answers = workload.answer(database)
+
+        def mean_error(mechanism):
+            errors = []
+            for _ in range(5):
+                noisy = mechanism.answer(workload, database, rng)
+                errors.append(np.mean((noisy - true_answers) ** 2))
+            return np.mean(errors)
+
+        assert mean_error(DawaMechanism(epsilon, (k,))) < 200 * mean_error(
+            LaplaceHistogram(epsilon)
+        )
+
+    def test_partition_for_exposes_buckets(self, rng):
+        mechanism = DawaMechanism(1.0, (32,))
+        buckets = mechanism.partition_for(np.zeros(32), rng)
+        assert buckets[0][0] == 0
+        assert buckets[-1][1] == 32
+
+    def test_optimal_partition_variant(self, rng):
+        mechanism = DawaMechanism(1.0, (16,), use_optimal_partition=True)
+        estimate = mechanism.estimate_vector(np.zeros(16), rng)
+        assert estimate.shape == (16,)
+
+    def test_2d_data_uses_hilbert_ordering(self, rng):
+        mechanism = DawaMechanism(0.5, (8, 8))
+        estimate = mechanism.estimate_vector(np.zeros(64), rng)
+        assert estimate.shape == (64,)
+
+    def test_data_dependent_flag(self):
+        assert DawaMechanism(1.0).data_dependent is True

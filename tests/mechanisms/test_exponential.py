@@ -1,0 +1,95 @@
+"""Tests for :mod:`repro.mechanisms.exponential`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain
+from repro.exceptions import MechanismError
+from repro.mechanisms import ExponentialMechanism, graph_distance_exponential_mechanism
+from repro.policy import cycle_policy, line_policy, policy_from_edges
+
+
+class TestExponentialMechanism:
+    def test_probabilities_sum_to_one(self):
+        mechanism = ExponentialMechanism(
+            1.0, candidates=[0, 1, 2], score=lambda d, c: -abs(d - c), score_sensitivity=1.0
+        )
+        assert mechanism.probabilities(1).sum() == pytest.approx(1.0)
+
+    def test_best_candidate_is_most_likely(self):
+        mechanism = ExponentialMechanism(
+            2.0, candidates=[0, 1, 2, 3], score=lambda d, c: -abs(d - c), score_sensitivity=1.0
+        )
+        probabilities = mechanism.probabilities(2)
+        assert np.argmax(probabilities) == 2
+
+    def test_higher_epsilon_concentrates_more(self):
+        def score(d, c):
+            return -abs(d - c)
+
+        weak = ExponentialMechanism(0.1, [0, 1, 2, 3], score, 1.0).probabilities(0)
+        strong = ExponentialMechanism(5.0, [0, 1, 2, 3], score, 1.0).probabilities(0)
+        assert strong[0] > weak[0]
+
+    def test_sampling_respects_distribution(self, rng):
+        mechanism = ExponentialMechanism(
+            3.0, candidates=["a", "b"], score=lambda d, c: 1.0 if c == d else 0.0,
+            score_sensitivity=1.0,
+        )
+        samples = [mechanism.sample("a", rng) for _ in range(300)]
+        assert samples.count("a") > 200
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(MechanismError):
+            ExponentialMechanism(1.0, [], lambda d, c: 0.0, 1.0)
+
+    def test_bad_sensitivity_rejected(self):
+        with pytest.raises(MechanismError):
+            ExponentialMechanism(1.0, [1], lambda d, c: 0.0, 0.0)
+
+
+class TestGraphDistanceMechanism:
+    def test_output_probabilities_follow_graph_distance(self):
+        policy = cycle_policy(Domain((6,)))
+        mechanism = graph_distance_exponential_mechanism(policy, 1.0)
+        probabilities = mechanism.probabilities(0)
+        # Probability is proportional to exp(-eps * dist); distances on a
+        # 6-cycle from 0 are [0, 1, 2, 3, 2, 1].
+        expected = np.exp(-1.0 * np.array([0, 1, 2, 3, 2, 1]))
+        expected /= expected.sum()
+        assert np.allclose(probabilities, expected)
+
+    def test_blowfish_privacy_on_policy_edges(self):
+        # For inputs adjacent in the policy graph the output ratio is bounded
+        # by exp(eps) — the (eps, G)-Blowfish guarantee of the mechanism.
+        epsilon = 0.8
+        policy = cycle_policy(Domain((7,)))
+        mechanism = graph_distance_exponential_mechanism(policy, epsilon)
+        for u, v in policy.edges:
+            p_u = mechanism.probabilities(int(u))
+            p_v = mechanism.probabilities(int(v))
+            ratios = p_u / p_v
+            assert np.all(ratios <= np.exp(epsilon) + 1e-9)
+
+    def test_privacy_degrades_with_distance(self):
+        # Theorem 4.4's mechanism distinguishes far-apart values much better
+        # than adjacent ones, which is exactly the behaviour standard DP on any
+        # transformed instance could not reproduce for a cycle.
+        epsilon = 1.0
+        policy = cycle_policy(Domain((8,)))
+        mechanism = graph_distance_exponential_mechanism(policy, epsilon)
+        p_0 = mechanism.probabilities(0)
+        p_far = mechanism.probabilities(4)
+        worst_ratio = np.max(p_0 / p_far)
+        assert worst_ratio > np.exp(epsilon) + 1e-6
+
+    def test_line_policy_also_supported(self):
+        mechanism = graph_distance_exponential_mechanism(line_policy(Domain((5,))), 1.0)
+        assert mechanism.probabilities(2).shape == (5,)
+
+    def test_disconnected_policy_rejected(self):
+        policy = policy_from_edges(Domain((4,)), [(0, 1), (2, 3)])
+        with pytest.raises(MechanismError):
+            graph_distance_exponential_mechanism(policy, 1.0)

@@ -1,0 +1,66 @@
+"""Tests for :mod:`repro.mechanisms.geometric`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, identity_workload
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms import GeometricHistogram, geometric_noise
+
+
+class TestGeometricNoise:
+    def test_integrality(self, rng):
+        noise = geometric_noise(1.0, 1.0, 1000, rng)
+        assert noise.dtype == np.int64
+
+    def test_zero_sensitivity_gives_zeros(self):
+        assert np.all(geometric_noise(1.0, 0.0, 10) == 0)
+
+    def test_symmetric_around_zero(self, rng):
+        noise = geometric_noise(0.5, 1.0, 100_000, rng)
+        assert abs(np.mean(noise)) < 0.1
+
+    def test_variance_matches_formula(self, rng):
+        epsilon, sensitivity = 0.5, 1.0
+        noise = geometric_noise(epsilon, sensitivity, 200_000, rng)
+        alpha = np.exp(-epsilon / sensitivity)
+        expected_variance = 2 * alpha / (1 - alpha) ** 2
+        assert np.var(noise) == pytest.approx(expected_variance, rel=0.05)
+
+    def test_rejects_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            geometric_noise(0.0, 1.0, 5)
+
+    def test_rejects_negative_sensitivity(self):
+        with pytest.raises(ValueError):
+            geometric_noise(1.0, -1.0, 5)
+
+
+class TestGeometricHistogram:
+    def test_estimate_preserves_integrality(self, rng):
+        domain = Domain((16,))
+        database = Database(domain, np.arange(16, dtype=float))
+        estimate = GeometricHistogram(1.0).estimate_histogram(database, rng)
+        assert np.allclose(estimate, np.round(estimate))
+
+    def test_answers_workload(self, rng, line_domain_16, dense_database_16):
+        answers = GeometricHistogram(1.0).answer(
+            identity_workload(line_domain_16), dense_database_16, rng
+        )
+        assert answers.shape == (16,)
+
+    def test_expected_error_formula(self):
+        mechanism = GeometricHistogram(1.0, sensitivity=1.0)
+        alpha = np.exp(-1.0)
+        assert mechanism.expected_error_per_cell() == pytest.approx(
+            2 * alpha / (1 - alpha) ** 2
+        )
+
+    def test_zero_sensitivity_error(self):
+        assert GeometricHistogram(1.0, sensitivity=0.0).expected_error_per_cell() == 0.0
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            GeometricHistogram(1.0, sensitivity=-1.0)

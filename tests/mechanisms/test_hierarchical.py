@@ -1,0 +1,124 @@
+"""Tests for :mod:`repro.mechanisms.hierarchical`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, cumulative_workload, identity_workload
+from repro.exceptions import MechanismError
+from repro.mechanisms import HierarchicalMechanism, build_interval_tree
+
+
+class TestIntervalTree:
+    def test_root_covers_domain(self):
+        nodes = build_interval_tree(8)
+        assert nodes[0].lower == 0 and nodes[0].upper == 8
+
+    def test_leaf_count(self):
+        nodes = build_interval_tree(8)
+        leaves = [node for node in nodes if node.width == 1]
+        assert len(leaves) == 8
+
+    def test_node_count_binary(self):
+        nodes = build_interval_tree(8, branching=2)
+        assert len(nodes) == 15  # complete binary tree over 8 leaves
+
+    def test_levels_are_disjoint_and_leaves_cover_domain(self):
+        nodes = build_interval_tree(10, branching=2)
+        by_level = {}
+        for node in nodes:
+            by_level.setdefault(node.level, []).append(node)
+        # Within each level the intervals are disjoint (each coordinate is
+        # counted at most once per level, which is what the sensitivity bound uses).
+        for level_nodes in by_level.values():
+            covered = []
+            for node in level_nodes:
+                covered.extend(range(node.lower, node.upper))
+            assert len(covered) == len(set(covered))
+        # The unit intervals (leaves) cover the whole domain exactly once.
+        leaves = sorted(node.lower for node in nodes if node.width == 1)
+        assert leaves == list(range(10))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(MechanismError):
+            build_interval_tree(0)
+        with pytest.raises(MechanismError):
+            build_interval_tree(8, branching=1)
+
+
+class TestHierarchicalMechanism:
+    def test_sensitivity_is_levels(self):
+        mechanism = HierarchicalMechanism(1.0, size=8, branching=2)
+        assert mechanism.sensitivity == 4.0
+
+    def test_sensitivity_multiplier(self):
+        mechanism = HierarchicalMechanism(1.0, size=8, sensitivity_multiplier=2.0)
+        assert mechanism.sensitivity == 8.0
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(MechanismError):
+            HierarchicalMechanism(1.0, size=8, sensitivity_multiplier=0.0)
+
+    def test_measure_length(self, rng):
+        mechanism = HierarchicalMechanism(1.0, size=8)
+        counts = mechanism.measure(np.arange(8.0), rng)
+        assert counts.shape == (15,)
+
+    def test_measure_wrong_length(self):
+        with pytest.raises(MechanismError):
+            HierarchicalMechanism(1.0, size=8).measure(np.ones(4))
+
+    def test_decompose_range_covers_exactly(self):
+        mechanism = HierarchicalMechanism(1.0, size=16)
+        nodes = mechanism.nodes
+        for lower, upper in [(0, 16), (3, 11), (5, 6), (0, 1), (15, 16)]:
+            pieces = mechanism.decompose_range(lower, upper)
+            covered = sorted(
+                position
+                for index in pieces
+                for position in range(nodes[index].lower, nodes[index].upper)
+            )
+            assert covered == list(range(lower, upper))
+
+    def test_decompose_range_uses_few_nodes(self):
+        mechanism = HierarchicalMechanism(1.0, size=256)
+        pieces = mechanism.decompose_range(1, 255)
+        assert len(pieces) <= 2 * int(np.log2(256)) + 2
+
+    def test_decompose_invalid_range(self):
+        with pytest.raises(MechanismError):
+            HierarchicalMechanism(1.0, size=8).decompose_range(5, 3)
+
+    def test_range_answers_unbiased_at_huge_epsilon(self, rng):
+        domain = Domain((32,))
+        database = Database(domain, rng.integers(0, 10, 32).astype(float))
+        mechanism = HierarchicalMechanism(1e9, size=32)
+        workload = cumulative_workload(domain)
+        answers = mechanism.answer(workload, database, rng)
+        assert np.allclose(answers, workload.answer(database), atol=1e-3)
+
+    def test_non_range_queries_fall_back_to_leaves(self, rng):
+        domain = Domain((16,))
+        database = Database(domain, np.arange(16, dtype=float))
+        mechanism = HierarchicalMechanism(1e9, size=16)
+        workload = identity_workload(domain)
+        answers = mechanism.answer(workload, database, rng)
+        assert np.allclose(answers, database.counts, atol=1e-3)
+
+    def test_range_error_beats_per_cell_sum_for_long_ranges(self, rng):
+        # A long range answered by O(log k) nodes should be much less noisy
+        # than summing per-cell Laplace estimates of the same range.
+        domain = Domain((256,))
+        database = Database(domain, np.zeros(256))
+        workload = cumulative_workload(domain).subset([255])
+        epsilon = 1.0
+        mechanism = HierarchicalMechanism(epsilon, size=256)
+        hierarchical_errors = []
+        naive_errors = []
+        for _ in range(60):
+            noisy = mechanism.answer(workload, database, rng)
+            hierarchical_errors.append(noisy[0] ** 2)
+            naive = np.sum(rng.laplace(0, 1 / epsilon, 256))
+            naive_errors.append(naive**2)
+        assert np.mean(hierarchical_errors) < np.mean(naive_errors)

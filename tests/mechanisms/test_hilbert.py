@@ -1,0 +1,78 @@
+"""Tests for :mod:`repro.mechanisms.hilbert`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MechanismError
+from repro.mechanisms import hilbert_index, hilbert_order, ordering_for_shape
+
+
+class TestHilbertIndex:
+    def test_bijection_on_small_grid(self):
+        order = 3
+        n = 1 << order
+        indices = {hilbert_index(order, x, y) for x in range(n) for y in range(n)}
+        assert indices == set(range(n * n))
+
+    def test_adjacent_curve_positions_are_adjacent_cells(self):
+        order = 3
+        n = 1 << order
+        position_of = {}
+        for x in range(n):
+            for y in range(n):
+                position_of[hilbert_index(order, x, y)] = (x, y)
+        for position in range(n * n - 1):
+            x1, y1 = position_of[position]
+            x2, y2 = position_of[position + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MechanismError):
+            hilbert_index(2, 4, 0)
+
+
+class TestHilbertOrder:
+    def test_is_permutation_square(self):
+        perm = hilbert_order((8, 8))
+        assert sorted(perm.tolist()) == list(range(64))
+
+    def test_is_permutation_rectangular(self):
+        perm = hilbert_order((5, 9))
+        assert sorted(perm.tolist()) == list(range(45))
+
+    def test_locality_beats_row_major(self):
+        # Average Manhattan distance between consecutive cells in the ordering
+        # should be lower for the Hilbert curve than for row-major order on a
+        # reasonably sized grid (row-major jumps at the end of every row).
+        rows, cols = 16, 16
+        perm = hilbert_order((rows, cols))
+        coordinates = np.stack([perm // cols, perm % cols], axis=1)
+        hilbert_jumps = np.abs(np.diff(coordinates, axis=0)).sum(axis=1)
+        row_major = np.arange(rows * cols)
+        rm_coordinates = np.stack([row_major // cols, row_major % cols], axis=1)
+        row_major_jumps = np.abs(np.diff(rm_coordinates, axis=0)).sum(axis=1)
+        assert hilbert_jumps.mean() <= row_major_jumps.mean()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MechanismError):
+            hilbert_order((0, 4))
+        with pytest.raises(MechanismError):
+            hilbert_order((4,))  # type: ignore[arg-type]
+
+
+class TestOrderingForShape:
+    def test_1d_is_identity(self):
+        assert np.array_equal(ordering_for_shape((10,)), np.arange(10))
+
+    def test_2d_uses_hilbert(self):
+        perm = ordering_for_shape((4, 4))
+        assert sorted(perm.tolist()) == list(range(16))
+        assert not np.array_equal(perm, np.arange(16))
+
+    def test_3d_falls_back_to_identity(self):
+        assert np.array_equal(ordering_for_shape((2, 2, 2)), np.arange(8))
+
+    def test_degenerate_2d_falls_back(self):
+        assert np.array_equal(ordering_for_shape((1, 8)), np.arange(8))

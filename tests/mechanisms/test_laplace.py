@@ -1,0 +1,123 @@
+"""Tests for :mod:`repro.mechanisms.laplace` and the mechanism base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, cumulative_workload, identity_workload
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms import LaplaceHistogram, LaplaceMechanism, check_epsilon, laplace_noise
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive(self):
+        assert check_epsilon(0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(PrivacyBudgetError):
+            check_epsilon(value)
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_gives_zeros(self):
+        assert np.all(laplace_noise(0.0, 10) == 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            laplace_noise(-1.0, 5)
+
+    def test_deterministic_with_seed(self):
+        assert np.allclose(laplace_noise(1.0, 5, 3), laplace_noise(1.0, 5, 3))
+
+    def test_empirical_variance(self, rng):
+        samples = laplace_noise(2.0, 100_000, rng)
+        assert np.var(samples) == pytest.approx(2 * 4.0, rel=0.05)
+
+
+class TestLaplaceMechanism:
+    def test_noise_magnitude_scales_with_sensitivity(self, line_domain_16, dense_database_16, rng):
+        # C_k has sensitivity k; its answers should be far noisier than I_k's.
+        identity_error = []
+        cumulative_error = []
+        for _ in range(20):
+            mechanism = LaplaceMechanism(epsilon=1.0)
+            identity = identity_workload(line_domain_16)
+            cumulative = cumulative_workload(line_domain_16)
+            identity_error.append(
+                np.mean((mechanism.answer(identity, dense_database_16, rng) - identity.answer(dense_database_16)) ** 2)
+            )
+            cumulative_error.append(
+                np.mean((mechanism.answer(cumulative, dense_database_16, rng) - cumulative.answer(dense_database_16)) ** 2)
+            )
+        assert np.mean(cumulative_error) > 10 * np.mean(identity_error)
+
+    def test_explicit_sensitivity_override(self, line_domain_16, dense_database_16, rng):
+        mechanism = LaplaceMechanism(epsilon=1e9, sensitivity=0.0)
+        answers = mechanism.answer(identity_workload(line_domain_16), dense_database_16, rng)
+        assert np.allclose(answers, dense_database_16.counts)
+
+    def test_sensitivity_for_bounded(self, line_domain_16):
+        mechanism = LaplaceMechanism(epsilon=1.0, bounded=True)
+        assert mechanism.sensitivity_for(identity_workload(line_domain_16).matrix) == 2.0
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=-1.0)
+
+    def test_expected_error_formula(self, line_domain_16):
+        mechanism = LaplaceMechanism(epsilon=0.5)
+        expected = mechanism.expected_error_per_query(identity_workload(line_domain_16).matrix)
+        assert expected == pytest.approx(2 * (1 / 0.5) ** 2)
+
+    def test_domain_mismatch_rejected(self, dense_database_16):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        with pytest.raises(ValueError):
+            mechanism.answer(identity_workload(Domain((8,))), dense_database_16)
+
+    def test_empirical_error_matches_theorem_2_1(self, rng):
+        # Average squared error over many runs ~ 2 Delta^2 / eps^2 per query.
+        domain = Domain((32,))
+        database = Database(domain, np.arange(32, dtype=float))
+        workload = identity_workload(domain)
+        epsilon = 0.5
+        mechanism = LaplaceMechanism(epsilon=epsilon)
+        errors = []
+        for _ in range(200):
+            noisy = mechanism.answer(workload, database, rng)
+            errors.append(np.mean((noisy - database.counts) ** 2))
+        assert np.mean(errors) == pytest.approx(2 / epsilon**2, rel=0.15)
+
+
+class TestLaplaceHistogram:
+    def test_estimate_shape(self, dense_database_16, rng):
+        mechanism = LaplaceHistogram(epsilon=1.0)
+        estimate = mechanism.estimate_histogram(dense_database_16, rng)
+        assert estimate.shape == (16,)
+
+    def test_answers_consistent_with_estimate(self, line_domain_16, dense_database_16):
+        # Answering through the histogram estimator must equal W @ estimate.
+        mechanism = LaplaceHistogram(epsilon=1e9)
+        answers = mechanism.answer(cumulative_workload(line_domain_16), dense_database_16, 0)
+        assert np.allclose(answers, np.cumsum(dense_database_16.counts), atol=1e-3)
+
+    def test_sensitivity_scales_noise(self, rng):
+        domain = Domain((64,))
+        database = Database(domain, np.zeros(64))
+        base = LaplaceHistogram(epsilon=1.0, sensitivity=1.0)
+        doubled = LaplaceHistogram(epsilon=1.0, sensitivity=2.0)
+        base_error = np.mean(base.estimate_histogram(database, rng) ** 2)
+        doubled_error = np.mean(doubled.estimate_histogram(database, rng) ** 2)
+        assert doubled_error > 2 * base_error
+
+    def test_expected_error_per_cell(self):
+        assert LaplaceHistogram(1.0, sensitivity=1.0).expected_error_per_cell() == 2.0
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            LaplaceHistogram(epsilon=1.0, sensitivity=-0.5)
+
+    def test_data_independent_flag(self):
+        assert LaplaceHistogram(1.0).data_dependent is False
+        assert LaplaceMechanism(1.0).data_dependent is False

@@ -1,0 +1,102 @@
+"""Tests for :mod:`repro.mechanisms.matrix` (the matrix mechanism, Equation 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, cumulative_workload, identity_workload
+from repro.exceptions import MechanismError
+from repro.mechanisms import (
+    MatrixMechanism,
+    haar_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    laplace_matrix_mechanism,
+    total_strategy,
+)
+
+
+@pytest.fixture
+def small_instance():
+    domain = Domain((8,))
+    database = Database(domain, np.array([3.0, 0, 1, 5, 2, 2, 0, 7]))
+    return domain, database
+
+
+class TestMatrixMechanism:
+    def test_unbiasedness_at_huge_epsilon(self, small_instance, rng):
+        domain, database = small_instance
+        mechanism = MatrixMechanism(1e9, haar_strategy(8))
+        workload = cumulative_workload(domain)
+        answers = mechanism.answer(workload, database, rng)
+        assert np.allclose(answers, workload.answer(database), atol=1e-3)
+
+    def test_identity_strategy_equals_laplace_histogram_error(self, small_instance, rng):
+        domain, database = small_instance
+        workload = identity_workload(domain)
+        mechanism = laplace_matrix_mechanism(0.5, 8)
+        errors = []
+        for _ in range(300):
+            noisy = mechanism.answer(workload, database, rng)
+            errors.append(np.mean((noisy - database.counts) ** 2))
+        assert np.mean(errors) == pytest.approx(2 / 0.25, rel=0.15)
+
+    def test_vector_length_check(self, small_instance):
+        domain, database = small_instance
+        mechanism = MatrixMechanism(1.0, identity_strategy(4))
+        with pytest.raises(MechanismError):
+            mechanism.answer(identity_workload(domain), database)
+
+    def test_check_supports_identity(self, small_instance):
+        domain, _ = small_instance
+        mechanism = MatrixMechanism(1.0, identity_strategy(8))
+        assert mechanism.check_supports(identity_workload(domain).matrix)
+
+    def test_check_supports_fails_for_total_strategy(self, small_instance):
+        domain, _ = small_instance
+        mechanism = MatrixMechanism(1.0, total_strategy(8))
+        assert not mechanism.check_supports(identity_workload(domain).matrix)
+
+    def test_expected_error_identity(self, small_instance):
+        domain, _ = small_instance
+        mechanism = MatrixMechanism(1.0, identity_strategy(8))
+        errors = mechanism.expected_error_per_query(identity_workload(domain).matrix)
+        assert np.allclose(errors, 2.0)
+
+    def test_expected_error_prefers_haar_for_ranges(self):
+        # For the cumulative workload on a large enough domain, the Haar
+        # strategy's worst-case per-query error (O(log^3 k)) beats the identity
+        # strategy's (Theta(k)).
+        domain = Domain((256,))
+        workload = cumulative_workload(domain)
+        identity_error = MatrixMechanism(1.0, identity_strategy(256)).expected_error_per_query(
+            workload.matrix
+        )
+        haar_error = MatrixMechanism(1.0, haar_strategy(256)).expected_error_per_query(
+            workload.matrix
+        )
+        assert haar_error.max() < identity_error.max()
+
+    def test_hierarchical_strategy_supports_ranges(self):
+        domain = Domain((16,))
+        mechanism = MatrixMechanism(1.0, hierarchical_strategy(16))
+        assert mechanism.check_supports(cumulative_workload(domain).matrix)
+
+    def test_empirical_error_matches_expected(self, rng):
+        domain = Domain((16,))
+        database = Database(domain, rng.integers(0, 20, 16).astype(float))
+        workload = cumulative_workload(domain)
+        mechanism = MatrixMechanism(1.0, haar_strategy(16))
+        expected = mechanism.expected_error_per_query(workload.matrix)
+        observed = np.zeros(workload.num_queries)
+        trials = 400
+        true_answers = workload.answer(database)
+        for _ in range(trials):
+            noisy = mechanism.answer(workload, database, rng)
+            observed += (noisy - true_answers) ** 2
+        observed /= trials
+        assert np.mean(observed) == pytest.approx(np.mean(expected), rel=0.15)
+
+    def test_data_independent_flag(self):
+        assert MatrixMechanism(1.0, identity_strategy(4)).data_dependent is False

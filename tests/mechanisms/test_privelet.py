@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.mechanisms.privelet`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, random_range_queries_workload
+from repro.exceptions import MechanismError
+from repro.mechanisms import LaplaceHistogram, PriveletMechanism
+
+
+class TestConstruction:
+    def test_integer_shape_becomes_tuple(self):
+        assert PriveletMechanism(1.0, 16).shape == (16,)
+
+    def test_sensitivity_1d(self):
+        assert PriveletMechanism(1.0, 16).sensitivity == 5.0  # 1 + log2(16)
+
+    def test_sensitivity_2d_is_product(self):
+        mechanism = PriveletMechanism(1.0, (16, 16))
+        assert mechanism.sensitivity == 25.0
+
+    def test_sensitivity_with_padding(self):
+        assert PriveletMechanism(1.0, 100).sensitivity == 8.0  # padded to 128
+
+    def test_sensitivity_multiplier(self):
+        assert PriveletMechanism(1.0, 16, sensitivity_multiplier=2.0).sensitivity == 10.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MechanismError):
+            PriveletMechanism(1.0, (0, 4))
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(MechanismError):
+            PriveletMechanism(1.0, 16, sensitivity_multiplier=0.0)
+
+
+class TestEstimation:
+    def test_exact_reconstruction_at_huge_epsilon_1d(self, rng):
+        data = rng.integers(0, 50, 32).astype(float)
+        mechanism = PriveletMechanism(1e9, 32)
+        assert np.allclose(mechanism.estimate_vector(data, rng), data, atol=1e-3)
+
+    def test_exact_reconstruction_with_padding(self, rng):
+        data = rng.integers(0, 50, 20).astype(float)
+        mechanism = PriveletMechanism(1e9, 20)
+        assert np.allclose(mechanism.estimate_vector(data, rng), data, atol=1e-3)
+
+    def test_exact_reconstruction_2d(self, rng):
+        data = rng.integers(0, 20, 36).astype(float)
+        mechanism = PriveletMechanism(1e9, (6, 6))
+        assert np.allclose(mechanism.estimate_vector(data, rng), data, atol=1e-3)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(MechanismError):
+            PriveletMechanism(1.0, 16).estimate_vector(np.ones(8))
+
+    def test_estimate_is_noisy(self, rng):
+        data = np.zeros(64)
+        estimate = PriveletMechanism(0.5, 64).estimate_vector(data, rng)
+        assert not np.allclose(estimate, 0.0)
+
+
+class TestRangeQueryError:
+    def test_beats_laplace_on_long_ranges_large_domain(self, rng):
+        # The whole point of Privelet: on large domains the per-range error is
+        # polylogarithmic while per-cell Laplace noise accumulates linearly.
+        k = 1024
+        domain = Domain((k,))
+        database = Database(domain, np.zeros(k))
+        workload = random_range_queries_workload(domain, 150, random_state=0)
+        epsilon = 1.0
+        privelet = PriveletMechanism(epsilon, k)
+        laplace = LaplaceHistogram(epsilon)
+        true_answers = workload.answer(database)
+
+        def mean_error(mechanism):
+            errors = []
+            for _ in range(5):
+                noisy = mechanism.answer(workload, database, rng)
+                errors.append(np.mean((noisy - true_answers) ** 2))
+            return np.mean(errors)
+
+        assert mean_error(privelet) < mean_error(laplace)
+
+    def test_error_bound_helper_monotone_in_domain(self):
+        small = PriveletMechanism(1.0, 64).expected_error_per_range_query_bound()
+        large = PriveletMechanism(1.0, 4096).expected_error_per_range_query_bound()
+        assert large > small
+
+    def test_error_grows_with_dimension(self):
+        one_d = PriveletMechanism(1.0, 64).expected_error_per_range_query_bound()
+        two_d = PriveletMechanism(1.0, (64, 64)).expected_error_per_range_query_bound()
+        assert two_d > one_d
+
+    def test_data_independent_flag(self):
+        assert PriveletMechanism(1.0, 8).data_dependent is False

@@ -1,0 +1,184 @@
+"""Tests for :mod:`repro.mechanisms.strategies`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MechanismError
+from repro.mechanisms import (
+    Strategy,
+    block_diagonal_strategy,
+    haar_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+    kron_strategy,
+    total_strategy,
+)
+
+
+class TestIdentityAndTotal:
+    def test_identity_shape_and_sensitivity(self):
+        strategy = identity_strategy(8)
+        assert strategy.matrix.shape == (8, 8)
+        assert strategy.sensitivity == 1.0
+
+    def test_identity_pseudo_inverse(self):
+        strategy = identity_strategy(5)
+        values = np.arange(5.0)
+        assert np.allclose(strategy.apply_pseudo_inverse(values), values)
+
+    def test_total_reconstruction_spreads_uniformly(self):
+        strategy = total_strategy(4)
+        assert np.allclose(strategy.apply_pseudo_inverse(np.array([8.0])), 2.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(MechanismError):
+            identity_strategy(0)
+        with pytest.raises(MechanismError):
+            total_strategy(-1)
+
+    def test_apply_pseudo_inverse_length_check(self):
+        with pytest.raises(MechanismError):
+            identity_strategy(4).apply_pseudo_inverse(np.ones(5))
+
+
+class TestHierarchicalStrategy:
+    def test_sensitivity_is_number_of_levels(self):
+        strategy = hierarchical_strategy(8, branching=2)
+        assert strategy.sensitivity == 4.0  # levels: 8, 4, 2, 1
+
+    def test_rows_include_total_and_leaves(self):
+        strategy = hierarchical_strategy(8)
+        dense = strategy.matrix.toarray()
+        assert np.allclose(dense[0], 1.0)  # root row counts everything
+        # The unit rows (leaves) appear exactly once per coordinate.
+        unit_rows = [row for row in dense if row.sum() == 1.0 and np.all((row == 0) | (row == 1))]
+        assert len(unit_rows) == 8
+
+    def test_branching_controls_levels(self):
+        binary = hierarchical_strategy(16, branching=2)
+        quaternary = hierarchical_strategy(16, branching=4)
+        assert quaternary.sensitivity < binary.sensitivity
+
+    def test_non_power_of_two(self):
+        strategy = hierarchical_strategy(10, branching=2)
+        # Full row space: least-squares reconstruction is exact.
+        values = strategy.matrix @ np.arange(10.0)
+        assert np.allclose(strategy.apply_pseudo_inverse(values), np.arange(10.0))
+
+    def test_invalid_branching(self):
+        with pytest.raises(MechanismError):
+            hierarchical_strategy(8, branching=1)
+
+
+class TestHaarStrategy:
+    def test_sensitivity_power_of_two(self):
+        assert haar_strategy(16).sensitivity == 1.0 + 4.0
+
+    def test_sensitivity_padded(self):
+        assert haar_strategy(10).sensitivity == 1.0 + 4.0  # padded to 16
+
+    def test_power_of_two_has_explicit_pinv(self):
+        assert haar_strategy(16).pseudo_inverse is not None
+
+    def test_non_power_of_two_falls_back_to_lsqr(self):
+        strategy = haar_strategy(12)
+        assert strategy.pseudo_inverse is None
+        values = strategy.matrix @ np.arange(12.0)
+        assert np.allclose(strategy.apply_pseudo_inverse(values), np.arange(12.0), atol=1e-6)
+
+    def test_rows_are_orthogonal_for_power_of_two(self):
+        dense = haar_strategy(8).matrix.toarray()
+        gram = dense @ dense.T
+        off_diagonal = gram - np.diag(np.diag(gram))
+        assert np.allclose(off_diagonal, 0.0)
+
+    def test_reconstruction_is_exact(self):
+        strategy = haar_strategy(16)
+        data = np.random.default_rng(0).normal(size=16)
+        measurements = strategy.matrix @ data
+        assert np.allclose(strategy.apply_pseudo_inverse(measurements), data)
+
+    def test_column_l1_norm_equals_sensitivity(self):
+        dense = np.abs(haar_strategy(32).matrix.toarray())
+        assert dense.sum(axis=0).max() == pytest.approx(haar_strategy(32).sensitivity)
+
+
+class TestKronStrategy:
+    def test_shapes_multiply(self):
+        first, second = haar_strategy(4), haar_strategy(8)
+        product = kron_strategy(first, second)
+        assert product.matrix.shape == (
+            first.num_measurements * second.num_measurements,
+            first.num_columns * second.num_columns,
+        )
+
+    def test_sensitivity_multiplies(self):
+        product = kron_strategy(haar_strategy(4), haar_strategy(8))
+        assert product.sensitivity == haar_strategy(4).sensitivity * haar_strategy(8).sensitivity
+
+    def test_pinv_propagates(self):
+        product = kron_strategy(haar_strategy(4), haar_strategy(4))
+        assert product.pseudo_inverse is not None
+        data = np.random.default_rng(1).normal(size=16)
+        measurements = product.matrix @ data
+        assert np.allclose(product.apply_pseudo_inverse(measurements), data)
+
+    def test_pinv_not_propagated_when_missing(self):
+        product = kron_strategy(haar_strategy(4), haar_strategy(12))
+        assert product.pseudo_inverse is None
+
+
+class TestBlockDiagonalStrategy:
+    def test_partitioned_identity(self):
+        strategy = block_diagonal_strategy(
+            [([0, 1], identity_strategy(2)), ([2, 3], identity_strategy(2))],
+            num_columns=4,
+        )
+        assert strategy.matrix.shape == (4, 4)
+        assert strategy.sensitivity == 1.0
+
+    def test_sensitivity_is_max_over_groups(self):
+        strategy = block_diagonal_strategy(
+            [([0, 1, 2, 3], haar_strategy(4)), ([4, 5], identity_strategy(2))],
+            num_columns=6,
+        )
+        assert strategy.sensitivity == haar_strategy(4).sensitivity
+
+    def test_reconstruction_per_group(self):
+        strategy = block_diagonal_strategy(
+            [([0, 1, 2, 3], haar_strategy(4)), ([4, 5, 6, 7], haar_strategy(4))],
+            num_columns=8,
+        )
+        data = np.arange(8.0)
+        measurements = strategy.matrix @ data
+        assert np.allclose(strategy.apply_pseudo_inverse(measurements), data)
+
+    def test_uncovered_coordinates_reconstruct_to_zero(self):
+        strategy = block_diagonal_strategy(
+            [([0, 1], identity_strategy(2))], num_columns=4
+        )
+        measurements = np.array([5.0, 6.0])
+        reconstruction = strategy.apply_pseudo_inverse(measurements)
+        assert np.allclose(reconstruction, [5.0, 6.0, 0.0, 0.0])
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(MechanismError):
+            block_diagonal_strategy(
+                [([0, 1], identity_strategy(2)), ([1, 2], identity_strategy(2))],
+                num_columns=3,
+            )
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(MechanismError):
+            block_diagonal_strategy([([0, 1, 2], identity_strategy(2))], num_columns=3)
+
+    def test_permuted_coordinates(self):
+        strategy = block_diagonal_strategy(
+            [([3, 1], identity_strategy(2)), ([0, 2], identity_strategy(2))],
+            num_columns=4,
+        )
+        data = np.array([10.0, 20.0, 30.0, 40.0])
+        measurements = strategy.matrix @ data
+        assert np.allclose(strategy.apply_pseudo_inverse(measurements), data)

@@ -1,0 +1,154 @@
+"""Tests for :mod:`repro.policy.builders`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Domain
+from repro.exceptions import PolicyError
+from repro.policy import (
+    BOTTOM,
+    bounded_dp_policy,
+    cycle_policy,
+    grid_policy,
+    line_policy,
+    policy_from_edges,
+    sensitive_attribute_policy,
+    star_policy,
+    threshold_policy,
+    unbounded_dp_policy,
+)
+
+
+class TestLinePolicy:
+    def test_edge_count(self):
+        policy = line_policy(Domain((10,)))
+        assert policy.num_edges == 9
+
+    def test_edges_connect_adjacent_values(self):
+        policy = line_policy(Domain((5,)))
+        assert policy.edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_is_tree(self):
+        assert line_policy(Domain((10,))).is_tree()
+
+    def test_bottom_variant(self):
+        policy = line_policy(Domain((5,)), attach_bottom=True)
+        assert policy.has_bottom
+        assert policy.num_edges == 5
+
+    def test_rejects_2d_domain(self):
+        with pytest.raises(PolicyError):
+            line_policy(Domain((4, 4)))
+
+
+class TestThresholdPolicy:
+    def test_theta_one_1d_is_line(self):
+        domain = Domain((6,))
+        assert threshold_policy(domain, 1) == line_policy(domain)
+
+    def test_edge_count_1d(self):
+        # G^theta_k has sum_{s=1}^{theta} (k - s) edges.
+        policy = threshold_policy(Domain((10,)), 3)
+        assert policy.num_edges == 9 + 8 + 7
+
+    def test_edges_respect_distance(self):
+        domain = Domain((8,))
+        policy = threshold_policy(domain, 2)
+        for u, v in policy.edges:
+            assert abs(int(u) - int(v)) <= 2
+
+    def test_grid_policy_edge_count(self):
+        # Unit grid over k x k has 2 k (k-1) edges.
+        policy = grid_policy(Domain((4, 4)))
+        assert policy.num_edges == 2 * 4 * 3
+
+    def test_2d_threshold_includes_diagonal_steps(self):
+        policy = threshold_policy(Domain((3, 3)), 2)
+        domain = policy.domain
+        assert policy.has_edge(domain.index_of((0, 0)), domain.index_of((1, 1)))
+        assert not policy.has_edge(domain.index_of((0, 0)), domain.index_of((2, 2)))
+
+    def test_threshold_is_connected(self):
+        assert threshold_policy(Domain((12,)), 4).is_connected()
+        assert grid_policy(Domain((5, 5))).is_connected()
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(PolicyError):
+            threshold_policy(Domain((5,)), 0)
+
+    def test_3d_grid(self):
+        policy = grid_policy(Domain((3, 3, 3)))
+        # d * k^(d-1) * (k-1) edges.
+        assert policy.num_edges == 3 * 9 * 2
+
+
+class TestDpPolicies:
+    def test_unbounded_policy_edges(self):
+        policy = unbounded_dp_policy(Domain((5,)))
+        assert policy.num_edges == 5
+        assert all(v is BOTTOM or u is BOTTOM for u, v in policy.edges)
+
+    def test_bounded_policy_is_complete(self):
+        policy = bounded_dp_policy(Domain((5,)))
+        assert policy.num_edges == 10
+        assert not policy.has_bottom
+
+    def test_unbounded_policy_is_tree(self):
+        assert unbounded_dp_policy(Domain((5,))).is_tree()
+
+
+class TestOtherPolicies:
+    def test_star_policy(self):
+        policy = star_policy(Domain((6,)), center=2)
+        assert policy.num_edges == 5
+        assert policy.is_tree()
+        assert policy.degree(2) == 5
+
+    def test_star_policy_rejects_bad_center(self):
+        with pytest.raises(PolicyError):
+            star_policy(Domain((6,)), center=6)
+
+    def test_cycle_policy(self):
+        policy = cycle_policy(Domain((6,)))
+        assert policy.num_edges == 6
+        assert not policy.is_tree()
+        assert policy.is_connected()
+
+    def test_cycle_policy_rejects_tiny_domain(self):
+        with pytest.raises(PolicyError):
+            cycle_policy(Domain((2,)))
+
+    def test_sensitive_attribute_policy_is_disconnected(self):
+        domain = Domain((3, 4))
+        policy = sensitive_attribute_policy(domain, sensitive_axes=[1])
+        # Cells differing on the non-sensitive axis 0 are disconnected.
+        assert not policy.is_connected()
+        components = policy.connected_components()
+        assert len(components) == 3
+
+    def test_sensitive_attribute_edges_differ_in_one_sensitive_axis(self):
+        domain = Domain((2, 3))
+        policy = sensitive_attribute_policy(domain, sensitive_axes=[1])
+        for u, v in policy.edges:
+            cu, cv = domain.cell_of(int(u)), domain.cell_of(int(v))
+            assert cu[0] == cv[0]
+            assert cu[1] != cv[1]
+
+    def test_sensitive_attribute_all_axes_is_connected_within(self):
+        domain = Domain((2, 2))
+        policy = sensitive_attribute_policy(domain, sensitive_axes=[0, 1])
+        assert policy.is_connected()
+
+    def test_sensitive_attribute_rejects_empty(self):
+        with pytest.raises(PolicyError):
+            sensitive_attribute_policy(Domain((2, 2)), sensitive_axes=[])
+
+    def test_sensitive_attribute_rejects_bad_axis(self):
+        with pytest.raises(PolicyError):
+            sensitive_attribute_policy(Domain((2, 2)), sensitive_axes=[2])
+
+    def test_policy_from_edges(self):
+        policy = policy_from_edges(Domain((4,)), [(0, 3)], name="custom")
+        assert policy.num_edges == 1
+        assert policy.name == "custom"

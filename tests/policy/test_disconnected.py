@@ -1,0 +1,111 @@
+"""End-to-end tests for disconnected policies (Appendix E).
+
+The "sensitive attributes" policy connects only cells that differ in a
+sensitive attribute, so the policy graph splits into one component per
+combination of non-sensitive attribute values.  Appendix E shows the
+transformation still applies (each component is reduced through Case II and
+attached to ⊥), at the price of exactly disclosing the per-component totals.
+These tests exercise the full pipeline on such policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    identity_workload,
+    marginal_workload,
+    random_range_queries_workload,
+)
+from repro.blowfish import PolicyMatrixMechanism, blowfish_transformed_laplace_matrix
+from repro.policy import PolicyTransform, sensitive_attribute_policy
+
+
+@pytest.fixture
+def attribute_setup():
+    # Two attributes: a non-sensitive one with 3 values and a sensitive one with 4.
+    domain = Domain((3, 4))
+    policy = sensitive_attribute_policy(domain, sensitive_axes=[1])
+    generator = np.random.default_rng(5)
+    database = Database(domain, generator.integers(0, 8, 12).astype(float), name="table")
+    return domain, policy, database
+
+
+class TestDisconnectedTransform:
+    def test_one_component_per_non_sensitive_value(self, attribute_setup):
+        domain, policy, _ = attribute_setup
+        components = policy.connected_components()
+        assert len(components) == 3
+
+    def test_transform_removes_one_vertex_per_component(self, attribute_setup):
+        _, policy, _ = attribute_setup
+        transform = PolicyTransform(policy)
+        assert len(transform.removed_vertices) == 3
+        assert transform.has_full_row_rank()
+
+    def test_answers_preserved_for_all_workloads(self, attribute_setup):
+        domain, policy, database = attribute_setup
+        transform = PolicyTransform(policy)
+        for workload in (
+            identity_workload(domain),
+            marginal_workload(domain, 0),
+            marginal_workload(domain, 1),
+            random_range_queries_workload(domain, 10, random_state=1),
+        ):
+            instance = transform.transform_instance(workload, database)
+            assert np.allclose(instance.true_answers(), workload.answer(database))
+
+    def test_offset_discloses_component_totals_only(self, attribute_setup):
+        # The offset of the identity workload is supported exactly on the
+        # removed vertices and carries the per-component totals (which the
+        # policy deems non-sensitive, Appendix E).
+        domain, policy, database = attribute_setup
+        transform = PolicyTransform(policy)
+        offset = transform.offset(identity_workload(domain), database)
+        array = database.as_array()
+        for removed in transform.removed_vertices:
+            cell = domain.cell_of(removed)
+            component_total = array[cell[0], :].sum()
+            assert offset[removed] == pytest.approx(component_total)
+        untouched = [v for v in range(domain.size) if v not in transform.removed_vertices]
+        assert np.allclose(offset[untouched], 0.0)
+
+    def test_sensitive_marginal_is_protected_but_answerable(self, attribute_setup):
+        # The marginal over the *sensitive* attribute has non-trivial policy
+        # sensitivity (it must be noised), whereas the marginal over the
+        # non-sensitive attribute has zero policy sensitivity — the policy
+        # permits releasing it exactly.
+        domain, policy, _ = attribute_setup
+        transform = PolicyTransform(policy)
+        sensitive_marginal = marginal_workload(domain, 1)
+        non_sensitive_marginal = marginal_workload(domain, 0)
+        assert transform.policy_sensitivity(sensitive_marginal) == 2.0
+        assert transform.policy_sensitivity(non_sensitive_marginal) == 0.0
+
+
+class TestDisconnectedMechanisms:
+    def test_policy_matrix_mechanism_runs(self, attribute_setup, rng):
+        domain, policy, database = attribute_setup
+        workload = identity_workload(domain)
+        mechanism = PolicyMatrixMechanism(policy, epsilon=1e9)
+        answers = mechanism.answer(workload, database, rng)
+        assert np.allclose(answers, database.counts, atol=1e-3)
+
+    def test_non_sensitive_marginal_answered_exactly_for_free(self, attribute_setup, rng):
+        # Because its policy sensitivity is zero, the noise added to the
+        # non-sensitive marginal by the transformed mechanism is exactly zero.
+        domain, policy, database = attribute_setup
+        workload = marginal_workload(domain, 0)
+        algorithm = blowfish_transformed_laplace_matrix(policy, epsilon=0.5)
+        answers = algorithm.answer(workload, database, rng)
+        assert np.allclose(answers, workload.answer(database), atol=1e-9)
+
+    def test_sensitive_marginal_is_noised(self, attribute_setup, rng):
+        domain, policy, database = attribute_setup
+        workload = marginal_workload(domain, 1)
+        algorithm = blowfish_transformed_laplace_matrix(policy, epsilon=0.5)
+        answers = algorithm.answer(workload, database, rng)
+        assert not np.allclose(answers, workload.answer(database), atol=1e-6)

@@ -1,0 +1,161 @@
+"""Tests for :mod:`repro.policy.graph`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain
+from repro.exceptions import PolicyError
+from repro.policy import BOTTOM, PolicyGraph, is_bottom, neighboring_databases
+
+
+@pytest.fixture
+def small_policy():
+    domain = Domain((4,))
+    return PolicyGraph(domain, [(0, 1), (1, 2), (3, BOTTOM)], name="small")
+
+
+class TestConstruction:
+    def test_edge_count(self, small_policy):
+        assert small_policy.num_edges == 3
+
+    def test_has_bottom(self, small_policy):
+        assert small_policy.has_bottom
+
+    def test_no_bottom(self):
+        policy = PolicyGraph(Domain((3,)), [(0, 1), (1, 2)])
+        assert not policy.has_bottom
+        assert policy.num_vertices == 3
+
+    def test_num_vertices_includes_bottom(self, small_policy):
+        assert small_policy.num_vertices == 5
+
+    def test_duplicate_edges_ignored(self):
+        policy = PolicyGraph(Domain((3,)), [(0, 1), (1, 0), (0, 1)])
+        assert policy.num_edges == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(PolicyError):
+            PolicyGraph(Domain((3,)), [(1, 1)])
+
+    def test_rejects_bottom_bottom_edge(self):
+        with pytest.raises(PolicyError):
+            PolicyGraph(Domain((3,)), [(BOTTOM, BOTTOM)])
+
+    def test_rejects_out_of_domain_vertex(self):
+        with pytest.raises(PolicyError):
+            PolicyGraph(Domain((3,)), [(0, 3)])
+
+    def test_edge_order_preserved(self):
+        edges = [(2, 3), (0, 1), (1, 2)]
+        policy = PolicyGraph(Domain((4,)), edges)
+        assert policy.edges == [(2, 3), (0, 1), (1, 2)]
+
+    def test_bottom_singleton_repr(self):
+        assert is_bottom(BOTTOM)
+        assert not is_bottom(0)
+        assert repr(BOTTOM) == "BOTTOM"
+
+
+class TestStructure:
+    def test_neighbors(self, small_policy):
+        assert set(small_policy.neighbors(1)) == {0, 2}
+
+    def test_neighbors_of_bottom(self, small_policy):
+        assert small_policy.neighbors(BOTTOM) == [3]
+
+    def test_degree(self, small_policy):
+        assert small_policy.degree(1) == 2
+        assert small_policy.degree(3) == 1
+
+    def test_has_edge_both_orders(self, small_policy):
+        assert small_policy.has_edge(0, 1)
+        assert small_policy.has_edge(1, 0)
+        assert small_policy.has_edge(3, BOTTOM)
+        assert not small_policy.has_edge(0, 2)
+
+    def test_edge_index(self, small_policy):
+        assert small_policy.edge_index(1, 2) == 1
+        assert small_policy.edge_index(BOTTOM, 3) == 2
+
+    def test_edge_index_missing_raises(self, small_policy):
+        with pytest.raises(PolicyError):
+            small_policy.edge_index(0, 2)
+
+    def test_incident_edges(self, small_policy):
+        assert small_policy.incident_edges(1) == [0, 1]
+
+    def test_degree_histogram(self, small_policy):
+        histogram = small_policy.degree_histogram()
+        assert sum(histogram.values()) == small_policy.num_vertices
+
+
+class TestConnectivity:
+    def test_connected_policy(self):
+        policy = PolicyGraph(Domain((4,)), [(0, 1), (1, 2), (2, 3)])
+        assert policy.is_connected()
+        assert policy.is_tree()
+
+    def test_disconnected_policy(self):
+        policy = PolicyGraph(Domain((4,)), [(0, 1), (2, 3)])
+        assert not policy.is_connected()
+        components = policy.connected_components()
+        assert len(components) == 2
+
+    def test_cycle_is_not_tree(self):
+        policy = PolicyGraph(Domain((3,)), [(0, 1), (1, 2), (0, 2)])
+        assert not policy.is_tree()
+
+    def test_shortest_path_length(self):
+        policy = PolicyGraph(Domain((4,)), [(0, 1), (1, 2), (2, 3)])
+        assert policy.shortest_path_length(0, 3) == 3.0
+
+    def test_shortest_path_disconnected_is_inf(self):
+        policy = PolicyGraph(Domain((4,)), [(0, 1), (2, 3)])
+        assert policy.shortest_path_length(0, 3) == np.inf
+
+    def test_components_report_bottom(self, small_policy):
+        components = small_policy.connected_components()
+        flattened = set()
+        for component in components:
+            flattened |= {("bottom" if is_bottom(v) else v) for v in component}
+        assert "bottom" in flattened
+
+
+class TestEditing:
+    def test_with_edges(self):
+        policy = PolicyGraph(Domain((4,)), [(0, 1)])
+        extended = policy.with_edges([(1, 2)])
+        assert extended.num_edges == 2
+        assert policy.num_edges == 1  # original unchanged
+
+    def test_subgraph_with_edges(self, small_policy):
+        reduced = small_policy.subgraph_with_edges([(0, 1)])
+        assert reduced.num_edges == 1
+
+    def test_equality(self):
+        first = PolicyGraph(Domain((3,)), [(0, 1), (1, 2)])
+        second = PolicyGraph(Domain((3,)), [(1, 2), (0, 1)])
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestNeighboringDatabases:
+    def test_move_across_edge(self):
+        policy = PolicyGraph(Domain((3,)), [(0, 1)])
+        x = np.array([2.0, 0.0, 1.0])
+        original, neighbor = neighboring_databases(policy, x, (0, 1))
+        assert np.array_equal(original, x)
+        assert np.array_equal(neighbor, [1.0, 1.0, 1.0])
+
+    def test_remove_across_bottom_edge(self):
+        policy = PolicyGraph(Domain((3,)), [(0, BOTTOM)])
+        x = np.array([2.0, 0.0, 1.0])
+        _, neighbor = neighboring_databases(policy, x, (0, BOTTOM))
+        assert neighbor.sum() == x.sum() - 1
+
+    def test_requires_record_at_source(self):
+        policy = PolicyGraph(Domain((3,)), [(0, 1)])
+        with pytest.raises(PolicyError):
+            neighboring_databases(policy, np.zeros(3), (0, 1))

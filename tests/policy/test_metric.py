@@ -1,0 +1,132 @@
+"""Tests for :mod:`repro.policy.metric` (policy metrics and L1 embeddings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain
+from repro.exceptions import PolicyError
+from repro.policy import (
+    cycle_embedding_lower_bound,
+    cycle_policy,
+    database_distance,
+    embedding_stretch_and_shrink,
+    graph_distance_matrix,
+    grid_policy,
+    is_isometrically_embeddable_as_tree,
+    line_policy,
+    policy_distance,
+    star_policy,
+    threshold_policy,
+    tree_embedding,
+    unbounded_dp_policy,
+)
+
+
+class TestGraphDistances:
+    def test_line_distance_is_index_difference(self):
+        policy = line_policy(Domain((8,)))
+        assert policy_distance(policy, 1, 6) == 5.0
+
+    def test_threshold_distance_divides_by_theta(self):
+        policy = threshold_policy(Domain((16,)), 4)
+        # Distance between 0 and 15 needs ceil(15/4) = 4 hops.
+        assert policy_distance(policy, 0, 15) == 4.0
+
+    def test_grid_distance_is_manhattan(self):
+        domain = Domain((5, 5))
+        policy = grid_policy(domain)
+        assert policy_distance(
+            policy, domain.index_of((0, 0)), domain.index_of((3, 4))
+        ) == 7.0
+
+    def test_distance_matrix_symmetric(self):
+        policy = line_policy(Domain((6,)))
+        distances = graph_distance_matrix(policy)
+        assert np.allclose(distances, distances.T)
+        assert np.all(np.diag(distances) == 0)
+
+    def test_distance_matrix_disconnected_is_inf(self):
+        from repro.policy import policy_from_edges
+
+        policy = policy_from_edges(Domain((4,)), [(0, 1), (2, 3)])
+        distances = graph_distance_matrix(policy)
+        assert np.isinf(distances[0, 2])
+
+
+class TestDatabaseDistance:
+    def test_single_move_costs_graph_distance(self):
+        domain = Domain((6,))
+        policy = line_policy(domain)
+        first = Database(domain, np.array([1.0, 0, 0, 0, 0, 0]))
+        second = Database(domain, np.array([0.0, 0, 0, 0, 1.0, 0]))
+        assert database_distance(policy, first, second) == 4.0
+
+    def test_identical_databases_distance_zero(self, line_policy_16, dense_database_16):
+        assert database_distance(line_policy_16, dense_database_16, dense_database_16) == 0.0
+
+    def test_size_mismatch_without_bottom_is_infinite(self):
+        domain = Domain((4,))
+        policy = line_policy(domain)
+        first = Database(domain, np.array([1.0, 0, 0, 0]))
+        second = Database(domain, np.array([1.0, 1.0, 0, 0]))
+        assert database_distance(policy, first, second) == np.inf
+
+    def test_size_mismatch_with_bottom_is_finite(self):
+        domain = Domain((4,))
+        policy = unbounded_dp_policy(domain)
+        first = Database(domain, np.array([1.0, 0, 0, 0]))
+        second = Database(domain, np.array([1.0, 1.0, 0, 0]))
+        assert database_distance(policy, first, second) == 1.0
+
+    def test_domain_mismatch_rejected(self, line_policy_16):
+        first = Database(Domain((8,)), np.ones(8))
+        second = Database(Domain((8,)), np.ones(8))
+        with pytest.raises(PolicyError):
+            database_distance(line_policy_16, first, second)
+
+
+class TestEmbeddings:
+    def test_line_policy_embedding_is_isometric(self):
+        assert is_isometrically_embeddable_as_tree(line_policy(Domain((10,))))
+
+    def test_star_policy_embedding_is_isometric(self):
+        assert is_isometrically_embeddable_as_tree(star_policy(Domain((8,)), center=3))
+
+    def test_unbounded_policy_embedding_is_isometric(self):
+        assert is_isometrically_embeddable_as_tree(unbounded_dp_policy(Domain((6,))))
+
+    def test_cycle_policy_is_not_isometric(self):
+        assert not is_isometrically_embeddable_as_tree(cycle_policy(Domain((6,))))
+
+    def test_grid_policy_is_not_tree_embeddable(self):
+        assert not is_isometrically_embeddable_as_tree(grid_policy(Domain((3, 3))))
+
+    def test_tree_embedding_distances_match_graph(self):
+        policy = line_policy(Domain((8,)))
+        embedding = tree_embedding(policy)
+        stretch_value, shrink_value = embedding_stretch_and_shrink(policy, embedding)
+        assert stretch_value == pytest.approx(1.0)
+        assert shrink_value == pytest.approx(1.0)
+
+    def test_tree_embedding_rejects_non_tree(self):
+        with pytest.raises(PolicyError):
+            tree_embedding(cycle_policy(Domain((5,))))
+
+    def test_embedding_missing_vertex_rejected(self):
+        policy = line_policy(Domain((4,)))
+        with pytest.raises(PolicyError):
+            embedding_stretch_and_shrink(policy, {0: np.zeros(2)})
+
+    def test_stretch_shrink_of_scaled_embedding(self):
+        policy = line_policy(Domain((5,)))
+        embedding = {v: np.array([2.0 * v]) for v in range(5)}
+        stretch_value, shrink_value = embedding_stretch_and_shrink(policy, embedding)
+        assert stretch_value == pytest.approx(2.0)
+        assert shrink_value == pytest.approx(2.0)
+
+    def test_cycle_lower_bound_formula(self):
+        assert cycle_embedding_lower_bound(10) == 9.0
+        with pytest.raises(PolicyError):
+            cycle_embedding_lower_bound(2)

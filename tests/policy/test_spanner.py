@@ -1,0 +1,158 @@
+"""Tests for :mod:`repro.policy.spanner` (Lemma 4.5 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain
+from repro.exceptions import PolicyError
+from repro.policy import (
+    approximate_with_bfs_tree,
+    approximate_with_grid_spanner,
+    approximate_with_line_spanner,
+    bfs_spanning_tree,
+    cycle_policy,
+    grid_policy,
+    grid_spanner,
+    line_policy,
+    line_spanner,
+    line_spanner_groups,
+    stretch,
+    threshold_policy,
+    unbounded_dp_policy,
+)
+
+
+class TestLineSpanner:
+    def test_is_tree(self):
+        assert line_spanner(Domain((20,)), theta=3).is_tree()
+
+    def test_edge_count(self):
+        spanner = line_spanner(Domain((20,)), theta=3)
+        assert spanner.num_edges == 19
+
+    def test_theta_one_equals_line_policy(self):
+        domain = Domain((10,))
+        assert line_spanner(domain, theta=1) == line_policy(domain)
+
+    def test_stretch_at_most_three(self):
+        for k, theta in [(16, 2), (20, 3), (32, 4), (33, 5)]:
+            domain = Domain((k,))
+            policy = threshold_policy(domain, theta)
+            spanner = line_spanner(domain, theta)
+            assert stretch(policy, spanner) <= 3
+
+    def test_non_divisible_domain_size(self):
+        # k not divisible by theta: the last, shorter block still attaches.
+        domain = Domain((17,))
+        spanner = line_spanner(domain, theta=5)
+        assert spanner.is_tree()
+        assert spanner.num_edges == 16
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(PolicyError):
+            line_spanner(Domain((4, 4)), theta=2)
+        with pytest.raises(PolicyError):
+            line_spanner(Domain((8,)), theta=0)
+
+    def test_groups_partition_edges(self):
+        domain = Domain((20,))
+        groups = line_spanner_groups(domain, theta=4)
+        all_edges = sorted(edge for group in groups for edge in group)
+        assert all_edges == list(range(19))
+
+    def test_groups_have_bounded_size(self):
+        domain = Domain((24,))
+        groups = line_spanner_groups(domain, theta=4)
+        # Each group holds the edges entering one red vertex: at most theta
+        # attachments plus one red-red edge.
+        assert max(len(group) for group in groups) <= 5
+
+
+class TestGridSpanner:
+    def test_connected(self):
+        domain = Domain((6, 6))
+        spanner = grid_spanner(domain, theta=2)
+        assert spanner.is_connected()
+
+    def test_stretch_is_finite_and_small(self):
+        domain = Domain((6, 6))
+        policy = threshold_policy(domain, 2)
+        approx = approximate_with_grid_spanner(policy, 2)
+        assert 1 <= approx.stretch <= 6
+
+    def test_covers_all_vertices(self):
+        domain = Domain((5, 5))
+        spanner = grid_spanner(domain, theta=2)
+        graph = spanner.to_networkx()
+        assert all(graph.degree(v) >= 1 for v in range(domain.size))
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(PolicyError):
+            grid_spanner(Domain((4, 4)), theta=0)
+
+
+class TestGenericSpanners:
+    def test_bfs_tree_of_cycle(self):
+        policy = cycle_policy(Domain((9,)))
+        tree = bfs_spanning_tree(policy)
+        assert tree.is_tree()
+        assert tree.num_edges == 8
+
+    def test_cycle_spanning_tree_stretch_is_n_minus_one(self):
+        # Section 4.3: any spanning tree of an n-cycle has stretch n - 1.
+        policy = cycle_policy(Domain((9,)))
+        approx = approximate_with_bfs_tree(policy)
+        assert approx.stretch == 8
+
+    def test_bfs_tree_of_grid(self):
+        policy = grid_policy(Domain((4, 4)))
+        tree = bfs_spanning_tree(policy)
+        assert tree.is_tree()
+
+    def test_bfs_tree_keeps_bottom(self):
+        policy = unbounded_dp_policy(Domain((5,)))
+        tree = bfs_spanning_tree(policy)
+        assert tree.has_bottom
+        assert tree.is_tree()
+
+    def test_bfs_tree_rejects_disconnected(self):
+        from repro.policy import policy_from_edges
+
+        policy = policy_from_edges(Domain((4,)), [(0, 1), (2, 3)])
+        with pytest.raises(PolicyError):
+            bfs_spanning_tree(policy)
+
+    def test_stretch_identity(self):
+        policy = line_policy(Domain((12,)))
+        assert stretch(policy, policy) == 1
+
+    def test_stretch_rejects_disconnecting_spanner(self):
+        from repro.policy import policy_from_edges
+
+        original = line_policy(Domain((4,)))
+        broken = policy_from_edges(Domain((4,)), [(0, 1), (2, 3)])
+        with pytest.raises(PolicyError):
+            stretch(original, broken)
+
+
+class TestSpannerApproximation:
+    def test_budget_split(self):
+        domain = Domain((20,))
+        policy = threshold_policy(domain, 4)
+        approx = approximate_with_line_spanner(policy, 4)
+        assert approx.budget_for(0.9) == pytest.approx(0.9 / approx.stretch)
+
+    def test_budget_rejects_non_positive_epsilon(self):
+        domain = Domain((20,))
+        approx = approximate_with_line_spanner(threshold_policy(domain, 2), 2)
+        with pytest.raises(PolicyError):
+            approx.budget_for(0.0)
+
+    def test_original_policy_recorded(self):
+        domain = Domain((20,))
+        policy = threshold_policy(domain, 2)
+        approx = approximate_with_line_spanner(policy, 2)
+        assert approx.original == policy
+        assert approx.spanner.is_tree()

@@ -1,0 +1,297 @@
+"""Tests for :mod:`repro.policy.transform` (the ``P_G`` construction, Section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    cumulative_workload,
+    identity_workload,
+    random_range_queries_workload,
+    total_workload,
+    unbounded_sensitivity,
+)
+from repro.exceptions import PolicyError, TransformError
+from repro.policy import (
+    BOTTOM,
+    PolicyGraph,
+    PolicyTransform,
+    bounded_dp_policy,
+    cycle_policy,
+    grid_policy,
+    line_policy,
+    sensitive_attribute_policy,
+    threshold_policy,
+    unbounded_dp_policy,
+)
+
+
+@pytest.fixture
+def line_transform(line_policy_16):
+    return PolicyTransform(line_policy_16)
+
+
+class TestCaseIConstruction:
+    """Policies that already contain the ⊥ vertex (Case I of Section 4.4)."""
+
+    def test_no_vertex_removed(self):
+        policy = unbounded_dp_policy(Domain((6,)))
+        transform = PolicyTransform(policy)
+        assert transform.removed_vertices == []
+        assert transform.num_edges == 6
+
+    def test_incidence_shape(self):
+        policy = unbounded_dp_policy(Domain((6,)))
+        transform = PolicyTransform(policy)
+        assert transform.incidence.shape == (6, 6)
+
+    def test_incidence_matches_figure2(self):
+        # Figure 2 of the paper: a path 0-1-2 with 2 attached to bottom gives a
+        # lower-bidiagonal P_G with inverse equal to the cumulative matrix.
+        domain = Domain((3,))
+        policy = PolicyGraph(domain, [(0, 1), (1, 2), (2, BOTTOM)])
+        transform = PolicyTransform(policy)
+        dense = transform.incidence.toarray()
+        expected = np.array([[1.0, 0.0, 0.0], [-1.0, 1.0, 0.0], [0.0, -1.0, 1.0]])
+        assert np.allclose(dense, expected)
+        inverse = np.linalg.inv(dense)
+        assert np.allclose(inverse, np.tril(np.ones((3, 3))))
+
+    def test_columns_are_signed_edge_indicators(self):
+        domain = Domain((3,))
+        policy = PolicyGraph(domain, [(0, 2), (1, BOTTOM), (0, 1)])
+        transform = PolicyTransform(policy)
+        assert transform.removed_vertices == []
+        dense = transform.incidence.toarray()
+        assert np.allclose(dense[:, 0], [1, 0, -1])
+        assert np.allclose(dense[:, 1], [0, 1, 0])
+        assert np.allclose(dense[:, 2], [1, -1, 0])
+
+    def test_full_row_rank(self):
+        policy = unbounded_dp_policy(Domain((5,)))
+        assert PolicyTransform(policy).has_full_row_rank()
+
+
+class TestCaseIIConstruction:
+    """Bounded policies (no ⊥): one vertex per component is removed (Lemma 4.10)."""
+
+    def test_default_removed_vertex_is_last(self, line_transform):
+        assert line_transform.removed_vertices == [15]
+        assert list(line_transform.kept_vertices) == list(range(15))
+
+    def test_explicit_removed_vertex(self, line_policy_16):
+        transform = PolicyTransform(line_policy_16, removed_vertices=[7])
+        assert transform.removed_vertices == [7]
+        assert 7 not in transform.kept_vertices
+
+    def test_explicit_removed_vertex_out_of_domain(self, line_policy_16):
+        with pytest.raises(TransformError):
+            PolicyTransform(line_policy_16, removed_vertices=[99])
+
+    def test_two_removed_in_same_component_rejected(self, line_policy_16):
+        with pytest.raises(TransformError):
+            PolicyTransform(line_policy_16, removed_vertices=[3, 7])
+
+    def test_incidence_shape(self, line_transform):
+        assert line_transform.incidence.shape == (15, 15)
+
+    def test_reduced_policy_has_bottom(self, line_transform):
+        assert line_transform.reduced_policy.has_bottom
+
+    def test_reduced_policy_preserves_edge_order(self, line_policy_16):
+        transform = PolicyTransform(line_policy_16)
+        assert len(transform.reduced_policy.edges) == len(line_policy_16.edges)
+        # All but the last edge are unchanged; the last is rewired to bottom.
+        assert transform.reduced_policy.edges[:-1] == line_policy_16.edges[:-1]
+
+    def test_is_tree_for_line_policy(self, line_transform):
+        assert line_transform.is_tree()
+
+    def test_grid_policy_is_not_tree(self, grid_policy_5):
+        assert not PolicyTransform(grid_policy_5).is_tree()
+
+    def test_full_row_rank_line(self, line_transform):
+        assert line_transform.has_full_row_rank()
+
+    def test_full_row_rank_grid(self, grid_policy_5):
+        assert PolicyTransform(grid_policy_5).has_full_row_rank()
+
+    def test_bounded_dp_policy_transform(self):
+        policy = bounded_dp_policy(Domain((4,)))
+        transform = PolicyTransform(policy)
+        assert transform.num_edges == 6
+        assert transform.has_full_row_rank()
+
+
+class TestCaseIIIConstruction:
+    """Disconnected policies (Appendix E): one removal per bottom-free component."""
+
+    def test_one_removed_vertex_per_component(self):
+        domain = Domain((3, 4))
+        policy = sensitive_attribute_policy(domain, sensitive_axes=[1])
+        transform = PolicyTransform(policy)
+        assert len(transform.removed_vertices) == 3
+        assert transform.has_full_row_rank()
+
+    def test_answer_preservation_with_components(self):
+        domain = Domain((3, 4))
+        policy = sensitive_attribute_policy(domain, sensitive_axes=[1])
+        transform = PolicyTransform(policy)
+        generator = np.random.default_rng(0)
+        database = Database(domain, generator.integers(0, 6, 12).astype(float))
+        workload = random_range_queries_workload(domain, 15, random_state=1)
+        instance = transform.transform_instance(workload, database)
+        assert np.allclose(instance.true_answers(), workload.answer(database))
+
+    def test_explicit_removal_in_bottom_component_rejected(self):
+        domain = Domain((4,))
+        policy = PolicyGraph(domain, [(0, 1), (1, BOTTOM), (2, 3)])
+        with pytest.raises(TransformError):
+            PolicyTransform(policy, removed_vertices=[0])
+
+
+class TestWorkloadTransform:
+    def test_answer_preservation_line(self, line_policy_16, dense_database_16):
+        transform = PolicyTransform(line_policy_16)
+        for workload in (
+            identity_workload(line_policy_16.domain),
+            cumulative_workload(line_policy_16.domain),
+            random_range_queries_workload(line_policy_16.domain, 25, random_state=0),
+        ):
+            instance = transform.transform_instance(workload, dense_database_16)
+            assert np.allclose(instance.true_answers(), workload.answer(dense_database_16))
+
+    def test_answer_preservation_grid(self, grid_policy_5, grid_database_5):
+        transform = PolicyTransform(grid_policy_5)
+        workload = random_range_queries_workload(grid_policy_5.domain, 30, random_state=5)
+        instance = transform.transform_instance(workload, grid_database_5)
+        assert np.allclose(instance.true_answers(), workload.answer(grid_database_5))
+
+    def test_answer_preservation_cycle(self):
+        domain = Domain((7,))
+        policy = cycle_policy(domain)
+        transform = PolicyTransform(policy)
+        database = Database(domain, np.arange(7, dtype=float))
+        workload = cumulative_workload(domain)
+        instance = transform.transform_instance(workload, database)
+        assert np.allclose(instance.true_answers(), workload.answer(database))
+
+    def test_example_4_1_cumulative_becomes_identity(self):
+        # Example 4.1: answering C_k under the line policy is equivalent to
+        # answering the identity workload on the transformed instance.
+        domain = Domain((8,))
+        policy = line_policy(domain)
+        transform = PolicyTransform(policy)
+        transformed = transform.transform_workload(cumulative_workload(domain)).toarray()
+        # All rows except the last (which equals the public total n) are unit vectors.
+        for row_index in range(7):
+            row = transformed[row_index]
+            assert np.isclose(np.abs(row).sum(), 1.0)
+        assert np.allclose(transformed[7], 0.0)
+
+    def test_transformed_workload_column_count(self, line_transform, line_domain_16):
+        transformed = line_transform.transform_workload(identity_workload(line_domain_16))
+        assert transformed.shape == (16, line_transform.num_edges)
+
+    def test_lemma_4_7_sensitivity_equality(self, theta_policy_16, line_domain_16):
+        transform = PolicyTransform(theta_policy_16)
+        for workload in (
+            identity_workload(line_domain_16),
+            cumulative_workload(line_domain_16),
+        ):
+            transformed = transform.transform_workload(workload)
+            assert transform.policy_sensitivity(workload) == pytest.approx(
+                unbounded_sensitivity(transformed)
+            )
+
+    def test_lemma_5_1_boundary_structure(self, grid_policy_5, grid_domain_5):
+        # The transformed counting query has non-zero entries exactly on edges
+        # with one endpoint inside the query (Lemma 5.1), with +/-1 coefficients.
+        transform = PolicyTransform(grid_policy_5)
+        workload = random_range_queries_workload(grid_domain_5, 10, random_state=2)
+        transformed = transform.transform_workload(workload).toarray()
+        original = workload.dense()
+        for row_index in range(workload.num_queries):
+            support = set(np.nonzero(original[row_index])[0])
+            for edge_index, (u, v) in enumerate(grid_policy_5.edges):
+                inside = len({int(u), int(v)} & support)
+                coefficient = transformed[row_index, edge_index]
+                if inside == 1:
+                    assert abs(coefficient) == pytest.approx(1.0)
+                else:
+                    assert coefficient == pytest.approx(0.0)
+
+    def test_workload_domain_mismatch_rejected(self, line_transform):
+        with pytest.raises(PolicyError):
+            line_transform.transform_workload(identity_workload(Domain((8,))))
+
+
+class TestDatabaseTransform:
+    def test_incidence_times_transform_recovers_kept_counts(
+        self, line_transform, dense_database_16
+    ):
+        x_g = line_transform.transform_database(dense_database_16)
+        recovered = line_transform.reconstruct_histogram(x_g)
+        assert np.allclose(recovered, dense_database_16.counts[line_transform.kept_vertices])
+
+    def test_grid_transform_database_consistent(self, grid_policy_5, grid_database_5):
+        transform = PolicyTransform(grid_policy_5)
+        x_g = transform.transform_database(grid_database_5)
+        recovered = transform.reconstruct_histogram(x_g)
+        assert np.allclose(recovered, grid_database_5.counts[transform.kept_vertices])
+
+    def test_database_domain_mismatch_rejected(self, line_transform):
+        other = Database(Domain((8,)), np.ones(8))
+        with pytest.raises(PolicyError):
+            line_transform.transform_database(other)
+
+    def test_offset_zero_for_unbounded_policy(self, dense_database_16, line_domain_16):
+        policy = unbounded_dp_policy(line_domain_16)
+        transform = PolicyTransform(policy)
+        offset = transform.offset(identity_workload(line_domain_16), dense_database_16)
+        assert np.allclose(offset, 0.0)
+
+    def test_offset_uses_database_size(self, line_transform, dense_database_16, line_domain_16):
+        offset = line_transform.offset(identity_workload(line_domain_16), dense_database_16)
+        # Only the query on the removed vertex (the last cell) has a non-zero offset = n.
+        assert offset[15] == pytest.approx(dense_database_16.scale)
+        assert np.allclose(offset[:15], 0.0)
+
+    def test_reconstruct_answers_adds_offset(self, line_transform, dense_database_16, line_domain_16):
+        workload = identity_workload(line_domain_16)
+        instance = line_transform.transform_instance(workload, dense_database_16)
+        transformed_answers = np.asarray(
+            instance.workload_matrix @ instance.database_vector
+        ).ravel()
+        reconstructed = line_transform.reconstruct_answers(
+            workload, dense_database_16, transformed_answers
+        )
+        assert np.allclose(reconstructed, workload.answer(dense_database_16))
+
+    def test_reconstruct_answers_length_check(self, line_transform, dense_database_16, line_domain_16):
+        with pytest.raises(TransformError):
+            line_transform.reconstruct_answers(
+                identity_workload(line_domain_16), dense_database_16, np.ones(3)
+            )
+
+    def test_reconstruct_histogram_length_check(self, line_transform):
+        with pytest.raises(TransformError):
+            line_transform.reconstruct_histogram(np.ones(4))
+
+
+class TestReductionMatrix:
+    def test_shape(self, line_transform):
+        assert line_transform.reduction_matrix().shape == (16, 15)
+
+    def test_columns_sum_to_zero_for_bounded_components(self, line_transform):
+        dense = line_transform.reduction_matrix().toarray()
+        assert np.allclose(dense.sum(axis=0), 0.0)
+
+    def test_total_query_becomes_zero(self, line_transform, line_domain_16):
+        # The total count is public knowledge under a bounded policy: its
+        # reduced representation is identically zero (Example 4.1's discussion).
+        reduced = line_transform.reduce_workload_matrix(total_workload(line_domain_16))
+        assert reduced.nnz == 0

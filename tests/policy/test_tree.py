@@ -1,0 +1,164 @@
+"""Tests for :mod:`repro.policy.tree` (Theorem 4.3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain
+from repro.exceptions import PolicyNotTreeError, TransformError
+from repro.policy import (
+    BOTTOM,
+    PolicyGraph,
+    PolicyTransform,
+    TreeTransform,
+    grid_policy,
+    line_policy,
+    line_spanner,
+    star_policy,
+    unbounded_dp_policy,
+)
+
+
+@pytest.fixture
+def line_tree(line_policy_16):
+    return TreeTransform(PolicyTransform(line_policy_16))
+
+
+class TestConstruction:
+    def test_requires_tree(self, grid_policy_5):
+        with pytest.raises(PolicyNotTreeError):
+            TreeTransform(PolicyTransform(grid_policy_5))
+
+    def test_line_policy_is_accepted(self, line_tree):
+        assert line_tree.num_edges == 15
+
+    def test_star_policy_is_accepted(self):
+        policy = star_policy(Domain((8,)), center=0)
+        tree = TreeTransform(PolicyTransform(policy))
+        assert tree.num_edges == 7
+
+    def test_unbounded_policy_is_accepted(self):
+        policy = unbounded_dp_policy(Domain((6,)))
+        tree = TreeTransform(PolicyTransform(policy))
+        assert tree.num_edges == 6
+
+    def test_spanner_tree_is_accepted(self):
+        spanner = line_spanner(Domain((20,)), theta=4)
+        tree = TreeTransform(PolicyTransform(spanner))
+        assert tree.num_edges == 19
+
+    def test_structure_depths_positive(self, line_tree):
+        assert np.all(line_tree.structure.depth_of_vertex >= 1)
+
+    def test_structure_every_edge_has_child(self, line_tree):
+        assert np.all(line_tree.structure.child_vertex_of_edge >= 0)
+        assert np.all(np.abs(line_tree.structure.edge_sign) == 1.0)
+
+
+class TestTransformDatabase:
+    def test_line_gives_prefix_sums(self, line_tree, dense_database_16):
+        x_g = line_tree.transform_database(dense_database_16)
+        expected = np.cumsum(dense_database_16.counts)[:-1]
+        assert np.allclose(x_g, expected)
+
+    def test_matches_least_squares_transform(self, line_tree, dense_database_16):
+        exact = line_tree.transform_database(dense_database_16)
+        least_squares = line_tree.transform.transform_database(dense_database_16)
+        assert np.allclose(exact, least_squares)
+
+    def test_unbounded_policy_transform_is_identity(self, dense_database_16, line_domain_16):
+        policy = unbounded_dp_policy(line_domain_16)
+        tree = TreeTransform(PolicyTransform(policy))
+        x_g = tree.transform_database(dense_database_16)
+        assert np.allclose(np.abs(x_g), dense_database_16.counts)
+
+    def test_star_policy_subtree_counts(self):
+        # Star with centre 0; the default Case II reduction removes vertex 4 and
+        # rewires its edge to bottom, so the tree is: bottom - 0 - {1, 2, 3}.
+        # Edge magnitudes are therefore the leaf counts 2, 3, 4 plus the full
+        # kept total (1 + 2 + 3 + 4 = 10) on the edge adjacent to bottom.
+        domain = Domain((5,))
+        policy = star_policy(domain, center=0)
+        tree = TreeTransform(PolicyTransform(policy))
+        counts = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        x_g = tree.transform_database(Database(domain, counts))
+        assert sorted(np.abs(x_g).tolist()) == [2.0, 3.0, 4.0, 10.0]
+
+    def test_inverse_transform_roundtrip(self, line_tree, dense_database_16):
+        x_g = line_tree.transform_database(dense_database_16)
+        recovered = line_tree.inverse_transform(x_g)
+        kept = line_tree.transform.kept_vertices
+        assert np.allclose(recovered, dense_database_16.counts[kept])
+
+    def test_inverse_transform_roundtrip_star(self):
+        domain = Domain((7,))
+        policy = star_policy(domain, center=3)
+        tree = TreeTransform(PolicyTransform(policy))
+        counts = np.arange(1.0, 8.0)
+        database = Database(domain, counts)
+        recovered = tree.inverse_transform(tree.transform_database(database))
+        assert np.allclose(recovered, counts[tree.transform.kept_vertices])
+
+    def test_transform_values_are_integral_for_integer_counts(self, line_tree):
+        database = Database(Domain((16,)), np.arange(16, dtype=float))
+        x_g = line_tree.transform_database(database)
+        assert np.allclose(x_g, np.round(x_g))
+
+    def test_wrong_domain_rejected(self, line_tree):
+        with pytest.raises(TransformError):
+            line_tree.transform_database(Database(Domain((8,)), np.ones(8)))
+
+    def test_inverse_transform_length_check(self, line_tree):
+        with pytest.raises(TransformError):
+            line_tree.inverse_transform(np.ones(3))
+
+
+class TestNeighborPreservation:
+    def test_every_edge_of_line_policy(self, line_policy_16):
+        tree = TreeTransform(PolicyTransform(line_policy_16))
+        database = Database(line_policy_16.domain, np.full(16, 2.0))
+        for edge_index in range(len(line_policy_16.edges)):
+            assert tree.verify_neighbor_preservation(database, edge_index)
+
+    def test_every_edge_of_star_policy(self):
+        domain = Domain((6,))
+        policy = star_policy(domain, center=2)
+        tree = TreeTransform(PolicyTransform(policy))
+        database = Database(domain, np.full(6, 3.0))
+        for edge_index in range(len(policy.edges)):
+            assert tree.verify_neighbor_preservation(database, edge_index)
+
+    def test_requires_record_at_source(self, line_policy_16):
+        tree = TreeTransform(PolicyTransform(line_policy_16))
+        with pytest.raises(TransformError):
+            tree.verify_neighbor_preservation(
+                Database(line_policy_16.domain, np.zeros(16)), 0
+            )
+
+    def test_edge_index_out_of_range(self, line_policy_16, dense_database_16):
+        tree = TreeTransform(PolicyTransform(line_policy_16))
+        with pytest.raises(TransformError):
+            tree.verify_neighbor_preservation(dense_database_16, 99)
+
+
+class TestMonotoneOrder:
+    def test_line_policy_has_monotone_order(self, line_tree, dense_database_16):
+        order = line_tree.monotone_root_path_indices()
+        assert order is not None
+        x_g = line_tree.transform_database(dense_database_16)
+        assert np.all(np.diff(x_g[order]) >= -1e-9)
+
+    def test_star_policy_has_no_monotone_order(self):
+        policy = star_policy(Domain((6,)), center=0)
+        tree = TreeTransform(PolicyTransform(policy))
+        assert tree.monotone_root_path_indices() is None
+
+    def test_spanner_tree_has_no_monotone_order(self):
+        spanner = line_spanner(Domain((20,)), theta=4)
+        tree = TreeTransform(PolicyTransform(spanner))
+        assert tree.monotone_root_path_indices() is None
+
+    def test_order_covers_all_edges_for_line(self, line_tree):
+        order = line_tree.monotone_root_path_indices()
+        assert sorted(order.tolist()) == list(range(line_tree.num_edges))

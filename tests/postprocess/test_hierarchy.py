@@ -1,0 +1,78 @@
+"""Tests for :mod:`repro.postprocess.hierarchy`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.mechanisms import HierarchicalMechanism, build_interval_tree
+from repro.postprocess import consistent_leaf_estimates, consistent_tree_counts
+
+
+def _exact_counts(nodes, data):
+    prefix = np.concatenate([[0.0], np.cumsum(data)])
+    return np.array([prefix[node.upper] - prefix[node.lower] for node in nodes])
+
+
+class TestConsistentTreeCounts:
+    def test_noiseless_counts_are_fixed_point(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        nodes = build_interval_tree(8)
+        exact = _exact_counts(nodes, data)
+        consistent = consistent_tree_counts(nodes, exact)
+        assert np.allclose(consistent, exact)
+
+    def test_parent_equals_sum_of_children(self, rng):
+        data = rng.integers(0, 10, 16).astype(float)
+        nodes = build_interval_tree(16)
+        noisy = _exact_counts(nodes, data) + rng.normal(0, 2, len(nodes))
+        consistent = consistent_tree_counts(nodes, noisy)
+        for parent in nodes:
+            children = [
+                child
+                for child in nodes
+                if child.level == parent.level + 1
+                and parent.lower <= child.lower
+                and child.upper <= parent.upper
+            ]
+            if children:
+                child_sum = sum(consistent[child.index] for child in children)
+                assert consistent[parent.index] == pytest.approx(child_sum, abs=1e-6)
+
+    def test_reduces_leaf_error(self, rng):
+        data = np.zeros(64)
+        nodes = build_interval_tree(64)
+        exact = _exact_counts(nodes, data)
+        raw_errors, consistent_errors = [], []
+        for _ in range(30):
+            noisy = exact + rng.laplace(0, 2.0, len(nodes))
+            leaves_raw = np.array(
+                [noisy[node.index] for node in nodes if node.width == 1]
+            )
+            leaves_consistent = consistent_leaf_estimates(64, noisy)
+            raw_errors.append(np.mean(leaves_raw**2))
+            consistent_errors.append(np.mean(leaves_consistent**2))
+        assert np.mean(consistent_errors) < np.mean(raw_errors)
+
+    def test_length_mismatch_rejected(self):
+        nodes = build_interval_tree(8)
+        with pytest.raises(ReproError):
+            consistent_tree_counts(nodes, np.ones(3))
+
+    def test_consistent_leaf_estimates_shape(self, rng):
+        mechanism = HierarchicalMechanism(1.0, size=32)
+        noisy = mechanism.measure(np.zeros(32), rng)
+        leaves = consistent_leaf_estimates(32, noisy)
+        assert leaves.shape == (32,)
+
+    def test_total_is_preserved_better_than_leaves(self, rng):
+        # After consistency the root equals the sum of the leaves, so the total
+        # inferred from leaves matches the (accurate) root measurement.
+        data = np.full(32, 10.0)
+        mechanism = HierarchicalMechanism(5.0, size=32)
+        noisy = mechanism.measure(data, rng)
+        leaves = consistent_leaf_estimates(32, noisy, branching=2)
+        nodes = build_interval_tree(32)
+        consistent = consistent_tree_counts(nodes, noisy)
+        assert leaves.sum() == pytest.approx(consistent[0], abs=1e-6)

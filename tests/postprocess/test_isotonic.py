@@ -1,0 +1,110 @@
+"""Tests for :mod:`repro.postprocess.isotonic`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.postprocess import (
+    consistent_prefix_sums,
+    distinct_block_count,
+    isotonic_regression,
+)
+
+
+class TestIsotonicRegression:
+    def test_already_monotone_is_unchanged(self):
+        values = np.array([1.0, 2.0, 2.0, 5.0])
+        assert np.allclose(isotonic_regression(values), values)
+
+    def test_result_is_monotone(self, rng):
+        values = rng.normal(size=200)
+        result = isotonic_regression(values)
+        assert np.all(np.diff(result) >= -1e-12)
+
+    def test_simple_violation_is_averaged(self):
+        assert np.allclose(isotonic_regression(np.array([2.0, 1.0])), [1.5, 1.5])
+
+    def test_projection_never_increases_l2_error_to_monotone_truth(self, rng):
+        truth = np.sort(rng.integers(0, 100, 100)).astype(float)
+        noisy = truth + rng.normal(0, 10, 100)
+        projected = isotonic_regression(noisy)
+        assert np.sum((projected - truth) ** 2) <= np.sum((noisy - truth) ** 2) + 1e-9
+
+    def test_decreasing_direction(self):
+        values = np.array([1.0, 3.0, 2.0, 0.0])
+        result = isotonic_regression(values, increasing=False)
+        assert np.all(np.diff(result) <= 1e-12)
+
+    def test_weights_shift_block_means(self):
+        values = np.array([2.0, 0.0])
+        heavy_first = isotonic_regression(values, weights=np.array([9.0, 1.0]))
+        assert heavy_first[0] == pytest.approx(1.8)
+
+    def test_weight_validation(self):
+        with pytest.raises(ReproError):
+            isotonic_regression(np.ones(3), weights=np.ones(2))
+        with pytest.raises(ReproError):
+            isotonic_regression(np.ones(3), weights=np.array([1.0, 0.0, 1.0]))
+
+    def test_empty_input(self):
+        assert isotonic_regression(np.array([])).shape == (0,)
+
+    def test_mean_is_preserved(self, rng):
+        values = rng.normal(size=50)
+        assert isotonic_regression(values).mean() == pytest.approx(values.mean())
+
+
+class TestConsistentPrefixSums:
+    def test_monotone_and_clamped(self, rng):
+        truth = np.cumsum(rng.integers(0, 5, 50)).astype(float)
+        noisy = truth + rng.normal(0, 3, 50)
+        consistent = consistent_prefix_sums(noisy, total=truth[-1])
+        assert np.all(consistent >= 0)
+        assert np.all(consistent <= truth[-1] + 1e-9)
+        assert np.all(np.diff(consistent) >= -1e-9)
+
+    def test_reduces_error_on_sparse_prefix_sums(self, rng):
+        # Sparse histogram => many equal prefix sums => consistency collapses noise.
+        counts = np.zeros(200)
+        counts[[10, 150]] = [30, 50]
+        truth = np.cumsum(counts)
+        errors_raw, errors_consistent = [], []
+        for _ in range(30):
+            noisy = truth + rng.laplace(0, 5, 200)
+            errors_raw.append(np.mean((noisy - truth) ** 2))
+            errors_consistent.append(
+                np.mean((consistent_prefix_sums(noisy, total=truth[-1]) - truth) ** 2)
+            )
+        assert np.mean(errors_consistent) < 0.5 * np.mean(errors_raw)
+
+    def test_without_total(self):
+        noisy = np.array([-1.0, 0.5, 0.2])
+        consistent = consistent_prefix_sums(noisy)
+        assert np.all(consistent >= 0)
+
+    def test_without_non_negative(self):
+        noisy = np.array([-1.0, -0.5])
+        consistent = consistent_prefix_sums(noisy, non_negative=False)
+        assert consistent[0] == pytest.approx(-1.0)
+
+
+class TestDistinctBlockCount:
+    def test_counts_blocks(self):
+        assert distinct_block_count(np.array([1.0, 1.0, 2.0, 2.0, 3.0])) == 3
+
+    def test_single_block(self):
+        assert distinct_block_count(np.zeros(10)) == 1
+
+    def test_empty(self):
+        assert distinct_block_count(np.array([])) == 0
+
+    def test_matches_nonzero_structure_of_prefix_sums(self):
+        # Section 5.4.2: the number of distinct prefix sums equals the number of
+        # non-zero histogram cells (plus one when the first cell is zero).
+        counts = np.array([0.0, 2.0, 0.0, 0.0, 1.0, 0.0])
+        prefix = np.cumsum(counts)
+        nonzero = np.count_nonzero(counts)
+        blocks = distinct_block_count(prefix)
+        assert blocks in (nonzero, nonzero + 1)

@@ -1,0 +1,90 @@
+"""Tests for :mod:`repro.postprocess.least_squares`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ReproError
+from repro.mechanisms import haar_strategy, hierarchical_strategy
+from repro.postprocess import (
+    least_squares_estimate,
+    project_non_negative,
+    rescale_to_total,
+    round_to_integers,
+    weighted_least_squares_estimate,
+)
+
+
+class TestLeastSquares:
+    def test_exact_recovery_from_noiseless_measurements(self, rng):
+        data = rng.normal(size=16)
+        strategy = haar_strategy(16)
+        measurements = strategy.matrix @ data
+        estimate = least_squares_estimate(strategy.matrix, measurements)
+        assert np.allclose(estimate, data, atol=1e-8)
+
+    def test_overdetermined_system_averages_noise(self, rng):
+        # Measuring the hierarchical strategy (redundant rows) and solving by
+        # least squares should beat reading off the leaf rows alone.
+        data = np.zeros(32)
+        strategy = hierarchical_strategy(32)
+        leaf_rows = [
+            index
+            for index, node_row in enumerate(strategy.matrix.toarray())
+            if node_row.sum() == 1.0
+        ]
+        errors_ls, errors_leaf = [], []
+        for _ in range(40):
+            noise = rng.normal(0, 1.0, strategy.num_measurements)
+            measurements = strategy.matrix @ data + noise
+            estimate = least_squares_estimate(strategy.matrix, measurements)
+            errors_ls.append(np.mean(estimate**2))
+            errors_leaf.append(np.mean(measurements[leaf_rows] ** 2))
+        assert np.mean(errors_ls) < np.mean(errors_leaf)
+
+    def test_accepts_dense_matrix(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        estimate = least_squares_estimate(matrix, np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(estimate, [1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            least_squares_estimate(np.eye(3), np.ones(4))
+
+    def test_weighted_least_squares_prefers_precise_measurements(self):
+        # Two measurements of the same quantity with very different variances:
+        # the estimate should be close to the precise one.
+        matrix = sp.csr_matrix(np.array([[1.0], [1.0]]))
+        measurements = np.array([10.0, 0.0])
+        variances = np.array([1e6, 1.0])
+        estimate = weighted_least_squares_estimate(matrix, measurements, variances)
+        assert abs(estimate[0]) < 1.0
+
+    def test_weighted_least_squares_validation(self):
+        with pytest.raises(ReproError):
+            weighted_least_squares_estimate(np.eye(2), np.ones(2), np.array([1.0, 0.0]))
+        with pytest.raises(ReproError):
+            weighted_least_squares_estimate(np.eye(2), np.ones(2), np.ones(3))
+
+
+class TestSimpleProjections:
+    def test_project_non_negative(self):
+        assert np.allclose(project_non_negative(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_round_to_integers(self):
+        assert np.allclose(round_to_integers(np.array([1.4, 2.6])), [1.0, 3.0])
+
+    def test_rescale_to_total(self):
+        rescaled = rescale_to_total(np.array([1.0, 3.0]), total=8.0)
+        assert rescaled.sum() == pytest.approx(8.0)
+        assert rescaled[1] == pytest.approx(6.0)
+
+    def test_rescale_handles_all_zero(self):
+        rescaled = rescale_to_total(np.array([-1.0, -2.0, -3.0]), total=6.0)
+        assert rescaled.sum() == pytest.approx(6.0)
+
+    def test_rescale_none_total_is_projection_only(self):
+        rescaled = rescale_to_total(np.array([-1.0, 2.0]), total=None)
+        assert np.allclose(rescaled, [0.0, 2.0])

@@ -1,0 +1,116 @@
+"""Property-based tests for mechanism-level invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core import Database, Domain, identity_workload
+from repro.mechanisms import (
+    DawaMechanism,
+    LaplaceHistogram,
+    PriveletMechanism,
+    greedy_partition,
+    haar_strategy,
+    hierarchical_strategy,
+    identity_strategy,
+)
+from repro.blowfish import PolicyMatrixMechanism
+from repro.policy import line_policy, threshold_policy
+
+COUNT_ARRAYS = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=40),
+    elements=st.integers(min_value=0, max_value=50).map(float),
+)
+
+
+class TestStrategyProperties:
+    @given(size=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_haar_sensitivity_matches_column_norm(self, size):
+        strategy = haar_strategy(size)
+        column_norms = np.abs(strategy.matrix.toarray()).sum(axis=0)
+        assert column_norms.max() <= strategy.sensitivity + 1e-9
+
+    @given(size=st.integers(min_value=1, max_value=64), branching=st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_hierarchical_sensitivity_matches_column_norm(self, size, branching):
+        strategy = hierarchical_strategy(size, branching)
+        column_norms = np.abs(strategy.matrix.toarray()).sum(axis=0)
+        assert np.isclose(column_norms.max(), strategy.sensitivity)
+
+    @given(data=COUNT_ARRAYS)
+    @settings(max_examples=40, deadline=None)
+    def test_haar_reconstruction_exact(self, data):
+        strategy = haar_strategy(data.shape[0])
+        measurements = strategy.matrix @ data
+        assert np.allclose(strategy.apply_pseudo_inverse(measurements), data, atol=1e-6)
+
+
+class TestEstimatorProperties:
+    @given(data=COUNT_ARRAYS)
+    @settings(max_examples=30, deadline=None)
+    def test_privelet_is_unbiased_reconstruction_without_noise(self, data):
+        mechanism = PriveletMechanism(1e12, data.shape[0])
+        estimate = mechanism.estimate_vector(data, random_state=0)
+        assert np.allclose(estimate, data, atol=1e-3)
+
+    @given(data=COUNT_ARRAYS)
+    @settings(max_examples=30, deadline=None)
+    def test_laplace_histogram_estimate_is_finite(self, data):
+        mechanism = LaplaceHistogram(0.5)
+        estimate = mechanism.estimate_vector(data, random_state=1)
+        assert np.all(np.isfinite(estimate))
+        assert estimate.shape == data.shape
+
+    @given(data=COUNT_ARRAYS)
+    @settings(max_examples=20, deadline=None)
+    def test_dawa_estimate_is_finite_and_right_shape(self, data):
+        mechanism = DawaMechanism(0.5, (data.shape[0],))
+        estimate = mechanism.estimate_vector(data, random_state=2)
+        assert estimate.shape == data.shape
+        assert np.all(np.isfinite(estimate))
+
+    @given(data=COUNT_ARRAYS)
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_partition_covers_domain(self, data):
+        buckets = greedy_partition(data, bucket_cost=1.0, noise_level=0.5)
+        covered = [i for start, end in buckets for i in range(start, end)]
+        assert covered == list(range(data.shape[0]))
+
+
+class TestBlowfishMechanismProperties:
+    @given(
+        data=COUNT_ARRAYS,
+        theta=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_policy_matrix_mechanism_noise_is_additive_and_finite(self, data, theta, seed):
+        domain = Domain((data.shape[0],))
+        policy = threshold_policy(domain, min(theta, data.shape[0] - 1))
+        database = Database(domain, data)
+        workload = identity_workload(domain)
+        mechanism = PolicyMatrixMechanism(policy, epsilon=0.5)
+        answers = mechanism.answer(workload, database, seed)
+        assert answers.shape == (domain.size,)
+        assert np.all(np.isfinite(answers))
+
+    @given(data=COUNT_ARRAYS, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_policy_matrix_mechanism_error_independent_of_shift(self, data, seed):
+        # Adding the same constant to all counts shifts the answers but not the
+        # noise: with the same seed the residual noise must be identical
+        # (data independence of matrix mechanisms, Theorem 4.1's precondition).
+        domain = Domain((data.shape[0],))
+        policy = line_policy(domain)
+        workload = identity_workload(domain)
+        mechanism = PolicyMatrixMechanism(policy, epsilon=0.7)
+        base = Database(domain, data)
+        shifted = Database(domain, data + 5.0)
+        noise_base = mechanism.answer(workload, base, seed) - workload.answer(base)
+        noise_shifted = mechanism.answer(workload, shifted, seed) - workload.answer(shifted)
+        assert np.allclose(noise_base, noise_shifted)

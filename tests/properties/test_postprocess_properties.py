@@ -1,0 +1,84 @@
+"""Property-based tests for the post-processing primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.postprocess import (
+    consistent_prefix_sums,
+    isotonic_regression,
+    project_non_negative,
+    rescale_to_total,
+)
+
+FLOAT_ARRAYS = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=60),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestIsotonicProperties:
+    @given(values=FLOAT_ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_output_is_monotone(self, values):
+        result = isotonic_regression(values)
+        assert np.all(np.diff(result) >= -1e-9)
+
+    @given(values=FLOAT_ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_mean_preserved(self, values):
+        result = isotonic_regression(values)
+        assert np.isclose(result.mean(), values.mean(), rtol=1e-9, atol=1e-6)
+
+    @given(values=FLOAT_ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_idempotent(self, values):
+        once = isotonic_regression(values)
+        twice = isotonic_regression(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    @given(values=FLOAT_ARRAYS)
+    @settings(max_examples=50, deadline=None)
+    def test_projection_is_closer_to_any_monotone_vector(self, values):
+        # Characteristic property of a projection onto a convex cone: for the
+        # specific monotone vector "all equal to the mean", the projection is
+        # at least as close as the original point.
+        target = np.full_like(values, values.mean())
+        projected = isotonic_regression(values)
+        assert np.sum((projected - target) ** 2) <= np.sum((values - target) ** 2) + 1e-6
+
+    @given(values=FLOAT_ARRAYS)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_input_is_fixed_point(self, values):
+        monotone = np.sort(values)
+        assert np.allclose(isotonic_regression(monotone), monotone)
+
+
+class TestPrefixConsistencyProperties:
+    @given(values=FLOAT_ARRAYS, total=st.floats(min_value=0, max_value=1e4))
+    @settings(max_examples=80, deadline=None)
+    def test_output_within_bounds(self, values, total):
+        result = consistent_prefix_sums(values, total=total)
+        assert np.all(result >= -1e-9)
+        assert np.all(result <= total + 1e-9)
+        assert np.all(np.diff(result) >= -1e-9)
+
+
+class TestProjectionProperties:
+    @given(values=FLOAT_ARRAYS)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_projection(self, values):
+        result = project_non_negative(values)
+        assert np.all(result >= 0)
+        assert np.all(result >= values - 1e-12)
+
+    @given(values=FLOAT_ARRAYS, total=st.floats(min_value=0.1, max_value=1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_rescale_hits_total(self, values, total):
+        result = rescale_to_total(values, total)
+        assert np.isclose(result.sum(), total, rtol=1e-6)
+        assert np.all(result >= 0)

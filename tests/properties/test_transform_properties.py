@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the policy transform invariants.
+
+These encode the paper's core identities as universally quantified properties
+over random databases, workloads and policies:
+
+* ``W x = W_G x_G + c(W, n)`` for every policy/workload/database triple;
+* Lemma 4.7: policy sensitivity equals the DP sensitivity of ``W_G``;
+* Lemma 4.9: Blowfish neighbors of tree policies map to vectors at L1
+  distance exactly one;
+* subtree counts invert exactly (``P_G`` is a bijection on trees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Database, Domain, Workload, unbounded_sensitivity
+from repro.core.range_queries import RangeQuery, range_queries_workload
+from repro.policy import (
+    PolicyTransform,
+    TreeTransform,
+    line_policy,
+    star_policy,
+    threshold_policy,
+)
+
+# Keep the generated instances small so that each example is fast; the number
+# of examples supplies the coverage.
+SIZES = st.integers(min_value=3, max_value=24)
+
+
+@st.composite
+def domain_and_counts(draw):
+    size = draw(SIZES)
+    counts = draw(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=size, max_size=size)
+    )
+    return Domain((size,)), np.array(counts, dtype=float)
+
+
+@st.composite
+def domain_counts_and_ranges(draw):
+    domain, counts = draw(domain_and_counts())
+    size = domain.size
+    num_queries = draw(st.integers(min_value=1, max_value=6))
+    queries = []
+    for _ in range(num_queries):
+        lower = draw(st.integers(min_value=0, max_value=size - 1))
+        upper = draw(st.integers(min_value=lower, max_value=size - 1))
+        queries.append(RangeQuery((lower,), (upper,)))
+    workload = range_queries_workload(domain, queries)
+    return domain, counts, workload
+
+
+@st.composite
+def theta_for(draw, size):
+    return draw(st.integers(min_value=1, max_value=max(1, min(4, size - 1))))
+
+
+class TestAnswerPreservationProperty:
+    @given(data=domain_counts_and_ranges(), theta=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_policy_preserves_answers(self, data, theta):
+        domain, counts, workload = data
+        theta = min(theta, domain.size - 1)
+        policy = threshold_policy(domain, theta)
+        transform = PolicyTransform(policy)
+        database = Database(domain, counts)
+        instance = transform.transform_instance(workload, database)
+        assert np.allclose(instance.true_answers(), workload.answer(database), atol=1e-6)
+
+    @given(data=domain_counts_and_ranges(), center_seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_star_policy_preserves_answers(self, data, center_seed):
+        domain, counts, workload = data
+        policy = star_policy(domain, center=center_seed % domain.size)
+        transform = PolicyTransform(policy)
+        database = Database(domain, counts)
+        instance = transform.transform_instance(workload, database)
+        assert np.allclose(instance.true_answers(), workload.answer(database), atol=1e-6)
+
+
+class TestSensitivityProperty:
+    @given(data=domain_counts_and_ranges(), theta=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_lemma_4_7(self, data, theta):
+        domain, _, workload = data
+        theta = min(theta, domain.size - 1)
+        policy = threshold_policy(domain, theta)
+        transform = PolicyTransform(policy)
+        direct = transform.policy_sensitivity(workload)
+        via_transform = unbounded_sensitivity(transform.transform_workload(workload))
+        assert np.isclose(direct, via_transform)
+
+    @given(data=domain_counts_and_ranges())
+    @settings(max_examples=40, deadline=None)
+    def test_policy_sensitivity_bounded_by_twice_max_row_count(self, data):
+        # Moving one record changes every counting query by at most 1 in
+        # absolute value, so the policy sensitivity of a q-query counting
+        # workload is at most q (and at most twice the unbounded sensitivity).
+        domain, _, workload = data
+        policy = line_policy(domain)
+        transform = PolicyTransform(policy)
+        assert transform.policy_sensitivity(workload) <= workload.num_queries + 1e-9
+
+
+class TestTreeProperties:
+    @given(data=domain_and_counts())
+    @settings(max_examples=60, deadline=None)
+    def test_line_transform_is_prefix_sums(self, data):
+        domain, counts = data
+        tree = TreeTransform(PolicyTransform(line_policy(domain)))
+        x_g = tree.transform_database(Database(domain, counts))
+        assert np.allclose(x_g, np.cumsum(counts)[:-1])
+
+    @given(data=domain_and_counts(), center_seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_transform_roundtrip(self, data, center_seed):
+        domain, counts = data
+        policy = star_policy(domain, center=center_seed % domain.size)
+        tree = TreeTransform(PolicyTransform(policy))
+        database = Database(domain, counts)
+        recovered = tree.inverse_transform(tree.transform_database(database))
+        assert np.allclose(recovered, counts[tree.transform.kept_vertices])
+
+    @given(
+        data=domain_and_counts(),
+        edge_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lemma_4_9_neighbor_distance_is_one(self, data, edge_seed):
+        domain, counts = data
+        counts = counts + 1.0  # ensure every vertex has a record to move
+        policy = line_policy(domain)
+        tree = TreeTransform(PolicyTransform(policy))
+        database = Database(domain, counts)
+        edge_index = edge_seed % len(policy.edges)
+        assert tree.verify_neighbor_preservation(database, edge_index)
+
+    @given(data=domain_and_counts())
+    @settings(max_examples=40, deadline=None)
+    def test_transformed_values_bounded_by_total(self, data):
+        domain, counts = data
+        tree = TreeTransform(PolicyTransform(line_policy(domain)))
+        x_g = tree.transform_database(Database(domain, counts))
+        assert np.all(np.abs(x_g) <= counts.sum() + 1e-9)

@@ -1,0 +1,71 @@
+"""Tests for the top-level package surface and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_core_names_reexported(self):
+        assert repro.Domain((4,)).size == 4
+        assert repro.Database is not None
+        assert repro.Workload is not None
+        assert repro.RangeQuery((0,), (1,)).num_cells() == 2
+
+    def test_policy_names_reexported(self):
+        domain = repro.Domain((6,))
+        policy = repro.line_policy(domain)
+        transform = repro.PolicyTransform(policy)
+        assert transform.is_tree()
+        assert repro.threshold_policy(domain, 2).num_edges > policy.num_edges
+        assert repro.grid_policy(repro.Domain((3, 3))).num_edges == 12
+
+    def test_all_entries_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ entry {name} is missing"
+
+    def test_subpackages_importable(self):
+        import repro.accounting
+        import repro.blowfish
+        import repro.bounds
+        import repro.data
+        import repro.experiments
+        import repro.mechanisms
+        import repro.policy
+        import repro.postprocess
+
+        assert repro.blowfish.plan_mechanism is not None
+        assert repro.mechanisms.LaplaceMechanism is not None
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            exceptions.DomainError,
+            exceptions.WorkloadError,
+            exceptions.PolicyError,
+            exceptions.PolicyNotTreeError,
+            exceptions.PrivacyBudgetError,
+            exceptions.MechanismError,
+            exceptions.TransformError,
+            exceptions.DataError,
+            exceptions.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, exceptions.ReproError)
+
+    def test_policy_not_tree_is_a_policy_error(self):
+        assert issubclass(exceptions.PolicyNotTreeError, exceptions.PolicyError)
+
+    def test_catching_base_class_catches_library_errors(self):
+        with pytest.raises(exceptions.ReproError):
+            repro.Domain((0,))
