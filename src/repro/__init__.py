@@ -32,6 +32,16 @@ The package is organised as follows:
     Synthetic dataset catalogue calibrated to Table 1.
 ``repro.experiments``
     Runners that regenerate every table and figure of the paper.
+``repro.engine``
+    A budget-managed, plan-cached private query **serving engine** layered on
+    top of the reproduction: :class:`~repro.engine.PrivateQueryEngine` holds
+    the private database, opens per-client sessions whose epsilon allotments
+    are reserved from a global :class:`~repro.accounting.PrivacyAccountant`,
+    memoises policy planning (``P_G`` construction, spanner approximations,
+    strategy factorisations) in an LRU plan cache, answers compatible pending
+    queries with one vectorised mechanism invocation, and replays re-asked
+    queries from a noisy-answer cache at zero additional budget — optionally
+    least-squares-consolidated across all paid-for measurements.
 """
 
 from __future__ import annotations
@@ -55,15 +65,18 @@ from .policy import (
     line_policy,
     threshold_policy,
 )
+from .engine import ClientSession, PrivateQueryEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BOTTOM",
+    "ClientSession",
     "Database",
     "Domain",
     "PolicyGraph",
     "PolicyTransform",
+    "PrivateQueryEngine",
     "RangeQuery",
     "TreeTransform",
     "Workload",

@@ -3,6 +3,7 @@
 from .composition import (
     BudgetedOperation,
     PrivacyAccountant,
+    ScopedAccountant,
     parallel_composition,
     sequential_composition,
 )
@@ -10,6 +11,7 @@ from .composition import (
 __all__ = [
     "BudgetedOperation",
     "PrivacyAccountant",
+    "ScopedAccountant",
     "parallel_composition",
     "sequential_composition",
 ]

@@ -16,6 +16,7 @@ testable.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
@@ -52,9 +53,9 @@ class PrivacyAccountant:
     operations: List[BudgetedOperation] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.total_epsilon <= 0:
+        if not math.isfinite(self.total_epsilon) or self.total_epsilon <= 0:
             raise PrivacyBudgetError(
-                f"total_epsilon must be positive, got {self.total_epsilon}"
+                f"total_epsilon must be positive and finite, got {self.total_epsilon}"
             )
 
     def charge(
@@ -64,8 +65,16 @@ class PrivacyAccountant:
         partition: Optional[Sequence] = None,
     ) -> None:
         """Charge ``epsilon`` for an operation, optionally over a data partition."""
-        if epsilon <= 0:
-            raise PrivacyBudgetError(f"Charged epsilon must be positive, got {epsilon}")
+        if getattr(self, "closed", False):
+            raise PrivacyBudgetError(
+                f"Cannot charge {epsilon} for {label!r}: this accountant is closed"
+            )
+        # A NaN epsilon would defeat every later comparison (NaN > total is
+        # False), permanently corrupting the ledger — reject it up front.
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise PrivacyBudgetError(
+                f"Charged epsilon must be positive and finite, got {epsilon}"
+            )
         frozen = None if partition is None else frozenset(partition)
         operation = BudgetedOperation(label=label, epsilon=float(epsilon), partition=frozen)
         projected = self._spent_with(self.operations + [operation])
@@ -83,6 +92,32 @@ class PrivacyAccountant:
     def remaining(self) -> float:
         """Budget still available."""
         return self.total_epsilon - self.spent()
+
+    def can_charge(self, epsilon: float, partition: Optional[Sequence] = None) -> bool:
+        """Return ``True`` when a :meth:`charge` with these arguments would succeed."""
+        if getattr(self, "closed", False) or not math.isfinite(epsilon) or epsilon <= 0:
+            return False
+        frozen = None if partition is None else frozenset(partition)
+        operation = BudgetedOperation(label="?", epsilon=float(epsilon), partition=frozen)
+        projected = self._spent_with(self.operations + [operation])
+        return projected <= self.total_epsilon * (1 + 1e-12)
+
+    def open_scope(self, label: str, epsilon: float) -> "ScopedAccountant":
+        """Reserve ``epsilon`` for a sub-accountant (e.g. one client session).
+
+        The reservation is charged against this accountant immediately, under
+        sequential composition — scopes may interleave arbitrarily on the same
+        data, so nothing weaker is sound.  The returned
+        :class:`ScopedAccountant` then tracks consumption *within* the
+        reservation; closing it refunds whatever the scope never spent.
+        """
+        self.charge(label, epsilon)
+        return ScopedAccountant(
+            total_epsilon=float(epsilon),
+            parent=self,
+            label=label,
+            reservation=self.operations[-1],
+        )
 
     @staticmethod
     def _spent_with(operations: List[BudgetedOperation]) -> float:
@@ -111,6 +146,48 @@ class PrivacyAccountant:
             groups = remaining_groups
         parallel = max((cost for _, cost in groups), default=0.0)
         return sequential + parallel
+
+
+@dataclass
+class ScopedAccountant(PrivacyAccountant):
+    """A session-scoped accountant living inside a parent reservation.
+
+    Created by :meth:`PrivacyAccountant.open_scope`.  Charges debit only the
+    scope (the parent was already debited the full reservation up front), so a
+    runaway session can never spend more than its allotment no matter what the
+    rest of the system does.  :meth:`close` shrinks the parent's reservation to
+    what was actually spent and refuses further charges.
+    """
+
+    parent: Optional[PrivacyAccountant] = None
+    label: str = ""
+    closed: bool = False
+    reservation: Optional[BudgetedOperation] = None
+
+    def close(self) -> float:
+        """Close the scope and refund unspent budget to the parent.
+
+        Returns the refunded amount.  The parent's reservation operation is
+        replaced by one recording the scope's actual spend (or dropped
+        entirely when nothing was spent).
+        """
+        if self.closed:
+            return 0.0
+        self.closed = True
+        refund = self.remaining()
+        if self.parent is None or refund <= 0:
+            return max(refund, 0.0)
+        actually_spent = self.spent()
+        for index, operation in enumerate(self.parent.operations):
+            if operation is self.reservation:
+                if actually_spent > 0:
+                    self.parent.operations[index] = BudgetedOperation(
+                        label=self.label, epsilon=actually_spent, partition=None
+                    )
+                else:
+                    del self.parent.operations[index]
+                break
+        return refund
 
 
 def sequential_composition(epsilons: Sequence[float]) -> float:

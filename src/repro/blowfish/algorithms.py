@@ -40,6 +40,7 @@ from ..mechanisms.laplace import LaplaceHistogram
 from ..mechanisms.privelet import PriveletMechanism
 from ..policy.graph import PolicyGraph
 from ..policy.spanner import SpannerApproximation, approximate_with_line_spanner
+from ..policy.transform import PolicyTransform
 from .matrix_mechanism import (
     PolicyMatrixMechanism,
     transformed_laplace_mechanism,
@@ -68,6 +69,15 @@ class NamedAlgorithm:
     ) -> np.ndarray:
         """Noisy workload answers from the wrapped mechanism."""
         return self.mechanism.answer(workload, database, random_state)
+
+    def answer_batch(
+        self,
+        workloads: Sequence[Workload],
+        database: Database,
+        random_state: RandomState = None,
+    ) -> list[np.ndarray]:
+        """Answer several workloads in one mechanism invocation (one ε spend)."""
+        return self.mechanism.answer_batch(workloads, database, random_state)
 
 
 # ---------------------------------------------------------------------------
@@ -119,6 +129,7 @@ def blowfish_transformed_laplace(
     epsilon: float,
     spanner: Optional[SpannerApproximation] = None,
     theta: Optional[int] = None,
+    transform: Optional[PolicyTransform] = None,
 ) -> NamedAlgorithm:
     """"Transformed + Laplace" (Algorithm 1 / Section 5.3.1 with the identity strategy).
 
@@ -133,6 +144,7 @@ def blowfish_transformed_laplace(
         estimator_factory=laplace_estimator_factory,
         spanner=resolved,
         consistency="none",
+        transform=transform,
     )
     return NamedAlgorithm(
         name="Transformed+Laplace", mechanism=mechanism, data_dependent=False
@@ -144,6 +156,7 @@ def blowfish_transformed_consistent(
     epsilon: float,
     spanner: Optional[SpannerApproximation] = None,
     theta: Optional[int] = None,
+    transform: Optional[PolicyTransform] = None,
 ) -> NamedAlgorithm:
     """"Transformed + ConsistentEst": Laplace on ``x_G`` plus monotone consistency."""
     resolved = _spanner_for(policy, spanner, theta)
@@ -153,6 +166,7 @@ def blowfish_transformed_consistent(
         estimator_factory=laplace_estimator_factory,
         spanner=resolved,
         consistency="auto",
+        transform=transform,
     )
     return NamedAlgorithm(
         name="Transformed+ConsistentEst", mechanism=mechanism, data_dependent=True
@@ -165,6 +179,7 @@ def blowfish_transformed_dawa(
     spanner: Optional[SpannerApproximation] = None,
     theta: Optional[int] = None,
     consistency: bool = True,
+    transform: Optional[PolicyTransform] = None,
 ) -> NamedAlgorithm:
     """"Trans + Dawa (+ Cons)": DAWA on the transformed database (Section 5.4.1)."""
     resolved = _spanner_for(policy, spanner, theta)
@@ -174,23 +189,27 @@ def blowfish_transformed_dawa(
         estimator_factory=dawa_estimator_factory,
         spanner=resolved,
         consistency="auto" if consistency else "none",
+        transform=transform,
     )
     name = "Trans+Dawa+Cons" if consistency else "Trans+Dawa"
     return NamedAlgorithm(name=name, mechanism=mechanism, data_dependent=True)
 
 
 def blowfish_transformed_privelet_grid(
-    policy: PolicyGraph, epsilon: float
+    policy: PolicyGraph, epsilon: float, transform: Optional[PolicyTransform] = None
 ) -> NamedAlgorithm:
     """"Transformed + Privelet" for the grid policy ``G^1_{k^d}`` (Theorem 5.4)."""
-    mechanism = transformed_privelet_grid_mechanism(policy, epsilon)
+    mechanism = transformed_privelet_grid_mechanism(policy, epsilon, transform=transform)
     return NamedAlgorithm(
         name="Transformed+Privelet", mechanism=mechanism, data_dependent=False
     )
 
 
 def blowfish_transformed_laplace_matrix(
-    policy: PolicyGraph, epsilon: float, budget_fraction: float = 1.0
+    policy: PolicyGraph,
+    epsilon: float,
+    budget_fraction: float = 1.0,
+    transform: Optional[PolicyTransform] = None,
 ) -> NamedAlgorithm:
     """Data-independent "Transformed + Laplace" through the matrix-mechanism route.
 
@@ -198,7 +217,9 @@ def blowfish_transformed_laplace_matrix(
     graph (Theorem 4.1), at the price of never exploiting data-dependent
     structure.
     """
-    mechanism = transformed_laplace_mechanism(policy, epsilon, budget_fraction)
+    mechanism = transformed_laplace_mechanism(
+        policy, epsilon, budget_fraction, transform=transform
+    )
     return NamedAlgorithm(
         name="Transformed+Laplace(MM)", mechanism=mechanism, data_dependent=False
     )

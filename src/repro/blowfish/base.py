@@ -13,12 +13,13 @@ one of the paper's three routes:
 from __future__ import annotations
 
 import abc
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.database import Database
 from ..core.rng import RandomState
-from ..core.workload import Workload
+from ..core.workload import Workload, answer_workloads_batched
 from ..exceptions import PolicyError
 from ..mechanisms.base import check_epsilon
 from ..policy.graph import PolicyGraph
@@ -37,6 +38,11 @@ class BlowfishMechanism(abc.ABC):
         through a spanner internally divide this by the spanner's stretch
         (Corollary 4.6); the value stored here is always the guarantee the
         caller receives.
+    transform:
+        Optional precomputed :class:`PolicyTransform` for ``policy``.  The
+        transform is deterministic, so sharing one instance across mechanisms
+        (as the plan cache of :mod:`repro.engine` does) skips re-deriving
+        ``P_G`` and re-factorising its Gram matrix on every construction.
     """
 
     #: Whether the mechanism's noise depends on the data (Section 5.4).
@@ -44,10 +50,19 @@ class BlowfishMechanism(abc.ABC):
     #: Human-readable mechanism name used by the experiment harness.
     name: str = "BlowfishMechanism"
 
-    def __init__(self, policy: PolicyGraph, epsilon: float) -> None:
+    def __init__(
+        self,
+        policy: PolicyGraph,
+        epsilon: float,
+        transform: Optional[PolicyTransform] = None,
+    ) -> None:
         self._policy = policy
         self._epsilon = check_epsilon(epsilon)
-        self._transform = PolicyTransform(policy)
+        if transform is not None and transform.policy != policy:
+            raise PolicyError(
+                "The provided PolicyTransform was built for a different policy"
+            )
+        self._transform = transform if transform is not None else PolicyTransform(policy)
 
     # ------------------------------------------------------------- properties
     @property
@@ -84,6 +99,20 @@ class BlowfishMechanism(abc.ABC):
         random_state: RandomState,
     ) -> np.ndarray:
         """Mechanism-specific implementation (inputs already validated)."""
+
+    def answer_batch(
+        self,
+        workloads: Sequence[Workload],
+        database: Database,
+        random_state: RandomState = None,
+    ) -> List[np.ndarray]:
+        """Answer several workloads with ONE ``(ε, G)``-Blowfish invocation.
+
+        The workloads are stacked and answered by a single call to
+        :meth:`answer`, so the whole batch consumes one ε.  Returns one answer
+        vector per input workload, in order.
+        """
+        return answer_workloads_batched(self.answer, workloads, database, random_state)
 
     # ----------------------------------------------------------------- helper
     def _check_instance(self, workload: Workload, database: Database) -> None:

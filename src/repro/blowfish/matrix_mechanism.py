@@ -75,8 +75,9 @@ class PolicyMatrixMechanism(BlowfishMechanism):
         epsilon: float,
         strategy: Optional[Strategy | StrategyBuilder] = None,
         budget_fraction: float = 1.0,
+        transform: Optional[PolicyTransform] = None,
     ) -> None:
-        super().__init__(policy, epsilon)
+        super().__init__(policy, epsilon, transform=transform)
         if not 0 < budget_fraction <= 1:
             raise MechanismError(
                 f"budget_fraction must be in (0, 1], got {budget_fraction}"
@@ -94,7 +95,7 @@ class PolicyMatrixMechanism(BlowfishMechanism):
                 f"{self.transform.num_edges} edges"
             )
         self._strategy = built
-        self._workload_cache: dict[int, sp.csr_matrix] = {}
+        self._workload_cache: dict[str, sp.csr_matrix] = {}
 
     # ------------------------------------------------------------- properties
     @property
@@ -145,7 +146,10 @@ class PolicyMatrixMechanism(BlowfishMechanism):
 
     # ----------------------------------------------------------------- helper
     def _transformed_workload(self, workload: Workload) -> sp.csr_matrix:
-        key = id(workload)
+        # Content-keyed: equal-but-distinct Workload objects (a serving engine
+        # sees a fresh object per client request) share one entry, and a
+        # recycled id() can never alias a stale matrix.
+        key = workload.signature()
         if key not in self._workload_cache:
             if len(self._workload_cache) > 8:
                 self._workload_cache.clear()
@@ -154,7 +158,10 @@ class PolicyMatrixMechanism(BlowfishMechanism):
 
 
 def transformed_laplace_mechanism(
-    policy: PolicyGraph, epsilon: float, budget_fraction: float = 1.0
+    policy: PolicyGraph,
+    epsilon: float,
+    budget_fraction: float = 1.0,
+    transform: Optional[PolicyTransform] = None,
 ) -> PolicyMatrixMechanism:
     """"Transformed + Laplace": measure every transformed coordinate with Laplace noise.
 
@@ -166,13 +173,16 @@ def transformed_laplace_mechanism(
         epsilon=epsilon,
         strategy=edge_identity_strategy,
         budget_fraction=budget_fraction,
+        transform=transform,
     )
     mechanism.name = "Transformed+Laplace"
     return mechanism
 
 
 def transformed_privelet_grid_mechanism(
-    policy: PolicyGraph, epsilon: float
+    policy: PolicyGraph,
+    epsilon: float,
+    transform: Optional[PolicyTransform] = None,
 ) -> PolicyMatrixMechanism:
     """"Transformed + Privelet" for the grid policy ``G^1_{k^d}`` (Theorem 5.4).
 
@@ -183,6 +193,7 @@ def transformed_privelet_grid_mechanism(
         policy=policy,
         epsilon=epsilon,
         strategy=lambda transform: grid_slab_strategy(transform),
+        transform=transform,
     )
     mechanism.name = "Transformed+Privelet"
     return mechanism

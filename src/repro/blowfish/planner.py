@@ -83,6 +83,7 @@ def plan_mechanism(
     epsilon: float,
     prefer_data_dependent: bool = True,
     consistency: bool = True,
+    transform: Optional[PolicyTransform] = None,
 ) -> Plan:
     """Choose a Blowfish mechanism for ``policy`` following the paper's playbook.
 
@@ -98,16 +99,27 @@ def plan_mechanism(
         Laplace one.
     consistency:
         Apply the consistency post-processing when available.
+    transform:
+        Optional precomputed :class:`PolicyTransform` for ``policy``.  Passing
+        one lets callers — notably the plan cache of :mod:`repro.engine` —
+        share the transform (and its lazy Gram factorisation) between the
+        planner's structure checks and the constructed mechanism instead of
+        rebuilding it on both sides.
     """
-    transform = PolicyTransform(policy)
+    if transform is None:
+        transform = PolicyTransform(policy)
+    elif transform.policy != policy:
+        raise PolicyError("The provided PolicyTransform was built for a different policy")
 
     if transform.is_tree():
         if prefer_data_dependent:
-            algorithm = blowfish_transformed_dawa(policy, epsilon, consistency=consistency)
+            algorithm = blowfish_transformed_dawa(
+                policy, epsilon, consistency=consistency, transform=transform
+            )
         elif consistency:
-            algorithm = blowfish_transformed_consistent(policy, epsilon)
+            algorithm = blowfish_transformed_consistent(policy, epsilon, transform=transform)
         else:
-            algorithm = blowfish_transformed_laplace(policy, epsilon)
+            algorithm = blowfish_transformed_laplace(policy, epsilon, transform=transform)
         return Plan(
             algorithm=algorithm,
             route="tree",
@@ -123,10 +135,13 @@ def plan_mechanism(
         spanner = approximate_with_line_spanner(policy, theta)
         if prefer_data_dependent:
             algorithm = blowfish_transformed_dawa(
-                policy, epsilon, spanner=spanner, consistency=consistency
+                policy, epsilon, spanner=spanner, consistency=consistency,
+                transform=transform,
             )
         else:
-            algorithm = blowfish_transformed_laplace(policy, epsilon, spanner=spanner)
+            algorithm = blowfish_transformed_laplace(
+                policy, epsilon, spanner=spanner, transform=transform
+            )
         return Plan(
             algorithm=algorithm,
             route="spanner",
@@ -139,7 +154,7 @@ def plan_mechanism(
         )
 
     if _is_unit_grid(policy):
-        algorithm = blowfish_transformed_privelet_grid(policy, epsilon)
+        algorithm = blowfish_transformed_privelet_grid(policy, epsilon, transform=transform)
         return Plan(
             algorithm=algorithm,
             route="grid-matrix",
@@ -150,7 +165,7 @@ def plan_mechanism(
             ),
         )
 
-    algorithm = blowfish_transformed_laplace_matrix(policy, epsilon)
+    algorithm = blowfish_transformed_laplace_matrix(policy, epsilon, transform=transform)
     return Plan(
         algorithm=algorithm,
         route="matrix",

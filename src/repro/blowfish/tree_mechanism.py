@@ -98,8 +98,9 @@ class TreeTransformMechanism(BlowfishMechanism):
         estimator_factory: EstimatorFactory = laplace_estimator_factory,
         spanner: Optional[SpannerApproximation] = None,
         consistency: ConsistencyMode = "auto",
+        transform: Optional[PolicyTransform] = None,
     ) -> None:
-        super().__init__(policy, epsilon)
+        super().__init__(policy, epsilon, transform=transform)
         if consistency not in ("auto", "none", "monotone", "nonnegative"):
             raise MechanismError(f"Unknown consistency mode {consistency!r}")
         self._consistency: ConsistencyMode = consistency
@@ -127,7 +128,7 @@ class TreeTransformMechanism(BlowfishMechanism):
             )
         self._tree = TreeTransform(self._working_transform)
         self._monotone_order = self._tree.monotone_root_path_indices()
-        self._workload_cache: dict[int, object] = {}
+        self._workload_cache: dict[str, object] = {}
 
     # ------------------------------------------------------------- properties
     @property
@@ -197,7 +198,10 @@ class TreeTransformMechanism(BlowfishMechanism):
         return np.clip(estimate, 0.0, total)
 
     def _transformed_workload(self, workload: Workload):
-        key = id(workload)
+        # Content-keyed: equal-but-distinct Workload objects (a serving engine
+        # sees a fresh object per client request) share one entry, and a
+        # recycled id() can never alias a stale matrix.
+        key = workload.signature()
         if key not in self._workload_cache:
             if len(self._workload_cache) > 8:
                 self._workload_cache.clear()

@@ -32,6 +32,7 @@ from .workload import (
     cumulative_workload,
     identity_workload,
     marginal_workload,
+    stack_workloads,
     total_workload,
     workload_from_rows,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "range_queries_workload",
     "spawn_rngs",
     "squared_error",
+    "stack_workloads",
     "total_workload",
     "unbounded_sensitivity",
     "workload_from_rows",

@@ -15,8 +15,9 @@ constructors used throughout the paper:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Union
+from typing import Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -104,6 +105,52 @@ class Workload:
         if data.size == 0:
             return True
         return bool(np.all(np.abs(data * (data - 1.0)) <= tolerance))
+
+    def signature(self) -> str:
+        """A stable content hash of the workload (domain shape plus matrix).
+
+        Two workloads share a signature exactly when they are defined over the
+        same domain and their matrices have identical sparsity structure and
+        values.  The serving engine (:mod:`repro.engine`) keys its plan and
+        noisy-answer caches on this, so the hash is computed once per instance
+        and memoised (the matrix of a frozen :class:`Workload` never changes).
+        """
+        cached = self.__dict__.get("_signature")
+        if cached is not None:
+            return cached
+        matrix = self._canonical_matrix()
+        hasher = hashlib.sha256()
+        hasher.update(repr(self.domain.shape).encode())
+        hasher.update(repr(matrix.shape).encode())
+        hasher.update(matrix.indptr.tobytes())
+        hasher.update(matrix.indices.tobytes())
+        hasher.update(np.ascontiguousarray(matrix.data, dtype=np.float64).tobytes())
+        digest = hasher.hexdigest()
+        object.__setattr__(self, "_signature", digest)
+        return digest
+
+    def _canonical_matrix(self) -> sp.csr_matrix:
+        """The matrix with representation details normalised away.
+
+        Unsorted indices, duplicate entries and explicit stored zeros are
+        representation, not semantics: both the content signature and the
+        touched-column set must agree for two semantically equal workloads.
+        """
+        matrix = self.matrix
+        if not matrix.has_canonical_format or (matrix.data == 0).any():
+            matrix = matrix.copy()
+            matrix.sum_duplicates()
+            matrix.eliminate_zeros()
+            matrix.sort_indices()
+        return matrix
+
+    def touched_columns(self) -> np.ndarray:
+        """Sorted, unique domain-cell indices the workload actually reads.
+
+        Computed from the canonicalised matrix, so explicit stored zeros do
+        not count as touched (used by the engine's partition coverage check).
+        """
+        return np.unique(self._canonical_matrix().indices)
 
     # ------------------------------------------------------------- operations
     def answer(self, database: Database) -> np.ndarray:
@@ -221,3 +268,46 @@ def workload_from_rows(
     """Build a workload from an iterable of dense query rows."""
     stacked = np.vstack([np.asarray(row, dtype=np.float64).ravel() for row in rows])
     return Workload(domain=domain, matrix=stacked, name=name)
+
+
+def stack_workloads(
+    workloads: Sequence[Workload], name: str = ""
+) -> Tuple[Workload, List[slice]]:
+    """Stack several workloads over one domain into a single batched workload.
+
+    Returns the stacked workload plus one row ``slice`` per input, so that a
+    batched answer vector can be split back into per-workload answers.  This is
+    the vectorised entry point used by the batch executor of
+    :mod:`repro.engine`: answering the stacked workload runs each mechanism
+    exactly once instead of once per client query.
+    """
+    if not workloads:
+        raise WorkloadError("At least one workload is required to stack")
+    domain = workloads[0].domain
+    slices: List[slice] = []
+    start = 0
+    for workload in workloads:
+        if workload.domain != domain:
+            raise WorkloadError(
+                f"Cannot stack workloads over different domains: {domain} vs "
+                f"{workload.domain}"
+            )
+        slices.append(slice(start, start + workload.num_queries))
+        start += workload.num_queries
+    stacked = sp.vstack([w.matrix for w in workloads], format="csr")
+    return Workload(domain=domain, matrix=stacked, name=name or "Batched"), slices
+
+
+def answer_workloads_batched(answer, workloads: Sequence[Workload], *args, **kwargs):
+    """Answer several workloads through one call to ``answer`` on their stack.
+
+    ``answer`` is any ``(workload, ...) -> vector`` callable (typically a
+    mechanism's bound ``answer`` method); the extra arguments are forwarded
+    verbatim.  Returns one answer vector per input workload, in order.  This
+    is the single implementation behind every ``answer_batch`` method, so the
+    one-invocation-per-batch semantics cannot drift between mechanism
+    hierarchies.
+    """
+    stacked, slices = stack_workloads(workloads)
+    batched = answer(stacked, *args, **kwargs)
+    return [batched[rows] for rows in slices]

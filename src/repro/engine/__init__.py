@@ -1,0 +1,52 @@
+"""repro.engine — a budget-managed, plan-cached private query serving engine.
+
+Turns the one-shot mechanisms of :mod:`repro.blowfish` into a multi-client
+service: an expensive planning path (memoised in a :class:`PlanCache`), a
+fast answering path (batched mechanism invocations, noisy-answer replays at
+zero budget), and per-client sessions whose epsilon allotments are reserved
+from a global :class:`~repro.accounting.PrivacyAccountant`.
+
+Quick start::
+
+    from repro import Database, Domain, identity_workload, line_policy
+    from repro.engine import PrivateQueryEngine
+
+    domain = Domain((64,))
+    engine = PrivateQueryEngine(
+        database, total_epsilon=4.0, default_policy=line_policy(domain)
+    )
+    alice = engine.open_session("alice", epsilon_allotment=1.0)
+    answers = engine.ask("alice", identity_workload(domain), epsilon=0.5)
+    # Re-asking is free: replayed from the noisy-answer cache.
+    replay = engine.ask("alice", identity_workload(domain), epsilon=0.5)
+"""
+
+from .answer_cache import AnswerCache, AnswerCacheStats, CachedAnswer
+from .engine import EngineStats, PrivateQueryEngine, QueryTicket
+from .plan_cache import CachedPlan, PlanCache, PlanCacheStats
+from .session import ClientSession
+from .signature import (
+    answer_key,
+    domain_signature,
+    plan_key,
+    policy_signature,
+    workload_signature,
+)
+
+__all__ = [
+    "AnswerCache",
+    "AnswerCacheStats",
+    "CachedAnswer",
+    "CachedPlan",
+    "ClientSession",
+    "EngineStats",
+    "PlanCache",
+    "PlanCacheStats",
+    "PrivateQueryEngine",
+    "QueryTicket",
+    "answer_key",
+    "domain_signature",
+    "plan_key",
+    "policy_signature",
+    "workload_signature",
+]

@@ -1,0 +1,186 @@
+"""Noisy-answer cache: re-asked queries are free.
+
+Differential privacy (and Blowfish privacy) is closed under post-processing:
+once a noisy answer has been *paid for*, replaying the stored vector to any
+number of clients consumes **zero** additional budget.  The cache therefore
+keys entries by ``(policy, workload, epsilon)`` content signatures and hands
+the identical noisy vector back on every replay.
+
+The cache also supports *consistency consolidation*: all paid-for
+measurements under one policy are noisy views ``y_i ≈ W_i x`` of the same
+histogram, so a variance-weighted least-squares solve yields a single
+estimate ``x̂`` from which every cached workload is re-answered as
+``W_i x̂``.  This is pure post-processing — zero budget — and makes every
+cached answer mutually consistent.
+
+The variance weighting treats measurements as independent, which is an
+approximation: answers bought in the same batch (and the rows within one
+answer) share a noise draw, so correlated measurements receive somewhat more
+weight than a full generalised-least-squares treatment would give them.
+Consolidation is therefore always *sound* (post-processing) and always
+*consistent*, but only approximately variance-optimal; tracking per-draw
+covariance is an open item in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.workload import Workload
+from ..policy.graph import PolicyGraph
+from ..postprocess.least_squares import weighted_least_squares_estimate
+from .signature import answer_key, policy_signature
+
+AnswerKey = Tuple[str, str, str]
+
+
+@dataclass
+class CachedAnswer:
+    """One paid-for noisy answer vector and the workload it answers.
+
+    ``raw_answers`` keeps the measurement exactly as the mechanism released
+    it; ``answers`` is what replays serve and may be overwritten by
+    consolidation.  Consolidation always solves from the raw measurements —
+    re-solving from already-blended vectors would treat correlated answers as
+    independent evidence and double-count information.
+    """
+
+    key: AnswerKey
+    workload: Workload
+    epsilon: float
+    answers: np.ndarray
+    raw_answers: np.ndarray = None  # type: ignore[assignment]
+    replays: int = 0
+    consolidated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.raw_answers is None:
+            self.raw_answers = self.answers.copy()
+
+
+@dataclass
+class AnswerCacheStats:
+    """Hit/miss counters of an :class:`AnswerCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class AnswerCache:
+    """Bounded LRU cache of noisy answers, grouped by policy for consolidation.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of paid-for answer vectors kept.  Least-recently-used
+        entries are evicted first; an evicted answer simply has to be paid
+        for again on the next ask, so eviction affects cost, never
+        correctness.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: "OrderedDict[AnswerKey, CachedAnswer]" = OrderedDict()
+        self._by_policy: Dict[str, List[AnswerKey]] = {}
+        self._lock = threading.Lock()
+        self.stats = AnswerCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ access
+    def lookup(
+        self, policy: PolicyGraph, workload: Workload, epsilon: float
+    ) -> Optional[CachedAnswer]:
+        """Return the cached entry for this query, counting the hit/miss."""
+        key = answer_key(policy, workload, epsilon)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            entry.replays += 1
+            return entry
+
+    def store(
+        self,
+        policy: PolicyGraph,
+        workload: Workload,
+        epsilon: float,
+        answers: np.ndarray,
+    ) -> CachedAnswer:
+        """Store a freshly paid-for answer vector."""
+        key = answer_key(policy, workload, epsilon)
+        entry = CachedAnswer(
+            key=key,
+            workload=workload,
+            epsilon=float(epsilon),
+            answers=np.asarray(answers, dtype=np.float64).copy(),
+        )
+        with self._lock:
+            already_present = key in self._entries
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            if not already_present:
+                self._by_policy.setdefault(key[0], []).append(key)
+            while len(self._entries) > self._maxsize:
+                evicted_key, _ = self._entries.popitem(last=False)
+                policy_keys = self._by_policy.get(evicted_key[0])
+                if policy_keys is not None:
+                    policy_keys.remove(evicted_key)
+                    if not policy_keys:
+                        del self._by_policy[evicted_key[0]]
+                self.stats.evictions += 1
+        return entry
+
+    # ------------------------------------------------------------ consolidation
+    def consolidate(self, policy: PolicyGraph) -> int:
+        """Least-squares-consolidate every cached answer under ``policy``.
+
+        Stacks all cached measurements ``(W_i, y_i)`` for the policy, solves a
+        *variance-weighted* least squares (a measurement bought at budget ε
+        carries Laplace noise of scale ∝ 1/ε, so rows are weighted by ε² —
+        otherwise one very noisy cheap measurement would drag every precise
+        answer toward it) and replaces each cached vector by ``W_i x̂``.
+        Returns the number of entries updated (0 or 1 entries are left
+        untouched — there is nothing to reconcile).  Consumes no budget.
+        """
+        sig = policy_signature(policy)
+        with self._lock:
+            keys = [k for k in self._by_policy.get(sig, ()) if k in self._entries]
+            entries = [self._entries[k] for k in keys]
+        if len(entries) < 2:
+            return 0
+        matrix = sp.vstack([e.workload.matrix for e in entries], format="csr")
+        measurements = np.concatenate([e.raw_answers for e in entries])
+        variances = np.concatenate(
+            [np.full(e.workload.num_queries, 1.0 / e.epsilon**2) for e in entries]
+        )
+        estimate = weighted_least_squares_estimate(matrix, measurements, variances)
+        with self._lock:
+            for entry in entries:
+                entry.answers = np.asarray(entry.workload.matrix @ estimate).ravel()
+                entry.consolidated = True
+        return len(entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._by_policy.clear()

@@ -1,0 +1,604 @@
+"""`PrivateQueryEngine` — the budget-managed, plan-cached serving front-end.
+
+The library's mechanisms are one-shot: every call re-derives the policy
+transform, re-factorises strategy matrices and spends budget with no session
+state.  The engine turns them into a multi-client query-answering service by
+separating the **fast answering path** from the **expensive planning path**
+(the split HTAP systems make between transactional serving and analytical
+maintenance):
+
+1. **Plan cache** — planning artefacts (``PolicyTransform``, spanners,
+   strategy factorisations, transformed workloads) are memoised per
+   ``(domain, policy, planner-config)`` in a :class:`~repro.engine.PlanCache`,
+   so repeated queries skip planning entirely.
+2. **Sessions & budget** — each client holds a
+   :class:`~repro.engine.ClientSession` whose epsilon allotment is reserved
+   from the engine's global :class:`~repro.accounting.PrivacyAccountant`;
+   queries are charged per session and refused with a clear
+   :class:`~repro.exceptions.PrivacyBudgetError` once the allotment is gone.
+3. **Batch executor** — pending queries that agree on
+   ``(policy, epsilon, config)`` are answered by **one** vectorised mechanism
+   invocation over the stacked workload instead of N scalar runs.
+4. **Noisy-answer cache** — re-asked queries replay the already-paid-for
+   noisy vector at zero additional budget (post-processing closure), and
+   :meth:`PrivateQueryEngine.consolidate` least-squares-reconciles all cached
+   answers under a policy, again for free.
+
+Accounting of a batch is conservative: the stacked invocation is a single
+ε-release, yet every participating session is charged the full ε of its
+query, so per-session budgets never undercount.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..accounting.composition import PrivacyAccountant
+from ..core.database import Database
+from ..core.rng import RandomState, ensure_rng
+from ..core.workload import Workload
+from ..exceptions import MechanismError, PolicyError, PrivacyBudgetError
+from ..policy.graph import PolicyGraph, is_bottom
+from .answer_cache import AnswerCache
+from .plan_cache import CachedPlan, PlanCache
+from .session import ClientSession
+from .signature import answer_key, plan_key
+
+PENDING = "pending"
+ANSWERED = "answered"
+REFUSED = "refused"
+
+
+@dataclass
+class QueryTicket:
+    """Handle on one submitted query; resolved by :meth:`PrivateQueryEngine.flush`."""
+
+    ticket_id: int
+    client_id: str
+    workload: Workload
+    policy: PolicyGraph
+    epsilon: float
+    #: The session the query was submitted under.  Charges always go to THIS
+    #: session — closing and reopening a client id between submit and flush
+    #: must never bill the new session for the old session's query.
+    session: ClientSession = field(repr=False, default=None)  # type: ignore[assignment]
+    partition: Optional[frozenset] = None
+    status: str = PENDING
+    answers: Optional[np.ndarray] = None
+    from_cache: bool = False
+    error: Optional[str] = None
+
+    def result(self) -> np.ndarray:
+        """The noisy answers; raises when the query was refused or is pending."""
+        if self.status == ANSWERED:
+            assert self.answers is not None
+            return self.answers
+        if self.status == REFUSED:
+            raise PrivacyBudgetError(self.error or "Query was refused")
+        raise MechanismError(
+            f"Ticket {self.ticket_id} is still pending; call PrivateQueryEngine.flush()"
+        )
+
+
+@dataclass
+class EngineStats:
+    """Aggregate serving statistics, snapshotted by :attr:`PrivateQueryEngine.stats`."""
+
+    queries_submitted: int = 0
+    queries_answered: int = 0
+    queries_refused: int = 0
+    answer_cache_replays: int = 0
+    batches_executed: int = 0
+    mechanism_invocations: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    answer_hits: int = 0
+    answer_misses: int = 0
+    epsilon_spent: float = 0.0
+    epsilon_remaining: float = 0.0
+    open_sessions: int = 0
+
+
+class PrivateQueryEngine:
+    """A multi-client, budget-managed Blowfish/DP query serving engine.
+
+    Parameters
+    ----------
+    database:
+        The private database the engine serves.  It is held by the trusted
+        curator; clients only ever see noisy answers.
+    total_epsilon:
+        Global privacy budget across *all* sessions (sequential composition).
+    default_policy:
+        Policy used when a query does not name one.
+    plan_cache_size:
+        LRU capacity of the plan cache.
+    enable_answer_cache:
+        When ``True`` (default), repeated queries are replayed for free.
+    answer_cache_size:
+        LRU capacity of the noisy-answer cache (evicted answers must simply
+        be paid for again).
+    prefer_data_dependent / consistency:
+        Planner configuration forwarded to
+        :func:`repro.blowfish.plan_mechanism`.
+    random_state:
+        Seed or generator for the engine's noise stream.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        total_epsilon: float,
+        default_policy: Optional[PolicyGraph] = None,
+        plan_cache_size: int = 64,
+        enable_answer_cache: bool = True,
+        answer_cache_size: int = 1024,
+        prefer_data_dependent: bool = True,
+        consistency: bool = True,
+        random_state: RandomState = None,
+    ) -> None:
+        self._database = database
+        self._accountant = PrivacyAccountant(total_epsilon)
+        self._default_policy = default_policy
+        if default_policy is not None and default_policy.domain != database.domain:
+            raise PolicyError(
+                f"Default policy domain {default_policy.domain} does not match the "
+                f"database domain {database.domain}"
+            )
+        self._prefer_data_dependent = bool(prefer_data_dependent)
+        self._consistency = bool(consistency)
+        self.plan_cache = PlanCache(maxsize=plan_cache_size)
+        self.answer_cache: Optional[AnswerCache] = (
+            AnswerCache(maxsize=answer_cache_size) if enable_answer_cache else None
+        )
+        self._rng = ensure_rng(random_state)
+        # Serialises every budget/queue mutation (open/submit/flush/close):
+        # PrivacyAccountant.charge is check-then-append, so unsynchronised
+        # concurrent flushes could overspend a session's allotment.
+        self._lock = threading.RLock()
+        self._sessions: Dict[str, ClientSession] = {}
+        self._pending: List[QueryTicket] = []
+        self._ticket_ids = itertools.count(1)
+        self._submitted = 0
+        self._answered = 0
+        self._refused = 0
+        self._replays = 0
+        self._batches = 0
+        self._invocations = 0
+
+    # --------------------------------------------------------------- sessions
+    @property
+    def database(self) -> Database:
+        """The served database."""
+        return self._database
+
+    @property
+    def accountant(self) -> PrivacyAccountant:
+        """The engine-wide accountant that session allotments are reserved from."""
+        return self._accountant
+
+    def open_session(self, client_id: str, epsilon_allotment: float) -> ClientSession:
+        """Open a budgeted session; the allotment is reserved immediately.
+
+        Raises
+        ------
+        PrivacyBudgetError
+            When the reservation would exceed the engine's remaining global
+            budget, or a session with this id is already open.
+        """
+        client_id = str(client_id)
+        with self._lock:
+            existing = self._sessions.get(client_id)
+            if existing is not None and not existing.closed:
+                raise PrivacyBudgetError(f"Session {client_id!r} is already open")
+            scope = self._accountant.open_scope(
+                f"session:{client_id}", epsilon_allotment
+            )
+            session = ClientSession(client_id, scope, lock=self._lock)
+            self._sessions[client_id] = session
+            return session
+
+    def session(self, client_id: str) -> ClientSession:
+        """Look up an open session by client id."""
+        session = self._sessions.get(str(client_id))
+        if session is None:
+            raise PolicyError(f"No session open for client {client_id!r}")
+        return session
+
+    def close_session(self, client_id: str) -> float:
+        """Close a session, refunding its unspent allotment to the global budget."""
+        with self._lock:
+            return self.session(client_id).close()
+
+    # ---------------------------------------------------------------- queries
+    def submit(
+        self,
+        client_id: str,
+        workload: Workload,
+        epsilon: float,
+        policy: Optional[PolicyGraph] = None,
+        partition: Optional[Sequence] = None,
+    ) -> QueryTicket:
+        """Queue a query for the next :meth:`flush`; returns its ticket.
+
+        Submission performs validation only — budget is charged when the
+        batch executes, and answer-cache replays are never charged at all.
+
+        ``partition``, when given, must be a collection of **domain cell
+        indices** covering every cell the workload touches; queries over
+        disjoint partitions then compose in parallel within a session.  The
+        engine verifies the coverage claim at submit, and at execution it
+        additionally requires the planned mechanism to be data *independent*
+        (a data-dependent mechanism reads the whole histogram, so the
+        parallel-composition discount would be unsound) — partitioned
+        queries therefore only make sense on engines configured with
+        ``prefer_data_dependent=False``.
+        """
+        with self._lock:
+            return self._submit_locked(client_id, workload, epsilon, policy, partition)
+
+    def _submit_locked(
+        self,
+        client_id: str,
+        workload: Workload,
+        epsilon: float,
+        policy: Optional[PolicyGraph],
+        partition: Optional[Sequence],
+    ) -> QueryTicket:
+        session = self.session(client_id)
+        if session.closed:
+            raise PrivacyBudgetError(f"Session {client_id!r} is closed")
+        resolved_policy = policy if policy is not None else self._default_policy
+        if resolved_policy is None:
+            raise PolicyError("No policy given and the engine has no default policy")
+        if workload.domain != self._database.domain:
+            raise PolicyError(
+                f"Workload domain {workload.domain} does not match the database "
+                f"domain {self._database.domain}"
+            )
+        if resolved_policy.domain != self._database.domain:
+            raise PolicyError(
+                f"Policy domain {resolved_policy.domain} does not match the database "
+                f"domain {self._database.domain}"
+            )
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise PrivacyBudgetError(
+                f"Query epsilon must be positive and finite, got {epsilon}"
+            )
+        frozen_partition: Optional[frozenset] = None
+        if partition is not None:
+            try:
+                frozen_partition = frozenset(int(cell) for cell in partition)
+            except (TypeError, ValueError) as exc:
+                raise PolicyError(
+                    "Engine partitions must be collections of domain cell indices"
+                ) from exc
+            touched = {int(c) for c in workload.touched_columns()}
+            uncovered = touched - frozen_partition
+            if uncovered:
+                raise PrivacyBudgetError(
+                    f"Query claims partition of {len(frozen_partition)} cells but "
+                    f"touches {len(uncovered)} cells outside it (e.g. "
+                    f"{sorted(uncovered)[:5]}); the parallel-composition discount "
+                    "only applies to queries confined to their declared partition"
+                )
+            # Parallel composition further requires the partition to be closed
+            # under the policy's edges: a record moving across a crossing edge
+            # would change this query's answer AND a query outside the
+            # partition, so "disjoint" partitions would not actually isolate
+            # the releases.  This mirrors the paper's disjoint *edge groups*.
+            crossing = [
+                (u, v)
+                for u, v in resolved_policy.edges
+                if not is_bottom(u)
+                and not is_bottom(v)
+                and (int(u) in frozen_partition) != (int(v) in frozen_partition)
+            ]
+            if crossing:
+                raise PrivacyBudgetError(
+                    f"Partition is not closed under the policy: {len(crossing)} "
+                    f"policy edges cross its boundary (e.g. {crossing[:3]}); "
+                    "parallel composition requires partitions aligned with "
+                    "disjoint groups of policy edges"
+                )
+        ticket = QueryTicket(
+            ticket_id=next(self._ticket_ids),
+            client_id=session.client_id,
+            workload=workload,
+            policy=resolved_policy,
+            epsilon=float(epsilon),
+            session=session,
+            partition=frozen_partition,
+        )
+        self._pending.append(ticket)
+        self._submitted += 1
+        return ticket
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queries waiting for the next flush."""
+        return len(self._pending)
+
+    def flush(self, random_state: RandomState = None) -> List[QueryTicket]:
+        """Execute all pending queries and return their (resolved) tickets.
+
+        Cache replays are answered first at zero budget, and identical
+        queries submitted within the same flush are deduplicated — one ticket
+        pays, the duplicates replay its answer for free.  Both behaviours are
+        part of the replay semantics controlled by ``enable_answer_cache``:
+        with the cache disabled, every ask is deliberately an independent,
+        individually paid release (e.g. for averaging repeated noisy draws).
+        The remaining
+        queries are grouped by ``(policy, epsilon, planner-config)`` and each
+        group is answered by **one** vectorised mechanism invocation; every
+        member session is charged its query's epsilon (refusals resolve the
+        ticket with an error instead of raising, so one exhausted client
+        cannot block the batch).
+        """
+        with self._lock:
+            tickets, self._pending = self._pending, []
+            rng = self._rng if random_state is None else ensure_rng(random_state)
+
+            to_execute: List[QueryTicket] = []
+            followers: Dict[Tuple[str, str, str], List[QueryTicket]] = {}
+            seen_keys: Dict[Tuple[str, str, str], QueryTicket] = {}
+            for ticket in tickets:
+                if self.answer_cache is not None:
+                    # Dedup identical queries *within* this flush: one ticket
+                    # pays, the rest replay its answer — the same zero-budget
+                    # post-processing they would get one flush later.  The
+                    # duplicate check comes first so followers never register
+                    # a spurious cache miss for an answer the flush will have.
+                    key = answer_key(ticket.policy, ticket.workload, ticket.epsilon)
+                    if key in seen_keys:
+                        followers.setdefault(key, []).append(ticket)
+                        continue
+                    cached = self.answer_cache.lookup(
+                        ticket.policy, ticket.workload, ticket.epsilon
+                    )
+                    if cached is not None:
+                        self._resolve_replay(ticket, cached.answers)
+                        continue
+                    seen_keys[key] = ticket
+                to_execute.append(ticket)
+
+            groups: Dict[tuple, List[QueryTicket]] = {}
+            for ticket in to_execute:
+                key = plan_key(
+                    ticket.policy,
+                    ticket.epsilon,
+                    self._prefer_data_dependent,
+                    self._consistency,
+                )
+                groups.setdefault(key, []).append(ticket)
+
+            for batch in groups.values():
+                if self.answer_cache is None:
+                    # Independent-draw semantics: identical queries stacked
+                    # into one invocation would yield byte-identical rows —
+                    # paid twice, worth once.  Split duplicates into separate
+                    # invocations so each paid query gets its own noise draw.
+                    for round_batch in self._split_duplicates(batch):
+                        self._execute_batch(round_batch, rng)
+                else:
+                    self._execute_batch(batch, rng)
+
+            # Resolve duplicates: replay from an answered leader for free.  A
+            # refused leader must not drag its duplicates down — their own
+            # sessions may have budget — so the first duplicate is promoted to
+            # leader and executed; any remainder waits for the next round.
+            pending_followers = followers
+            while pending_followers:
+                next_followers: Dict[Tuple[str, str, str], List[QueryTicket]] = {}
+                retry: List[QueryTicket] = []
+                for key, duplicate_tickets in pending_followers.items():
+                    leader = seen_keys[key]
+                    if leader.status == ANSWERED:
+                        for ticket in duplicate_tickets:
+                            # The replay IS a cache hit (the leader's answer
+                            # was just stored), so the counters must agree
+                            # with the replay counter.
+                            if self.answer_cache is not None:
+                                self.answer_cache.stats.hits += 1
+                            self._resolve_replay(ticket, leader.answers)
+                        continue
+                    promoted, rest = duplicate_tickets[0], duplicate_tickets[1:]
+                    seen_keys[key] = promoted
+                    retry.append(promoted)
+                    if rest:
+                        next_followers[key] = rest
+                retry_groups: Dict[tuple, List[QueryTicket]] = {}
+                for ticket in retry:
+                    key = plan_key(
+                        ticket.policy,
+                        ticket.epsilon,
+                        self._prefer_data_dependent,
+                        self._consistency,
+                    )
+                    retry_groups.setdefault(key, []).append(ticket)
+                for batch in retry_groups.values():
+                    self._execute_batch(batch, rng)
+                pending_followers = next_followers
+            return tickets
+
+    def ask(
+        self,
+        client_id: str,
+        workload: Workload,
+        epsilon: float,
+        policy: Optional[PolicyGraph] = None,
+        partition: Optional[Sequence] = None,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Submit one query and execute it immediately (submit + flush).
+
+        Other queued queries are flushed alongside it, preserving batching.
+        """
+        ticket = self.submit(
+            client_id, workload, epsilon, policy=policy, partition=partition
+        )
+        self.flush(random_state=random_state)
+        return ticket.result()
+
+    # ------------------------------------------------------------ consistency
+    def consolidate(self, policy: Optional[PolicyGraph] = None) -> int:
+        """Least-squares-reconcile all cached answers under ``policy`` for free.
+
+        Returns the number of cached answer vectors updated; see
+        :meth:`repro.engine.AnswerCache.consolidate`.
+        """
+        if self.answer_cache is None:
+            return 0
+        resolved = policy if policy is not None else self._default_policy
+        if resolved is None:
+            raise PolicyError("No policy given and the engine has no default policy")
+        return self.answer_cache.consolidate(resolved)
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def stats(self) -> EngineStats:
+        """A snapshot of the engine's serving counters."""
+        return EngineStats(
+            queries_submitted=self._submitted,
+            queries_answered=self._answered,
+            queries_refused=self._refused,
+            answer_cache_replays=self._replays,
+            batches_executed=self._batches,
+            mechanism_invocations=self._invocations,
+            plan_hits=self.plan_cache.stats.hits,
+            plan_misses=self.plan_cache.stats.misses,
+            answer_hits=self.answer_cache.stats.hits if self.answer_cache else 0,
+            answer_misses=self.answer_cache.stats.misses if self.answer_cache else 0,
+            epsilon_spent=self._accountant.spent(),
+            epsilon_remaining=self._accountant.remaining(),
+            open_sessions=sum(1 for s in self._sessions.values() if not s.closed),
+        )
+
+    # ----------------------------------------------------------------- helper
+    @staticmethod
+    def _split_duplicates(batch: List[QueryTicket]) -> List[List[QueryTicket]]:
+        """Partition a batch into rounds with no duplicate query per round."""
+        rounds: List[List[QueryTicket]] = []
+        occurrence: Dict[Tuple[str, str, str], int] = {}
+        for ticket in batch:
+            key = answer_key(ticket.policy, ticket.workload, ticket.epsilon)
+            index = occurrence.get(key, 0)
+            occurrence[key] = index + 1
+            while len(rounds) <= index:
+                rounds.append([])
+            rounds[index].append(ticket)
+        return rounds
+
+    def _resolve_replay(self, ticket: QueryTicket, answers: np.ndarray) -> None:
+        """Resolve a ticket from an already-paid-for answer vector (zero ε)."""
+        ticket.answers = np.asarray(answers, dtype=np.float64).copy()
+        ticket.status = ANSWERED
+        ticket.from_cache = True
+        ticket.session.cache_replays += 1
+        ticket.session.queries_answered += 1
+        self._replays += 1
+        self._answered += 1
+
+    def _execute_batch(
+        self, batch: List[QueryTicket], rng: np.random.Generator
+    ) -> None:
+        """Plan, charge, answer and resolve one compatible group of tickets."""
+        try:
+            entry: CachedPlan = self.plan_cache.plan_for(
+                batch[0].policy,
+                batch[0].epsilon,
+                prefer_data_dependent=self._prefer_data_dependent,
+                consistency=self._consistency,
+            )
+        except Exception as exc:
+            for ticket in batch:
+                ticket.status = REFUSED
+                ticket.error = f"Planning failed (nothing charged): {exc}"
+                ticket.session.queries_refused += 1
+                self._refused += 1
+            return
+
+        admitted: List[QueryTicket] = []
+        charged: List[Tuple[ClientSession, object]] = []
+        for ticket in batch:
+            session = ticket.session
+            label = f"query:{ticket.client_id}:{ticket.ticket_id}"
+            # Parallel composition only applies when the release is a function
+            # of the declared partition alone.  Data-dependent mechanisms
+            # (DAWA) read the whole histogram, so a partitioned query must be
+            # served by a data-independent plan — otherwise the discount would
+            # undercount the real privacy loss.
+            if ticket.partition is not None and entry.plan.algorithm.data_dependent:
+                ticket.status = REFUSED
+                ticket.error = (
+                    f"Query {label!r} claims a partition but the planned mechanism "
+                    f"({entry.plan.name!r}) is data dependent and reads the full "
+                    "database; re-submit without a partition, or configure the "
+                    "engine with prefer_data_dependent=False AND consistency=False "
+                    "(the consistency projection also counts as data dependent)"
+                )
+                session.queries_refused += 1
+                self._refused += 1
+                continue
+            try:
+                session.charge(label, ticket.epsilon, ticket.partition)
+            except PrivacyBudgetError as exc:
+                ticket.status = REFUSED
+                ticket.error = str(exc)
+                self._refused += 1
+                continue
+            admitted.append(ticket)
+            charged.append((session, session.accountant.operations[-1]))
+        if not admitted:
+            return
+
+        try:
+            workloads = [ticket.workload for ticket in admitted]
+            if len(workloads) == 1:
+                answers = [
+                    entry.plan.algorithm.answer(workloads[0], self._database, rng)
+                ]
+            else:
+                answers = entry.plan.algorithm.answer_batch(
+                    workloads, self._database, rng
+                )
+        except Exception as exc:
+            # Nothing was released, so the charges must not stand: roll back
+            # every reservation of this batch and resolve its tickets instead
+            # of stranding them (or the rest of the flush) behind the raise.
+            for session, operation in charged:
+                try:
+                    session.accountant.operations.remove(operation)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            for ticket in admitted:
+                ticket.status = REFUSED
+                ticket.error = f"Batch execution failed (charge rolled back): {exc}"
+                ticket.session.queries_refused += 1
+                self._refused += 1
+            return
+        self._batches += 1
+        self._invocations += 1
+
+        for ticket, vector in zip(admitted, answers):
+            ticket.answers = np.asarray(vector, dtype=np.float64)
+            ticket.status = ANSWERED
+            ticket.session.queries_answered += 1
+            self._answered += 1
+            if self.answer_cache is not None:
+                self.answer_cache.store(
+                    ticket.policy, ticket.workload, ticket.epsilon, ticket.answers
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrivateQueryEngine(domain={self._database.domain.shape}, "
+            f"spent={self._accountant.spent():.6g}/{self._accountant.total_epsilon}, "
+            f"sessions={len(self._sessions)})"
+        )

@@ -1,0 +1,126 @@
+"""Plan cache: memoised policy planning for the serving engine.
+
+Planning a Blowfish query is expensive: it derives the policy transform
+``P_G`` (and lazily factorises its Gram matrix), detects tree / θ-threshold /
+grid structure, builds spanner approximations, and assembles strategy
+matrices.  None of that depends on the data or on the noise, so a serving
+engine should do it **once** per ``(domain, policy, planner-config)`` and
+reuse the result for every subsequent query — which is exactly what
+:class:`PlanCache` provides, with LRU eviction and hit/miss counters.
+
+Repeated queries also skip the sparse product ``W_G = W' P_G``: the cached
+mechanisms key their internal workload caches by content signature, so an
+equal-but-distinct :class:`~repro.core.Workload` object (what a serving
+engine sees on every client request) hits.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..blowfish.planner import Plan, plan_mechanism
+from ..policy.graph import PolicyGraph
+from ..policy.transform import PolicyTransform
+from .signature import PlanKey, plan_key
+
+
+@dataclass
+class CachedPlan:
+    """One memoised planning result: the plan plus its shared transform."""
+
+    key: PlanKey
+    policy: PolicyGraph
+    plan: Plan
+    transform: PolicyTransform
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss counters of a :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """LRU cache of :class:`CachedPlan` entries, safe for concurrent readers.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of distinct ``(domain, policy, config)`` entries kept.
+        The per-workload sub-caches ride along with their entry.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: "OrderedDict[PlanKey, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def plan_for(
+        self,
+        policy: PolicyGraph,
+        epsilon: float,
+        prefer_data_dependent: bool = True,
+        consistency: bool = True,
+    ) -> CachedPlan:
+        """Return the cached plan for ``policy``, planning on first use.
+
+        On a miss this runs :func:`repro.blowfish.plan_mechanism` with a
+        freshly built :class:`PolicyTransform` that is *shared* with the
+        constructed mechanism, so the mechanism's later answers reuse the
+        transform's factorisation instead of re-deriving it.
+        """
+        key = plan_key(policy, epsilon, prefer_data_dependent, consistency)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+        # Plan outside the lock: planning can be slow and must not serialise
+        # unrelated lookups.  A racing thread may plan the same key twice; the
+        # second insert below simply wins, which is harmless (plans are
+        # interchangeable).
+        transform = PolicyTransform(policy)
+        plan = plan_mechanism(
+            policy,
+            epsilon,
+            prefer_data_dependent=prefer_data_dependent,
+            consistency=consistency,
+            transform=transform,
+        )
+        entry = CachedPlan(key=key, policy=policy, plan=plan, transform=transform)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return entry
+
+    def peek(self, key: PlanKey) -> Optional[CachedPlan]:
+        """Return the entry under ``key`` without planning or touching LRU order."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()

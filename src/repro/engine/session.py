@@ -1,0 +1,103 @@
+"""Client sessions with per-client privacy-budget allotments.
+
+A :class:`ClientSession` is the engine's unit of budget isolation.  Opening a
+session reserves an epsilon allotment from the engine's global
+:class:`~repro.accounting.PrivacyAccountant` (sequential composition — the
+sessions all query the same database); every answered query is then charged
+against the session's :class:`~repro.accounting.ScopedAccountant`.  Once the
+allotment is exhausted the session refuses further queries with a
+:class:`~repro.exceptions.PrivacyBudgetError` instead of silently degrading
+the guarantee.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import ContextManager, Optional, Sequence
+
+from ..accounting.composition import ScopedAccountant
+from ..exceptions import PrivacyBudgetError
+
+
+class ClientSession:
+    """One client's budgeted view of the engine.
+
+    Parameters
+    ----------
+    client_id:
+        Identifier the engine routes queries by.
+    accountant:
+        The session-scoped accountant created from the engine's global one.
+    lock:
+        Optional lock shared with the owning engine.  :meth:`close` mutates
+        the engine's *global* accountant (the refund), so it must run under
+        the same lock the engine uses for charges — otherwise a direct
+        ``session.close()`` would race against concurrent flushes.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        accountant: ScopedAccountant,
+        lock: Optional[ContextManager] = None,
+    ) -> None:
+        self.client_id = str(client_id)
+        self.accountant = accountant
+        self._lock: ContextManager = lock if lock is not None else nullcontext()
+        self.queries_answered = 0
+        self.queries_refused = 0
+        self.cache_replays = 0
+
+    # ------------------------------------------------------------- budget API
+    @property
+    def allotment(self) -> float:
+        """Total epsilon reserved for this session."""
+        return self.accountant.total_epsilon
+
+    def spent(self) -> float:
+        """Epsilon consumed so far (sequential/parallel composition applied)."""
+        return self.accountant.spent()
+
+    def remaining(self) -> float:
+        """Epsilon still available to this session."""
+        return self.accountant.remaining()
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once the session was closed and refuses queries."""
+        return self.accountant.closed
+
+    def can_afford(self, epsilon: float, partition: Optional[Sequence] = None) -> bool:
+        """``True`` when a query costing ``epsilon`` would be admitted."""
+        return self.accountant.can_charge(epsilon, partition)
+
+    def charge(
+        self, label: str, epsilon: float, partition: Optional[Sequence] = None
+    ) -> None:
+        """Charge a query against the allotment, refusing once exhausted."""
+        if self.closed:
+            self.queries_refused += 1
+            raise PrivacyBudgetError(
+                f"Session {self.client_id!r} refused query {label!r}: the session "
+                "is closed"
+            )
+        try:
+            self.accountant.charge(label, epsilon, partition)
+        except PrivacyBudgetError as exc:
+            self.queries_refused += 1
+            raise PrivacyBudgetError(
+                f"Session {self.client_id!r} refused query {label!r}: charging "
+                f"ε={epsilon} would exceed the allotment {self.allotment} "
+                f"(spent {self.spent():.6g}, remaining {self.remaining():.6g})"
+            ) from exc
+
+    def close(self) -> float:
+        """Close the session, refunding unspent budget to the engine's accountant."""
+        with self._lock:
+            return self.accountant.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClientSession(client_id={self.client_id!r}, allotment={self.allotment}, "
+            f"spent={self.spent():.6g}, answered={self.queries_answered})"
+        )

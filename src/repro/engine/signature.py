@@ -1,0 +1,72 @@
+"""Stable content signatures for plan- and answer-cache keys.
+
+The serving engine memoises planning artefacts by *value*, not by object
+identity: two clients constructing equal policies (or re-submitting an equal
+workload) must land on the same cache entry.  Signatures are hex SHA-256
+digests of a canonical byte serialisation, so they are stable across
+processes and safe to use in persisted benchmark reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from ..core.domain import Domain
+from ..core.workload import Workload
+from ..policy.graph import PolicyGraph, is_bottom
+
+#: Cache key of a planning entry: (domain signature, policy signature, planner config).
+PlanKey = Tuple[str, str, str]
+
+
+def domain_signature(domain: Domain) -> str:
+    """Signature of a domain: its shape, which fully determines it."""
+    return hashlib.sha256(repr(tuple(domain.shape)).encode()).hexdigest()
+
+
+def policy_signature(policy: PolicyGraph) -> str:
+    """Signature of a policy graph: domain shape plus the ordered edge list.
+
+    Edge *order* is part of the signature because the columns of ``P_G``
+    follow insertion order; two policies with the same edge set but different
+    order produce differently laid-out transforms and must not share one.
+
+    The digest is memoised on the graph instance (policies are immutable
+    after construction — :meth:`~repro.policy.PolicyGraph.with_edges` builds
+    a new graph), since the engine consults it several times per query and
+    large θ-threshold policies have ``O(kθ)`` edges.
+    """
+    cached = getattr(policy, "_repro_signature", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(repr(tuple(policy.domain.shape)).encode())
+    for u, v in policy.edges:
+        a = -1 if is_bottom(u) else int(u)
+        b = -1 if is_bottom(v) else int(v)
+        hasher.update(f"{a},{b};".encode())
+    digest = hasher.hexdigest()
+    policy._repro_signature = digest  # type: ignore[attr-defined]
+    return digest
+
+
+def workload_signature(workload: Workload) -> str:
+    """Signature of a workload (delegates to :meth:`Workload.signature`)."""
+    return workload.signature()
+
+
+def plan_key(
+    policy: PolicyGraph,
+    epsilon: float,
+    prefer_data_dependent: bool,
+    consistency: bool,
+) -> PlanKey:
+    """Cache key under which one planning result is stored."""
+    config = f"eps={float(epsilon)!r};dd={bool(prefer_data_dependent)};cons={bool(consistency)}"
+    return (domain_signature(policy.domain), policy_signature(policy), config)
+
+
+def answer_key(policy: PolicyGraph, workload: Workload, epsilon: float) -> Tuple[str, str, str]:
+    """Cache key of one paid-for noisy answer vector."""
+    return (policy_signature(policy), workload_signature(workload), repr(float(epsilon)))

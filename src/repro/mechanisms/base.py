@@ -20,14 +20,14 @@ yet the same differentially private code must run on them (Theorems 4.1 and
 from __future__ import annotations
 
 import abc
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..core.database import Database
 from ..core.rng import RandomState, ensure_rng
-from ..core.workload import Workload
+from ..core.workload import Workload, answer_workloads_batched
 from ..exceptions import PrivacyBudgetError
 
 MatrixLike = Union[np.ndarray, sp.spmatrix]
@@ -103,6 +103,21 @@ class Mechanism(abc.ABC):
         *unbounded* neighbors of ``vector`` (vectors at L1 distance 1), unless
         their docstring states otherwise.
         """
+
+    def answer_batch(
+        self,
+        workloads: Sequence[Workload],
+        database: Database,
+        random_state: RandomState = None,
+    ) -> List[np.ndarray]:
+        """Answer several workloads with ONE mechanism invocation.
+
+        The workloads are stacked into a single matrix and answered by a
+        single call to :meth:`answer`, so the whole batch costs one ε — the
+        batch-executor fast path of :mod:`repro.engine`.  Returns one answer
+        vector per input workload, in order.
+        """
+        return answer_workloads_batched(self.answer, workloads, database, random_state)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(epsilon={self._epsilon})"

@@ -97,8 +97,11 @@ def rescale_to_total(values: np.ndarray, total: Optional[float]) -> np.ndarray:
     if total is None:
         return values
     current = float(values.sum())
-    if current <= 0:
-        if values.size == 0:
-            return values
+    if values.size == 0:
+        return values
+    # A vanishing (e.g. denormal) current total would make the ratio overflow;
+    # treat it the same as an all-zero estimate and fall back to uniform.
+    ratio = float(total) / current if current > 0 else np.inf
+    if not np.isfinite(ratio):
         return np.full_like(values, float(total) / values.size)
-    return values * (float(total) / current)
+    return values * ratio

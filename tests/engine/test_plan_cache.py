@@ -1,0 +1,93 @@
+"""Plan cache: memoisation, counters, LRU eviction and transform sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Domain, identity_workload
+from repro.engine import PlanCache
+from repro.policy import line_policy, threshold_policy
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain((16,))
+
+
+class TestPlanCacheHitsAndMisses:
+    def test_first_lookup_is_a_miss_then_hits(self, domain):
+        cache = PlanCache()
+        policy = line_policy(domain)
+        first = cache.plan_for(policy, 1.0)
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        second = cache.plan_for(policy, 1.0)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert second is first
+
+    def test_equal_policy_built_twice_shares_entry(self, domain):
+        """Cache keys are content signatures, not object identity."""
+        cache = PlanCache()
+        first = cache.plan_for(line_policy(domain), 1.0)
+        second = cache.plan_for(line_policy(domain), 1.0)
+        assert second is first
+        assert cache.stats.hits == 1
+
+    def test_different_epsilon_is_a_different_entry(self, domain):
+        cache = PlanCache()
+        policy = line_policy(domain)
+        a = cache.plan_for(policy, 1.0)
+        b = cache.plan_for(policy, 0.5)
+        assert a is not b
+        assert cache.stats.misses == 2
+
+    def test_hit_rate(self, domain):
+        cache = PlanCache()
+        policy = line_policy(domain)
+        for _ in range(4):
+            cache.plan_for(policy, 1.0)
+        assert cache.stats.hit_rate == pytest.approx(3 / 4)
+
+
+class TestTransformSharing:
+    def test_plan_mechanism_shares_the_cached_transform(self, domain):
+        """The planner's transform is the mechanism's transform (no rebuild)."""
+        cache = PlanCache()
+        entry = cache.plan_for(line_policy(domain), 1.0, prefer_data_dependent=False)
+        assert entry.plan.algorithm.mechanism.transform is entry.transform
+
+    def test_mechanism_workload_cache_is_content_keyed(self, domain):
+        """Equal-but-distinct Workload objects hit the mechanism's W_G cache."""
+        cache = PlanCache()
+        entry = cache.plan_for(line_policy(domain), 1.0, prefer_data_dependent=False)
+        mechanism = entry.plan.algorithm.mechanism
+        first = mechanism._transformed_workload(identity_workload(domain))
+        second = mechanism._transformed_workload(identity_workload(domain))
+        assert second is first
+
+
+class TestEviction:
+    def test_lru_eviction(self, domain):
+        cache = PlanCache(maxsize=2)
+        policy = line_policy(domain)
+        cache.plan_for(policy, 1.0)
+        cache.plan_for(policy, 2.0)
+        cache.plan_for(policy, 1.0)  # refresh ε=1 entry
+        cache.plan_for(policy, 3.0)  # evicts ε=2, the least recently used
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.plan_for(policy, 1.0)
+        assert cache.stats.hits == 2  # ε=1 survived the eviction (refresh + final)
+        assert cache.stats.misses == 3  # ε=1, ε=2, ε=3 cold plans only
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+
+class TestPlanRoutes:
+    def test_cached_plan_keeps_planner_route(self, domain):
+        cache = PlanCache()
+        tree = cache.plan_for(line_policy(domain), 1.0)
+        assert tree.plan.route == "tree"
+        spanner = cache.plan_for(threshold_policy(domain, 3), 1.0)
+        assert spanner.plan.route == "spanner"

@@ -1,0 +1,92 @@
+"""Session-scoped budget accounting: reservations, exhaustion, refunds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting import PrivacyAccountant, ScopedAccountant
+from repro.exceptions import PrivacyBudgetError
+
+
+class TestOpenScope:
+    def test_reservation_charges_the_parent_up_front(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        parent.open_scope("session:a", 0.75)
+        assert parent.spent() == pytest.approx(0.75)
+
+    def test_scope_tracks_its_own_spend(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 1.0)
+        scope.charge("q1", 0.25)
+        scope.charge("q2", 0.25)
+        assert scope.spent() == pytest.approx(0.5)
+        assert scope.remaining() == pytest.approx(0.5)
+        # The parent saw only the reservation, not the individual queries.
+        assert parent.spent() == pytest.approx(1.0)
+
+    def test_overdrawn_reservation_is_refused(self):
+        parent = PrivacyAccountant(total_epsilon=1.0)
+        parent.open_scope("session:a", 0.8)
+        with pytest.raises(PrivacyBudgetError):
+            parent.open_scope("session:b", 0.5)
+
+    def test_exhausted_scope_refuses_with_clear_error(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 0.5)
+        scope.charge("q1", 0.4)
+        with pytest.raises(PrivacyBudgetError):
+            scope.charge("q2", 0.2)
+        # The failed charge left no trace.
+        assert scope.spent() == pytest.approx(0.4)
+
+    def test_can_charge_predicts_charge(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 0.5)
+        assert scope.can_charge(0.5)
+        assert not scope.can_charge(0.6)
+        assert not scope.can_charge(-1.0)
+
+    def test_parallel_composition_inside_a_scope(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 0.5)
+        scope.charge("left", 0.3, partition=["g0"])
+        scope.charge("right", 0.3, partition=["g1"])
+        # Disjoint partitions compose in parallel: max, not sum.
+        assert scope.spent() == pytest.approx(0.3)
+
+
+class TestCloseAndRefund:
+    def test_close_refunds_unspent_budget(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 1.0)
+        scope.charge("q1", 0.25)
+        refund = scope.close()
+        assert refund == pytest.approx(0.75)
+        assert parent.spent() == pytest.approx(0.25)
+
+    def test_close_with_nothing_spent_removes_the_reservation(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 1.0)
+        scope.close()
+        assert parent.spent() == pytest.approx(0.0)
+
+    def test_closed_scope_refuses_charges(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 1.0)
+        scope.close()
+        with pytest.raises(PrivacyBudgetError):
+            scope.charge("q", 0.1)
+
+    def test_double_close_is_idempotent(self):
+        parent = PrivacyAccountant(total_epsilon=2.0)
+        scope = parent.open_scope("session:a", 1.0)
+        assert scope.close() == pytest.approx(1.0)
+        assert scope.close() == 0.0
+        assert parent.spent() == pytest.approx(0.0)
+
+    def test_refund_frees_room_for_new_scopes(self):
+        parent = PrivacyAccountant(total_epsilon=1.0)
+        scope = parent.open_scope("session:a", 0.9)
+        scope.close()
+        second = parent.open_scope("session:b", 0.9)
+        assert isinstance(second, ScopedAccountant)

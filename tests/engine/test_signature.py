@@ -1,0 +1,111 @@
+"""Content signatures used as cache keys by the serving engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain, Workload, cumulative_workload, identity_workload
+from repro.engine import (
+    answer_key,
+    domain_signature,
+    plan_key,
+    policy_signature,
+    workload_signature,
+)
+from repro.policy import line_policy, threshold_policy
+
+
+class TestDomainSignature:
+    def test_equal_domains_share_signature(self):
+        assert domain_signature(Domain((8, 8))) == domain_signature(Domain((8, 8)))
+
+    def test_shape_changes_signature(self):
+        assert domain_signature(Domain((64,))) != domain_signature(Domain((8, 8)))
+
+
+class TestPolicySignature:
+    def test_equal_policies_share_signature(self):
+        domain = Domain((16,))
+        assert policy_signature(line_policy(domain)) == policy_signature(
+            line_policy(domain)
+        )
+
+    def test_different_policies_differ(self):
+        domain = Domain((16,))
+        assert policy_signature(line_policy(domain)) != policy_signature(
+            threshold_policy(domain, 3)
+        )
+
+    def test_edge_order_matters(self):
+        """Columns of ``P_G`` follow edge order, so order is part of identity."""
+        from repro.policy import PolicyGraph
+
+        domain = Domain((4,))
+        forward = PolicyGraph(domain, [(0, 1), (1, 2), (2, 3)])
+        reversed_ = PolicyGraph(domain, [(2, 3), (1, 2), (0, 1)])
+        assert policy_signature(forward) != policy_signature(reversed_)
+
+    def test_policy_signature_is_memoised_on_the_graph(self):
+        domain = Domain((16,))
+        policy = line_policy(domain)
+        first = policy_signature(policy)
+        assert getattr(policy, "_repro_signature") == first
+        assert policy_signature(policy) is first
+
+
+class TestWorkloadSignature:
+    def test_equal_workloads_share_signature(self):
+        domain = Domain((16,))
+        assert workload_signature(identity_workload(domain)) == workload_signature(
+            identity_workload(domain)
+        )
+
+    def test_different_workloads_differ(self):
+        domain = Domain((16,))
+        assert workload_signature(identity_workload(domain)) != workload_signature(
+            cumulative_workload(domain)
+        )
+
+    def test_signature_is_memoised(self):
+        workload = identity_workload(Domain((16,)))
+        first = workload.signature()
+        assert workload.__dict__.get("_signature") == first
+        assert workload.signature() is first
+
+    def test_value_changes_signature(self):
+        domain = Domain((4,))
+        a = Workload(domain, np.array([[1.0, 0.0, 0.0, 0.0]]))
+        b = Workload(domain, np.array([[2.0, 0.0, 0.0, 0.0]]))
+        assert a.signature() != b.signature()
+
+    def test_representation_details_do_not_change_signature(self):
+        """Explicit zeros / unsorted indices are canonicalised before hashing."""
+        import scipy.sparse as sp
+
+        domain = Domain((4,))
+        clean = Workload(domain, np.array([[1.0, 0.0, 2.0, 0.0]]))
+        # Same semantic matrix with an explicit stored zero and unsorted cols.
+        messy_matrix = sp.csr_matrix(
+            (np.array([2.0, 1.0, 0.0]), (np.array([0, 0, 0]), np.array([2, 0, 3]))),
+            shape=(1, 4),
+        )
+        assert not messy_matrix.has_sorted_indices or (messy_matrix.data == 0).any()
+        messy = Workload(domain, messy_matrix)
+        assert clean.signature() == messy.signature()
+
+
+class TestCompositeKeys:
+    def test_plan_key_depends_on_epsilon_and_config(self):
+        policy = line_policy(Domain((8,)))
+        base = plan_key(policy, 1.0, True, True)
+        assert base == plan_key(policy, 1.0, True, True)
+        assert base != plan_key(policy, 0.5, True, True)
+        assert base != plan_key(policy, 1.0, False, True)
+
+    def test_answer_key_depends_on_workload(self):
+        domain = Domain((8,))
+        policy = line_policy(domain)
+        key_a = answer_key(policy, identity_workload(domain), 1.0)
+        key_b = answer_key(policy, cumulative_workload(domain), 1.0)
+        assert key_a != key_b
