@@ -1,0 +1,298 @@
+"""Benchmark the staged flush pipeline under concurrent submitters.
+
+Runs as a plain script (``python benchmarks/bench_concurrency.py``) and
+writes ``BENCH_concurrency.json`` at the repository root.  Two experiments:
+
+1. **Concurrency sweep** (threads × executor batch size).  The *baseline* is
+   PR 1's single-lock engine (``serialize_flush=True``) with every client
+   thread doing a synchronous ``ask`` — the whole flush, planning and
+   mechanism execution included, runs inside one lock, so concurrent clients
+   serialise and every flush carries one query.  The *pipeline* mode serves
+   the same query stream through the lock-narrowed staged pipeline behind a
+   :class:`~repro.engine.BatchingExecutor`, so concurrent submissions
+   accumulate into shared vectorised flushes.  The headline number,
+   ``speedup_4_threads``, is pipeline vs baseline throughput at 4 submitter
+   threads; the acceptance bar for this repository is ≥ 2×.
+
+2. **Sharded scatter/gather identity.**  A two-component policy is served
+   once sharded and once unsharded; the per-session and global ledgers must
+   match **exactly** (parallel composition makes the scatter free), and the
+   sharded flush must run one mechanism invocation per touched shard.
+
+The wall-clock gate can be demoted to a warning on noisy shared runners with
+``BENCH_CONCURRENCY_TIMING_GATE=0``; the ε-identity gate is deterministic and
+always enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core import Database, Domain, random_range_queries_workload  # noqa: E402
+from repro.core.workload import Workload  # noqa: E402
+from repro.engine import BatchingExecutor, PrivateQueryEngine  # noqa: E402
+from repro.policy import PolicyGraph, line_policy  # noqa: E402
+
+DOMAIN_SIZE = 2048
+QUERIES_PER_WORKLOAD = 16
+QUERIES_PER_THREAD = 16
+EPSILON_PER_QUERY = 0.001
+THREAD_COUNTS = (1, 2, 4)
+BATCH_SIZES_AT_4 = (1, 2, 4, 8)
+MAX_DELAY = 0.01
+
+
+def build_fixture():
+    domain = Domain((DOMAIN_SIZE,))
+    rng = np.random.default_rng(7)
+    counts = rng.integers(0, 50, size=DOMAIN_SIZE).astype(float)
+    database = Database(domain, counts, name="bench-concurrency")
+    return domain, database, line_policy(domain)
+
+
+def make_engine(database, policy, serialize: bool, num_sessions: int):
+    engine = PrivateQueryEngine(
+        database,
+        total_epsilon=1000.0,
+        default_policy=policy,
+        prefer_data_dependent=False,
+        consistency=False,
+        enable_answer_cache=False,
+        random_state=0,
+        serialize_flush=serialize,
+    )
+    for index in range(num_sessions):
+        engine.open_session(f"client{index}", 100.0)
+    return engine
+
+
+def thread_workloads(domain, thread_index: int):
+    return [
+        random_range_queries_workload(
+            domain,
+            num_queries=QUERIES_PER_WORKLOAD,
+            random_state=1000 * thread_index + seed,
+        )
+        for seed in range(QUERIES_PER_THREAD)
+    ]
+
+
+def warm_plan(engine, domain):
+    """Plan once up front so every mode measures answering, not planning."""
+    warm = random_range_queries_workload(
+        domain, num_queries=QUERIES_PER_WORKLOAD, random_state=999_999
+    )
+    engine.ask("client0", warm, epsilon=EPSILON_PER_QUERY)
+
+
+def run_baseline(domain, database, policy, threads: int):
+    """Single-lock engine, synchronous per-thread ask (the PR 1 pattern)."""
+    engine = make_engine(database, policy, serialize=True, num_sessions=threads)
+    warm_plan(engine, domain)
+    work = {index: thread_workloads(domain, index) for index in range(threads)}
+
+    def client(index: int) -> None:
+        for workload in work[index]:
+            engine.ask(f"client{index}", workload, epsilon=EPSILON_PER_QUERY)
+
+    workers = [
+        threading.Thread(target=client, args=(index,)) for index in range(threads)
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    total = threads * QUERIES_PER_THREAD
+    return {
+        "threads": threads,
+        "qps": total / elapsed,
+        "mechanism_invocations": engine.stats.mechanism_invocations,
+    }
+
+
+def run_pipeline(domain, database, policy, threads: int, max_batch_size: int):
+    """Staged pipeline behind the deadline/size-batched concurrent front-end."""
+    engine = make_engine(database, policy, serialize=False, num_sessions=threads)
+    warm_plan(engine, domain)
+    work = {index: thread_workloads(domain, index) for index in range(threads)}
+    with BatchingExecutor(
+        engine, max_batch_size=max_batch_size, max_delay=MAX_DELAY
+    ) as executor:
+
+        def client(index: int) -> None:
+            for workload in work[index]:
+                executor.ask(
+                    f"client{index}",
+                    workload,
+                    epsilon=EPSILON_PER_QUERY,
+                    timeout=60.0,
+                )
+
+        workers = [
+            threading.Thread(target=client, args=(index,)) for index in range(threads)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        elapsed = time.perf_counter() - started
+    total = threads * QUERIES_PER_THREAD
+    stats = engine.stats
+    return {
+        "threads": threads,
+        "max_batch_size": max_batch_size,
+        "qps": total / elapsed,
+        "mechanism_invocations": stats.mechanism_invocations,
+        "stage_seconds": stats.stage_seconds,
+    }
+
+
+def run_sharding_identity():
+    """Scatter/gather over a 2-component policy: ε ledgers must match exactly."""
+    size = 512
+    domain = Domain((size,))
+    rng = np.random.default_rng(11)
+    database = Database(
+        domain, rng.integers(0, 50, size=size).astype(float), name="bench-shards"
+    )
+    half = size // 2
+    policy = PolicyGraph(
+        domain,
+        edges=[(i, i + 1) for i in range(half - 1)]
+        + [(i, i + 1) for i in range(half, size - 1)],
+        name="two-components",
+    )
+    left = Workload(
+        domain,
+        np.hstack([np.eye(half), np.zeros((half, half))]),
+        name="left-half",
+    )
+    right = Workload(
+        domain,
+        np.hstack([np.zeros((half, half)), np.eye(half)]),
+        name="right-half",
+    )
+
+    def serve(enable_sharding: bool):
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=100.0,
+            default_policy=policy,
+            prefer_data_dependent=False,
+            consistency=False,
+            enable_answer_cache=False,
+            random_state=5,
+            enable_sharding=enable_sharding,
+        )
+        session = engine.open_session("alice", 50.0)
+        from repro.core import identity_workload
+
+        engine.ask("alice", identity_workload(domain), epsilon=0.5)
+        engine.ask("alice", left, epsilon=0.25)
+        engine.ask("alice", right, epsilon=0.125)
+        return engine, session
+
+    sharded_engine, sharded_session = serve(True)
+    plain_engine, plain_session = serve(False)
+    session_delta = abs(sharded_session.spent() - plain_session.spent())
+    global_delta = abs(
+        sharded_engine.accountant.spent() - plain_engine.accountant.spent()
+    )
+    return {
+        "domain_size": size,
+        "shards": sharded_engine.shard_count(),
+        "sharded_batches": sharded_engine.stats.sharded_batches,
+        "sharded_invocations": sharded_engine.stats.mechanism_invocations,
+        "unsharded_invocations": plain_engine.stats.mechanism_invocations,
+        "session_epsilon_delta": session_delta,
+        "global_epsilon_delta": global_delta,
+        "session_epsilon_spent": sharded_session.spent(),
+    }
+
+
+def main() -> int:
+    domain, database, policy = build_fixture()
+
+    baseline = [
+        run_baseline(domain, database, policy, threads) for threads in THREAD_COUNTS
+    ]
+    pipeline = [
+        run_pipeline(domain, database, policy, threads, max_batch_size=threads)
+        for threads in THREAD_COUNTS
+    ]
+    batch_sweep = [
+        run_pipeline(domain, database, policy, 4, max_batch_size=batch_size)
+        for batch_size in BATCH_SIZES_AT_4
+    ]
+
+    baseline_at_4 = next(row for row in baseline if row["threads"] == 4)
+    pipeline_at_4 = next(row for row in pipeline if row["threads"] == 4)
+    speedup = pipeline_at_4["qps"] / baseline_at_4["qps"]
+
+    sharding = run_sharding_identity()
+
+    report = {
+        "domain_size": DOMAIN_SIZE,
+        "queries_per_workload": QUERIES_PER_WORKLOAD,
+        "queries_per_thread": QUERIES_PER_THREAD,
+        "max_delay_seconds": MAX_DELAY,
+        "baseline_single_lock": baseline,
+        "pipeline_batched": pipeline,
+        "batch_size_sweep_at_4_threads": batch_sweep,
+        "speedup_4_threads": speedup,
+        "sharding": sharding,
+    }
+
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_concurrency.json",
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps(report, indent=2))
+
+    # The ε-identity gate is deterministic and always enforced.  The
+    # wall-clock gate can be demoted to a warning (set
+    # BENCH_CONCURRENCY_TIMING_GATE=0) on shared/noisy runners such as CI.
+    timing_gate = os.environ.get("BENCH_CONCURRENCY_TIMING_GATE", "1") != "0"
+    ok = True
+    if speedup < 2.0:
+        print(
+            f"{'FAIL' if timing_gate else 'WARN'}: concurrent flush speedup "
+            f"{speedup:.2f}x at 4 threads is below the 2x bar"
+        )
+        ok = ok and not timing_gate
+    if sharding["session_epsilon_delta"] != 0.0 or sharding["global_epsilon_delta"] != 0.0:
+        print(
+            "FAIL: sharded scatter/gather changed the ledger "
+            f"(session delta {sharding['session_epsilon_delta']}, "
+            f"global delta {sharding['global_epsilon_delta']})"
+        )
+        ok = False
+    if sharding["shards"] != 2 or sharding["sharded_batches"] < 1:
+        print("FAIL: the 2-component policy was not served via scatter/gather")
+        ok = False
+    if ok:
+        print(
+            f"OK: {speedup:.2f}x flush throughput with 4 concurrent submitters, "
+            f"scatter/gather over {sharding['shards']} shards with byte-identical "
+            "epsilon accounting"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ testable.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
@@ -47,10 +48,21 @@ class PrivacyAccountant:
     e.g. edge-group identifiers) compose in parallel with other operations
     whose partitions are disjoint; operations without a partition compose
     sequentially with everything.
+
+    The ledger is protected by its own re-entrant ``lock``: :meth:`charge` is
+    check-then-append, so unsynchronised concurrent charges could overspend.
+    This lock is the engine's **narrowed accountant lock** — it is held only
+    for the microseconds of a ledger mutation, never across planning or
+    mechanism execution.  Scopes created by :meth:`open_scope` share their
+    parent's lock so that a scope :meth:`~ScopedAccountant.close` (which
+    rewrites the parent's reservation) is atomic with concurrent charges.
     """
 
     total_epsilon: float
     operations: List[BudgetedOperation] = field(default_factory=list)
+    lock: "threading.RLock" = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.total_epsilon) or self.total_epsilon <= 0:
@@ -63,31 +75,57 @@ class PrivacyAccountant:
         label: str,
         epsilon: float,
         partition: Optional[Sequence] = None,
-    ) -> None:
-        """Charge ``epsilon`` for an operation, optionally over a data partition."""
-        if getattr(self, "closed", False):
-            raise PrivacyBudgetError(
-                f"Cannot charge {epsilon} for {label!r}: this accountant is closed"
+    ) -> BudgetedOperation:
+        """Charge ``epsilon`` for an operation, optionally over a data partition.
+
+        Returns the recorded :class:`BudgetedOperation`, which callers that
+        may need to undo the charge (the engine's batch executor) should hand
+        back to :meth:`rollback`.
+        """
+        with self.lock:
+            if getattr(self, "closed", False):
+                raise PrivacyBudgetError(
+                    f"Cannot charge {epsilon} for {label!r}: this accountant is closed"
+                )
+            # A NaN epsilon would defeat every later comparison (NaN > total is
+            # False), permanently corrupting the ledger — reject it up front.
+            if not math.isfinite(epsilon) or epsilon <= 0:
+                raise PrivacyBudgetError(
+                    f"Charged epsilon must be positive and finite, got {epsilon}"
+                )
+            frozen = None if partition is None else frozenset(partition)
+            operation = BudgetedOperation(
+                label=label, epsilon=float(epsilon), partition=frozen
             )
-        # A NaN epsilon would defeat every later comparison (NaN > total is
-        # False), permanently corrupting the ledger — reject it up front.
-        if not math.isfinite(epsilon) or epsilon <= 0:
-            raise PrivacyBudgetError(
-                f"Charged epsilon must be positive and finite, got {epsilon}"
-            )
-        frozen = None if partition is None else frozenset(partition)
-        operation = BudgetedOperation(label=label, epsilon=float(epsilon), partition=frozen)
-        projected = self._spent_with(self.operations + [operation])
-        if projected > self.total_epsilon * (1 + 1e-12):
-            raise PrivacyBudgetError(
-                f"Charging {epsilon} for {label!r} would exceed the total budget "
-                f"{self.total_epsilon} (already spent {self.spent():.6g})"
-            )
-        self.operations.append(operation)
+            projected = self._spent_with(self.operations + [operation])
+            if projected > self.total_epsilon * (1 + 1e-12):
+                raise PrivacyBudgetError(
+                    f"Charging {epsilon} for {label!r} would exceed the total budget "
+                    f"{self.total_epsilon} (already spent {self.spent():.6g})"
+                )
+            self.operations.append(operation)
+            return operation
+
+    def rollback(self, operation: BudgetedOperation) -> bool:
+        """Remove a previously charged operation from the ledger.
+
+        Used by the engine when a mechanism fails *after* charging but
+        *before* releasing anything: the charge must not stand.  Matching is
+        by identity so that an equal-valued charge from another thread is
+        never refunded by mistake.  Returns ``True`` when the operation was
+        found and removed.
+        """
+        with self.lock:
+            for index, candidate in enumerate(self.operations):
+                if candidate is operation:
+                    del self.operations[index]
+                    return True
+            return False
 
     def spent(self) -> float:
         """Total budget consumed so far under the composition rules."""
-        return self._spent_with(self.operations)
+        with self.lock:
+            return self._spent_with(self.operations)
 
     def remaining(self) -> float:
         """Budget still available."""
@@ -99,7 +137,8 @@ class PrivacyAccountant:
             return False
         frozen = None if partition is None else frozenset(partition)
         operation = BudgetedOperation(label="?", epsilon=float(epsilon), partition=frozen)
-        projected = self._spent_with(self.operations + [operation])
+        with self.lock:
+            projected = self._spent_with(self.operations + [operation])
         return projected <= self.total_epsilon * (1 + 1e-12)
 
     def open_scope(self, label: str, epsilon: float) -> "ScopedAccountant":
@@ -109,15 +148,18 @@ class PrivacyAccountant:
         sequential composition — scopes may interleave arbitrarily on the same
         data, so nothing weaker is sound.  The returned
         :class:`ScopedAccountant` then tracks consumption *within* the
-        reservation; closing it refunds whatever the scope never spent.
+        reservation; closing it refunds whatever the scope never spent.  The
+        scope shares this accountant's ledger lock.
         """
-        self.charge(label, epsilon)
-        return ScopedAccountant(
-            total_epsilon=float(epsilon),
-            parent=self,
-            label=label,
-            reservation=self.operations[-1],
-        )
+        with self.lock:
+            reservation = self.charge(label, epsilon)
+            return ScopedAccountant(
+                total_epsilon=float(epsilon),
+                lock=self.lock,
+                parent=self,
+                label=label,
+                reservation=reservation,
+            )
 
     @staticmethod
     def _spent_with(operations: List[BudgetedOperation]) -> float:
@@ -171,23 +213,24 @@ class ScopedAccountant(PrivacyAccountant):
         replaced by one recording the scope's actual spend (or dropped
         entirely when nothing was spent).
         """
-        if self.closed:
-            return 0.0
-        self.closed = True
-        refund = self.remaining()
-        if self.parent is None or refund <= 0:
-            return max(refund, 0.0)
-        actually_spent = self.spent()
-        for index, operation in enumerate(self.parent.operations):
-            if operation is self.reservation:
-                if actually_spent > 0:
-                    self.parent.operations[index] = BudgetedOperation(
-                        label=self.label, epsilon=actually_spent, partition=None
-                    )
-                else:
-                    del self.parent.operations[index]
-                break
-        return refund
+        with self.lock:
+            if self.closed:
+                return 0.0
+            self.closed = True
+            refund = self.remaining()
+            if self.parent is None or refund <= 0:
+                return max(refund, 0.0)
+            actually_spent = self.spent()
+            for index, operation in enumerate(self.parent.operations):
+                if operation is self.reservation:
+                    if actually_spent > 0:
+                        self.parent.operations[index] = BudgetedOperation(
+                            label=self.label, epsilon=actually_spent, partition=None
+                        )
+                    else:
+                        del self.parent.operations[index]
+                    break
+            return refund
 
 
 def sequential_composition(epsilons: Sequence[float]) -> float:

@@ -30,7 +30,7 @@ from ..core.database import Database
 from ..core.rng import RandomState
 from ..core.workload import Workload
 from ..exceptions import MechanismError
-from ..mechanisms.base import laplace_noise
+from ..mechanisms.base import WorkloadTransformCache, laplace_noise
 from ..mechanisms.strategies import Strategy
 from ..policy.graph import PolicyGraph
 from ..policy.transform import PolicyTransform
@@ -95,7 +95,7 @@ class PolicyMatrixMechanism(BlowfishMechanism):
                 f"{self.transform.num_edges} edges"
             )
         self._strategy = built
-        self._workload_cache: dict[str, sp.csr_matrix] = {}
+        self._workload_cache = WorkloadTransformCache(maxsize=8)
 
     # ------------------------------------------------------------- properties
     @property
@@ -146,15 +146,11 @@ class PolicyMatrixMechanism(BlowfishMechanism):
 
     # ----------------------------------------------------------------- helper
     def _transformed_workload(self, workload: Workload) -> sp.csr_matrix:
-        # Content-keyed: equal-but-distinct Workload objects (a serving engine
-        # sees a fresh object per client request) share one entry, and a
-        # recycled id() can never alias a stale matrix.
-        key = workload.signature()
-        if key not in self._workload_cache:
-            if len(self._workload_cache) > 8:
-                self._workload_cache.clear()
-            self._workload_cache[key] = self.transform.transform_workload(workload)
-        return self._workload_cache[key]
+        # Signature-keyed and lock-guarded: cached plans are invoked from
+        # concurrent engine flushes (see Mechanism's re-entrancy contract).
+        return self._workload_cache.get_or_compute(
+            workload, self.transform.transform_workload
+        )
 
 
 def transformed_laplace_mechanism(

@@ -35,7 +35,17 @@ Route = Literal["tree", "spanner", "grid-matrix", "matrix"]
 
 @dataclass(frozen=True)
 class Plan:
-    """The planner's decision: which mechanism to run and why."""
+    """The planner's decision: which mechanism to run and why.
+
+    Plans are **shareable**: the serving engine memoises one ``Plan`` per
+    ``(domain, policy, planner-config)`` and invokes
+    ``plan.algorithm.answer`` / ``answer_batch`` from concurrent flush
+    threads.  The dataclass itself is frozen, and the constructed mechanisms
+    honour the re-entrancy contract of
+    :class:`~repro.mechanisms.base.Mechanism` (per-call state on the stack,
+    lock-guarded internal memos), so no external synchronisation is needed to
+    reuse a plan.
+    """
 
     algorithm: NamedAlgorithm
     route: Route

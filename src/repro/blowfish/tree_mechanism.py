@@ -30,7 +30,7 @@ from ..core.database import Database
 from ..core.rng import RandomState
 from ..core.workload import Workload
 from ..exceptions import MechanismError, PolicyNotTreeError
-from ..mechanisms.base import HistogramMechanism
+from ..mechanisms.base import HistogramMechanism, WorkloadTransformCache
 from ..mechanisms.dawa import DawaMechanism
 from ..mechanisms.laplace import LaplaceHistogram
 from ..policy.graph import PolicyGraph
@@ -128,7 +128,7 @@ class TreeTransformMechanism(BlowfishMechanism):
             )
         self._tree = TreeTransform(self._working_transform)
         self._monotone_order = self._tree.monotone_root_path_indices()
-        self._workload_cache: dict[str, object] = {}
+        self._workload_cache = WorkloadTransformCache(maxsize=8)
 
     # ------------------------------------------------------------- properties
     @property
@@ -198,12 +198,8 @@ class TreeTransformMechanism(BlowfishMechanism):
         return np.clip(estimate, 0.0, total)
 
     def _transformed_workload(self, workload: Workload):
-        # Content-keyed: equal-but-distinct Workload objects (a serving engine
-        # sees a fresh object per client request) share one entry, and a
-        # recycled id() can never alias a stale matrix.
-        key = workload.signature()
-        if key not in self._workload_cache:
-            if len(self._workload_cache) > 8:
-                self._workload_cache.clear()
-            self._workload_cache[key] = self._working_transform.transform_workload(workload)
-        return self._workload_cache[key]
+        # Signature-keyed and lock-guarded: cached plans are invoked from
+        # concurrent engine flushes (see Mechanism's re-entrancy contract).
+        return self._workload_cache.get_or_compute(
+            workload, self._working_transform.transform_workload
+        )

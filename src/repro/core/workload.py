@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -182,6 +182,87 @@ class Workload:
         return Workload(
             domain=self.domain, matrix=self.matrix[rows, :], name=name or self.name
         )
+
+    def restrict_to_columns(
+        self, columns: Sequence[int], domain: Domain, name: str = ""
+    ) -> "Workload":
+        """Project the workload onto a subset of domain cells (shard scatter path).
+
+        ``columns`` are the (sorted, unique) flat cell indices a
+        :class:`~repro.engine.DomainShard` owns and ``domain`` is the shard's
+        own domain (``domain.size == len(columns)``); column ``j`` of the
+        result is column ``columns[j]`` of this workload.  Raises
+        :class:`WorkloadError` when the workload touches a cell outside
+        ``columns`` — a restricted workload must answer identically on the
+        projected histogram, which only holds when its support is confined to
+        the kept cells.
+        """
+        kept = np.asarray(list(int(c) for c in columns), dtype=np.int64)
+        if kept.size != domain.size:
+            raise WorkloadError(
+                f"Restriction keeps {kept.size} columns but the target domain has "
+                f"{domain.size} cells"
+            )
+        matrix = self._canonical_matrix()
+        positions = np.searchsorted(kept, matrix.indices)
+        inside = (positions < kept.size) & (
+            kept[np.minimum(positions, kept.size - 1)] == matrix.indices
+        )
+        if not bool(np.all(inside)):
+            outside = np.unique(matrix.indices[~inside])
+            raise WorkloadError(
+                f"Workload touches {outside.size} cells outside the restriction "
+                f"(e.g. {outside[:5].tolist()}); restrict only confined workloads"
+            )
+        restricted = sp.csr_matrix(
+            (matrix.data, positions, matrix.indptr),
+            shape=(matrix.shape[0], kept.size),
+        )
+        return Workload(domain=domain, matrix=restricted, name=name or self.name)
+
+    def rows_by_column_label(self, labels: np.ndarray) -> Optional[Dict[int, List[int]]]:
+        """Group query rows by the single label shared by all their columns.
+
+        ``labels`` assigns an integer label to every domain cell (typically
+        :meth:`repro.policy.PolicyGraph.component_labels`).  Returns a dict
+        mapping each label to the (ascending) row indices whose support lies
+        entirely in that label's cells, or ``None`` when some row spans two
+        labels — such a workload cannot be scattered component-wise without
+        changing its noise distribution, so callers must fall back to the
+        unsharded path.  Rows with empty support (all-zero queries) answer
+        exactly zero on every histogram and are attached to the first group.
+        """
+        labels = np.asarray(labels)
+        if labels.shape[0] != self.num_columns:
+            raise WorkloadError(
+                f"Expected one label per column ({self.num_columns}), got "
+                f"{labels.shape[0]}"
+            )
+        matrix = self._canonical_matrix()
+        column_labels = labels[matrix.indices]
+        indptr = matrix.indptr
+        row_nnz = np.diff(indptr)
+        nonempty = row_nnz > 0
+        empty_rows = np.nonzero(~nonempty)[0]
+        groups: Dict[int, List[int]] = {}
+        if bool(nonempty.any()):
+            # Vectorised per-row min/max over the CSR segments: consecutive
+            # non-empty rows tile column_labels contiguously (empty rows
+            # contribute zero-length gaps), so reduceat over their starts
+            # reduces exactly each row's label segment.
+            starts = indptr[:-1][nonempty]
+            mins = np.minimum.reduceat(column_labels, starts)
+            maxs = np.maximum.reduceat(column_labels, starts)
+            if bool(np.any(mins != maxs)):
+                return None
+            nonempty_rows = np.nonzero(nonempty)[0]
+            for label in np.unique(mins):
+                groups[int(label)] = nonempty_rows[mins == label].tolist()
+        if empty_rows.size:
+            if not groups:
+                groups[int(labels[0])] = []
+            groups[next(iter(groups))].extend(int(row) for row in empty_rows)
+        return groups
 
     def right_multiply(self, matrix: MatrixLike, name: str = "") -> sp.csr_matrix:
         """Return ``W @ matrix`` as a CSR matrix (used by the policy transform)."""

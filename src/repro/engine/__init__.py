@@ -2,14 +2,20 @@
 
 Turns the one-shot mechanisms of :mod:`repro.blowfish` into a multi-client
 service: an expensive planning path (memoised in a :class:`PlanCache`), a
-fast answering path (batched mechanism invocations, noisy-answer replays at
-zero budget), and per-client sessions whose epsilon allotments are reserved
-from a global :class:`~repro.accounting.PrivacyAccountant`.
+fast answering path (a staged **plan → charge → execute → resolve** flush
+pipeline with lock-free planning and lock-free mechanism execution, batched
+invocations, noisy-answer replays at zero budget), per-client sessions whose
+epsilon allotments are reserved from a global
+:class:`~repro.accounting.PrivacyAccountant`, scatter/gather execution over
+per-component :class:`DomainShard`\\ s for multi-component policies (exact
+under parallel composition), and a :class:`BatchingExecutor` front-end that
+accumulates concurrent submissions and auto-flushes on a deadline/size
+trigger.
 
 Quick start::
 
     from repro import Database, Domain, identity_workload, line_policy
-    from repro.engine import PrivateQueryEngine
+    from repro.engine import BatchingExecutor, PrivateQueryEngine
 
     domain = Domain((64,))
     engine = PrivateQueryEngine(
@@ -19,12 +25,19 @@ Quick start::
     answers = engine.ask("alice", identity_workload(domain), epsilon=0.5)
     # Re-asking is free: replayed from the noisy-answer cache.
     replay = engine.ask("alice", identity_workload(domain), epsilon=0.5)
+
+    # Under concurrent clients, submit through the batching front-end:
+    with BatchingExecutor(engine, max_batch_size=32, max_delay=0.02) as executor:
+        answers = executor.ask("alice", identity_workload(domain), epsilon=0.25)
 """
 
 from .answer_cache import AnswerCache, AnswerCacheStats, CachedAnswer
-from .engine import EngineStats, PrivateQueryEngine, QueryTicket
+from .engine import EngineStats, PrivateQueryEngine
+from .executor import BatchingExecutor
+from .pipeline import ANSWERED, PENDING, REFUSED, FlushPipeline, QueryTicket
 from .plan_cache import CachedPlan, PlanCache, PlanCacheStats
 from .session import ClientSession
+from .sharding import DomainShard, ShardPiece, ShardScatter, ShardSet
 from .signature import (
     answer_key,
     domain_signature,
@@ -34,16 +47,25 @@ from .signature import (
 )
 
 __all__ = [
+    "ANSWERED",
     "AnswerCache",
     "AnswerCacheStats",
+    "BatchingExecutor",
     "CachedAnswer",
     "CachedPlan",
     "ClientSession",
+    "DomainShard",
     "EngineStats",
+    "FlushPipeline",
+    "PENDING",
     "PlanCache",
     "PlanCacheStats",
     "PrivateQueryEngine",
     "QueryTicket",
+    "REFUSED",
+    "ShardPiece",
+    "ShardScatter",
+    "ShardSet",
     "answer_key",
     "domain_signature",
     "plan_key",

@@ -58,6 +58,17 @@ class CachedAnswer:
     raw_answers: np.ndarray = None  # type: ignore[assignment]
     replays: int = 0
     consolidated: bool = False
+    #: Identifier of the mechanism invocation that produced ``raw_answers``.
+    #: Entries sharing a draw id were bought in one batched invocation and
+    #: therefore share a noise draw — their measurement errors are correlated.
+    #: The ε²-weighted consolidation still treats them as independent (see the
+    #: module docstring); the draw id is the bookkeeping the road-mapped
+    #: generalised-least-squares upgrade needs to model that correlation.
+    #: ``None`` marks measurements from engines or code paths predating the
+    #: tagging.  Sharded batches currently reuse one id for all of their
+    #: per-shard invocations (coarser than the true draw structure, still
+    #: conservative for grouping).
+    draw_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.raw_answers is None:
@@ -124,14 +135,20 @@ class AnswerCache:
         workload: Workload,
         epsilon: float,
         answers: np.ndarray,
+        draw_id: Optional[int] = None,
     ) -> CachedAnswer:
-        """Store a freshly paid-for answer vector."""
+        """Store a freshly paid-for answer vector.
+
+        ``draw_id`` tags the mechanism invocation the measurement came from;
+        batch-mates stored with the same id share a noise draw.
+        """
         key = answer_key(policy, workload, epsilon)
         entry = CachedAnswer(
             key=key,
             workload=workload,
             epsilon=float(epsilon),
             answers=np.asarray(answers, dtype=np.float64).copy(),
+            draw_id=draw_id,
         )
         with self._lock:
             already_present = key in self._entries
@@ -148,6 +165,34 @@ class AnswerCache:
                         del self._by_policy[evicted_key[0]]
                 self.stats.evictions += 1
         return entry
+
+    def count_follower_hit(self) -> None:
+        """Count an intra-flush duplicate replay as a cache hit.
+
+        The engine resolves same-flush duplicates from their leader's freshly
+        stored answer; that replay is semantically a cache hit, so the
+        counters must agree with the replay counter.  Taken under the cache
+        lock because concurrent flushes may report hits simultaneously.
+        """
+        with self._lock:
+            self.stats.hits += 1
+
+    def entries_by_draw(self, policy: PolicyGraph) -> Dict[int, List[AnswerKey]]:
+        """Group this policy's cached measurements by their noise draw.
+
+        Returns ``{draw_id: [answer keys]}`` for entries that carry a draw id;
+        groups with two or more keys are exactly the batch-mates whose
+        measurement errors are correlated (the input the road-mapped GLS
+        consolidation will consume).  Untagged entries are omitted.
+        """
+        sig = policy_signature(policy)
+        grouped: Dict[int, List[AnswerKey]] = {}
+        with self._lock:
+            for key in self._by_policy.get(sig, ()):
+                entry = self._entries.get(key)
+                if entry is not None and entry.draw_id is not None:
+                    grouped.setdefault(entry.draw_id, []).append(key)
+        return grouped
 
     # ------------------------------------------------------------ consolidation
     def consolidate(self, policy: PolicyGraph) -> int:

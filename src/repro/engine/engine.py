@@ -16,17 +16,34 @@ maintenance):
    from the engine's global :class:`~repro.accounting.PrivacyAccountant`;
    queries are charged per session and refused with a clear
    :class:`~repro.exceptions.PrivacyBudgetError` once the allotment is gone.
-3. **Batch executor** — pending queries that agree on
-   ``(policy, epsilon, config)`` are answered by **one** vectorised mechanism
-   invocation over the stacked workload instead of N scalar runs.
-4. **Noisy-answer cache** — re-asked queries replay the already-paid-for
+3. **Staged flush pipeline** — every flush runs **plan → charge → execute →
+   resolve** (:mod:`repro.engine.pipeline`): planning is lock-free, charging
+   holds only the narrowed accountant lock, mechanism execution holds no lock
+   at all, and resolution takes the stats/cache locks briefly.  Concurrent
+   ``flush()`` callers therefore overlap their numerical work instead of
+   queueing behind one engine-wide lock; compatible queries within a flush
+   are still answered by **one** vectorised mechanism invocation.
+4. **Domain sharding** — policies whose graph decomposes into several
+   connected components are served scatter/gather
+   (:mod:`repro.engine.sharding`): component-confined workloads are split
+   across per-component :class:`~repro.engine.DomainShard`\\ s, each with its
+   own plan cache, and the noisy rows are gathered back.  By the paper's
+   parallel-composition rule this is *exact* — the combined release costs the
+   same ε the unsharded path would charge, byte for byte.
+5. **Noisy-answer cache** — re-asked queries replay the already-paid-for
    noisy vector at zero additional budget (post-processing closure), and
    :meth:`PrivateQueryEngine.consolidate` least-squares-reconciles all cached
-   answers under a policy, again for free.
+   answers under a policy, again for free.  Every stored measurement carries
+   the draw id of the invocation that produced it, so batch-mates sharing a
+   noise draw stay identifiable.
 
 Accounting of a batch is conservative: the stacked invocation is a single
 ε-release, yet every participating session is charged the full ε of its
 query, so per-session budgets never undercount.
+
+For concurrent clients, put a :class:`~repro.engine.BatchingExecutor` in
+front: it accumulates cross-thread submissions and auto-flushes on a
+deadline/size trigger, so batching wins materialise under real load.
 """
 
 from __future__ import annotations
@@ -34,8 +51,10 @@ from __future__ import annotations
 import itertools
 import math
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,58 +62,43 @@ from ..accounting.composition import PrivacyAccountant
 from ..core.database import Database
 from ..core.rng import RandomState, ensure_rng
 from ..core.workload import Workload
-from ..exceptions import MechanismError, PolicyError, PrivacyBudgetError
+from ..exceptions import PolicyError, PrivacyBudgetError
 from ..policy.graph import PolicyGraph, is_bottom
 from .answer_cache import AnswerCache
-from .plan_cache import CachedPlan, PlanCache
+from .pipeline import ANSWERED, PENDING, REFUSED, STAGES, FlushPipeline, QueryTicket
+from .plan_cache import PlanCache
 from .session import ClientSession
-from .signature import answer_key, plan_key
+from .sharding import ShardSet
+from .signature import policy_signature
 
-PENDING = "pending"
-ANSWERED = "answered"
-REFUSED = "refused"
-
-
-@dataclass
-class QueryTicket:
-    """Handle on one submitted query; resolved by :meth:`PrivateQueryEngine.flush`."""
-
-    ticket_id: int
-    client_id: str
-    workload: Workload
-    policy: PolicyGraph
-    epsilon: float
-    #: The session the query was submitted under.  Charges always go to THIS
-    #: session — closing and reopening a client id between submit and flush
-    #: must never bill the new session for the old session's query.
-    session: ClientSession = field(repr=False, default=None)  # type: ignore[assignment]
-    partition: Optional[frozenset] = None
-    status: str = PENDING
-    answers: Optional[np.ndarray] = None
-    from_cache: bool = False
-    error: Optional[str] = None
-
-    def result(self) -> np.ndarray:
-        """The noisy answers; raises when the query was refused or is pending."""
-        if self.status == ANSWERED:
-            assert self.answers is not None
-            return self.answers
-        if self.status == REFUSED:
-            raise PrivacyBudgetError(self.error or "Query was refused")
-        raise MechanismError(
-            f"Ticket {self.ticket_id} is still pending; call PrivateQueryEngine.flush()"
-        )
+__all__ = [
+    "ANSWERED",
+    "EngineStats",
+    "PENDING",
+    "PrivateQueryEngine",
+    "QueryTicket",
+    "REFUSED",
+]
 
 
 @dataclass
 class EngineStats:
-    """Aggregate serving statistics, snapshotted by :attr:`PrivateQueryEngine.stats`."""
+    """Aggregate serving statistics, snapshotted by :attr:`PrivateQueryEngine.stats`.
+
+    Counters are maintained under a dedicated stats lock, so snapshots taken
+    while flushes run on other threads are internally consistent.  The
+    ``*_seconds`` fields accumulate wall-clock per pipeline stage across all
+    flushes (concurrent flushes add up, so the totals can exceed elapsed
+    time — they measure *work*, not span).
+    """
 
     queries_submitted: int = 0
     queries_answered: int = 0
     queries_refused: int = 0
     answer_cache_replays: int = 0
+    flushes: int = 0
     batches_executed: int = 0
+    sharded_batches: int = 0
     mechanism_invocations: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
@@ -103,6 +107,20 @@ class EngineStats:
     epsilon_spent: float = 0.0
     epsilon_remaining: float = 0.0
     open_sessions: int = 0
+    plan_seconds: float = 0.0
+    charge_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    resolve_seconds: float = 0.0
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage timing totals keyed by stage name."""
+        return {
+            "plan": self.plan_seconds,
+            "charge": self.charge_seconds,
+            "execute": self.execute_seconds,
+            "resolve": self.resolve_seconds,
+        }
 
 
 class PrivateQueryEngine:
@@ -128,7 +146,27 @@ class PrivateQueryEngine:
         Planner configuration forwarded to
         :func:`repro.blowfish.plan_mechanism`.
     random_state:
-        Seed or generator for the engine's noise stream.
+        Seed or generator for the engine's noise stream.  Concurrent flushes
+        each derive an independent child stream from it; passing an explicit
+        ``random_state`` to :meth:`flush` bypasses the derivation for
+        reproducible single-flush tests.
+    enable_sharding:
+        When ``True`` (default), multi-component policies are served
+        scatter/gather over per-component domain shards (exact under
+        parallel composition).  Workloads that a shard split cannot represent
+        exactly fall back to the unsharded path automatically.
+    shard_plan_cache_size:
+        LRU capacity of each per-shard plan cache.
+    execute_workers:
+        When set (> 1), flushes with several independent batches execute them
+        on a shared worker pool instead of sequentially.  Each worker batch
+        gets its own child noise stream, so a flush's answers then depend on
+        batch grouping rather than submission order.
+    serialize_flush:
+        Compatibility/benchmark switch: when ``True`` the whole pipeline runs
+        under one exclusive lock, restoring PR 1's single-lock behaviour
+        (sound, fully serialising).  ``benchmarks/bench_concurrency.py`` uses
+        it as the baseline the staged pipeline is measured against.
     """
 
     def __init__(
@@ -142,6 +180,10 @@ class PrivateQueryEngine:
         prefer_data_dependent: bool = True,
         consistency: bool = True,
         random_state: RandomState = None,
+        enable_sharding: bool = True,
+        shard_plan_cache_size: int = 16,
+        execute_workers: Optional[int] = None,
+        serialize_flush: bool = False,
     ) -> None:
         self._database = database
         self._accountant = PrivacyAccountant(total_epsilon)
@@ -158,19 +200,42 @@ class PrivateQueryEngine:
             AnswerCache(maxsize=answer_cache_size) if enable_answer_cache else None
         )
         self._rng = ensure_rng(random_state)
-        # Serialises every budget/queue mutation (open/submit/flush/close):
-        # PrivacyAccountant.charge is check-then-append, so unsynchronised
-        # concurrent flushes could overspend a session's allotment.
-        self._lock = threading.RLock()
+        # Locking discipline (narrow, never nested around mechanism work):
+        #   _queue_lock  — pending queue, session registry, rng derivation;
+        #   _stats_lock  — serving counters and stage timings;
+        #   accountant.lock — every budget ledger (shared with its scopes);
+        #   _serial_lock — only taken when serialize_flush=True.
+        self._queue_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._serial_lock = threading.Lock()
+        self._serialize_flush = bool(serialize_flush)
         self._sessions: Dict[str, ClientSession] = {}
         self._pending: List[QueryTicket] = []
         self._ticket_ids = itertools.count(1)
+        self._draw_ids = itertools.count(1)
         self._submitted = 0
         self._answered = 0
         self._refused = 0
         self._replays = 0
+        self._flushes = 0
         self._batches = 0
+        self._sharded_batches = 0
         self._invocations = 0
+        self._stage_seconds: Dict[str, float] = dict.fromkeys(STAGES, 0.0)
+        self._enable_sharding = bool(enable_sharding)
+        self._shard_plan_cache_size = int(shard_plan_cache_size)
+        # LRU-bounded like every other engine cache: each ShardSet pins
+        # projected sub-databases, scatter memos and per-shard plan caches.
+        self._shard_sets: "OrderedDict[str, Optional[ShardSet]]" = OrderedDict()
+        self._shard_sets_maxsize = 32
+        self._shard_lock = threading.Lock()
+        self._pipeline = FlushPipeline(self)
+        self._execute_pool: Optional[ThreadPoolExecutor] = None
+        if execute_workers is not None and int(execute_workers) > 1:
+            self._execute_pool = ThreadPoolExecutor(
+                max_workers=int(execute_workers),
+                thread_name_prefix="repro-engine-execute",
+            )
 
     # --------------------------------------------------------------- sessions
     @property
@@ -193,14 +258,14 @@ class PrivateQueryEngine:
             budget, or a session with this id is already open.
         """
         client_id = str(client_id)
-        with self._lock:
+        with self._queue_lock:
             existing = self._sessions.get(client_id)
             if existing is not None and not existing.closed:
                 raise PrivacyBudgetError(f"Session {client_id!r} is already open")
             scope = self._accountant.open_scope(
                 f"session:{client_id}", epsilon_allotment
             )
-            session = ClientSession(client_id, scope, lock=self._lock)
+            session = ClientSession(client_id, scope)
             self._sessions[client_id] = session
             return session
 
@@ -213,8 +278,7 @@ class PrivateQueryEngine:
 
     def close_session(self, client_id: str) -> float:
         """Close a session, refunding its unspent allotment to the global budget."""
-        with self._lock:
-            return self.session(client_id).close()
+        return self.session(client_id).close()
 
     # ---------------------------------------------------------------- queries
     def submit(
@@ -233,24 +297,44 @@ class PrivateQueryEngine:
         ``partition``, when given, must be a collection of **domain cell
         indices** covering every cell the workload touches; queries over
         disjoint partitions then compose in parallel within a session.  The
-        engine verifies the coverage claim at submit, and at execution it
-        additionally requires the planned mechanism to be data *independent*
-        (a data-dependent mechanism reads the whole histogram, so the
-        parallel-composition discount would be unsound) — partitioned
-        queries therefore only make sense on engines configured with
-        ``prefer_data_dependent=False``.
+        engine verifies the coverage claim at submit.  At execution time the
+        discount additionally requires the release to be a function of the
+        declared partition alone: on the unsharded path that means a data
+        *independent* plan (a data-dependent mechanism reads the whole
+        histogram), while on the sharded path even data-dependent plans
+        qualify — each per-shard invocation reads one component's cells only,
+        and an edge-closed partition is a union of components.
         """
-        with self._lock:
-            return self._submit_locked(client_id, workload, epsilon, policy, partition)
+        resolved_policy, frozen_partition = self._validate_submission(
+            client_id, workload, epsilon, policy, partition
+        )
+        with self._queue_lock:
+            session = self.session(client_id)
+            if session.closed:
+                raise PrivacyBudgetError(f"Session {client_id!r} is closed")
+            ticket = QueryTicket(
+                ticket_id=next(self._ticket_ids),
+                client_id=session.client_id,
+                workload=workload,
+                policy=resolved_policy,
+                epsilon=float(epsilon),
+                session=session,
+                partition=frozen_partition,
+            )
+            self._pending.append(ticket)
+        with self._stats_lock:
+            self._submitted += 1
+        return ticket
 
-    def _submit_locked(
+    def _validate_submission(
         self,
         client_id: str,
         workload: Workload,
         epsilon: float,
         policy: Optional[PolicyGraph],
         partition: Optional[Sequence],
-    ) -> QueryTicket:
+    ) -> tuple:
+        """Validate a submission outside the queue lock (pure checks only)."""
         session = self.session(client_id)
         if session.closed:
             raise PrivacyBudgetError(f"Session {client_id!r} is closed")
@@ -292,7 +376,9 @@ class PrivateQueryEngine:
             # under the policy's edges: a record moving across a crossing edge
             # would change this query's answer AND a query outside the
             # partition, so "disjoint" partitions would not actually isolate
-            # the releases.  This mirrors the paper's disjoint *edge groups*.
+            # the releases.  This mirrors the paper's disjoint *edge groups*,
+            # and makes every valid partition a union of connected policy
+            # components (which the sharded execution path relies on).
             crossing = [
                 (u, v)
                 for u, v in resolved_policy.edges
@@ -307,18 +393,7 @@ class PrivateQueryEngine:
                     "parallel composition requires partitions aligned with "
                     "disjoint groups of policy edges"
                 )
-        ticket = QueryTicket(
-            ticket_id=next(self._ticket_ids),
-            client_id=session.client_id,
-            workload=workload,
-            policy=resolved_policy,
-            epsilon=float(epsilon),
-            session=session,
-            partition=frozen_partition,
-        )
-        self._pending.append(ticket)
-        self._submitted += 1
-        return ticket
+        return resolved_policy, frozen_partition
 
     @property
     def pending_count(self) -> int:
@@ -334,98 +409,40 @@ class PrivateQueryEngine:
         part of the replay semantics controlled by ``enable_answer_cache``:
         with the cache disabled, every ask is deliberately an independent,
         individually paid release (e.g. for averaging repeated noisy draws).
-        The remaining
-        queries are grouped by ``(policy, epsilon, planner-config)`` and each
-        group is answered by **one** vectorised mechanism invocation; every
-        member session is charged its query's epsilon (refusals resolve the
-        ticket with an error instead of raising, so one exhausted client
-        cannot block the batch).
+        The remaining queries are grouped by ``(policy, epsilon,
+        planner-config)`` and each group is answered by **one** vectorised
+        mechanism invocation — or one invocation per touched shard on the
+        scatter/gather path; every member session is charged its query's
+        epsilon (refusals resolve the ticket with an error instead of
+        raising, so one exhausted client cannot block the batch).
+
+        Thread safety: any number of threads may call ``flush`` concurrently.
+        Each call drains the queue atomically and drives its own pipeline
+        run; budget ledgers, caches and counters are internally locked.  Two
+        racing flushes may both pay for the same brand-new query (a
+        cache-miss race) — that wastes budget, never privacy.
         """
-        with self._lock:
+        with self._queue_lock:
             tickets, self._pending = self._pending, []
-            rng = self._rng if random_state is None else ensure_rng(random_state)
-
-            to_execute: List[QueryTicket] = []
-            followers: Dict[Tuple[str, str, str], List[QueryTicket]] = {}
-            seen_keys: Dict[Tuple[str, str, str], QueryTicket] = {}
-            for ticket in tickets:
-                if self.answer_cache is not None:
-                    # Dedup identical queries *within* this flush: one ticket
-                    # pays, the rest replay its answer — the same zero-budget
-                    # post-processing they would get one flush later.  The
-                    # duplicate check comes first so followers never register
-                    # a spurious cache miss for an answer the flush will have.
-                    key = answer_key(ticket.policy, ticket.workload, ticket.epsilon)
-                    if key in seen_keys:
-                        followers.setdefault(key, []).append(ticket)
-                        continue
-                    cached = self.answer_cache.lookup(
-                        ticket.policy, ticket.workload, ticket.epsilon
-                    )
-                    if cached is not None:
-                        self._resolve_replay(ticket, cached.answers)
-                        continue
-                    seen_keys[key] = ticket
-                to_execute.append(ticket)
-
-            groups: Dict[tuple, List[QueryTicket]] = {}
-            for ticket in to_execute:
-                key = plan_key(
-                    ticket.policy,
-                    ticket.epsilon,
-                    self._prefer_data_dependent,
-                    self._consistency,
-                )
-                groups.setdefault(key, []).append(ticket)
-
-            for batch in groups.values():
-                if self.answer_cache is None:
-                    # Independent-draw semantics: identical queries stacked
-                    # into one invocation would yield byte-identical rows —
-                    # paid twice, worth once.  Split duplicates into separate
-                    # invocations so each paid query gets its own noise draw.
-                    for round_batch in self._split_duplicates(batch):
-                        self._execute_batch(round_batch, rng)
-                else:
-                    self._execute_batch(batch, rng)
-
-            # Resolve duplicates: replay from an answered leader for free.  A
-            # refused leader must not drag its duplicates down — their own
-            # sessions may have budget — so the first duplicate is promoted to
-            # leader and executed; any remainder waits for the next round.
-            pending_followers = followers
-            while pending_followers:
-                next_followers: Dict[Tuple[str, str, str], List[QueryTicket]] = {}
-                retry: List[QueryTicket] = []
-                for key, duplicate_tickets in pending_followers.items():
-                    leader = seen_keys[key]
-                    if leader.status == ANSWERED:
-                        for ticket in duplicate_tickets:
-                            # The replay IS a cache hit (the leader's answer
-                            # was just stored), so the counters must agree
-                            # with the replay counter.
-                            if self.answer_cache is not None:
-                                self.answer_cache.stats.hits += 1
-                            self._resolve_replay(ticket, leader.answers)
-                        continue
-                    promoted, rest = duplicate_tickets[0], duplicate_tickets[1:]
-                    seen_keys[key] = promoted
-                    retry.append(promoted)
-                    if rest:
-                        next_followers[key] = rest
-                retry_groups: Dict[tuple, List[QueryTicket]] = {}
-                for ticket in retry:
-                    key = plan_key(
-                        ticket.policy,
-                        ticket.epsilon,
-                        self._prefer_data_dependent,
-                        self._consistency,
-                    )
-                    retry_groups.setdefault(key, []).append(ticket)
-                for batch in retry_groups.values():
-                    self._execute_batch(batch, rng)
-                pending_followers = next_followers
-            return tickets
+            if not tickets:
+                # Empty flushes are common under the batched front-end (a
+                # racing size-trigger drained the queue first); don't burn a
+                # child stream on them.
+                return tickets
+            if random_state is None:
+                # Concurrent flushes must not share the engine generator:
+                # derive an independent child stream per flush (deterministic
+                # for seeded engines).  An explicit random_state bypasses the
+                # derivation so single-flush tests stay exactly reproducible.
+                rng = self._spawn_flush_rng()
+            else:
+                rng = ensure_rng(random_state)
+        if self._serialize_flush:
+            with self._serial_lock:
+                self._pipeline.run(tickets, rng)
+        else:
+            self._pipeline.run(tickets, rng)
+        return tickets
 
     def ask(
         self,
@@ -444,6 +461,8 @@ class PrivateQueryEngine:
             client_id, workload, epsilon, policy=policy, partition=partition
         )
         self.flush(random_state=random_state)
+        if not ticket.done():  # resolved by a concurrent flush that raced the queue
+            ticket.wait()
         return ticket.result()
 
     # ------------------------------------------------------------ consistency
@@ -460,141 +479,118 @@ class PrivateQueryEngine:
             raise PolicyError("No policy given and the engine has no default policy")
         return self.answer_cache.consolidate(resolved)
 
+    # -------------------------------------------------------------- sharding
+    def _shard_set_for(self, policy: PolicyGraph) -> Optional[ShardSet]:
+        """The memoised shard set for ``policy`` (``None`` when unshardable)."""
+        if not self._enable_sharding:
+            return None
+        key = policy_signature(policy)
+        with self._shard_lock:
+            if key in self._shard_sets:
+                self._shard_sets.move_to_end(key)
+                return self._shard_sets[key]
+        # Build outside the lock (component analysis over a large domain can
+        # be slow); a racing build of the same policy is redundant, not wrong.
+        shard_set = ShardSet.build(
+            policy, self._database, plan_cache_size=self._shard_plan_cache_size
+        )
+        with self._shard_lock:
+            self._shard_sets[key] = shard_set
+            self._shard_sets.move_to_end(key)
+            while len(self._shard_sets) > self._shard_sets_maxsize:
+                self._shard_sets.popitem(last=False)
+        return shard_set
+
+    def shard_count(self, policy: Optional[PolicyGraph] = None) -> int:
+        """Number of domain shards the engine would scatter this policy over.
+
+        Returns 0 when the policy is served unsharded (connected policy,
+        sharding disabled, or a component without edges).
+        """
+        resolved = policy if policy is not None else self._default_policy
+        if resolved is None:
+            raise PolicyError("No policy given and the engine has no default policy")
+        shard_set = self._shard_set_for(resolved)
+        return len(shard_set) if shard_set is not None else 0
+
     # ------------------------------------------------------------------ stats
     @property
     def stats(self) -> EngineStats:
-        """A snapshot of the engine's serving counters."""
-        return EngineStats(
-            queries_submitted=self._submitted,
-            queries_answered=self._answered,
-            queries_refused=self._refused,
-            answer_cache_replays=self._replays,
-            batches_executed=self._batches,
-            mechanism_invocations=self._invocations,
-            plan_hits=self.plan_cache.stats.hits,
-            plan_misses=self.plan_cache.stats.misses,
-            answer_hits=self.answer_cache.stats.hits if self.answer_cache else 0,
-            answer_misses=self.answer_cache.stats.misses if self.answer_cache else 0,
-            epsilon_spent=self._accountant.spent(),
-            epsilon_remaining=self._accountant.remaining(),
-            open_sessions=sum(1 for s in self._sessions.values() if not s.closed),
-        )
-
-    # ----------------------------------------------------------------- helper
-    @staticmethod
-    def _split_duplicates(batch: List[QueryTicket]) -> List[List[QueryTicket]]:
-        """Partition a batch into rounds with no duplicate query per round."""
-        rounds: List[List[QueryTicket]] = []
-        occurrence: Dict[Tuple[str, str, str], int] = {}
-        for ticket in batch:
-            key = answer_key(ticket.policy, ticket.workload, ticket.epsilon)
-            index = occurrence.get(key, 0)
-            occurrence[key] = index + 1
-            while len(rounds) <= index:
-                rounds.append([])
-            rounds[index].append(ticket)
-        return rounds
-
-    def _resolve_replay(self, ticket: QueryTicket, answers: np.ndarray) -> None:
-        """Resolve a ticket from an already-paid-for answer vector (zero ε)."""
-        ticket.answers = np.asarray(answers, dtype=np.float64).copy()
-        ticket.status = ANSWERED
-        ticket.from_cache = True
-        ticket.session.cache_replays += 1
-        ticket.session.queries_answered += 1
-        self._replays += 1
-        self._answered += 1
-
-    def _execute_batch(
-        self, batch: List[QueryTicket], rng: np.random.Generator
-    ) -> None:
-        """Plan, charge, answer and resolve one compatible group of tickets."""
-        try:
-            entry: CachedPlan = self.plan_cache.plan_for(
-                batch[0].policy,
-                batch[0].epsilon,
-                prefer_data_dependent=self._prefer_data_dependent,
-                consistency=self._consistency,
+        """A consistent snapshot of the engine's serving counters."""
+        with self._stats_lock:
+            snapshot = EngineStats(
+                queries_submitted=self._submitted,
+                queries_answered=self._answered,
+                queries_refused=self._refused,
+                answer_cache_replays=self._replays,
+                flushes=self._flushes,
+                batches_executed=self._batches,
+                sharded_batches=self._sharded_batches,
+                mechanism_invocations=self._invocations,
+                plan_seconds=self._stage_seconds["plan"],
+                charge_seconds=self._stage_seconds["charge"],
+                execute_seconds=self._stage_seconds["execute"],
+                resolve_seconds=self._stage_seconds["resolve"],
             )
-        except Exception as exc:
-            for ticket in batch:
-                ticket.status = REFUSED
-                ticket.error = f"Planning failed (nothing charged): {exc}"
-                ticket.session.queries_refused += 1
-                self._refused += 1
-            return
+        snapshot.plan_hits = self.plan_cache.stats.hits
+        snapshot.plan_misses = self.plan_cache.stats.misses
+        snapshot.answer_hits = self.answer_cache.stats.hits if self.answer_cache else 0
+        snapshot.answer_misses = (
+            self.answer_cache.stats.misses if self.answer_cache else 0
+        )
+        snapshot.epsilon_spent = self._accountant.spent()
+        snapshot.epsilon_remaining = self._accountant.remaining()
+        snapshot.open_sessions = sum(
+            1 for s in list(self._sessions.values()) if not s.closed
+        )
+        return snapshot
 
-        admitted: List[QueryTicket] = []
-        charged: List[Tuple[ClientSession, object]] = []
-        for ticket in batch:
-            session = ticket.session
-            label = f"query:{ticket.client_id}:{ticket.ticket_id}"
-            # Parallel composition only applies when the release is a function
-            # of the declared partition alone.  Data-dependent mechanisms
-            # (DAWA) read the whole histogram, so a partitioned query must be
-            # served by a data-independent plan — otherwise the discount would
-            # undercount the real privacy loss.
-            if ticket.partition is not None and entry.plan.algorithm.data_dependent:
-                ticket.status = REFUSED
-                ticket.error = (
-                    f"Query {label!r} claims a partition but the planned mechanism "
-                    f"({entry.plan.name!r}) is data dependent and reads the full "
-                    "database; re-submit without a partition, or configure the "
-                    "engine with prefer_data_dependent=False AND consistency=False "
-                    "(the consistency projection also counts as data dependent)"
-                )
-                session.queries_refused += 1
-                self._refused += 1
-                continue
-            try:
-                session.charge(label, ticket.epsilon, ticket.partition)
-            except PrivacyBudgetError as exc:
-                ticket.status = REFUSED
-                ticket.error = str(exc)
-                self._refused += 1
-                continue
-            admitted.append(ticket)
-            charged.append((session, session.accountant.operations[-1]))
-        if not admitted:
-            return
+    def _record_stage_timings(self, timings: Dict[str, float]) -> None:
+        """Accumulate one pipeline round's stage wall-clock into the totals."""
+        with self._stats_lock:
+            for stage, seconds in timings.items():
+                self._stage_seconds[stage] += seconds
 
+    def _next_draw_id(self) -> int:
+        """Fresh identifier for one mechanism-invocation noise draw."""
+        return next(self._draw_ids)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release engine resources (the execute worker pool, when present).
+
+        Worker threads are not reclaimed by garbage collection, so engines
+        built with ``execute_workers=`` should be closed (or used as context
+        managers) when discarded.  Sessions, caches and the accountant are
+        plain objects and need no teardown; the engine remains usable for
+        session bookkeeping after ``close``, but flushes fall back to inline
+        execution.
+        """
+        pool, self._execute_pool = self._execute_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PrivateQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        pool = getattr(self, "_execute_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def _spawn_flush_rng(self) -> np.random.Generator:
+        """Child generator for one flush (caller must hold the queue lock).
+
+        ``Generator.spawn`` needs numpy ≥ 1.25 and a seed sequence; fall back
+        to seeding from the parent's stream otherwise.
+        """
         try:
-            workloads = [ticket.workload for ticket in admitted]
-            if len(workloads) == 1:
-                answers = [
-                    entry.plan.algorithm.answer(workloads[0], self._database, rng)
-                ]
-            else:
-                answers = entry.plan.algorithm.answer_batch(
-                    workloads, self._database, rng
-                )
-        except Exception as exc:
-            # Nothing was released, so the charges must not stand: roll back
-            # every reservation of this batch and resolve its tickets instead
-            # of stranding them (or the rest of the flush) behind the raise.
-            for session, operation in charged:
-                try:
-                    session.accountant.operations.remove(operation)
-                except ValueError:  # pragma: no cover - defensive
-                    pass
-            for ticket in admitted:
-                ticket.status = REFUSED
-                ticket.error = f"Batch execution failed (charge rolled back): {exc}"
-                ticket.session.queries_refused += 1
-                self._refused += 1
-            return
-        self._batches += 1
-        self._invocations += 1
-
-        for ticket, vector in zip(admitted, answers):
-            ticket.answers = np.asarray(vector, dtype=np.float64)
-            ticket.status = ANSWERED
-            ticket.session.queries_answered += 1
-            self._answered += 1
-            if self.answer_cache is not None:
-                self.answer_cache.store(
-                    ticket.policy, ticket.workload, ticket.epsilon, ticket.answers
-                )
+            return self._rng.spawn(1)[0]
+        except (AttributeError, TypeError, ValueError):
+            return np.random.default_rng(int(self._rng.integers(0, 2**63)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

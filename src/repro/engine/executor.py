@@ -1,0 +1,188 @@
+"""`BatchingExecutor` — a concurrent, deadline-batched front-end for the engine.
+
+The engine's batching win (one vectorised mechanism invocation per
+compatible group) only materialises when queries actually share a flush.
+Synchronous callers that ``submit(); flush()`` in their own threads defeat
+it: every flush carries one query.  The executor restores the win under real
+concurrent load by accumulating ``submit()``\\ s from any number of threads
+and flushing on one of two triggers:
+
+* **size** — the pending queue reached ``max_batch_size``.  The flush runs
+  *in the submitting thread*, so under heavy load multiple flushes from
+  different threads overlap — exactly the concurrency the lock-narrowed
+  pipeline (:mod:`repro.engine.pipeline`) was built for.
+* **deadline** — the oldest pending query waited ``max_delay`` seconds.  A
+  background flusher thread catches these stragglers, bounding latency when
+  traffic is light.
+
+Blocking callers use :meth:`ask`, which submits and then waits on the
+ticket's event — resolved by whichever thread's flush picks the query up.
+
+The executor adds **no privacy semantics**: it only decides *when*
+:meth:`PrivateQueryEngine.flush` runs.  Budget checks, replay, dedup and
+parallel-composition discounts all live in the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.workload import Workload
+from ..exceptions import MechanismError
+from ..policy.graph import PolicyGraph
+from .pipeline import QueryTicket
+
+
+class BatchingExecutor:
+    """Accumulate concurrent submissions; auto-flush on a deadline/size trigger.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve through.  Several executors may share one engine,
+        though one is the normal deployment.
+    max_batch_size:
+        Pending-queue size that triggers an immediate flush in the submitting
+        thread.
+    max_delay:
+        Upper bound (seconds) on how long a submitted query may wait before
+        the background flusher picks it up.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_batch_size: int = 32,
+        max_delay: float = 0.02,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_delay <= 0:
+            raise ValueError(f"max_delay must be positive, got {max_delay}")
+        self._engine = engine
+        self._max_batch_size = int(max_batch_size)
+        self._max_delay = float(max_delay)
+        self._condition = threading.Condition()
+        self._deadline: Optional[float] = None
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-engine-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop the background flusher after flushing any stragglers."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+        self._flusher.join()
+        self._engine.flush()
+
+    def __enter__(self) -> "BatchingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` ran; submissions are then rejected."""
+        return self._closed
+
+    # ------------------------------------------------------------ submissions
+    def submit(
+        self,
+        client_id: str,
+        workload: Workload,
+        epsilon: float,
+        policy: Optional[PolicyGraph] = None,
+        partition: Optional[Sequence] = None,
+    ) -> QueryTicket:
+        """Queue a query; returns its ticket immediately.
+
+        The ticket resolves asynchronously — wait on it (``ticket.wait()``)
+        or use :meth:`ask` for a blocking round trip.  Raises once the
+        executor is closed.
+        """
+        flush_now = False
+        with self._condition:
+            # The closed check and the enqueue are atomic under the condition
+            # lock: a submit racing close() either lands before close drains
+            # the queue (its final flush resolves the ticket) or observes
+            # closed and is rejected — never a stranded ticket.
+            if self._closed:
+                raise MechanismError("BatchingExecutor is closed")
+            ticket = self._engine.submit(
+                client_id, workload, epsilon, policy=policy, partition=partition
+            )
+            if self._deadline is None:
+                self._deadline = time.monotonic() + self._max_delay
+                self._condition.notify_all()
+            if self._engine.pending_count >= self._max_batch_size:
+                flush_now = True
+        if flush_now:
+            # Size trigger: flush in the submitting thread.  Concurrent
+            # submitters each drive their own pipeline run, overlapping
+            # mechanism execution across threads.
+            self._engine.flush()
+        return ticket
+
+    def ask(
+        self,
+        client_id: str,
+        workload: Workload,
+        epsilon: float,
+        policy: Optional[PolicyGraph] = None,
+        partition: Optional[Sequence] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Blocking submit: waits for whichever flush resolves the ticket.
+
+        ``timeout`` bounds the wait in seconds; on expiry a
+        :class:`~repro.exceptions.MechanismError` is raised (the ticket stays
+        queued and will still be answered by a later flush).
+        """
+        ticket = self.submit(
+            client_id, workload, epsilon, policy=policy, partition=partition
+        )
+        if not ticket.wait(timeout):
+            raise MechanismError(
+                f"Ticket {ticket.ticket_id} was not resolved within {timeout} s"
+            )
+        return ticket.result()
+
+    def flush_now(self) -> None:
+        """Flush pending queries immediately, without waiting for a trigger."""
+        self._engine.flush()
+
+    # ---------------------------------------------------------------- flusher
+    def _flush_loop(self) -> None:
+        """Deadline watcher: flush whatever the size trigger did not take."""
+        while True:
+            with self._condition:
+                while not self._closed and self._deadline is None:
+                    self._condition.wait()
+                if self._closed:
+                    return
+                now = time.monotonic()
+                if now < self._deadline:
+                    self._condition.wait(self._deadline - now)
+                    continue
+                # Deadline reached: clear it before flushing so submissions
+                # arriving during the flush start a fresh window.
+                self._deadline = None
+            if self._engine.pending_count:
+                self._engine.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchingExecutor(max_batch_size={self._max_batch_size}, "
+            f"max_delay={self._max_delay}, closed={self._closed})"
+        )

@@ -1,0 +1,617 @@
+"""The four-stage flush pipeline: **plan → charge → execute → resolve**.
+
+PR 1's engine held one big lock across the whole flush — sound, but fully
+serialising: under concurrent clients the batch executor's throughput win
+evaporated because planning *and* mechanism execution sat inside the critical
+section.  This module narrows the locking to the transactional parts only,
+mirroring the HTAP separation of transactional and analytical paths:
+
+1. **plan** — lock-free.  Plans are memoised in signature-keyed caches
+   (:class:`~repro.engine.PlanCache`, per-shard caches) whose internal locks
+   cover only the dict lookup; actual planning runs outside any lock.  The
+   sharded scatter decision (:mod:`repro.engine.sharding`) happens here too.
+2. **charge** — under the *narrowed accountant lock* (the per-ledger lock
+   inside :class:`~repro.accounting.PrivacyAccountant`), held only for the
+   microseconds of a check-then-append.  Refusals resolve tickets
+   immediately; admissions record the charged operation for rollback.
+3. **execute** — outside any lock.  ``Mechanism.answer_batch`` runs on the
+   flushing thread (or on worker threads when the engine has an execute
+   pool), so concurrent flushes overlap their numerical work.  A failure here
+   rolls every charge of the batch back via
+   :meth:`~repro.accounting.PrivacyAccountant.rollback` — nothing was
+   released, so nothing may be billed.
+4. **resolve** — back under the (stats/cache) locks: ticket statuses, session
+   counters, answer-cache writes tagged with the batch's draw id, and the
+   per-stage timing accumulators.
+
+Concurrent flushes are linearised only where they must be: budget ledgers
+(accountant lock), cache maps (their own locks) and counters (stats lock).
+Two racing flushes may both *pay* for the same never-before-seen query — a
+cache-miss race costs budget efficiency, never privacy, and the
+deadline-batched front-end (:class:`~repro.engine.BatchingExecutor`) makes it
+rare by funnelling concurrent submissions into shared flushes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.workload import Workload
+from ..exceptions import MechanismError, PrivacyBudgetError
+from ..policy.graph import PolicyGraph
+from .plan_cache import CachedPlan
+from .session import ClientSession
+from .sharding import ShardScatter, ShardSet
+from .signature import answer_key, plan_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import PrivateQueryEngine
+
+PENDING = "pending"
+ANSWERED = "answered"
+REFUSED = "refused"
+
+#: The stages whose wall-clock is tracked by :class:`~repro.engine.EngineStats`.
+STAGES = ("plan", "charge", "execute", "resolve")
+
+
+@dataclass
+class QueryTicket:
+    """Handle on one submitted query; resolved by :meth:`PrivateQueryEngine.flush`.
+
+    Tickets are also the synchronisation point of the concurrent front-end:
+    :meth:`wait` blocks until some flush (on any thread) resolves the ticket,
+    which is how :meth:`BatchingExecutor.ask` turns deadline-batched execution
+    back into a blocking call.
+    """
+
+    ticket_id: int
+    client_id: str
+    workload: Workload
+    policy: PolicyGraph
+    epsilon: float
+    #: The session the query was submitted under.  Charges always go to THIS
+    #: session — closing and reopening a client id between submit and flush
+    #: must never bill the new session for the old session's query.
+    session: ClientSession = field(repr=False, default=None)  # type: ignore[assignment]
+    partition: Optional[frozenset] = None
+    status: str = PENDING
+    answers: Optional[np.ndarray] = None
+    from_cache: bool = False
+    error: Optional[str] = None
+    #: Identifier of the mechanism invocation that produced the answer.
+    #: Batch-mates share a draw id because their noise came from one
+    #: invocation — the correlation the road-mapped GLS consolidation needs.
+    draw_id: Optional[int] = None
+    _resolved: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    def done(self) -> bool:
+        """``True`` once the ticket reached a terminal status."""
+        return self._resolved.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ticket is resolved; returns :meth:`done`."""
+        return self._resolved.wait(timeout)
+
+    def result(self) -> np.ndarray:
+        """The noisy answers; raises when the query was refused or is pending."""
+        if self.status == ANSWERED:
+            assert self.answers is not None
+            return self.answers
+        if self.status == REFUSED:
+            raise PrivacyBudgetError(self.error or "Query was refused")
+        raise MechanismError(
+            f"Ticket {self.ticket_id} is still pending; call PrivateQueryEngine.flush()"
+        )
+
+
+AnswerKeyT = Tuple[str, str, str]
+
+
+@dataclass
+class PlannedBatch:
+    """One compatible ``(policy, epsilon, config)`` group moving through the stages."""
+
+    tickets: List[QueryTicket]
+    epsilon: float
+    #: Unsharded plan (set when the batch takes the unsharded path).
+    entry: Optional[CachedPlan] = None
+    #: Sharded path: the policy's shard set plus one scatter per ticket.
+    shard_set: Optional[ShardSet] = None
+    scatters: Optional[Dict[int, ShardScatter]] = None
+    #: Set when planning itself failed — every ticket refuses, nothing charges.
+    plan_error: Optional[str] = None
+    admitted: List[QueryTicket] = field(default_factory=list)
+    charged: List[Tuple[ClientSession, object]] = field(default_factory=list)
+    #: Set when execution failed — charges roll back, admitted tickets refuse.
+    execute_error: Optional[str] = None
+    #: Per-admitted-ticket answer vectors (aligned with ``admitted``).
+    results: Optional[List[np.ndarray]] = None
+    invocations: int = 0
+
+    @property
+    def sharded(self) -> bool:
+        """``True`` when the batch executes via scatter/gather."""
+        return self.scatters is not None
+
+
+class FlushPipeline:
+    """Stage driver for one engine; stateless between flushes.
+
+    All mutable state lives on the engine (counters, caches, accountants) or
+    on the tickets themselves, so any number of threads may run pipelines
+    concurrently.
+    """
+
+    def __init__(self, engine: "PrivateQueryEngine") -> None:
+        self._engine = engine
+
+    # ---------------------------------------------------------------- driver
+    def run(self, tickets: List[QueryTicket], rng: np.random.Generator) -> None:
+        """Resolve every ticket: replays first, then staged batch execution."""
+        engine = self._engine
+        with engine._stats_lock:
+            engine._flushes += 1
+
+        to_execute: List[QueryTicket] = []
+        followers: Dict[AnswerKeyT, List[QueryTicket]] = {}
+        seen_keys: Dict[AnswerKeyT, QueryTicket] = {}
+        for ticket in tickets:
+            if engine.answer_cache is not None:
+                # Dedup identical queries *within* this flush: one ticket
+                # pays, the rest replay its answer — the same zero-budget
+                # post-processing they would get one flush later.  The
+                # duplicate check comes first so followers never register
+                # a spurious cache miss for an answer the flush will have.
+                key = answer_key(ticket.policy, ticket.workload, ticket.epsilon)
+                if key in seen_keys:
+                    followers.setdefault(key, []).append(ticket)
+                    continue
+                cached = engine.answer_cache.lookup(
+                    ticket.policy, ticket.workload, ticket.epsilon
+                )
+                if cached is not None:
+                    self._resolve_replay(ticket, cached.answers, cached.draw_id)
+                    continue
+                seen_keys[key] = ticket
+            to_execute.append(ticket)
+
+        self._run_round(to_execute, rng)
+
+        # Resolve duplicates: replay from an answered leader for free.  A
+        # refused leader must not drag its duplicates down — their own
+        # sessions may have budget — so the first duplicate is promoted to
+        # leader and executed; any remainder waits for the next round.
+        pending_followers = followers
+        while pending_followers:
+            next_followers: Dict[AnswerKeyT, List[QueryTicket]] = {}
+            retry: List[QueryTicket] = []
+            for key, duplicate_tickets in pending_followers.items():
+                leader = seen_keys[key]
+                if leader.status == ANSWERED:
+                    for ticket in duplicate_tickets:
+                        # The replay IS a cache hit (the leader's answer was
+                        # just stored), so the counters must agree with the
+                        # replay counter.
+                        if engine.answer_cache is not None:
+                            engine.answer_cache.count_follower_hit()
+                        self._resolve_replay(ticket, leader.answers, leader.draw_id)
+                    continue
+                promoted, rest = duplicate_tickets[0], duplicate_tickets[1:]
+                seen_keys[key] = promoted
+                retry.append(promoted)
+                if rest:
+                    next_followers[key] = rest
+            self._run_round(retry, rng)
+            pending_followers = next_followers
+
+    def _run_round(self, tickets: List[QueryTicket], rng: np.random.Generator) -> None:
+        """Group tickets and push every group through the four stages."""
+        if not tickets:
+            return
+        engine = self._engine
+        timings = dict.fromkeys(STAGES, 0.0)
+
+        # ---- stage 1: plan (lock-free; caches lock internally only briefly)
+        started = time.perf_counter()
+        groups: Dict[tuple, List[QueryTicket]] = {}
+        for ticket in tickets:
+            key = plan_key(
+                ticket.policy,
+                ticket.epsilon,
+                engine._prefer_data_dependent,
+                engine._consistency,
+            )
+            groups.setdefault(key, []).append(ticket)
+        batches: List[PlannedBatch] = []
+        for group in groups.values():
+            if engine.answer_cache is None:
+                # Independent-draw semantics: identical queries stacked into
+                # one invocation would yield byte-identical rows — paid
+                # twice, worth once.  Split duplicates into separate rounds
+                # so each paid query gets its own noise draw.
+                rounds = self._split_duplicates(group)
+            else:
+                rounds = [group]
+            for round_tickets in rounds:
+                batches.append(self._plan_batch(round_tickets))
+        timings["plan"] = time.perf_counter() - started
+
+        # ---- stage 2: charge (narrowed accountant lock, per ledger append)
+        started = time.perf_counter()
+        for batch in batches:
+            self._charge_batch(batch)
+        timings["charge"] = time.perf_counter() - started
+
+        # ---- stage 3: execute (no locks held; optionally on worker threads)
+        started = time.perf_counter()
+        self._execute_batches(batches, rng)
+        timings["execute"] = time.perf_counter() - started
+
+        # ---- stage 4: resolve (stats/cache locks only)
+        started = time.perf_counter()
+        for batch in batches:
+            self._resolve_batch(batch)
+        timings["resolve"] = time.perf_counter() - started
+
+        engine._record_stage_timings(timings)
+
+    # ----------------------------------------------------------------- stages
+    def _plan_batch(self, tickets: List[QueryTicket]) -> PlannedBatch:
+        """Stage 1 for one group: sharded scatter when exact, else one plan."""
+        engine = self._engine
+        batch = PlannedBatch(tickets=tickets, epsilon=tickets[0].epsilon)
+        policy = tickets[0].policy
+        try:
+            shard_set = engine._shard_set_for(policy)
+            if shard_set is not None:
+                planned = self._plan_sharded(batch, shard_set)
+                if planned:
+                    return batch
+            batch.entry = engine.plan_cache.plan_for(
+                policy,
+                batch.epsilon,
+                prefer_data_dependent=engine._prefer_data_dependent,
+                consistency=engine._consistency,
+            )
+        except Exception as exc:
+            batch.plan_error = f"Planning failed (nothing charged): {exc}"
+        return batch
+
+    def _plan_sharded(self, batch: PlannedBatch, shard_set: ShardSet) -> bool:
+        """Try the scatter/gather path; ``False`` falls back to unsharded.
+
+        Scattering is exact only when every workload in the batch splits
+        component-wise, and per-shard planning must succeed for every touched
+        shard — any failure falls back to the single-plan path rather than
+        refusing queries the unsharded engine could answer.
+        """
+        engine = self._engine
+        scatters: Dict[int, ShardScatter] = {}
+        for ticket in batch.tickets:
+            scatter = shard_set.scatter(ticket.workload)
+            if scatter is None:
+                return False
+            scatters[ticket.ticket_id] = scatter
+        try:
+            touched = {
+                piece.shard.index: piece.shard
+                for scatter in scatters.values()
+                for piece in scatter.pieces
+            }
+            for shard in touched.values():
+                shard.plan_cache.plan_for(
+                    shard.policy,
+                    batch.epsilon,
+                    prefer_data_dependent=engine._prefer_data_dependent,
+                    consistency=engine._consistency,
+                )
+        except Exception:
+            return False
+        batch.shard_set = shard_set
+        batch.scatters = scatters
+        return True
+
+    def _charge_batch(self, batch: PlannedBatch) -> None:
+        """Stage 2: admit or refuse each ticket; record charges for rollback."""
+        engine = self._engine
+        if batch.plan_error is not None:
+            for ticket in batch.tickets:
+                self._refuse(ticket, batch.plan_error, count_session=True)
+            return
+        for ticket in batch.tickets:
+            session = ticket.session
+            label = f"query:{ticket.client_id}:{ticket.ticket_id}"
+            # Parallel composition only applies when the release is a function
+            # of the declared partition alone.  On the unsharded path a
+            # data-dependent mechanism (DAWA, consistency projections) reads
+            # the whole histogram, so the discount would be unsound.  On the
+            # *sharded* path a data-dependent invocation reads its whole
+            # shard, so the discount additionally requires every
+            # data-dependent shard the ticket touches to lie inside the
+            # declared partition.  (The submit-time edge-closure check skips
+            # ``⊥`` edges — cells related only through ``⊥`` share a
+            # component yet may be split by a valid partition, so "partition
+            # ⊇ touched cells" does not imply "partition ⊇ touched shards".)
+            partition_error = self._partition_discount_error(batch, ticket, label)
+            if partition_error is not None:
+                self._refuse(ticket, partition_error, count_session=True)
+                continue
+            try:
+                operation = session.charge(label, ticket.epsilon, ticket.partition)
+            except PrivacyBudgetError as exc:
+                # session.charge already counted the session-level refusal.
+                self._refuse(ticket, str(exc), count_session=False)
+                continue
+            batch.admitted.append(ticket)
+            batch.charged.append((session, operation))
+
+    def _partition_discount_error(
+        self, batch: PlannedBatch, ticket: QueryTicket, label: str
+    ) -> Optional[str]:
+        """Why this ticket's partition discount would be unsound (or ``None``).
+
+        The discount requires the release to be a function of the declared
+        partition alone: a data-*independent* release depends only on the
+        cells the workload touches (⊆ partition, checked at submit), while a
+        data-dependent one reads the full histogram its invocation sees —
+        the whole database unsharded, the whole shard sharded.
+        """
+        if ticket.partition is None:
+            return None
+        engine = self._engine
+        if not batch.sharded:
+            assert batch.entry is not None
+            if not batch.entry.plan.algorithm.data_dependent:
+                return None
+            return (
+                f"Query {label!r} claims a partition but the planned mechanism "
+                f"({batch.entry.plan.name!r}) is data dependent and reads the "
+                "full database; re-submit without a partition, configure the "
+                "engine with prefer_data_dependent=False AND consistency=False "
+                "(the consistency projection also counts as data dependent), "
+                "or use a sharded multi-component policy"
+            )
+        assert batch.scatters is not None
+        for piece in batch.scatters[ticket.ticket_id].pieces:
+            shard = piece.shard
+            plan = shard.plan_cache.plan_for(  # memoised in the plan stage
+                shard.policy,
+                batch.epsilon,
+                prefer_data_dependent=engine._prefer_data_dependent,
+                consistency=engine._consistency,
+            )
+            if not plan.plan.algorithm.data_dependent:
+                continue
+            outside = [
+                int(cell)
+                for cell in shard.cells
+                if int(cell) not in ticket.partition
+            ]
+            if outside:
+                return (
+                    f"Query {label!r} claims a partition but its shard "
+                    f"{shard.index} runs the data-dependent plan "
+                    f"({plan.plan.name!r}) over {len(outside)} cells outside "
+                    f"the partition (e.g. {outside[:5]}); the release then "
+                    "depends on undeclared cells, so the parallel-composition "
+                    "discount would be unsound — declare the whole component "
+                    "or re-submit without a partition"
+                )
+        return None
+
+    def _execute_batches(
+        self, batches: List[PlannedBatch], rng: np.random.Generator
+    ) -> None:
+        """Stage 3: run every batch's mechanism work outside all locks."""
+        engine = self._engine
+        runnable = [batch for batch in batches if batch.admitted]
+        pool = engine._execute_pool
+        if pool is not None and len(runnable) > 1:
+            # Independent child streams: concurrent invocations must never
+            # share one generator (spawning is deterministic, so a seeded
+            # engine stays reproducible run-to-run).
+            child_rngs = self._spawn_children(rng, len(runnable))
+            futures = []
+            try:
+                for batch, child in zip(runnable, child_rngs):
+                    futures.append(pool.submit(self._execute_one, batch, child))
+            except RuntimeError:
+                # engine.close() shut the pool down mid-flush: finish the
+                # unsubmitted batches inline so every charge still reaches
+                # execute/rollback and every ticket resolves.
+                for batch, child in zip(
+                    runnable[len(futures) :], child_rngs[len(futures) :]
+                ):
+                    self._execute_one(batch, child)
+            for future in futures:
+                future.result()  # _execute_one never raises
+        else:
+            for batch in runnable:
+                self._execute_one(batch, rng)
+
+    def _execute_one(self, batch: PlannedBatch, rng: np.random.Generator) -> None:
+        """Answer one batch; on failure record the error for rollback."""
+        try:
+            if batch.sharded:
+                batch.results, batch.invocations = self._answer_sharded(batch, rng)
+            else:
+                batch.results, batch.invocations = self._answer_unsharded(batch, rng)
+        except Exception as exc:
+            batch.execute_error = (
+                f"Batch execution failed (charge rolled back): {exc}"
+            )
+
+    def _answer_unsharded(
+        self, batch: PlannedBatch, rng: np.random.Generator
+    ) -> Tuple[List[np.ndarray], int]:
+        workloads = [ticket.workload for ticket in batch.admitted]
+        assert batch.entry is not None
+        algorithm = batch.entry.plan.algorithm
+        if len(workloads) == 1:
+            answers = [algorithm.answer(workloads[0], self._engine._database, rng)]
+        else:
+            answers = algorithm.answer_batch(workloads, self._engine._database, rng)
+        return list(answers), 1
+
+    def _answer_sharded(
+        self, batch: PlannedBatch, rng: np.random.Generator
+    ) -> Tuple[List[np.ndarray], int]:
+        """Scatter the batch across shards, one invocation per touched shard."""
+        engine = self._engine
+        assert batch.scatters is not None
+        jobs: Dict[int, List[Tuple[int, int, object]]] = {}
+        for position, ticket in enumerate(batch.admitted):
+            scatter = batch.scatters[ticket.ticket_id]
+            for piece_index, piece in enumerate(scatter.pieces):
+                jobs.setdefault(piece.shard.index, []).append(
+                    (position, piece_index, piece)
+                )
+        piece_vectors: Dict[Tuple[int, int], np.ndarray] = {}
+        invocations = 0
+        for shard_index in sorted(jobs):
+            entries = jobs[shard_index]
+            shard = entries[0][2].shard  # type: ignore[attr-defined]
+            plan = shard.plan_cache.plan_for(
+                shard.policy,
+                batch.epsilon,
+                prefer_data_dependent=engine._prefer_data_dependent,
+                consistency=engine._consistency,
+            )
+            sub_workloads = [piece.workload for _, _, piece in entries]  # type: ignore[attr-defined]
+            if len(sub_workloads) == 1:
+                vectors = [plan.plan.algorithm.answer(sub_workloads[0], shard.database, rng)]
+            else:
+                vectors = plan.plan.algorithm.answer_batch(
+                    sub_workloads, shard.database, rng
+                )
+            for (position, piece_index, _), vector in zip(entries, vectors):
+                piece_vectors[(position, piece_index)] = np.asarray(vector)
+            invocations += 1
+        gathered: List[np.ndarray] = []
+        for position, ticket in enumerate(batch.admitted):
+            scatter = batch.scatters[ticket.ticket_id]
+            vectors = [
+                piece_vectors[(position, piece_index)]
+                for piece_index in range(len(scatter.pieces))
+            ]
+            gathered.append(scatter.gather(vectors))
+        return gathered, invocations
+
+    def _resolve_batch(self, batch: PlannedBatch) -> None:
+        """Stage 4: rollbacks for failures, then answers, counters and caches."""
+        engine = self._engine
+        if not batch.admitted:
+            return
+        if batch.execute_error is not None or batch.results is None:
+            # Nothing was released, so the charges must not stand: roll back
+            # every reservation of this batch and resolve its tickets instead
+            # of stranding them (or the rest of the flush) behind the raise.
+            error = batch.execute_error or "Batch execution produced no results"
+            for session, operation in batch.charged:
+                session.accountant.rollback(operation)
+            for ticket in batch.admitted:
+                self._refuse(ticket, error, count_session=True)
+            return
+        draw_id = engine._next_draw_id()
+        with engine._stats_lock:
+            engine._batches += 1
+            engine._invocations += batch.invocations
+            if batch.sharded:
+                engine._sharded_batches += 1
+        for ticket, vector in zip(batch.admitted, batch.results):
+            self._resolve_answer(ticket, vector, draw_id)
+
+    # ------------------------------------------------------------ resolutions
+    def _resolve_replay(
+        self,
+        ticket: QueryTicket,
+        answers: np.ndarray,
+        draw_id: Optional[int],
+    ) -> None:
+        """Resolve a ticket from an already-paid-for answer vector (zero ε)."""
+        engine = self._engine
+        ticket.answers = np.asarray(answers, dtype=np.float64).copy()
+        ticket.status = ANSWERED
+        ticket.from_cache = True
+        ticket.draw_id = draw_id
+        with ticket.session.accountant.lock:
+            ticket.session.cache_replays += 1
+            ticket.session.queries_answered += 1
+        with engine._stats_lock:
+            engine._replays += 1
+            engine._answered += 1
+        ticket._resolved.set()
+
+    def _resolve_answer(
+        self, ticket: QueryTicket, vector: np.ndarray, draw_id: int
+    ) -> None:
+        engine = self._engine
+        ticket.answers = np.asarray(vector, dtype=np.float64)
+        ticket.status = ANSWERED
+        ticket.draw_id = draw_id
+        with ticket.session.accountant.lock:
+            ticket.session.queries_answered += 1
+        with engine._stats_lock:
+            engine._answered += 1
+        if engine.answer_cache is not None:
+            engine.answer_cache.store(
+                ticket.policy,
+                ticket.workload,
+                ticket.epsilon,
+                ticket.answers,
+                draw_id=draw_id,
+            )
+        ticket._resolved.set()
+
+    def _refuse(self, ticket: QueryTicket, error: str, count_session: bool) -> None:
+        engine = self._engine
+        ticket.status = REFUSED
+        ticket.error = error
+        if count_session:
+            with ticket.session.accountant.lock:
+                ticket.session.queries_refused += 1
+        with engine._stats_lock:
+            engine._refused += 1
+        ticket._resolved.set()
+
+    # ----------------------------------------------------------------- helper
+    @staticmethod
+    def _spawn_children(
+        rng: np.random.Generator, count: int
+    ) -> List[np.random.Generator]:
+        """Derive ``count`` independent child generators from ``rng``.
+
+        ``Generator.spawn`` needs numpy ≥ 1.25 (AttributeError below that)
+        and a seed sequence (generators built from a bare bit-generator
+        state lack one), so fall back to seeding children from the parent's
+        stream.
+        """
+        try:
+            return list(rng.spawn(count))
+        except (AttributeError, TypeError, ValueError):
+            return [
+                np.random.default_rng(int(rng.integers(0, 2**63)))
+                for _ in range(count)
+            ]
+
+    @staticmethod
+    def _split_duplicates(batch: List[QueryTicket]) -> List[List[QueryTicket]]:
+        """Partition a batch into rounds with no duplicate query per round."""
+        rounds: List[List[QueryTicket]] = []
+        occurrence: Dict[AnswerKeyT, int] = {}
+        for ticket in batch:
+            key = answer_key(ticket.policy, ticket.workload, ticket.epsilon)
+            index = occurrence.get(key, 0)
+            occurrence[key] = index + 1
+            while len(rounds) <= index:
+                rounds.append([])
+            rounds[index].append(ticket)
+        return rounds

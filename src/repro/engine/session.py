@@ -8,14 +8,20 @@ against the session's :class:`~repro.accounting.ScopedAccountant`.  Once the
 allotment is exhausted the session refuses further queries with a
 :class:`~repro.exceptions.PrivacyBudgetError` instead of silently degrading
 the guarantee.
+
+Thread safety: all budget state lives in the accountants, whose ledgers carry
+their own (shared, narrowed) lock — see
+:class:`~repro.accounting.PrivacyAccountant`.  The serving counters
+(``queries_answered`` etc.) are likewise updated under that lock, so sessions
+may be charged from any number of concurrent engine flushes without an
+engine-wide lock.
 """
 
 from __future__ import annotations
 
-from contextlib import nullcontext
-from typing import ContextManager, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..accounting.composition import ScopedAccountant
+from ..accounting.composition import BudgetedOperation, ScopedAccountant
 from ..exceptions import PrivacyBudgetError
 
 
@@ -28,22 +34,18 @@ class ClientSession:
         Identifier the engine routes queries by.
     accountant:
         The session-scoped accountant created from the engine's global one.
-    lock:
-        Optional lock shared with the owning engine.  :meth:`close` mutates
-        the engine's *global* accountant (the refund), so it must run under
-        the same lock the engine uses for charges — otherwise a direct
-        ``session.close()`` would race against concurrent flushes.
+        Its ledger lock (shared with the parent accountant) also guards this
+        session's counters and the close/refund path, so no engine lock is
+        needed around session operations.
     """
 
     def __init__(
         self,
         client_id: str,
         accountant: ScopedAccountant,
-        lock: Optional[ContextManager] = None,
     ) -> None:
         self.client_id = str(client_id)
         self.accountant = accountant
-        self._lock: ContextManager = lock if lock is not None else nullcontext()
         self.queries_answered = 0
         self.queries_refused = 0
         self.cache_replays = 0
@@ -73,18 +75,25 @@ class ClientSession:
 
     def charge(
         self, label: str, epsilon: float, partition: Optional[Sequence] = None
-    ) -> None:
-        """Charge a query against the allotment, refusing once exhausted."""
+    ) -> BudgetedOperation:
+        """Charge a query against the allotment, refusing once exhausted.
+
+        Returns the recorded ledger operation so the engine's execute stage
+        can roll the charge back if the mechanism fails before releasing
+        anything.
+        """
         if self.closed:
-            self.queries_refused += 1
+            with self.accountant.lock:
+                self.queries_refused += 1
             raise PrivacyBudgetError(
                 f"Session {self.client_id!r} refused query {label!r}: the session "
                 "is closed"
             )
         try:
-            self.accountant.charge(label, epsilon, partition)
+            return self.accountant.charge(label, epsilon, partition)
         except PrivacyBudgetError as exc:
-            self.queries_refused += 1
+            with self.accountant.lock:
+                self.queries_refused += 1
             raise PrivacyBudgetError(
                 f"Session {self.client_id!r} refused query {label!r}: charging "
                 f"ε={epsilon} would exceed the allotment {self.allotment} "
@@ -92,9 +101,12 @@ class ClientSession:
             ) from exc
 
     def close(self) -> float:
-        """Close the session, refunding unspent budget to the engine's accountant."""
-        with self._lock:
-            return self.accountant.close()
+        """Close the session, refunding unspent budget to the engine's accountant.
+
+        :meth:`ScopedAccountant.close` rewrites the parent's reservation under
+        the shared ledger lock, so closing is safe against concurrent flushes.
+        """
+        return self.accountant.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -20,7 +20,8 @@ yet the same differentially private code must run on them (Theorems 4.1 and
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence, Union
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -31,6 +32,59 @@ from ..core.workload import Workload, answer_workloads_batched
 from ..exceptions import PrivacyBudgetError
 
 MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+T = TypeVar("T")
+
+
+class WorkloadTransformCache:
+    """A small signature-keyed memo for per-mechanism workload artefacts.
+
+    The serving engine caches planned mechanisms and invokes them from many
+    flush threads concurrently, so a mechanism's internal per-workload memo
+    (e.g. the transformed matrix ``W_G = W' P_G``) must be re-entrant.  This
+    helper guards lookups and inserts with a lock and always returns the
+    locally computed value, so a concurrent size-triggered ``clear`` can never
+    turn a fresh insert into a ``KeyError``.  The expensive ``compute`` runs
+    *outside* the lock: a racing thread may compute the same entry twice, and
+    the second insert simply wins — transforms are deterministic, so the
+    values are interchangeable.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compute(
+        self, workload: Workload, compute: Callable[[Workload], T]
+    ) -> T:
+        """Return the memoised artefact for ``workload``, computing on a miss.
+
+        Keys are content signatures: equal-but-distinct :class:`Workload`
+        objects (what a serving engine sees on every client request) share one
+        entry, and a recycled ``id()`` can never alias a stale matrix.
+        """
+        key = workload.signature()
+        with self._lock:
+            cached = self._entries.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        value = compute(workload)
+        with self._lock:
+            if len(self._entries) >= self._maxsize:
+                self._entries.clear()
+            self._entries[key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop every memoised artefact."""
+        with self._lock:
+            self._entries.clear()
 
 
 def check_epsilon(epsilon: float) -> float:
@@ -57,6 +111,14 @@ class Mechanism(abc.ABC):
     mechanisms are exactly the ones covered by the matrix-mechanism
     equivalence (Theorem 4.1); data-dependent ones additionally require a tree
     policy (Theorem 4.3).
+
+    **Re-entrancy contract.**  The serving engine (:mod:`repro.engine`) caches
+    constructed mechanisms inside plans and calls :meth:`answer` /
+    :meth:`answer_batch` from concurrent flush threads.  Implementations must
+    therefore be re-entrant: per-call state stays on the stack, and any
+    instance-level memo (lazy factorisations, per-workload transforms) must be
+    guarded — use :class:`WorkloadTransformCache` for the latter.  The noise
+    generator is always passed in per call, never stored.
     """
 
     #: Whether the added noise depends on the input database.

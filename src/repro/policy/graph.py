@@ -228,16 +228,47 @@ class PolicyGraph:
         """Connected components as sets of vertices (``⊥`` appears as BOTTOM).
 
         Policies with several components disclose component membership exactly
-        (Appendix E); the transform handles each component separately.
+        (Appendix E); the transform handles each component separately, and the
+        engine's sharded scatter/gather path (:mod:`repro.engine.sharding`)
+        assigns each component its own :class:`~repro.engine.DomainShard`.
+
+        The decomposition is memoised on the instance (policies are immutable
+        after construction — :meth:`with_edges` builds a new graph); callers
+        receive fresh set copies, so mutating a returned component never
+        corrupts the cache.
         """
-        graph = self.to_networkx()
-        components: List[Set[Vertex]] = []
-        for component in nx.connected_components(graph):
-            vertices: Set[Vertex] = set()
-            for node in component:
-                vertices.add(BOTTOM if node == "bottom" else int(node))
-            components.append(vertices)
-        return components
+        cached: Optional[List[Set[Vertex]]] = getattr(self, "_components_cache", None)
+        if cached is None:
+            graph = self.to_networkx()
+            cached = []
+            for component in nx.connected_components(graph):
+                vertices: Set[Vertex] = set()
+                for node in component:
+                    vertices.add(BOTTOM if node == "bottom" else int(node))
+                cached.append(vertices)
+            self._components_cache = cached
+        return [set(component) for component in cached]
+
+    def component_labels(self) -> np.ndarray:
+        """Label every domain cell with the index of its connected component.
+
+        Returns a length-``domain.size`` integer array; two cells share a
+        label exactly when the policy relates them (possibly through ``⊥`` —
+        all ``(·, ⊥)`` edges meet at the single vertex ``⊥``, so their
+        endpoints fall in one component).  Component indices follow the order
+        of :meth:`connected_components`.  This is the partition the paper's
+        parallel-composition rule applies to: mechanisms confined to the
+        cells of distinct labels compose in parallel.
+        """
+        cached: Optional[np.ndarray] = getattr(self, "_component_labels_cache", None)
+        if cached is None:
+            cached = np.full(self._domain.size, -1, dtype=np.int64)
+            for index, component in enumerate(self.connected_components()):
+                for vertex in component:
+                    if not is_bottom(vertex):
+                        cached[int(vertex)] = index
+            self._component_labels_cache = cached
+        return cached.copy()
 
     def shortest_path_length(self, u: Vertex, v: Vertex) -> float:
         """Length of the shortest path between two vertices (``inf`` if disconnected).

@@ -25,6 +25,7 @@ answer reconstruction used by every Blowfish mechanism in
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -103,7 +104,11 @@ class PolicyTransform:
         self._incidence = self._build_incidence()
         # Map every kept vertex to the removed vertex of its component (or None).
         self._component_removed_of_vertex = self._map_vertices_to_removed()
-        self._factorised_gram = None  # lazy Cholesky-like factorisation for x_G
+        # Lazy Cholesky-like factorisation for x_G.  Cached plans share one
+        # transform across concurrent engine flushes, so initialisation is
+        # guarded by a lock (double-checked: the fast path stays lock-free).
+        self._factorised_gram = None
+        self._gram_lock = threading.Lock()
 
     # ----------------------------------------------------------- construction
     def _choose_removed_vertices(
@@ -334,16 +339,21 @@ class PolicyTransform:
                     "Policy has no edges but the database has records on kept vertices"
                 )
             return np.zeros(0, dtype=np.float64)
-        gram = (self._incidence @ self._incidence.T).tocsc()
-        if self._factorised_gram is None:
-            try:
-                self._factorised_gram = spla.factorized(gram)
-            except RuntimeError as exc:  # singular Gram matrix
-                raise TransformError(
-                    "P_G does not have full row rank; is some component of the policy "
-                    "missing a path to bottom?"
-                ) from exc
-        y = self._factorised_gram(x_kept)
+        solver = self._factorised_gram
+        if solver is None:
+            with self._gram_lock:
+                solver = self._factorised_gram
+                if solver is None:
+                    gram = (self._incidence @ self._incidence.T).tocsc()
+                    try:
+                        solver = spla.factorized(gram)
+                    except RuntimeError as exc:  # singular Gram matrix
+                        raise TransformError(
+                            "P_G does not have full row rank; is some component of "
+                            "the policy missing a path to bottom?"
+                        ) from exc
+                    self._factorised_gram = solver
+        y = solver(x_kept)
         return np.asarray(self._incidence.T @ y).ravel()
 
     def transform_instance(

@@ -361,16 +361,25 @@ class TestPartitionSoundness:
         with pytest.raises(PrivacyBudgetError, match="cross"):
             engine.submit("alice", left, epsilon=0.5, partition=range(8))
 
-    def test_partition_refused_on_data_dependent_plans(self, engine, domain):
-        """DAWA reads the whole histogram, so partition discounts are unsound."""
+    def test_partition_refused_on_data_dependent_plans_unsharded(
+        self, database, domain
+    ):
+        """Unsharded DAWA reads the whole histogram: no partition discount."""
         from repro.core import Workload
         from repro.policy import PolicyGraph
 
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=10.0,
+            default_policy=line_policy(domain),
+            enable_sharding=False,  # force the unsharded execution path
+            random_state=42,
+        )
         session = engine.open_session("alice", 1.0)
         confined = Workload(domain, np.hstack([np.eye(8), np.zeros((8, 8))]))
         # Edge-closed partition (two disconnected segments), so submission
         # passes; the engine's default planner still picks DAWA, which must
-        # refuse the discount at execution.
+        # refuse the discount at execution on the unsharded path.
         split_policy = PolicyGraph(
             domain,
             edges=[(i, i + 1) for i in range(7)]
@@ -384,6 +393,39 @@ class TestPartitionSoundness:
         with pytest.raises(PrivacyBudgetError, match="data dependent"):
             ticket.result()
         assert session.spent() == 0.0
+
+    def test_partition_allowed_on_data_dependent_plans_when_sharded(
+        self, engine, domain
+    ):
+        """Sharded execution confines DAWA to one component: discount is sound.
+
+        Each per-shard invocation reads only its component's cells, and an
+        edge-closed partition is a union of components, so the release is a
+        function of the declared partition alone even for data-dependent
+        plans.
+        """
+        from repro.core import Workload
+        from repro.policy import PolicyGraph
+
+        session = engine.open_session("alice", 1.0)
+        split_policy = PolicyGraph(
+            domain,
+            edges=[(i, i + 1) for i in range(7)]
+            + [(i, i + 1) for i in range(8, 15)],
+        )
+        left = Workload(domain, np.hstack([np.eye(8), np.zeros((8, 8))]))
+        right = Workload(domain, np.hstack([np.zeros((8, 8)), np.eye(8)]))
+        t_left = engine.submit(
+            "alice", left, epsilon=0.8, policy=split_policy, partition=range(8)
+        )
+        t_right = engine.submit(
+            "alice", right, epsilon=0.8, policy=split_policy, partition=range(8, 16)
+        )
+        engine.flush()
+        assert t_left.status == t_right.status == "answered"
+        # Disjoint partitions: max, not sum — 0.8, inside the 1.0 allotment.
+        assert session.spent() == pytest.approx(0.8)
+        assert engine.stats.sharded_batches >= 1
 
     def test_non_integer_partition_rejected(self, engine, domain):
         engine.open_session("alice", 1.0)
