@@ -64,6 +64,14 @@ class PolicyMatrixMechanism(BlowfishMechanism):
     The mechanism is data independent; its error does not depend on the
     database, only on the reconstruction ``W_G A⁺`` and the noise scale
     ``Δ_A / ε``.
+
+    **Serialisability contract.**  Instances pickle end-to-end: a strategy
+    *builder* callable is applied at construction and never stored (only the
+    built :class:`~repro.mechanisms.strategies.Strategy` — sparse matrices —
+    travels), the shared transform re-derives its factorisation lazily, and
+    the workload-transform memo re-hydrates with a fresh lock.  This is what
+    lets the serving engine ship matrix-mechanism plans to worker processes
+    and persist them across restarts.
     """
 
     name = "PolicyMatrixMechanism"

@@ -86,6 +86,20 @@ class TreeTransformMechanism(BlowfishMechanism):
         * ``"auto"`` — monotone when the tree is a path, otherwise
           non-negative;
         * ``"none"`` — leave the estimate untouched.
+
+    Notes
+    -----
+    **Serialisability contract.**  Instances pickle end-to-end (the engine's
+    process-parallel execute backend ships them to worker processes, and the
+    plan store persists them to disk): the shared transforms drop their lazy
+    Gram factorisation and re-derive it deterministically on first use, and
+    the workload-transform memo travels warm with a fresh lock.  One caveat
+    is ``estimator_factory`` — it is stored as given, so passing a lambda or
+    a closure produces a mechanism that answers fine in-process but cannot
+    cross a process boundary (the engine rolls such a batch back with a
+    serialisation error).  Use module-level factories like
+    :func:`laplace_estimator_factory` / :func:`dawa_estimator_factory` when
+    the mechanism must travel.
     """
 
     name = "TreeTransform"

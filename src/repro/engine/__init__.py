@@ -1,16 +1,19 @@
 """repro.engine — a budget-managed, plan-cached private query serving engine.
 
 Turns the one-shot mechanisms of :mod:`repro.blowfish` into a multi-client
-service: an expensive planning path (memoised in a :class:`PlanCache`), a
-fast answering path (a staged **plan → charge → execute → resolve** flush
+service: an expensive planning path (memoised in a :class:`PlanCache`,
+persistable across restarts via ``save_plans``/``load_plans``), a fast
+answering path (a staged **plan → charge → execute → resolve** flush
 pipeline with lock-free planning and lock-free mechanism execution, batched
 invocations, noisy-answer replays at zero budget), per-client sessions whose
 epsilon allotments are reserved from a global
 :class:`~repro.accounting.PrivacyAccountant`, scatter/gather execution over
 per-component :class:`DomainShard`\\ s for multi-component policies (exact
-under parallel composition), and a :class:`BatchingExecutor` front-end that
-accumulates concurrent submissions and auto-flushes on a deadline/size
-trigger.
+under parallel composition), a multi-core execute stage
+(``execute_backend="process"`` ships picklable work units to worker
+processes — :mod:`repro.engine.parallel`), and a :class:`BatchingExecutor`
+front-end that accumulates concurrent submissions and auto-flushes on a
+deadline/size trigger.
 
 Quick start::
 
@@ -34,8 +37,13 @@ Quick start::
 from .answer_cache import AnswerCache, AnswerCacheStats, CachedAnswer
 from .engine import EngineStats, PrivateQueryEngine
 from .executor import BatchingExecutor
+from .parallel import (
+    ExecuteUnit,
+    ProcessExecuteBackend,
+    ThreadExecuteBackend,
+)
 from .pipeline import ANSWERED, PENDING, REFUSED, FlushPipeline, QueryTicket
-from .plan_cache import CachedPlan, PlanCache, PlanCacheStats
+from .plan_cache import PLAN_STORE_FORMAT, CachedPlan, PlanCache, PlanCacheStats
 from .session import ClientSession
 from .sharding import DomainShard, ShardPiece, ShardScatter, ShardSet
 from .signature import (
@@ -56,13 +64,17 @@ __all__ = [
     "ClientSession",
     "DomainShard",
     "EngineStats",
+    "ExecuteUnit",
     "FlushPipeline",
     "PENDING",
+    "PLAN_STORE_FORMAT",
     "PlanCache",
     "PlanCacheStats",
     "PrivateQueryEngine",
+    "ProcessExecuteBackend",
     "QueryTicket",
     "REFUSED",
+    "ThreadExecuteBackend",
     "ShardPiece",
     "ShardScatter",
     "ShardSet",

@@ -65,10 +65,13 @@ class CachedAnswer:
     #: module docstring); the draw id is the bookkeeping the road-mapped
     #: generalised-least-squares upgrade needs to model that correlation.
     #: ``None`` marks measurements from engines or code paths predating the
-    #: tagging.  Sharded batches currently reuse one id for all of their
-    #: per-shard invocations (coarser than the true draw structure, still
-    #: conservative for grouping).
+    #: tagging, and sharded answers gathered from several per-shard
+    #: invocations (their draw structure lives in ``shard_draw_ids``).
     draw_id: Optional[int] = None
+    #: Sharded answers: ``{shard index: draw id}``, one id per per-shard
+    #: invocation the gathered vector mixes.  Two cached answers correlate
+    #: exactly on the shard ids they share.
+    shard_draw_ids: Optional[Dict[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.raw_answers is None:
@@ -136,11 +139,14 @@ class AnswerCache:
         epsilon: float,
         answers: np.ndarray,
         draw_id: Optional[int] = None,
+        shard_draw_ids: Optional[Dict[int, int]] = None,
     ) -> CachedAnswer:
         """Store a freshly paid-for answer vector.
 
         ``draw_id`` tags the mechanism invocation the measurement came from;
-        batch-mates stored with the same id share a noise draw.
+        batch-mates stored with the same id share a noise draw.  Sharded
+        answers pass ``shard_draw_ids`` instead: one id per per-shard
+        invocation the gathered vector mixes.
         """
         key = answer_key(policy, workload, epsilon)
         entry = CachedAnswer(
@@ -149,6 +155,7 @@ class AnswerCache:
             epsilon=float(epsilon),
             answers=np.asarray(answers, dtype=np.float64).copy(),
             draw_id=draw_id,
+            shard_draw_ids=dict(shard_draw_ids) if shard_draw_ids else None,
         )
         with self._lock:
             already_present = key in self._entries
@@ -180,17 +187,24 @@ class AnswerCache:
     def entries_by_draw(self, policy: PolicyGraph) -> Dict[int, List[AnswerKey]]:
         """Group this policy's cached measurements by their noise draw.
 
-        Returns ``{draw_id: [answer keys]}`` for entries that carry a draw id;
-        groups with two or more keys are exactly the batch-mates whose
+        Returns ``{draw_id: [answer keys]}`` for entries that carry draw
+        ids; groups with two or more keys are exactly the batch-mates whose
         measurement errors are correlated (the input the road-mapped GLS
-        consolidation will consume).  Untagged entries are omitted.
+        consolidation will consume).  A sharded answer appears under *every*
+        per-shard draw id it mixes — two gathered answers correlate exactly
+        on the shard invocations they share.  Untagged entries are omitted.
         """
         sig = policy_signature(policy)
         grouped: Dict[int, List[AnswerKey]] = {}
         with self._lock:
             for key in self._by_policy.get(sig, ()):
                 entry = self._entries.get(key)
-                if entry is not None and entry.draw_id is not None:
+                if entry is None:
+                    continue
+                if entry.shard_draw_ids:
+                    for shard_draw_id in entry.shard_draw_ids.values():
+                        grouped.setdefault(shard_draw_id, []).append(key)
+                elif entry.draw_id is not None:
                     grouped.setdefault(entry.draw_id, []).append(key)
         return grouped
 

@@ -10,7 +10,10 @@ maintenance):
 1. **Plan cache** — planning artefacts (``PolicyTransform``, spanners,
    strategy factorisations, transformed workloads) are memoised per
    ``(domain, policy, planner-config)`` in a :class:`~repro.engine.PlanCache`,
-   so repeated queries skip planning entirely.
+   so repeated queries skip planning entirely.  The artefacts are picklable
+   end-to-end, so :meth:`PrivateQueryEngine.save_plans` /
+   :meth:`~PrivateQueryEngine.load_plans` persist them across process
+   lifetimes — a restarted server plans nothing cold.
 2. **Sessions & budget** — each client holds a
    :class:`~repro.engine.ClientSession` whose epsilon allotment is reserved
    from the engine's global :class:`~repro.accounting.PrivacyAccountant`;
@@ -22,7 +25,11 @@ maintenance):
    at all, and resolution takes the stats/cache locks briefly.  Concurrent
    ``flush()`` callers therefore overlap their numerical work instead of
    queueing behind one engine-wide lock; compatible queries within a flush
-   are still answered by **one** vectorised mechanism invocation.
+   are still answered by **one** vectorised mechanism invocation.  With
+   ``execute_workers``/``execute_backend`` the execute stage additionally
+   fans out across threads or **worker processes**
+   (:mod:`repro.engine.parallel`) — true multi-core execution for the
+   GIL-bound mechanism kernels, with backend-independent noise derivations.
 4. **Domain sharding** — policies whose graph decomposes into several
    connected components are served scatter/gather
    (:mod:`repro.engine.sharding`): component-confined workloads are split
@@ -52,9 +59,8 @@ import itertools
 import math
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,11 +71,18 @@ from ..core.workload import Workload
 from ..exceptions import PolicyError, PrivacyBudgetError
 from ..policy.graph import PolicyGraph, is_bottom
 from .answer_cache import AnswerCache
+from .parallel import create_execute_backend
 from .pipeline import ANSWERED, PENDING, REFUSED, STAGES, FlushPipeline, QueryTicket
-from .plan_cache import PlanCache
+from .plan_cache import (
+    PLAN_STORE_FORMAT,
+    CachedPlan,
+    PlanCache,
+    read_plan_store,
+    write_plan_store,
+)
 from .session import ClientSession
 from .sharding import ShardSet
-from .signature import policy_signature
+from .signature import PlanKey, policy_signature
 
 __all__ = [
     "ANSWERED",
@@ -111,6 +124,15 @@ class EngineStats:
     charge_seconds: float = 0.0
     execute_seconds: float = 0.0
     resolve_seconds: float = 0.0
+    #: Which execute backend served the flushes: ``"inline"`` (no pool),
+    #: ``"thread"`` or ``"process"``.
+    execute_backend: str = "inline"
+    #: Work units dispatched to the execute backend (0 for inline engines).
+    worker_dispatches: int = 0
+    #: Parent-side wall-clock spent pickling plans/payloads for the process
+    #: backend (always 0.0 for inline/thread) — the observable cost of
+    #: crossing the process boundary.
+    serialization_seconds: float = 0.0
 
     @property
     def stage_seconds(self) -> Dict[str, float]:
@@ -121,6 +143,12 @@ class EngineStats:
             "execute": self.execute_seconds,
             "resolve": self.resolve_seconds,
         }
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of plan lookups served from the cache (warm-start gauge)."""
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
 
 
 class PrivateQueryEngine:
@@ -158,10 +186,28 @@ class PrivateQueryEngine:
     shard_plan_cache_size:
         LRU capacity of each per-shard plan cache.
     execute_workers:
-        When set (> 1), flushes with several independent batches execute them
-        on a shared worker pool instead of sequentially.  Each worker batch
-        gets its own child noise stream, so a flush's answers then depend on
-        batch grouping rather than submission order.
+        When set (> 1), the execute stage runs on a shared worker pool: the
+        flush's batches are cut into work units (one per unsharded batch, one
+        per touched shard of a sharded batch) and dispatched concurrently.
+        Each unit gets its own child noise stream, so a flush's answers then
+        depend on batch grouping rather than submission order.
+    execute_backend:
+        ``"thread"`` (default) runs work units on an in-process thread pool;
+        ``"process"`` ships them to worker *processes*
+        (:mod:`repro.engine.parallel`), the only way past the GIL for the
+        scipy-sparse mechanism kernels.  The RNG derivation is identical on
+        both backends, so a seeded engine draws the same noise either way —
+        and ε ledgers never depend on the backend at all.  Ignored unless
+        ``execute_workers`` > 1.
+    process_start_method:
+        ``multiprocessing`` start method of the process backend (default
+        ``"spawn"``; ``"fork"`` starts faster but is unsafe with threads).
+        The usual :mod:`multiprocessing` caveat applies: a *script* that
+        builds a process-backed engine at module level must guard it with
+        ``if __name__ == "__main__":`` — spawned workers re-import the main
+        module, and an unguarded script would recurse.  (A worker crash is
+        contained either way: the affected batch's charges roll back and
+        its tickets refuse with a clear error.)
     serialize_flush:
         Compatibility/benchmark switch: when ``True`` the whole pipeline runs
         under one exclusive lock, restoring PR 1's single-lock behaviour
@@ -183,6 +229,8 @@ class PrivateQueryEngine:
         enable_sharding: bool = True,
         shard_plan_cache_size: int = 16,
         execute_workers: Optional[int] = None,
+        execute_backend: str = "thread",
+        process_start_method: str = "spawn",
         serialize_flush: bool = False,
     ) -> None:
         self._database = database
@@ -229,13 +277,24 @@ class PrivateQueryEngine:
         self._shard_sets: "OrderedDict[str, Optional[ShardSet]]" = OrderedDict()
         self._shard_sets_maxsize = 32
         self._shard_lock = threading.Lock()
+        # Cumulative plan-lookup counters of shard sets that left the LRU
+        # (eviction, or replacement by a racing duplicate build) — keeps the
+        # aggregated plan_hits/plan_misses monotonic across snapshots.
+        self._retired_plan_hits = 0
+        self._retired_plan_misses = 0
+        # Per-shard plan entries loaded from a persisted store, applied when
+        # the matching ShardSet is (re)built: {policy signature: {shard
+        # index: [(key, entry), ...]}}.
+        self._saved_shard_plans: Dict[str, Dict[int, list]] = {}
         self._pipeline = FlushPipeline(self)
-        self._execute_pool: Optional[ThreadPoolExecutor] = None
-        if execute_workers is not None and int(execute_workers) > 1:
-            self._execute_pool = ThreadPoolExecutor(
-                max_workers=int(execute_workers),
-                thread_name_prefix="repro-engine-execute",
-            )
+        self._execute_backend = create_execute_backend(
+            execute_backend,
+            0 if execute_workers is None else int(execute_workers),
+            process_start_method=process_start_method,
+        )
+        # Final (name, dispatches, serialization_seconds) captured by close()
+        # so stats snapshots keep reporting the backend's lifetime telemetry.
+        self._closed_backend_stats: Optional[Tuple[str, int, float]] = None
 
     # --------------------------------------------------------------- sessions
     @property
@@ -495,10 +554,33 @@ class PrivateQueryEngine:
             policy, self._database, plan_cache_size=self._shard_plan_cache_size
         )
         with self._shard_lock:
+            previous = self._shard_sets.get(key)
+            if previous is not None:
+                # A racing build published first: adopt it — its per-shard
+                # caches may already be warm, and its lookup counters stay
+                # continuously aggregated.  Builds are deterministic, so the
+                # sets are interchangeable and ours is simply discarded.
+                self._shard_sets.move_to_end(key)
+                return previous
             self._shard_sets[key] = shard_set
             self._shard_sets.move_to_end(key)
             while len(self._shard_sets) > self._shard_sets_maxsize:
-                self._shard_sets.popitem(last=False)
+                _, victim = self._shard_sets.popitem(last=False)
+                self._retire_shard_set(victim)
+            # The saved-plans read happens in the SAME critical section as
+            # the publish: a load_plans() racing this build either updated
+            # _saved_shard_plans before it (we see the entries here) or
+            # snapshots _shard_sets after it (it hydrates the published
+            # set).  Either way the persisted plans apply; hydration is
+            # idempotent, so both happening is fine.
+            saved = (
+                self._saved_shard_plans.get(key) if shard_set is not None else None
+            )
+        if saved:
+            # Warm-start: a persisted store carried per-shard plans for this
+            # policy; shards are deterministic given (policy, database), so
+            # index-aligned absorption is exact.
+            self._hydrate_shard_set(shard_set, saved)
         return shard_set
 
     def shard_count(self, policy: Optional[PolicyGraph] = None) -> int:
@@ -512,6 +594,122 @@ class PrivateQueryEngine:
             raise PolicyError("No policy given and the engine has no default policy")
         shard_set = self._shard_set_for(resolved)
         return len(shard_set) if shard_set is not None else 0
+
+    def _retire_shard_set(self, shard_set: Optional[ShardSet]) -> None:
+        """Fold a departing shard set's lookup counters into the retired
+        totals (caller must hold ``_shard_lock``)."""
+        if shard_set is None:
+            return
+        for shard in shard_set.shards:
+            self._retired_plan_hits += shard.plan_cache.stats.hits
+            self._retired_plan_misses += shard.plan_cache.stats.misses
+
+    @staticmethod
+    def _hydrate_shard_set(
+        shard_set: ShardSet, per_shard: Dict[int, list]
+    ) -> int:
+        """Absorb persisted per-shard plan entries into a shard set's caches."""
+        absorbed = 0
+        for shard in shard_set.shards:
+            entries = per_shard.get(shard.index)
+            if entries:
+                absorbed += shard.plan_cache.absorb(entries)
+        return absorbed
+
+    # ------------------------------------------------------------ persistence
+    def save_plans(self, path: str) -> int:
+        """Persist every cached plan — engine-level and per-shard — to ``path``.
+
+        The store is the serialisation layer's on-disk face: a restarted
+        server that :meth:`load_plans` the file serves the same workload with
+        **zero** cold plans (``stats.plan_cache_hit_rate == 1.0``).  Entries
+        are keyed by content signatures, so loading a store against a
+        different policy/workload mix is harmless — mismatched entries simply
+        never hit.  Stores are pickles: load only stores this deployment
+        wrote itself (see :func:`~repro.engine.plan_cache.read_plan_store`).
+        Returns the number of entries written.
+        """
+        with self._shard_lock:
+            shard_sets = {
+                key: shard_set
+                for key, shard_set in self._shard_sets.items()
+                if shard_set is not None
+            }
+            # Staged entries (loaded from a store but whose policy was never
+            # queried, or whose shard set was LRU-evicted) carry through to
+            # the new store — a load→save cycle must not shrink it.
+            shard_entries: Dict[str, Dict[int, List[Tuple[PlanKey, CachedPlan]]]] = {
+                key: {index: list(entries) for index, entries in per_shard.items()}
+                for key, per_shard in self._saved_shard_plans.items()
+            }
+        for key, shard_set in shard_sets.items():
+            for shard in shard_set.shards:
+                live = shard.plan_cache.export_entries()
+                if not live:
+                    continue
+                # Merge live entries with staged ones per shard index: live
+                # plans are fresher, but staged plans that the small live
+                # cache LRU-evicted must still reach the store.
+                staged = shard_entries.setdefault(key, {}).get(shard.index, [])
+                live_keys = {plan_key for plan_key, _ in live}
+                shard_entries[key][shard.index] = live + [
+                    (plan_key, entry)
+                    for plan_key, entry in staged
+                    if plan_key not in live_keys
+                ]
+        entries = self.plan_cache.export_entries()
+        payload = {
+            "format": PLAN_STORE_FORMAT,
+            "entries": entries,
+            "shard_entries": shard_entries,
+        }
+        write_plan_store(path, payload)
+        return len(entries) + sum(
+            len(per) for shard in shard_entries.values() for per in shard.values()
+        )
+
+    def load_plans(self, path: str) -> int:
+        """Load a persisted plan store; returns the number of entries loaded.
+
+        Engine-level entries go straight into :attr:`plan_cache`; per-shard
+        entries hydrate already-built shard sets immediately and are kept
+        around to hydrate shard sets built later (shard sets are constructed
+        lazily, per policy) — staged entries count toward the return value,
+        since they will serve as soon as their policy is first queried.
+        Raises :class:`~repro.exceptions.MechanismError` on a
+        missing/corrupt file or a format-version mismatch.
+        """
+        payload = read_plan_store(path)
+        loaded = self.plan_cache.absorb(payload["entries"])
+        shard_entries = payload.get("shard_entries", {})
+        with self._shard_lock:
+            built = {
+                key: shard_set
+                for key, shard_set in self._shard_sets.items()
+                if shard_set is not None and key in shard_entries
+            }
+            # Actual-inserted semantics throughout: built shard sets count
+            # what absorb() below really inserts; unbuilt policies count
+            # entries not already staged.  Re-loading the same store (or a
+            # store this engine just saved) is a no-op and returns 0.
+            # Staging merges per shard index — a second store for the same
+            # policy adds to the staged plans instead of replacing them.
+            for key, per_shard in shard_entries.items():
+                staged_policy = self._saved_shard_plans.setdefault(key, {})
+                for index, entries in per_shard.items():
+                    staged = staged_policy.setdefault(index, [])
+                    known = {plan_key for plan_key, _ in staged}
+                    fresh = [
+                        (plan_key, entry)
+                        for plan_key, entry in entries
+                        if plan_key not in known
+                    ]
+                    staged.extend(fresh)
+                    if key not in built:
+                        loaded += len(fresh)
+        for key, shard_set in built.items():
+            loaded += self._hydrate_shard_set(shard_set, shard_entries[key])
+        return loaded
 
     # ------------------------------------------------------------------ stats
     @property
@@ -532,8 +730,37 @@ class PrivateQueryEngine:
                 execute_seconds=self._stage_seconds["execute"],
                 resolve_seconds=self._stage_seconds["resolve"],
             )
+        backend = self._execute_backend
+        if backend is not None:
+            snapshot.execute_backend = backend.name
+            snapshot.worker_dispatches = backend.dispatches
+            snapshot.serialization_seconds = backend.serialization_seconds
+        elif self._closed_backend_stats is not None:
+            # Closed engines flush inline from here on, but the lifetime
+            # telemetry of the backend that served must not read as zeros.
+            (
+                snapshot.execute_backend,
+                snapshot.worker_dispatches,
+                snapshot.serialization_seconds,
+            ) = self._closed_backend_stats
+        # Plan lookups happen in the engine-level cache AND the per-shard
+        # caches (sharded policies plan exclusively through the latter), so
+        # the warm-start gauge aggregates both — a cold sharded server must
+        # not report zero misses, and a warm one must reach hit rate 1.0.
         snapshot.plan_hits = self.plan_cache.stats.hits
         snapshot.plan_misses = self.plan_cache.stats.misses
+        with self._shard_lock:
+            live_shard_sets = [
+                shard_set
+                for shard_set in self._shard_sets.values()
+                if shard_set is not None
+            ]
+            snapshot.plan_hits += self._retired_plan_hits
+            snapshot.plan_misses += self._retired_plan_misses
+        for shard_set in live_shard_sets:
+            for shard in shard_set.shards:
+                snapshot.plan_hits += shard.plan_cache.stats.hits
+                snapshot.plan_misses += shard.plan_cache.stats.misses
         snapshot.answer_hits = self.answer_cache.stats.hits if self.answer_cache else 0
         snapshot.answer_misses = (
             self.answer_cache.stats.misses if self.answer_cache else 0
@@ -557,18 +784,23 @@ class PrivateQueryEngine:
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Release engine resources (the execute worker pool, when present).
+        """Release engine resources (the execute backend, when present).
 
-        Worker threads are not reclaimed by garbage collection, so engines
-        built with ``execute_workers=`` should be closed (or used as context
-        managers) when discarded.  Sessions, caches and the accountant are
-        plain objects and need no teardown; the engine remains usable for
-        session bookkeeping after ``close``, but flushes fall back to inline
-        execution.
+        Worker threads and processes are not reclaimed by garbage
+        collection, so engines built with ``execute_workers=`` should be
+        closed (or used as context managers) when discarded.  Sessions,
+        caches and the accountant are plain objects and need no teardown;
+        the engine remains usable for session bookkeeping after ``close``,
+        but flushes fall back to inline execution.
         """
-        pool, self._execute_pool = self._execute_pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        backend, self._execute_backend = self._execute_backend, None
+        if backend is not None:
+            self._closed_backend_stats = (
+                backend.name,
+                backend.dispatches,
+                backend.serialization_seconds,
+            )
+            backend.close(wait=True)
 
     def __enter__(self) -> "PrivateQueryEngine":
         return self
@@ -577,9 +809,9 @@ class PrivateQueryEngine:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
-        pool = getattr(self, "_execute_pool", None)
-        if pool is not None:
-            pool.shutdown(wait=False)
+        backend = getattr(self, "_execute_backend", None)
+        if backend is not None:
+            backend.close(wait=False)
 
     def _spawn_flush_rng(self) -> np.random.Generator:
         """Child generator for one flush (caller must hold the queue lock).

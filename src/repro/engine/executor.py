@@ -69,6 +69,10 @@ class BatchingExecutor:
         self._condition = threading.Condition()
         self._deadline: Optional[float] = None
         self._closed = False
+        self._drained = threading.Event()
+        #: Size-trigger flushes currently running in submitter threads;
+        #: close() waits for them so its drain contract covers every ticket.
+        self._inflight_flushes = 0
         self._flusher = threading.Thread(
             target=self._flush_loop, name="repro-engine-flusher", daemon=True
         )
@@ -76,14 +80,38 @@ class BatchingExecutor:
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Stop the background flusher after flushing any stragglers."""
+        """Stop the background flusher and drain every queued submission.
+
+        Deterministic teardown contract: when ``close`` returns, the deadline
+        flusher has been joined, every in-flight size-trigger flush has
+        completed, and every ticket this executor accepted is resolved
+        (answered or refused) — a ``submit`` racing ``close`` either lands
+        before the closed flag flips (its ticket is drained by an in-flight
+        or the final flush) or observes the flag and raises; never a
+        stranded ticket.  Concurrent ``close`` callers all block until the
+        drain completed, so no caller can observe a half-closed executor.
+        """
         with self._condition:
-            if self._closed:
-                return
+            first_closer = not self._closed
             self._closed = True
             self._condition.notify_all()
-        self._flusher.join()
-        self._engine.flush()
+        if not first_closer:
+            self._drained.wait()
+            return
+        try:
+            self._flusher.join()
+            # Size-trigger flushes run in submitter threads; wait them out
+            # so "every accepted ticket is resolved" holds when we return.
+            with self._condition:
+                while self._inflight_flushes:
+                    self._condition.wait()
+            # The closed flag was set before this flush, and submits check
+            # the flag atomically with their enqueue — so this final flush
+            # observes every ticket that was ever accepted and not yet
+            # resolved by a size-trigger or deadline flush.
+            self._engine.flush()
+        finally:
+            self._drained.set()
 
     def __enter__(self) -> "BatchingExecutor":
         return self
@@ -127,11 +155,17 @@ class BatchingExecutor:
                 self._condition.notify_all()
             if self._engine.pending_count >= self._max_batch_size:
                 flush_now = True
+                self._inflight_flushes += 1
         if flush_now:
             # Size trigger: flush in the submitting thread.  Concurrent
             # submitters each drive their own pipeline run, overlapping
             # mechanism execution across threads.
-            self._engine.flush()
+            try:
+                self._engine.flush()
+            finally:
+                with self._condition:
+                    self._inflight_flushes -= 1
+                    self._condition.notify_all()
         return ticket
 
     def ask(

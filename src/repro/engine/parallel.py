@@ -1,0 +1,327 @@
+"""Execute-stage worker backends: thread pool and **process pool**.
+
+The staged pipeline (:mod:`repro.engine.pipeline`) made flushes overlap, but
+in one process the GIL still bounds the execute stage: the scipy-sparse
+mechanism kernels hold it, so thread workers buy concurrency, not CPU
+parallelism.  This module runs the execute stage across **cores** instead,
+following the hybrid-engine separation of serving and analytical resources:
+mechanism execution is cut into :class:`ExecuteUnit` work units — one per
+unsharded batch, one per touched :class:`~repro.engine.DomainShard` of a
+sharded batch (shard databases are small and independent) — and a backend
+runs them on a pool.
+
+Two backends share one contract (``submit(unit) -> Future[List[ndarray]]``):
+
+* :class:`ThreadExecuteBackend` — the in-process pool.  No serialisation;
+  units execute on shared objects.
+* :class:`ProcessExecuteBackend` — a ``ProcessPoolExecutor``.  Every unit is
+  shipped as ``(plan key, plan blob, database token, database blob,
+  pickled (workloads, rng))``; plan and database *pickling* is memoised on
+  both sides (parent keeps blobs, workers keep re-hydrated objects by
+  key/token), so a steady-state dispatch serialises only workloads + RNG —
+  though the memoised blobs still cross the pipe each dispatch (tasks
+  cannot be targeted at a specific worker, so the parent cannot know which
+  worker already holds them; a miss-only blob protocol is a road-mapped
+  refinement for very large histograms).  All parent-side serialisation
+  time is accounted (:attr:`serialization_seconds`, surfaced via
+  :attr:`~repro.engine.EngineStats.serialization_seconds`).
+
+Determinism: the backends never touch the noise stream — the pipeline spawns
+one RNG child per work unit with the **same derivation on every backend**, so
+a seeded engine produces identical draws under ``execute_backend="thread"``
+and ``"process"`` (and byte-identical ε ledgers, which never depend on the
+backend at all: charges happen before execution).
+
+Worker processes default to the ``spawn`` start method: ``fork`` from an
+engine that already runs flusher/worker threads can clone held locks into
+the child.  Spawned workers import the library once (~0.5 s) and then
+persist across flushes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.database import Database
+from ..core.workload import Workload
+from .plan_cache import CachedPlan
+from .signature import PlanKey
+
+__all__ = [
+    "ExecuteUnit",
+    "ProcessExecuteBackend",
+    "ThreadExecuteBackend",
+    "create_execute_backend",
+    "run_unit",
+]
+
+
+@dataclass
+class ExecuteUnit:
+    """One shippable slice of the execute stage.
+
+    A unit is the quadruple the tentpole names — ``(plan, sub-histogram, ε,
+    RNG seed)``: the plan carries its ε in the key, ``database`` is the full
+    histogram for unsharded batches or the projected shard histogram for
+    per-shard units, and ``rng`` is the unit's own spawned child stream
+    (never shared between units).
+    """
+
+    plan: CachedPlan
+    workloads: List[Workload]
+    database: Database
+    rng: np.random.Generator = field(repr=False)
+
+
+def run_unit(
+    plan: CachedPlan,
+    workloads: List[Workload],
+    database: Database,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Execute one unit: one vectorised mechanism invocation.
+
+    Shared by every backend (and by the worker-process side), so thread and
+    process execution run byte-for-byte the same code on the same inputs.
+    """
+    algorithm = plan.plan.algorithm
+    if len(workloads) == 1:
+        vectors = [algorithm.answer(workloads[0], database, rng)]
+    else:
+        vectors = algorithm.answer_batch(workloads, database, rng)
+    return [np.asarray(vector, dtype=np.float64) for vector in vectors]
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side.
+# ---------------------------------------------------------------------------
+#: Per-worker memo of re-hydrated plans.  Worker processes persist across
+#: flushes, so a hot plan is unpickled once and its internal caches (workload
+#: transforms, Gram factorisation) stay warm from then on.
+_WORKER_PLANS: "OrderedDict[PlanKey, CachedPlan]" = OrderedDict()
+_WORKER_PLANS_MAXSIZE = 32
+
+#: Per-worker memo of re-hydrated databases, keyed by the parent-side token
+#: (tokens are unique per backend instance, so a recycled ``id()`` in the
+#: parent can never alias a stale histogram here).
+_WORKER_DATABASES: "OrderedDict[Tuple[int, int], Database]" = OrderedDict()
+_WORKER_DATABASES_MAXSIZE = 64
+
+
+def _execute_in_worker(
+    plan_key: PlanKey,
+    plan_blob: bytes,
+    database_token: Tuple[int, int],
+    database_blob: bytes,
+    payload_blob: bytes,
+) -> List[np.ndarray]:
+    """Worker entry point: re-hydrate (or recall) plan + database, run the unit."""
+    plan = _WORKER_PLANS.get(plan_key)
+    if plan is None:
+        plan = pickle.loads(plan_blob)
+        _WORKER_PLANS[plan_key] = plan
+        while len(_WORKER_PLANS) > _WORKER_PLANS_MAXSIZE:
+            _WORKER_PLANS.popitem(last=False)
+    else:
+        _WORKER_PLANS.move_to_end(plan_key)
+    database = _WORKER_DATABASES.get(database_token)
+    if database is None:
+        database = pickle.loads(database_blob)
+        _WORKER_DATABASES[database_token] = database
+        while len(_WORKER_DATABASES) > _WORKER_DATABASES_MAXSIZE:
+            _WORKER_DATABASES.popitem(last=False)
+    else:
+        _WORKER_DATABASES.move_to_end(database_token)
+    workloads, rng = pickle.loads(payload_blob)
+    return run_unit(plan, workloads, database, rng)
+
+
+# ---------------------------------------------------------------------------
+# Backends.
+# ---------------------------------------------------------------------------
+class ThreadExecuteBackend:
+    """Execute units on an in-process thread pool (concurrency, shared GIL)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int) -> None:
+        self._pool = ThreadPoolExecutor(
+            max_workers=int(max_workers),
+            thread_name_prefix="repro-engine-execute",
+        )
+        self._counter_lock = threading.Lock()
+        self._dispatches = 0
+
+    @property
+    def dispatches(self) -> int:
+        """Number of work units handed to the pool so far."""
+        with self._counter_lock:
+            return self._dispatches
+
+    @property
+    def serialization_seconds(self) -> float:
+        """Always zero: units execute in-process on shared objects."""
+        return 0.0
+
+    def submit(self, unit: ExecuteUnit) -> "Future[List[np.ndarray]]":
+        """Schedule one unit; raises ``RuntimeError`` once closed."""
+        future = self._pool.submit(
+            run_unit, unit.plan, unit.workloads, unit.database, unit.rng
+        )
+        with self._counter_lock:
+            self._dispatches += 1
+        return future
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down; subsequent submits raise ``RuntimeError``."""
+        self._pool.shutdown(wait=wait)
+
+
+class ProcessExecuteBackend:
+    """Execute units on a ``ProcessPoolExecutor`` — real multi-core execution.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-process count.
+    start_method:
+        ``multiprocessing`` start method.  The default ``"spawn"`` is safe in
+        the presence of engine/executor threads; ``"fork"`` starts faster on
+        POSIX but clones the parent's thread-held locks.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int, start_method: str = "spawn") -> None:
+        context = multiprocessing.get_context(start_method)
+        self._pool = ProcessPoolExecutor(
+            max_workers=int(max_workers), mp_context=context
+        )
+        self._counter_lock = threading.Lock()
+        self._dispatches = 0
+        self._serialization_seconds = 0.0
+        # Parent-side memo of plan pickles: a hot plan is serialised once,
+        # then every later dispatch reuses the bytes (sending bytes is a
+        # memcpy; re-pickling sparse strategy matrices is not).
+        self._blob_lock = threading.Lock()
+        self._plan_blobs: "OrderedDict[PlanKey, bytes]" = OrderedDict()
+        self._plan_blobs_maxsize = _WORKER_PLANS_MAXSIZE
+        # Same for databases, which are immutable for the engine's lifetime
+        # (full histogram for unsharded units, projected shard histograms
+        # otherwise).  Keyed by object identity — each memo entry pins its
+        # database, so a recycled id() can never alias — and shipped with a
+        # per-backend-unique token the worker memoises re-hydration under.
+        self._db_tokens = itertools.count(1)
+        self._db_blobs: "OrderedDict[int, Tuple[Database, Tuple[int, int], bytes]]" = (
+            OrderedDict()
+        )
+        self._db_blobs_maxsize = _WORKER_DATABASES_MAXSIZE
+
+    @property
+    def dispatches(self) -> int:
+        """Number of work units shipped to worker processes so far."""
+        with self._counter_lock:
+            return self._dispatches
+
+    @property
+    def serialization_seconds(self) -> float:
+        """Total parent-side wall-clock spent pickling plans and payloads."""
+        with self._counter_lock:
+            return self._serialization_seconds
+
+    def _plan_blob(self, plan: CachedPlan) -> bytes:
+        with self._blob_lock:
+            blob = self._plan_blobs.get(plan.key)
+            if blob is not None:
+                self._plan_blobs.move_to_end(plan.key)
+                return blob
+        blob = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._blob_lock:
+            self._plan_blobs[plan.key] = blob
+            self._plan_blobs.move_to_end(plan.key)
+            while len(self._plan_blobs) > self._plan_blobs_maxsize:
+                self._plan_blobs.popitem(last=False)
+        return blob
+
+    def _database_blob(self, database: Database) -> Tuple[Tuple[int, int], bytes]:
+        key = id(database)
+        with self._blob_lock:
+            entry = self._db_blobs.get(key)
+            if entry is not None and entry[0] is database:
+                self._db_blobs.move_to_end(key)
+                return entry[1], entry[2]
+        token = (id(self), next(self._db_tokens))
+        blob = pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._blob_lock:
+            self._db_blobs[key] = (database, token, blob)
+            self._db_blobs.move_to_end(key)
+            while len(self._db_blobs) > self._db_blobs_maxsize:
+                self._db_blobs.popitem(last=False)
+        return token, blob
+
+    def submit(self, unit: ExecuteUnit) -> "Future[List[np.ndarray]]":
+        """Serialise and ship one unit; raises ``RuntimeError`` once closed.
+
+        Plan and database pickles are memoised (both are immutable for the
+        engine's lifetime), so a steady-state dispatch serialises only the
+        workloads and the RNG child.  Serialisation failures (e.g. a plan
+        holding an unpicklable custom estimator factory) raise here, *before*
+        anything is scheduled — the pipeline turns that into a rolled-back
+        batch, exactly like a mechanism failure.
+        """
+        started = time.perf_counter()
+        plan_blob = self._plan_blob(unit.plan)
+        database_token, database_blob = self._database_blob(unit.database)
+        payload_blob = pickle.dumps(
+            (unit.workloads, unit.rng), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        elapsed = time.perf_counter() - started
+        future = self._pool.submit(
+            _execute_in_worker,
+            unit.plan.key,
+            plan_blob,
+            database_token,
+            database_blob,
+            payload_blob,
+        )
+        with self._counter_lock:
+            self._dispatches += 1
+            self._serialization_seconds += elapsed
+        return future
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker processes down; subsequent submits raise."""
+        self._pool.shutdown(wait=wait)
+
+
+def create_execute_backend(
+    backend: str,
+    max_workers: int,
+    process_start_method: str = "spawn",
+) -> Optional[object]:
+    """Build the execute backend the engine was configured with.
+
+    Returns ``None`` for ``max_workers`` of 1 or less — the pipeline then
+    executes inline on the flushing thread, exactly as without a pool.
+    """
+    if backend not in ("thread", "process"):
+        raise ValueError(
+            f"Unknown execute backend {backend!r}; expected 'thread' or 'process'"
+        )
+    if max_workers is None or int(max_workers) <= 1:
+        return None
+    if backend == "thread":
+        return ThreadExecuteBackend(max_workers=int(max_workers))
+    return ProcessExecuteBackend(
+        max_workers=int(max_workers), start_method=process_start_method
+    )

@@ -15,9 +15,15 @@ mirroring the HTAP separation of transactional and analytical paths:
    microseconds of a check-then-append.  Refusals resolve tickets
    immediately; admissions record the charged operation for rollback.
 3. **execute** — outside any lock.  ``Mechanism.answer_batch`` runs on the
-   flushing thread (or on worker threads when the engine has an execute
-   pool), so concurrent flushes overlap their numerical work.  A failure here
-   rolls every charge of the batch back via
+   flushing thread, or the batch work is cut into
+   :class:`~repro.engine.parallel.ExecuteUnit` work units (one per unsharded
+   batch, one per touched shard of a sharded batch) and dispatched to the
+   engine's execute backend — an in-process thread pool or a **process
+   pool** that runs mechanism kernels across cores
+   (:mod:`repro.engine.parallel`).  Every unit gets its own spawned RNG
+   child stream with the same derivation on every backend, so a seeded
+   engine draws identical noise under ``"thread"`` and ``"process"``.  A
+   failure here rolls every charge of the batch back via
    :meth:`~repro.accounting.PrivacyAccountant.rollback` — nothing was
    released, so nothing may be billed.
 4. **resolve** — back under the (stats/cache) locks: ticket statuses, session
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -44,6 +51,7 @@ import numpy as np
 from ..core.workload import Workload
 from ..exceptions import MechanismError, PrivacyBudgetError
 from ..policy.graph import PolicyGraph
+from .parallel import ExecuteUnit, run_unit
 from .plan_cache import CachedPlan
 from .session import ClientSession
 from .sharding import ShardScatter, ShardSet
@@ -87,7 +95,16 @@ class QueryTicket:
     #: Identifier of the mechanism invocation that produced the answer.
     #: Batch-mates share a draw id because their noise came from one
     #: invocation — the correlation the road-mapped GLS consolidation needs.
+    #: Set whenever the answer came from exactly one invocation (unsharded,
+    #: or sharded touching a single shard — then it equals that shard's
+    #: entry in the mapping below); ``None`` only for answers gathered from
+    #: several per-shard invocations, where no single draw exists.
     draw_id: Optional[int] = None
+    #: Sharded answers: ``{shard index: draw id}`` — one id per per-shard
+    #: mechanism invocation.  Batch-mates touching the same shard share that
+    #: shard's id; the per-shard resolution is exactly what generalised
+    #: least squares over the draw correlation structure needs.
+    shard_draw_ids: Optional[Dict[int, int]] = None
     _resolved: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
@@ -135,6 +152,10 @@ class PlannedBatch:
     #: Per-admitted-ticket answer vectors (aligned with ``admitted``).
     results: Optional[List[np.ndarray]] = None
     invocations: int = 0
+    #: Sharded path: the sorted shard indices that were invoked, in the
+    #: order execution ran them — one draw id is allocated per entry at
+    #: resolve time.
+    shard_indices: Optional[List[int]] = None
 
     @property
     def sharded(self) -> bool:
@@ -178,7 +199,9 @@ class FlushPipeline:
                     ticket.policy, ticket.workload, ticket.epsilon
                 )
                 if cached is not None:
-                    self._resolve_replay(ticket, cached.answers, cached.draw_id)
+                    self._resolve_replay(
+                        ticket, cached.answers, cached.draw_id, cached.shard_draw_ids
+                    )
                     continue
                 seen_keys[key] = ticket
             to_execute.append(ticket)
@@ -202,7 +225,12 @@ class FlushPipeline:
                         # replay counter.
                         if engine.answer_cache is not None:
                             engine.answer_cache.count_follower_hit()
-                        self._resolve_replay(ticket, leader.answers, leader.draw_id)
+                        self._resolve_replay(
+                            ticket,
+                            leader.answers,
+                            leader.draw_id,
+                            leader.shard_draw_ids,
+                        )
                     continue
                 promoted, rest = duplicate_tickets[0], duplicate_tickets[1:]
                 seen_keys[key] = promoted
@@ -413,59 +441,141 @@ class FlushPipeline:
         """Stage 3: run every batch's mechanism work outside all locks."""
         engine = self._engine
         runnable = [batch for batch in batches if batch.admitted]
-        pool = engine._execute_pool
-        if pool is not None and len(runnable) > 1:
-            # Independent child streams: concurrent invocations must never
-            # share one generator (spawning is deterministic, so a seeded
-            # engine stays reproducible run-to-run).
-            child_rngs = self._spawn_children(rng, len(runnable))
-            futures = []
-            try:
-                for batch, child in zip(runnable, child_rngs):
-                    futures.append(pool.submit(self._execute_one, batch, child))
-            except RuntimeError:
-                # engine.close() shut the pool down mid-flush: finish the
-                # unsubmitted batches inline so every charge still reaches
-                # execute/rollback and every ticket resolves.
-                for batch, child in zip(
-                    runnable[len(futures) :], child_rngs[len(futures) :]
-                ):
-                    self._execute_one(batch, child)
-            for future in futures:
-                future.result()  # _execute_one never raises
-        else:
+        if not runnable:
+            return
+        backend = engine._execute_backend
+        if backend is None:
             for batch in runnable:
                 self._execute_one(batch, rng)
+            return
+        self._execute_on_backend(backend, runnable, rng)
 
-    def _execute_one(self, batch: PlannedBatch, rng: np.random.Generator) -> None:
-        """Answer one batch; on failure record the error for rollback."""
-        try:
-            if batch.sharded:
-                batch.results, batch.invocations = self._answer_sharded(batch, rng)
-            else:
-                batch.results, batch.invocations = self._answer_unsharded(batch, rng)
-        except Exception as exc:
-            batch.execute_error = (
-                f"Batch execution failed (charge rolled back): {exc}"
-            )
+    def _execute_on_backend(
+        self,
+        backend,
+        runnable: List[PlannedBatch],
+        rng: np.random.Generator,
+    ) -> None:
+        """Cut batches into work units and run them on the execute backend.
 
-    def _answer_unsharded(
+        The RNG derivation is backend-independent: one child stream per
+        runnable batch (in batch order), and per-shard grandchildren (in
+        sorted shard order) for sharded batches — so a seeded engine draws
+        identical noise whether units run on threads or worker processes.
+        """
+        child_rngs = self._spawn_children(rng, len(runnable))
+        units_by_batch: List[Tuple[PlannedBatch, List[Tuple[ExecuteUnit, Optional[list]]]]] = []
+        for batch, child in zip(runnable, child_rngs):
+            try:
+                units_by_batch.append((batch, self._units_for(batch, child)))
+            except Exception as exc:
+                batch.execute_error = (
+                    f"Batch execution failed (charge rolled back): {exc}"
+                )
+        if sum(len(units) for _, units in units_by_batch) <= 1:
+            # A lone unit gains nothing from the pool but pays its full
+            # dispatch cost (pickling + IPC on the process backend): run it
+            # here.  The derivation above already fixed the unit's RNG, so
+            # draws do not depend on where it executes.
+            for batch, units in units_by_batch:
+                results = []
+                try:
+                    for unit, entries in units:
+                        vectors = run_unit(
+                            unit.plan, unit.workloads, unit.database, unit.rng
+                        )
+                        results.append((entries, vectors))
+                except Exception as exc:
+                    batch.execute_error = (
+                        f"Batch execution failed (charge rolled back): {exc}"
+                    )
+                    continue
+                self._assemble_batch(batch, results)
+            return
+
+        # (batch, unit, gather bookkeeping, future-or-None) per work unit.
+        submissions: List[Tuple[PlannedBatch, ExecuteUnit, Optional[list], object]] = []
+        for batch, units in units_by_batch:
+            for unit, entries in units:
+                if batch.execute_error is not None:
+                    break
+                try:
+                    future = backend.submit(unit)
+                except BrokenExecutor as exc:
+                    # A crashed worker pool is NOT the engine-close case
+                    # (BrokenProcessPool subclasses RuntimeError): re-running
+                    # the unit inline could re-crash the serving process if
+                    # the unit itself killed the worker.  Roll the batch back
+                    # with a clear error instead.
+                    batch.execute_error = (
+                        f"Batch execution failed (charge rolled back): "
+                        f"execute worker pool broke: {exc}"
+                    )
+                    continue
+                except RuntimeError:
+                    # engine.close() shut the backend down mid-flush: finish
+                    # inline so every charge still reaches execute/rollback
+                    # and every ticket resolves.
+                    future = None
+                except Exception as exc:
+                    # Serialisation failure (process backend): the batch
+                    # rolls back exactly like a mechanism failure.
+                    batch.execute_error = (
+                        f"Batch execution failed (charge rolled back): {exc}"
+                    )
+                    continue
+                submissions.append((batch, unit, entries, future))
+
+        unit_results: Dict[int, List[Tuple[Optional[list], List[np.ndarray]]]] = {}
+        for batch, unit, entries, future in submissions:
+            if batch.execute_error is not None:
+                if future is not None:
+                    try:
+                        future.result()  # drain; result is discarded
+                    except Exception:
+                        pass
+                continue
+            try:
+                vectors = (
+                    future.result()
+                    if future is not None
+                    else run_unit(unit.plan, unit.workloads, unit.database, unit.rng)
+                )
+            except Exception as exc:
+                batch.execute_error = (
+                    f"Batch execution failed (charge rolled back): {exc}"
+                )
+                continue
+            unit_results.setdefault(id(batch), []).append((entries, vectors))
+
+        for batch in runnable:
+            if batch.execute_error is not None:
+                continue
+            self._assemble_batch(batch, unit_results.get(id(batch), []))
+
+    def _units_for(
         self, batch: PlannedBatch, rng: np.random.Generator
-    ) -> Tuple[List[np.ndarray], int]:
-        workloads = [ticket.workload for ticket in batch.admitted]
-        assert batch.entry is not None
-        algorithm = batch.entry.plan.algorithm
-        if len(workloads) == 1:
-            answers = [algorithm.answer(workloads[0], self._engine._database, rng)]
-        else:
-            answers = algorithm.answer_batch(workloads, self._engine._database, rng)
-        return list(answers), 1
+    ) -> List[Tuple[ExecuteUnit, Optional[list]]]:
+        """Build the work units of one batch (and their gather bookkeeping).
 
-    def _answer_sharded(
-        self, batch: PlannedBatch, rng: np.random.Generator
-    ) -> Tuple[List[np.ndarray], int]:
-        """Scatter the batch across shards, one invocation per touched shard."""
+        Unsharded batches become one unit over the full database, executing
+        on ``rng`` itself; sharded batches one unit per touched shard, each
+        with its own child stream spawned in sorted shard order (on every
+        backend, inline included, so the derivation is backend-independent).
+        The second tuple element carries the ``(ticket position, piece
+        index)`` entries needed to gather shard results, ``None`` for
+        unsharded units.
+        """
         engine = self._engine
+        if not batch.sharded:
+            assert batch.entry is not None
+            unit = ExecuteUnit(
+                plan=batch.entry,
+                workloads=[ticket.workload for ticket in batch.admitted],
+                database=engine._database,
+                rng=rng,
+            )
+            return [(unit, None)]
         assert batch.scatters is not None
         jobs: Dict[int, List[Tuple[int, int, object]]] = {}
         for position, ticket in enumerate(batch.admitted):
@@ -474,27 +584,47 @@ class FlushPipeline:
                 jobs.setdefault(piece.shard.index, []).append(
                     (position, piece_index, piece)
                 )
-        piece_vectors: Dict[Tuple[int, int], np.ndarray] = {}
-        invocations = 0
-        for shard_index in sorted(jobs):
+        shard_order = sorted(jobs)
+        batch.shard_indices = list(shard_order)
+        shard_rngs = self._spawn_children(rng, len(shard_order))
+        units: List[Tuple[ExecuteUnit, Optional[list]]] = []
+        for shard_index, shard_rng in zip(shard_order, shard_rngs):
             entries = jobs[shard_index]
             shard = entries[0][2].shard  # type: ignore[attr-defined]
-            plan = shard.plan_cache.plan_for(
+            plan = shard.plan_cache.plan_for(  # memoised in the plan stage
                 shard.policy,
                 batch.epsilon,
                 prefer_data_dependent=engine._prefer_data_dependent,
                 consistency=engine._consistency,
             )
-            sub_workloads = [piece.workload for _, _, piece in entries]  # type: ignore[attr-defined]
-            if len(sub_workloads) == 1:
-                vectors = [plan.plan.algorithm.answer(sub_workloads[0], shard.database, rng)]
-            else:
-                vectors = plan.plan.algorithm.answer_batch(
-                    sub_workloads, shard.database, rng
-                )
+            unit = ExecuteUnit(
+                plan=plan,
+                workloads=[piece.workload for _, _, piece in entries],  # type: ignore[attr-defined]
+                database=shard.database,
+                rng=shard_rng,
+            )
+            units.append((unit, entries))
+        return units
+
+    def _assemble_batch(
+        self,
+        batch: PlannedBatch,
+        results: List[Tuple[Optional[list], List[np.ndarray]]],
+    ) -> None:
+        """Reassemble a batch's unit results into per-ticket answer vectors."""
+        if not results:
+            batch.execute_error = "Batch execution produced no results"
+            return
+        if not batch.sharded:
+            _, vectors = results[0]
+            batch.results, batch.invocations = list(vectors), 1
+            return
+        assert batch.scatters is not None
+        piece_vectors: Dict[Tuple[int, int], np.ndarray] = {}
+        for entries, vectors in results:
+            assert entries is not None
             for (position, piece_index, _), vector in zip(entries, vectors):
                 piece_vectors[(position, piece_index)] = np.asarray(vector)
-            invocations += 1
         gathered: List[np.ndarray] = []
         for position, ticket in enumerate(batch.admitted):
             scatter = batch.scatters[ticket.ticket_id]
@@ -503,7 +633,30 @@ class FlushPipeline:
                 for piece_index in range(len(scatter.pieces))
             ]
             gathered.append(scatter.gather(vectors))
-        return gathered, invocations
+        batch.results, batch.invocations = gathered, len(results)
+
+    def _execute_one(self, batch: PlannedBatch, rng: np.random.Generator) -> None:
+        """Inline execute: the backends' unit/gather code, run sequentially.
+
+        One code path for every backend — the same :meth:`_units_for` cuts
+        the batch, the same :func:`run_unit` answers each unit, the same
+        :meth:`_assemble_batch` gathers — so inline and pooled engines can
+        never diverge in scatter/gather semantics.
+        """
+        try:
+            units = self._units_for(batch, rng)
+            results = [
+                (
+                    entries,
+                    run_unit(unit.plan, unit.workloads, unit.database, unit.rng),
+                )
+                for unit, entries in units
+            ]
+            self._assemble_batch(batch, results)
+        except Exception as exc:
+            batch.execute_error = (
+                f"Batch execution failed (charge rolled back): {exc}"
+            )
 
     def _resolve_batch(self, batch: PlannedBatch) -> None:
         """Stage 4: rollbacks for failures, then answers, counters and caches."""
@@ -520,12 +673,30 @@ class FlushPipeline:
             for ticket in batch.admitted:
                 self._refuse(ticket, error, count_session=True)
             return
-        draw_id = engine._next_draw_id()
         with engine._stats_lock:
             engine._batches += 1
             engine._invocations += batch.invocations
             if batch.sharded:
                 engine._sharded_batches += 1
+        if batch.sharded and batch.shard_indices:
+            # One draw id per per-shard mechanism invocation: batch-mates
+            # touching the same shard share that shard's id, and a ticket's
+            # gathered answer records exactly which draws it mixes.
+            shard_ids = {
+                index: engine._next_draw_id() for index in batch.shard_indices
+            }
+            for ticket, vector in zip(batch.admitted, batch.results):
+                assert batch.scatters is not None
+                mapping = {
+                    piece.shard.index: shard_ids[piece.shard.index]
+                    for piece in batch.scatters[ticket.ticket_id].pieces
+                }
+                single = next(iter(mapping.values())) if len(mapping) == 1 else None
+                self._resolve_answer(
+                    ticket, vector, single, shard_draw_ids=mapping
+                )
+            return
+        draw_id = engine._next_draw_id()
         for ticket, vector in zip(batch.admitted, batch.results):
             self._resolve_answer(ticket, vector, draw_id)
 
@@ -535,6 +706,7 @@ class FlushPipeline:
         ticket: QueryTicket,
         answers: np.ndarray,
         draw_id: Optional[int],
+        shard_draw_ids: Optional[Dict[int, int]] = None,
     ) -> None:
         """Resolve a ticket from an already-paid-for answer vector (zero ε)."""
         engine = self._engine
@@ -542,6 +714,7 @@ class FlushPipeline:
         ticket.status = ANSWERED
         ticket.from_cache = True
         ticket.draw_id = draw_id
+        ticket.shard_draw_ids = dict(shard_draw_ids) if shard_draw_ids else None
         with ticket.session.accountant.lock:
             ticket.session.cache_replays += 1
             ticket.session.queries_answered += 1
@@ -551,12 +724,17 @@ class FlushPipeline:
         ticket._resolved.set()
 
     def _resolve_answer(
-        self, ticket: QueryTicket, vector: np.ndarray, draw_id: int
+        self,
+        ticket: QueryTicket,
+        vector: np.ndarray,
+        draw_id: Optional[int],
+        shard_draw_ids: Optional[Dict[int, int]] = None,
     ) -> None:
         engine = self._engine
         ticket.answers = np.asarray(vector, dtype=np.float64)
         ticket.status = ANSWERED
         ticket.draw_id = draw_id
+        ticket.shard_draw_ids = dict(shard_draw_ids) if shard_draw_ids else None
         with ticket.session.accountant.lock:
             ticket.session.queries_answered += 1
         with engine._stats_lock:
@@ -568,6 +746,7 @@ class FlushPipeline:
                 ticket.epsilon,
                 ticket.answers,
                 draw_id=draw_id,
+                shard_draw_ids=ticket.shard_draw_ids,
             )
         ticket._resolved.set()
 

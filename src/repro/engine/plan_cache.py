@@ -12,24 +12,46 @@ Repeated queries also skip the sparse product ``W_G = W' P_G``: the cached
 mechanisms key their internal workload caches by content signature, so an
 equal-but-distinct :class:`~repro.core.Workload` object (what a serving
 engine sees on every client request) hits.
+
+Plans are **serialisable**: every artefact inside a :class:`CachedPlan`
+(transform, spanner, strategy, mechanism) pickles, which powers two engine
+features — shipping plans to worker processes (the process-parallel execute
+backend of :mod:`repro.engine.parallel`) and **persistence**
+(:meth:`PlanCache.save` / :meth:`PlanCache.load`), so a restarted server
+skips cold planning entirely.  Persisted stores are versioned: the file
+carries a format version, and entries are keyed by content signatures
+(domain, policy, planner config), so a store saved under one workload/policy
+mix simply never hits for another — stale entries are inert, not wrong.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..blowfish.planner import Plan, plan_mechanism
+from ..exceptions import MechanismError
 from ..policy.graph import PolicyGraph
 from ..policy.transform import PolicyTransform
 from .signature import PlanKey, plan_key
 
+#: On-disk format version of persisted plan stores.  Bump on any change to
+#: the pickled layout that a loader cannot transparently absorb.
+PLAN_STORE_FORMAT = 1
+
 
 @dataclass
 class CachedPlan:
-    """One memoised planning result: the plan plus its shared transform."""
+    """One memoised planning result: the plan plus its shared transform.
+
+    The whole bundle pickles (the transform drops its lazy Gram factorisation
+    and re-derives it on first use), so cached plans can cross process
+    boundaries and process restarts.
+    """
 
     key: PlanKey
     policy: PolicyGraph
@@ -124,3 +146,125 @@ class PlanCache:
         """Drop every entry (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+
+    # ------------------------------------------------------------ persistence
+    def export_entries(self) -> List[Tuple[PlanKey, CachedPlan]]:
+        """Snapshot the entries in LRU order (oldest first), for persistence."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def absorb(self, entries: List[Tuple[PlanKey, CachedPlan]]) -> int:
+        """Insert pre-planned entries, evicting LRU-style past ``maxsize``.
+
+        Existing entries under the same key are left in place (they are
+        interchangeable — plans are deterministic functions of the key).
+        Returns the number of inserted entries that actually *survived*:
+        absorbing a store larger than ``maxsize`` reports only what the
+        cache can serve warm, not what it momentarily held.
+        """
+        inserted: List[PlanKey] = []
+        with self._lock:
+            for key, entry in entries:
+                if key in self._entries:
+                    continue
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                inserted.append(key)
+                while len(self._entries) > self._maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            return sum(1 for key in inserted if key in self._entries)
+
+    def save(self, path: str) -> int:
+        """Persist every cached plan to ``path``; returns the entry count.
+
+        The write is atomic (temp file + rename), so a crashed save never
+        leaves a truncated store behind.  Counters are not persisted — a
+        fresh process starts its hit/miss statistics from zero.
+        """
+        entries = self.export_entries()
+        payload = {"format": PLAN_STORE_FORMAT, "entries": entries}
+        write_plan_store(path, payload)
+        return len(entries)
+
+    def load(self, path: str) -> int:
+        """Load a persisted store into this cache; returns entries absorbed.
+
+        Raises :class:`~repro.exceptions.MechanismError` on a missing file or
+        a format-version mismatch (a store from an incompatible library
+        version must fail loudly, not plan subtly differently).
+        """
+        payload = read_plan_store(path)
+        return self.absorb(payload["entries"])
+
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Pickle support: entries and counters travel, the lock does not."""
+        with self._lock:
+            return {
+                "_maxsize": self._maxsize,
+                "_entries": OrderedDict(self._entries),
+                "stats": PlanCacheStats(
+                    hits=self.stats.hits,
+                    misses=self.stats.misses,
+                    evictions=self.stats.evictions,
+                ),
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self._maxsize = state["_maxsize"]
+        self._entries = OrderedDict(state["_entries"])
+        self.stats = state["stats"]
+        self._lock = threading.Lock()
+
+
+# ---------------------------------------------------------------------------
+# Shared on-disk helpers (also used by the engine's combined plan store,
+# which persists the per-shard caches alongside the main one).
+# ---------------------------------------------------------------------------
+def write_plan_store(path: str, payload: dict) -> None:
+    """Atomically pickle ``payload`` to ``path`` (temp file + rename).
+
+    The temp name is unique per process, thread and call, so concurrent
+    saves to the same path (periodic checkpointers, racing admin calls)
+    never truncate each other mid-write — last rename wins atomically.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    temp_path = os.path.join(
+        directory,
+        f".{os.path.basename(path)}.tmp."
+        f"{os.getpid()}.{threading.get_ident()}.{os.urandom(4).hex()}",
+    )
+    try:
+        with open(temp_path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp_path, path)
+    finally:
+        if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
+            os.unlink(temp_path)
+
+
+def read_plan_store(path: str) -> dict:
+    """Read a persisted plan store, validating its format version.
+
+    .. warning::
+       Stores are pickle files: loading one executes whatever it encodes,
+       *before* any format check can run.  Only load stores this engine
+       deployment wrote itself (treat the store path like the database
+       file, not like client input).
+    """
+    if not os.path.exists(path):
+        raise MechanismError(f"Plan store {path!r} does not exist")
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+        raise MechanismError(f"Plan store {path!r} is corrupt: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != PLAN_STORE_FORMAT:
+        found = payload.get("format") if isinstance(payload, dict) else None
+        raise MechanismError(
+            f"Plan store {path!r} has format version {found!r}; this library "
+            f"reads version {PLAN_STORE_FORMAT} — re-save the store with the "
+            "current version instead of mixing formats"
+        )
+    return payload

@@ -142,6 +142,26 @@ class ShardSet:
         self._scatter_cache_maxsize = 256
         self._scatter_lock = threading.Lock()
 
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Pickle support: shards and scatter memos travel, the lock does not.
+
+        Shard databases are small and every shard artefact (sub-policy,
+        projected histogram, per-shard plan cache) pickles, which is what the
+        engine's process-parallel execute backend and plan-store persistence
+        rely on.
+        """
+        with self._scatter_lock:
+            scatter_cache = dict(self._scatter_cache)
+        state = self.__dict__.copy()
+        state["_scatter_cache"] = scatter_cache
+        del state["_scatter_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._scatter_lock = threading.Lock()
+
     # ------------------------------------------------------------- properties
     @property
     def policy(self) -> PolicyGraph:

@@ -86,6 +86,23 @@ class WorkloadTransformCache:
         with self._lock:
             self._entries.clear()
 
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Pickle support: ship the memoised artefacts, drop the lock.
+
+        Mechanisms travel to worker processes and to disk inside cached
+        plans.  The entries (transformed workload matrices) are deterministic
+        values worth keeping warm; the lock is recreated on the other side.
+        """
+        with self._lock:
+            entries = dict(self._entries)
+        return {"_maxsize": self._maxsize, "_entries": entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self._maxsize = state["_maxsize"]
+        self._entries = dict(state["_entries"])
+        self._lock = threading.Lock()
+
 
 def check_epsilon(epsilon: float) -> float:
     """Validate a privacy budget and return it as a float."""
@@ -119,6 +136,15 @@ class Mechanism(abc.ABC):
     instance-level memo (lazy factorisations, per-workload transforms) must be
     guarded — use :class:`WorkloadTransformCache` for the latter.  The noise
     generator is always passed in per call, never stored.
+
+    **Serialisability contract.**  Cached plans also travel — to worker
+    processes (the engine's ``execute_backend="process"``) and to disk (plan
+    persistence) — so mechanisms must pickle: keep unpicklable lazies
+    (locks, factorisation closures) out of the pickled state and re-derive
+    them deterministically on first use, the way
+    :class:`WorkloadTransformCache` and
+    :class:`~repro.policy.transform.PolicyTransform` do.  A round-tripped
+    mechanism must answer identically for an identical seed.
     """
 
     #: Whether the added noise depends on the input database.

@@ -110,6 +110,27 @@ class PolicyTransform:
         self._factorised_gram = None
         self._gram_lock = threading.Lock()
 
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Pickle support: everything but the lock and the SuperLU closure.
+
+        Transforms travel to worker processes (the engine's process-parallel
+        execute backend) and to disk (plan-cache persistence).  The lazy Gram
+        factorisation is a closure over a ``SuperLU`` object, which cannot
+        cross a process boundary; it is dropped and deterministically
+        re-derived on first use on the other side — the factorisation is a
+        pure function of ``P_G``, so answers are unaffected.
+        """
+        state = self.__dict__.copy()
+        state["_factorised_gram"] = None
+        del state["_gram_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._factorised_gram = None
+        self._gram_lock = threading.Lock()
+
     # ----------------------------------------------------------- construction
     def _choose_removed_vertices(
         self, removed_vertices: Optional[Sequence[int]]

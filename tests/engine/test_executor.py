@@ -140,6 +140,73 @@ class TestConcurrentSubmitters:
         paid = stats.queries_answered - stats.answer_cache_replays
         assert stats.mechanism_invocations <= paid
 
+    def test_submit_racing_close_never_strands_a_ticket(self, engine, domain):
+        """Deterministic close: every accepted ticket resolves, every late
+        submit raises — no ticket is ever left pending."""
+        for index in range(4):
+            engine.open_session(f"racer{index}", 10.0)
+        executor = BatchingExecutor(engine, max_batch_size=64, max_delay=5.0)
+        start = threading.Barrier(5)
+        accepted: list = []
+        rejected = []
+        lock = threading.Lock()
+
+        def submitter(index: int) -> None:
+            start.wait()
+            for round_index in range(20):
+                try:
+                    ticket = executor.submit(
+                        f"racer{index}",
+                        row_workload(domain, (index + round_index) % domain.size),
+                        epsilon=0.01,
+                    )
+                except MechanismError:
+                    with lock:
+                        rejected.append((index, round_index))
+                    return
+                with lock:
+                    accepted.append(ticket)
+
+        threads = [threading.Thread(target=submitter, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        executor.close()
+        for thread in threads:
+            thread.join()
+        # close() returned before some submitters finished, but its contract
+        # held: every ticket accepted before the flag flipped is resolved.
+        assert all(ticket.done() for ticket in accepted)
+        assert engine.pending_count == 0
+
+    def test_concurrent_close_blocks_until_drained(self, engine, domain):
+        executor = BatchingExecutor(engine, max_batch_size=64, max_delay=5.0)
+        engine.open_session("closer", 10.0)
+        tickets = [
+            executor.submit("closer", row_workload(domain, index), epsilon=0.01)
+            for index in range(4)
+        ]
+        results = []
+
+        def closer() -> None:
+            executor.close()
+            # Whichever closer returns, the drain is complete.
+            results.append(all(ticket.done() for ticket in tickets))
+
+        threads = [threading.Thread(target=closer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [True, True, True]
+        assert executor.closed
+
+    def test_close_is_idempotent(self, engine, domain):
+        executor = BatchingExecutor(engine, max_batch_size=4, max_delay=0.01)
+        executor.close()
+        executor.close()  # second close returns once the drain completed
+        assert executor.closed
+
     def test_flush_now_forces_immediate_resolution(self, engine, domain):
         engine.open_session("alice", 5.0)
         with BatchingExecutor(engine, max_batch_size=1000, max_delay=600.0) as executor:

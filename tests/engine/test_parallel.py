@@ -1,0 +1,283 @@
+"""Process-parallel execute backend: determinism, ledgers, stats, lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Database,
+    Domain,
+    cumulative_workload,
+    identity_workload,
+    total_workload,
+)
+from repro.core.workload import Workload
+from repro.engine import PrivateQueryEngine
+from repro.engine.parallel import create_execute_backend
+from repro.policy import PolicyGraph, line_policy
+
+DOMAIN_SIZE = 32
+HALF = DOMAIN_SIZE // 2
+
+
+@pytest.fixture(scope="module")
+def domain() -> Domain:
+    return Domain((DOMAIN_SIZE,))
+
+
+@pytest.fixture(scope="module")
+def database(domain: Domain) -> Database:
+    return Database(domain, np.arange(DOMAIN_SIZE, dtype=float), name="ramp")
+
+
+@pytest.fixture(scope="module")
+def split_policy(domain: Domain) -> PolicyGraph:
+    return PolicyGraph(
+        domain,
+        edges=[(i, i + 1) for i in range(HALF - 1)]
+        + [(i, i + 1) for i in range(HALF, DOMAIN_SIZE - 1)],
+        name="two-segments",
+    )
+
+
+def left_workload(domain: Domain) -> Workload:
+    return Workload(
+        domain, np.hstack([np.eye(HALF), np.zeros((HALF, HALF))]), name="left"
+    )
+
+
+def serve_stream(domain, database, split_policy, backend: str):
+    """One fixed submission mix through the given backend; returns evidence.
+
+    Three ε groups on the connected line policy (three unsharded batches)
+    plus a sharded batch on the two-component policy — enough unit diversity
+    to exercise per-batch and per-shard child streams.
+    """
+    engine = PrivateQueryEngine(
+        database,
+        total_epsilon=100.0,
+        default_policy=line_policy(domain),
+        prefer_data_dependent=False,
+        consistency=False,
+        enable_answer_cache=False,
+        random_state=42,
+        execute_workers=2,
+        execute_backend=backend,
+    )
+    with engine:
+        session = engine.open_session("alice", 50.0)
+        tickets = [
+            engine.submit("alice", identity_workload(domain), epsilon=0.5),
+            engine.submit("alice", cumulative_workload(domain), epsilon=0.25),
+            engine.submit("alice", total_workload(domain), epsilon=0.125),
+            engine.submit(
+                "alice", left_workload(domain), epsilon=0.4, policy=split_policy
+            ),
+            engine.submit(
+                "alice", identity_workload(domain), epsilon=0.4, policy=split_policy
+            ),
+        ]
+        engine.flush()
+        stats = engine.stats
+        ledger = [
+            (op.label, op.epsilon, op.partition)
+            for op in session.accountant.operations
+        ]
+    return {
+        "statuses": [t.status for t in tickets],
+        "answers": [t.answers for t in tickets],
+        "ledger": ledger,
+        "stats": stats,
+        "engine": engine,
+    }
+
+
+@pytest.fixture(scope="module")
+def thread_run(domain, database, split_policy):
+    return serve_stream(domain, database, split_policy, "thread")
+
+
+@pytest.fixture(scope="module")
+def process_run(domain, database, split_policy):
+    return serve_stream(domain, database, split_policy, "process")
+
+
+class TestBackendSelection:
+    def test_default_engine_reports_inline_backend(self, domain, database):
+        engine = PrivateQueryEngine(
+            database, total_epsilon=10.0, default_policy=line_policy(domain)
+        )
+        stats = engine.stats
+        assert stats.execute_backend == "inline"
+        assert stats.worker_dispatches == 0
+        assert stats.serialization_seconds == 0.0
+
+    def test_single_worker_stays_inline(self, domain, database):
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=10.0,
+            default_policy=line_policy(domain),
+            execute_workers=1,
+            execute_backend="process",
+        )
+        assert engine._execute_backend is None
+        assert engine.stats.execute_backend == "inline"
+
+    def test_unknown_backend_is_rejected(self, domain, database):
+        with pytest.raises(ValueError, match="execute backend"):
+            PrivateQueryEngine(
+                database,
+                total_epsilon=10.0,
+                default_policy=line_policy(domain),
+                execute_workers=2,
+                execute_backend="subinterpreter",
+            )
+        with pytest.raises(ValueError, match="execute backend"):
+            create_execute_backend("greenlet", 4)
+
+
+class TestThreadVsProcessDeterminism:
+    def test_every_ticket_answers_on_both_backends(self, thread_run, process_run):
+        assert thread_run["statuses"] == ["answered"] * 5
+        assert process_run["statuses"] == ["answered"] * 5
+
+    def test_same_seed_draws_identical_noise(self, thread_run, process_run):
+        """Identical seed derivations: thread and process produce the same
+        vectors bit-for-bit, so switching backends never changes answers."""
+        for thread_vec, process_vec in zip(
+            thread_run["answers"], process_run["answers"]
+        ):
+            np.testing.assert_array_equal(thread_vec, process_vec)
+
+    def test_epsilon_ledgers_are_byte_identical(self, thread_run, process_run):
+        assert thread_run["ledger"] == process_run["ledger"]
+        assert len(thread_run["ledger"]) == 5
+
+    def test_backend_costs_are_observable(self, thread_run, process_run):
+        thread_stats, process_stats = thread_run["stats"], process_run["stats"]
+        assert thread_stats.execute_backend == "thread"
+        assert process_stats.execute_backend == "process"
+        # 3 unsharded units + 2 per-shard units of the sharded batch.
+        assert thread_stats.worker_dispatches == 5
+        assert process_stats.worker_dispatches == 5
+        assert thread_stats.serialization_seconds == 0.0
+        assert process_stats.serialization_seconds > 0.0
+
+    def test_sharded_batches_took_the_scatter_path(self, process_run):
+        assert process_run["stats"].sharded_batches == 1
+
+
+class TestLifecycle:
+    def test_closed_engine_serves_inline_and_keeps_telemetry(
+        self, thread_run, process_run
+    ):
+        # Module fixtures already closed these engines via the context
+        # manager; they must keep answering on the flushing thread, while
+        # stats keep reporting the backend's lifetime telemetry (not zeros).
+        for run, backend_name in ((thread_run, "thread"), (process_run, "process")):
+            engine = run["engine"]
+            answers = engine.ask(
+                "alice", identity_workload(engine.database.domain), epsilon=0.25
+            )
+            assert answers.shape == (DOMAIN_SIZE,)
+            stats = engine.stats
+            assert stats.execute_backend == backend_name
+            assert stats.worker_dispatches == run["stats"].worker_dispatches
+
+    def test_broken_worker_pool_rolls_the_batch_back(self, domain, database):
+        """A crashed pool is a batch failure (rollback + clear error), not a
+        silent fall-back to inline execution."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.exceptions import PrivacyBudgetError
+
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=50.0,
+            default_policy=line_policy(domain),
+            prefer_data_dependent=False,
+            consistency=False,
+            enable_answer_cache=False,
+            random_state=1,
+            execute_workers=2,
+            execute_backend="thread",
+        )
+        with engine:
+            session = engine.open_session("carol", 20.0)
+
+            def broken_submit(unit):
+                raise BrokenProcessPool("worker died")
+
+            engine._execute_backend.submit = broken_submit
+            # Two epsilon groups: multi-unit flushes go through the backend
+            # (a lone unit would short-circuit to inline execution).
+            first = engine.submit("carol", identity_workload(domain), epsilon=0.5)
+            second = engine.submit(
+                "carol", cumulative_workload(domain), epsilon=0.25
+            )
+            engine.flush()
+            assert first.status == second.status == "refused"
+            with pytest.raises(PrivacyBudgetError, match="worker pool broke"):
+                first.result()
+            assert session.spent() == 0.0  # charges rolled back
+
+    def test_single_unit_flush_runs_inline(self, domain, database):
+        """A lone work unit skips the dispatch (no pool win to buy)."""
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=50.0,
+            default_policy=line_policy(domain),
+            prefer_data_dependent=False,
+            consistency=False,
+            enable_answer_cache=False,
+            random_state=1,
+            execute_workers=2,
+            execute_backend="thread",
+        )
+        with engine:
+            engine.open_session("dave", 20.0)
+            answers = engine.ask("dave", identity_workload(domain), epsilon=0.5)
+            assert answers.shape == (DOMAIN_SIZE,)
+            assert engine.stats.worker_dispatches == 0
+            # A two-group flush does use the pool.
+            engine.submit("dave", identity_workload(domain), epsilon=0.5)
+            engine.submit("dave", cumulative_workload(domain), epsilon=0.25)
+            engine.flush()
+            assert engine.stats.worker_dispatches == 2
+
+    def test_worker_plan_memo_keeps_dispatching(self, domain, database):
+        """Repeat flushes reuse worker-side plans (dispatch count grows,
+        answers stay deterministic against a single-flush reference)."""
+        def run_twice():
+            engine = PrivateQueryEngine(
+                database,
+                total_epsilon=50.0,
+                default_policy=line_policy(domain),
+                prefer_data_dependent=False,
+                consistency=False,
+                enable_answer_cache=False,
+                random_state=7,
+                execute_workers=2,
+                execute_backend="process",
+            )
+            with engine:
+                engine.open_session("bob", 20.0)
+                first = engine.submit("bob", identity_workload(domain), epsilon=0.5)
+                second = engine.submit(
+                    "bob", cumulative_workload(domain), epsilon=0.25
+                )
+                engine.flush()
+                third = engine.submit("bob", identity_workload(domain), epsilon=0.5)
+                fourth = engine.submit(
+                    "bob", cumulative_workload(domain), epsilon=0.25
+                )
+                engine.flush()
+                stats = engine.stats
+            return [t.answers for t in (first, second, third, fourth)], stats
+
+        answers, stats = run_twice()
+        assert stats.worker_dispatches == 4
+        reference, _ = run_twice()
+        for vector, expected in zip(answers, reference):
+            np.testing.assert_array_equal(vector, expected)

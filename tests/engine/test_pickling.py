@@ -1,0 +1,194 @@
+"""Pickle round-trips for planning/execution artefacts.
+
+The process-parallel execute backend and plan-store persistence both rest on
+one property: every artefact inside a :class:`~repro.engine.CachedPlan`
+(transform, spanner, strategy, mechanism, per-shard packaging) survives a
+pickle round-trip with working locks and caches, and a round-tripped object
+given the same seed draws the same noise.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.blowfish.matrix_mechanism import PolicyMatrixMechanism
+from repro.blowfish.tree_mechanism import TreeTransformMechanism
+from repro.core import Database, Domain, identity_workload
+from repro.core.workload import Workload
+from repro.engine import PlanCache, ShardSet
+from repro.policy import PolicyGraph, line_policy
+from repro.policy.transform import PolicyTransform
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain((24,))
+
+
+@pytest.fixture
+def database(domain: Domain) -> Database:
+    return Database(domain, np.arange(24, dtype=float), name="ramp24")
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class TestCachedPlanRoundTrip:
+    @pytest.mark.parametrize(
+        "prefer_data_dependent,consistency",
+        [(False, False), (False, True), (True, True)],
+        ids=["laplace", "consistent", "dawa"],
+    )
+    def test_round_tripped_plan_answers_identically(
+        self, domain, database, prefer_data_dependent, consistency
+    ):
+        cache = PlanCache()
+        entry = cache.plan_for(
+            line_policy(domain),
+            0.5,
+            prefer_data_dependent=prefer_data_dependent,
+            consistency=consistency,
+        )
+        # Force the lazy artefacts (Gram factorisation, workload transform
+        # memo) so the round-trip exercises the drop-and-rehydrate path.
+        entry.plan.algorithm.answer(
+            identity_workload(domain), database, np.random.default_rng(0)
+        )
+        clone = roundtrip(entry)
+        assert clone.key == entry.key
+        original = entry.plan.algorithm.answer(
+            identity_workload(domain), database, np.random.default_rng(3)
+        )
+        rehydrated = clone.plan.algorithm.answer(
+            identity_workload(domain), database, np.random.default_rng(3)
+        )
+        np.testing.assert_array_equal(original, rehydrated)
+
+    def test_spanner_route_round_trips(self, database):
+        domain = Domain((16,))
+        theta_policy = PolicyGraph(
+            domain,
+            [(i, j) for i in range(16) for j in range(i + 1, min(i + 3, 16))],
+            name="G^2_16",
+        )
+        entry = PlanCache().plan_for(theta_policy, 0.5)
+        clone = roundtrip(entry)
+        db = Database(domain, np.ones(16))
+        workload = identity_workload(domain)
+        np.testing.assert_array_equal(
+            entry.plan.algorithm.answer(workload, db, np.random.default_rng(5)),
+            clone.plan.algorithm.answer(workload, db, np.random.default_rng(5)),
+        )
+
+
+class TestPolicyTransformRoundTrip:
+    def test_factorisation_is_dropped_and_rederived(self, domain, database):
+        transform = PolicyTransform(line_policy(domain))
+        before = transform.transform_database(database)  # factorises
+        assert transform._factorised_gram is not None
+        clone = roundtrip(transform)
+        assert clone._factorised_gram is None  # closure never crosses
+        np.testing.assert_allclose(clone.transform_database(database), before)
+        assert clone._factorised_gram is not None  # re-derived on first use
+
+    def test_rehydrated_lock_supports_concurrent_factorisation(
+        self, domain, database
+    ):
+        clone = roundtrip(PolicyTransform(line_policy(domain)))
+        results, errors = [], []
+
+        def worker():
+            try:
+                results.append(clone.transform_database(database))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors and len(results) == 4
+        for vector in results[1:]:
+            np.testing.assert_array_equal(vector, results[0])
+
+
+class TestMechanismRoundTrips:
+    def test_tree_mechanism_same_seed_same_noise(self, domain, database):
+        mechanism = TreeTransformMechanism(line_policy(domain), epsilon=0.5)
+        workload = identity_workload(domain)
+        mechanism.answer(workload, database, np.random.default_rng(0))  # warm memo
+        clone = roundtrip(mechanism)
+        np.testing.assert_array_equal(
+            mechanism.answer(workload, database, np.random.default_rng(9)),
+            clone.answer(workload, database, np.random.default_rng(9)),
+        )
+        # The rehydrated workload-transform cache still memoises.
+        assert len(clone._workload_cache) >= 1
+
+    def test_matrix_mechanism_same_seed_same_noise(self, domain, database):
+        mechanism = PolicyMatrixMechanism(line_policy(domain), epsilon=0.5)
+        workload = identity_workload(domain)
+        clone = roundtrip(mechanism)
+        np.testing.assert_array_equal(
+            mechanism.answer(workload, database, np.random.default_rng(11)),
+            clone.answer(workload, database, np.random.default_rng(11)),
+        )
+        assert clone.strategy.num_columns == mechanism.strategy.num_columns
+
+
+class TestShardingRoundTrips:
+    @pytest.fixture
+    def split_policy(self, domain) -> PolicyGraph:
+        half = domain.size // 2
+        return PolicyGraph(
+            domain,
+            edges=[(i, i + 1) for i in range(half - 1)]
+            + [(i, i + 1) for i in range(half, domain.size - 1)],
+            name="two-segments",
+        )
+
+    def test_domain_shard_round_trips_with_working_plan_cache(
+        self, split_policy, database
+    ):
+        shard_set = ShardSet.build(split_policy, database)
+        shard = shard_set.shards[0]
+        entry = shard.plan_cache.plan_for(
+            shard.policy, 0.5, prefer_data_dependent=False, consistency=False
+        )
+        clone = roundtrip(shard)
+        assert clone.index == shard.index
+        np.testing.assert_array_equal(clone.cells, shard.cells)
+        np.testing.assert_array_equal(clone.database.counts, shard.database.counts)
+        # The per-shard plan cache travelled warm and keeps planning.
+        clone_entry = clone.plan_cache.plan_for(
+            clone.policy, 0.5, prefer_data_dependent=False, consistency=False
+        )
+        assert clone.plan_cache.stats.hits >= 1
+        workload = identity_workload(shard.domain)
+        np.testing.assert_array_equal(
+            entry.plan.algorithm.answer(
+                workload, shard.database, np.random.default_rng(2)
+            ),
+            clone_entry.plan.algorithm.answer(
+                workload, clone.database, np.random.default_rng(2)
+            ),
+        )
+
+    def test_shard_set_round_trips_with_working_scatter(
+        self, split_policy, database, domain
+    ):
+        shard_set = ShardSet.build(split_policy, database)
+        workload = identity_workload(domain)
+        assert shard_set.scatter(workload) is not None  # warm the memo
+        clone = roundtrip(shard_set)
+        assert len(clone) == len(shard_set)
+        scatter = clone.scatter(workload)
+        assert scatter is not None and len(scatter.pieces) == 2
+        spanning = Workload(domain, np.ones((1, domain.size)), name="spanning")
+        assert clone.scatter(spanning) is None

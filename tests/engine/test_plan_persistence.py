@@ -1,0 +1,292 @@
+"""Plan-cache persistence: save/load, versioning, warm-start hit rates."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, cumulative_workload, identity_workload
+from repro.core.workload import Workload
+from repro.engine import PLAN_STORE_FORMAT, PlanCache, PrivateQueryEngine
+from repro.exceptions import MechanismError
+from repro.policy import PolicyGraph, line_policy
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain((32,))
+
+
+@pytest.fixture
+def database(domain: Domain) -> Database:
+    return Database(domain, np.arange(32, dtype=float), name="ramp32")
+
+
+@pytest.fixture
+def split_policy(domain: Domain) -> PolicyGraph:
+    half = domain.size // 2
+    return PolicyGraph(
+        domain,
+        edges=[(i, i + 1) for i in range(half - 1)]
+        + [(i, i + 1) for i in range(half, domain.size - 1)],
+        name="two-segments",
+    )
+
+
+def make_engine(database, domain, **overrides) -> PrivateQueryEngine:
+    options = dict(
+        total_epsilon=100.0,
+        default_policy=line_policy(domain),
+        prefer_data_dependent=False,
+        consistency=False,
+        enable_answer_cache=False,
+        random_state=0,
+    )
+    options.update(overrides)
+    return PrivateQueryEngine(database, **options)
+
+
+class TestPlanCacheStore:
+    def test_save_load_round_trip(self, domain, tmp_path):
+        cache = PlanCache()
+        cache.plan_for(line_policy(domain), 0.5)
+        cache.plan_for(line_policy(domain), 0.25)
+        path = tmp_path / "plans.pkl"
+        assert cache.save(str(path)) == 2
+
+        fresh = PlanCache()
+        assert fresh.load(str(path)) == 2
+        assert len(fresh) == 2
+        fresh.plan_for(line_policy(domain), 0.5)
+        assert fresh.stats.misses == 0 and fresh.stats.hits == 1
+
+    def test_absorb_skips_existing_and_respects_maxsize(self, domain, tmp_path):
+        cache = PlanCache()
+        for epsilon in (0.5, 0.25, 0.125):
+            cache.plan_for(line_policy(domain), epsilon)
+        path = tmp_path / "plans.pkl"
+        cache.save(str(path))
+
+        small = PlanCache(maxsize=2)
+        small.plan_for(line_policy(domain), 0.5)
+        absorbed = small.load(str(path))
+        assert absorbed == 2  # the 0.5 entry already existed
+        assert len(small) == 2  # LRU-bounded
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(MechanismError, match="does not exist"):
+            PlanCache().load(str(tmp_path / "nope.pkl"))
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"format": PLAN_STORE_FORMAT + 1, "entries": []}, handle)
+        with pytest.raises(MechanismError, match="format version"):
+            PlanCache().load(str(path))
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "corrupt.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(MechanismError, match="corrupt"):
+            PlanCache().load(str(path))
+
+
+class TestEngineWarmStart:
+    def test_fresh_engine_serves_with_zero_cold_plans(
+        self, database, domain, tmp_path
+    ):
+        path = tmp_path / "store.pkl"
+        cold = make_engine(database, domain)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", identity_workload(domain), epsilon=0.5)
+        cold.ask("alice", cumulative_workload(domain), epsilon=0.25)
+        assert cold.stats.plan_misses == 2
+        assert cold.save_plans(str(path)) == 2
+
+        warm = make_engine(database, domain)
+        warm.load_plans(str(path))
+        warm.open_session("alice", 10.0)
+        warm.ask("alice", identity_workload(domain), epsilon=0.5)
+        warm.ask("alice", cumulative_workload(domain), epsilon=0.25)
+        stats = warm.stats
+        assert stats.plan_misses == 0
+        assert stats.plan_cache_hit_rate == 1.0
+
+    def test_warm_engine_answers_identically_for_identical_seeds(
+        self, database, domain, tmp_path
+    ):
+        path = tmp_path / "store.pkl"
+        cold = make_engine(database, domain, random_state=11)
+        cold.open_session("alice", 10.0)
+        cold_answers = cold.ask("alice", identity_workload(domain), epsilon=0.5)
+        cold.save_plans(str(path))
+
+        warm = make_engine(database, domain, random_state=11)
+        warm.load_plans(str(path))
+        warm.open_session("alice", 10.0)
+        warm_answers = warm.ask("alice", identity_workload(domain), epsilon=0.5)
+        np.testing.assert_array_equal(cold_answers, warm_answers)
+
+    def test_per_shard_caches_are_persisted(
+        self, database, domain, split_policy, tmp_path
+    ):
+        path = tmp_path / "store.pkl"
+        half = domain.size // 2
+        left = Workload(
+            domain, np.hstack([np.eye(half), np.zeros((half, half))]), name="left"
+        )
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        assert cold.stats.sharded_batches == 1
+        saved = cold.save_plans(str(path))
+        assert saved >= 1  # at least the touched shard's plan
+
+        # Load BEFORE the shard set exists: hydration must apply when the
+        # lazily built shards appear.
+        warm = make_engine(database, domain, default_policy=split_policy)
+        warm.load_plans(str(path))
+        warm.open_session("alice", 10.0)
+        warm.ask("alice", left, epsilon=0.5)
+        shard_set = warm._shard_set_for(split_policy)
+        touched = shard_set.shards[0]
+        assert touched.plan_cache.stats.misses == 0
+        assert touched.plan_cache.stats.hits >= 1
+
+    def test_load_after_shard_set_built_hydrates_immediately(
+        self, database, domain, split_policy, tmp_path
+    ):
+        path = tmp_path / "store.pkl"
+        half = domain.size // 2
+        left = Workload(
+            domain, np.hstack([np.eye(half), np.zeros((half, half))]), name="left"
+        )
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        cold.save_plans(str(path))
+
+        warm = make_engine(database, domain, default_policy=split_policy)
+        warm.shard_count(split_policy)  # builds the shard set eagerly
+        warm.load_plans(str(path))
+        warm.open_session("alice", 10.0)
+        warm.ask("alice", left, epsilon=0.5)
+        touched = warm._shard_set_for(split_policy).shards[0]
+        assert touched.plan_cache.stats.misses == 0
+
+    def test_sharded_warm_start_reaches_hit_rate_one(
+        self, database, domain, split_policy, tmp_path
+    ):
+        """EngineStats aggregates per-shard plan lookups: a cold sharded
+        server reports misses, a warm-started one reaches hit rate 1.0."""
+        path = tmp_path / "store.pkl"
+        half = domain.size // 2
+        left = Workload(
+            domain, np.hstack([np.eye(half), np.zeros((half, half))]), name="left"
+        )
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        assert cold.stats.plan_misses > 0  # cold sharded planning is visible
+        cold.save_plans(str(path))
+
+        warm = make_engine(database, domain, default_policy=split_policy)
+        warm.load_plans(str(path))
+        warm.open_session("alice", 10.0)
+        warm.ask("alice", left, epsilon=0.5)
+        stats = warm.stats
+        assert stats.plan_misses == 0
+        assert stats.plan_cache_hit_rate == 1.0
+
+    def test_load_save_cycle_preserves_unqueried_shard_plans(
+        self, database, domain, split_policy, tmp_path
+    ):
+        """Staged shard entries survive a load→save cycle even when their
+        policy was never queried in between."""
+        first = tmp_path / "first.pkl"
+        second = tmp_path / "second.pkl"
+        half = domain.size // 2
+        left = Workload(
+            domain, np.hstack([np.eye(half), np.zeros((half, half))]), name="left"
+        )
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        cold.save_plans(str(first))
+
+        relay = make_engine(database, domain, default_policy=split_policy)
+        loaded = relay.load_plans(str(first))
+        assert loaded >= 1
+        # Never queried: the shard set was never built, entries stay staged.
+        relay.save_plans(str(second))
+
+        final = make_engine(database, domain, default_policy=split_policy)
+        assert final.load_plans(str(second)) == loaded
+        final.open_session("alice", 10.0)
+        final.ask("alice", left, epsilon=0.5)
+        assert final.stats.plan_misses == 0
+
+    def test_loading_two_stores_for_one_policy_merges_staged_plans(
+        self, database, domain, split_policy, tmp_path
+    ):
+        """Stores for the same policy accumulate: a later load must not
+        replace an earlier store's staged per-shard plans."""
+        half = domain.size // 2
+        left = Workload(
+            domain, np.hstack([np.eye(half), np.zeros((half, half))]), name="left"
+        )
+        store_paths = []
+        for epsilon in (0.5, 0.25):
+            cold = make_engine(database, domain, default_policy=split_policy)
+            cold.open_session("alice", 10.0)
+            cold.ask("alice", left, epsilon=epsilon)
+            path = tmp_path / f"store-{epsilon}.pkl"
+            cold.save_plans(str(path))
+            store_paths.append(path)
+
+        warm = make_engine(database, domain, default_policy=split_policy)
+        assert warm.load_plans(str(store_paths[0])) == 1
+        assert warm.load_plans(str(store_paths[1])) == 1
+        warm.open_session("alice", 10.0)
+        warm.ask("alice", left, epsilon=0.5)
+        warm.ask("alice", left, epsilon=0.25)
+        stats = warm.stats
+        assert stats.plan_misses == 0
+        assert stats.plan_cache_hit_rate == 1.0
+
+    def test_reloading_the_same_store_is_a_counted_noop(
+        self, database, domain, split_policy, tmp_path
+    ):
+        path = tmp_path / "store.pkl"
+        half = domain.size // 2
+        left = Workload(
+            domain, np.hstack([np.eye(half), np.zeros((half, half))]), name="left"
+        )
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        cold.ask("alice", identity_workload(domain), epsilon=0.25)
+        cold.save_plans(str(path))
+
+        warm = make_engine(database, domain, default_policy=split_policy)
+        assert warm.load_plans(str(path)) >= 1
+        assert warm.load_plans(str(path)) == 0  # second load absorbs nothing
+
+    def test_mismatched_store_is_inert_not_wrong(self, database, domain, tmp_path):
+        """A store saved under one policy never hits for another policy."""
+        path = tmp_path / "store.pkl"
+        cold = make_engine(database, domain)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", identity_workload(domain), epsilon=0.5)
+        cold.save_plans(str(path))
+
+        other_policy = PolicyGraph(
+            domain, [(0, i) for i in range(1, domain.size)], name="star"
+        )
+        warm = make_engine(database, domain, default_policy=other_policy)
+        warm.load_plans(str(path))
+        warm.open_session("alice", 10.0)
+        warm.ask("alice", identity_workload(domain), epsilon=0.5)
+        assert warm.stats.plan_misses == 1  # cold for the unseen policy

@@ -230,6 +230,95 @@ class TestShardedEngineExecution:
         assert engine.stats.sharded_batches == 1
 
 
+class TestPerShardDrawIds:
+    def make_engine(self, database, split_policy, **overrides) -> PrivateQueryEngine:
+        options = dict(
+            total_epsilon=50.0,
+            default_policy=split_policy,
+            prefer_data_dependent=False,
+            consistency=False,
+            enable_answer_cache=False,
+            random_state=3,
+        )
+        options.update(overrides)
+        return PrivateQueryEngine(database, **options)
+
+    def test_each_shard_invocation_gets_its_own_draw_id(
+        self, database, split_policy, domain
+    ):
+        engine = self.make_engine(database, split_policy)
+        engine.open_session("alice", 10.0)
+        ticket = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+        engine.flush()
+        # The identity workload touches both shards: two invocations, two
+        # distinct draw ids, and no single batch-level id (the gathered
+        # vector mixes two draws).
+        assert ticket.draw_id is None
+        assert ticket.shard_draw_ids is not None
+        assert set(ticket.shard_draw_ids) == {0, 1}
+        assert len(set(ticket.shard_draw_ids.values())) == 2
+
+    def test_single_shard_ticket_carries_that_shards_id(
+        self, database, split_policy, domain
+    ):
+        engine = self.make_engine(database, split_policy)
+        engine.open_session("alice", 10.0)
+        ticket = engine.submit("alice", left_workload(domain), epsilon=0.5)
+        engine.flush()
+        assert ticket.shard_draw_ids is not None
+        assert set(ticket.shard_draw_ids) == {0}
+        assert ticket.draw_id == ticket.shard_draw_ids[0]
+
+    def test_batch_mates_share_per_shard_ids(self, database, split_policy, domain):
+        engine = self.make_engine(database, split_policy)
+        engine.open_session("alice", 10.0)
+        narrow = engine.submit("alice", left_workload(domain), epsilon=0.5)
+        wide = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+        engine.flush()
+        # Same batch, same shard-0 invocation: its draw id is shared, and
+        # the wide ticket additionally records shard 1's independent draw.
+        assert narrow.shard_draw_ids[0] == wide.shard_draw_ids[0]
+        assert wide.shard_draw_ids[1] != wide.shard_draw_ids[0]
+
+    def test_unsharded_tickets_keep_plain_draw_ids(self, database, domain):
+        engine = self.make_engine(database, line_policy(domain))
+        engine.open_session("alice", 10.0)
+        ticket = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+        engine.flush()
+        assert ticket.draw_id is not None
+        assert ticket.shard_draw_ids is None
+
+    def test_replays_carry_the_shard_draw_mapping(
+        self, database, split_policy, domain
+    ):
+        engine = self.make_engine(
+            database, split_policy, enable_answer_cache=True
+        )
+        engine.open_session("alice", 10.0)
+        paid = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+        engine.flush()
+        replay = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+        engine.flush()
+        assert replay.from_cache
+        assert replay.shard_draw_ids == paid.shard_draw_ids
+
+    def test_entries_by_draw_groups_on_shared_shard_invocations(
+        self, database, split_policy, domain
+    ):
+        engine = self.make_engine(
+            database, split_policy, enable_answer_cache=True
+        )
+        engine.open_session("alice", 10.0)
+        narrow = engine.submit("alice", left_workload(domain), epsilon=0.5)
+        wide = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+        engine.flush()
+        grouped = engine.answer_cache.entries_by_draw(split_policy)
+        shared = grouped[narrow.shard_draw_ids[0]]
+        assert len(shared) == 2  # both answers mix shard 0's draw
+        alone = grouped[wide.shard_draw_ids[1]]
+        assert len(alone) == 1
+
+
 class TestBottomLinkedPartitionSoundness:
     """Cells related only through ⊥ share a shard but can be split by a
     partition that passes the submit-time edge-closure check (it skips ⊥
