@@ -1,0 +1,268 @@
+"""Benchmark draw-aware GLS consolidation against the legacy WLS baseline.
+
+Runs as a plain script (``python benchmarks/bench_consolidation.py``) and
+writes ``BENCH_consolidation.json`` at the repository root.  Three
+experiments:
+
+1. **WLS vs GLS across batch-correlation levels.**  Each level buys ``b``
+   workloads in ONE flush (one mechanism invocation — all ``b``
+   measurements share a noise draw) plus one independent anchor
+   measurement, then consolidates with ``method="wls"`` (the legacy
+   independence-assuming solve) and ``method="gls"`` (the draw-aware
+   covariance solve).  The headline gate: at every correlation level ≥ 2,
+   the seeded mean MSE of GLS is **no worse** than WLS — correlated
+   evidence must not be double-counted.
+
+2. **Top-up accuracy per extra ε.**  An identity measurement at ε = 0.4 is
+   topped up by increasing increments; the report records the MSE before
+   and after, and the gate asserts the session ledger moved by **exactly
+   the increment** (deterministic — the spend-a-little-more contract).
+
+3. **Consolidation solve wall-clock vs cache size** — the cost of the
+   covariance assembly + whitened solve as the cache grows.  Reported, and
+   gated only softly (``BENCH_CONSOLIDATION_TIMING_GATE=0`` demotes the
+   wall-clock bound to a warning on shared runners); the statistical gates
+   are deterministic and always enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core import (  # noqa: E402
+    Database,
+    Domain,
+    identity_workload,
+    random_range_queries_workload,
+)
+from repro.engine import PrivateQueryEngine  # noqa: E402
+from repro.policy import line_policy  # noqa: E402
+
+DOMAIN_SIZE = 128
+BATCH_LEVELS = (1, 2, 4, 8)
+BATCH_EPSILON = 0.3
+ANCHOR_EPSILON = 1.0
+TRIALS = 12
+TOP_UP_BASE_EPSILON = 0.4
+TOP_UP_INCREMENTS = (0.1, 0.2, 0.4, 0.8)
+CACHE_SIZES = (8, 16, 32, 64)
+SOLVE_SECONDS_BOUND = 5.0
+
+
+def build_fixture():
+    domain = Domain((DOMAIN_SIZE,))
+    rng = np.random.default_rng(23)
+    counts = rng.integers(0, 60, size=DOMAIN_SIZE).astype(float)
+    database = Database(domain, counts, name="bench-consolidation")
+    return domain, database, line_policy(domain)
+
+
+def make_engine(database, policy, seed):
+    # The Laplace route carries exact linear noise models; DAWA would
+    # honestly fall back to the proxy and make both methods coincide.
+    return PrivateQueryEngine(
+        database,
+        total_epsilon=10_000.0,
+        default_policy=policy,
+        prefer_data_dependent=False,
+        consistency=False,
+        random_state=seed,
+    )
+
+
+def batch_workloads(domain, level, seed):
+    rng = np.random.default_rng(1000 + seed)
+    return [
+        random_range_queries_workload(domain, 8, random_state=rng)
+        for _ in range(level)
+    ]
+
+
+def consolidation_error(domain, database, policy, level, seed, method):
+    engine = make_engine(database, policy, seed)
+    engine.open_session("bench", 5_000.0)
+    for workload in batch_workloads(domain, level, seed):
+        engine.submit("bench", workload, BATCH_EPSILON)
+    engine.flush()  # one invocation: the whole level shares a draw
+    engine.ask("bench", identity_workload(domain), ANCHOR_EPSILON)
+    engine.consolidate(method=method)
+    counts = database.counts
+    error = 0.0
+    entries = list(engine.answer_cache._entries.values())
+    for entry in entries:
+        truth = entry.workload.matrix @ counts
+        error += float(np.mean((entry.answers - truth) ** 2))
+    return error / len(entries)
+
+
+def sweep_correlation_levels(domain, database, policy):
+    levels = []
+    for level in BATCH_LEVELS:
+        gls = np.mean(
+            [
+                consolidation_error(domain, database, policy, level, seed, "gls")
+                for seed in range(TRIALS)
+            ]
+        )
+        wls = np.mean(
+            [
+                consolidation_error(domain, database, policy, level, seed, "wls")
+                for seed in range(TRIALS)
+            ]
+        )
+        levels.append(
+            {
+                "batch_mates": level,
+                "wls_mean_mse": float(wls),
+                "gls_mean_mse": float(gls),
+                "gls_improvement": float((wls - gls) / wls) if wls else 0.0,
+            }
+        )
+        print(
+            f"correlation level {level}: WLS MSE {wls:.4f} vs GLS MSE {gls:.4f} "
+            f"({(wls - gls) / wls:+.1%})"
+        )
+    return levels
+
+
+def sweep_top_ups(domain, database, policy):
+    rows = []
+    workload = identity_workload(domain)
+    counts = database.counts
+    for extra in TOP_UP_INCREMENTS:
+        before_errors, after_errors, increments = [], [], []
+        for seed in range(TRIALS):
+            engine = make_engine(database, policy, 500 + seed)
+            session = engine.open_session("bench", 5_000.0)
+            first = engine.ask("bench", workload, TOP_UP_BASE_EPSILON)
+            before_errors.append(float(np.mean((first - counts) ** 2)))
+            spent_before = session.spent()
+            upgraded = engine.top_up("bench", workload, extra_epsilon=extra)
+            increments.append(float(session.spent() - spent_before))
+            after_errors.append(float(np.mean((upgraded - counts) ** 2)))
+        rows.append(
+            {
+                "extra_epsilon": extra,
+                "mse_before": float(np.mean(before_errors)),
+                "mse_after": float(np.mean(after_errors)),
+                "charged_increment_max_abs_error": float(
+                    np.max(np.abs(np.asarray(increments) - extra))
+                ),
+            }
+        )
+        print(
+            f"top-up +eps {extra}: MSE {np.mean(before_errors):.4f} -> "
+            f"{np.mean(after_errors):.4f}; increment exact to "
+            f"{rows[-1]['charged_increment_max_abs_error']:.2e}"
+        )
+    return rows
+
+
+def sweep_solve_wall_clock(domain, database, policy):
+    rows = []
+    for size in CACHE_SIZES:
+        engine = make_engine(database, policy, 9)
+        engine.open_session("bench", 5_000.0)
+        rng = np.random.default_rng(9)
+        # Buy `size` distinct workloads in flushes of 4 so draws are shared
+        # within each flush (a realistic mix of correlated groups).
+        bought = 0
+        while bought < size:
+            for _ in range(min(4, size - bought)):
+                workload = random_range_queries_workload(
+                    domain, 4, random_state=rng
+                )
+                engine.submit("bench", workload, BATCH_EPSILON)
+                bought += 1
+            engine.flush()
+        started = time.perf_counter()
+        updated = engine.consolidate()
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "cached_entries": size,
+                "entries_updated": updated,
+                "solve_seconds": float(elapsed),
+            }
+        )
+        print(f"cache size {size}: GLS consolidation solved in {elapsed * 1e3:.1f}ms")
+    return rows
+
+
+def main() -> int:
+    domain, database, policy = build_fixture()
+    levels = sweep_correlation_levels(domain, database, policy)
+    top_ups = sweep_top_ups(domain, database, policy)
+    wall_clock = sweep_solve_wall_clock(domain, database, policy)
+
+    report = {
+        "domain_size": DOMAIN_SIZE,
+        "trials": TRIALS,
+        "batch_epsilon": BATCH_EPSILON,
+        "anchor_epsilon": ANCHOR_EPSILON,
+        "correlation_levels": levels,
+        "top_ups": top_ups,
+        "solve_wall_clock": wall_clock,
+    }
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_consolidation.json",
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps(report, indent=2))
+
+    timing_gate = os.environ.get("BENCH_CONSOLIDATION_TIMING_GATE", "1") != "0"
+    ok = True
+    # Deterministic gate 1: with real correlation (>= 2 batch-mates), the
+    # draw-aware solve must not lose to the independence assumption.
+    for row in levels:
+        if row["batch_mates"] >= 2 and row["gls_mean_mse"] > row["wls_mean_mse"]:
+            print(
+                f"FAIL: GLS MSE {row['gls_mean_mse']:.4f} exceeds WLS "
+                f"{row['wls_mean_mse']:.4f} at correlation level "
+                f"{row['batch_mates']}"
+            )
+            ok = False
+    # Deterministic gate 2: top-ups charge exactly the declared increment.
+    for row in top_ups:
+        if row["charged_increment_max_abs_error"] > 1e-9:
+            print(
+                f"FAIL: top-up at +eps {row['extra_epsilon']} charged "
+                f"{row['charged_increment_max_abs_error']:.2e} away from the "
+                "declared increment"
+            )
+            ok = False
+    # Soft gate: the solve must stay interactive at the largest cache size.
+    slowest = max(row["solve_seconds"] for row in wall_clock)
+    if slowest > SOLVE_SECONDS_BOUND:
+        print(
+            f"{'FAIL' if timing_gate else 'WARN'}: GLS consolidation took "
+            f"{slowest:.2f}s at the largest cache size (bound "
+            f"{SOLVE_SECONDS_BOUND:.1f}s)"
+        )
+        ok = ok and not timing_gate
+    if ok:
+        best = max(
+            (row for row in levels if row["batch_mates"] >= 2),
+            key=lambda row: row["gls_improvement"],
+        )
+        print(
+            f"OK: GLS beats WLS by {best['gls_improvement']:.1%} at "
+            f"{best['batch_mates']} correlated batch-mates; top-ups charge "
+            f"exactly their increment; slowest solve {slowest * 1e3:.0f}ms"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

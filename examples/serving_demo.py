@@ -138,10 +138,72 @@ def main() -> None:
         + " ".join(f"{name}={seconds * 1e3:.1f}ms" for name, seconds in stage.items())
     )
 
+    consolidate_and_top_up_demo(database, domain)
     concurrent_demo(database, domain)
     sharded_demo()
     multicore_demo(database, domain)
     warm_restart_demo(database, domain)
+
+
+def consolidate_and_top_up_demo(database: Database, domain: Domain) -> None:
+    """Draw-aware consolidation, then spend-a-little-more top-ups.
+
+    Batch-mates of one flush share a mechanism noise draw, and the cache
+    records exactly that (draw ids + honest per-row noise models), so
+    ``consolidate()`` solves a *generalised* least squares instead of
+    pretending the measurements are independent.  ``top_up`` then buys a
+    fresh measurement of an already-cached workload and GLS-combines it,
+    charging only the increment.
+    """
+    print("\n-- draw-aware consolidation + top-ups --")
+    engine = PrivateQueryEngine(
+        database,
+        total_epsilon=16.0,
+        default_policy=line_policy(domain),
+        prefer_data_dependent=False,  # Laplace route: exact linear noise models
+        consistency=False,
+        random_state=19,
+    )
+    analyst = engine.open_session("analyst", epsilon_allotment=8.0)
+
+    # One flush, one invocation: the histogram and the prefix sums share a
+    # noise draw, and their cached measurements say so.
+    engine.submit("analyst", identity_workload(domain), epsilon=0.5)
+    engine.submit("analyst", cumulative_workload(domain), epsilon=0.5)
+    engine.flush()
+    grouped = engine.answer_cache.entries_by_draw(line_policy(domain))
+    correlated = {draw: len(keys) for draw, keys in grouped.items() if len(keys) > 1}
+    print(f"correlated measurement groups by draw id: {correlated}")
+
+    # A later, sharper independent measurement joins the cache...
+    engine.ask("analyst", identity_workload(domain), epsilon=1.0)
+    # ...and consolidation reconciles ALL of it by generalised least squares
+    # over the draw covariance structure — free post-processing, and the
+    # correlated batch-mates are no longer double-counted (method="wls"
+    # restores the legacy independence-assuming solve for comparison).
+    spent_before = analyst.spent()
+    updated = engine.consolidate()
+    print(
+        f"GLS-consolidated {updated} cached answers at zero cost "
+        f"(spent {spent_before:.2f} before and {analyst.spent():.2f} after)"
+    )
+
+    # The prefix sums look worth more budget: top it up by epsilon = 0.25.
+    # Only the increment is charged; the fresh draw is GLS-combined with the
+    # cached measurement and replays serve the sharpened vector for free.
+    before = analyst.spent()
+    engine.top_up("analyst", cumulative_workload(domain), extra_epsilon=0.25)
+    entry = engine.answer_cache.find(
+        line_policy(domain), cumulative_workload(domain)
+    )[0]
+    print(
+        f"top-up charged {analyst.spent() - before:.2f} (the increment alone); "
+        f"the entry now blends {len(entry.measurements)} measurements worth "
+        f"epsilon={entry.total_epsilon:.2f} in total"
+    )
+    replay = engine.ask("analyst", cumulative_workload(domain), epsilon=0.5)
+    assert np.array_equal(replay, entry.answers)
+    print(f"replays stay free and serve the upgraded vector: spent={analyst.spent():.2f}")
 
 
 def concurrent_demo(database: Database, domain: Domain) -> None:

@@ -79,6 +79,33 @@ class NamedAlgorithm:
         """Answer several workloads in one mechanism invocation (one ε spend)."""
         return self.mechanism.answer_batch(workloads, database, random_state)
 
+    def noise_model(self, workload: Workload):
+        """The wrapped mechanism's honest noise profile, or ``None``.
+
+        ``None`` covers mechanisms predating the metadata API and any
+        failure computing the model — metadata is advisory, so it must
+        never turn a valid release into a refusal.
+        """
+        hook = getattr(self.mechanism, "noise_model", None)
+        if hook is None:
+            return None
+        try:
+            return hook(workload)
+        except Exception:
+            return None
+
+    def answer_batch_with_noise(
+        self,
+        workloads: Sequence[Workload],
+        database: Database,
+        random_state: RandomState = None,
+    ):
+        """:meth:`answer_batch` plus the invocation's noise metadata."""
+        hook = getattr(self.mechanism, "answer_batch_with_noise", None)
+        if hook is None:
+            return self.answer_batch(workloads, database, random_state), None
+        return hook(workloads, database, random_state)
+
 
 # ---------------------------------------------------------------------------
 # Differentially private baselines (ε/2, matching the paper's comparison).

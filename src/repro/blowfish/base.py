@@ -13,15 +13,19 @@ one of the paper's three routes:
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.database import Database
 from ..core.rng import RandomState
-from ..core.workload import Workload, answer_workloads_batched
+from ..core.workload import (
+    Workload,
+    answer_workloads_batched,
+    answer_workloads_batched_with_noise,
+)
 from ..exceptions import PolicyError
-from ..mechanisms.base import check_epsilon
+from ..mechanisms.base import NoiseModel, check_epsilon
 from ..policy.graph import PolicyGraph
 from ..policy.transform import PolicyTransform
 
@@ -113,6 +117,32 @@ class BlowfishMechanism(abc.ABC):
         vector per input workload, in order.
         """
         return answer_workloads_batched(self.answer, workloads, database, random_state)
+
+    def noise_model(self, workload: Workload) -> Optional[NoiseModel]:
+        """The noise profile one invocation on ``workload`` would carry.
+
+        Same contract as :meth:`repro.mechanisms.base.Mechanism.noise_model`:
+        ``None`` when the mechanism cannot state its noise honestly ahead of
+        the draw; data-independent subclasses return the per-row standard
+        deviations (and factor basis) their strategy implies.
+        """
+        return None
+
+    def answer_batch_with_noise(
+        self,
+        workloads: Sequence[Workload],
+        database: Database,
+        random_state: RandomState = None,
+    ) -> Tuple[List[np.ndarray], Optional[NoiseModel]]:
+        """:meth:`answer_batch` plus the invocation's noise metadata.
+
+        Draws are identical to :meth:`answer_batch` (one stacked invocation,
+        same stream); the metadata is advisory and degrades to ``None`` on
+        failure rather than voiding the already-drawn release.
+        """
+        return answer_workloads_batched_with_noise(
+            self.answer, self.noise_model, workloads, database, random_state
+        )
 
     # ----------------------------------------------------------------- helper
     def _check_instance(self, workload: Workload, database: Database) -> None:

@@ -30,7 +30,12 @@ from ..core.database import Database
 from ..core.rng import RandomState
 from ..core.workload import Workload
 from ..exceptions import MechanismError
-from ..mechanisms.base import WorkloadTransformCache, laplace_noise
+from ..mechanisms.base import (
+    NoiseModel,
+    WorkloadTransformCache,
+    basis_noise_model,
+    laplace_noise,
+)
 from ..mechanisms.strategies import Strategy
 from ..policy.graph import PolicyGraph
 from ..policy.transform import PolicyTransform
@@ -151,6 +156,55 @@ class PolicyMatrixMechanism(BlowfishMechanism):
         return bool(
             np.allclose(transformed @ pseudo @ dense_strategy, transformed, atol=tolerance)
         )
+
+    def noise_model(self, workload: Workload) -> Optional[NoiseModel]:
+        """Exact noise profile of one invocation: ``W_G A⁺`` at Laplace scale.
+
+        The mechanism's noise is ``W_G A⁺ η`` with ``η`` i.i.d.
+        Laplace(Δ_A/ε), so the factor basis is ``√2 (Δ_A/ε) · W_G A⁺`` for
+        unit-variance factors.  Memoised per workload signature alongside
+        the transformed workload.  ``None`` (proxy fallback) for large
+        workloads on strategies without an explicit pseudo-inverse, where
+        deriving the basis would cost one iterative solve per row.
+        """
+        cache = getattr(self, "_noise_cache", None)
+        if cache is None:
+            # Lazily (re)created so plans pickled before this attribute
+            # existed keep answering after re-hydration.
+            cache = self._noise_cache = WorkloadTransformCache(maxsize=8)
+        return cache.get_or_compute(workload, self._compute_noise_model)
+
+    #: Without an explicit strategy pseudo-inverse the factor basis costs one
+    #: iterative solve per workload row; above this many rows the model is
+    #: skipped (proxy fallback) rather than stalling the execute stage.  The
+    #: strategies the engine plans (identity, Haar slabs) all carry explicit
+    #: pseudo-inverses, so this is a safety valve, not the common path.
+    _NOISE_MODEL_LSQR_ROW_LIMIT = 512
+
+    def _compute_noise_model(self, workload: Workload) -> Optional[NoiseModel]:
+        transformed = self._transformed_workload(workload)
+        if self._strategy.pseudo_inverse is not None:
+            reconstruction = sp.csr_matrix(transformed @ self._strategy.pseudo_inverse)
+        elif transformed.shape[0] > self._NOISE_MODEL_LSQR_ROW_LIMIT:
+            return None
+        else:
+            # Row i of W_G A⁺ is (Aᵀ)⁺ w_i: the minimum-norm solution of
+            # Aᵀ z = w_i, solved iteratively when no explicit A⁺ exists.
+            strategy_t = sp.csc_matrix(self._strategy.matrix.T)
+            rows = [
+                sp.linalg.lsqr(
+                    strategy_t,
+                    np.asarray(transformed.getrow(i).todense()).ravel(),
+                    atol=1e-12,
+                    btol=1e-12,
+                )[0]
+                for i in range(transformed.shape[0])
+            ]
+            reconstruction = sp.csr_matrix(np.vstack(rows)) if rows else sp.csr_matrix(
+                (0, self._strategy.num_measurements)
+            )
+        scale = np.sqrt(2.0) * self._strategy.sensitivity / self.effective_epsilon
+        return basis_noise_model(reconstruction * scale)
 
     # ----------------------------------------------------------------- helper
     def _transformed_workload(self, workload: Workload) -> sp.csr_matrix:

@@ -25,12 +25,18 @@ from __future__ import annotations
 from typing import Callable, Literal, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..core.database import Database
 from ..core.rng import RandomState
 from ..core.workload import Workload
 from ..exceptions import MechanismError, PolicyNotTreeError
-from ..mechanisms.base import HistogramMechanism, WorkloadTransformCache
+from ..mechanisms.base import (
+    HistogramMechanism,
+    NoiseModel,
+    WorkloadTransformCache,
+    basis_noise_model,
+)
 from ..mechanisms.dawa import DawaMechanism
 from ..mechanisms.laplace import LaplaceHistogram
 from ..policy.graph import PolicyGraph
@@ -188,6 +194,35 @@ class TreeTransformMechanism(BlowfishMechanism):
         )
         estimate = estimator.estimate_vector(transformed_database, random_state)
         return self._apply_consistency(estimate, total=database.scale)
+
+    def noise_model(self, workload: Workload) -> Optional[NoiseModel]:
+        """Noise profile of one invocation: ``W_G`` applied to the cell noise.
+
+        The estimator perturbs the transformed database coordinate-wise, so
+        the answers' noise is ``W_G · cell-noise`` — an exact linear factor
+        model whenever the estimator can state its per-cell scales
+        (:meth:`~repro.mechanisms.base.HistogramMechanism.noise_std_per_cell`)
+        **and** no consistency projection runs.  Returns ``None`` for
+        data-dependent estimators (DAWA).  With a consistency projection
+        enabled the release is a *nonlinear* function of the draw, so the
+        factor basis would fabricate cross-correlations; the model then
+        keeps only the per-row stds — conservative marginals (projection
+        onto a convex constraint set containing the truth never grows the
+        error) with correlations honestly declared unknown.
+        """
+        transformed = self._transformed_workload(workload)
+        estimator = self._estimator_factory(
+            self._effective_epsilon, transformed.shape[1]
+        )
+        cell_stds = getattr(estimator, "noise_std_per_cell", lambda n: None)(
+            transformed.shape[1]
+        )
+        if cell_stds is None:
+            return None
+        model = basis_noise_model(transformed @ sp.diags(cell_stds))
+        if self._consistency != "none":
+            return NoiseModel(stds=model.stds, basis=None)
+        return model
 
     # ----------------------------------------------------------------- helper
     def _apply_consistency(self, estimate: np.ndarray, total: float) -> np.ndarray:

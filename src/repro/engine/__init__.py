@@ -34,7 +34,13 @@ Quick start::
         answers = executor.ask("alice", identity_workload(domain), epsilon=0.25)
 """
 
-from .answer_cache import AnswerCache, AnswerCacheStats, CachedAnswer
+from .answer_cache import (
+    AnswerCache,
+    AnswerCacheStats,
+    CachedAnswer,
+    Measurement,
+    stack_measurements,
+)
 from .engine import EngineStats, PrivateQueryEngine
 from .executor import BatchingExecutor
 from .parallel import (
@@ -66,6 +72,7 @@ __all__ = [
     "EngineStats",
     "ExecuteUnit",
     "FlushPipeline",
+    "Measurement",
     "PENDING",
     "PLAN_STORE_FORMAT",
     "PlanCache",
@@ -82,5 +89,6 @@ __all__ = [
     "domain_signature",
     "plan_key",
     "policy_signature",
+    "stack_measurements",
     "workload_signature",
 ]

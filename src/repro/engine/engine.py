@@ -68,10 +68,10 @@ from ..accounting.composition import PrivacyAccountant
 from ..core.database import Database
 from ..core.rng import RandomState, ensure_rng
 from ..core.workload import Workload
-from ..exceptions import PolicyError, PrivacyBudgetError
+from ..exceptions import MechanismError, PolicyError, PrivacyBudgetError
 from ..policy.graph import PolicyGraph, is_bottom
-from .answer_cache import AnswerCache
-from .parallel import create_execute_backend
+from .answer_cache import AnswerCache, Measurement
+from .parallel import ExecuteUnit, create_execute_backend, execute_unit_via
 from .pipeline import ANSWERED, PENDING, REFUSED, STAGES, FlushPipeline, QueryTicket
 from .plan_cache import (
     PLAN_STORE_FORMAT,
@@ -109,6 +109,9 @@ class EngineStats:
     queries_answered: int = 0
     queries_refused: int = 0
     answer_cache_replays: int = 0
+    #: Fresh measurements bought through :meth:`PrivateQueryEngine.top_up`,
+    #: each charging exactly its declared ε increment.
+    top_ups: int = 0
     flushes: int = 0
     batches_executed: int = 0
     sharded_batches: int = 0
@@ -265,6 +268,7 @@ class PrivateQueryEngine:
         self._answered = 0
         self._refused = 0
         self._replays = 0
+        self._top_ups = 0
         self._flushes = 0
         self._batches = 0
         self._sharded_batches = 0
@@ -525,10 +529,16 @@ class PrivateQueryEngine:
         return ticket.result()
 
     # ------------------------------------------------------------ consistency
-    def consolidate(self, policy: Optional[PolicyGraph] = None) -> int:
+    def consolidate(
+        self, policy: Optional[PolicyGraph] = None, method: str = "gls"
+    ) -> int:
         """Least-squares-reconcile all cached answers under ``policy`` for free.
 
-        Returns the number of cached answer vectors updated; see
+        ``method="gls"`` (default) solves the draw-aware generalised least
+        squares over the cached measurements' covariance structure;
+        ``method="wls"`` restores the legacy independence-assuming weighted
+        solve (the benchmark baseline).  Returns the number of live cached
+        answer vectors updated; see
         :meth:`repro.engine.AnswerCache.consolidate`.
         """
         if self.answer_cache is None:
@@ -536,7 +546,127 @@ class PrivateQueryEngine:
         resolved = policy if policy is not None else self._default_policy
         if resolved is None:
             raise PolicyError("No policy given and the engine has no default policy")
-        return self.answer_cache.consolidate(resolved)
+        return self.answer_cache.consolidate(resolved, method=method)
+
+    def top_up(
+        self,
+        client_id: str,
+        workload: Workload,
+        extra_epsilon: float,
+        policy: Optional[PolicyGraph] = None,
+        epsilon: Optional[float] = None,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Spend a little more on an already-cached workload, GLS-combining.
+
+        Buys one fresh measurement of ``workload`` at ``extra_epsilon`` (a
+        single unsharded mechanism invocation on the engine's execute
+        backend) and combines it with the cached measurement(s) by
+        generalised least squares under the honest noise models — the cached
+        answer gets sharper while the session is charged **exactly the
+        increment**, never the full re-buy price.  Replays of the workload
+        keep hitting the same cache key and serve the upgraded vector.
+
+        ``epsilon`` names the ε the workload was originally asked at; omit
+        it when only one cached entry exists for the (policy, workload)
+        pair.  A mid-top-up mechanism failure rolls the charge back — the
+        ledger never leaks budget for a release that did not happen.
+
+        Returns a copy of the upgraded answer vector.
+
+        Raises
+        ------
+        MechanismError
+            When the answer cache is disabled, no (or several) cached
+            entries match, or the fresh measurement fails.
+        PrivacyBudgetError
+            When the session cannot afford ``extra_epsilon``.
+        """
+        if self.answer_cache is None:
+            raise MechanismError(
+                "top_up requires the answer cache (enable_answer_cache=True): "
+                "there is no cached measurement to combine with"
+            )
+        if not math.isfinite(extra_epsilon) or extra_epsilon <= 0:
+            raise PrivacyBudgetError(
+                f"top_up epsilon must be positive and finite, got {extra_epsilon}"
+            )
+        resolved_policy, _ = self._validate_submission(
+            client_id, workload, extra_epsilon, policy, None
+        )
+        if epsilon is not None:
+            entry = self.answer_cache.peek(resolved_policy, workload, epsilon)
+            if entry is None:
+                raise MechanismError(
+                    f"No cached measurement of this workload at epsilon={epsilon}; "
+                    "pay for it first (ask/submit), then top it up"
+                )
+        else:
+            candidates = self.answer_cache.find(resolved_policy, workload)
+            if not candidates:
+                raise MechanismError(
+                    "No cached measurement of this workload under this policy; "
+                    "pay for it first (ask/submit), then top it up"
+                )
+            if len(candidates) > 1:
+                raise MechanismError(
+                    f"{len(candidates)} cached entries match this workload (bought "
+                    "at different epsilons); pass epsilon= to name the one to top up"
+                )
+            entry = candidates[0]
+
+        # Plan before charging: a planning failure must charge nothing.
+        plan = self.plan_cache.plan_for(
+            resolved_policy,
+            float(extra_epsilon),
+            prefer_data_dependent=self._prefer_data_dependent,
+            consistency=self._consistency,
+        )
+        with self._queue_lock:
+            session = self.session(client_id)
+            rng = (
+                self._spawn_flush_rng()
+                if random_state is None
+                else ensure_rng(random_state)
+            )
+        label = f"top-up:{client_id}:{entry.key[1][:12]}"
+        operation = session.charge(label, float(extra_epsilon), None)
+        unit = ExecuteUnit(
+            plan=plan, workloads=[workload], database=self._database, rng=rng
+        )
+        try:
+            # Shared backend semantics (crashed pool re-raises, closed
+            # backend falls back inline) — see parallel.execute_unit_via.
+            vectors, model = execute_unit_via(self._execute_backend, unit)
+        except Exception as exc:
+            # Nothing was released, so the increment must not stand.
+            session.accountant.rollback(operation)
+            raise MechanismError(
+                f"top_up execution failed (increment rolled back): {exc}"
+            ) from exc
+        if model is not None and model.num_rows != workload.num_queries:
+            # Mis-sized metadata is a mechanism bug, but metadata is
+            # advisory (same guard as the pipeline): degrade to the proxy
+            # rather than poisoning later covariance assembly.
+            model = None
+        draw_id = self._next_draw_id()
+        measurement = Measurement(
+            answers=vectors[0],
+            epsilon=float(extra_epsilon),
+            draw_id=draw_id,
+            noise_stds=model.stds if model is not None else None,
+            noise_bases=(
+                {draw_id: model.basis}
+                if model is not None and model.basis is not None
+                else None
+            ),
+        )
+        entry = self.answer_cache.append_measurement(
+            entry.key, workload, measurement, key_epsilon=entry.epsilon
+        )
+        with self._stats_lock:
+            self._top_ups += 1
+        return entry.answers.copy()
 
     # -------------------------------------------------------------- sharding
     def _shard_set_for(self, policy: PolicyGraph) -> Optional[ShardSet]:
@@ -721,6 +851,7 @@ class PrivateQueryEngine:
                 queries_answered=self._answered,
                 queries_refused=self._refused,
                 answer_cache_replays=self._replays,
+                top_ups=self._top_ups,
                 flushes=self._flushes,
                 batches_executed=self._batches,
                 sharded_batches=self._sharded_batches,

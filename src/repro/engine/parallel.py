@@ -10,7 +10,10 @@ unsharded batch, one per touched :class:`~repro.engine.DomainShard` of a
 sharded batch (shard databases are small and independent) — and a backend
 runs them on a pool.
 
-Two backends share one contract (``submit(unit) -> Future[List[ndarray]]``):
+Two backends share one contract — ``submit(unit) -> Future[(List[ndarray],
+Optional[NoiseModel])]``, the per-workload answer vectors plus the
+invocation's honest noise metadata (which pickles, so it survives the
+process round trip byte-identically):
 
 * :class:`ThreadExecuteBackend` — the in-process pool.  No serialisation;
   units execute on shared objects.
@@ -46,7 +49,12 @@ import pickle
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -54,6 +62,7 @@ import numpy as np
 
 from ..core.database import Database
 from ..core.workload import Workload
+from ..mechanisms.base import NoiseModel
 from .plan_cache import CachedPlan
 from .signature import PlanKey
 
@@ -62,6 +71,7 @@ __all__ = [
     "ProcessExecuteBackend",
     "ThreadExecuteBackend",
     "create_execute_backend",
+    "execute_unit_via",
     "run_unit",
 ]
 
@@ -81,6 +91,10 @@ class ExecuteUnit:
     workloads: List[Workload]
     database: Database
     rng: np.random.Generator = field(repr=False)
+    #: Whether to compute the invocation's noise metadata.  The pipeline
+    #: clears it when the engine serves without an answer cache — nothing
+    #: would store the model, so computing it would be pure waste.
+    want_noise: bool = True
 
 
 def run_unit(
@@ -88,18 +102,69 @@ def run_unit(
     workloads: List[Workload],
     database: Database,
     rng: np.random.Generator,
-) -> List[np.ndarray]:
+    want_noise: bool = True,
+) -> Tuple[List[np.ndarray], Optional["NoiseModel"]]:
     """Execute one unit: one vectorised mechanism invocation.
 
     Shared by every backend (and by the worker-process side), so thread and
     process execution run byte-for-byte the same code on the same inputs.
+    Returns the per-workload answer vectors plus the invocation's
+    :class:`~repro.mechanisms.base.NoiseModel` (``None`` when the mechanism
+    cannot state its noise honestly, or when ``want_noise`` is off) — the
+    metadata pickles, so it survives the process-pool round trip
+    identically to the thread backend.  The noise draw itself never depends
+    on ``want_noise``: the model is computed after the answers, from the
+    workload alone.
     """
     algorithm = plan.plan.algorithm
     if len(workloads) == 1:
         vectors = [algorithm.answer(workloads[0], database, rng)]
+        model_hook = getattr(algorithm, "noise_model", None) if want_noise else None
+        model = model_hook(workloads[0]) if model_hook is not None else None
+    elif want_noise:
+        batch_hook = getattr(algorithm, "answer_batch_with_noise", None)
+        if batch_hook is not None:
+            vectors, model = batch_hook(workloads, database, rng)
+        else:
+            vectors, model = algorithm.answer_batch(workloads, database, rng), None
     else:
-        vectors = algorithm.answer_batch(workloads, database, rng)
-    return [np.asarray(vector, dtype=np.float64) for vector in vectors]
+        vectors, model = algorithm.answer_batch(workloads, database, rng), None
+    return [np.asarray(vector, dtype=np.float64) for vector in vectors], model
+
+
+def execute_unit_via(backend, unit: ExecuteUnit) -> Tuple[List[np.ndarray], Optional[NoiseModel]]:
+    """Run one unit on ``backend``, with the engine-close inline fallback.
+
+    Mirrors the pipeline's per-unit failure semantics for blocking
+    single-unit callers (``engine.top_up``).  The pipeline itself keeps its
+    own split submit/drain loops — it overlaps many units and layers batch
+    rollback bookkeeping on top — so changes to these semantics must be
+    applied in both places (`pipeline._execute_on_backend`):
+
+    * ``backend is None`` — execute inline on the calling thread;
+    * ``submit`` raising :class:`BrokenExecutor` — the pool *crashed*
+      (caught before its ``RuntimeError`` superclass): re-raise, never
+      re-run inline — if the unit itself killed a worker, an inline retry
+      could take the serving process down with it;
+    * ``submit`` raising any other ``RuntimeError`` — the backend was
+      closed (engine shutdown mid-call): finish inline so the paid-for
+      release still happens;
+    * anything raised by the unit's own execution (from ``result()`` or
+      the inline run, whatever the type) propagates to the caller, which
+      rolls the charge back.
+    """
+    if backend is not None:
+        try:
+            future = backend.submit(unit)
+        except BrokenExecutor:
+            raise
+        except RuntimeError:
+            future = None
+        if future is not None:
+            return future.result()
+    return run_unit(
+        unit.plan, unit.workloads, unit.database, unit.rng, unit.want_noise
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -124,7 +189,7 @@ def _execute_in_worker(
     database_token: Tuple[int, int],
     database_blob: bytes,
     payload_blob: bytes,
-) -> List[np.ndarray]:
+) -> Tuple[List[np.ndarray], Optional[NoiseModel]]:
     """Worker entry point: re-hydrate (or recall) plan + database, run the unit."""
     plan = _WORKER_PLANS.get(plan_key)
     if plan is None:
@@ -142,8 +207,8 @@ def _execute_in_worker(
             _WORKER_DATABASES.popitem(last=False)
     else:
         _WORKER_DATABASES.move_to_end(database_token)
-    workloads, rng = pickle.loads(payload_blob)
-    return run_unit(plan, workloads, database, rng)
+    workloads, rng, want_noise = pickle.loads(payload_blob)
+    return run_unit(plan, workloads, database, rng, want_noise)
 
 
 # ---------------------------------------------------------------------------
@@ -173,10 +238,15 @@ class ThreadExecuteBackend:
         """Always zero: units execute in-process on shared objects."""
         return 0.0
 
-    def submit(self, unit: ExecuteUnit) -> "Future[List[np.ndarray]]":
+    def submit(self, unit: ExecuteUnit) -> "Future[Tuple[List[np.ndarray], Optional[NoiseModel]]]":
         """Schedule one unit; raises ``RuntimeError`` once closed."""
         future = self._pool.submit(
-            run_unit, unit.plan, unit.workloads, unit.database, unit.rng
+            run_unit,
+            unit.plan,
+            unit.workloads,
+            unit.database,
+            unit.rng,
+            unit.want_noise,
         )
         with self._counter_lock:
             self._dispatches += 1
@@ -269,7 +339,7 @@ class ProcessExecuteBackend:
                 self._db_blobs.popitem(last=False)
         return token, blob
 
-    def submit(self, unit: ExecuteUnit) -> "Future[List[np.ndarray]]":
+    def submit(self, unit: ExecuteUnit) -> "Future[Tuple[List[np.ndarray], Optional[NoiseModel]]]":
         """Serialise and ship one unit; raises ``RuntimeError`` once closed.
 
         Plan and database pickles are memoised (both are immutable for the
@@ -283,7 +353,8 @@ class ProcessExecuteBackend:
         plan_blob = self._plan_blob(unit.plan)
         database_token, database_blob = self._database_blob(unit.database)
         payload_blob = pickle.dumps(
-            (unit.workloads, unit.rng), protocol=pickle.HIGHEST_PROTOCOL
+            (unit.workloads, unit.rng, unit.want_noise),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
         elapsed = time.perf_counter() - started
         future = self._pool.submit(

@@ -47,9 +47,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..core.workload import Workload
 from ..exceptions import MechanismError, PrivacyBudgetError
+from ..mechanisms.base import NoiseModel
 from ..policy.graph import PolicyGraph
 from .parallel import ExecuteUnit, run_unit
 from .plan_cache import CachedPlan
@@ -133,6 +135,22 @@ AnswerKeyT = Tuple[str, str, str]
 
 
 @dataclass
+class TicketNoise:
+    """One ticket's slice of its invocation(s)' honest noise metadata.
+
+    ``stds`` covers the ticket's full answer vector; ``basis`` is the
+    unsharded invocation's factor rows, ``shard_bases`` maps shard index →
+    factor rows (each shard invocation has its own independent factor
+    space).  Factor columns are shared with batch-mates of the same
+    invocation, which is what lets the answer cache correlate them.
+    """
+
+    stds: np.ndarray
+    basis: Optional[sp.csr_matrix] = None
+    shard_bases: Optional[Dict[int, sp.csr_matrix]] = None
+
+
+@dataclass
 class PlannedBatch:
     """One compatible ``(policy, epsilon, config)`` group moving through the stages."""
 
@@ -151,6 +169,9 @@ class PlannedBatch:
     execute_error: Optional[str] = None
     #: Per-admitted-ticket answer vectors (aligned with ``admitted``).
     results: Optional[List[np.ndarray]] = None
+    #: Per-admitted-ticket honest noise metadata (aligned with ``admitted``;
+    #: ``None`` entries mark tickets whose mechanism declared no model).
+    noise: Optional[List[Optional[TicketNoise]]] = None
     invocations: int = 0
     #: Sharded path: the sorted shard indices that were invoked, in the
     #: order execution ran them — one draw id is allocated per entry at
@@ -481,10 +502,14 @@ class FlushPipeline:
                 results = []
                 try:
                     for unit, entries in units:
-                        vectors = run_unit(
-                            unit.plan, unit.workloads, unit.database, unit.rng
+                        vectors, model = run_unit(
+                            unit.plan,
+                            unit.workloads,
+                            unit.database,
+                            unit.rng,
+                            unit.want_noise,
                         )
-                        results.append((entries, vectors))
+                        results.append((entries, vectors, model))
                 except Exception as exc:
                     batch.execute_error = (
                         f"Batch execution failed (charge rolled back): {exc}"
@@ -526,7 +551,9 @@ class FlushPipeline:
                     continue
                 submissions.append((batch, unit, entries, future))
 
-        unit_results: Dict[int, List[Tuple[Optional[list], List[np.ndarray]]]] = {}
+        unit_results: Dict[
+            int, List[Tuple[Optional[list], List[np.ndarray], Optional[NoiseModel]]]
+        ] = {}
         for batch, unit, entries, future in submissions:
             if batch.execute_error is not None:
                 if future is not None:
@@ -536,17 +563,23 @@ class FlushPipeline:
                         pass
                 continue
             try:
-                vectors = (
+                vectors, model = (
                     future.result()
                     if future is not None
-                    else run_unit(unit.plan, unit.workloads, unit.database, unit.rng)
+                    else run_unit(
+                        unit.plan,
+                        unit.workloads,
+                        unit.database,
+                        unit.rng,
+                        unit.want_noise,
+                    )
                 )
             except Exception as exc:
                 batch.execute_error = (
                     f"Batch execution failed (charge rolled back): {exc}"
                 )
                 continue
-            unit_results.setdefault(id(batch), []).append((entries, vectors))
+            unit_results.setdefault(id(batch), []).append((entries, vectors, model))
 
         for batch in runnable:
             if batch.execute_error is not None:
@@ -567,6 +600,9 @@ class FlushPipeline:
         unsharded units.
         """
         engine = self._engine
+        # Without an answer cache nothing stores noise metadata, so units
+        # skip computing it (the draws themselves never depend on this).
+        want_noise = engine.answer_cache is not None
         if not batch.sharded:
             assert batch.entry is not None
             unit = ExecuteUnit(
@@ -574,6 +610,7 @@ class FlushPipeline:
                 workloads=[ticket.workload for ticket in batch.admitted],
                 database=engine._database,
                 rng=rng,
+                want_noise=want_noise,
             )
             return [(unit, None)]
         assert batch.scatters is not None
@@ -602,6 +639,7 @@ class FlushPipeline:
                 workloads=[piece.workload for _, _, piece in entries],  # type: ignore[attr-defined]
                 database=shard.database,
                 rng=shard_rng,
+                want_noise=want_noise,
             )
             units.append((unit, entries))
         return units
@@ -609,23 +647,50 @@ class FlushPipeline:
     def _assemble_batch(
         self,
         batch: PlannedBatch,
-        results: List[Tuple[Optional[list], List[np.ndarray]]],
+        results: List[Tuple[Optional[list], List[np.ndarray], Optional[NoiseModel]]],
     ) -> None:
-        """Reassemble a batch's unit results into per-ticket answer vectors."""
+        """Reassemble a batch's unit results into per-ticket answer vectors.
+
+        Alongside the answers, each invocation's :class:`NoiseModel` is cut
+        into per-ticket :class:`TicketNoise` slices — batch-mates keep
+        referring to their shared factor columns, so the answer cache can
+        later rebuild the exact cross-entry covariance of the shared draw.
+        """
         if not results:
             batch.execute_error = "Batch execution produced no results"
             return
         if not batch.sharded:
-            _, vectors = results[0]
+            _, vectors, model = results[0]
             batch.results, batch.invocations = list(vectors), 1
+            batch.noise = self._slice_unsharded_noise(batch, model)
             return
         assert batch.scatters is not None
         piece_vectors: Dict[Tuple[int, int], np.ndarray] = {}
-        for entries, vectors in results:
+        piece_noise: Dict[Tuple[int, int], Tuple[object, Optional[NoiseModel]]] = {}
+        for entries, vectors, model in results:
             assert entries is not None
-            for (position, piece_index, _), vector in zip(entries, vectors):
+            unit_rows = sum(
+                piece.workload.num_queries  # type: ignore[attr-defined]
+                for _, _, piece in entries
+            )
+            if model is not None and model.num_rows != unit_rows:
+                # Mis-sized metadata is a mechanism bug, but metadata is
+                # advisory: degrade this unit to the proxy model rather
+                # than slicing rows that belong to a different layout.
+                model = None
+            start = 0
+            for (position, piece_index, piece), vector in zip(entries, vectors):
                 piece_vectors[(position, piece_index)] = np.asarray(vector)
+                rows = piece.workload.num_queries  # type: ignore[attr-defined]
+                sliced = (
+                    model.rows(slice(start, start + rows))
+                    if model is not None
+                    else None
+                )
+                piece_noise[(position, piece_index)] = (piece, sliced)
+                start += rows
         gathered: List[np.ndarray] = []
+        noise: List[Optional[TicketNoise]] = []
         for position, ticket in enumerate(batch.admitted):
             scatter = batch.scatters[ticket.ticket_id]
             vectors = [
@@ -633,7 +698,75 @@ class FlushPipeline:
                 for piece_index in range(len(scatter.pieces))
             ]
             gathered.append(scatter.gather(vectors))
+            noise.append(
+                self._gather_shard_noise(ticket.workload.num_queries, scatter, position, piece_noise)
+            )
         batch.results, batch.invocations = gathered, len(results)
+        batch.noise = noise
+
+    @staticmethod
+    def _slice_unsharded_noise(
+        batch: PlannedBatch, model: Optional[NoiseModel]
+    ) -> Optional[List[Optional[TicketNoise]]]:
+        """Cut one unsharded invocation's model into per-ticket slices."""
+        if model is None:
+            return None
+        total = sum(ticket.workload.num_queries for ticket in batch.admitted)
+        if model.num_rows != total:
+            # A mechanism that mis-sizes its metadata is a bug, but metadata
+            # is advisory: degrade to the proxy model, never refuse answers.
+            return None
+        noise: List[Optional[TicketNoise]] = []
+        start = 0
+        for ticket in batch.admitted:
+            rows = ticket.workload.num_queries
+            sliced = model.rows(slice(start, start + rows))
+            noise.append(TicketNoise(stds=sliced.stds, basis=sliced.basis))
+            start += rows
+        return noise
+
+    @staticmethod
+    def _gather_shard_noise(
+        num_queries: int,
+        scatter,
+        position: int,
+        piece_noise: Dict[Tuple[int, int], Tuple[object, Optional[NoiseModel]]],
+    ) -> Optional[TicketNoise]:
+        """Gather per-piece noise slices into one full-row ticket model.
+
+        Every touched piece must carry a model (a single shard without one
+        leaves the correlation structure unknowable, so the whole ticket
+        degrades to the proxy).  Rows no piece covers are all-zero queries:
+        exact zeros with zero noise.
+        """
+        stds = np.zeros(num_queries, dtype=np.float64)
+        shard_bases: Dict[int, sp.csr_matrix] = {}
+        bases_complete = True
+        for piece_index, piece in enumerate(scatter.pieces):
+            stored = piece_noise.get((position, piece_index))
+            if stored is None:
+                return None
+            _, sliced = stored
+            if sliced is None:
+                return None
+            stds[piece.rows] = sliced.stds
+            if sliced.basis is None:
+                bases_complete = False
+                continue
+            # Expand the piece's basis rows into full-ticket row space.
+            selector = sp.csr_matrix(
+                (
+                    np.ones(len(piece.rows)),
+                    (np.asarray(piece.rows, dtype=np.intp), np.arange(len(piece.rows))),
+                ),
+                shape=(num_queries, len(piece.rows)),
+            )
+            shard_bases[piece.shard.index] = sp.csr_matrix(selector @ sliced.basis)
+        # A factor model must describe the WHOLE vector or none of it: with
+        # any shard's basis missing, keep the honest diagonal stds only.
+        return TicketNoise(
+            stds=stds, shard_bases=shard_bases if bases_complete and shard_bases else None
+        )
 
     def _execute_one(self, batch: PlannedBatch, rng: np.random.Generator) -> None:
         """Inline execute: the backends' unit/gather code, run sequentially.
@@ -648,7 +781,13 @@ class FlushPipeline:
             results = [
                 (
                     entries,
-                    run_unit(unit.plan, unit.workloads, unit.database, unit.rng),
+                    *run_unit(
+                        unit.plan,
+                        unit.workloads,
+                        unit.database,
+                        unit.rng,
+                        unit.want_noise,
+                    ),
                 )
                 for unit, entries in units
             ]
@@ -685,20 +824,46 @@ class FlushPipeline:
             shard_ids = {
                 index: engine._next_draw_id() for index in batch.shard_indices
             }
-            for ticket, vector in zip(batch.admitted, batch.results):
+            for position, (ticket, vector) in enumerate(
+                zip(batch.admitted, batch.results)
+            ):
                 assert batch.scatters is not None
                 mapping = {
                     piece.shard.index: shard_ids[piece.shard.index]
                     for piece in batch.scatters[ticket.ticket_id].pieces
                 }
                 single = next(iter(mapping.values())) if len(mapping) == 1 else None
+                ticket_noise = batch.noise[position] if batch.noise else None
+                noise_stds = ticket_noise.stds if ticket_noise is not None else None
+                noise_bases = None
+                if ticket_noise is not None and ticket_noise.shard_bases:
+                    # Re-key the per-shard factor bases by the draw ids just
+                    # allocated — the labels the answer cache correlates on.
+                    noise_bases = {
+                        shard_ids[shard_index]: basis
+                        for shard_index, basis in ticket_noise.shard_bases.items()
+                    }
                 self._resolve_answer(
-                    ticket, vector, single, shard_draw_ids=mapping
+                    ticket,
+                    vector,
+                    single,
+                    shard_draw_ids=mapping,
+                    noise_stds=noise_stds,
+                    noise_bases=noise_bases,
                 )
             return
         draw_id = engine._next_draw_id()
-        for ticket, vector in zip(batch.admitted, batch.results):
-            self._resolve_answer(ticket, vector, draw_id)
+        for position, (ticket, vector) in enumerate(zip(batch.admitted, batch.results)):
+            ticket_noise = batch.noise[position] if batch.noise else None
+            noise_stds = ticket_noise.stds if ticket_noise is not None else None
+            noise_bases = (
+                {draw_id: ticket_noise.basis}
+                if ticket_noise is not None and ticket_noise.basis is not None
+                else None
+            )
+            self._resolve_answer(
+                ticket, vector, draw_id, noise_stds=noise_stds, noise_bases=noise_bases
+            )
 
     # ------------------------------------------------------------ resolutions
     def _resolve_replay(
@@ -729,6 +894,8 @@ class FlushPipeline:
         vector: np.ndarray,
         draw_id: Optional[int],
         shard_draw_ids: Optional[Dict[int, int]] = None,
+        noise_stds: Optional[np.ndarray] = None,
+        noise_bases: Optional[Dict[int, sp.csr_matrix]] = None,
     ) -> None:
         engine = self._engine
         ticket.answers = np.asarray(vector, dtype=np.float64)
@@ -747,6 +914,8 @@ class FlushPipeline:
                 ticket.answers,
                 draw_id=draw_id,
                 shard_draw_ids=ticket.shard_draw_ids,
+                noise_stds=noise_stds,
+                noise_bases=noise_bases,
             )
         ticket._resolved.set()
 

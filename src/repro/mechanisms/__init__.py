@@ -1,6 +1,13 @@
 """Standard differentially private mechanisms (substrates and baselines)."""
 
-from .base import HistogramMechanism, Mechanism, check_epsilon, laplace_noise
+from .base import (
+    HistogramMechanism,
+    Mechanism,
+    NoiseModel,
+    basis_noise_model,
+    check_epsilon,
+    laplace_noise,
+)
 from .baselines import UniformMechanism, ZeroMechanism
 from .dawa import DawaMechanism, bucket_deviation, greedy_partition, optimal_partition
 from .exponential import ExponentialMechanism, graph_distance_exponential_mechanism
@@ -37,11 +44,13 @@ __all__ = [
     "LaplaceMechanism",
     "MatrixMechanism",
     "Mechanism",
+    "NoiseModel",
     "PriveletMechanism",
     "Strategy",
     "TreeNode",
     "UniformMechanism",
     "ZeroMechanism",
+    "basis_noise_model",
     "block_diagonal_strategy",
     "bucket_deviation",
     "build_interval_tree",

@@ -21,19 +21,98 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..core.database import Database
 from ..core.rng import RandomState, ensure_rng
-from ..core.workload import Workload, answer_workloads_batched
-from ..exceptions import PrivacyBudgetError
+from ..core.workload import (
+    Workload,
+    answer_workloads_batched,
+    answer_workloads_batched_with_noise,
+)
+from ..exceptions import MechanismError, PrivacyBudgetError
 
 MatrixLike = Union[np.ndarray, sp.spmatrix]
 
 T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """The noise one mechanism invocation adds, described honestly.
+
+    A mechanism invocation releases ``y = true_answers + noise``.  This
+    metadata rides alongside the answers (see
+    :meth:`Mechanism.answer_batch_with_noise`) so downstream inference —
+    the serving engine's generalised-least-squares consolidation — can weight
+    and correlate measurements by what the strategy actually drew, instead of
+    the crude ε-implied proxy (``2/ε²``).
+
+    Attributes
+    ----------
+    stds:
+        Per-row standard deviation of the additive noise, one entry per row
+        of the invocation's (stacked) workload.
+    basis:
+        Optional sparse factor matrix ``R`` (rows × factors) such that the
+        invocation's noise vector is ``R η`` for i.i.d. *unit-variance*
+        factors ``η`` — so ``Cov = R Rᵀ`` and ``stds`` equals the row norms
+        of ``R``.  Present for linear-noise (data-independent) mechanisms;
+        ``None`` when only the marginal scales are known (data-dependent
+        estimators), in which case rows are modelled as uncorrelated at
+        their stated standard deviations.
+
+    The model pickles (plain arrays and a CSR matrix), so it survives the
+    engine's process-pool work-unit round trip untouched.
+    """
+
+    stds: np.ndarray
+    basis: Optional[sp.csr_matrix] = None
+
+    def __post_init__(self) -> None:
+        stds = np.asarray(self.stds, dtype=np.float64).ravel()
+        if stds.size and (not np.all(np.isfinite(stds)) or np.any(stds < 0)):
+            raise MechanismError("Noise stds must be finite and non-negative")
+        object.__setattr__(self, "stds", stds)
+        if self.basis is not None:
+            basis = sp.csr_matrix(self.basis)
+            if basis.shape[0] != stds.shape[0]:
+                raise MechanismError(
+                    f"Noise basis has {basis.shape[0]} rows but {stds.shape[0]} "
+                    "per-row stds were given"
+                )
+            object.__setattr__(self, "basis", basis)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of invocation rows the model covers."""
+        return int(self.stds.shape[0])
+
+    def rows(self, selector: Union[slice, np.ndarray]) -> "NoiseModel":
+        """The sub-model covering one slice of the invocation's rows.
+
+        The factor dimension is preserved: two slices of one invocation keep
+        referring to the *same* factors, which is exactly what lets the
+        answer cache compute cross-entry covariance for batch-mates.
+        """
+        return NoiseModel(
+            stds=self.stds[selector],
+            basis=self.basis[selector] if self.basis is not None else None,
+        )
+
+
+def basis_noise_model(basis: sp.spmatrix) -> NoiseModel:
+    """Build a :class:`NoiseModel` from a unit-variance factor basis ``R``.
+
+    Per-row stds are derived as the row norms of ``R`` (``Cov = R Rᵀ``).
+    """
+    basis = sp.csr_matrix(basis)
+    squared = np.asarray(basis.multiply(basis).sum(axis=1)).ravel()
+    return NoiseModel(stds=np.sqrt(squared), basis=basis)
 
 
 class WorkloadTransformCache:
@@ -207,6 +286,35 @@ class Mechanism(abc.ABC):
         """
         return answer_workloads_batched(self.answer, workloads, database, random_state)
 
+    def noise_model(self, workload: Workload) -> Optional[NoiseModel]:
+        """The noise profile one invocation on ``workload`` would carry.
+
+        Returns ``None`` when the mechanism cannot state its noise honestly
+        ahead of the draw (data-dependent estimators); consumers then fall
+        back to the ε-implied ``2/ε²`` proxy.  Data-independent
+        subclasses override this with the per-row standard deviations (and,
+        where the noise is linear, the factor basis) their strategy implies.
+        """
+        return None
+
+    def answer_batch_with_noise(
+        self,
+        workloads: Sequence[Workload],
+        database: Database,
+        random_state: RandomState = None,
+    ) -> Tuple[List[np.ndarray], Optional[NoiseModel]]:
+        """:meth:`answer_batch` plus the invocation's noise metadata.
+
+        The answers are drawn exactly as :meth:`answer_batch` would draw
+        them (one stacked invocation, same stream), and the returned
+        :class:`NoiseModel` covers the stacked rows in input order.  The
+        metadata is advisory: a failure computing it degrades to ``None``
+        (the proxy model) rather than voiding the already-drawn release.
+        """
+        return answer_workloads_batched_with_noise(
+            self.answer, self.noise_model, workloads, database, random_state
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(epsilon={self._epsilon})"
 
@@ -223,6 +331,24 @@ class HistogramMechanism(Mechanism):
         self, vector: np.ndarray, random_state: RandomState = None
     ) -> np.ndarray:
         """Return an ε-differentially private estimate of ``vector``."""
+
+    def noise_std_per_cell(self, num_cells: int) -> Optional[np.ndarray]:
+        """Per-cell standard deviation of the estimator's additive noise.
+
+        ``None`` (the default) marks estimators whose noise cannot be stated
+        ahead of the draw — data-dependent ones like DAWA, whose scales
+        depend on the private partition it chooses.  Data-independent
+        estimators override this so workload answers ``W x̃`` can carry an
+        exact linear noise model (``noise = W · cell-noise``).
+        """
+        return None
+
+    def noise_model(self, workload: Workload) -> Optional[NoiseModel]:
+        """Noise model of ``W x̃``: the workload applied to the cell noise."""
+        cell_stds = self.noise_std_per_cell(workload.num_columns)
+        if cell_stds is None:
+            return None
+        return basis_noise_model(workload.matrix @ sp.diags(cell_stds))
 
     def estimate_histogram(
         self, database: Database, random_state: RandomState = None

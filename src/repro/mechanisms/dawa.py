@@ -173,6 +173,17 @@ class DawaMechanism(HistogramMechanism):
         """L1 sensitivity used to scale both stages."""
         return self._sensitivity
 
+    def noise_std_per_cell(self, num_cells: int) -> None:
+        """Always ``None``: DAWA's noise cannot be stated honestly a priori.
+
+        The per-cell error depends on the bucket partition stage 1 chooses,
+        which is itself data-dependent (and private).  Declaring a fixed
+        scale here would be dishonest, so consumers (the serving engine's
+        GLS consolidation) fall back to the ε-implied ``2/ε²`` proxy for
+        DAWA-backed measurements.
+        """
+        return None
+
     # ------------------------------------------------------------------- API
     def estimate_vector(
         self, vector: np.ndarray, random_state: RandomState = None

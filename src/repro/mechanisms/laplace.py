@@ -19,7 +19,8 @@ import scipy.sparse as sp
 
 from ..core.rng import RandomState
 from ..core.sensitivity import bounded_sensitivity, unbounded_sensitivity
-from .base import HistogramMechanism, MatrixLike, Mechanism, laplace_noise
+from ..core.workload import Workload
+from .base import HistogramMechanism, MatrixLike, Mechanism, NoiseModel, laplace_noise
 
 
 class LaplaceMechanism(Mechanism):
@@ -89,6 +90,12 @@ class LaplaceMechanism(Mechanism):
         scale = self.sensitivity_for(matrix) / self.epsilon
         return 2.0 * scale**2
 
+    def noise_model(self, workload: Workload) -> NoiseModel:
+        """I.i.d. per-row Laplace noise: a diagonal factor basis."""
+        std = np.sqrt(2.0) * self.sensitivity_for(workload.matrix) / self.epsilon
+        stds = np.full(workload.num_queries, std)
+        return NoiseModel(stds=stds, basis=sp.diags(stds, format="csr"))
+
 
 class LaplaceHistogram(HistogramMechanism):
     """Perturb each histogram cell with Laplace noise (the identity strategy).
@@ -127,3 +134,7 @@ class LaplaceHistogram(HistogramMechanism):
     def expected_error_per_cell(self) -> float:
         """Expected squared error per histogram cell ``2 Δ² / ε²``."""
         return 2.0 * (self._sensitivity / self.epsilon) ** 2
+
+    def noise_std_per_cell(self, num_cells: int) -> np.ndarray:
+        """Every cell carries Laplace(Δ/ε) noise: std ``√2 Δ / ε``."""
+        return np.full(num_cells, np.sqrt(2.0) * self._sensitivity / self.epsilon)

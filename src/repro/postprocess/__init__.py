@@ -3,6 +3,7 @@
 from .hierarchy import consistent_leaf_estimates, consistent_tree_counts
 from .isotonic import consistent_prefix_sums, distinct_block_count, isotonic_regression
 from .least_squares import (
+    generalised_least_squares_estimate,
     least_squares_estimate,
     project_non_negative,
     rescale_to_total,
@@ -15,6 +16,7 @@ __all__ = [
     "consistent_prefix_sums",
     "consistent_tree_counts",
     "distinct_block_count",
+    "generalised_least_squares_estimate",
     "isotonic_regression",
     "least_squares_estimate",
     "project_non_negative",

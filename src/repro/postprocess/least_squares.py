@@ -9,11 +9,13 @@ all reduce to this primitive.  Post-processing never consumes privacy budget.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
+import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from scipy.sparse.csgraph import connected_components
 
 from ..exceptions import ReproError
 
@@ -55,13 +57,22 @@ def weighted_least_squares_estimate(
     noisy_measurements: np.ndarray,
     variances: np.ndarray,
 ) -> np.ndarray:
-    """Generalised least squares with per-measurement variances.
+    """*Weighted* least squares with per-measurement variances.
 
     Measurements taken with different noise scales (e.g. different ε shares)
-    should be weighted by inverse variance before solving.
+    are weighted by inverse variance before solving.  The covariance model is
+    **diagonal** — every measurement is treated as independent.  For
+    measurements with correlated errors (shared noise draws), use
+    :func:`generalised_least_squares_estimate`, which accepts a full
+    covariance and degenerates to this solver when it is diagonal.
     """
     variances = np.asarray(variances, dtype=np.float64).ravel()
     noisy_measurements = np.asarray(noisy_measurements, dtype=np.float64).ravel()
+    if noisy_measurements.size == 0:
+        raise ReproError(
+            "Cannot solve a weighted least squares over zero measurements: "
+            "the measurement stack is empty"
+        )
     if np.any(variances <= 0):
         raise ReproError("All measurement variances must be strictly positive")
     if variances.shape != noisy_measurements.shape:
@@ -75,6 +86,123 @@ def weighted_least_squares_estimate(
     scaled_measurements = weights * noisy_measurements
     result = spla.lsqr(scaled_matrix, scaled_measurements, atol=1e-12, btol=1e-12)
     return np.asarray(result[0]).ravel()
+
+
+def generalised_least_squares_estimate(
+    measurement_matrix: sp.spmatrix | np.ndarray,
+    noisy_measurements: np.ndarray,
+    covariance: Union[sp.spmatrix, np.ndarray],
+) -> np.ndarray:
+    """Generalised least squares under a full measurement covariance.
+
+    Solves ``argmin_x (y - A x)ᵀ Σ⁻¹ (y - A x)`` — the variance-optimal
+    (BLUE) estimate when measurement errors are correlated, e.g. noisy
+    answers that share a mechanism noise draw.  ``Σ`` is whitened per
+    *correlation component* (connected component of its sparsity graph):
+    uncorrelated rows are simply scaled by their inverse standard deviation,
+    correlated blocks go through a dense Cholesky factor, and the whitened
+    system is solved with the same LSQR configuration as
+    :func:`weighted_least_squares_estimate`.
+
+    When ``Σ`` is exactly diagonal this routes through
+    :func:`weighted_least_squares_estimate` with ``diag(Σ)``, so the two
+    solvers are **bit-identical** on independent measurements — the
+    degeneration the serving engine's consolidation relies on.
+
+    A rank-deficient correlated block (fully redundant measurements, e.g.
+    two workloads answered from one shared histogram estimate) is handled by
+    an escalating diagonal ridge before failing with :class:`ReproError`.
+    """
+    noisy_measurements = np.asarray(noisy_measurements, dtype=np.float64).ravel()
+    if noisy_measurements.size == 0:
+        raise ReproError(
+            "Cannot solve a generalised least squares over zero measurements: "
+            "the measurement stack is empty"
+        )
+    if sp.issparse(measurement_matrix):
+        matrix = sp.csr_matrix(measurement_matrix)
+    else:
+        matrix = sp.csr_matrix(np.asarray(measurement_matrix, dtype=np.float64))
+    if matrix.shape[0] != noisy_measurements.shape[0]:
+        raise ReproError(
+            f"Measurement matrix has {matrix.shape[0]} rows but "
+            f"{noisy_measurements.shape[0]} measurements were provided"
+        )
+    if sp.issparse(covariance):
+        cov = sp.csr_matrix(covariance)
+    else:
+        cov = sp.csr_matrix(np.asarray(covariance, dtype=np.float64))
+    if cov.shape != (noisy_measurements.shape[0],) * 2:
+        raise ReproError(
+            f"Covariance has shape {cov.shape}; expected square of side "
+            f"{noisy_measurements.shape[0]}"
+        )
+    diagonal = cov.diagonal()
+    if np.any(diagonal <= 0) or not np.all(np.isfinite(diagonal)):
+        raise ReproError("All measurement variances must be strictly positive")
+    off_diagonal = cov - sp.diags(diagonal)
+    off_diagonal.eliminate_zeros()
+    if off_diagonal.nnz == 0:
+        # Diagonal covariance: independent measurements.  Route through the
+        # weighted solver so the two are bit-identical in this case.
+        return weighted_least_squares_estimate(matrix, noisy_measurements, diagonal)
+
+    whitener = _covariance_whitener(cov, diagonal)
+    result = spla.lsqr(
+        whitener @ matrix, whitener @ noisy_measurements, atol=1e-12, btol=1e-12
+    )
+    return np.asarray(result[0]).ravel()
+
+
+def _covariance_whitener(cov: sp.csr_matrix, diagonal: np.ndarray) -> sp.csr_matrix:
+    """Block-diagonal ``L⁻¹`` with ``Σ = L Lᵀ`` per correlation component."""
+    _, labels = connected_components(cov, directed=False)
+    order = np.argsort(labels, kind="stable")
+    boundaries = np.flatnonzero(np.diff(labels[order])) + 1
+    rows: list = []
+    cols: list = []
+    data: list = []
+    for component in np.split(order, boundaries):
+        if component.size == 1:
+            index = int(component[0])
+            rows.append(np.array([index]))
+            cols.append(np.array([index]))
+            data.append(np.array([1.0 / np.sqrt(diagonal[index])]))
+            continue
+        block = np.asarray(cov[np.ix_(component, component)].todense())
+        inverse_factor = _inverse_cholesky(block)
+        grid_rows, grid_cols = np.meshgrid(component, component, indexing="ij")
+        rows.append(grid_rows.ravel())
+        cols.append(grid_cols.ravel())
+        data.append(inverse_factor.ravel())
+    size = cov.shape[0]
+    return sp.csr_matrix(
+        (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(size, size),
+    )
+
+
+def _inverse_cholesky(block: np.ndarray) -> np.ndarray:
+    """``L⁻¹`` of one dense covariance block, ridging rank deficiency away.
+
+    Fully redundant correlated measurements (two workloads answered from one
+    shared noisy histogram) make the block exactly singular; an escalating
+    relative ridge keeps the whitening defined while perturbing well-posed
+    blocks by at most one part in 10¹².
+    """
+    scale = float(np.max(np.abs(np.diag(block)))) or 1.0
+    for ridge in (0.0, 1e-12, 1e-9, 1e-6):
+        try:
+            factor = np.linalg.cholesky(block + ridge * scale * np.eye(block.shape[0]))
+        except np.linalg.LinAlgError:
+            continue
+        return scipy.linalg.solve_triangular(
+            factor, np.eye(block.shape[0]), lower=True
+        )
+    raise ReproError(
+        "Measurement covariance is not positive definite (a correlated block "
+        "failed Cholesky factorisation even after ridging)"
+    )
 
 
 def project_non_negative(values: np.ndarray) -> np.ndarray:

@@ -88,3 +88,116 @@ class TestSimpleProjections:
     def test_rescale_none_total_is_projection_only(self):
         rescaled = rescale_to_total(np.array([-1.0, 2.0]), total=None)
         assert np.allclose(rescaled, [0.0, 2.0])
+
+
+class TestGeneralisedLeastSquares:
+    """The full-covariance solver behind draw-aware consolidation."""
+
+    def test_diagonal_covariance_is_bit_identical_to_weighted(self, rng):
+        from repro.postprocess import generalised_least_squares_estimate
+
+        matrix = sp.csr_matrix(rng.normal(size=(12, 6)))
+        measurements = rng.normal(size=12)
+        variances = rng.uniform(0.5, 2.0, size=12)
+        weighted = weighted_least_squares_estimate(matrix, measurements, variances)
+        generalised = generalised_least_squares_estimate(
+            matrix, measurements, sp.diags(variances, format="csr")
+        )
+        # Exact degeneration: the diagonal case routes through the weighted
+        # solver, so the two must be bit-identical, not merely close.
+        np.testing.assert_array_equal(weighted, generalised)
+
+    def test_correlated_measurements_are_downweighted(self, rng):
+        """GLS beats WLS when some measurements share their noise draw."""
+        from repro.postprocess import generalised_least_squares_estimate
+
+        truth = rng.normal(size=8)
+        identity = sp.identity(8, format="csr")
+        matrix = sp.vstack([identity] * 3, format="csr")
+        gls_errors, wls_errors = [], []
+        for _ in range(60):
+            shared = rng.normal(0, 2.0, size=8)  # one draw, reported twice
+            fresh = rng.normal(0, 2.0, size=8)
+            measurements = np.concatenate(
+                [truth + shared, truth + shared, truth + fresh]
+            )
+            variances = np.full(24, 4.0)
+            block = np.kron(
+                np.array([[4.0, 4.0, 0.0], [4.0, 4.0, 0.0], [0.0, 0.0, 4.0]]),
+                np.eye(8),
+            )
+            # Ridge the duplicated block so it is invertible.
+            covariance = sp.csr_matrix(block + 1e-9 * np.eye(24))
+            gls = generalised_least_squares_estimate(matrix, measurements, covariance)
+            wls = weighted_least_squares_estimate(matrix, measurements, variances)
+            gls_errors.append(float(np.mean((gls - truth) ** 2)))
+            wls_errors.append(float(np.mean((wls - truth) ** 2)))
+        # The duplicated draw carries no extra information; WLS counts it
+        # twice and is pulled toward it, GLS weights it once.
+        assert np.mean(gls_errors) < np.mean(wls_errors)
+
+    def test_exact_on_noiseless_correlated_system(self, rng):
+        from repro.postprocess import generalised_least_squares_estimate
+
+        data = rng.normal(size=10)
+        strategy = hierarchical_strategy(10)
+        measurements = strategy.matrix @ data
+        covariance = sp.csr_matrix(
+            0.5 * np.eye(strategy.num_measurements)
+            + 0.1 * np.ones((strategy.num_measurements,) * 2)
+        )
+        estimate = generalised_least_squares_estimate(
+            strategy.matrix, measurements, covariance
+        )
+        assert np.allclose(estimate, data, atol=1e-6)
+
+    def test_empty_stack_raises_clear_error(self):
+        from repro.postprocess import generalised_least_squares_estimate
+
+        with pytest.raises(ReproError, match="empty"):
+            generalised_least_squares_estimate(
+                sp.csr_matrix((0, 4)), np.empty(0), sp.csr_matrix((0, 0))
+            )
+
+    def test_shape_mismatches_rejected(self, rng):
+        from repro.postprocess import generalised_least_squares_estimate
+
+        matrix = sp.csr_matrix(rng.normal(size=(4, 3)))
+        with pytest.raises(ReproError, match="rows"):
+            generalised_least_squares_estimate(
+                matrix, np.ones(5), sp.identity(5, format="csr")
+            )
+        with pytest.raises(ReproError, match="Covariance"):
+            generalised_least_squares_estimate(
+                matrix, np.ones(4), sp.identity(3, format="csr")
+            )
+
+    def test_non_positive_variance_rejected(self, rng):
+        from repro.postprocess import generalised_least_squares_estimate
+
+        matrix = sp.csr_matrix(rng.normal(size=(3, 2)))
+        bad = sp.diags([1.0, 0.0, 1.0], format="csr")
+        with pytest.raises(ReproError, match="positive"):
+            generalised_least_squares_estimate(matrix, np.ones(3), bad)
+
+    def test_rank_deficient_block_is_ridged_not_fatal(self):
+        """Fully redundant correlated rows (shared histogram estimate)."""
+        from repro.postprocess import generalised_least_squares_estimate
+
+        matrix = sp.csr_matrix(np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]]))
+        measurements = np.array([2.0, 2.0, 5.0])
+        # Rows 0 and 1 are the SAME measurement reported twice: the 2x2
+        # block is exactly singular.
+        covariance = sp.csr_matrix(
+            np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        )
+        estimate = generalised_least_squares_estimate(matrix, measurements, covariance)
+        assert np.allclose(estimate, [2.0, 5.0], atol=1e-4)
+
+
+class TestWeightedLeastSquaresValidation:
+    def test_empty_stack_raises_clear_error(self):
+        with pytest.raises(ReproError, match="empty"):
+            weighted_least_squares_estimate(
+                sp.csr_matrix((0, 4)), np.empty(0), np.empty(0)
+            )
