@@ -15,10 +15,11 @@ Runs as a plain script (``python benchmarks/bench_multicore.py``) and writes
    pretending a win.
 
 2. **Backend equivalence (deterministic, always enforced).**  The same
-   seeded stream is served by the thread and the process backend: the ε
-   ledgers must match **byte for byte** (charges never depend on the
-   backend) and the noisy answers must be bit-identical (both backends
-   spawn the same per-unit RNG children).
+   seeded stream is served by the thread, the process *and the adaptive*
+   backend: the ε ledgers must match **byte for byte** (charges never
+   depend on the backend) and the noisy answers must be bit-identical
+   (every backend spawns the same per-unit RNG children; the adaptive
+   router only picks where an already-seeded unit runs).
 
 3. **Warm start (deterministic, always enforced).**  A cold engine plans,
    serves, and persists its plan store; a **fresh OS process** loads the
@@ -156,14 +157,18 @@ def run_sweep():
     cells = []
     for num_shards in (1, 4):
         cells.append(run_sweep_cell(num_shards, 1, "thread"))  # inline baseline
-        for backend in ("thread", "process"):
+        for backend in ("thread", "process", "adaptive"):
             for workers in WORKER_SWEEP:
                 cells.append(run_sweep_cell(num_shards, workers, backend))
     return cells
 
 
 def run_equivalence():
-    """Same seeded stream on both backends: identical ledgers and answers."""
+    """Same seeded stream on every backend: identical ledgers and answers.
+
+    The adaptive router only decides *where* a unit runs, after its RNG
+    child is fixed, so it is held to exactly the thread/process parity bar.
+    """
     def serve(backend: str):
         domain, database, policy = build_fixture(4)
         with make_engine(database, policy, 2, backend) as engine:
@@ -184,15 +189,21 @@ def run_equivalence():
             statuses = [ticket.status for ticket in tickets]
         return ledger, answers, statuses
 
-    thread_ledger, thread_answers, thread_statuses = serve("thread")
-    process_ledger, process_answers, process_statuses = serve("process")
+    backends = ("thread", "process", "adaptive")
+    runs = {backend: serve(backend) for backend in backends}
+    thread_ledger, thread_answers, _ = runs["thread"]
+    ledgers_identical = all(
+        runs[backend][0] == thread_ledger for backend in backends[1:]
+    )
     answers_identical = all(
         a is not None and b is not None and np.array_equal(a, b)
-        for a, b in zip(thread_answers, process_answers)
+        for backend in backends[1:]
+        for a, b in zip(thread_answers, runs[backend][1])
     )
     return {
-        "statuses": [thread_statuses, process_statuses],
-        "ledgers_identical": thread_ledger == process_ledger,
+        "backends": list(backends),
+        "statuses": [runs[backend][2] for backend in backends],
+        "ledgers_identical": bool(ledgers_identical),
         "ledger_operations": len(thread_ledger),
         "answers_identical": bool(answers_identical),
     }
@@ -356,10 +367,16 @@ def main() -> int:
             f"{process_at_4['serialization_seconds']:.3f}s serialisation overhead"
         )
     if not equivalence["ledgers_identical"]:
-        print("FAIL: thread and process backends produced different epsilon ledgers")
+        print(
+            "FAIL: thread/process/adaptive backends produced different "
+            "epsilon ledgers"
+        )
         ok = False
     if not equivalence["answers_identical"]:
-        print("FAIL: thread and process backends drew different noise for one seed")
+        print(
+            "FAIL: thread/process/adaptive backends drew different noise "
+            "for one seed"
+        )
         ok = False
     if warm_start["plan_cache_hit_rate"] != 1.0 or warm_start["warm_plan_misses"] != 0:
         print(

@@ -32,7 +32,10 @@ together:
    processes** — the only way past the GIL for the scipy-sparse mechanism
    kernels.  Seed derivations are identical across backends, so a seeded
    engine answers the same either way, and ε ledgers never depend on the
-   backend at all;
+   backend at all.  ``execute_backend="adaptive"`` goes one step further
+   and *measures* the trade: an EWMA cost model routes each work unit
+   inline, to the thread pool, or to the process pool — tiny units skip
+   dispatch overhead entirely, heavy flushes still fan out across cores;
 8. the plan store persists: ``engine.save_plans(path)`` writes every cached
    plan (per-shard caches included) to disk, and a relaunched server that
    ``load_plans(path)`` serves the same workload with **zero** cold plans —
@@ -59,7 +62,7 @@ from repro.core import (
     total_workload,
 )
 from repro.core.workload import Workload
-from repro.engine import BatchingExecutor, PrivateQueryEngine
+from repro.engine import BatchingExecutor, ExecuteCostModel, PrivateQueryEngine
 from repro.exceptions import PrivacyBudgetError
 from repro.policy import PolicyGraph, line_policy
 
@@ -142,6 +145,7 @@ def main() -> None:
     concurrent_demo(database, domain)
     sharded_demo()
     multicore_demo(database, domain)
+    adaptive_demo(database, domain)
     warm_restart_demo(database, domain)
 
 
@@ -352,6 +356,69 @@ def multicore_demo(database: Database, domain: Domain) -> None:
         f"{process_stats.serialization_seconds * 1e3:.1f}ms serialisation overhead"
     )
     print(f"same seed, both backends: answers bit-identical = {identical}")
+
+
+def adaptive_demo(database: Database, domain: Domain) -> None:
+    """Cost-aware dispatch: the engine decides per unit where it runs.
+
+    A static backend choice is a bet made at configuration time; the
+    adaptive backend re-makes it every flush from measurements.  Its cost
+    model tracks how long each plan's kernels actually take (EWMA per plan
+    key — observed inline, on thread workers, and inside worker processes,
+    whose protocol ships the measurement back with the answers) against
+    each pool's observed per-dispatch overhead (serialisation + IPC +
+    future round trip).  Tiny units therefore never pay IPC for nothing —
+    the BENCH_multicore lesson on few-core hosts — while genuinely heavy
+    flushes still fan out.  Steady-state process dispatches are cheap to
+    begin with: the miss-only blob protocol ships content digests instead
+    of plan/database pickles (workers hold them resident), so the pipe
+    carries little more than workloads and an RNG child.
+    """
+    print("\n-- adaptive execute backend --")
+
+    def serve(label: str, cost_model):
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=8.0,
+            default_policy=line_policy(domain),
+            prefer_data_dependent=False,
+            consistency=False,
+            enable_answer_cache=False,
+            random_state=29,
+            execute_workers=2,
+            execute_backend="adaptive",
+            execute_cost_model=cost_model,
+        )
+        with engine:
+            engine.open_session("analyst", 2.0)
+            tickets = [
+                engine.submit(
+                    "analyst", cumulative_workload(domain), epsilon=0.4 / (1 << i)
+                )
+                for i in range(3)
+            ]
+            engine.flush()
+            stats = engine.stats
+        print(
+            f"{label}: {stats.adaptive_inline} unit(s) inline, "
+            f"{stats.adaptive_dispatched} dispatched, "
+            f"{stats.bytes_shipped} bytes over the pipe"
+        )
+        return [t.result() for t in tickets]
+
+    # Cold model: nothing has been measured, so every unit runs inline and
+    # seeds its plan's kernel estimate — the safe default for tiny units.
+    cold = serve("cold cost model", None)
+    # A primed model (here: injected, in production: learned from serving)
+    # that believes these kernels are heavy fans the same flush out to the
+    # process pool instead.
+    heavy = serve(
+        "forced heavy-kernel model", ExecuteCostModel(default_kernel_seconds=60.0)
+    )
+    # Routing never touches the noise: both engines share one seed, so the
+    # answers match bit for bit wherever the units actually ran.
+    identical = all(np.array_equal(a, b) for a, b in zip(cold, heavy))
+    print(f"same seed, inline vs process-routed: answers bit-identical = {identical}")
 
 
 def warm_restart_demo(database: Database, domain: Domain) -> None:

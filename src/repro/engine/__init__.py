@@ -11,7 +11,10 @@ epsilon allotments are reserved from a global
 per-component :class:`DomainShard`\\ s for multi-component policies (exact
 under parallel composition), a multi-core execute stage
 (``execute_backend="process"`` ships picklable work units to worker
-processes — :mod:`repro.engine.parallel`), and a :class:`BatchingExecutor`
+processes over a **miss-only blob protocol** — steady state sends digests,
+not plan/database pickles — and ``"adaptive"`` routes each unit inline /
+thread / process by a measured cost model — :mod:`repro.engine.parallel`),
+and a :class:`BatchingExecutor`
 front-end that accumulates concurrent submissions and auto-flushes on a
 deadline/size trigger.
 
@@ -44,6 +47,8 @@ from .answer_cache import (
 from .engine import EngineStats, PrivateQueryEngine
 from .executor import BatchingExecutor
 from .parallel import (
+    AdaptiveExecuteBackend,
+    ExecuteCostModel,
     ExecuteUnit,
     ProcessExecuteBackend,
     ThreadExecuteBackend,
@@ -62,6 +67,7 @@ from .signature import (
 
 __all__ = [
     "ANSWERED",
+    "AdaptiveExecuteBackend",
     "AnswerCache",
     "AnswerCacheStats",
     "BatchingExecutor",
@@ -70,6 +76,7 @@ __all__ = [
     "ClientSession",
     "DomainShard",
     "EngineStats",
+    "ExecuteCostModel",
     "ExecuteUnit",
     "FlushPipeline",
     "Measurement",

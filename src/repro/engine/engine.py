@@ -71,7 +71,12 @@ from ..core.workload import Workload
 from ..exceptions import MechanismError, PolicyError, PrivacyBudgetError
 from ..policy.graph import PolicyGraph, is_bottom
 from .answer_cache import AnswerCache, Measurement
-from .parallel import ExecuteUnit, create_execute_backend, execute_unit_via
+from .parallel import (
+    ExecuteCostModel,
+    ExecuteUnit,
+    create_execute_backend,
+    execute_unit_via,
+)
 from .pipeline import ANSWERED, PENDING, REFUSED, STAGES, FlushPipeline, QueryTicket
 from .plan_cache import (
     PLAN_STORE_FORMAT,
@@ -128,14 +133,28 @@ class EngineStats:
     execute_seconds: float = 0.0
     resolve_seconds: float = 0.0
     #: Which execute backend served the flushes: ``"inline"`` (no pool),
-    #: ``"thread"`` or ``"process"``.
+    #: ``"thread"``, ``"process"`` or ``"adaptive"``.
     execute_backend: str = "inline"
-    #: Work units dispatched to the execute backend (0 for inline engines).
+    #: Work units dispatched to the execute backend (0 for inline engines;
+    #: for ``"adaptive"`` only pool-routed units count — inline-routed ones
+    #: are tallied by :attr:`adaptive_inline`).
     worker_dispatches: int = 0
     #: Parent-side wall-clock spent pickling plans/payloads for the process
     #: backend (always 0.0 for inline/thread) — the observable cost of
     #: crossing the process boundary.
     serialization_seconds: float = 0.0
+    #: Total bytes shipped over the process-pool pipe (payloads, digests,
+    #: and blobs the miss-only protocol actually sent) — 0 for
+    #: inline/thread engines.
+    bytes_shipped: int = 0
+    #: Worker-side resident-cache misses of the miss-only blob protocol
+    #: (each one cost a resubmission round trip with full blobs).
+    blob_cache_misses: int = 0
+    #: Units the adaptive router kept inline on the flushing thread
+    #: (0 unless ``execute_backend="adaptive"``).
+    adaptive_inline: int = 0
+    #: Units the adaptive router dispatched to a pool (thread or process).
+    adaptive_dispatched: int = 0
 
     @property
     def stage_seconds(self) -> Dict[str, float]:
@@ -198,10 +217,19 @@ class PrivateQueryEngine:
         ``"thread"`` (default) runs work units on an in-process thread pool;
         ``"process"`` ships them to worker *processes*
         (:mod:`repro.engine.parallel`), the only way past the GIL for the
-        scipy-sparse mechanism kernels.  The RNG derivation is identical on
-        both backends, so a seeded engine draws the same noise either way —
+        scipy-sparse mechanism kernels; ``"adaptive"`` routes each unit
+        per flush — inline, thread pool or process pool — by a measured
+        cost model (EWMA kernel seconds per plan vs observed per-dispatch
+        overhead), so tiny units skip IPC and heavy sharded batches still
+        fan out across cores.  The RNG derivation is identical on every
+        backend, so a seeded engine draws the same noise whichever serves —
         and ε ledgers never depend on the backend at all.  Ignored unless
         ``execute_workers`` > 1.
+    execute_cost_model:
+        Optional :class:`~repro.engine.ExecuteCostModel` for the adaptive
+        backend (tests/benchmarks inject primed models to force routing
+        decisions); the default model starts from overhead priors and
+        learns from the served workload.  Ignored by the static backends.
     process_start_method:
         ``multiprocessing`` start method of the process backend (default
         ``"spawn"``; ``"fork"`` starts faster but is unsafe with threads).
@@ -234,6 +262,7 @@ class PrivateQueryEngine:
         execute_workers: Optional[int] = None,
         execute_backend: str = "thread",
         process_start_method: str = "spawn",
+        execute_cost_model: Optional["ExecuteCostModel"] = None,
         serialize_flush: bool = False,
     ) -> None:
         self._database = database
@@ -295,10 +324,14 @@ class PrivateQueryEngine:
             execute_backend,
             0 if execute_workers is None else int(execute_workers),
             process_start_method=process_start_method,
+            # Worker processes preload the served database through the pool
+            # initializer, so it never crosses the pipe per dispatch.
+            preload=(database,),
+            cost_model=execute_cost_model,
         )
-        # Final (name, dispatches, serialization_seconds) captured by close()
-        # so stats snapshots keep reporting the backend's lifetime telemetry.
-        self._closed_backend_stats: Optional[Tuple[str, int, float]] = None
+        # Final telemetry snapshot captured by close() so stats keep
+        # reporting the backend's lifetime counters after shutdown.
+        self._closed_backend_stats: Optional[Dict[str, object]] = None
 
     # --------------------------------------------------------------- sessions
     @property
@@ -747,7 +780,7 @@ class PrivateQueryEngine:
         return absorbed
 
     # ------------------------------------------------------------ persistence
-    def save_plans(self, path: str) -> int:
+    def save_plans(self, path: str, prune: bool = False) -> int:
         """Persist every cached plan — engine-level and per-shard — to ``path``.
 
         The store is the serialisation layer's on-disk face: a restarted
@@ -758,6 +791,17 @@ class PrivateQueryEngine:
         never hit.  Stores are pickles: load only stores this deployment
         wrote itself (see :func:`~repro.engine.plan_cache.read_plan_store`).
         Returns the number of entries written.
+
+        ``prune=True`` writes only plans present in a **live** cache — the
+        engine-level cache and the per-shard caches of currently built shard
+        sets.  Staged entries (loaded from an earlier store but never
+        queried since, or stranded when their shard set was LRU-evicted)
+        are dropped from the written store, so a long-running server's
+        periodic snapshots track what it actually serves instead of
+        accreting every plan it ever loaded.  The in-memory staging is left
+        untouched — plans it holds still hydrate shard sets built later.
+        The default (``prune=False``) keeps the conservative semantics: a
+        load→save cycle never shrinks the store.
         """
         with self._shard_lock:
             shard_sets = {
@@ -767,11 +811,17 @@ class PrivateQueryEngine:
             }
             # Staged entries (loaded from a store but whose policy was never
             # queried, or whose shard set was LRU-evicted) carry through to
-            # the new store — a load→save cycle must not shrink it.
-            shard_entries: Dict[str, Dict[int, List[Tuple[PlanKey, CachedPlan]]]] = {
-                key: {index: list(entries) for index, entries in per_shard.items()}
-                for key, per_shard in self._saved_shard_plans.items()
-            }
+            # the new store — unless this save prunes to live caches only.
+            shard_entries: Dict[str, Dict[int, List[Tuple[PlanKey, CachedPlan]]]] = (
+                {}
+                if prune
+                else {
+                    key: {
+                        index: list(entries) for index, entries in per_shard.items()
+                    }
+                    for key, per_shard in self._saved_shard_plans.items()
+                }
+            )
         for key, shard_set in shard_sets.items():
             for shard in shard_set.shards:
                 live = shard.plan_cache.export_entries()
@@ -863,17 +913,14 @@ class PrivateQueryEngine:
             )
         backend = self._execute_backend
         if backend is not None:
-            snapshot.execute_backend = backend.name
-            snapshot.worker_dispatches = backend.dispatches
-            snapshot.serialization_seconds = backend.serialization_seconds
-        elif self._closed_backend_stats is not None:
+            telemetry = self._backend_telemetry(backend)
+        else:
             # Closed engines flush inline from here on, but the lifetime
             # telemetry of the backend that served must not read as zeros.
-            (
-                snapshot.execute_backend,
-                snapshot.worker_dispatches,
-                snapshot.serialization_seconds,
-            ) = self._closed_backend_stats
+            telemetry = self._closed_backend_stats
+        if telemetry is not None:
+            for field_name, value in telemetry.items():
+                setattr(snapshot, field_name, value)
         # Plan lookups happen in the engine-level cache AND the per-shard
         # caches (sharded policies plan exclusively through the latter), so
         # the warm-start gauge aggregates both — a cold sharded server must
@@ -903,6 +950,24 @@ class PrivateQueryEngine:
         )
         return snapshot
 
+    @staticmethod
+    def _backend_telemetry(backend) -> Dict[str, object]:
+        """One backend's lifetime counters, keyed by their stats field names.
+
+        Every backend exposes ``name``/``dispatches``/``serialization_seconds``;
+        the blob-protocol and adaptive-routing counters exist only on the
+        backends that pay those costs, so absent attributes honestly read 0.
+        """
+        return {
+            "execute_backend": backend.name,
+            "worker_dispatches": backend.dispatches,
+            "serialization_seconds": backend.serialization_seconds,
+            "bytes_shipped": getattr(backend, "bytes_shipped", 0),
+            "blob_cache_misses": getattr(backend, "blob_cache_misses", 0),
+            "adaptive_inline": getattr(backend, "adaptive_inline", 0),
+            "adaptive_dispatched": getattr(backend, "adaptive_dispatched", 0),
+        }
+
     def _record_stage_timings(self, timings: Dict[str, float]) -> None:
         """Accumulate one pipeline round's stage wall-clock into the totals."""
         with self._stats_lock:
@@ -926,12 +991,13 @@ class PrivateQueryEngine:
         """
         backend, self._execute_backend = self._execute_backend, None
         if backend is not None:
-            self._closed_backend_stats = (
-                backend.name,
-                backend.dispatches,
-                backend.serialization_seconds,
-            )
+            # Provisional snapshot first (stats readers racing the shutdown
+            # must never see zeros), final snapshot after the drain — an
+            # in-flight dispatch can still bump the protocol counters while
+            # close(wait=True) waits for it.
+            self._closed_backend_stats = self._backend_telemetry(backend)
             backend.close(wait=True)
+            self._closed_backend_stats = self._backend_telemetry(backend)
 
     def __enter__(self) -> "PrivateQueryEngine":
         return self

@@ -1,4 +1,4 @@
-"""Execute-stage worker backends: thread pool and **process pool**.
+"""Execute-stage worker backends: thread pool, **process pool**, adaptive router.
 
 The staged pipeline (:mod:`repro.engine.pipeline`) made flushes overlap, but
 in one process the GIL still bounds the execute stage: the scipy-sparse
@@ -10,40 +10,51 @@ unsharded batch, one per touched :class:`~repro.engine.DomainShard` of a
 sharded batch (shard databases are small and independent) — and a backend
 runs them on a pool.
 
-Two backends share one contract — ``submit(unit) -> Future[(List[ndarray],
-Optional[NoiseModel])]``, the per-workload answer vectors plus the
-invocation's honest noise metadata (which pickles, so it survives the
-process round trip byte-identically):
+Three backends share one contract — ``submit(unit) -> future-like`` whose
+``result()`` yields ``(List[ndarray], Optional[NoiseModel])``, the
+per-workload answer vectors plus the invocation's honest noise metadata
+(which pickles, so it survives the process round trip byte-identically):
 
 * :class:`ThreadExecuteBackend` — the in-process pool.  No serialisation;
   units execute on shared objects.
-* :class:`ProcessExecuteBackend` — a ``ProcessPoolExecutor``.  Every unit is
-  shipped as ``(plan key, plan blob, database token, database blob,
-  pickled (workloads, rng))``; plan and database *pickling* is memoised on
-  both sides (parent keeps blobs, workers keep re-hydrated objects by
-  key/token), so a steady-state dispatch serialises only workloads + RNG —
-  though the memoised blobs still cross the pipe each dispatch (tasks
-  cannot be targeted at a specific worker, so the parent cannot know which
-  worker already holds them; a miss-only blob protocol is a road-mapped
-  refinement for very large histograms).  All parent-side serialisation
-  time is accounted (:attr:`serialization_seconds`, surfaced via
-  :attr:`~repro.engine.EngineStats.serialization_seconds`).
+* :class:`ProcessExecuteBackend` — a ``ProcessPoolExecutor`` speaking a
+  **miss-only blob protocol**: plans and databases are addressed by content
+  digest, workers hold a digest-keyed *resident cache* (preloaded through
+  the pool initializer with the engine database and every plan known at
+  pool start), and a steady-state dispatch ships only ``(digest, digest,
+  workloads + RNG child)`` — never the blobs themselves.  A worker that
+  lacks a digest (fresh plan raced to a cold worker, or a respawned worker
+  that lost its cache) answers with a miss sentinel and the parent
+  resubmits that one unit with the full blobs, which also repopulates the
+  worker.  Shipped bytes, cache misses and parent-side serialisation time
+  are all observable (:attr:`bytes_shipped`, :attr:`blob_cache_misses`,
+  :attr:`serialization_seconds`, surfaced via
+  :class:`~repro.engine.EngineStats`).
+* :class:`AdaptiveExecuteBackend` — a cost-aware router over an inline
+  path, a thread pool and a process pool.  An :class:`ExecuteCostModel`
+  keeps an EWMA of per-plan-key kernel seconds and of each pool's observed
+  per-dispatch overhead (serialisation + IPC + future round trip); each
+  unit then runs wherever it is cheapest — tiny units inline on the
+  flushing thread, heavy multi-unit flushes fanned out to processes.
 
 Determinism: the backends never touch the noise stream — the pipeline spawns
 one RNG child per work unit with the **same derivation on every backend**, so
-a seeded engine produces identical draws under ``execute_backend="thread"``
-and ``"process"`` (and byte-identical ε ledgers, which never depend on the
-backend at all: charges happen before execution).
+a seeded engine produces identical draws under ``execute_backend="thread"``,
+``"process"`` and ``"adaptive"`` (and byte-identical ε ledgers, which never
+depend on the backend at all: charges happen before execution).  Routing and
+the blob protocol only decide *where* a unit runs and *what crosses the
+pipe*; the unit's RNG child is fixed before either.
 
 Worker processes default to the ``spawn`` start method: ``fork`` from an
 engine that already runs flusher/worker threads can clone held locks into
 the child.  Spawned workers import the library once (~0.5 s) and then
-persist across flushes.
+persist across flushes; the pool itself is created lazily on first dispatch
+so its initializer can preload everything the backend has seen by then.
 """
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 import multiprocessing
 import pickle
 import threading
@@ -56,7 +67,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,6 +78,8 @@ from .plan_cache import CachedPlan
 from .signature import PlanKey
 
 __all__ = [
+    "AdaptiveExecuteBackend",
+    "ExecuteCostModel",
     "ExecuteUnit",
     "ProcessExecuteBackend",
     "ThreadExecuteBackend",
@@ -152,6 +165,11 @@ def execute_unit_via(backend, unit: ExecuteUnit) -> Tuple[List[np.ndarray], Opti
     * anything raised by the unit's own execution (from ``result()`` or
       the inline run, whatever the type) propagates to the caller, which
       rolls the charge back.
+
+    An adaptive backend routes the lone unit by its cost model (a single
+    unit has no pool overlap to buy, so it lands inline in practice) — the
+    draws are identical either way, because the unit's RNG is fixed by the
+    caller.
     """
     if backend is not None:
         try:
@@ -168,47 +186,273 @@ def execute_unit_via(backend, unit: ExecuteUnit) -> Tuple[List[np.ndarray], Opti
 
 
 # ---------------------------------------------------------------------------
+# Cost model.
+# ---------------------------------------------------------------------------
+class ExecuteCostModel:
+    """EWMA cost model driving the adaptive backend's per-unit routing.
+
+    Two families of observations feed it:
+
+    * **kernel seconds** per plan key — how long one mechanism invocation
+      under that plan actually takes, measured wherever the unit ran
+      (inline, thread worker, or inside the worker process — the process
+      protocol ships the measurement back with the answers);
+    * **per-dispatch overhead** per pool — everything a dispatch pays on
+      top of the kernel: serialisation, IPC, queueing and the future round
+      trip, measured parent-side as (round-trip wall-clock − kernel
+      seconds).
+
+    Until a pool has been observed its overhead starts from a prior
+    (processes cost milliseconds, threads tens of microseconds), so the
+    router is usable from the first flush; until a *plan* has been observed
+    its units run inline — the observation itself then seeds the estimate.
+    ``default_kernel_seconds`` overrides that bootstrap for tests and
+    benchmarks that need decisions forced in a known direction.
+
+    Overhead observations include honest congestion (queue wait behind
+    sibling units), which can transiently poison the estimate high — and a
+    pool the router then avoids would never be re-measured.  Two guards
+    keep routing from sticking: the dispatch that *created* the lazy
+    process pool is never observed (worker spawn is a one-off, not a
+    per-dispatch cost), and every inline routing decision decays the
+    overhead estimates a small step back toward their priors
+    (``prior_reversion``), so an avoided pool is eventually retried and
+    re-measured.
+
+    All methods are thread-safe: concurrent flushes observe and route
+    through one shared model.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        thread_overhead_prior: float = 2e-4,
+        process_overhead_prior: float = 4e-3,
+        dispatch_margin: float = 2.0,
+        default_kernel_seconds: Optional[float] = None,
+        prior_reversion: float = 0.02,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if dispatch_margin < 1.0:
+            raise ValueError(
+                f"dispatch_margin must be >= 1 (dispatch only when the kernel "
+                f"clearly dominates the overhead), got {dispatch_margin}"
+            )
+        if not 0.0 <= prior_reversion <= 1.0:
+            raise ValueError(
+                f"prior_reversion must be in [0, 1], got {prior_reversion}"
+            )
+        self._alpha = float(alpha)
+        self._margin = float(dispatch_margin)
+        self._default_kernel = (
+            float(default_kernel_seconds)
+            if default_kernel_seconds is not None
+            else None
+        )
+        self._reversion = float(prior_reversion)
+        self._lock = threading.Lock()
+        self._kernels: Dict[PlanKey, float] = {}
+        self._overhead_priors: Dict[str, float] = {
+            "thread": float(thread_overhead_prior),
+            "process": float(process_overhead_prior),
+        }
+        self._overheads: Dict[str, float] = dict(self._overhead_priors)
+
+    # ----------------------------------------------------------- observations
+    def observe_kernel(self, plan_key: PlanKey, seconds: float) -> None:
+        """Fold one measured kernel wall-clock into the plan key's EWMA."""
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            current = self._kernels.get(plan_key)
+            self._kernels[plan_key] = (
+                seconds
+                if current is None
+                else self._alpha * seconds + (1.0 - self._alpha) * current
+            )
+
+    def observe_overhead(self, backend_name: str, seconds: float) -> None:
+        """Fold one measured per-dispatch overhead into the pool's EWMA."""
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            current = self._overheads.get(backend_name)
+            self._overheads[backend_name] = (
+                seconds
+                if current is None
+                else self._alpha * seconds + (1.0 - self._alpha) * current
+            )
+
+    # -------------------------------------------------------------- estimates
+    def kernel_seconds(self, plan_key: PlanKey) -> Optional[float]:
+        """Estimated kernel seconds for one invocation under ``plan_key``.
+
+        ``None`` means "never observed" (and no default configured) — the
+        router then runs the unit inline to take the first measurement.
+        """
+        with self._lock:
+            estimate = self._kernels.get(plan_key)
+        return estimate if estimate is not None else self._default_kernel
+
+    def overhead_seconds(self, backend_name: str) -> float:
+        """Estimated per-dispatch overhead of ``backend_name`` (prior or EWMA)."""
+        with self._lock:
+            return self._overheads.get(backend_name, 0.0)
+
+    # ---------------------------------------------------------------- routing
+    def route(self, plan_key: PlanKey, flush_units: int) -> str:
+        """Where one unit of a ``flush_units``-unit flush should run.
+
+        Returns ``"inline"``, ``"thread"`` or ``"process"``.  A lone unit
+        always runs inline (the pool buys overlap between units; with one
+        unit there is nothing to overlap, only overhead to pay), an
+        unobserved plan runs inline to seed its estimate, and otherwise the
+        kernel estimate must beat ``dispatch_margin ×`` a pool's overhead
+        to be dispatched there — processes preferred (they alone escape the
+        GIL), threads as the cheap fallback for mid-weight units.
+        """
+        if flush_units <= 1:
+            return "inline"
+        estimate = self.kernel_seconds(plan_key)
+        if estimate is None:
+            return "inline"
+        if estimate >= self._margin * self.overhead_seconds("process"):
+            return "process"
+        if estimate >= self._margin * self.overhead_seconds("thread"):
+            return "thread"
+        # Routing inline means the pools go unmeasured: decay their
+        # overhead estimates a step toward the priors so a congestion
+        # spike cannot lock the router out of a now-idle pool forever.
+        if self._reversion > 0.0:
+            with self._lock:
+                for name, prior in self._overhead_priors.items():
+                    current = self._overheads.get(name, prior)
+                    self._overheads[name] = current + self._reversion * (
+                        prior - current
+                    )
+        return "inline"
+
+    def snapshot(self) -> dict:
+        """Debug/benchmark view: current estimates, keyed by plan key string."""
+        with self._lock:
+            return {
+                "kernel_seconds": {str(key): value for key, value in self._kernels.items()},
+                "overhead_seconds": dict(self._overheads),
+                "dispatch_margin": self._margin,
+            }
+
+
+# ---------------------------------------------------------------------------
 # Worker-process side.
 # ---------------------------------------------------------------------------
-#: Per-worker memo of re-hydrated plans.  Worker processes persist across
-#: flushes, so a hot plan is unpickled once and its internal caches (workload
-#: transforms, Gram factorisation) stay warm from then on.
-_WORKER_PLANS: "OrderedDict[PlanKey, CachedPlan]" = OrderedDict()
-_WORKER_PLANS_MAXSIZE = 32
+#: Per-worker resident cache of re-hydrated plans *and* databases, keyed by
+#: the content digest of their pickle.  Worker processes persist across
+#: flushes, so a hot object is unpickled once and its internal caches
+#: (workload transforms, Gram factorisation) stay warm from then on.
+_WORKER_RESIDENT: "OrderedDict[str, object]" = OrderedDict()
+_WORKER_RESIDENT_MAXSIZE = 128
 
-#: Per-worker memo of re-hydrated databases, keyed by the parent-side token
-#: (tokens are unique per backend instance, so a recycled ``id()`` in the
-#: parent can never alias a stale histogram here).
-_WORKER_DATABASES: "OrderedDict[Tuple[int, int], Database]" = OrderedDict()
-_WORKER_DATABASES_MAXSIZE = 64
+#: The preload the pool initializer ran with — kept so a simulated respawn
+#: (:func:`_reset_worker_resident`) restores exactly the initializer state.
+_WORKER_PRELOAD: List[Tuple[str, bytes]] = []
 
 
-def _execute_in_worker(
-    plan_key: PlanKey,
-    plan_blob: bytes,
-    database_token: Tuple[int, int],
-    database_blob: bytes,
+def _blob_digest(blob: bytes) -> str:
+    """Content digest a blob is addressed by across the process boundary."""
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+class _PlanSerialisationError(Exception):
+    """The *plan* itself cannot be pickled for the process boundary.
+
+    Distinguished from per-unit payload failures (an unpicklable workload,
+    say) so the adaptive router blacklists only plans that can genuinely
+    never cross — a bad payload must not demote every later unit of an
+    innocent plan to the thread pool.
+    """
+
+
+@dataclass(frozen=True)
+class _BlobMiss:
+    """Worker → parent sentinel: these digests are not resident here.
+
+    The worker returns it *before* touching the unit's RNG payload, so the
+    parent's resubmission (with full blobs) draws exactly the noise the
+    first attempt would have drawn.
+    """
+
+    missing: Tuple[str, ...]
+
+
+def _preload_worker(resident: List[Tuple[str, bytes]]) -> None:
+    """Pool initializer: make every ``(digest, blob)`` pair resident.
+
+    Every worker the pool ever spawns — including respawns after a crash —
+    runs this with the same arguments, so the engine database and the plans
+    known at pool creation are *always* resident and can never miss.
+    """
+    global _WORKER_PRELOAD
+    _WORKER_PRELOAD = list(resident)
+    _WORKER_RESIDENT.clear()
+    for digest, blob in resident:
+        _WORKER_RESIDENT[digest] = pickle.loads(blob)
+
+
+def _reset_worker_resident() -> bool:
+    """Drop this worker's resident cache and re-run its preload.
+
+    Test/benchmark hook simulating a worker respawn (a real respawn re-runs
+    :func:`_preload_worker` and loses everything shipped since) without the
+    platform-dependent machinery of actually killing the process.
+    """
+    _preload_worker(_WORKER_PRELOAD)
+    return True
+
+
+def _resident_get(digest: str, blob: Optional[bytes]):
+    """Recall a resident object, re-hydrating from ``blob`` when shipped."""
+    obj = _WORKER_RESIDENT.get(digest)
+    if obj is not None:
+        _WORKER_RESIDENT.move_to_end(digest)
+        return obj
+    if blob is None:
+        return None
+    obj = pickle.loads(blob)
+    _WORKER_RESIDENT[digest] = obj
+    while len(_WORKER_RESIDENT) > _WORKER_RESIDENT_MAXSIZE:
+        _WORKER_RESIDENT.popitem(last=False)
+    return obj
+
+
+def _execute_shipped(
+    plan_digest: str,
+    plan_blob: Optional[bytes],
+    db_digest: str,
+    db_blob: Optional[bytes],
     payload_blob: bytes,
-) -> Tuple[List[np.ndarray], Optional[NoiseModel]]:
-    """Worker entry point: re-hydrate (or recall) plan + database, run the unit."""
-    plan = _WORKER_PLANS.get(plan_key)
+):
+    """Worker entry point of the miss-only protocol.
+
+    Recalls (or re-hydrates) the plan and database by digest, then runs the
+    unit.  When a digest is neither resident nor shipped, returns a
+    :class:`_BlobMiss` **without running anything** — the parent resubmits
+    with full blobs, and because the RNG payload was never unpickled here,
+    the retry draws identical noise.  Successful runs return ``(vectors,
+    model, kernel_seconds)`` — the kernel wall-clock feeds the parent-side
+    cost model.
+    """
+    plan = _resident_get(plan_digest, plan_blob)
+    database = _resident_get(db_digest, db_blob)
+    missing = []
     if plan is None:
-        plan = pickle.loads(plan_blob)
-        _WORKER_PLANS[plan_key] = plan
-        while len(_WORKER_PLANS) > _WORKER_PLANS_MAXSIZE:
-            _WORKER_PLANS.popitem(last=False)
-    else:
-        _WORKER_PLANS.move_to_end(plan_key)
-    database = _WORKER_DATABASES.get(database_token)
+        missing.append("plan")
     if database is None:
-        database = pickle.loads(database_blob)
-        _WORKER_DATABASES[database_token] = database
-        while len(_WORKER_DATABASES) > _WORKER_DATABASES_MAXSIZE:
-            _WORKER_DATABASES.popitem(last=False)
-    else:
-        _WORKER_DATABASES.move_to_end(database_token)
+        missing.append("database")
+    if missing:
+        return _BlobMiss(tuple(missing))
     workloads, rng, want_noise = pickle.loads(payload_blob)
-    return run_unit(plan, workloads, database, rng, want_noise)
+    started = time.perf_counter()
+    vectors, model = run_unit(plan, workloads, database, rng, want_noise)
+    return vectors, model, time.perf_counter() - started
 
 
 # ---------------------------------------------------------------------------
@@ -219,13 +463,20 @@ class ThreadExecuteBackend:
 
     name = "thread"
 
-    def __init__(self, max_workers: int) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        observe: Optional[Callable[[PlanKey, float, float], None]] = None,
+    ) -> None:
         self._pool = ThreadPoolExecutor(
             max_workers=int(max_workers),
             thread_name_prefix="repro-engine-execute",
         )
         self._counter_lock = threading.Lock()
         self._dispatches = 0
+        #: Optional cost-model hook, ``observe(plan_key, kernel_seconds,
+        #: dispatch_overhead_seconds)`` — wired by the adaptive backend.
+        self._observe = observe
 
     @property
     def dispatches(self) -> int:
@@ -238,16 +489,31 @@ class ThreadExecuteBackend:
         """Always zero: units execute in-process on shared objects."""
         return 0.0
 
+    def _run_observed(self, unit: ExecuteUnit, submitted_at: float):
+        # Queue wait is the thread pool's whole dispatch overhead: there is
+        # no serialisation and no IPC, only waiting for a worker slot.
+        waited = time.perf_counter() - submitted_at
+        started = time.perf_counter()
+        result = run_unit(
+            unit.plan, unit.workloads, unit.database, unit.rng, unit.want_noise
+        )
+        assert self._observe is not None
+        self._observe(unit.plan.key, time.perf_counter() - started, waited)
+        return result
+
     def submit(self, unit: ExecuteUnit) -> "Future[Tuple[List[np.ndarray], Optional[NoiseModel]]]":
         """Schedule one unit; raises ``RuntimeError`` once closed."""
-        future = self._pool.submit(
-            run_unit,
-            unit.plan,
-            unit.workloads,
-            unit.database,
-            unit.rng,
-            unit.want_noise,
-        )
+        if self._observe is not None:
+            future = self._pool.submit(self._run_observed, unit, time.perf_counter())
+        else:
+            future = self._pool.submit(
+                run_unit,
+                unit.plan,
+                unit.workloads,
+                unit.database,
+                unit.rng,
+                unit.want_noise,
+            )
         with self._counter_lock:
             self._dispatches += 1
         return future
@@ -257,8 +523,89 @@ class ThreadExecuteBackend:
         self._pool.shutdown(wait=wait)
 
 
+class _ProcessDispatch:
+    """Future-like handle hiding the miss-only blob protocol from callers.
+
+    ``result()`` transparently recovers a worker-side blob miss (resubmit
+    with full blobs) and strips the protocol's kernel-seconds measurement
+    before handing ``(vectors, model)`` to the caller — so the pipeline and
+    ``execute_unit_via`` treat process dispatches exactly like thread
+    futures.
+    """
+
+    __slots__ = (
+        "_backend",
+        "_unit",
+        "_future",
+        "_submitted_at",
+        "_done_at",
+        "_observe",
+        "_resolved",
+    )
+
+    def __init__(
+        self,
+        backend: "ProcessExecuteBackend",
+        unit: ExecuteUnit,
+        future,
+        submitted_at: float,
+        observe: bool = True,
+    ) -> None:
+        self._backend = backend
+        self._unit = unit
+        self._future = future
+        self._submitted_at = submitted_at
+        self._done_at: Optional[float] = None
+        #: False for the dispatch that created the lazy pool: its round
+        #: trip absorbs worker spawn (a one-off), which must not poison the
+        #: cost model's per-dispatch overhead EWMA.
+        self._observe = observe
+        self._resolved: Optional[tuple] = None
+        future.add_done_callback(self._stamp_done)
+
+    def _stamp_done(self, _future) -> None:
+        self._done_at = time.perf_counter()
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None):
+        # Idempotent like a real Future: the raw future keeps holding the
+        # _BlobMiss sentinel after a recovery, so a second result() call
+        # must serve the recovered value instead of re-running the unit.
+        if self._resolved is not None:
+            return self._resolved
+        value = self._future.result(timeout)
+        if isinstance(value, _BlobMiss):
+            # The recovery round trips inherit the caller's timeout per hop
+            # (an approximate rather than a total bound, but a wedged pool
+            # can never turn a bounded wait into an unbounded one).
+            value = self._backend._recover_miss(
+                self._unit, value, self, timeout=timeout
+            )
+        vectors, model, kernel_seconds = value
+        if self._observe:
+            self._backend._observe_dispatch(
+                self._unit.plan.key, kernel_seconds, self
+            )
+        self._resolved = (vectors, model)
+        return self._resolved
+
+
 class ProcessExecuteBackend:
     """Execute units on a ``ProcessPoolExecutor`` — real multi-core execution.
+
+    Dispatches speak the **miss-only blob protocol**: plans and databases
+    cross the pipe as content digests, not blobs.  Workers keep a
+    digest-keyed resident cache, preloaded through the pool initializer
+    with ``preload`` (typically the engine database) plus every plan blob
+    memoised before the pool starts (the pool is created lazily on the
+    first dispatch, so the first unit's plan is always preloaded).  A blob
+    first seen *after* pool creation is shipped eagerly exactly once — it
+    lands on one worker; any other worker that draws a later digest-only
+    dispatch answers with a miss sentinel and the parent resubmits that one
+    unit with full blobs (also how a respawned worker repopulates).  Steady
+    state therefore ships only the workloads and the RNG child.
 
     Parameters
     ----------
@@ -268,38 +615,83 @@ class ProcessExecuteBackend:
         ``multiprocessing`` start method.  The default ``"spawn"`` is safe in
         the presence of engine/executor threads; ``"fork"`` starts faster on
         POSIX but clones the parent's thread-held locks.
+    preload:
+        Objects every worker must hold resident from birth (the engine
+        passes its database).  Pickled once here; respawned workers re-run
+        the initializer, so preloaded digests can never miss.
+    blob_protocol:
+        ``"miss-only"`` (default) as above; ``"always"`` re-ships the
+        memoised blobs on every dispatch — the PR 3 behaviour, kept as the
+        honest baseline ``benchmarks/bench_ipc.py`` measures the protocol
+        against.
+    observe:
+        Optional cost-model hook ``observe(plan_key, kernel_seconds,
+        dispatch_overhead_seconds)``, wired by the adaptive backend.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int, start_method: str = "spawn") -> None:
-        context = multiprocessing.get_context(start_method)
-        self._pool = ProcessPoolExecutor(
-            max_workers=int(max_workers), mp_context=context
-        )
+    def __init__(
+        self,
+        max_workers: int,
+        start_method: str = "spawn",
+        preload: Sequence[object] = (),
+        blob_protocol: str = "miss-only",
+        observe: Optional[Callable[[PlanKey, float, float], None]] = None,
+    ) -> None:
+        if blob_protocol not in ("miss-only", "always"):
+            raise ValueError(
+                f"Unknown blob protocol {blob_protocol!r}; "
+                "expected 'miss-only' or 'always'"
+            )
+        self._max_workers = int(max_workers)
+        self._context = multiprocessing.get_context(start_method)
+        self._ship_always = blob_protocol == "always"
+        self._observe = observe
+        # The pool is created lazily (first dispatch) so its initializer can
+        # preload everything memoised by then — see _ensure_pool.
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
         self._counter_lock = threading.Lock()
         self._dispatches = 0
         self._serialization_seconds = 0.0
+        self._bytes_shipped = 0
+        self._preload_bytes = 0
+        self._blob_cache_misses = 0
+        self._resubmits = 0
         # Parent-side memo of plan pickles: a hot plan is serialised once,
-        # then every later dispatch reuses the bytes (sending bytes is a
-        # memcpy; re-pickling sparse strategy matrices is not).
+        # then every later dispatch reuses the digest (and, under the
+        # miss-only protocol, ships only that).
         self._blob_lock = threading.Lock()
-        self._plan_blobs: "OrderedDict[PlanKey, bytes]" = OrderedDict()
-        self._plan_blobs_maxsize = _WORKER_PLANS_MAXSIZE
+        self._plan_blobs: "OrderedDict[PlanKey, Tuple[str, bytes]]" = OrderedDict()
+        self._plan_blobs_maxsize = 32
         # Same for databases, which are immutable for the engine's lifetime
         # (full histogram for unsharded units, projected shard histograms
         # otherwise).  Keyed by object identity — each memo entry pins its
-        # database, so a recycled id() can never alias — and shipped with a
-        # per-backend-unique token the worker memoises re-hydration under.
-        self._db_tokens = itertools.count(1)
-        self._db_blobs: "OrderedDict[int, Tuple[Database, Tuple[int, int], bytes]]" = (
-            OrderedDict()
-        )
-        self._db_blobs_maxsize = _WORKER_DATABASES_MAXSIZE
+        # database, so a recycled id() can never alias.
+        self._db_blobs: "OrderedDict[int, Tuple[Database, str, bytes]]" = OrderedDict()
+        self._db_blobs_maxsize = 64
+        #: Digests known to be resident somewhere in the pool: preloaded
+        #: into every worker, or eagerly shipped to one.  Digest-only
+        #: dispatches of anything else would miss deterministically, so the
+        #: first dispatch of a new digest always carries its blob.
+        self._shipped_digests: set = set()
+        #: Preload objects are pickled lazily at pool creation, not here —
+        #: an engine whose workload never earns a process dispatch must not
+        #: pay a full-histogram pickle at construction time (and when it is
+        #: paid, it is accounted in serialization_seconds like every other
+        #: parent-side pickle).
+        self._pending_preload: List[object] = list(preload)
+        #: Preloads that are not databases still reach every worker through
+        #: the initializer, they just cannot be recalled via _db_entry.
+        self._extra_preload: List[Tuple[str, bytes]] = []
 
+    # ------------------------------------------------------------- telemetry
     @property
     def dispatches(self) -> int:
-        """Number of work units shipped to worker processes so far."""
+        """Number of work units shipped to worker processes so far
+        (protocol resubmits after a blob miss are counted separately)."""
         with self._counter_lock:
             return self._dispatches
 
@@ -309,90 +701,530 @@ class ProcessExecuteBackend:
         with self._counter_lock:
             return self._serialization_seconds
 
-    def _plan_blob(self, plan: CachedPlan) -> bytes:
+    @property
+    def bytes_shipped(self) -> int:
+        """Total bytes handed to the pool across all dispatches and
+        resubmits (pool-initializer preload bytes are counted separately —
+        they are paid per worker spawn, not per dispatch)."""
+        with self._counter_lock:
+            return self._bytes_shipped
+
+    @property
+    def preload_bytes(self) -> int:
+        """Bytes each spawned worker re-hydrates via the pool initializer."""
+        with self._counter_lock:
+            return self._preload_bytes
+
+    @property
+    def blob_cache_misses(self) -> int:
+        """Worker-side resident-cache misses (one per missing blob kind)."""
+        with self._counter_lock:
+            return self._blob_cache_misses
+
+    @property
+    def resubmits(self) -> int:
+        """Dispatches re-sent with full blobs after a worker-side miss."""
+        with self._counter_lock:
+            return self._resubmits
+
+    # ------------------------------------------------------------------ blobs
+    def _plan_entry(self, plan: CachedPlan) -> Tuple[str, bytes]:
         with self._blob_lock:
-            blob = self._plan_blobs.get(plan.key)
-            if blob is not None:
+            entry = self._plan_blobs.get(plan.key)
+            if entry is not None:
                 self._plan_blobs.move_to_end(plan.key)
-                return blob
-        blob = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+                return entry
+        try:
+            blob = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise _PlanSerialisationError(
+                f"plan {plan.key!r} cannot cross the process boundary: {exc}"
+            ) from exc
+        digest = _blob_digest(blob)
         with self._blob_lock:
-            self._plan_blobs[plan.key] = blob
+            self._plan_blobs[plan.key] = (digest, blob)
             self._plan_blobs.move_to_end(plan.key)
             while len(self._plan_blobs) > self._plan_blobs_maxsize:
                 self._plan_blobs.popitem(last=False)
-        return blob
+        return digest, blob
 
-    def _database_blob(self, database: Database) -> Tuple[Tuple[int, int], bytes]:
+    def _db_entry(self, database: Database) -> Tuple[str, bytes]:
         key = id(database)
         with self._blob_lock:
             entry = self._db_blobs.get(key)
             if entry is not None and entry[0] is database:
                 self._db_blobs.move_to_end(key)
                 return entry[1], entry[2]
-        token = (id(self), next(self._db_tokens))
         blob = pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = _blob_digest(blob)
         with self._blob_lock:
-            self._db_blobs[key] = (database, token, blob)
+            self._db_blobs[key] = (database, digest, blob)
             self._db_blobs.move_to_end(key)
             while len(self._db_blobs) > self._db_blobs_maxsize:
                 self._db_blobs.popitem(last=False)
-        return token, blob
+        return digest, blob
 
-    def submit(self, unit: ExecuteUnit) -> "Future[Tuple[List[np.ndarray], Optional[NoiseModel]]]":
+    def _ensure_pool(self) -> Tuple[ProcessPoolExecutor, bool]:
+        """The worker pool (plus whether this call created it).
+
+        Lazy creation is what makes the initializer useful: by the first
+        dispatch the blob memos already hold the engine database and the
+        first unit's plan, so every worker the pool ever spawns —
+        including crash respawns — starts with them resident.  The creation
+        flag lets the creating dispatch skip its cost-model overhead
+        observation (worker spawn is a one-off cost, not a per-dispatch
+        one).
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("cannot schedule new futures after shutdown")
+            created = self._pool is None
+            if created:
+                self._materialise_preload()
+                with self._blob_lock:
+                    resident = (
+                        [(digest, blob) for digest, blob in self._plan_blobs.values()]
+                        + [
+                            (digest, blob)
+                            for _, digest, blob in self._db_blobs.values()
+                        ]
+                        + list(self._extra_preload)
+                    )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    mp_context=self._context,
+                    initializer=_preload_worker,
+                    initargs=(resident,),
+                )
+                preloaded = sum(len(blob) for _, blob in resident)
+                with self._counter_lock:
+                    self._preload_bytes = preloaded
+                self._shipped_digests.update(digest for digest, _ in resident)
+            return self._pool, created
+
+    def _materialise_preload(self) -> None:
+        """Pickle any still-pending preload objects into the blob memos.
+
+        Runs once, at pool creation (caller holds the pool lock).  A
+        preload database the first dispatch already memoised via
+        ``_db_entry`` is a no-op here — entries are keyed by object
+        identity, so nothing is pickled twice.
+        """
+        pending, self._pending_preload = self._pending_preload, []
+        if not pending:
+            return
+        started = time.perf_counter()
+        for obj in pending:
+            if isinstance(obj, Database):
+                self._db_entry(obj)
+            else:
+                blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+                self._extra_preload.append((_blob_digest(blob), blob))
+        with self._counter_lock:
+            self._serialization_seconds += time.perf_counter() - started
+
+    def _ship_blob(self, digest: str, blob: bytes) -> Optional[bytes]:
+        """Decide whether this dispatch carries the blob or the digest alone."""
+        if self._ship_always:
+            return blob
+        with self._blob_lock:
+            if digest in self._shipped_digests:
+                return None
+            self._shipped_digests.add(digest)
+        return blob
+
+    # ----------------------------------------------------------------- submit
+    def submit(self, unit: ExecuteUnit) -> _ProcessDispatch:
         """Serialise and ship one unit; raises ``RuntimeError`` once closed.
 
         Plan and database pickles are memoised (both are immutable for the
-        engine's lifetime), so a steady-state dispatch serialises only the
-        workloads and the RNG child.  Serialisation failures (e.g. a plan
-        holding an unpicklable custom estimator factory) raise here, *before*
-        anything is scheduled — the pipeline turns that into a rolled-back
-        batch, exactly like a mechanism failure.
+        engine's lifetime) and, under the miss-only protocol, cross the pipe
+        at most once — a steady-state dispatch serialises and ships only
+        the workloads and the RNG child.  Serialisation failures (e.g. a
+        plan holding an unpicklable custom estimator factory) raise here,
+        *before* anything is scheduled — the pipeline turns that into a
+        rolled-back batch, exactly like a mechanism failure.
         """
         started = time.perf_counter()
-        plan_blob = self._plan_blob(unit.plan)
-        database_token, database_blob = self._database_blob(unit.database)
+        plan_digest, plan_blob = self._plan_entry(unit.plan)
+        db_digest, db_blob = self._db_entry(unit.database)
         payload_blob = pickle.dumps(
             (unit.workloads, unit.rng, unit.want_noise),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         elapsed = time.perf_counter() - started
-        future = self._pool.submit(
-            _execute_in_worker,
-            unit.plan.key,
-            plan_blob,
-            database_token,
-            database_blob,
+        pool, pool_created = self._ensure_pool()  # first pool preloads the memos
+        ship_plan = self._ship_blob(plan_digest, plan_blob)
+        ship_db = self._ship_blob(db_digest, db_blob)
+        future = pool.submit(
+            _execute_shipped,
+            plan_digest,
+            ship_plan,
+            db_digest,
+            ship_db,
             payload_blob,
+        )
+        shipped = (
+            len(payload_blob)
+            + len(plan_digest)
+            + len(db_digest)
+            + (len(ship_plan) if ship_plan is not None else 0)
+            + (len(ship_db) if ship_db is not None else 0)
         )
         with self._counter_lock:
             self._dispatches += 1
             self._serialization_seconds += elapsed
-        return future
+            self._bytes_shipped += shipped
+        return _ProcessDispatch(self, unit, future, started, observe=not pool_created)
+
+    # --------------------------------------------------------------- protocol
+    def _recover_miss(
+        self,
+        unit: ExecuteUnit,
+        miss: _BlobMiss,
+        dispatch: _ProcessDispatch,
+        timeout: Optional[float] = None,
+    ):
+        """Resubmit one missed unit with blobs (the slow, corrective path).
+
+        The worker refused before unpickling the RNG payload, so re-sending
+        the identical payload draws exactly the noise the first attempt
+        would have — determinism never depends on the miss path.  The first
+        resubmission ships only the blobs the worker reported missing (a
+        respawned worker keeps its initializer preload — re-shipping a
+        multi-megabyte database it still holds would double the recovery
+        cost for nothing); on a multi-worker pool it may land on a worker
+        missing the *other* blob, so a second miss escalates to shipping
+        everything — two rounds guarantee progress.  Each resubmission also
+        re-populates whichever worker picks it up.
+        """
+        started = time.perf_counter()
+        plan_digest, plan_blob = self._plan_entry(unit.plan)
+        db_digest, db_blob = self._db_entry(unit.database)
+        payload_blob = pickle.dumps(
+            (unit.workloads, unit.rng, unit.want_noise),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        with self._counter_lock:
+            self._serialization_seconds += time.perf_counter() - started
+        rounds = (
+            (
+                plan_blob if "plan" in miss.missing else None,
+                db_blob if "database" in miss.missing else None,
+            ),
+            (plan_blob, db_blob),
+        )
+        for ship_plan, ship_db in rounds:
+            with self._counter_lock:
+                self._blob_cache_misses += len(miss.missing)
+                self._resubmits += 1
+            with self._blob_lock:
+                # The miss proves a worker dropped (or never had) these
+                # digests: forget they were shipped, so after this recovery
+                # the next regular dispatch re-ships them eagerly — one
+                # fat hop — instead of risking another two-hop miss round
+                # trip (the thrashing regime when the working set outgrows
+                # the worker resident cache).
+                if "plan" in miss.missing:
+                    self._shipped_digests.discard(plan_digest)
+                if "database" in miss.missing:
+                    self._shipped_digests.discard(db_digest)
+            try:
+                pool, _ = self._ensure_pool()
+                future = pool.submit(
+                    _execute_shipped,
+                    plan_digest,
+                    ship_plan,
+                    db_digest,
+                    ship_db,
+                    payload_blob,
+                )
+            except BrokenExecutor:
+                raise
+            except RuntimeError:
+                # Backend closed between the miss and the resubmit: the
+                # charge already stands, so the paid-for release happens
+                # inline (same engine-close semantics as execute_unit_via).
+                inline_started = time.perf_counter()
+                vectors, model = run_unit(
+                    unit.plan,
+                    unit.workloads,
+                    unit.database,
+                    unit.rng,
+                    unit.want_noise,
+                )
+                return vectors, model, time.perf_counter() - inline_started
+            future.add_done_callback(dispatch._stamp_done)
+            with self._counter_lock:
+                self._bytes_shipped += (
+                    len(payload_blob)
+                    + len(plan_digest)
+                    + len(db_digest)
+                    + (len(ship_plan) if ship_plan is not None else 0)
+                    + (len(ship_db) if ship_db is not None else 0)
+                )
+            value = future.result(timeout)
+            if not isinstance(value, _BlobMiss):
+                return value
+            miss = value
+        raise RuntimeError(  # pragma: no cover - protocol invariant
+            f"worker reported {miss.missing} missing although every blob was "
+            "shipped with the final resubmission"
+        )
+
+    def _observe_dispatch(
+        self, plan_key: PlanKey, kernel_seconds: float, dispatch: _ProcessDispatch
+    ) -> None:
+        """Feed the cost model (when wired): kernel EWMA + dispatch overhead."""
+        if self._observe is None:
+            return
+        done_at = dispatch._done_at
+        if done_at is None:  # pragma: no cover - result() implies done
+            done_at = time.perf_counter()
+        overhead = max(0.0, done_at - dispatch._submitted_at - kernel_seconds)
+        self._observe(plan_key, kernel_seconds, overhead)
+
+    # -------------------------------------------------------------- lifecycle
+    def reset_resident_caches(self) -> int:
+        """Drop worker resident caches back to their initializer preload.
+
+        Test/benchmark hook simulating worker respawns (what really happens
+        after a crash): everything shipped since pool creation is forgotten
+        by the workers and must be recovered through the miss path — the
+        parent, like with a real respawn, keeps dispatching digest-only
+        until a miss corrects it.  One reset task is submitted per worker;
+        an idle pool may run several on the same worker, so the simulation
+        is only deterministic with ``max_workers=1``.  Returns the number
+        of reset tasks run.
+        """
+        pool, _ = self._ensure_pool()
+        futures = [
+            pool.submit(_reset_worker_resident) for _ in range(self._max_workers)
+        ]
+        # The parent's shipped-digest memo is deliberately NOT touched: a
+        # real respawn is invisible to the parent too, so later dispatches
+        # keep going digest-only and recover through the miss path — which
+        # is exactly what this hook exists to exercise.
+        return sum(1 for future in futures if future.result())
 
     def close(self, wait: bool = True) -> None:
-        """Shut the worker processes down; subsequent submits raise."""
-        self._pool.shutdown(wait=wait)
+        """Shut the worker processes down; subsequent submits raise.
+
+        Also drops the parent-side blob memos: the database memo pins
+        :class:`~repro.core.database.Database` objects (and their
+        histograms), which must not outlive the backend.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+        with self._blob_lock:
+            self._plan_blobs.clear()
+            self._db_blobs.clear()
+            self._pending_preload.clear()
+            self._extra_preload.clear()
+            self._shipped_digests.clear()
+
+
+class AdaptiveExecuteBackend:
+    """Cost-aware router: each unit runs inline, on threads, or on processes.
+
+    ``execute_backend="adaptive"`` makes dispatch a *measured* decision
+    instead of a static configuration: an :class:`ExecuteCostModel` tracks
+    how long each plan's kernels actually take (EWMA per plan key, observed
+    wherever units run — the process protocol ships the measurement back
+    with the answers) and what each pool's dispatches actually cost on top
+    (serialisation + IPC + future round trip).  A unit is dispatched only
+    when its estimated kernel clearly dominates the pool's overhead;
+    otherwise it runs inline on the flushing thread — so tiny units never
+    pay IPC, heavy sharded batches still fan out across cores, and the
+    choice keeps tracking the workload as it shifts.
+
+    Determinism is untouched: routing picks *where* a unit runs after its
+    RNG child is already fixed, so a seeded engine draws bit-identical
+    noise under ``"adaptive"``, ``"thread"``, ``"process"`` and inline —
+    and ε ledgers never depend on the backend at all.
+
+    The inner process pool inherits ``preload`` (the engine database) and
+    the miss-only blob protocol; both pools are created lazily, so an
+    adaptive engine whose workload never earns a dispatch never pays for
+    worker processes.
+    """
+
+    name = "adaptive"
+    #: Pipeline hint: submit every unit (even a lone one) through this
+    #: backend with the ``flush_units`` context, instead of short-circuiting
+    #: single-unit flushes inline — the router decides, observes and counts.
+    routes_units = True
+
+    def __init__(
+        self,
+        max_workers: int,
+        start_method: str = "spawn",
+        preload: Sequence[object] = (),
+        cost_model: Optional[ExecuteCostModel] = None,
+    ) -> None:
+        self.cost_model = cost_model if cost_model is not None else ExecuteCostModel()
+        self._thread = ThreadExecuteBackend(
+            int(max_workers), observe=self._observe_thread
+        )
+        self._process = ProcessExecuteBackend(
+            int(max_workers),
+            start_method=start_method,
+            preload=preload,
+            observe=self._observe_process,
+        )
+        self._counter_lock = threading.Lock()
+        self._inline_runs = 0
+        #: Plan keys whose own pickle failed once: re-attempting the
+        #: (expensive, sparse-matrix) serialisation on every dispatch would
+        #: lose the whole point of routing — they go straight to the thread
+        #: pool.  Per-unit payload failures are NOT memoised here.
+        self._process_rejected: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------- cost-model wires
+    def _observe_thread(self, plan_key: PlanKey, kernel: float, overhead: float) -> None:
+        self.cost_model.observe_kernel(plan_key, kernel)
+        self.cost_model.observe_overhead("thread", overhead)
+
+    def _observe_process(self, plan_key: PlanKey, kernel: float, overhead: float) -> None:
+        self.cost_model.observe_kernel(plan_key, kernel)
+        self.cost_model.observe_overhead("process", overhead)
+
+    # ------------------------------------------------------------- telemetry
+    @property
+    def dispatches(self) -> int:
+        """Units handed to either pool (inline runs are counted separately)."""
+        return self._thread.dispatches + self._process.dispatches
+
+    @property
+    def serialization_seconds(self) -> float:
+        """Parent-side pickling time of the process-routed dispatches."""
+        return self._process.serialization_seconds
+
+    @property
+    def bytes_shipped(self) -> int:
+        """Bytes shipped by the process-routed dispatches."""
+        return self._process.bytes_shipped
+
+    @property
+    def blob_cache_misses(self) -> int:
+        """Worker resident-cache misses of the process-routed dispatches."""
+        return self._process.blob_cache_misses
+
+    @property
+    def adaptive_inline(self) -> int:
+        """Units the router kept on the flushing thread."""
+        with self._counter_lock:
+            return self._inline_runs
+
+    @property
+    def adaptive_dispatched(self) -> int:
+        """Units the router fanned out to a pool (thread or process).
+
+        Derived from the pools' own dispatch counters rather than tallied
+        separately — two counters for one fact would only invite drift.
+        """
+        return self.dispatches
+
+    # ----------------------------------------------------------------- submit
+    def submit(self, unit: ExecuteUnit, flush_units: int = 1):
+        """Route one unit of a ``flush_units``-unit flush and return a future.
+
+        Inline-routed units execute synchronously on the calling thread —
+        by construction they are cheaper than a dispatch, so the pipeline's
+        submit loop loses nothing — and come back as an already-resolved
+        future, keeping one contract for every route.  Raises
+        ``RuntimeError`` once closed; a crashed process pool raises
+        :class:`BrokenExecutor` exactly like the static backend.
+        """
+        if self._closed:
+            raise RuntimeError("cannot schedule new futures after shutdown")
+        route = self.cost_model.route(unit.plan.key, flush_units)
+        if route == "process":
+            with self._counter_lock:
+                if unit.plan.key in self._process_rejected:
+                    route = "thread"
+        if route == "process":
+            try:
+                return self._process.submit(unit)
+            except BrokenExecutor:
+                raise
+            except RuntimeError:
+                raise
+            except _PlanSerialisationError:
+                # The plan itself cannot cross the process boundary — ever.
+                # Remember it so later dispatches skip the doomed (and
+                # expensive) pickle attempt; the thread pool executes on
+                # shared objects, so the unit is still servable.
+                with self._counter_lock:
+                    self._process_rejected.add(unit.plan.key)
+                route = "thread"
+            except Exception:
+                # Per-unit serialisation failure (workload/RNG payload):
+                # degrade this unit to the thread pool without poisoning
+                # the plan's process route.
+                route = "thread"
+        if route == "thread":
+            return self._thread.submit(unit)
+        started = time.perf_counter()
+        resolved: Future = Future()
+        try:
+            value = run_unit(
+                unit.plan, unit.workloads, unit.database, unit.rng, unit.want_noise
+            )
+        except BaseException as exc:
+            resolved.set_exception(exc)
+        else:
+            self.cost_model.observe_kernel(
+                unit.plan.key, time.perf_counter() - started
+            )
+            resolved.set_result(value)
+        with self._counter_lock:
+            self._inline_runs += 1
+        return resolved
+
+    def close(self, wait: bool = True) -> None:
+        """Shut both pools down; subsequent submits raise ``RuntimeError``."""
+        self._closed = True
+        self._thread.close(wait=wait)
+        self._process.close(wait=wait)
 
 
 def create_execute_backend(
     backend: str,
     max_workers: int,
     process_start_method: str = "spawn",
+    preload: Sequence[object] = (),
+    cost_model: Optional[ExecuteCostModel] = None,
 ) -> Optional[object]:
     """Build the execute backend the engine was configured with.
 
     Returns ``None`` for ``max_workers`` of 1 or less — the pipeline then
     executes inline on the flushing thread, exactly as without a pool.
+    ``preload`` (the engine database) and ``cost_model`` only apply to the
+    process-capable backends.
     """
-    if backend not in ("thread", "process"):
+    if backend not in ("thread", "process", "adaptive"):
         raise ValueError(
-            f"Unknown execute backend {backend!r}; expected 'thread' or 'process'"
+            f"Unknown execute backend {backend!r}; "
+            "expected 'thread', 'process' or 'adaptive'"
         )
     if max_workers is None or int(max_workers) <= 1:
         return None
     if backend == "thread":
         return ThreadExecuteBackend(max_workers=int(max_workers))
-    return ProcessExecuteBackend(
-        max_workers=int(max_workers), start_method=process_start_method
+    if backend == "process":
+        return ProcessExecuteBackend(
+            max_workers=int(max_workers),
+            start_method=process_start_method,
+            preload=preload,
+        )
+    return AdaptiveExecuteBackend(
+        max_workers=int(max_workers),
+        start_method=process_start_method,
+        preload=preload,
+        cost_model=cost_model,
     )

@@ -18,9 +18,11 @@ mirroring the HTAP separation of transactional and analytical paths:
    flushing thread, or the batch work is cut into
    :class:`~repro.engine.parallel.ExecuteUnit` work units (one per unsharded
    batch, one per touched shard of a sharded batch) and dispatched to the
-   engine's execute backend — an in-process thread pool or a **process
-   pool** that runs mechanism kernels across cores
-   (:mod:`repro.engine.parallel`).  Every unit gets its own spawned RNG
+   engine's execute backend — an in-process thread pool, a **process
+   pool** that runs mechanism kernels across cores, or the **adaptive
+   router** that sends each unit wherever its measured cost model says it
+   runs cheapest (:mod:`repro.engine.parallel`).  Every unit gets its own
+   spawned RNG
    child stream with the same derivation on every backend, so a seeded
    engine draws identical noise under ``"thread"`` and ``"process"``.  A
    failure here rolls every charge of the batch back via
@@ -493,7 +495,12 @@ class FlushPipeline:
                 batch.execute_error = (
                     f"Batch execution failed (charge rolled back): {exc}"
                 )
-        if sum(len(units) for _, units in units_by_batch) <= 1:
+        total_units = sum(len(units) for _, units in units_by_batch)
+        # An adaptive backend routes (and observes) every unit itself — even
+        # a lone one, which its cost model sends inline anyway, but *through*
+        # the backend so the kernel is measured and the decision counted.
+        routes_units = getattr(backend, "routes_units", False)
+        if total_units <= 1 and not routes_units:
             # A lone unit gains nothing from the pool but pays its full
             # dispatch cost (pickling + IPC on the process backend): run it
             # here.  The derivation above already fixed the unit's RNG, so
@@ -525,7 +532,11 @@ class FlushPipeline:
                 if batch.execute_error is not None:
                     break
                 try:
-                    future = backend.submit(unit)
+                    future = (
+                        backend.submit(unit, flush_units=total_units)
+                        if routes_units
+                        else backend.submit(unit)
+                    )
                 except BrokenExecutor as exc:
                     # A crashed worker pool is NOT the engine-close case
                     # (BrokenProcessPool subclasses RuntimeError): re-running

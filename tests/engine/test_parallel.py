@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -13,8 +15,13 @@ from repro.core import (
     total_workload,
 )
 from repro.core.workload import Workload
-from repro.engine import PrivateQueryEngine
-from repro.engine.parallel import create_execute_backend
+from repro.engine import PlanCache, PrivateQueryEngine
+from repro.engine.parallel import (
+    ExecuteUnit,
+    ProcessExecuteBackend,
+    create_execute_backend,
+    run_unit,
+)
 from repro.policy import PolicyGraph, line_policy
 
 DOMAIN_SIZE = 32
@@ -246,6 +253,29 @@ class TestLifecycle:
             engine.flush()
             assert engine.stats.worker_dispatches == 2
 
+    def test_close_clears_the_blob_memos(self, domain, database):
+        """The db memo pins Database objects (and their histograms); both
+        memos must empty on close instead of outliving the backend."""
+        backend = ProcessExecuteBackend(max_workers=1, preload=(database,))
+        cache = PlanCache()
+        plan = cache.plan_for(
+            line_policy(domain), 0.5, prefer_data_dependent=False, consistency=False
+        )
+        unit = ExecuteUnit(
+            plan=plan,
+            workloads=[identity_workload(domain)],
+            database=database,
+            rng=np.random.default_rng(0),
+        )
+        backend.submit(unit).result()
+        assert backend._plan_blobs and backend._db_blobs
+        backend.close()
+        assert not backend._plan_blobs
+        assert not backend._db_blobs
+        assert not backend._shipped_digests
+        with pytest.raises(RuntimeError):
+            backend.submit(unit)
+
     def test_worker_plan_memo_keeps_dispatching(self, domain, database):
         """Repeat flushes reuse worker-side plans (dispatch count grows,
         answers stay deterministic against a single-flush reference)."""
@@ -281,3 +311,172 @@ class TestLifecycle:
         reference, _ = run_twice()
         for vector, expected in zip(answers, reference):
             np.testing.assert_array_equal(vector, expected)
+
+
+class TestMissOnlyBlobProtocol:
+    """Steady-state dispatches ship digests, misses recover bit-identically."""
+
+    @pytest.fixture()
+    def plan(self, domain):
+        cache = PlanCache()
+        return cache.plan_for(
+            line_policy(domain), 0.5, prefer_data_dependent=False, consistency=False
+        )
+
+    def make_unit(self, plan, domain, database, seed):
+        """A unit plus an identically-seeded inline reference generator."""
+        rng = np.random.default_rng(seed)
+        reference_rng = pickle.loads(pickle.dumps(rng))
+        unit = ExecuteUnit(
+            plan=plan,
+            workloads=[identity_workload(domain)],
+            database=database,
+            rng=rng,
+        )
+        return unit, reference_rng
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError, match="blob protocol"):
+            ProcessExecuteBackend(max_workers=1, blob_protocol="compressed")
+
+    def test_steady_state_ships_only_the_payload(self, domain, database, plan):
+        backend = ProcessExecuteBackend(max_workers=1, preload=(database,))
+        try:
+            unit, _ = self.make_unit(plan, domain, database, 1)
+            backend.submit(unit).result()
+            first = backend.bytes_shipped
+            unit, _ = self.make_unit(plan, domain, database, 2)
+            backend.submit(unit).result()
+            steady = backend.bytes_shipped - first
+            # The pool was created lazily at the first dispatch, so plan and
+            # database were preloaded via the initializer: NO dispatch ever
+            # carried their blobs, and the steady-state payload is orders of
+            # magnitude below the plan pickle it no longer ships.
+            plan_blob_bytes = len(pickle.dumps(plan))
+            assert backend.blob_cache_misses == 0
+            assert backend.preload_bytes > 0
+            assert steady < plan_blob_bytes / 2
+            assert abs(first - steady) < 1024  # first dispatch equally lean
+        finally:
+            backend.close()
+
+    def test_always_protocol_reships_blobs_every_dispatch(
+        self, domain, database, plan
+    ):
+        backend = ProcessExecuteBackend(
+            max_workers=1, preload=(database,), blob_protocol="always"
+        )
+        try:
+            unit, _ = self.make_unit(plan, domain, database, 1)
+            backend.submit(unit).result()
+            first = backend.bytes_shipped
+            unit, _ = self.make_unit(plan, domain, database, 2)
+            backend.submit(unit).result()
+            steady = backend.bytes_shipped - first
+            assert steady > len(pickle.dumps(plan))  # blobs cross every time
+        finally:
+            backend.close()
+
+    def test_respawned_worker_recovers_through_the_miss_path(
+        self, domain, database, plan
+    ):
+        """A plan shipped after pool creation is lost on respawn; the next
+        digest-only dispatch must miss, resubmit with blobs, and draw
+        exactly the noise the first attempt would have drawn."""
+        backend = ProcessExecuteBackend(max_workers=1, preload=(database,))
+        try:
+            warm_unit, _ = self.make_unit(plan, domain, database, 1)
+            backend.submit(warm_unit).result()  # creates the pool
+            # Planned after pool creation → not in the initializer preload.
+            late_plan = PlanCache().plan_for(
+                line_policy(domain),
+                0.25,
+                prefer_data_dependent=False,
+                consistency=False,
+            )
+            unit, _ = self.make_unit(late_plan, domain, database, 2)
+            backend.submit(unit).result()  # eagerly ships the blob once
+            assert backend.blob_cache_misses == 0
+
+            assert backend.reset_resident_caches() == 1
+            unit, reference_rng = self.make_unit(late_plan, domain, database, 3)
+            vectors, _ = backend.submit(unit).result()
+            reference, _ = run_unit(
+                late_plan, unit.workloads, database, reference_rng
+            )
+            np.testing.assert_array_equal(vectors[0], reference[0])
+            assert backend.blob_cache_misses == 1  # database was re-preloaded
+            assert backend.resubmits == 1
+        finally:
+            backend.close()
+
+    def test_preloaded_database_survives_the_respawn(self, domain, database, plan):
+        """The initializer re-runs on respawn, so preloaded digests (the
+        engine database, pool-creation-time plans) can never miss."""
+        backend = ProcessExecuteBackend(max_workers=1, preload=(database,))
+        try:
+            unit, _ = self.make_unit(plan, domain, database, 1)
+            backend.submit(unit).result()
+            backend.reset_resident_caches()
+            unit, reference_rng = self.make_unit(plan, domain, database, 2)
+            vectors, _ = backend.submit(unit).result()
+            reference, _ = run_unit(plan, unit.workloads, database, reference_rng)
+            np.testing.assert_array_equal(vectors[0], reference[0])
+            assert backend.blob_cache_misses == 0
+            assert backend.resubmits == 0
+        finally:
+            backend.close()
+
+    def test_engine_stats_surface_the_protocol_counters(self, domain, database):
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=50.0,
+            default_policy=line_policy(domain),
+            prefer_data_dependent=False,
+            consistency=False,
+            enable_answer_cache=False,
+            random_state=5,
+            execute_workers=2,
+            execute_backend="process",
+        )
+        with engine:
+            engine.open_session("frank", 20.0)
+            engine.submit("frank", identity_workload(domain), epsilon=0.5)
+            engine.submit("frank", cumulative_workload(domain), epsilon=0.25)
+            engine.flush()
+            live = engine.stats
+            assert live.bytes_shipped > 0
+            assert live.blob_cache_misses >= 0
+        closed = engine.stats  # lifetime telemetry survives close()
+        assert closed.bytes_shipped == live.bytes_shipped
+        assert closed.blob_cache_misses == live.blob_cache_misses
+
+    def test_result_is_idempotent_after_a_miss_recovery(
+        self, domain, database, plan
+    ):
+        """The future-like handle must serve the recovered value on a second
+        result() call instead of re-running the whole recovery."""
+        backend = ProcessExecuteBackend(max_workers=1, preload=(database,))
+        try:
+            warm_unit, _ = self.make_unit(plan, domain, database, 1)
+            backend.submit(warm_unit).result()
+            late_plan = PlanCache().plan_for(
+                line_policy(domain),
+                0.125,
+                prefer_data_dependent=False,
+                consistency=False,
+            )
+            unit, _ = self.make_unit(late_plan, domain, database, 2)
+            backend.submit(unit).result()
+            backend.reset_resident_caches()
+            unit, _ = self.make_unit(late_plan, domain, database, 3)
+            handle = backend.submit(unit)
+            first = handle.result()
+            resubmits = backend.resubmits
+            misses = backend.blob_cache_misses
+            second = handle.result()
+            assert second is first
+            assert backend.resubmits == resubmits
+            assert backend.blob_cache_misses == misses
+        finally:
+            backend.close()

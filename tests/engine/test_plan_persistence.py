@@ -290,3 +290,97 @@ class TestEngineWarmStart:
         warm.open_session("alice", 10.0)
         warm.ask("alice", identity_workload(domain), epsilon=0.5)
         assert warm.stats.plan_misses == 1  # cold for the unseen policy
+
+
+class TestPrunedSaves:
+    """save_plans(prune=True): snapshot what the engine actually serves."""
+
+    def left_workload(self, domain) -> Workload:
+        half = domain.size // 2
+        return Workload(
+            domain, np.hstack([np.eye(half), np.zeros((half, half))]), name="left"
+        )
+
+    def test_prune_drops_staged_entries_never_queried(
+        self, database, domain, split_policy, tmp_path
+    ):
+        """A long-running server must not snapshot plans it only ever
+        loaded: a pruned save keeps live caches, drops the staging area."""
+        first = tmp_path / "first.pkl"
+        pruned = tmp_path / "pruned.pkl"
+        left = self.left_workload(domain)
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        assert cold.save_plans(str(first)) >= 1
+
+        relay = make_engine(database, domain, default_policy=split_policy)
+        relay.load_plans(str(first))
+        # The split policy was never queried here: its shard set was never
+        # built, so its entries live only in the staging area.
+        assert relay.save_plans(str(pruned), prune=True) == 0
+
+        final = make_engine(database, domain, default_policy=split_policy)
+        assert final.load_plans(str(pruned)) == 0
+
+    def test_prune_keeps_live_engine_and_shard_plans(
+        self, database, domain, split_policy, tmp_path
+    ):
+        """Entries in live caches — engine-level and per-shard — survive a
+        pruned save and still warm-start a fresh engine."""
+        path = tmp_path / "store.pkl"
+        left = self.left_workload(domain)
+        engine = make_engine(database, domain, default_policy=split_policy)
+        engine.open_session("alice", 10.0)
+        engine.ask("alice", left, epsilon=0.5)  # per-shard plan
+        engine.ask("alice", identity_workload(domain), epsilon=0.25)  # engine-level
+        assert engine.save_plans(str(path), prune=True) >= 2
+
+        warm = make_engine(database, domain, default_policy=split_policy)
+        assert warm.load_plans(str(path)) >= 2
+        warm.open_session("alice", 10.0)
+        warm.ask("alice", left, epsilon=0.5)
+        warm.ask("alice", identity_workload(domain), epsilon=0.25)
+        assert warm.stats.plan_misses == 0
+
+    def test_default_save_still_preserves_staged_entries(
+        self, database, domain, split_policy, tmp_path
+    ):
+        """prune is opt-in: the conservative load→save round trip of
+        test_load_save_cycle_preserves_unqueried_shard_plans stays intact."""
+        first = tmp_path / "first.pkl"
+        second = tmp_path / "second.pkl"
+        left = self.left_workload(domain)
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        cold.save_plans(str(first))
+
+        relay = make_engine(database, domain, default_policy=split_policy)
+        loaded = relay.load_plans(str(first))
+        relay.save_plans(str(second))
+
+        final = make_engine(database, domain, default_policy=split_policy)
+        assert final.load_plans(str(second)) == loaded
+
+    def test_prune_leaves_in_memory_staging_usable(
+        self, database, domain, split_policy, tmp_path
+    ):
+        """A pruned save must not break the engine itself: staged plans
+        still hydrate shard sets built afterwards."""
+        first = tmp_path / "first.pkl"
+        pruned = tmp_path / "pruned.pkl"
+        left = self.left_workload(domain)
+        cold = make_engine(database, domain, default_policy=split_policy)
+        cold.open_session("alice", 10.0)
+        cold.ask("alice", left, epsilon=0.5)
+        cold.save_plans(str(first))
+
+        relay = make_engine(database, domain, default_policy=split_policy)
+        relay.load_plans(str(first))
+        relay.save_plans(str(pruned), prune=True)
+        # First query after the pruned save: the shard set is built now and
+        # hydrates from the (untouched) in-memory staging — zero cold plans.
+        relay.open_session("alice", 10.0)
+        relay.ask("alice", left, epsilon=0.5)
+        assert relay.stats.plan_misses == 0
