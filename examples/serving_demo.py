@@ -39,7 +39,16 @@ together:
 8. the plan store persists: ``engine.save_plans(path)`` writes every cached
    plan (per-shard caches included) to disk, and a relaunched server that
    ``load_plans(path)`` serves the same workload with **zero** cold plans —
-   ``plan_cache_hit_rate == 1.0``.
+   ``plan_cache_hit_rate == 1.0``;
+9. the **flight recorder**: an :class:`repro.engine.Observability` hub gives
+   every flush a trace (one span per pipeline stage, one per execute unit,
+   and — on the process backend — per-unit worker spans measured *inside*
+   the worker and shipped back with the answers), feeds a metrics registry
+   with counters and latency percentiles exportable as Prometheus text, and
+   streams every ε mutation (charges, rollbacks, refusals, scope opens and
+   closes, top-ups) to a durable JSONL audit log whose records carry the
+   trace/ticket/client ids that caused them.  All of it is off by default
+   and costs one branch per hook when disabled.
 
 Run with::
 
@@ -48,6 +57,7 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 import threading
@@ -62,7 +72,12 @@ from repro.core import (
     total_workload,
 )
 from repro.core.workload import Workload
-from repro.engine import BatchingExecutor, ExecuteCostModel, PrivateQueryEngine
+from repro.engine import (
+    BatchingExecutor,
+    ExecuteCostModel,
+    Observability,
+    PrivateQueryEngine,
+)
 from repro.exceptions import PrivacyBudgetError
 from repro.policy import PolicyGraph, line_policy
 
@@ -147,6 +162,7 @@ def main() -> None:
     multicore_demo(database, domain)
     adaptive_demo(database, domain)
     warm_restart_demo(database, domain)
+    observability_demo(database, domain)
 
 
 def consolidate_and_top_up_demo(database: Database, domain: Domain) -> None:
@@ -459,6 +475,87 @@ def warm_restart_demo(database: Database, domain: Domain) -> None:
             f"relaunched engine loaded {loaded} plans and served with "
             f"{stats.plan_misses} cold plans — "
             f"plan_cache_hit_rate={stats.plan_cache_hit_rate:.0%}"
+        )
+
+
+def observability_demo(database: Database, domain: Domain) -> None:
+    """The flight recorder: flush traces, metric percentiles, the ε audit.
+
+    One hub wires all three consumers: each flush (and each top-up) gets a
+    trace whose spans cross the process boundary — the worker measures its
+    own span and ships it back with the answers — the registry accumulates
+    engine counters and latency histograms behind the same ``stats`` the
+    engine always had, and the audit log records every ε mutation as one
+    JSONL line stamped with the trace/ticket/client ids that caused it.
+    """
+    print("\n-- flight-recorder observability --")
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        audit_path = os.path.join(tmp_dir, "epsilon_audit.jsonl")
+        observability = Observability(enabled=True, audit_path=audit_path)
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=8.0,
+            default_policy=line_policy(domain),
+            prefer_data_dependent=False,
+            consistency=False,
+            random_state=37,
+            observability=observability,
+            execute_workers=2,
+            execute_backend="process",
+        )
+        with engine:
+            engine.open_session("alice", epsilon_allotment=2.0)
+            engine.open_session("bob", epsilon_allotment=0.25)
+            # One traced flush on the process backend: worker spans included.
+            engine.submit("alice", identity_workload(domain), epsilon=0.5)
+            engine.submit("alice", cumulative_workload(domain), epsilon=0.25)
+            engine.flush()
+            trace = observability.tracer.last()
+            print(trace.waterfall())
+            workers = trace.find("worker")
+            print(
+                f"  {len(trace.find('unit'))} execute unit(s); worker spans "
+                f"measured in pid(s) {sorted({s.attributes['pid'] for s in workers})} "
+                f"(this process is {os.getpid()})"
+            )
+
+            # A top-up gets its own trace, and a refusal still hits the audit.
+            engine.top_up("alice", identity_workload(domain), extra_epsilon=0.125)
+            try:
+                engine.ask("bob", cumulative_workload(domain), epsilon=1.0)
+            except PrivacyBudgetError:
+                pass
+
+            # The registry speaks Prometheus; stats is now a snapshot of it.
+            stats = engine.stats
+            exported = observability.metrics.to_prometheus_text()
+            excerpt = [
+                line
+                for line in exported.splitlines()
+                if line.startswith(("engine_queries", "engine_flush_latency_seconds_count"))
+            ]
+            print("  metrics excerpt:\n    " + "\n    ".join(excerpt))
+            quantiles = engine._h_flush.percentiles()
+            print(
+                f"  flush latency p50={quantiles['p50'] * 1e3:.2f}ms "
+                f"p99={quantiles['p99'] * 1e3:.2f}ms over {stats.flushes} flushes"
+            )
+
+        # The audit stream survives the engine: every ε mutation, one line.
+        with open(audit_path, "r", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        print(f"  durable ε-audit ({len(records)} events): " + ", ".join(
+            record["event"] for record in records
+        ))
+        charge = next(r for r in records if r["event"] == "charge" and "ticket_id" in r)
+        print(
+            f"  e.g. {charge['event']} of epsilon={charge['epsilon']} for "
+            f"{charge['client_id']} ({charge['ticket_id']}) in {charge['trace_id']}"
+        )
+        refusal = next(r for r in records if r["event"] == "refusal")
+        print(
+            f"  and the refusal: client={refusal['client_id']} wanted "
+            f"epsilon={refusal['epsilon']} — {refusal['error'][:60]}..."
         )
 
 

@@ -46,6 +46,8 @@ The package is organised as follows:
 
 from __future__ import annotations
 
+import logging
+
 from . import core, policy
 from .core import (
     Database,
@@ -66,6 +68,11 @@ from .policy import (
     threshold_policy,
 )
 from .engine import ClientSession, PrivateQueryEngine
+
+# Library logging etiquette: degradation events (backend fallbacks, noise
+# model downgrades, blob-miss recoveries) are emitted on module loggers under
+# the "repro" namespace at WARNING/INFO; attach handlers to opt in.
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 __version__ = "1.1.0"
 

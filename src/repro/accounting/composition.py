@@ -56,6 +56,14 @@ class PrivacyAccountant:
     mechanism execution.  Scopes created by :meth:`open_scope` share their
     parent's lock so that a scope :meth:`~ScopedAccountant.close` (which
     rewrites the parent's reservation) is atomic with concurrent charges.
+
+    ``audit``, when set, receives one event per ledger mutation (charge,
+    rollback, scope open/close) — any object with an
+    ``emit(event, **fields)`` method works; the engine installs an
+    :class:`repro.engine.observability.AuditLog`.  The type is deliberately
+    untyped here: accounting sits below the engine layer and must not import
+    from it.  Events are emitted while the ledger lock is held so the audit
+    stream's order always matches the ledger's.
     """
 
     total_epsilon: float
@@ -63,6 +71,7 @@ class PrivacyAccountant:
     lock: "threading.RLock" = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
+    audit: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.total_epsilon) or self.total_epsilon <= 0:
@@ -104,6 +113,15 @@ class PrivacyAccountant:
                     f"{self.total_epsilon} (already spent {self.spent():.6g})"
                 )
             self.operations.append(operation)
+            if self.audit is not None:
+                spent = self._spent_with(self.operations)
+                self.audit.emit(
+                    "charge",
+                    label=label,
+                    epsilon=operation.epsilon,
+                    spent=spent,
+                    remaining=self.total_epsilon - spent,
+                )
             return operation
 
     def rollback(self, operation: BudgetedOperation) -> bool:
@@ -119,6 +137,15 @@ class PrivacyAccountant:
             for index, candidate in enumerate(self.operations):
                 if candidate is operation:
                     del self.operations[index]
+                    if self.audit is not None:
+                        spent = self._spent_with(self.operations)
+                        self.audit.emit(
+                            "rollback",
+                            label=operation.label,
+                            epsilon=operation.epsilon,
+                            spent=spent,
+                            remaining=self.total_epsilon - spent,
+                        )
                     return True
             return False
 
@@ -153,9 +180,12 @@ class PrivacyAccountant:
         """
         with self.lock:
             reservation = self.charge(label, epsilon)
+            if self.audit is not None:
+                self.audit.emit("scope_open", scope=label, epsilon=float(epsilon))
             return ScopedAccountant(
                 total_epsilon=float(epsilon),
                 lock=self.lock,
+                audit=self.audit,
                 parent=self,
                 label=label,
                 reservation=reservation,
@@ -218,19 +248,26 @@ class ScopedAccountant(PrivacyAccountant):
                 return 0.0
             self.closed = True
             refund = self.remaining()
-            if self.parent is None or refund <= 0:
-                return max(refund, 0.0)
             actually_spent = self.spent()
-            for index, operation in enumerate(self.parent.operations):
-                if operation is self.reservation:
-                    if actually_spent > 0:
-                        self.parent.operations[index] = BudgetedOperation(
-                            label=self.label, epsilon=actually_spent, partition=None
-                        )
-                    else:
-                        del self.parent.operations[index]
-                    break
-            return refund
+            if self.parent is not None and refund > 0:
+                for index, operation in enumerate(self.parent.operations):
+                    if operation is self.reservation:
+                        if actually_spent > 0:
+                            self.parent.operations[index] = BudgetedOperation(
+                                label=self.label, epsilon=actually_spent, partition=None
+                            )
+                        else:
+                            del self.parent.operations[index]
+                        break
+            refunded = max(refund, 0.0)
+            if self.audit is not None:
+                self.audit.emit(
+                    "scope_close",
+                    scope=self.label,
+                    spent=actually_spent,
+                    refunded=refunded,
+                )
+            return refunded
 
 
 def sequential_composition(epsilons: Sequence[float]) -> float:

@@ -46,6 +46,14 @@ from .answer_cache import (
 )
 from .engine import EngineStats, PrivateQueryEngine
 from .executor import BatchingExecutor
+from .observability import (
+    AuditLog,
+    MetricsRegistry,
+    Observability,
+    Span,
+    Trace,
+    Tracer,
+)
 from .parallel import (
     AdaptiveExecuteBackend,
     ExecuteCostModel,
@@ -70,6 +78,7 @@ __all__ = [
     "AdaptiveExecuteBackend",
     "AnswerCache",
     "AnswerCacheStats",
+    "AuditLog",
     "BatchingExecutor",
     "CachedAnswer",
     "CachedPlan",
@@ -80,6 +89,8 @@ __all__ = [
     "ExecuteUnit",
     "FlushPipeline",
     "Measurement",
+    "MetricsRegistry",
+    "Observability",
     "PENDING",
     "PLAN_STORE_FORMAT",
     "PlanCache",
@@ -88,7 +99,10 @@ __all__ = [
     "ProcessExecuteBackend",
     "QueryTicket",
     "REFUSED",
+    "Span",
     "ThreadExecuteBackend",
+    "Trace",
+    "Tracer",
     "ShardPiece",
     "ShardScatter",
     "ShardSet",

@@ -179,9 +179,14 @@ class AnswerCache:
         entries are evicted first; an evicted answer simply has to be paid
         for again on the next ask, so eviction affects cost, never
         correctness.
+    metrics:
+        Optional :class:`~repro.engine.observability.MetricsRegistry`; when
+        given, lookups additionally bump
+        ``engine_answer_cache_lookups_total`` counters (labelled
+        ``result="hit"``/``"miss"``).  :attr:`stats` counts either way.
     """
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(self, maxsize: int = 1024, metrics=None) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self._maxsize = int(maxsize)
@@ -189,6 +194,19 @@ class AnswerCache:
         self._by_policy: Dict[str, List[AnswerKey]] = {}
         self._lock = threading.Lock()
         self.stats = AnswerCacheStats()
+        if metrics is None:
+            self._m_hits = self._m_misses = None
+        else:
+            self._m_hits = metrics.counter(
+                "engine_answer_cache_lookups_total",
+                "Answer-cache lookups by result",
+                result="hit",
+            )
+            self._m_misses = metrics.counter(
+                "engine_answer_cache_lookups_total",
+                "Answer-cache lookups by result",
+                result="miss",
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -203,9 +221,13 @@ class AnswerCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                if self._m_misses is not None:
+                    self._m_misses.inc()
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             entry.replays += 1
             return entry
 
@@ -366,6 +388,8 @@ class AnswerCache:
         """
         with self._lock:
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
 
     def entries_by_draw(self, policy: PolicyGraph) -> Dict[int, List[AnswerKey]]:
         """Group this policy's cached measurements by their noise draw.

@@ -56,8 +56,10 @@ deadline/size trigger, so batching wins materialise under real load.
 from __future__ import annotations
 
 import itertools
+import logging
 import math
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -71,6 +73,7 @@ from ..core.workload import Workload
 from ..exceptions import MechanismError, PolicyError, PrivacyBudgetError
 from ..policy.graph import PolicyGraph, is_bottom
 from .answer_cache import AnswerCache, Measurement
+from .observability import Observability
 from .parallel import (
     ExecuteCostModel,
     ExecuteUnit,
@@ -98,16 +101,21 @@ __all__ = [
     "REFUSED",
 ]
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class EngineStats:
     """Aggregate serving statistics, snapshotted by :attr:`PrivateQueryEngine.stats`.
 
-    Counters are maintained under a dedicated stats lock, so snapshots taken
-    while flushes run on other threads are internally consistent.  The
-    ``*_seconds`` fields accumulate wall-clock per pipeline stage across all
-    flushes (concurrent flushes add up, so the totals can exceed elapsed
-    time — they measure *work*, not span).
+    Counters live in the engine's observability
+    :class:`~repro.engine.observability.MetricsRegistry` — this snapshot is
+    *derived* from the registry under its lock (taken once), so stats and
+    exported metrics can never disagree and snapshots taken while flushes
+    run on other threads stay internally consistent.  The ``*_seconds``
+    fields accumulate wall-clock per pipeline stage across all flushes
+    (concurrent flushes add up, so the totals can exceed elapsed time —
+    they measure *work*, not span).
     """
 
     queries_submitted: int = 0
@@ -244,6 +252,15 @@ class PrivateQueryEngine:
         under one exclusive lock, restoring PR 1's single-lock behaviour
         (sound, fully serialising).  ``benchmarks/bench_concurrency.py`` uses
         it as the baseline the staged pipeline is measured against.
+    observability:
+        Optional :class:`~repro.engine.observability.Observability` hub.
+        When omitted, a **disabled** hub is built: aggregate counters still
+        flow through its metrics registry (they back :attr:`stats`), but
+        tracing, latency histograms and the ε-audit stream stay off and the
+        hot-path hooks reduce to one branch each.  Pass
+        ``Observability(enabled=True)`` for per-flush traces and
+        percentile histograms, and give it ``audit_path=``/``audit=`` for
+        the durable ε-audit stream.
     """
 
     def __init__(
@@ -264,9 +281,13 @@ class PrivateQueryEngine:
         process_start_method: str = "spawn",
         execute_cost_model: Optional["ExecuteCostModel"] = None,
         serialize_flush: bool = False,
+        observability: Optional[Observability] = None,
     ) -> None:
         self._database = database
-        self._accountant = PrivacyAccountant(total_epsilon)
+        obs = observability if observability is not None else Observability(enabled=False)
+        self._observability = obs
+        self._audit = obs.audit
+        self._accountant = PrivacyAccountant(total_epsilon, audit=obs.audit)
         self._default_policy = default_policy
         if default_policy is not None and default_policy.domain != database.domain:
             raise PolicyError(
@@ -275,34 +296,84 @@ class PrivateQueryEngine:
             )
         self._prefer_data_dependent = bool(prefer_data_dependent)
         self._consistency = bool(consistency)
-        self.plan_cache = PlanCache(maxsize=plan_cache_size)
+        # Caches mirror their hit/miss tallies into the registry only when
+        # the hub is enabled — their own CacheStats always count regardless.
+        cache_metrics = obs.metrics if obs.enabled else None
+        self.plan_cache = PlanCache(maxsize=plan_cache_size, metrics=cache_metrics)
         self.answer_cache: Optional[AnswerCache] = (
-            AnswerCache(maxsize=answer_cache_size) if enable_answer_cache else None
+            AnswerCache(maxsize=answer_cache_size, metrics=cache_metrics)
+            if enable_answer_cache
+            else None
         )
         self._rng = ensure_rng(random_state)
         # Locking discipline (narrow, never nested around mechanism work):
         #   _queue_lock  — pending queue, session registry, rng derivation;
-        #   _stats_lock  — serving counters and stage timings;
+        #   metrics.lock — every serving counter and histogram (the registry
+        #                  replaced the former dedicated stats lock);
         #   accountant.lock — every budget ledger (shared with its scopes);
         #   _serial_lock — only taken when serialize_flush=True.
         self._queue_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
         self._serial_lock = threading.Lock()
         self._serialize_flush = bool(serialize_flush)
         self._sessions: Dict[str, ClientSession] = {}
         self._pending: List[QueryTicket] = []
         self._ticket_ids = itertools.count(1)
         self._draw_ids = itertools.count(1)
-        self._submitted = 0
-        self._answered = 0
-        self._refused = 0
-        self._replays = 0
-        self._top_ups = 0
-        self._flushes = 0
-        self._batches = 0
-        self._sharded_batches = 0
-        self._invocations = 0
-        self._stage_seconds: Dict[str, float] = dict.fromkeys(STAGES, 0.0)
+        # Serving counters are registry instruments, pre-bound here so hot
+        # paths never re-ask the registry.  The pipeline increments the
+        # _c_* / _h_* attributes directly.
+        metrics = obs.metrics
+        self._c_submitted = metrics.counter(
+            "engine_queries_submitted_total", "Queries accepted by submit()"
+        )
+        self._c_answered = metrics.counter(
+            "engine_queries_answered_total", "Tickets resolved with an answer"
+        )
+        self._c_refused = metrics.counter(
+            "engine_queries_refused_total", "Tickets resolved with a refusal"
+        )
+        self._c_replays = metrics.counter(
+            "engine_answer_cache_replays_total", "Zero-budget answer-cache replays"
+        )
+        self._c_top_ups = metrics.counter(
+            "engine_top_ups_total", "Incremental measurements bought via top_up()"
+        )
+        self._c_flushes = metrics.counter(
+            "engine_flushes_total", "Pipeline runs (non-empty flushes)"
+        )
+        self._c_batches = metrics.counter(
+            "engine_batches_executed_total", "Batches that executed successfully"
+        )
+        self._c_sharded_batches = metrics.counter(
+            "engine_sharded_batches_total", "Batches served scatter/gather"
+        )
+        self._c_invocations = metrics.counter(
+            "engine_mechanism_invocations_total", "Vectorised mechanism invocations"
+        )
+        self._c_stage = {
+            stage: metrics.counter(
+                "engine_stage_seconds_total",
+                "Cumulative wall-clock per pipeline stage",
+                stage=stage,
+            )
+            for stage in STAGES
+        }
+        # Distributions are enabled-only: the disabled engine never observes
+        # them (the single branch per hook), so they cost nothing.
+        self._h_flush = metrics.histogram(
+            "engine_flush_latency_seconds", "End-to-end flush latency"
+        )
+        self._h_queue_wait = metrics.histogram(
+            "engine_queue_wait_seconds", "Submit-to-flush-pickup wait per ticket"
+        )
+        self._h_stage = {
+            stage: metrics.histogram(
+                "engine_stage_latency_seconds",
+                "Per-round pipeline stage latency",
+                stage=stage,
+            )
+            for stage in STAGES
+        }
         self._enable_sharding = bool(enable_sharding)
         self._shard_plan_cache_size = int(shard_plan_cache_size)
         # LRU-bounded like every other engine cache: each ShardSet pins
@@ -328,6 +399,7 @@ class PrivateQueryEngine:
             # initializer, so it never crosses the pipe per dispatch.
             preload=(database,),
             cost_model=execute_cost_model,
+            metrics=obs.metrics if obs.enabled else None,
         )
         # Final telemetry snapshot captured by close() so stats keep
         # reporting the backend's lifetime counters after shutdown.
@@ -343,6 +415,11 @@ class PrivateQueryEngine:
     def accountant(self) -> PrivacyAccountant:
         """The engine-wide accountant that session allotments are reserved from."""
         return self._accountant
+
+    @property
+    def observability(self) -> Observability:
+        """The observability hub (metrics registry, tracer, ε-audit stream)."""
+        return self._observability
 
     def open_session(self, client_id: str, epsilon_allotment: float) -> ClientSession:
         """Open a budgeted session; the allotment is reserved immediately.
@@ -416,10 +493,14 @@ class PrivateQueryEngine:
                 epsilon=float(epsilon),
                 session=session,
                 partition=frozen_partition,
+                # The queue-wait histogram needs a pickup-relative clock;
+                # unstamped tickets (disabled hub) read 0.0 and are skipped.
+                submitted_at=(
+                    time.perf_counter() if self._observability.enabled else 0.0
+                ),
             )
             self._pending.append(ticket)
-        with self._stats_lock:
-            self._submitted += 1
+        self._c_submitted.inc()
         return ticket
 
     def _validate_submission(
@@ -663,14 +744,54 @@ class PrivateQueryEngine:
                 else ensure_rng(random_state)
             )
         label = f"top-up:{client_id}:{entry.key[1][:12]}"
-        operation = session.charge(label, float(extra_epsilon), None)
+        trace = self._observability.start_trace(
+            "top_up", client=client_id, label=label
+        )
+        try:
+            entry = self._run_top_up(
+                session, entry, plan, workload, float(extra_epsilon), label, rng, trace
+            )
+        finally:
+            if trace is not None:
+                trace.finish()
+        self._c_top_ups.inc()
+        return entry.answers.copy()
+
+    def _run_top_up(
+        self, session, entry, plan, workload, extra_epsilon, label, rng, trace
+    ):
+        """Charge, execute and absorb one top-up measurement (body of
+        :meth:`top_up`, factored so the trace/audit bracketing stays flat)."""
+        audit = self._audit
+        if audit is not None:
+            # Ambient attribution: the accountant's own charge/rollback
+            # events inherit these ids just like flush-path charges do.
+            with audit.context(
+                trace_id=trace.trace_id if trace is not None else None,
+                client_id=session.client_id,
+            ):
+                return self._run_top_up_charged(
+                    session, entry, plan, workload, extra_epsilon, label, rng, trace
+                )
+        return self._run_top_up_charged(
+            session, entry, plan, workload, extra_epsilon, label, rng, trace
+        )
+
+    def _run_top_up_charged(
+        self, session, entry, plan, workload, extra_epsilon, label, rng, trace
+    ):
+        operation = session.charge(label, extra_epsilon, None)
         unit = ExecuteUnit(
             plan=plan, workloads=[workload], database=self._database, rng=rng
         )
         try:
             # Shared backend semantics (crashed pool re-raises, closed
             # backend falls back inline) — see parallel.execute_unit_via.
-            vectors, model = execute_unit_via(self._execute_backend, unit)
+            if trace is not None:
+                with trace.span("execute", label=label):
+                    vectors, model = execute_unit_via(self._execute_backend, unit)
+            else:
+                vectors, model = execute_unit_via(self._execute_backend, unit)
         except Exception as exc:
             # Nothing was released, so the increment must not stand.
             session.accountant.rollback(operation)
@@ -681,11 +802,17 @@ class PrivateQueryEngine:
             # Mis-sized metadata is a mechanism bug, but metadata is
             # advisory (same guard as the pipeline): degrade to the proxy
             # rather than poisoning later covariance assembly.
+            logger.warning(
+                "top_up noise model reports %d rows but the workload has %d "
+                "queries; degrading this measurement to the proxy noise model",
+                model.num_rows,
+                workload.num_queries,
+            )
             model = None
         draw_id = self._next_draw_id()
         measurement = Measurement(
             answers=vectors[0],
-            epsilon=float(extra_epsilon),
+            epsilon=extra_epsilon,
             draw_id=draw_id,
             noise_stds=model.stds if model is not None else None,
             noise_bases=(
@@ -697,9 +824,14 @@ class PrivateQueryEngine:
         entry = self.answer_cache.append_measurement(
             entry.key, workload, measurement, key_epsilon=entry.epsilon
         )
-        with self._stats_lock:
-            self._top_ups += 1
-        return entry.answers.copy()
+        if self._audit is not None:
+            self._audit.emit(
+                "top_up",
+                label=label,
+                epsilon=extra_epsilon,
+                draws=len(entry.measurements),
+            )
+        return entry
 
     # -------------------------------------------------------------- sharding
     def _shard_set_for(self, policy: PolicyGraph) -> Optional[ShardSet]:
@@ -894,22 +1026,27 @@ class PrivateQueryEngine:
     # ------------------------------------------------------------------ stats
     @property
     def stats(self) -> EngineStats:
-        """A consistent snapshot of the engine's serving counters."""
-        with self._stats_lock:
+        """A consistent snapshot of the engine's serving counters.
+
+        Derived from the observability registry under its (re-entrant) lock,
+        so every field is read from the same instant — the guarantee the old
+        dedicated stats lock gave, now shared with the metric exporters.
+        """
+        with self._observability.metrics.lock:
             snapshot = EngineStats(
-                queries_submitted=self._submitted,
-                queries_answered=self._answered,
-                queries_refused=self._refused,
-                answer_cache_replays=self._replays,
-                top_ups=self._top_ups,
-                flushes=self._flushes,
-                batches_executed=self._batches,
-                sharded_batches=self._sharded_batches,
-                mechanism_invocations=self._invocations,
-                plan_seconds=self._stage_seconds["plan"],
-                charge_seconds=self._stage_seconds["charge"],
-                execute_seconds=self._stage_seconds["execute"],
-                resolve_seconds=self._stage_seconds["resolve"],
+                queries_submitted=int(self._c_submitted.value),
+                queries_answered=int(self._c_answered.value),
+                queries_refused=int(self._c_refused.value),
+                answer_cache_replays=int(self._c_replays.value),
+                top_ups=int(self._c_top_ups.value),
+                flushes=int(self._c_flushes.value),
+                batches_executed=int(self._c_batches.value),
+                sharded_batches=int(self._c_sharded_batches.value),
+                mechanism_invocations=int(self._c_invocations.value),
+                plan_seconds=self._c_stage["plan"].value,
+                charge_seconds=self._c_stage["charge"].value,
+                execute_seconds=self._c_stage["execute"].value,
+                resolve_seconds=self._c_stage["resolve"].value,
             )
         backend = self._execute_backend
         if backend is not None:
@@ -970,9 +1107,11 @@ class PrivateQueryEngine:
 
     def _record_stage_timings(self, timings: Dict[str, float]) -> None:
         """Accumulate one pipeline round's stage wall-clock into the totals."""
-        with self._stats_lock:
-            for stage, seconds in timings.items():
-                self._stage_seconds[stage] += seconds
+        enabled = self._observability.enabled
+        for stage, seconds in timings.items():
+            self._c_stage[stage].inc(seconds)
+            if enabled:
+                self._h_stage[stage].observe(seconds)
 
     def _next_draw_id(self) -> int:
         """Fresh identifier for one mechanism-invocation noise draw."""
@@ -987,7 +1126,9 @@ class PrivateQueryEngine:
         closed (or used as context managers) when discarded.  Sessions,
         caches and the accountant are plain objects and need no teardown;
         the engine remains usable for session bookkeeping after ``close``,
-        but flushes fall back to inline execution.
+        but flushes fall back to inline execution.  The observability hub's
+        audit file handle is closed too (the in-memory mirror, metrics and
+        completed traces stay readable).
         """
         backend, self._execute_backend = self._execute_backend, None
         if backend is not None:
@@ -998,6 +1139,7 @@ class PrivateQueryEngine:
             self._closed_backend_stats = self._backend_telemetry(backend)
             backend.close(wait=True)
             self._closed_backend_stats = self._backend_telemetry(backend)
+        self._observability.close()
 
     def __enter__(self) -> "PrivateQueryEngine":
         return self

@@ -66,6 +66,31 @@ class BatchingExecutor:
         self._engine = engine
         self._max_batch_size = int(max_batch_size)
         self._max_delay = float(max_delay)
+        # Trigger counters live in the engine's metrics registry so the
+        # executor's batching behaviour (how often size beats deadline, how
+        # full triggered batches run) shows up next to the flush latencies.
+        observability = getattr(engine, "observability", None)
+        if observability is not None and observability.enabled:
+            metrics = observability.metrics
+            self._c_size_trigger = metrics.counter(
+                "executor_flush_triggers_total",
+                "Executor flushes by trigger",
+                trigger="size",
+            )
+            self._c_deadline_trigger = metrics.counter(
+                "executor_flush_triggers_total",
+                "Executor flushes by trigger",
+                trigger="deadline",
+            )
+            self._h_trigger_batch = metrics.histogram(
+                "executor_trigger_batch_size",
+                "Pending queue depth when a flush trigger fired",
+                buckets=tuple(float(2**i) for i in range(11)),
+            )
+        else:
+            self._c_size_trigger = None
+            self._c_deadline_trigger = None
+            self._h_trigger_batch = None
         self._condition = threading.Condition()
         self._deadline: Optional[float] = None
         self._closed = False
@@ -156,6 +181,9 @@ class BatchingExecutor:
             if self._engine.pending_count >= self._max_batch_size:
                 flush_now = True
                 self._inflight_flushes += 1
+                if self._c_size_trigger is not None:
+                    self._c_size_trigger.inc()
+                    self._h_trigger_batch.observe(self._engine.pending_count)
         if flush_now:
             # Size trigger: flush in the submitting thread.  Concurrent
             # submitters each drive their own pipeline run, overlapping
@@ -212,7 +240,11 @@ class BatchingExecutor:
                 # Deadline reached: clear it before flushing so submissions
                 # arriving during the flush start a fresh window.
                 self._deadline = None
-            if self._engine.pending_count:
+            pending = self._engine.pending_count
+            if pending:
+                if self._c_deadline_trigger is not None:
+                    self._c_deadline_trigger.inc()
+                    self._h_trigger_batch.observe(pending)
                 self._engine.flush()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

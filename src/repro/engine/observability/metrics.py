@@ -1,0 +1,322 @@
+"""A thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the engine's single source of numeric truth:
+:class:`~repro.engine.EngineStats` is re-derived from registry counters on
+every snapshot (the counters ARE the stats — the two can never drift), and
+the latency/size distributions the aggregate counters cannot express live in
+fixed-bucket histograms with p50/p95/p99 estimation.
+
+Design points:
+
+* **One shared lock.**  Every instrument mutates under the registry's
+  re-entrant ``lock``, so a multi-field snapshot (``EngineStats``, the
+  exporters) taken under that same lock is internally consistent — the
+  guarantee the engine's former dedicated stats lock provided.
+* **Fixed buckets.**  Histograms count into preconfigured upper bounds
+  (Prometheus ``le`` semantics: bucket *i* counts observations ≤
+  ``bounds[i]``, plus one overflow bucket).  Quantiles are estimated by
+  linear interpolation within the bucket that crosses the rank — exact
+  enough for latency dashboards, O(1) per observation, bounded memory.
+* **Labels.**  Instruments are keyed by ``(name, sorted label items)``;
+  registration is get-or-create, so hook sites simply re-ask the registry
+  and hot paths hold pre-bound instrument references instead.
+* **Exporters.**  :meth:`MetricsRegistry.to_prometheus_text` renders the
+  Prometheus text exposition format (what a future HTTP serving tier mounts
+  at ``/metrics``); :meth:`MetricsRegistry.to_json` a structured snapshot
+  for benchmark reports and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram bounds for latencies, in seconds: 10 µs … 10 s.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default histogram bounds for payload sizes, in bytes: 256 B … 64 MiB.
+DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = tuple(
+    float(256 * 4**i) for i in range(10)
+)
+
+
+def _label_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Render a label set in Prometheus selector syntax (empty when unlabelled)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Base: a named, labelled instrument sharing its registry's lock."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, labels: Tuple[Tuple[str, str], ...]
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = registry.lock
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value (floats allowed: seconds accumulate)."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, labels) -> None:
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"Counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depths, open sessions)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, labels) -> None:
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with rank-interpolated quantile estimates.
+
+    Buckets follow Prometheus ``le`` semantics: bucket *i* counts
+    observations ``<= bounds[i]``; an implicit overflow bucket counts the
+    rest.  :meth:`quantile` walks the cumulative counts to the bucket that
+    crosses the requested rank and interpolates linearly inside it (the
+    overflow bucket reports the maximum ever observed — an honest upper
+    bound rather than an invented interior point).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, labels, buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(registry, name, labels)
+        bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS)))
+        if not bounds:
+            raise ValueError(f"Histogram {name!r} needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            cumulative = 0.0
+            lower = 0.0
+            for index, bound in enumerate(self.bounds):
+                bucket = self._counts[index]
+                if bucket and cumulative + bucket >= target:
+                    fraction = (target - cumulative) / bucket
+                    return lower + (min(bound, self._max) - lower) * max(0.0, fraction)
+                cumulative += bucket
+                lower = bound
+            return self._max
+
+    def percentiles(self) -> Dict[str, float]:
+        """The dashboard trio: p50/p95/p99 estimates."""
+        return {"p50": self.quantile(0.50), "p95": self.quantile(0.95), "p99": self.quantile(0.99)}
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total, observed_sum, observed_max = self._count, self._sum, self._max
+        return {
+            "buckets": [
+                [bound, counts[index]] for index, bound in enumerate(self.bounds)
+            ] + [["+Inf", counts[-1]]],
+            "count": total,
+            "sum": observed_sum,
+            "max": observed_max,
+            **self.percentiles(),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments sharing one re-entrant lock.
+
+    Thread-safe throughout; ``lock`` is public so multi-instrument snapshots
+    (``EngineStats``) can read a consistent cut in one critical section.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self._instruments: "OrderedDict[Tuple[str, Tuple[Tuple[str, str], ...]], _Instrument]" = (
+            OrderedDict()
+        )
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    def _register(self, cls, name: str, help: str, labels: dict, **extra) -> _Instrument:
+        label_key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        key = (str(name), label_key)
+        with self.lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"Metric {name!r} already registered as {existing.kind}, "
+                        f"not {cls.kind}"
+                    )
+                return existing
+            kind = self._kinds.get(key[0])
+            if kind is not None and kind != cls.kind:
+                raise ValueError(
+                    f"Metric name {name!r} already used by a {kind} instrument"
+                )
+            instrument = cls(self, key[0], label_key, **extra)
+            self._instruments[key] = instrument
+            self._kinds[key[0]] = cls.kind
+            if help:
+                self._help.setdefault(key[0], str(help))
+            return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """Get or create a counter (labels become part of its identity)."""
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """Get or create a gauge."""
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels,
+    ) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        return self._register(Histogram, name, help, labels, buckets=buckets)
+
+    def instruments(self) -> List[_Instrument]:
+        """Every registered instrument, in registration order."""
+        with self.lock:
+            return list(self._instruments.values())
+
+    # -------------------------------------------------------------- exporters
+    def to_json(self) -> str:
+        """Structured snapshot: ``{kind: {"name{labels}": snapshot}}``."""
+        with self.lock:
+            payload: Dict[str, Dict[str, dict]] = {}
+            for (name, labels), instrument in self._instruments.items():
+                series = name + _label_suffix(labels)
+                payload.setdefault(instrument.kind + "s", {})[series] = (
+                    instrument.snapshot()
+                )
+        return json.dumps(payload, sort_keys=True)
+
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format (one ``# TYPE`` per name)."""
+        lines: List[str] = []
+        with self.lock:
+            announced: set = set()
+            for (name, labels), instrument in self._instruments.items():
+                if name not in announced:
+                    announced.add(name)
+                    help_text = self._help.get(name)
+                    if help_text:
+                        lines.append(f"# HELP {name} {help_text}")
+                    lines.append(f"# TYPE {name} {instrument.kind}")
+                if isinstance(instrument, Histogram):
+                    cumulative = 0
+                    for index, bound in enumerate(instrument.bounds):
+                        cumulative += instrument._counts[index]
+                        bucket_labels = labels + (("le", repr(float(bound))),)
+                        lines.append(
+                            f"{name}_bucket{_label_suffix(bucket_labels)} {cumulative}"
+                        )
+                    total = cumulative + instrument._counts[-1]
+                    inf_labels = labels + (("le", "+Inf"),)
+                    lines.append(f"{name}_bucket{_label_suffix(inf_labels)} {total}")
+                    lines.append(f"{name}_sum{_label_suffix(labels)} {instrument._sum}")
+                    lines.append(f"{name}_count{_label_suffix(labels)} {total}")
+                else:
+                    lines.append(
+                        f"{name}{_label_suffix(labels)} {instrument._value}"
+                    )
+        return "\n".join(lines) + "\n"

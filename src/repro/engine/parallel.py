@@ -55,7 +55,9 @@ so its initializer can preload everything the backend has seen by then.
 from __future__ import annotations
 
 import hashlib
+import logging
 import multiprocessing
+import os
 import pickle
 import threading
 import time
@@ -74,8 +76,11 @@ import numpy as np
 from ..core.database import Database
 from ..core.workload import Workload
 from ..mechanisms.base import NoiseModel
+from .observability.metrics import DEFAULT_BYTE_BUCKETS, MetricsRegistry
 from .plan_cache import CachedPlan
 from .signature import PlanKey
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "AdaptiveExecuteBackend",
@@ -177,6 +182,11 @@ def execute_unit_via(backend, unit: ExecuteUnit) -> Tuple[List[np.ndarray], Opti
         except BrokenExecutor:
             raise
         except RuntimeError:
+            logger.warning(
+                "execute backend closed mid-call; finishing unit for plan "
+                "%s inline on the calling thread",
+                unit.plan.key,
+            )
             future = None
         if future is not None:
             return future.result()
@@ -209,6 +219,16 @@ class ExecuteCostModel:
     ``default_kernel_seconds`` overrides that bootstrap for tests and
     benchmarks that need decisions forced in a known direction.
 
+    **Warm-up discount** (``warmup_discount``, default on): a plan's first
+    invocation absorbs one-off lazy work — the Gram/SuperLU factorisation
+    the data-dependent strategies build on first contact — so the first
+    kernel sample over-states every later one, sometimes by an order of
+    magnitude, and the EWMA then over-routes the plan to the process pool
+    until enough samples wash the spike out.  The first sample therefore
+    only *provisionally* seeds the estimate (the router needs something),
+    and the second sample — the first warm one — **replaces** it outright
+    instead of blending; EWMA smoothing starts from the third sample.
+
     Overhead observations include honest congestion (queue wait behind
     sibling units), which can transiently poison the estimate high — and a
     pool the router then avoids would never be re-measured.  Two guards
@@ -231,6 +251,7 @@ class ExecuteCostModel:
         dispatch_margin: float = 2.0,
         default_kernel_seconds: Optional[float] = None,
         prior_reversion: float = 0.02,
+        warmup_discount: bool = True,
     ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
@@ -251,8 +272,12 @@ class ExecuteCostModel:
             else None
         )
         self._reversion = float(prior_reversion)
+        self._warmup_discount = bool(warmup_discount)
         self._lock = threading.Lock()
         self._kernels: Dict[PlanKey, float] = {}
+        #: Plan keys whose only sample so far is the (factorisation-tainted)
+        #: first one — the next observation replaces rather than blends.
+        self._warming: set = set()
         self._overhead_priors: Dict[str, float] = {
             "thread": float(thread_overhead_prior),
             "process": float(process_overhead_prior),
@@ -261,15 +286,26 @@ class ExecuteCostModel:
 
     # ----------------------------------------------------------- observations
     def observe_kernel(self, plan_key: PlanKey, seconds: float) -> None:
-        """Fold one measured kernel wall-clock into the plan key's EWMA."""
+        """Fold one measured kernel wall-clock into the plan key's EWMA.
+
+        With ``warmup_discount`` on, the first sample seeds the estimate
+        provisionally and the second sample replaces it (see the class
+        docstring); blending starts from the third.
+        """
         seconds = max(0.0, float(seconds))
         with self._lock:
             current = self._kernels.get(plan_key)
-            self._kernels[plan_key] = (
-                seconds
-                if current is None
-                else self._alpha * seconds + (1.0 - self._alpha) * current
-            )
+            if current is None:
+                self._kernels[plan_key] = seconds
+                if self._warmup_discount:
+                    self._warming.add(plan_key)
+            elif plan_key in self._warming:
+                self._warming.discard(plan_key)
+                self._kernels[plan_key] = seconds
+            else:
+                self._kernels[plan_key] = (
+                    self._alpha * seconds + (1.0 - self._alpha) * current
+                )
 
     def observe_overhead(self, backend_name: str, seconds: float) -> None:
         """Fold one measured per-dispatch overhead into the pool's EWMA."""
@@ -437,8 +473,11 @@ def _execute_shipped(
     :class:`_BlobMiss` **without running anything** — the parent resubmits
     with full blobs, and because the RNG payload was never unpickled here,
     the retry draws identical noise.  Successful runs return ``(vectors,
-    model, kernel_seconds)`` — the kernel wall-clock feeds the parent-side
-    cost model.
+    model, kernel_seconds, span)``: the kernel wall-clock feeds the
+    parent-side cost model, and the span — the kernel's boundaries on the
+    epoch clock both processes share, stamped with the worker pid — lets
+    the parent's tracer nest the worker-measured execution under its own
+    unit span (the PR 5 kernel-seconds return channel, extended).
     """
     plan = _resident_get(plan_digest, plan_blob)
     database = _resident_get(db_digest, db_blob)
@@ -450,9 +489,17 @@ def _execute_shipped(
     if missing:
         return _BlobMiss(tuple(missing))
     workloads, rng, want_noise = pickle.loads(payload_blob)
+    wall_started = time.time()
     started = time.perf_counter()
     vectors, model = run_unit(plan, workloads, database, rng, want_noise)
-    return vectors, model, time.perf_counter() - started
+    kernel = time.perf_counter() - started
+    span = {
+        "kind": "worker",
+        "pid": os.getpid(),
+        "start": wall_started,
+        "end": wall_started + kernel,
+    }
+    return vectors, model, kernel, span
 
 
 # ---------------------------------------------------------------------------
@@ -467,6 +514,7 @@ class ThreadExecuteBackend:
         self,
         max_workers: int,
         observe: Optional[Callable[[PlanKey, float, float], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._pool = ThreadPoolExecutor(
             max_workers=int(max_workers),
@@ -477,6 +525,15 @@ class ThreadExecuteBackend:
         #: Optional cost-model hook, ``observe(plan_key, kernel_seconds,
         #: dispatch_overhead_seconds)`` — wired by the adaptive backend.
         self._observe = observe
+        self._queue_wait = (
+            metrics.histogram(
+                "engine_execute_queue_wait_seconds",
+                "Wait between unit submission and a worker slot starting it",
+                backend=self.name,
+            )
+            if metrics is not None
+            else None
+        )
 
     @property
     def dispatches(self) -> int:
@@ -493,17 +550,19 @@ class ThreadExecuteBackend:
         # Queue wait is the thread pool's whole dispatch overhead: there is
         # no serialisation and no IPC, only waiting for a worker slot.
         waited = time.perf_counter() - submitted_at
+        if self._queue_wait is not None:
+            self._queue_wait.observe(waited)
         started = time.perf_counter()
         result = run_unit(
             unit.plan, unit.workloads, unit.database, unit.rng, unit.want_noise
         )
-        assert self._observe is not None
-        self._observe(unit.plan.key, time.perf_counter() - started, waited)
+        if self._observe is not None:
+            self._observe(unit.plan.key, time.perf_counter() - started, waited)
         return result
 
     def submit(self, unit: ExecuteUnit) -> "Future[Tuple[List[np.ndarray], Optional[NoiseModel]]]":
         """Schedule one unit; raises ``RuntimeError`` once closed."""
-        if self._observe is not None:
+        if self._observe is not None or self._queue_wait is not None:
             future = self._pool.submit(self._run_observed, unit, time.perf_counter())
         else:
             future = self._pool.submit(
@@ -531,6 +590,13 @@ class _ProcessDispatch:
     before handing ``(vectors, model)`` to the caller — so the pipeline and
     ``execute_unit_via`` treat process dispatches exactly like thread
     futures.
+
+    The protocol's observability rides along after resolution:
+    :attr:`kernel_seconds` is the worker-measured kernel wall-clock and
+    :attr:`protocol_hops` the unit's cross-process itinerary — one dict per
+    hop (``kind`` of ``"blob-miss"``, ``"worker"`` or ``"inline"``, with
+    epoch-clock ``start``/``end``), so a recovered blob miss reports *both*
+    hops: the refused round trip and the execution that followed.
     """
 
     __slots__ = (
@@ -538,9 +604,12 @@ class _ProcessDispatch:
         "_unit",
         "_future",
         "_submitted_at",
+        "_submitted_wall",
         "_done_at",
         "_observe",
         "_resolved",
+        "kernel_seconds",
+        "protocol_hops",
     )
 
     def __init__(
@@ -555,12 +624,15 @@ class _ProcessDispatch:
         self._unit = unit
         self._future = future
         self._submitted_at = submitted_at
+        self._submitted_wall = time.time()
         self._done_at: Optional[float] = None
         #: False for the dispatch that created the lazy pool: its round
         #: trip absorbs worker spawn (a one-off), which must not poison the
         #: cost model's per-dispatch overhead EWMA.
         self._observe = observe
         self._resolved: Optional[tuple] = None
+        self.kernel_seconds: Optional[float] = None
+        self.protocol_hops: List[dict] = []
         future.add_done_callback(self._stamp_done)
 
     def _stamp_done(self, _future) -> None:
@@ -577,13 +649,24 @@ class _ProcessDispatch:
             return self._resolved
         value = self._future.result(timeout)
         if isinstance(value, _BlobMiss):
+            self.protocol_hops.append(
+                {
+                    "kind": "blob-miss",
+                    "missing": list(value.missing),
+                    "start": self._submitted_wall,
+                    "end": time.time(),
+                }
+            )
             # The recovery round trips inherit the caller's timeout per hop
             # (an approximate rather than a total bound, but a wedged pool
             # can never turn a bounded wait into an unbounded one).
             value = self._backend._recover_miss(
                 self._unit, value, self, timeout=timeout
             )
-        vectors, model, kernel_seconds = value
+        vectors, model, kernel_seconds, span = value
+        self.kernel_seconds = kernel_seconds
+        if span is not None:
+            self.protocol_hops.append(dict(span))
         if self._observe:
             self._backend._observe_dispatch(
                 self._unit.plan.key, kernel_seconds, self
@@ -627,6 +710,11 @@ class ProcessExecuteBackend:
     observe:
         Optional cost-model hook ``observe(plan_key, kernel_seconds,
         dispatch_overhead_seconds)``, wired by the adaptive backend.
+    metrics:
+        Optional :class:`~repro.engine.observability.MetricsRegistry`;
+        when set, each dispatch feeds per-dispatch bytes-shipped and
+        serialisation-seconds histograms (the aggregate counters above
+        stay available either way).
     """
 
     name = "process"
@@ -638,6 +726,7 @@ class ProcessExecuteBackend:
         preload: Sequence[object] = (),
         blob_protocol: str = "miss-only",
         observe: Optional[Callable[[PlanKey, float, float], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if blob_protocol not in ("miss-only", "always"):
             raise ValueError(
@@ -648,6 +737,21 @@ class ProcessExecuteBackend:
         self._context = multiprocessing.get_context(start_method)
         self._ship_always = blob_protocol == "always"
         self._observe = observe
+        if metrics is not None:
+            self._h_bytes = metrics.histogram(
+                "engine_ipc_bytes_shipped",
+                "Bytes handed to the worker pool per dispatch",
+                buckets=DEFAULT_BYTE_BUCKETS,
+                backend=self.name,
+            )
+            self._h_serialization = metrics.histogram(
+                "engine_ipc_serialization_seconds",
+                "Parent-side pickling time per dispatch",
+                backend=self.name,
+            )
+        else:
+            self._h_bytes = None
+            self._h_serialization = None
         # The pool is created lazily (first dispatch) so its initializer can
         # preload everything memoised by then — see _ensure_pool.
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -875,6 +979,9 @@ class ProcessExecuteBackend:
             self._dispatches += 1
             self._serialization_seconds += elapsed
             self._bytes_shipped += shipped
+        if self._h_bytes is not None:
+            self._h_bytes.observe(shipped)
+            self._h_serialization.observe(elapsed)
         return _ProcessDispatch(self, unit, future, started, observe=not pool_created)
 
     # --------------------------------------------------------------- protocol
@@ -898,6 +1005,12 @@ class ProcessExecuteBackend:
         everything — two rounds guarantee progress.  Each resubmission also
         re-populates whichever worker picks it up.
         """
+        logger.info(
+            "blob miss on process dispatch for plan %s (missing: %s); "
+            "resubmitting with full blobs",
+            unit.plan.key,
+            ", ".join(miss.missing),
+        )
         started = time.perf_counter()
         plan_digest, plan_blob = self._plan_entry(unit.plan)
         db_digest, db_blob = self._db_entry(unit.database)
@@ -915,6 +1028,7 @@ class ProcessExecuteBackend:
             (plan_blob, db_blob),
         )
         for ship_plan, ship_db in rounds:
+            round_wall = time.time()
             with self._counter_lock:
                 self._blob_cache_misses += len(miss.missing)
                 self._resubmits += 1
@@ -945,6 +1059,12 @@ class ProcessExecuteBackend:
                 # Backend closed between the miss and the resubmit: the
                 # charge already stands, so the paid-for release happens
                 # inline (same engine-close semantics as execute_unit_via).
+                logger.warning(
+                    "process backend closed during blob-miss recovery; "
+                    "running unit for plan %s inline on the calling thread",
+                    unit.plan.key,
+                )
+                inline_wall = time.time()
                 inline_started = time.perf_counter()
                 vectors, model = run_unit(
                     unit.plan,
@@ -953,7 +1073,14 @@ class ProcessExecuteBackend:
                     unit.rng,
                     unit.want_noise,
                 )
-                return vectors, model, time.perf_counter() - inline_started
+                kernel = time.perf_counter() - inline_started
+                span = {
+                    "kind": "inline",
+                    "pid": os.getpid(),
+                    "start": inline_wall,
+                    "end": inline_wall + kernel,
+                }
+                return vectors, model, kernel, span
             future.add_done_callback(dispatch._stamp_done)
             with self._counter_lock:
                 self._bytes_shipped += (
@@ -967,6 +1094,14 @@ class ProcessExecuteBackend:
             if not isinstance(value, _BlobMiss):
                 return value
             miss = value
+            dispatch.protocol_hops.append(
+                {
+                    "kind": "blob-miss",
+                    "missing": list(miss.missing),
+                    "start": round_wall,
+                    "end": time.time(),
+                }
+            )
         raise RuntimeError(  # pragma: no cover - protocol invariant
             f"worker reported {miss.missing} missing although every blob was "
             "shipped with the final resubmission"
@@ -1064,16 +1199,18 @@ class AdaptiveExecuteBackend:
         start_method: str = "spawn",
         preload: Sequence[object] = (),
         cost_model: Optional[ExecuteCostModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cost_model = cost_model if cost_model is not None else ExecuteCostModel()
         self._thread = ThreadExecuteBackend(
-            int(max_workers), observe=self._observe_thread
+            int(max_workers), observe=self._observe_thread, metrics=metrics
         )
         self._process = ProcessExecuteBackend(
             int(max_workers),
             start_method=start_method,
             preload=preload,
             observe=self._observe_process,
+            metrics=metrics,
         )
         self._counter_lock = threading.Lock()
         self._inline_runs = 0
@@ -1154,18 +1291,30 @@ class AdaptiveExecuteBackend:
                 raise
             except RuntimeError:
                 raise
-            except _PlanSerialisationError:
+            except _PlanSerialisationError as exc:
                 # The plan itself cannot cross the process boundary — ever.
                 # Remember it so later dispatches skip the doomed (and
                 # expensive) pickle attempt; the thread pool executes on
                 # shared objects, so the unit is still servable.
+                logger.warning(
+                    "plan %s cannot cross the process boundary; routing it "
+                    "to the thread pool from now on: %s",
+                    unit.plan.key,
+                    exc,
+                )
                 with self._counter_lock:
                     self._process_rejected.add(unit.plan.key)
                 route = "thread"
-            except Exception:
+            except Exception as exc:
                 # Per-unit serialisation failure (workload/RNG payload):
                 # degrade this unit to the thread pool without poisoning
                 # the plan's process route.
+                logger.warning(
+                    "unit payload for plan %s failed to serialise; degrading "
+                    "this unit to the thread pool: %s",
+                    unit.plan.key,
+                    exc,
+                )
                 route = "thread"
         if route == "thread":
             return self._thread.submit(unit)
@@ -1199,13 +1348,16 @@ def create_execute_backend(
     process_start_method: str = "spawn",
     preload: Sequence[object] = (),
     cost_model: Optional[ExecuteCostModel] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Optional[object]:
     """Build the execute backend the engine was configured with.
 
     Returns ``None`` for ``max_workers`` of 1 or less — the pipeline then
     executes inline on the flushing thread, exactly as without a pool.
     ``preload`` (the engine database) and ``cost_model`` only apply to the
-    process-capable backends.
+    process-capable backends; ``metrics`` wires per-dispatch histograms
+    (queue wait, bytes shipped, serialisation time) into whichever backend
+    is built.
     """
     if backend not in ("thread", "process", "adaptive"):
         raise ValueError(
@@ -1215,16 +1367,18 @@ def create_execute_backend(
     if max_workers is None or int(max_workers) <= 1:
         return None
     if backend == "thread":
-        return ThreadExecuteBackend(max_workers=int(max_workers))
+        return ThreadExecuteBackend(max_workers=int(max_workers), metrics=metrics)
     if backend == "process":
         return ProcessExecuteBackend(
             max_workers=int(max_workers),
             start_method=process_start_method,
             preload=preload,
+            metrics=metrics,
         )
     return AdaptiveExecuteBackend(
         max_workers=int(max_workers),
         start_method=process_start_method,
         preload=preload,
         cost_model=cost_model,
+        metrics=metrics,
     )

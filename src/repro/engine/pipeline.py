@@ -42,6 +42,7 @@ rare by funnelling concurrent submissions into shared flushes.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import BrokenExecutor
@@ -63,6 +64,9 @@ from .signature import answer_key, plan_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import PrivateQueryEngine
+    from .observability import Trace
+
+logger = logging.getLogger(__name__)
 
 PENDING = "pending"
 ANSWERED = "answered"
@@ -109,6 +113,10 @@ class QueryTicket:
     #: shard's id; the per-shard resolution is exactly what generalised
     #: least squares over the draw correlation structure needs.
     shard_draw_ids: Optional[Dict[int, int]] = None
+    #: ``perf_counter`` stamp taken at submit — the queue-wait metric
+    #: (submission → flush pickup) is derived from it when observability is
+    #: enabled.  Zero for tickets constructed outside the engine.
+    submitted_at: float = 0.0
     _resolved: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
@@ -197,16 +205,108 @@ class FlushPipeline:
     def __init__(self, engine: "PrivateQueryEngine") -> None:
         self._engine = engine
 
+    # --------------------------------------------------------- observability
+    def _obs_flush_begin(self, tickets: List[QueryTicket]):
+        """Strippable flush-observation hook: queue waits + open the trace.
+
+        Returns ``None`` when observability is disabled (the single branch a
+        disabled engine pays here) or a ``(trace, perf_counter start)``
+        context otherwise.  ``bench_observability.py`` subclasses the
+        pipeline with this hook (and :meth:`_obs_flush_end`) stubbed out to
+        measure the instrumentation's true floor.
+        """
+        obs = self._engine._observability
+        if obs is None or not obs.enabled:
+            return None
+        started = time.perf_counter()
+        queue_wait = self._engine._h_queue_wait
+        for ticket in tickets:
+            if ticket.submitted_at:
+                queue_wait.observe(max(0.0, started - ticket.submitted_at))
+        return obs.start_trace("flush", tickets=len(tickets)), started
+
+    def _obs_flush_end(self, context) -> None:
+        """Close the flush trace and record the flush-latency sample."""
+        if context is None:
+            return
+        trace, started = context
+        self._engine._h_flush.observe(time.perf_counter() - started)
+        if trace is not None:
+            trace.finish()
+
+    def _obs_unit_done(
+        self,
+        trace: Optional["Trace"],
+        unit: ExecuteUnit,
+        submitted_wall: float,
+        future,
+        parent=None,
+    ) -> None:
+        """Record one executed unit: kernel-seconds sample + unit span tree.
+
+        The histogram is keyed by a short plan-signature label; the sample
+        is the worker-measured kernel when the future carries one (process
+        dispatches ship it back), the parent-observed round trip otherwise.
+        The unit span adopts any protocol hops the dispatch accumulated —
+        worker execution, blob-miss round trips, closed-pool inline runs —
+        as child spans, which is how worker-process spans join the flush's
+        tree.
+        """
+        obs = self._engine._observability
+        if obs is None or not obs.enabled:
+            return
+        end_wall = time.time()
+        key = unit.plan.key
+        label = f"{key[1][:12]}/{key[2]}"
+        kernel = getattr(future, "kernel_seconds", None) if future is not None else None
+        obs.metrics.histogram(
+            "engine_unit_kernel_seconds",
+            "Per-unit kernel seconds, keyed by plan signature",
+            plan=label,
+        ).observe(kernel if kernel is not None else max(0.0, end_wall - submitted_wall))
+        if trace is None:
+            return
+        span = trace.add_span(
+            "unit",
+            submitted_wall,
+            end_wall,
+            parent=parent,
+            plan=label,
+            workloads=len(unit.workloads),
+        )
+        hops = getattr(future, "protocol_hops", None) if future is not None else None
+        for hop in hops or ():
+            attributes = {
+                k: v for k, v in hop.items() if k not in ("kind", "start", "end")
+            }
+            trace.add_span(hop["kind"], hop["start"], hop["end"], parent=span, **attributes)
+
     # ---------------------------------------------------------------- driver
     def run(self, tickets: List[QueryTicket], rng: np.random.Generator) -> None:
         """Resolve every ticket: replays first, then staged batch execution."""
         engine = self._engine
-        with engine._stats_lock:
-            engine._flushes += 1
+        engine._c_flushes.inc()
+        context = self._obs_flush_begin(tickets)
+        trace = context[0] if context is not None else None
+        try:
+            self._run_flush(tickets, rng, trace)
+        finally:
+            self._obs_flush_end(context)
 
+    def _run_flush(
+        self,
+        tickets: List[QueryTicket],
+        rng: np.random.Generator,
+        trace: Optional["Trace"],
+    ) -> None:
+        engine = self._engine
         to_execute: List[QueryTicket] = []
         followers: Dict[AnswerKeyT, List[QueryTicket]] = {}
         seen_keys: Dict[AnswerKeyT, QueryTicket] = {}
+        #: Replays resolved by this flush — recorded on the trace so a
+        #: replay-only flush reads as "all served from cache", not as an
+        #: empty tree.
+        replays = 0
         for ticket in tickets:
             if engine.answer_cache is not None:
                 # Dedup identical queries *within* this flush: one ticket
@@ -225,11 +325,12 @@ class FlushPipeline:
                     self._resolve_replay(
                         ticket, cached.answers, cached.draw_id, cached.shard_draw_ids
                     )
+                    replays += 1
                     continue
                 seen_keys[key] = ticket
             to_execute.append(ticket)
 
-        self._run_round(to_execute, rng)
+        self._run_round(to_execute, rng, trace)
 
         # Resolve duplicates: replay from an answered leader for free.  A
         # refused leader must not drag its duplicates down — their own
@@ -254,16 +355,25 @@ class FlushPipeline:
                             leader.draw_id,
                             leader.shard_draw_ids,
                         )
+                        replays += 1
                     continue
                 promoted, rest = duplicate_tickets[0], duplicate_tickets[1:]
                 seen_keys[key] = promoted
                 retry.append(promoted)
                 if rest:
                     next_followers[key] = rest
-            self._run_round(retry, rng)
+            self._run_round(retry, rng, trace)
             pending_followers = next_followers
 
-    def _run_round(self, tickets: List[QueryTicket], rng: np.random.Generator) -> None:
+        if trace is not None and replays:
+            trace.attributes["replays"] = replays
+
+    def _run_round(
+        self,
+        tickets: List[QueryTicket],
+        rng: np.random.Generator,
+        trace: Optional["Trace"] = None,
+    ) -> None:
         """Group tickets and push every group through the four stages."""
         if not tickets:
             return
@@ -272,6 +382,7 @@ class FlushPipeline:
 
         # ---- stage 1: plan (lock-free; caches lock internally only briefly)
         started = time.perf_counter()
+        wall = time.time() if trace is not None else 0.0
         groups: Dict[tuple, List[QueryTicket]] = {}
         for ticket in tickets:
             key = plan_key(
@@ -294,23 +405,38 @@ class FlushPipeline:
             for round_tickets in rounds:
                 batches.append(self._plan_batch(round_tickets))
         timings["plan"] = time.perf_counter() - started
+        if trace is not None:
+            trace.add_span("plan", wall, time.time(), batches=len(batches))
 
         # ---- stage 2: charge (narrowed accountant lock, per ledger append)
         started = time.perf_counter()
+        wall = time.time() if trace is not None else 0.0
         for batch in batches:
-            self._charge_batch(batch)
+            self._charge_batch(batch, trace)
         timings["charge"] = time.perf_counter() - started
+        if trace is not None:
+            trace.add_span("charge", wall, time.time())
 
         # ---- stage 3: execute (no locks held; optionally on worker threads)
         started = time.perf_counter()
-        self._execute_batches(batches, rng)
+        if trace is not None:
+            # The stage span opens before the units run so their spans (and
+            # the worker spans shipped back by the process protocol) can
+            # nest under it — one coherent tree per flush.
+            with trace.span("execute") as execute_span:
+                self._execute_batches(batches, rng, trace, execute_span)
+        else:
+            self._execute_batches(batches, rng, None, None)
         timings["execute"] = time.perf_counter() - started
 
         # ---- stage 4: resolve (stats/cache locks only)
         started = time.perf_counter()
+        wall = time.time() if trace is not None else 0.0
         for batch in batches:
-            self._resolve_batch(batch)
+            self._resolve_batch(batch, trace)
         timings["resolve"] = time.perf_counter() - started
+        if trace is not None:
+            trace.add_span("resolve", wall, time.time())
 
         engine._record_stage_timings(timings)
 
@@ -370,39 +496,64 @@ class FlushPipeline:
         batch.scatters = scatters
         return True
 
-    def _charge_batch(self, batch: PlannedBatch) -> None:
-        """Stage 2: admit or refuse each ticket; record charges for rollback."""
+    def _charge_batch(
+        self, batch: PlannedBatch, trace: Optional["Trace"] = None
+    ) -> None:
+        """Stage 2: admit or refuse each ticket; record charges for rollback.
+
+        When an audit stream is installed, each ticket's charge attempt runs
+        under an ambient audit context carrying the flush's trace id and the
+        ticket/client ids — so the accountant's own charge/rollback events
+        (emitted two layers down, where no ticket is known) still land in
+        the stream fully attributed.
+        """
         engine = self._engine
         if batch.plan_error is not None:
             for ticket in batch.tickets:
-                self._refuse(ticket, batch.plan_error, count_session=True)
+                self._refuse(ticket, batch.plan_error, count_session=True, trace=trace)
             return
+        audit = engine._audit
+        trace_id = trace.trace_id if trace is not None else None
         for ticket in batch.tickets:
-            session = ticket.session
-            label = f"query:{ticket.client_id}:{ticket.ticket_id}"
-            # Parallel composition only applies when the release is a function
-            # of the declared partition alone.  On the unsharded path a
-            # data-dependent mechanism (DAWA, consistency projections) reads
-            # the whole histogram, so the discount would be unsound.  On the
-            # *sharded* path a data-dependent invocation reads its whole
-            # shard, so the discount additionally requires every
-            # data-dependent shard the ticket touches to lie inside the
-            # declared partition.  (The submit-time edge-closure check skips
-            # ``⊥`` edges — cells related only through ``⊥`` share a
-            # component yet may be split by a valid partition, so "partition
-            # ⊇ touched cells" does not imply "partition ⊇ touched shards".)
-            partition_error = self._partition_discount_error(batch, ticket, label)
-            if partition_error is not None:
-                self._refuse(ticket, partition_error, count_session=True)
-                continue
-            try:
-                operation = session.charge(label, ticket.epsilon, ticket.partition)
-            except PrivacyBudgetError as exc:
-                # session.charge already counted the session-level refusal.
-                self._refuse(ticket, str(exc), count_session=False)
-                continue
-            batch.admitted.append(ticket)
-            batch.charged.append((session, operation))
+            if audit is not None:
+                with audit.context(
+                    trace_id=trace_id,
+                    ticket_id=ticket.ticket_id,
+                    client_id=ticket.client_id,
+                ):
+                    self._charge_ticket(batch, ticket, trace)
+            else:
+                self._charge_ticket(batch, ticket, trace)
+
+    def _charge_ticket(
+        self, batch: PlannedBatch, ticket: QueryTicket, trace: Optional["Trace"]
+    ) -> None:
+        """Admit or refuse one ticket (stage 2 body, per ticket)."""
+        session = ticket.session
+        label = f"query:{ticket.client_id}:{ticket.ticket_id}"
+        # Parallel composition only applies when the release is a function
+        # of the declared partition alone.  On the unsharded path a
+        # data-dependent mechanism (DAWA, consistency projections) reads
+        # the whole histogram, so the discount would be unsound.  On the
+        # *sharded* path a data-dependent invocation reads its whole
+        # shard, so the discount additionally requires every
+        # data-dependent shard the ticket touches to lie inside the
+        # declared partition.  (The submit-time edge-closure check skips
+        # ``⊥`` edges — cells related only through ``⊥`` share a
+        # component yet may be split by a valid partition, so "partition
+        # ⊇ touched cells" does not imply "partition ⊇ touched shards".)
+        partition_error = self._partition_discount_error(batch, ticket, label)
+        if partition_error is not None:
+            self._refuse(ticket, partition_error, count_session=True, trace=trace)
+            return
+        try:
+            operation = session.charge(label, ticket.epsilon, ticket.partition)
+        except PrivacyBudgetError as exc:
+            # session.charge already counted the session-level refusal.
+            self._refuse(ticket, str(exc), count_session=False, trace=trace)
+            return
+        batch.admitted.append(ticket)
+        batch.charged.append((session, operation))
 
     def _partition_discount_error(
         self, batch: PlannedBatch, ticket: QueryTicket, label: str
@@ -459,7 +610,11 @@ class FlushPipeline:
         return None
 
     def _execute_batches(
-        self, batches: List[PlannedBatch], rng: np.random.Generator
+        self,
+        batches: List[PlannedBatch],
+        rng: np.random.Generator,
+        trace: Optional["Trace"] = None,
+        stage_span=None,
     ) -> None:
         """Stage 3: run every batch's mechanism work outside all locks."""
         engine = self._engine
@@ -469,15 +624,17 @@ class FlushPipeline:
         backend = engine._execute_backend
         if backend is None:
             for batch in runnable:
-                self._execute_one(batch, rng)
+                self._execute_one(batch, rng, trace, stage_span)
             return
-        self._execute_on_backend(backend, runnable, rng)
+        self._execute_on_backend(backend, runnable, rng, trace, stage_span)
 
     def _execute_on_backend(
         self,
         backend,
         runnable: List[PlannedBatch],
         rng: np.random.Generator,
+        trace: Optional["Trace"] = None,
+        stage_span=None,
     ) -> None:
         """Cut batches into work units and run them on the execute backend.
 
@@ -509,6 +666,7 @@ class FlushPipeline:
                 results = []
                 try:
                     for unit, entries in units:
+                        unit_wall = time.time() if trace is not None else 0.0
                         vectors, model = run_unit(
                             unit.plan,
                             unit.workloads,
@@ -517,6 +675,9 @@ class FlushPipeline:
                             unit.want_noise,
                         )
                         results.append((entries, vectors, model))
+                        self._obs_unit_done(
+                            trace, unit, unit_wall, None, parent=stage_span
+                        )
                 except Exception as exc:
                     batch.execute_error = (
                         f"Batch execution failed (charge rolled back): {exc}"
@@ -525,12 +686,16 @@ class FlushPipeline:
                 self._assemble_batch(batch, results)
             return
 
-        # (batch, unit, gather bookkeeping, future-or-None) per work unit.
-        submissions: List[Tuple[PlannedBatch, ExecuteUnit, Optional[list], object]] = []
+        # (batch, unit, gather bookkeeping, future-or-None, submit wall-clock)
+        # per work unit.
+        submissions: List[
+            Tuple[PlannedBatch, ExecuteUnit, Optional[list], object, float]
+        ] = []
         for batch, units in units_by_batch:
             for unit, entries in units:
                 if batch.execute_error is not None:
                     break
+                unit_wall = time.time() if trace is not None else 0.0
                 try:
                     future = (
                         backend.submit(unit, flush_units=total_units)
@@ -552,6 +717,11 @@ class FlushPipeline:
                     # engine.close() shut the backend down mid-flush: finish
                     # inline so every charge still reaches execute/rollback
                     # and every ticket resolves.
+                    logger.warning(
+                        "execute backend closed mid-flush; finishing unit for "
+                        "plan %s inline on the flushing thread",
+                        unit.plan.key,
+                    )
                     future = None
                 except Exception as exc:
                     # Serialisation failure (process backend): the batch
@@ -560,12 +730,12 @@ class FlushPipeline:
                         f"Batch execution failed (charge rolled back): {exc}"
                     )
                     continue
-                submissions.append((batch, unit, entries, future))
+                submissions.append((batch, unit, entries, future, unit_wall))
 
         unit_results: Dict[
             int, List[Tuple[Optional[list], List[np.ndarray], Optional[NoiseModel]]]
         ] = {}
-        for batch, unit, entries, future in submissions:
+        for batch, unit, entries, future, unit_wall in submissions:
             if batch.execute_error is not None:
                 if future is not None:
                     try:
@@ -591,6 +761,7 @@ class FlushPipeline:
                 )
                 continue
             unit_results.setdefault(id(batch), []).append((entries, vectors, model))
+            self._obs_unit_done(trace, unit, unit_wall, future, parent=stage_span)
 
         for batch in runnable:
             if batch.execute_error is not None:
@@ -688,6 +859,12 @@ class FlushPipeline:
                 # Mis-sized metadata is a mechanism bug, but metadata is
                 # advisory: degrade this unit to the proxy model rather
                 # than slicing rows that belong to a different layout.
+                logger.warning(
+                    "noise model reports %d rows but its sharded unit has %d; "
+                    "degrading the unit to the proxy noise model",
+                    model.num_rows,
+                    unit_rows,
+                )
                 model = None
             start = 0
             for (position, piece_index, piece), vector in zip(entries, vectors):
@@ -726,6 +903,12 @@ class FlushPipeline:
         if model.num_rows != total:
             # A mechanism that mis-sizes its metadata is a bug, but metadata
             # is advisory: degrade to the proxy model, never refuse answers.
+            logger.warning(
+                "noise model reports %d rows but the batch has %d; degrading "
+                "the batch to the proxy noise model",
+                model.num_rows,
+                total,
+            )
             return None
         noise: List[Optional[TicketNoise]] = []
         start = 0
@@ -779,7 +962,13 @@ class FlushPipeline:
             stds=stds, shard_bases=shard_bases if bases_complete and shard_bases else None
         )
 
-    def _execute_one(self, batch: PlannedBatch, rng: np.random.Generator) -> None:
+    def _execute_one(
+        self,
+        batch: PlannedBatch,
+        rng: np.random.Generator,
+        trace: Optional["Trace"] = None,
+        stage_span=None,
+    ) -> None:
         """Inline execute: the backends' unit/gather code, run sequentially.
 
         One code path for every backend — the same :meth:`_units_for` cuts
@@ -789,26 +978,27 @@ class FlushPipeline:
         """
         try:
             units = self._units_for(batch, rng)
-            results = [
-                (
-                    entries,
-                    *run_unit(
-                        unit.plan,
-                        unit.workloads,
-                        unit.database,
-                        unit.rng,
-                        unit.want_noise,
-                    ),
+            results = []
+            for unit, entries in units:
+                unit_wall = time.time() if trace is not None else 0.0
+                vectors, model = run_unit(
+                    unit.plan,
+                    unit.workloads,
+                    unit.database,
+                    unit.rng,
+                    unit.want_noise,
                 )
-                for unit, entries in units
-            ]
+                results.append((entries, vectors, model))
+                self._obs_unit_done(trace, unit, unit_wall, None, parent=stage_span)
             self._assemble_batch(batch, results)
         except Exception as exc:
             batch.execute_error = (
                 f"Batch execution failed (charge rolled back): {exc}"
             )
 
-    def _resolve_batch(self, batch: PlannedBatch) -> None:
+    def _resolve_batch(
+        self, batch: PlannedBatch, trace: Optional["Trace"] = None
+    ) -> None:
         """Stage 4: rollbacks for failures, then answers, counters and caches."""
         engine = self._engine
         if not batch.admitted:
@@ -818,16 +1008,29 @@ class FlushPipeline:
             # every reservation of this batch and resolve its tickets instead
             # of stranding them (or the rest of the flush) behind the raise.
             error = batch.execute_error or "Batch execution produced no results"
-            for session, operation in batch.charged:
-                session.accountant.rollback(operation)
+            audit = engine._audit
+            trace_id = trace.trace_id if trace is not None else None
+            # batch.charged is index-aligned with batch.admitted (both are
+            # appended together at admission), so the zip attributes each
+            # rollback's audit event to the right ticket.
+            for (session, operation), ticket in zip(batch.charged, batch.admitted):
+                if audit is not None:
+                    with audit.context(
+                        trace_id=trace_id,
+                        ticket_id=ticket.ticket_id,
+                        client_id=ticket.client_id,
+                    ):
+                        session.accountant.rollback(operation)
+                else:
+                    session.accountant.rollback(operation)
             for ticket in batch.admitted:
-                self._refuse(ticket, error, count_session=True)
+                self._refuse(ticket, error, count_session=True, trace=trace)
             return
-        with engine._stats_lock:
-            engine._batches += 1
-            engine._invocations += batch.invocations
-            if batch.sharded:
-                engine._sharded_batches += 1
+        engine._c_batches.inc()
+        if batch.invocations:
+            engine._c_invocations.inc(batch.invocations)
+        if batch.sharded:
+            engine._c_sharded_batches.inc()
         if batch.sharded and batch.shard_indices:
             # One draw id per per-shard mechanism invocation: batch-mates
             # touching the same shard share that shard's id, and a ticket's
@@ -894,9 +1097,8 @@ class FlushPipeline:
         with ticket.session.accountant.lock:
             ticket.session.cache_replays += 1
             ticket.session.queries_answered += 1
-        with engine._stats_lock:
-            engine._replays += 1
-            engine._answered += 1
+        engine._c_replays.inc()
+        engine._c_answered.inc()
         ticket._resolved.set()
 
     def _resolve_answer(
@@ -915,8 +1117,7 @@ class FlushPipeline:
         ticket.shard_draw_ids = dict(shard_draw_ids) if shard_draw_ids else None
         with ticket.session.accountant.lock:
             ticket.session.queries_answered += 1
-        with engine._stats_lock:
-            engine._answered += 1
+        engine._c_answered.inc()
         if engine.answer_cache is not None:
             engine.answer_cache.store(
                 ticket.policy,
@@ -930,15 +1131,34 @@ class FlushPipeline:
             )
         ticket._resolved.set()
 
-    def _refuse(self, ticket: QueryTicket, error: str, count_session: bool) -> None:
+    def _refuse(
+        self,
+        ticket: QueryTicket,
+        error: str,
+        count_session: bool,
+        trace: Optional["Trace"] = None,
+    ) -> None:
         engine = self._engine
         ticket.status = REFUSED
         ticket.error = error
         if count_session:
             with ticket.session.accountant.lock:
                 ticket.session.queries_refused += 1
-        with engine._stats_lock:
-            engine._refused += 1
+        engine._c_refused.inc()
+        audit = engine._audit
+        if audit is not None:
+            # Explicit ids are redundant under _charge_batch's ambient
+            # context (emit drops the None trace_id rather than masking an
+            # ambient one) but make refusals from other paths — plan
+            # failures, execute rollbacks — equally attributable.
+            audit.emit(
+                "refusal",
+                trace_id=trace.trace_id if trace is not None else None,
+                ticket_id=ticket.ticket_id,
+                client_id=ticket.client_id,
+                epsilon=ticket.epsilon,
+                error=error[:200],
+            )
         ticket._resolved.set()
 
     # ----------------------------------------------------------------- helper

@@ -81,15 +81,38 @@ class PlanCache:
     maxsize:
         Maximum number of distinct ``(domain, policy, config)`` entries kept.
         The per-workload sub-caches ride along with their entry.
+    metrics:
+        Optional :class:`~repro.engine.observability.MetricsRegistry`; when
+        given, lookups additionally bump ``engine_plan_cache_lookups_total``
+        counters (labelled ``result="hit"``/``"miss"``).  The cache's own
+        :attr:`stats` counts either way.  The registry reference never
+        pickles (see :meth:`__getstate__`) — an unpickled cache is silent.
     """
 
-    def __init__(self, maxsize: int = 64) -> None:
+    def __init__(self, maxsize: int = 64, metrics=None) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self._maxsize = int(maxsize)
         self._entries: "OrderedDict[PlanKey, CachedPlan]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = PlanCacheStats()
+        self._bind_metrics(metrics)
+
+    def _bind_metrics(self, metrics) -> None:
+        """Pre-bind the registry counters (or None-out when unmetered)."""
+        if metrics is None:
+            self._m_hits = self._m_misses = None
+        else:
+            self._m_hits = metrics.counter(
+                "engine_plan_cache_lookups_total",
+                "Plan-cache lookups by result",
+                result="hit",
+            )
+            self._m_misses = metrics.counter(
+                "engine_plan_cache_lookups_total",
+                "Plan-cache lookups by result",
+                result="miss",
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -114,8 +137,12 @@ class PlanCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                if self._m_hits is not None:
+                    self._m_hits.inc()
                 return entry
             self.stats.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
         # Plan outside the lock: planning can be slow and must not serialise
         # unrelated lookups.  A racing thread may plan the same key twice; the
         # second insert below simply wins, which is harmless (plans are
@@ -199,7 +226,8 @@ class PlanCache:
 
     # -------------------------------------------------------------- pickling
     def __getstate__(self) -> dict:
-        """Pickle support: entries and counters travel, the lock does not."""
+        """Pickle support: entries and counters travel; the lock and the
+        metrics binding (process-local registry objects) do not."""
         with self._lock:
             return {
                 "_maxsize": self._maxsize,
@@ -216,6 +244,7 @@ class PlanCache:
         self._entries = OrderedDict(state["_entries"])
         self.stats = state["stats"]
         self._lock = threading.Lock()
+        self._bind_metrics(None)
 
 
 # ---------------------------------------------------------------------------

@@ -108,6 +108,9 @@ class TestCostModel:
 
     def test_ewma_tracks_shifting_kernels(self):
         model = ExecuteCostModel(alpha=0.5)
+        # Samples 1 and 2 are the warm-up handshake (seed, then replace);
+        # EWMA blending starts from the third sample.
+        model.observe_kernel(("k",), 1.0)
         model.observe_kernel(("k",), 1.0)
         model.observe_kernel(("k",), 0.0)
         assert model.kernel_seconds(("k",)) == pytest.approx(0.5)
@@ -115,6 +118,26 @@ class TestCostModel:
         first = model.overhead_seconds("process")
         model.observe_overhead("process", 1.0)
         assert model.overhead_seconds("process") > first  # pulled toward 1.0
+
+    def test_warmup_discount_replaces_factorisation_tainted_first_sample(self):
+        """The first sample absorbs one-off lazy factorisation; the second
+        (first warm) sample must replace it outright, not blend with it."""
+        model = ExecuteCostModel(alpha=0.25)
+        model.observe_kernel(("warm",), 5.0)  # cold: Gram/SuperLU build
+        assert model.kernel_seconds(("warm",)) == pytest.approx(5.0)  # seeds anyway
+        model.observe_kernel(("warm",), 0.01)  # warm: the honest kernel
+        assert model.kernel_seconds(("warm",)) == pytest.approx(0.01)
+        # From the third sample on, normal EWMA smoothing.
+        model.observe_kernel(("warm",), 0.02)
+        assert model.kernel_seconds(("warm",)) == pytest.approx(
+            0.25 * 0.02 + 0.75 * 0.01
+        )
+
+    def test_warmup_discount_can_be_disabled(self):
+        model = ExecuteCostModel(alpha=0.5, warmup_discount=False)
+        model.observe_kernel(("k",), 1.0)
+        model.observe_kernel(("k",), 0.0)
+        assert model.kernel_seconds(("k",)) == pytest.approx(0.5)
 
     def test_overhead_observations_move_the_routing_boundary(self):
         model = ExecuteCostModel(dispatch_margin=2.0)
