@@ -163,9 +163,12 @@ class PolicyMatrixMechanism(BlowfishMechanism):
         The mechanism's noise is ``W_G A⁺ η`` with ``η`` i.i.d.
         Laplace(Δ_A/ε), so the factor basis is ``√2 (Δ_A/ε) · W_G A⁺`` for
         unit-variance factors.  Memoised per workload signature alongside
-        the transformed workload.  ``None`` (proxy fallback) for large
-        workloads on strategies without an explicit pseudo-inverse, where
-        deriving the basis would cost one iterative solve per row.
+        the transformed workload.  Strategies without an explicit
+        pseudo-inverse derive one through the process-wide factorisation
+        store (once per distinct strategy matrix, shared across every plan
+        and ε); only strategies too large to invert densely fall back to
+        per-row LSQR, and only truly huge workloads on those degrade to the
+        ``2/ε²`` proxy (``None``).
         """
         cache = getattr(self, "_noise_cache", None)
         if cache is None:
@@ -174,17 +177,64 @@ class PolicyMatrixMechanism(BlowfishMechanism):
             cache = self._noise_cache = WorkloadTransformCache(maxsize=8)
         return cache.get_or_compute(workload, self._compute_noise_model)
 
-    #: Without an explicit strategy pseudo-inverse the factor basis costs one
-    #: iterative solve per workload row; above this many rows the model is
-    #: skipped (proxy fallback) rather than stalling the execute stage.  The
-    #: strategies the engine plans (identity, Haar slabs) all carry explicit
-    #: pseudo-inverses, so this is a safety valve, not the common path.
-    _NOISE_MODEL_LSQR_ROW_LIMIT = 512
+    #: Last-resort safety valve: with no explicit pseudo-inverse *and* a
+    #: strategy too large for the store's dense derivation, the factor basis
+    #: costs one iterative solve per workload row; above this many rows the
+    #: model is skipped (proxy fallback) rather than stalling the execute
+    #: stage.  Raised from the PR 4 value of 512 now that the common wide
+    #: strategies resolve through the store-cached ``A⁺`` instead.
+    _NOISE_MODEL_LSQR_ROW_LIMIT = 4096
+
+    #: Maximum strategy size (rows × columns) the store derives a dense
+    #: pseudo-inverse for.  ``A⁺`` is generally dense, so the cap bounds both
+    #: the one-off SVD cost and the resident artifact (~32 MiB of float64).
+    _STRATEGY_PINV_DENSE_CELLS = 1 << 22
+
+    def _strategy_pseudo_inverse(self) -> Optional[sp.csr_matrix]:
+        """The strategy's ``A⁺``: explicit, store-derived, or ``None``.
+
+        The derived inverse is keyed by the strategy matrix's content digest
+        in the process-wide factorisation store, so the (dense, cubic) pinv
+        runs once per distinct strategy per process no matter how many
+        plans, workloads or ε values reuse it.
+        """
+        if self._strategy.pseudo_inverse is not None:
+            return self._strategy.pseudo_inverse
+        matrix = self._strategy.matrix
+        if matrix.shape[0] * matrix.shape[1] > self._STRATEGY_PINV_DENSE_CELLS:
+            return None
+        handle = getattr(self, "_strategy_pinv_handle", None)
+        if handle is None:
+            from ..engine.factorisation import get_store, matrix_digest
+
+            handle = get_store().get_or_build(
+                "strategy-pinv",
+                matrix_digest(matrix),
+                lambda: sp.csr_matrix(np.linalg.pinv(matrix.toarray())),
+            )
+            self._strategy_pinv_handle = handle
+        return handle.value
+
+    def __getstate__(self) -> dict:
+        """Pickle support: factorisation-store handles never travel.
+
+        The derived ``A⁺`` handle re-resolves lazily (by content digest) in
+        the receiving process, so worker-side re-hydration shares the
+        worker-local store instead of shipping a dense inverse.
+        """
+        state = self.__dict__.copy()
+        state.pop("_strategy_pinv_handle", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.pop("_strategy_pinv_handle", None)
 
     def _compute_noise_model(self, workload: Workload) -> Optional[NoiseModel]:
         transformed = self._transformed_workload(workload)
-        if self._strategy.pseudo_inverse is not None:
-            reconstruction = sp.csr_matrix(transformed @ self._strategy.pseudo_inverse)
+        pseudo_inverse = self._strategy_pseudo_inverse()
+        if pseudo_inverse is not None:
+            reconstruction = sp.csr_matrix(transformed @ pseudo_inverse)
         elif transformed.shape[0] > self._NOISE_MODEL_LSQR_ROW_LIMIT:
             return None
         else:

@@ -249,6 +249,10 @@ class TreeTransformMechanism(BlowfishMechanism):
     def _transformed_workload(self, workload: Workload):
         # Signature-keyed and lock-guarded: cached plans are invoked from
         # concurrent engine flushes (see Mechanism's re-entrancy contract).
+        # The compute itself resolves through the process-wide factorisation
+        # store (keyed by transform digest + workload signature), so sibling
+        # plans at other ε values — and worker-side re-hydrations — share
+        # one W_G product per distinct content.
         return self._workload_cache.get_or_compute(
             workload, self._working_transform.transform_workload
         )

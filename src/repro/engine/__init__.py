@@ -46,6 +46,16 @@ from .answer_cache import (
 )
 from .engine import EngineStats, PrivateQueryEngine
 from .executor import BatchingExecutor
+from .factorisation import (
+    FactorisationHandle,
+    FactorisationStore,
+    FactorisationStoreStats,
+    get_store,
+    matrix_digest,
+    set_store,
+    set_store_enabled,
+    store_enabled,
+)
 from .observability import (
     AuditLog,
     MetricsRegistry,
@@ -58,6 +68,7 @@ from .parallel import (
     AdaptiveExecuteBackend,
     ExecuteCostModel,
     ExecuteUnit,
+    ExecuteUnitGroup,
     ProcessExecuteBackend,
     ThreadExecuteBackend,
 )
@@ -87,6 +98,10 @@ __all__ = [
     "EngineStats",
     "ExecuteCostModel",
     "ExecuteUnit",
+    "ExecuteUnitGroup",
+    "FactorisationHandle",
+    "FactorisationStore",
+    "FactorisationStoreStats",
     "FlushPipeline",
     "Measurement",
     "MetricsRegistry",
@@ -108,8 +123,13 @@ __all__ = [
     "ShardSet",
     "answer_key",
     "domain_signature",
+    "get_store",
+    "matrix_digest",
     "plan_key",
     "policy_signature",
+    "set_store",
+    "set_store_enabled",
     "stack_measurements",
+    "store_enabled",
     "workload_signature",
 ]

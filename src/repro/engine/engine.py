@@ -73,6 +73,7 @@ from ..core.workload import Workload
 from ..exceptions import MechanismError, PolicyError, PrivacyBudgetError
 from ..policy.graph import PolicyGraph, is_bottom
 from .answer_cache import AnswerCache, Measurement
+from .factorisation import get_store as get_factorisation_store
 from .observability import Observability
 from .parallel import (
     ExecuteCostModel,
@@ -163,6 +164,24 @@ class EngineStats:
     adaptive_inline: int = 0
     #: Units the adaptive router dispatched to a pool (thread or process).
     adaptive_dispatched: int = 0
+    #: Units that reached the backend fused into grouped dispatches (each
+    #: member counts once).  0 with ``execute_fusion=False``, on inline
+    #: engines, or while flushes stay at or below the backend's slot count.
+    fused_units: int = 0
+    #: Process-wide factorisation-store telemetry (the store is shared by
+    #: every plan, shard cache and engine in the process — see
+    #: :mod:`repro.engine.factorisation` — so these fields describe the
+    #: process, not this engine alone).
+    factorisation_hits: int = 0
+    factorisation_misses: int = 0
+    factorisation_entries: int = 0
+    factorisation_build_seconds: float = 0.0
+
+    @property
+    def factorisation_hit_rate(self) -> float:
+        """Fraction of factorisation-store lookups served from cache."""
+        total = self.factorisation_hits + self.factorisation_misses
+        return self.factorisation_hits / total if total else 0.0
 
     @property
     def stage_seconds(self) -> Dict[str, float]:
@@ -238,6 +257,15 @@ class PrivateQueryEngine:
         backend (tests/benchmarks inject primed models to force routing
         decisions); the default model starts from overhead priors and
         learns from the served workload.  Ignored by the static backends.
+    execute_fusion:
+        When ``True`` (default), a flush holding more work units than the
+        backend has workers coalesces compatible units (same planner config
+        and noise flag) into fused :class:`~repro.engine.parallel.ExecuteUnitGroup`
+        dispatches — one queue hop / pickle / IPC round trip for several
+        kernels.  Fusion touches dispatch and transport only: every member
+        keeps the RNG child it was dealt before grouping, so a seeded
+        engine's draws and the ε ledgers are byte-identical with fusion on
+        or off.  Ignored unless ``execute_workers`` > 1.
     process_start_method:
         ``multiprocessing`` start method of the process backend (default
         ``"spawn"``; ``"fork"`` starts faster but is unsafe with threads).
@@ -280,6 +308,7 @@ class PrivateQueryEngine:
         execute_backend: str = "thread",
         process_start_method: str = "spawn",
         execute_cost_model: Optional["ExecuteCostModel"] = None,
+        execute_fusion: bool = True,
         serialize_flush: bool = False,
         observability: Optional[Observability] = None,
     ) -> None:
@@ -350,6 +379,10 @@ class PrivateQueryEngine:
         self._c_invocations = metrics.counter(
             "engine_mechanism_invocations_total", "Vectorised mechanism invocations"
         )
+        self._c_fused = metrics.counter(
+            "engine_fused_units_total",
+            "Work units dispatched inside fused execute groups",
+        )
         self._c_stage = {
             stage: metrics.counter(
                 "engine_stage_seconds_total",
@@ -391,6 +424,11 @@ class PrivateQueryEngine:
         # index: [(key, entry), ...]}}.
         self._saved_shard_plans: Dict[str, Dict[int, list]] = {}
         self._pipeline = FlushPipeline(self)
+        self._execute_fusion = bool(execute_fusion)
+        # The factorisation store is process-global; binding is idempotent
+        # per registry, so several enabled engines share one instrument set.
+        if obs.enabled:
+            get_factorisation_store().bind_metrics(metrics)
         self._execute_backend = create_execute_backend(
             execute_backend,
             0 if execute_workers is None else int(execute_workers),
@@ -1043,6 +1081,7 @@ class PrivateQueryEngine:
                 batches_executed=int(self._c_batches.value),
                 sharded_batches=int(self._c_sharded_batches.value),
                 mechanism_invocations=int(self._c_invocations.value),
+                fused_units=int(self._c_fused.value),
                 plan_seconds=self._c_stage["plan"].value,
                 charge_seconds=self._c_stage["charge"].value,
                 execute_seconds=self._c_stage["execute"].value,
@@ -1080,6 +1119,13 @@ class PrivateQueryEngine:
         snapshot.answer_misses = (
             self.answer_cache.stats.misses if self.answer_cache else 0
         )
+        # Factorisation-store telemetry is process-wide by design (the store
+        # is what lets sibling engines and per-shard caches share Gram work).
+        factorisation = get_factorisation_store().stats()
+        snapshot.factorisation_hits = factorisation.hits
+        snapshot.factorisation_misses = factorisation.misses
+        snapshot.factorisation_entries = factorisation.entries
+        snapshot.factorisation_build_seconds = factorisation.build_seconds
         snapshot.epsilon_spent = self._accountant.spent()
         snapshot.epsilon_remaining = self._accountant.remaining()
         snapshot.open_sessions = sum(

@@ -86,11 +86,13 @@ __all__ = [
     "AdaptiveExecuteBackend",
     "ExecuteCostModel",
     "ExecuteUnit",
+    "ExecuteUnitGroup",
     "ProcessExecuteBackend",
     "ThreadExecuteBackend",
     "create_execute_backend",
     "execute_unit_via",
     "run_unit",
+    "run_unit_group",
 ]
 
 
@@ -193,6 +195,100 @@ def execute_unit_via(backend, unit: ExecuteUnit) -> Tuple[List[np.ndarray], Opti
     return run_unit(
         unit.plan, unit.workloads, unit.database, unit.rng, unit.want_noise
     )
+
+
+@dataclass(frozen=True)
+class ExecuteUnitGroup:
+    """Several compatible units fused into **one** backend dispatch.
+
+    Fusion coalesces *dispatch and transport only* — queue hops, pickles,
+    IPC round trips, future bookkeeping — never the mechanism math: inside
+    the group each member unit still runs its own stacked ``answer_batch``
+    kernel with its **own** RNG child (spawned by the pipeline in sorted
+    shard order *before* any grouping), in member order.  Seeded draws and
+    ε ledgers are therefore byte-identical to ungrouped execution; only the
+    per-unit dispatch overhead disappears.  Members are compatible when
+    they share a planner config (same ε and planning flags in their plan
+    keys) and the same ``want_noise``.
+    """
+
+    units: Tuple[ExecuteUnit, ...]
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+
+#: One fused member's outcome: ``("ok", vectors, model)`` or
+#: ``("error", message)``.  Errors are carried per member (not raised), so a
+#: failing unit rolls back only its own batch — identical semantics to
+#: per-unit dispatch — and the tuple form pickles across the process pool.
+GroupOutcome = Tuple
+
+
+def run_unit_group(
+    group: ExecuteUnitGroup,
+) -> Tuple[List[GroupOutcome], List[Optional[float]]]:
+    """Run a fused group's members back-to-back on the calling thread.
+
+    Shared by every backend (inline fallback, thread pool, worker process),
+    so fused execution is byte-for-byte the same code everywhere.  Returns
+    per-member outcomes plus per-member kernel seconds (``None`` for a
+    member that raised) — the split the dispatcher hands back to the
+    pipeline, which reassembles answers, noise models and kernel-seconds
+    observations exactly as if each unit had been dispatched alone.
+    """
+    outcomes: List[GroupOutcome] = []
+    kernels: List[Optional[float]] = []
+    for unit in group.units:
+        started = time.perf_counter()
+        try:
+            vectors, model = run_unit(
+                unit.plan, unit.workloads, unit.database, unit.rng, unit.want_noise
+            )
+        except Exception as exc:
+            outcomes.append(("error", f"{type(exc).__name__}: {exc}"))
+            kernels.append(None)
+        else:
+            outcomes.append(("ok", vectors, model))
+            kernels.append(time.perf_counter() - started)
+    return outcomes, kernels
+
+
+class _GroupHandle:
+    """Future-like handle for fused dispatches on in-process pools.
+
+    ``result()`` yields the per-member outcome list; per-member kernel
+    seconds and any protocol hops ride along afterwards
+    (:attr:`kernel_seconds_list`, :attr:`protocol_hops`), mirroring the
+    per-unit dispatch attributes the pipeline's observability reads.
+    """
+
+    __slots__ = ("_future", "_resolved", "kernel_seconds_list", "protocol_hops")
+
+    def __init__(self, future) -> None:
+        self._future = future
+        self._resolved: Optional[list] = None
+        self.kernel_seconds_list: Optional[List[Optional[float]]] = None
+        self.protocol_hops: List[dict] = []
+
+    @classmethod
+    def resolved(cls, outcomes, kernels, span: Optional[dict] = None) -> "_GroupHandle":
+        future: Future = Future()
+        future.set_result((outcomes, kernels, span))
+        return cls(future)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None):
+        if self._resolved is not None:
+            return self._resolved
+        outcomes, kernels, span = self._future.result(timeout)
+        self.kernel_seconds_list = kernels
+        if span is not None:
+            self.protocol_hops.append(dict(span))
+        self._resolved = outcomes
+        return outcomes
 
 
 # ---------------------------------------------------------------------------
@@ -502,6 +598,83 @@ def _execute_shipped(
     return vectors, model, kernel, span
 
 
+def _execute_shipped_group(
+    members: Tuple[Tuple[str, Optional[bytes], str, Optional[bytes]], ...],
+    payload_blob: bytes,
+):
+    """Worker entry point for a fused group: one hop, many kernels.
+
+    ``members`` carries ``(plan digest, plan blob?, db digest, db blob?)``
+    per member.  Residency of **every** digest is checked (and shipped blobs
+    re-hydrated) before the RNG payload is unpickled, so a miss on any
+    member returns a :class:`_BlobMiss` naming the missing *digests* without
+    consuming anything — the parent's full-blob resubmission then draws
+    exactly the noise this attempt would have.  Successful runs return
+    ``(outcomes, kernels, span)``: per-member outcome tuples and kernel
+    wall-clocks (split back per unit by the parent) under one group-wide
+    worker span.
+    """
+    resolved: Dict[str, object] = {}
+    missing: List[str] = []
+    for plan_digest, plan_blob, db_digest, db_blob in members:
+        for digest, blob in ((plan_digest, plan_blob), (db_digest, db_blob)):
+            if digest in resolved:
+                continue
+            obj = _resident_get(digest, blob)
+            resolved[digest] = obj
+            if obj is None:
+                missing.append(digest)
+    if missing:
+        return _BlobMiss(tuple(missing))
+    payloads = pickle.loads(payload_blob)
+    wall_started = time.time()
+    outcomes: List[tuple] = []
+    kernels: List[Optional[float]] = []
+    for (plan_digest, _, db_digest, _), (workloads, rng, want_noise) in zip(
+        members, payloads
+    ):
+        started = time.perf_counter()
+        try:
+            vectors, model = run_unit(
+                resolved[plan_digest], workloads, resolved[db_digest], rng, want_noise
+            )
+        except Exception as exc:
+            outcomes.append(("error", f"{type(exc).__name__}: {exc}"))
+            kernels.append(None)
+        else:
+            outcomes.append(("ok", vectors, model))
+            kernels.append(time.perf_counter() - started)
+    span = {
+        "kind": "worker",
+        "pid": os.getpid(),
+        "start": wall_started,
+        "end": time.time(),
+        "fused_units": len(members),
+    }
+    return outcomes, kernels, span
+
+
+def _worker_factorisation_stats() -> dict:
+    """This worker's factorisation-store counters (test/benchmark hook).
+
+    Each worker process holds its own
+    :class:`~repro.engine.factorisation.FactorisationStore`; re-hydrated
+    plans resolve against it by content digest, so two plans sharing a
+    policy share one factorisation per worker no matter how many blob
+    digests they arrived under.
+    """
+    from .factorisation import get_store
+
+    stats = get_store().stats()
+    return {
+        "pid": os.getpid(),
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "build_seconds": stats.build_seconds,
+        "entries": stats.entries,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Backends.
 # ---------------------------------------------------------------------------
@@ -509,6 +682,9 @@ class ThreadExecuteBackend:
     """Execute units on an in-process thread pool (concurrency, shared GIL)."""
 
     name = "thread"
+    #: Pipeline hint: this backend accepts fused :class:`ExecuteUnitGroup`
+    #: dispatches via :meth:`submit_group`.
+    fuses_units = True
 
     def __init__(
         self,
@@ -516,6 +692,7 @@ class ThreadExecuteBackend:
         observe: Optional[Callable[[PlanKey, float, float], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        self._max_workers = int(max_workers)
         self._pool = ThreadPoolExecutor(
             max_workers=int(max_workers),
             thread_name_prefix="repro-engine-execute",
@@ -545,6 +722,11 @@ class ThreadExecuteBackend:
     def serialization_seconds(self) -> float:
         """Always zero: units execute in-process on shared objects."""
         return 0.0
+
+    @property
+    def fusion_slots(self) -> int:
+        """Pool width the pipeline balances fused groups across."""
+        return self._max_workers
 
     def _run_observed(self, unit: ExecuteUnit, submitted_at: float):
         # Queue wait is the thread pool's whole dispatch overhead: there is
@@ -576,6 +758,32 @@ class ThreadExecuteBackend:
         with self._counter_lock:
             self._dispatches += 1
         return future
+
+    def _run_group(self, group: ExecuteUnitGroup, submitted_at: float):
+        waited = time.perf_counter() - submitted_at
+        if self._queue_wait is not None:
+            self._queue_wait.observe(waited)
+        outcomes, kernels = run_unit_group(group)
+        if self._observe is not None:
+            for index, (unit, kernel) in enumerate(zip(group.units, kernels)):
+                if kernel is not None:
+                    # The group's single queue wait is the whole dispatch
+                    # overhead; attributing it once keeps the cost model's
+                    # per-dispatch EWMA honest about what fusion amortises.
+                    self._observe(unit.plan.key, kernel, waited if index == 0 else 0.0)
+        return outcomes, kernels, None
+
+    def submit_group(self, group: ExecuteUnitGroup) -> _GroupHandle:
+        """Schedule one fused group as a single pool task.
+
+        The members run back-to-back on one worker thread — one queue hop
+        instead of ``len(group)`` — each on its own RNG child, so answers
+        are bit-identical to per-unit submission.
+        """
+        future = self._pool.submit(self._run_group, group, time.perf_counter())
+        with self._counter_lock:
+            self._dispatches += 1
+        return _GroupHandle(future)
 
     def close(self, wait: bool = True) -> None:
         """Shut the pool down; subsequent submits raise ``RuntimeError``."""
@@ -675,6 +883,92 @@ class _ProcessDispatch:
         return self._resolved
 
 
+class _ProcessGroupDispatch:
+    """Future-like handle for one fused group shipped to the worker pool.
+
+    Same protocol duties as :class:`_ProcessDispatch` — transparent
+    blob-miss recovery, kernel-seconds return channel, protocol hops — but
+    for a whole :class:`ExecuteUnitGroup`: ``result()`` yields the
+    per-member outcome list and :attr:`kernel_seconds_list` the per-member
+    kernel wall-clocks measured in the worker.
+    """
+
+    __slots__ = (
+        "_backend",
+        "_group",
+        "_future",
+        "_submitted_at",
+        "_submitted_wall",
+        "_done_at",
+        "_observe",
+        "_resolved",
+        "kernel_seconds_list",
+        "protocol_hops",
+    )
+
+    def __init__(
+        self,
+        backend: "ProcessExecuteBackend",
+        group: ExecuteUnitGroup,
+        future,
+        submitted_at: float,
+        observe: bool = True,
+    ) -> None:
+        self._backend = backend
+        self._group = group
+        self._future = future
+        self._submitted_at = submitted_at
+        self._submitted_wall = time.time()
+        self._done_at: Optional[float] = None
+        self._observe = observe
+        self._resolved: Optional[list] = None
+        self.kernel_seconds_list: Optional[List[Optional[float]]] = None
+        self.protocol_hops: List[dict] = []
+        future.add_done_callback(self._stamp_done)
+
+    def _stamp_done(self, _future) -> None:
+        self._done_at = time.perf_counter()
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None):
+        if self._resolved is not None:
+            return self._resolved
+        value = self._future.result(timeout)
+        if isinstance(value, _BlobMiss):
+            self.protocol_hops.append(
+                {
+                    "kind": "blob-miss",
+                    "missing": list(value.missing),
+                    "start": self._submitted_wall,
+                    "end": time.time(),
+                }
+            )
+            value = self._backend._recover_group_miss(
+                self._group, value, self, timeout=timeout
+            )
+        outcomes, kernels, span = value
+        self.kernel_seconds_list = kernels
+        if span is not None:
+            self.protocol_hops.append(dict(span))
+        if self._observe and self._backend._observe is not None:
+            done_at = self._done_at
+            if done_at is None:  # pragma: no cover - result() implies done
+                done_at = time.perf_counter()
+            total_kernel = sum(k for k in kernels if k is not None)
+            overhead = max(0.0, done_at - self._submitted_at - total_kernel)
+            for index, (unit, kernel) in enumerate(zip(self._group.units, kernels)):
+                if kernel is not None:
+                    # One dispatch, one overhead: attributed once, so the
+                    # cost model sees fusion's amortisation honestly.
+                    self._backend._observe(
+                        unit.plan.key, kernel, overhead if index == 0 else 0.0
+                    )
+        self._resolved = outcomes
+        return self._resolved
+
+
 class ProcessExecuteBackend:
     """Execute units on a ``ProcessPoolExecutor`` — real multi-core execution.
 
@@ -718,6 +1012,9 @@ class ProcessExecuteBackend:
     """
 
     name = "process"
+    #: Pipeline hint: this backend accepts fused :class:`ExecuteUnitGroup`
+    #: dispatches via :meth:`submit_group`.
+    fuses_units = True
 
     def __init__(
         self,
@@ -830,6 +1127,11 @@ class ProcessExecuteBackend:
         """Dispatches re-sent with full blobs after a worker-side miss."""
         with self._counter_lock:
             return self._resubmits
+
+    @property
+    def fusion_slots(self) -> int:
+        """Pool width the pipeline balances fused groups across."""
+        return self._max_workers
 
     # ------------------------------------------------------------------ blobs
     def _plan_entry(self, plan: CachedPlan) -> Tuple[str, bytes]:
@@ -984,6 +1286,57 @@ class ProcessExecuteBackend:
             self._h_serialization.observe(elapsed)
         return _ProcessDispatch(self, unit, future, started, observe=not pool_created)
 
+    def submit_group(self, group: ExecuteUnitGroup) -> _ProcessGroupDispatch:
+        """Serialise and ship one fused group as a single worker task.
+
+        One IPC round trip executes every member kernel back-to-back in one
+        worker — the per-unit protocol cost (payload pickle framing, queue
+        hop, future round trip) is paid once per group instead of once per
+        unit.  Plans and databases still cross as content digests under the
+        miss-only protocol; each distinct blob is shipped at most once even
+        when several members share it.
+        """
+        started = time.perf_counter()
+        metas: List[Tuple[str, str]] = []
+        blobs: Dict[str, bytes] = {}
+        for unit in group.units:
+            plan_digest, plan_blob = self._plan_entry(unit.plan)
+            db_digest, db_blob = self._db_entry(unit.database)
+            metas.append((plan_digest, db_digest))
+            blobs.setdefault(plan_digest, plan_blob)
+            blobs.setdefault(db_digest, db_blob)
+        payload_blob = pickle.dumps(
+            [(unit.workloads, unit.rng, unit.want_noise) for unit in group.units],
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        elapsed = time.perf_counter() - started
+        pool, pool_created = self._ensure_pool()
+        to_ship = {
+            digest: blob
+            for digest, blob in blobs.items()
+            if self._ship_blob(digest, blob) is not None
+        }
+        members = tuple(
+            (plan_digest, to_ship.get(plan_digest), db_digest, to_ship.get(db_digest))
+            for plan_digest, db_digest in metas
+        )
+        future = pool.submit(_execute_shipped_group, members, payload_blob)
+        shipped = (
+            len(payload_blob)
+            + sum(len(plan_digest) + len(db_digest) for plan_digest, db_digest in metas)
+            + sum(len(blob) for blob in to_ship.values())
+        )
+        with self._counter_lock:
+            self._dispatches += 1
+            self._serialization_seconds += elapsed
+            self._bytes_shipped += shipped
+        if self._h_bytes is not None:
+            self._h_bytes.observe(shipped)
+            self._h_serialization.observe(elapsed)
+        return _ProcessGroupDispatch(
+            self, group, future, started, observe=not pool_created
+        )
+
     # --------------------------------------------------------------- protocol
     def _recover_miss(
         self,
@@ -1107,6 +1460,85 @@ class ProcessExecuteBackend:
             "shipped with the final resubmission"
         )
 
+    def _recover_group_miss(
+        self,
+        group: ExecuteUnitGroup,
+        miss: _BlobMiss,
+        dispatch: _ProcessGroupDispatch,
+        timeout: Optional[float] = None,
+    ):
+        """Resubmit one missed group with every blob attached.
+
+        Group misses name the missing *digests*.  Unlike the per-unit
+        recovery's two-round escalation, a group touches many digests at
+        once, so the single corrective round ships **all** of them — a
+        worker holding everything it is handed cannot miss again.  The RNG
+        payload of the first attempt was never unpickled, so the retry
+        draws identical noise.
+        """
+        logger.info(
+            "blob miss on fused process dispatch of %d units (missing %d "
+            "digests); resubmitting with full blobs",
+            len(group.units),
+            len(miss.missing),
+        )
+        started = time.perf_counter()
+        members = []
+        for unit in group.units:
+            plan_digest, plan_blob = self._plan_entry(unit.plan)
+            db_digest, db_blob = self._db_entry(unit.database)
+            members.append((plan_digest, plan_blob, db_digest, db_blob))
+        payload_blob = pickle.dumps(
+            [(unit.workloads, unit.rng, unit.want_noise) for unit in group.units],
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        with self._counter_lock:
+            self._serialization_seconds += time.perf_counter() - started
+            self._blob_cache_misses += len(miss.missing)
+            self._resubmits += 1
+        with self._blob_lock:
+            # Same thrash-avoidance as the per-unit recovery: the missing
+            # digests re-ship eagerly on the next regular dispatch too.
+            for digest in miss.missing:
+                self._shipped_digests.discard(digest)
+        try:
+            pool, _ = self._ensure_pool()
+            future = pool.submit(_execute_shipped_group, tuple(members), payload_blob)
+        except BrokenExecutor:
+            raise
+        except RuntimeError:
+            # Backend closed between the miss and the resubmit: finish the
+            # paid-for group inline (same engine-close semantics as the
+            # per-unit path).
+            logger.warning(
+                "process backend closed during fused blob-miss recovery; "
+                "running %d units inline on the calling thread",
+                len(group.units),
+            )
+            inline_wall = time.time()
+            outcomes, kernels = run_unit_group(group)
+            span = {
+                "kind": "inline",
+                "pid": os.getpid(),
+                "start": inline_wall,
+                "end": time.time(),
+                "fused_units": len(group.units),
+            }
+            return outcomes, kernels, span
+        future.add_done_callback(dispatch._stamp_done)
+        with self._counter_lock:
+            self._bytes_shipped += len(payload_blob) + sum(
+                len(plan_digest) + len(plan_blob) + len(db_digest) + len(db_blob)
+                for plan_digest, plan_blob, db_digest, db_blob in members
+            )
+        value = future.result(timeout)
+        if isinstance(value, _BlobMiss):  # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"worker reported {value.missing} missing although every blob "
+                "was shipped with the fused resubmission"
+            )
+        return value
+
     def _observe_dispatch(
         self, plan_key: PlanKey, kernel_seconds: float, dispatch: _ProcessDispatch
     ) -> None:
@@ -1192,6 +1624,9 @@ class AdaptiveExecuteBackend:
     #: backend with the ``flush_units`` context, instead of short-circuiting
     #: single-unit flushes inline — the router decides, observes and counts.
     routes_units = True
+    #: Pipeline hint: this backend accepts fused :class:`ExecuteUnitGroup`
+    #: dispatches via :meth:`submit_group`.
+    fuses_units = True
 
     def __init__(
         self,
@@ -1202,6 +1637,7 @@ class AdaptiveExecuteBackend:
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cost_model = cost_model if cost_model is not None else ExecuteCostModel()
+        self._max_workers = int(max_workers)
         self._thread = ThreadExecuteBackend(
             int(max_workers), observe=self._observe_thread, metrics=metrics
         )
@@ -1231,6 +1667,11 @@ class AdaptiveExecuteBackend:
         self.cost_model.observe_overhead("process", overhead)
 
     # ------------------------------------------------------------- telemetry
+    @property
+    def fusion_slots(self) -> int:
+        """Parallelism the pipeline's fusion pass should fill (worker count)."""
+        return self._max_workers
+
     @property
     def dispatches(self) -> int:
         """Units handed to either pool (inline runs are counted separately)."""
@@ -1334,6 +1775,58 @@ class AdaptiveExecuteBackend:
         with self._counter_lock:
             self._inline_runs += 1
         return resolved
+
+    def submit_group(self, group: ExecuteUnitGroup, flush_units: int = 1):
+        """Route one fused group of a ``flush_units``-unit flush.
+
+        The group was fused precisely because the flush is oversubscribed,
+        so the members share one routing decision (made on the first
+        member's plan — fusion groups are config-compatible and in practice
+        plan-homogeneous).  Inline-routed groups execute synchronously and
+        come back as a resolved group handle; serialisation failures degrade
+        the whole group to the thread pool, mirroring :meth:`submit`.
+        """
+        if self._closed:
+            raise RuntimeError("cannot schedule new futures after shutdown")
+        route = self.cost_model.route(group.units[0].plan.key, flush_units)
+        if route == "process":
+            with self._counter_lock:
+                if any(
+                    unit.plan.key in self._process_rejected for unit in group.units
+                ):
+                    route = "thread"
+        if route == "process":
+            try:
+                return self._process.submit_group(group)
+            except BrokenExecutor:
+                raise
+            except RuntimeError:
+                raise
+            except _PlanSerialisationError as exc:
+                logger.warning(
+                    "a plan in a fused group of %d units cannot cross the "
+                    "process boundary; routing the group to the thread pool: %s",
+                    len(group.units),
+                    exc,
+                )
+                route = "thread"
+            except Exception as exc:
+                logger.warning(
+                    "payload of a fused group of %d units failed to "
+                    "serialise; degrading the group to the thread pool: %s",
+                    len(group.units),
+                    exc,
+                )
+                route = "thread"
+        if route == "thread":
+            return self._thread.submit_group(group)
+        outcomes, kernels = run_unit_group(group)
+        for unit, kernel in zip(group.units, kernels):
+            if kernel is not None:
+                self.cost_model.observe_kernel(unit.plan.key, kernel)
+        with self._counter_lock:
+            self._inline_runs += len(group.units)
+        return _GroupHandle.resolved(outcomes, kernels)
 
     def close(self, wait: bool = True) -> None:
         """Shut both pools down; subsequent submits raise ``RuntimeError``."""

@@ -47,6 +47,7 @@ import threading
 import time
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -56,7 +57,7 @@ from ..core.workload import Workload
 from ..exceptions import MechanismError, PrivacyBudgetError
 from ..mechanisms.base import NoiseModel
 from ..policy.graph import PolicyGraph
-from .parallel import ExecuteUnit, run_unit
+from .parallel import ExecuteUnit, ExecuteUnitGroup, run_unit, run_unit_group
 from .plan_cache import CachedPlan
 from .session import ClientSession
 from .sharding import ShardScatter, ShardSet
@@ -691,46 +692,107 @@ class FlushPipeline:
         submissions: List[
             Tuple[PlannedBatch, ExecuteUnit, Optional[list], object, float]
         ] = []
-        for batch, units in units_by_batch:
-            for unit, entries in units:
-                if batch.execute_error is not None:
-                    break
+        # (members, group handle-or-None, submit wall-clock) per fused group,
+        # members being (batch, unit, entries) triples in dispatch order.
+        group_submissions: List[
+            Tuple[List[Tuple[PlannedBatch, ExecuteUnit, Optional[list]]], object, float]
+        ] = []
+
+        def submit_unit(
+            batch: PlannedBatch, unit: ExecuteUnit, entries: Optional[list]
+        ) -> None:
+            unit_wall = time.time() if trace is not None else 0.0
+            try:
+                future = (
+                    backend.submit(unit, flush_units=total_units)
+                    if routes_units
+                    else backend.submit(unit)
+                )
+            except BrokenExecutor as exc:
+                # A crashed worker pool is NOT the engine-close case
+                # (BrokenProcessPool subclasses RuntimeError): re-running
+                # the unit inline could re-crash the serving process if
+                # the unit itself killed the worker.  Roll the batch back
+                # with a clear error instead.
+                batch.execute_error = (
+                    f"Batch execution failed (charge rolled back): "
+                    f"execute worker pool broke: {exc}"
+                )
+                return
+            except RuntimeError:
+                # engine.close() shut the backend down mid-flush: finish
+                # inline so every charge still reaches execute/rollback
+                # and every ticket resolves.
+                logger.warning(
+                    "execute backend closed mid-flush; finishing unit for "
+                    "plan %s inline on the flushing thread",
+                    unit.plan.key,
+                )
+                future = None
+            except Exception as exc:
+                # Serialisation failure (process backend): the batch
+                # rolls back exactly like a mechanism failure.
+                batch.execute_error = (
+                    f"Batch execution failed (charge rolled back): {exc}"
+                )
+                return
+            submissions.append((batch, unit, entries, future, unit_wall))
+
+        fusion_chunks = self._fusion_plan(backend, units_by_batch, total_units)
+        if fusion_chunks is None:
+            for batch, units in units_by_batch:
+                for unit, entries in units:
+                    if batch.execute_error is not None:
+                        break
+                    submit_unit(batch, unit, entries)
+        else:
+            for members in fusion_chunks:
+                members = [m for m in members if m[0].execute_error is None]
+                if not members:
+                    continue
+                if len(members) == 1:
+                    submit_unit(*members[0])
+                    continue
+                group = ExecuteUnitGroup(
+                    units=tuple(unit for _, unit, _ in members)
+                )
                 unit_wall = time.time() if trace is not None else 0.0
                 try:
-                    future = (
-                        backend.submit(unit, flush_units=total_units)
+                    handle = (
+                        backend.submit_group(group, flush_units=total_units)
                         if routes_units
-                        else backend.submit(unit)
+                        else backend.submit_group(group)
                     )
                 except BrokenExecutor as exc:
-                    # A crashed worker pool is NOT the engine-close case
-                    # (BrokenProcessPool subclasses RuntimeError): re-running
-                    # the unit inline could re-crash the serving process if
-                    # the unit itself killed the worker.  Roll the batch back
-                    # with a clear error instead.
-                    batch.execute_error = (
-                        f"Batch execution failed (charge rolled back): "
-                        f"execute worker pool broke: {exc}"
-                    )
+                    for batch, _, _ in members:
+                        batch.execute_error = (
+                            f"Batch execution failed (charge rolled back): "
+                            f"execute worker pool broke: {exc}"
+                        )
                     continue
                 except RuntimeError:
-                    # engine.close() shut the backend down mid-flush: finish
-                    # inline so every charge still reaches execute/rollback
-                    # and every ticket resolves.
                     logger.warning(
-                        "execute backend closed mid-flush; finishing unit for "
-                        "plan %s inline on the flushing thread",
-                        unit.plan.key,
+                        "execute backend closed mid-flush; finishing fused "
+                        "group of %d units inline on the flushing thread",
+                        len(members),
                     )
-                    future = None
+                    handle = None
                 except Exception as exc:
-                    # Serialisation failure (process backend): the batch
-                    # rolls back exactly like a mechanism failure.
-                    batch.execute_error = (
-                        f"Batch execution failed (charge rolled back): {exc}"
+                    # Group serialisation failed for *some* member; resubmit
+                    # them singly so only the offending unit's batch rolls
+                    # back — fusion never widens an error's blast radius.
+                    logger.debug(
+                        "fused dispatch of %d units failed (%s); "
+                        "resubmitting its members per-unit",
+                        len(members),
+                        exc,
                     )
+                    for batch, unit, entries in members:
+                        if batch.execute_error is None:
+                            submit_unit(batch, unit, entries)
                     continue
-                submissions.append((batch, unit, entries, future, unit_wall))
+                self._engine._c_fused.inc(len(members))
+                group_submissions.append((members, handle, unit_wall))
 
         unit_results: Dict[
             int, List[Tuple[Optional[list], List[np.ndarray], Optional[NoiseModel]]]
@@ -763,10 +825,113 @@ class FlushPipeline:
             unit_results.setdefault(id(batch), []).append((entries, vectors, model))
             self._obs_unit_done(trace, unit, unit_wall, future, parent=stage_span)
 
+        for members, handle, unit_wall in group_submissions:
+            if handle is None:
+                # Backend closed mid-flush: run the fused group inline —
+                # the members' RNG children are already fixed, so the draws
+                # match a dispatched run exactly.
+                outcomes, kernels = run_unit_group(
+                    ExecuteUnitGroup(units=tuple(unit for _, unit, _ in members))
+                )
+                hops: list = []
+            else:
+                try:
+                    outcomes = handle.result()
+                except Exception as exc:
+                    for batch, _, _ in members:
+                        if batch.execute_error is None:
+                            batch.execute_error = (
+                                f"Batch execution failed (charge rolled back): {exc}"
+                            )
+                    continue
+                kernels = handle.kernel_seconds_list or [None] * len(members)
+                hops = handle.protocol_hops
+            for index, ((batch, unit, entries), outcome) in enumerate(
+                zip(members, outcomes)
+            ):
+                if batch.execute_error is not None:
+                    continue
+                if outcome[0] == "error":
+                    batch.execute_error = (
+                        f"Batch execution failed (charge rolled back): {outcome[1]}"
+                    )
+                    continue
+                _, vectors, model = outcome
+                unit_results.setdefault(id(batch), []).append(
+                    (entries, vectors, model)
+                )
+                # Per-member observability shim: each member reports its own
+                # worker-measured kernel; the group's protocol hops (worker
+                # span, blob-miss round trips) attach to the first member so
+                # the trace shows them once per dispatch.
+                shim = SimpleNamespace(
+                    kernel_seconds=kernels[index] if index < len(kernels) else None,
+                    protocol_hops=hops if index == 0 else None,
+                )
+                self._obs_unit_done(trace, unit, unit_wall, shim, parent=stage_span)
+
         for batch in runnable:
             if batch.execute_error is not None:
                 continue
             self._assemble_batch(batch, unit_results.get(id(batch), []))
+
+    def _fusion_plan(
+        self,
+        backend,
+        units_by_batch: List[Tuple[PlannedBatch, List[Tuple[ExecuteUnit, Optional[list]]]]],
+        total_units: int,
+    ) -> Optional[List[List[Tuple[PlannedBatch, ExecuteUnit, Optional[list]]]]]:
+        """Cut an oversubscribed flush into fused dispatch chunks (or ``None``).
+
+        Fusion only fires when the flush holds more units than the backend
+        has parallel slots (``fusion_slots``, the worker count) — below that
+        every unit already gets its own worker and fusing would only
+        *serialise* work that could run concurrently.  Units are grouped by
+        compatibility — same planner config string (ε, planning flags) and
+        same ``want_noise`` — then each group is split into at most
+        ``fusion_slots`` balanced contiguous chunks.  RNG children were
+        spawned before this pass, so chunking changes dispatch shape only,
+        never draws.  Returns ``None`` when fusion is off, unsupported by
+        the backend, or not worthwhile; chunks of size 1 are submitted
+        per-unit by the caller.
+        """
+        engine = self._engine
+        if not engine._execute_fusion:
+            return None
+        if not getattr(backend, "fuses_units", False):
+            return None
+        slots = int(getattr(backend, "fusion_slots", 0) or 0)
+        if slots <= 0 or total_units <= slots:
+            return None
+        flat = [
+            (batch, unit, entries)
+            for batch, units in units_by_batch
+            if batch.execute_error is None
+            for unit, entries in units
+        ]
+        if len(flat) <= 1:
+            return None
+        groups: Dict[Tuple[str, bool], List[Tuple[PlannedBatch, ExecuteUnit, Optional[list]]]] = {}
+        for item in flat:
+            unit = item[1]
+            groups.setdefault((unit.plan.key[2], unit.want_noise), []).append(item)
+        if len(groups) > 1:
+            logger.debug(
+                "unit fusion: %d units fall into %d incompatible ε/config "
+                "groups; fusing within each group only",
+                len(flat),
+                len(groups),
+            )
+        chunks: List[List[Tuple[PlannedBatch, ExecuteUnit, Optional[list]]]] = []
+        for members in groups.values():
+            n_chunks = min(len(members), slots)
+            base, extra = divmod(len(members), n_chunks)
+            start = 0
+            for i in range(n_chunks):
+                size = base + (1 if i < extra else 0)
+                chunks.append(members[start : start + size])
+                start += size
+        return chunks
 
     def _units_for(
         self, batch: PlannedBatch, rng: np.random.Generator

@@ -41,7 +41,16 @@ from .signature import PlanKey, plan_key
 
 #: On-disk format version of persisted plan stores.  Bump on any change to
 #: the pickled layout that a loader cannot transparently absorb.
-PLAN_STORE_FORMAT = 1
+#: Version 2 (PR 7): transforms/mechanisms persist factorisation *digests*
+#: instead of private factorisation slots and re-resolve artifacts through
+#: the process-wide store on load.
+PLAN_STORE_FORMAT = 2
+
+#: Format versions :func:`read_plan_store` still absorbs.  Version-1 stores
+#: carry pre-store pickles whose ``__setstate__`` drops the legacy private
+#: slots, so they load cleanly and re-factorise (at most once per digest)
+#: through the store.
+PLAN_STORE_COMPAT_FORMATS = frozenset({1, PLAN_STORE_FORMAT})
 
 
 @dataclass
@@ -289,11 +298,14 @@ def read_plan_store(path: str) -> dict:
             payload = pickle.load(handle)
     except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
         raise MechanismError(f"Plan store {path!r} is corrupt: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("format") != PLAN_STORE_FORMAT:
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") not in PLAN_STORE_COMPAT_FORMATS
+    ):
         found = payload.get("format") if isinstance(payload, dict) else None
         raise MechanismError(
             f"Plan store {path!r} has format version {found!r}; this library "
-            f"reads version {PLAN_STORE_FORMAT} — re-save the store with the "
-            "current version instead of mixing formats"
+            f"reads versions {sorted(PLAN_STORE_COMPAT_FORMATS)} — re-save "
+            "the store with the current version instead of mixing formats"
         )
     return payload

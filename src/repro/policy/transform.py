@@ -40,6 +40,20 @@ from ..exceptions import PolicyError, TransformError
 from .graph import BOTTOM, PolicyGraph, Vertex, is_bottom
 
 
+def _factorisation_store():
+    # Imported lazily: repro.engine imports repro.policy during its package
+    # initialisation, so the reverse import must wait until first use.
+    from ..engine import factorisation
+
+    return factorisation.get_store()
+
+
+def _matrix_digest(matrix) -> str:
+    from ..engine.factorisation import matrix_digest
+
+    return matrix_digest(matrix)
+
+
 @dataclass(frozen=True)
 class TransformedInstance:
     """A Blowfish instance rewritten as a standard-DP instance.
@@ -104,31 +118,83 @@ class PolicyTransform:
         self._incidence = self._build_incidence()
         # Map every kept vertex to the removed vertex of its component (or None).
         self._component_removed_of_vertex = self._map_vertices_to_removed()
-        # Lazy Cholesky-like factorisation for x_G.  Cached plans share one
-        # transform across concurrent engine flushes, so initialisation is
-        # guarded by a lock (double-checked: the fast path stays lock-free).
-        self._factorised_gram = None
+        # Factorisation artifacts (the Gram/SuperLU solve closure, shared
+        # transformed-workload products) live in the process-wide
+        # FactorisationStore, keyed by content digests of P_G — transforms
+        # hold only *handles*, resolved lazily under the lock (double-checked:
+        # the fast path stays lock-free).  Handles are transient and never
+        # pickled; the digests survive so the other side of a process
+        # boundary re-resolves against its own store.
+        self._gram_digest: Optional[str] = None
+        self._transform_digest: Optional[str] = None
+        self._gram_handle = None
+        self._workload_handles: Dict[str, object] = {}
         self._gram_lock = threading.Lock()
+
+    # --------------------------------------------------------------- digests
+    @property
+    def gram_digest(self) -> str:
+        """Content digest of ``P_G`` — the factorisation-store key of its Gram.
+
+        Every transform built over the same incidence matrix (same policy
+        content, regardless of which plan/shard/worker built it) shares this
+        digest and therefore one SuperLU factorisation per process.
+        """
+        digest = self._gram_digest
+        if digest is None:
+            digest = _matrix_digest(self._incidence)
+            self._gram_digest = digest
+        return digest
+
+    @property
+    def transform_digest(self) -> str:
+        """Digest of the full workload transform (``P_G`` plus reduction).
+
+        Keys shared transformed-workload products: two transforms agree
+        exactly when both their incidence *and* their Case II/III column
+        reduction agree, so ``W' P_G`` may be adopted across instances.
+        """
+        digest = self._transform_digest
+        if digest is None:
+            from hashlib import blake2b
+
+            combined = blake2b(digest_size=16)
+            combined.update(self.gram_digest.encode())
+            combined.update(_matrix_digest(self.reduction_matrix()).encode())
+            digest = combined.hexdigest()
+            self._transform_digest = digest
+        return digest
 
     # -------------------------------------------------------------- pickling
     def __getstate__(self) -> dict:
-        """Pickle support: everything but the lock and the SuperLU closure.
+        """Pickle support: digests survive, store handles and the lock do not.
 
         Transforms travel to worker processes (the engine's process-parallel
-        execute backend) and to disk (plan-cache persistence).  The lazy Gram
+        execute backend) and to disk (plan-cache persistence).  The Gram
         factorisation is a closure over a ``SuperLU`` object, which cannot
-        cross a process boundary; it is dropped and deterministically
-        re-derived on first use on the other side — the factorisation is a
-        pure function of ``P_G``, so answers are unaffected.
+        cross a process boundary; only its content digest travels, and the
+        receiving process re-resolves lazily against its *own*
+        :class:`~repro.engine.factorisation.FactorisationStore` — so a
+        re-hydrated plan whose policy matrices are already resident there
+        never re-factorises, and answers are unaffected either way (the
+        factorisation is a pure function of ``P_G``).
         """
         state = self.__dict__.copy()
-        state["_factorised_gram"] = None
+        state["_gram_handle"] = None
+        state["_workload_handles"] = {}
         del state["_gram_lock"]
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._factorised_gram = None
+        # PR 4-era pickles (plan-store format 1) carried the factorisation
+        # slot itself; drop it and default the digests so old stores load
+        # and re-attach to the shared store on first use.
+        self.__dict__.pop("_factorised_gram", None)
+        self.__dict__.setdefault("_gram_digest", None)
+        self.__dict__.setdefault("_transform_digest", None)
+        self._gram_handle = None
+        self._workload_handles = {}
         self._gram_lock = threading.Lock()
 
     # ----------------------------------------------------------- construction
@@ -311,7 +377,29 @@ class PolicyTransform:
         return sp.csr_matrix(workload.matrix @ self.reduction_matrix())
 
     def transform_workload(self, workload: Workload) -> sp.csr_matrix:
-        """The transformed workload ``W_G = W' P_G`` over the edge domain."""
+        """The transformed workload ``W_G = W' P_G`` over the edge domain.
+
+        Resolved through the process-wide factorisation store keyed by
+        (transform digest, workload signature): mechanisms that differ only
+        in ε — or live in different plan caches, or were re-hydrated in a
+        worker process — share one sparse product per distinct
+        (transform, workload) content.
+        """
+        key = f"{self.transform_digest}:{workload.signature()}"
+        handle = self._workload_handles.get(key)
+        if handle is None:
+            handle = _factorisation_store().get_or_build(
+                "workload-gram", key, lambda: self._compute_transformed_workload(workload)
+            )
+            with self._gram_lock:
+                # Bounded like the mechanism-side memo: products are owned by
+                # whoever uses them, the transform only pins a working set.
+                if len(self._workload_handles) >= 32:
+                    self._workload_handles.clear()
+                self._workload_handles[key] = handle
+        return handle.value
+
+    def _compute_transformed_workload(self, workload: Workload) -> sp.csr_matrix:
         reduced = self.reduce_workload_matrix(workload)
         return sp.csr_matrix(reduced @ self._incidence)
 
@@ -360,22 +448,28 @@ class PolicyTransform:
                     "Policy has no edges but the database has records on kept vertices"
                 )
             return np.zeros(0, dtype=np.float64)
-        solver = self._factorised_gram
-        if solver is None:
+        handle = self._gram_handle
+        if handle is None:
             with self._gram_lock:
-                solver = self._factorised_gram
-                if solver is None:
-                    gram = (self._incidence @ self._incidence.T).tocsc()
-                    try:
-                        solver = spla.factorized(gram)
-                    except RuntimeError as exc:  # singular Gram matrix
-                        raise TransformError(
-                            "P_G does not have full row rank; is some component of "
-                            "the policy missing a path to bottom?"
-                        ) from exc
-                    self._factorised_gram = solver
-        y = solver(x_kept)
+                handle = self._gram_handle
+                if handle is None:
+                    handle = _factorisation_store().get_or_build(
+                        "gram", self.gram_digest, self._factorise_gram
+                    )
+                    self._gram_handle = handle
+        y = handle.value(x_kept)
         return np.asarray(self._incidence.T @ y).ravel()
+
+    def _factorise_gram(self):
+        """Build the SuperLU solve closure of ``P_G P_Gᵀ`` (store build hook)."""
+        gram = (self._incidence @ self._incidence.T).tocsc()
+        try:
+            return spla.factorized(gram)
+        except RuntimeError as exc:  # singular Gram matrix
+            raise TransformError(
+                "P_G does not have full row rank; is some component of "
+                "the policy missing a path to bottom?"
+            ) from exc
 
     def transform_instance(
         self, workload: Workload, database: Database

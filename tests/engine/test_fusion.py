@@ -1,0 +1,300 @@
+"""Fused per-worker shard kernels: determinism, telemetry, decline paths."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, identity_workload
+from repro.engine import PlanCache, PrivateQueryEngine
+from repro.engine.parallel import (
+    ExecuteUnit,
+    ExecuteUnitGroup,
+    ProcessExecuteBackend,
+    ThreadExecuteBackend,
+    _worker_factorisation_stats,
+    run_unit_group,
+)
+from repro.policy import PolicyGraph, line_policy
+
+DOMAIN_SIZE = 32
+SEGMENT = 4  # → 8 policy components → 8 shard units per sharded batch
+
+
+@pytest.fixture(scope="module")
+def domain() -> Domain:
+    return Domain((DOMAIN_SIZE,))
+
+
+@pytest.fixture(scope="module")
+def database(domain: Domain) -> Database:
+    return Database(domain, np.arange(DOMAIN_SIZE, dtype=float), name="ramp")
+
+
+@pytest.fixture(scope="module")
+def segmented_policy(domain: Domain) -> PolicyGraph:
+    edges = []
+    for start in range(0, DOMAIN_SIZE, SEGMENT):
+        edges += [(i, i + 1) for i in range(start, start + SEGMENT - 1)]
+    return PolicyGraph(domain, edges=edges, name=f"segments-{SEGMENT}")
+
+
+def serve(domain, database, segmented_policy, backend, workers, fusion):
+    """8-shard batch + second ε group through one backend config."""
+    engine = PrivateQueryEngine(
+        database,
+        total_epsilon=100.0,
+        default_policy=segmented_policy,
+        enable_answer_cache=False,
+        random_state=77,
+        execute_workers=workers,
+        execute_backend=backend,
+        execute_fusion=fusion,
+    )
+    with engine:
+        session = engine.open_session("alice", 50.0)
+        tickets = [
+            engine.submit("alice", identity_workload(domain), epsilon=0.5),
+            engine.submit("alice", identity_workload(domain), epsilon=0.25),
+        ]
+        engine.flush()
+        answers = [np.asarray(t.answers) for t in tickets]
+        ledger = [
+            (op.label, op.epsilon, op.partition)
+            for op in session.accountant.operations
+        ]
+        stats = engine.stats
+    return {"answers": answers, "ledger": ledger, "stats": stats}
+
+
+@pytest.fixture(scope="module")
+def runs(domain, database, segmented_policy):
+    configs = {
+        "thread-fused": ("thread", 2, True),
+        "thread-unfused": ("thread", 2, False),
+        "process-fused": ("process", 2, True),
+        "process-unfused": ("process", 2, False),
+        "adaptive-fused": ("adaptive", 2, True),
+        "adaptive-unfused": ("adaptive", 2, False),
+    }
+    return {
+        name: serve(domain, database, segmented_policy, backend, workers, fusion)
+        for name, (backend, workers, fusion) in configs.items()
+    }
+
+
+class TestFusedDeterminism:
+    def test_all_backends_draw_identical_noise(self, runs):
+        # Ungrouped thread execution is the reference; every other backend
+        # and fusion setting must draw byte-identical noise.  The adaptive
+        # runs route part of the flush inline, so the inline path is held to
+        # the same contract.
+        reference = runs["thread-unfused"]["answers"]
+        for name, run in runs.items():
+            for expected, got in zip(reference, run["answers"]):
+                np.testing.assert_array_equal(expected, got, err_msg=name)
+
+    def test_ledgers_are_backend_and_fusion_independent(self, runs):
+        reference = runs["thread-unfused"]["ledger"]
+        for name, run in runs.items():
+            assert run["ledger"] == reference, name
+
+
+class TestFusionTelemetry:
+    def test_fused_units_counted_and_dispatches_collapse(self, runs):
+        fused = runs["thread-fused"]["stats"]
+        unfused = runs["thread-unfused"]["stats"]
+        # 16 units (two ε groups × 8 shards) over 2 workers: everything
+        # fuses, into at most 2 dispatches per config group.
+        assert fused.fused_units == 16
+        assert unfused.fused_units == 0
+        assert fused.worker_dispatches <= 4
+        assert unfused.worker_dispatches == 16
+
+    def test_process_backend_ships_fused_payloads(self, runs):
+        fused = runs["process-fused"]["stats"]
+        unfused = runs["process-unfused"]["stats"]
+        assert fused.fused_units == 16
+        assert fused.worker_dispatches < unfused.worker_dispatches
+        assert fused.bytes_shipped > 0
+
+    def test_adaptive_counts_fused_members(self, runs):
+        fused = runs["adaptive-fused"]["stats"]
+        assert fused.fused_units == 16
+        # Every unit is accounted for exactly once, wherever it ran.
+        assert fused.adaptive_inline + fused.adaptive_dispatched >= 2
+
+    def test_no_fusion_below_slot_count(self, domain, database, segmented_policy):
+        # 8 units over 8 workers: each unit already gets its own worker, so
+        # fusing would only serialise — the pipeline must not group.
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=10.0,
+            default_policy=segmented_policy,
+            enable_answer_cache=False,
+            random_state=1,
+            execute_workers=8,
+            execute_backend="thread",
+        )
+        with engine:
+            engine.open_session("a", 5.0)
+            engine.submit("a", identity_workload(domain), epsilon=0.5)
+            engine.flush()
+            assert engine.stats.fused_units == 0
+            assert engine.stats.worker_dispatches == 8
+
+
+class TestFusionDecline:
+    def test_incompatible_config_groups_logged(
+        self, domain, database, segmented_policy, caplog
+    ):
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=100.0,
+            default_policy=segmented_policy,
+            enable_answer_cache=False,
+            random_state=5,
+            execute_workers=2,
+            execute_backend="thread",
+        )
+        with engine:
+            engine.open_session("a", 50.0)
+            engine.submit("a", identity_workload(domain), epsilon=0.5)
+            engine.submit("a", identity_workload(domain), epsilon=0.25)
+            with caplog.at_level(logging.DEBUG, logger="repro.engine.pipeline"):
+                engine.flush()
+            stats = engine.stats
+        declines = [
+            record
+            for record in caplog.records
+            if "incompatible ε/config groups" in record.getMessage()
+        ]
+        assert declines, "expected a DEBUG decline record for the second ε group"
+        assert "2 incompatible" in declines[0].getMessage()
+        # Declining cross-group fusion still fuses within each group.
+        assert stats.fused_units == 16
+
+    def test_fusion_off_switch_disables_grouping(
+        self, domain, database, segmented_policy, caplog
+    ):
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=10.0,
+            default_policy=segmented_policy,
+            enable_answer_cache=False,
+            random_state=5,
+            execute_workers=2,
+            execute_backend="thread",
+            execute_fusion=False,
+        )
+        with engine:
+            engine.open_session("a", 5.0)
+            engine.submit("a", identity_workload(domain), epsilon=0.5)
+            with caplog.at_level(logging.DEBUG, logger="repro.engine.pipeline"):
+                engine.flush()
+            assert engine.stats.fused_units == 0
+
+
+class TestGroupPrimitives:
+    def test_run_unit_group_isolates_member_errors(self, domain, database):
+        cache = PlanCache()
+        entry = cache.plan_for(
+            line_policy(domain), 0.5, prefer_data_dependent=False, consistency=False
+        )
+        good = ExecuteUnit(
+            plan=entry,
+            workloads=[identity_workload(domain)],
+            database=database,
+            rng=np.random.default_rng(3),
+            want_noise=False,
+        )
+        bad = ExecuteUnit(
+            plan=entry,
+            workloads=[identity_workload(Domain((DOMAIN_SIZE + 1,)))],
+            database=database,
+            rng=np.random.default_rng(4),
+            want_noise=False,
+        )
+        outcomes, kernels = run_unit_group(ExecuteUnitGroup(units=(good, bad)))
+        assert outcomes[0][0] == "ok" and kernels[0] is not None
+        assert outcomes[1][0] == "error" and kernels[1] is None
+
+    def test_thread_group_dispatch_matches_solo_runs(self, domain, database):
+        cache = PlanCache()
+        entry = cache.plan_for(
+            line_policy(domain), 0.5, prefer_data_dependent=False, consistency=False
+        )
+
+        def unit(seed):
+            return ExecuteUnit(
+                plan=entry,
+                workloads=[identity_workload(domain)],
+                database=database,
+                rng=np.random.default_rng(seed),
+                want_noise=False,
+            )
+
+        backend = ThreadExecuteBackend(max_workers=2)
+        try:
+            handle = backend.submit_group(
+                ExecuteUnitGroup(units=(unit(11), unit(12)))
+            )
+            outcomes = handle.result()
+            solo_one = backend.submit(unit(11)).result()
+            solo_two = backend.submit(unit(12)).result()
+        finally:
+            backend.close()
+        assert [o[0] for o in outcomes] == ["ok", "ok"]
+        np.testing.assert_array_equal(outcomes[0][1][0], solo_one[0][0])
+        np.testing.assert_array_equal(outcomes[1][1][0], solo_two[0][0])
+        assert handle.kernel_seconds_list is not None
+        assert len(handle.kernel_seconds_list) == 2
+
+
+class TestWorkerStoreLocality:
+    def test_worker_store_shares_across_plans_and_survives_reset(
+        self, domain, database
+    ):
+        cache = PlanCache()
+        entries = [
+            cache.plan_for(
+                line_policy(domain),
+                epsilon,
+                prefer_data_dependent=False,
+                consistency=False,
+            )
+            for epsilon in (0.5, 0.25)
+        ]
+
+        def unit(entry, seed):
+            return ExecuteUnit(
+                plan=entry,
+                workloads=[identity_workload(domain)],
+                database=database,
+                rng=np.random.default_rng(seed),
+                want_noise=False,
+            )
+
+        backend = ProcessExecuteBackend(max_workers=1, preload=(database,))
+        try:
+            backend.submit(unit(entries[0], 1)).result()
+            backend.submit(unit(entries[1], 2)).result()
+            pool, _ = backend._ensure_pool()
+            first = pool.submit(_worker_factorisation_stats).result()
+            # Two plans, one policy content: the second resolved its
+            # transformed workload from the worker-local store by digest.
+            assert first["misses"] >= 1
+            assert first["hits"] >= 1
+
+            backend.reset_resident_caches()
+            backend.submit(unit(entries[0], 3)).result()
+            backend.submit(unit(entries[1], 4)).result()
+            second = pool.submit(_worker_factorisation_stats).result()
+            # Re-hydrated plans re-attach by content digest: within the
+            # post-reset pair sharing still works (hits grew again).
+            assert second["hits"] > first["hits"]
+            assert second["pid"] == first["pid"]
+        finally:
+            backend.close()

@@ -90,11 +90,13 @@ class TestPolicyTransformRoundTrip:
     def test_factorisation_is_dropped_and_rederived(self, domain, database):
         transform = PolicyTransform(line_policy(domain))
         before = transform.transform_database(database)  # factorises
-        assert transform._factorised_gram is not None
+        assert transform._gram_handle is not None
         clone = roundtrip(transform)
-        assert clone._factorised_gram is None  # closure never crosses
+        assert clone._gram_handle is None  # closure never crosses
         np.testing.assert_allclose(clone.transform_database(database), before)
-        assert clone._factorised_gram is not None  # re-derived on first use
+        assert clone._gram_handle is not None  # re-resolved on first use
+        # Same content digest → same shared store entry, not a second build.
+        assert clone._gram_handle is transform._gram_handle
 
     def test_rehydrated_lock_supports_concurrent_factorisation(
         self, domain, database
