@@ -54,7 +54,13 @@ together:
    streams every ε mutation (charges, rollbacks, refusals, scope opens and
    closes, top-ups) to a durable JSONL audit log whose records carry the
    trace/ticket/client ids that caused them.  All of it is off by default
-   and costs one branch per hook when disabled.
+   and costs one branch per hook when disabled;
+11. the **durable state tier**: with ``durable_ledger=`` every ε charge is
+   journalled write-ahead to SQLite *before* its mechanism runs, so a
+   ``kill -9``'d server that relaunches recovers its sessions' spent
+   budget and refuses queries the crash tried to make affordable again —
+   and ``snapshot_dir=`` adds a background snapshotter that persists warm
+   plans and cached answers crash-consistently alongside it.
 
 Run with::
 
@@ -172,6 +178,7 @@ def main() -> None:
     warm_restart_demo(database, domain)
     factorisation_demo(database, domain)
     observability_demo(database, domain)
+    durability_demo(database, domain)
 
 
 def consolidate_and_top_up_demo(database: Database, domain: Domain) -> None:
@@ -608,6 +615,93 @@ def observability_demo(database: Database, domain: Domain) -> None:
             f"  and the refusal: client={refusal['client_id']} wanted "
             f"epsilon={refusal['epsilon']} — {refusal['error'][:60]}..."
         )
+
+
+#: The crash half of ``durability_demo``: a child process that charges ε
+#: against a durable ledger and then SIGKILLs itself mid-service.  Run in a
+#: subprocess because ``kill -9`` is the point — no atexit, no flush, no
+#: graceful anything.
+_DURABILITY_CHILD = """
+import os
+import signal
+import sys
+
+import numpy as np
+
+from repro.core import Database, Domain, identity_workload
+from repro.engine import PrivateQueryEngine
+from repro.policy import line_policy
+
+ledger_path = sys.argv[1]
+rng = np.random.default_rng(0)
+domain = Domain((256,))
+counts = np.zeros(domain.size)
+counts[rng.integers(20, 230, size=40)] = rng.integers(1, 200, size=40)
+database = Database(domain, counts, name="salaries")
+engine = PrivateQueryEngine(
+    database,
+    total_epsilon=4.0,
+    default_policy=line_policy(domain),
+    random_state=7,
+    durable_ledger=ledger_path,
+)
+engine.open_session("alice", epsilon_allotment=1.0)
+engine.ask("alice", identity_workload(domain), epsilon=0.75)
+print("child: charged epsilon=0.75 for alice, now dying uncleanly", flush=True)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+def durability_demo(database: Database, domain: Domain) -> None:
+    """Crash recovery: charge ε, ``kill -9``, relaunch, get refused.
+
+    Without a durable ledger a crashed server forgets every ε it charged —
+    a *privacy* bug, not an ops gap: clients could drain the same budget
+    again after every restart.  With ``durable_ledger=`` every charge is
+    journalled to SQLite (WAL, synchronous=NORMAL) *before* the mechanism
+    runs, so the relaunched engine recovers the spent budget and keeps
+    enforcing it.
+    """
+    import subprocess
+    import sys
+
+    print("\n-- durable ε-ledger crash recovery --")
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        ledger_path = os.path.join(tmp_dir, "epsilon_ledger.db")
+        script = os.path.join(tmp_dir, "crash_child.py")
+        with open(script, "w", encoding="utf-8") as handle:
+            handle.write(_DURABILITY_CHILD)
+
+        # Act 1: a server charges against the durable ledger and dies hard.
+        result = subprocess.run(
+            [sys.executable, script, ledger_path], env=dict(os.environ)
+        )
+        print(f"  child exited with {result.returncode} (SIGKILL — no cleanup ran)")
+
+        # Act 2: the relaunch recovers what the dead server spent...
+        engine = PrivateQueryEngine(
+            database,
+            total_epsilon=4.0,
+            default_policy=line_policy(domain),
+            random_state=7,
+            durable_ledger=ledger_path,
+        )
+        with engine:
+            alice = engine.session("alice")
+            print(
+                f"  relaunched: alice recovered={alice.recovered} "
+                f"spent={alice.spent():.2f} remaining={alice.remaining():.2f}"
+            )
+            # ...and enforces it: the budget the crash tried to erase is gone.
+            try:
+                engine.ask("alice", identity_workload(domain), epsilon=0.5)
+            except PrivacyBudgetError as error:
+                print(f"  over-budget retry refused: {error}")
+            answers = engine.ask("alice", identity_workload(domain), epsilon=0.25)
+            print(
+                f"  affordable query still served ({answers.shape[0]} rows); "
+                f"alice remaining={alice.remaining():.2f}"
+            )
 
 
 if __name__ == "__main__":

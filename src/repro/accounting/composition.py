@@ -64,6 +64,15 @@ class PrivacyAccountant:
     untyped here: accounting sits below the engine layer and must not import
     from it.  Events are emitted while the ledger lock is held so the audit
     stream's order always matches the ledger's.
+
+    ``durable``, when set, is a write-ahead journalling binding (the engine
+    installs one from :class:`repro.engine.durability.LedgerStore`) —
+    likewise untyped for the same layering reason.  Its hooks run inside
+    the ledger lock, *before* the audit emit, and make every mutation
+    check-then-**durable**-append: a charge whose durable append fails is
+    undone and refused (fail closed — a crash must never under-count spent
+    budget), while rollback/close journalling failures are tolerated (they
+    leave over-counts, the allowed direction).
     """
 
     total_epsilon: float
@@ -72,6 +81,7 @@ class PrivacyAccountant:
         default_factory=threading.RLock, repr=False, compare=False
     )
     audit: Optional[object] = field(default=None, repr=False, compare=False)
+    durable: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.total_epsilon) or self.total_epsilon <= 0:
@@ -113,6 +123,20 @@ class PrivacyAccountant:
                     f"{self.total_epsilon} (already spent {self.spent():.6g})"
                 )
             self.operations.append(operation)
+            if self.durable is not None:
+                # Write-ahead: the charge must be on disk before the
+                # mechanism runs.  A failed durable append (disk full)
+                # refuses the charge — letting it stand in memory only
+                # would under-count after a crash.
+                try:
+                    self.durable.record_charge(operation)
+                except Exception as exc:
+                    self.operations.pop()
+                    raise PrivacyBudgetError(
+                        f"Charge {label!r} refused: durable ledger append "
+                        f"failed ({exc}); admitting it would risk "
+                        "under-counting spent budget after a crash"
+                    ) from exc
             if self.audit is not None:
                 spent = self._spent_with(self.operations)
                 self.audit.emit(
@@ -137,6 +161,10 @@ class PrivacyAccountant:
             for index, candidate in enumerate(self.operations):
                 if candidate is operation:
                     del self.operations[index]
+                    if self.durable is not None:
+                        # Best-effort durable delete: a failure leaves the
+                        # store over-counting, which the invariant allows.
+                        self.durable.record_rollback(operation)
                     if self.audit is not None:
                         spent = self._spent_with(self.operations)
                         self.audit.emit(
@@ -180,16 +208,52 @@ class PrivacyAccountant:
         """
         with self.lock:
             reservation = self.charge(label, epsilon)
+            child_durable = None
+            if self.durable is not None:
+                # Journal the scope (session allotment) itself; failure
+                # refunds the reservation and refuses the open, mirroring
+                # the fail-closed charge path.
+                try:
+                    child_durable = self.durable.record_scope_open(
+                        label, float(epsilon), reservation
+                    )
+                except Exception as exc:
+                    self.rollback(reservation)
+                    raise PrivacyBudgetError(
+                        f"Scope {label!r} refused: durable scope journal "
+                        f"failed ({exc})"
+                    ) from exc
             if self.audit is not None:
                 self.audit.emit("scope_open", scope=label, epsilon=float(epsilon))
             return ScopedAccountant(
                 total_epsilon=float(epsilon),
                 lock=self.lock,
                 audit=self.audit,
+                durable=child_durable,
                 parent=self,
                 label=label,
                 reservation=reservation,
             )
+
+    @classmethod
+    def recover(cls, path: str, audit: Optional[object] = None) -> "PrivacyAccountant":
+        """Rebuild an accountant from a durable ledger store on boot.
+
+        The returned accountant carries every journalled operation —
+        including the reservations of scopes that were still open at the
+        crash — and keeps journalling to the same store, so a relaunched
+        server refuses queries against budget it already spent.  Callers
+        that also need the recovered scopes themselves (the engine, to
+        rebuild client sessions) should use
+        :func:`repro.engine.durability.recover_accountant` directly.
+
+        The import is deferred: accounting sits below the engine layer, and
+        only this boot-time convenience reaches up into it.
+        """
+        from ..engine.durability.ledger_store import recover_accountant
+
+        _, state = recover_accountant(path, audit=audit)
+        return state.accountant
 
     @staticmethod
     def _spent_with(operations: List[BudgetedOperation]) -> float:
@@ -260,6 +324,14 @@ class ScopedAccountant(PrivacyAccountant):
                             del self.parent.operations[index]
                         break
             refunded = max(refund, 0.0)
+            if self.durable is not None:
+                self.durable.record_scope_close(
+                    self.parent.durable if self.parent is not None else None,
+                    self.reservation,
+                    self.label,
+                    actually_spent,
+                    refund,
+                )
             if self.audit is not None:
                 self.audit.emit(
                     "scope_close",

@@ -44,6 +44,13 @@ from .answer_cache import (
     Measurement,
     stack_measurements,
 )
+from .durability import (
+    CRASH_POINTS,
+    FaultInjector,
+    LedgerStore,
+    Snapshotter,
+    recover_accountant,
+)
 from .engine import EngineStats, PrivateQueryEngine
 from .executor import BatchingExecutor
 from .factorisation import (
@@ -91,11 +98,15 @@ __all__ = [
     "AnswerCacheStats",
     "AuditLog",
     "BatchingExecutor",
+    "CRASH_POINTS",
     "CachedAnswer",
     "CachedPlan",
     "ClientSession",
     "DomainShard",
     "EngineStats",
+    "FaultInjector",
+    "LedgerStore",
+    "Snapshotter",
     "ExecuteCostModel",
     "ExecuteUnit",
     "ExecuteUnitGroup",
@@ -127,6 +138,7 @@ __all__ = [
     "matrix_digest",
     "plan_key",
     "policy_signature",
+    "recover_accountant",
     "set_store",
     "set_store_enabled",
     "stack_measurements",

@@ -378,6 +378,61 @@ class AnswerCache:
                 entry.answers = combined
         return entry
 
+    # ------------------------------------------------------------ persistence
+    def export_entries(self) -> List[Tuple[AnswerKey, CachedAnswer]]:
+        """Snapshot the entries in LRU order (oldest first), for persistence.
+
+        The snapshot is taken under the lock, so it is internally consistent
+        against concurrent stores; the entries themselves are shared (not
+        deep-copied) — the snapshotter pickles them immediately, and every
+        mutation path replaces ``answers`` wholesale rather than editing in
+        place, so a racing consolidation cannot tear a pickled vector.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    def absorb(self, entries: List[Tuple[AnswerKey, CachedAnswer]]) -> int:
+        """Insert persisted entries, evicting LRU-style past ``maxsize``.
+
+        Entries already present under the same key are left in place (the
+        live entry is at least as fresh as the persisted one).  Returns the
+        number of inserted entries that survived the bound, mirroring
+        :meth:`PlanCache.absorb`.
+        """
+        inserted: List[AnswerKey] = []
+        with self._lock:
+            for key, entry in entries:
+                if key in self._entries:
+                    continue
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                self._by_policy.setdefault(key[0], []).append(key)
+                inserted.append(key)
+                while len(self._entries) > self._maxsize:
+                    evicted_key, _ = self._entries.popitem(last=False)
+                    policy_keys = self._by_policy.get(evicted_key[0])
+                    if policy_keys is not None:
+                        policy_keys.remove(evicted_key)
+                        if not policy_keys:
+                            del self._by_policy[evicted_key[0]]
+                    self.stats.evictions += 1
+            return sum(1 for key in inserted if key in self._entries)
+
+    def max_draw_id(self) -> int:
+        """The largest draw id any cached measurement references (0 if none).
+
+        A restore must advance the engine's draw-id counter past this, or
+        fresh invocations would collide with recovered measurements and the
+        GLS consolidation would treat independent draws as shared.
+        """
+        largest = 0
+        with self._lock:
+            for entry in self._entries.values():
+                for measurement in entry.measurements:
+                    for draw in measurement.draw_ids():
+                        largest = max(largest, int(draw))
+        return largest
+
     def count_follower_hit(self) -> None:
         """Count an intra-flush duplicate replay as a cache hit.
 

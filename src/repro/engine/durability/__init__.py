@@ -1,0 +1,46 @@
+"""Durable state tier: crash-safe ε-ledger, snapshots, fault injection.
+
+Three pieces, all opt-in (the in-memory fast path is untouched when the
+engine is built without a ``durable_ledger``):
+
+* :mod:`~repro.engine.durability.ledger_store` — a SQLite write-ahead
+  ledger bound to the :class:`~repro.accounting.PrivacyAccountant`: every
+  charge is on disk *before* its mechanism runs, rollbacks delete durably,
+  scopes journal their open/close, and
+  :func:`~repro.engine.durability.ledger_store.recover_accountant` rebuilds
+  the whole privacy state on relaunch so a restarted server refuses
+  queries against budget that was already spent.
+* :mod:`~repro.engine.durability.snapshotter` — a background thread taking
+  crash-consistent snapshots of the warm state (plan store + answer
+  cache) with atomic tmp-file + ``os.replace`` writes.
+* :mod:`~repro.engine.durability.faults` — a deterministic fault-injection
+  harness (named crash points, injectable disk-full and worker-kill
+  faults) that the crash-recovery test matrix drives.
+"""
+
+from __future__ import annotations
+
+from .faults import CRASH_POINTS, FaultInjector, fault_point, kill_one_worker
+from .ledger_store import (
+    LEDGER_FORMAT,
+    LedgerStore,
+    RecoveredScope,
+    RecoveredState,
+    recover_accountant,
+)
+from .snapshotter import ANSWER_STORE_FORMAT, Snapshotter, read_answer_store
+
+__all__ = [
+    "ANSWER_STORE_FORMAT",
+    "CRASH_POINTS",
+    "FaultInjector",
+    "LEDGER_FORMAT",
+    "LedgerStore",
+    "RecoveredScope",
+    "RecoveredState",
+    "Snapshotter",
+    "fault_point",
+    "kill_one_worker",
+    "read_answer_store",
+    "recover_accountant",
+]

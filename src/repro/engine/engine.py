@@ -70,9 +70,17 @@ from ..accounting.composition import PrivacyAccountant
 from ..core.database import Database
 from ..core.rng import RandomState, ensure_rng
 from ..core.workload import Workload
-from ..exceptions import MechanismError, PolicyError, PrivacyBudgetError
+from ..exceptions import (
+    DurabilityError,
+    MechanismError,
+    PlanStoreError,
+    PolicyError,
+    PrivacyBudgetError,
+)
 from ..policy.graph import PolicyGraph, is_bottom
 from .answer_cache import AnswerCache, Measurement
+from .durability.ledger_store import LedgerStore
+from .durability.snapshotter import Snapshotter
 from .factorisation import get_store as get_factorisation_store
 from .observability import Observability
 from .parallel import (
@@ -164,6 +172,11 @@ class EngineStats:
     adaptive_inline: int = 0
     #: Units the adaptive router dispatched to a pool (thread or process).
     adaptive_dispatched: int = 0
+    #: Times the process backend replaced a broken worker pool (a worker
+    #: died mid-dispatch, e.g. OOM-kill or SIGKILL) and kept serving on a
+    #: fresh pool.  0 for inline/thread engines; after the respawn budget
+    #: is exhausted the engine falls back inline permanently.
+    pool_respawns: int = 0
     #: Units that reached the backend fused into grouped dispatches (each
     #: member counts once).  0 with ``execute_fusion=False``, on inline
     #: engines, or while flushes stay at or below the backend's slot count.
@@ -289,6 +302,29 @@ class PrivateQueryEngine:
         ``Observability(enabled=True)`` for per-flush traces and
         percentile histograms, and give it ``audit_path=``/``audit=`` for
         the durable ε-audit stream.
+    durable_ledger:
+        Optional path to a SQLite write-ahead ε-ledger
+        (:class:`~repro.engine.durability.LedgerStore`).  A fresh store is
+        initialised and bound: from then on every charge commits durably
+        *before* its mechanism runs, and rollbacks/scope opens/closes are
+        journalled too.  An existing store is **recovered** first — the
+        accountant is rebuilt with every journalled charge, still-open
+        ``session:`` scopes come back as :class:`ClientSession`\\ s (with
+        ``recovered=True``), and the relaunched engine refuses queries
+        against budget the crashed process already spent.  The store's
+        journalled ``total_epsilon`` must match this constructor's, else
+        :class:`~repro.exceptions.DurabilityError`.  ``None`` (default)
+        keeps the pure in-memory fast path.
+    snapshot_dir:
+        Optional directory for crash-consistent warm-state snapshots
+        (:class:`~repro.engine.durability.Snapshotter`): the plan store and
+        the answer cache, each written atomically.  Whatever snapshot the
+        directory already holds is restored at boot (corrupt files degrade
+        to a cold start with a WARN); a background thread then re-snapshots
+        every ``snapshot_interval`` seconds, plus once on :meth:`close`.
+    snapshot_interval:
+        Seconds between background snapshots (non-positive disables the
+        thread; :meth:`snapshot` still works on demand).
     """
 
     def __init__(
@@ -311,6 +347,9 @@ class PrivateQueryEngine:
         execute_fusion: bool = True,
         serialize_flush: bool = False,
         observability: Optional[Observability] = None,
+        durable_ledger: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_interval: float = 30.0,
     ) -> None:
         self._database = database
         obs = observability if observability is not None else Observability(enabled=False)
@@ -442,6 +481,65 @@ class PrivateQueryEngine:
         # Final telemetry snapshot captured by close() so stats keep
         # reporting the backend's lifetime counters after shutdown.
         self._closed_backend_stats: Optional[Dict[str, object]] = None
+        # Durable tier (both opt-in; the in-memory fast path above is
+        # untouched when neither is configured).
+        self._ledger_store: Optional[LedgerStore] = None
+        self._snapshotter: Optional[Snapshotter] = None
+        if durable_ledger is not None:
+            self._boot_durable_ledger(durable_ledger, float(total_epsilon))
+        if snapshot_dir is not None:
+            self._snapshotter = Snapshotter(
+                self, snapshot_dir, interval=snapshot_interval
+            )
+            self._snapshotter.restore()
+            self._snapshotter.start()
+
+    def _boot_durable_ledger(self, path: str, total_epsilon: float) -> None:
+        """Open (or recover) the write-ahead ε-ledger and bind it.
+
+        A fresh store is stamped with the engine's budget and attached to
+        the accountant built above.  An existing store *replaces* that
+        accountant with the recovered one — every journalled charge
+        replayed, every still-open ``session:`` scope rebuilt as a
+        :class:`ClientSession` — so the relaunched engine refuses queries
+        against budget the previous process already spent.
+        """
+        store = LedgerStore(path)
+        try:
+            stored_total = store.total_epsilon()
+            if stored_total is None:
+                store.initialise(total_epsilon)
+                store.bind(self._accountant)
+            else:
+                if float(stored_total) != total_epsilon:
+                    raise DurabilityError(
+                        f"Ledger store {path!r} journals total_epsilon="
+                        f"{stored_total}, but the engine was constructed "
+                        f"with {total_epsilon}; recovery refuses to guess "
+                        "which budget is authoritative"
+                    )
+                state = store.recover(audit=self._audit)
+                self._accountant = state.accountant
+                prefix = "session:"
+                for scope in state.scopes:
+                    if not scope.label.startswith(prefix):
+                        continue
+                    client_id = scope.label[len(prefix):]
+                    self._sessions[client_id] = ClientSession(
+                        client_id, scope.accountant, recovered=True
+                    )
+                logger.info(
+                    "recovered durable ledger %s: ε spent %.6g of %.6g, "
+                    "%d open session(s) rebuilt",
+                    path,
+                    self._accountant.spent(),
+                    total_epsilon,
+                    len(self._sessions),
+                )
+        except BaseException:
+            store.close()
+            raise
+        self._ledger_store = store
 
     # --------------------------------------------------------------- sessions
     @property
@@ -458,6 +556,27 @@ class PrivateQueryEngine:
     def observability(self) -> Observability:
         """The observability hub (metrics registry, tracer, ε-audit stream)."""
         return self._observability
+
+    @property
+    def ledger_store(self) -> Optional[LedgerStore]:
+        """The bound write-ahead ε-ledger, or ``None`` for in-memory engines."""
+        return self._ledger_store
+
+    @property
+    def snapshotter(self) -> Optional[Snapshotter]:
+        """The background snapshotter, or ``None`` when not configured."""
+        return self._snapshotter
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Take one crash-consistent snapshot now; returns (plans, answers).
+
+        Requires the engine to be built with ``snapshot_dir=``.
+        """
+        if self._snapshotter is None:
+            raise DurabilityError(
+                "snapshot() needs an engine built with snapshot_dir="
+            )
+        return self._snapshotter.snapshot()
 
     def open_session(self, client_id: str, epsilon_allotment: float) -> ClientSession:
         """Open a budgeted session; the allotment is reserved immediately.
@@ -1018,7 +1137,7 @@ class PrivateQueryEngine:
             len(per) for shard in shard_entries.values() for per in shard.values()
         )
 
-    def load_plans(self, path: str) -> int:
+    def load_plans(self, path: str, on_corrupt: str = "raise") -> int:
         """Load a persisted plan store; returns the number of entries loaded.
 
         Engine-level entries go straight into :attr:`plan_cache`; per-shard
@@ -1026,10 +1145,33 @@ class PrivateQueryEngine:
         around to hydrate shard sets built later (shard sets are constructed
         lazily, per policy) — staged entries count toward the return value,
         since they will serve as soon as their policy is first queried.
-        Raises :class:`~repro.exceptions.MechanismError` on a
-        missing/corrupt file or a format-version mismatch.
+
+        A truncated/corrupt file or a format-version mismatch raises the
+        versioned :class:`~repro.exceptions.PlanStoreError` (a
+        :class:`~repro.exceptions.MechanismError`), never a raw unpickling
+        exception.  With ``on_corrupt="cold"`` the engine instead degrades
+        to a cold start — WARN log, return 0, every plan re-planned on
+        first use — the right policy for boot-time restores, where a
+        half-written snapshot must not keep the server down.  A *missing*
+        file still raises either way (a wrong path is a configuration
+        error, not corruption).
         """
-        payload = read_plan_store(path)
+        if on_corrupt not in ("raise", "cold"):
+            raise ValueError(
+                f"on_corrupt must be 'raise' or 'cold', got {on_corrupt!r}"
+            )
+        try:
+            payload = read_plan_store(path)
+        except PlanStoreError as exc:
+            if on_corrupt == "raise":
+                raise
+            logger.warning(
+                "plan store %s unusable (%s); degrading to cold start — "
+                "plans will be re-planned on first use",
+                path,
+                exc,
+            )
+            return 0
         loaded = self.plan_cache.absorb(payload["entries"])
         shard_entries = payload.get("shard_entries", {})
         with self._shard_lock:
@@ -1149,6 +1291,7 @@ class PrivateQueryEngine:
             "blob_cache_misses": getattr(backend, "blob_cache_misses", 0),
             "adaptive_inline": getattr(backend, "adaptive_inline", 0),
             "adaptive_dispatched": getattr(backend, "adaptive_dispatched", 0),
+            "pool_respawns": getattr(backend, "pool_respawns", 0),
         }
 
     def _record_stage_timings(self, timings: Dict[str, float]) -> None:
@@ -1163,6 +1306,20 @@ class PrivateQueryEngine:
         """Fresh identifier for one mechanism-invocation noise draw."""
         return next(self._draw_ids)
 
+    def _advance_draw_ids(self, minimum: int) -> None:
+        """Ensure future draw ids start at ``minimum`` or later.
+
+        Restoring persisted answers re-seats measurements that carry draw
+        ids from the previous process; a counter restarted at 1 would hand
+        those same ids to fresh draws, and the resolve stage's shared-draw
+        bookkeeping (GLS consolidation) would treat independent noise as
+        correlated.  Draw ids only ever need to be unique, so skipping
+        ahead is always safe.
+        """
+        with self._queue_lock:
+            current = next(self._draw_ids)
+            self._draw_ids = itertools.count(max(current, int(minimum)))
+
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Release engine resources (the execute backend, when present).
@@ -1174,8 +1331,14 @@ class PrivateQueryEngine:
         the engine remains usable for session bookkeeping after ``close``,
         but flushes fall back to inline execution.  The observability hub's
         audit file handle is closed too (the in-memory mirror, metrics and
-        completed traces stay readable).
+        completed traces stay readable).  The durable tier is shut down
+        last: the snapshotter takes one final snapshot, and the ledger
+        store's connection closes — its WAL already holds every charge, so
+        ``close`` adds no privacy state, it only releases handles.
         """
+        snapshotter, self._snapshotter = self._snapshotter, None
+        if snapshotter is not None:
+            snapshotter.stop(final_snapshot=True)
         backend, self._execute_backend = self._execute_backend, None
         if backend is not None:
             # Provisional snapshot first (stats readers racing the shutdown
@@ -1186,6 +1349,9 @@ class PrivateQueryEngine:
             backend.close(wait=True)
             self._closed_backend_stats = self._backend_telemetry(backend)
         self._observability.close()
+        store, self._ledger_store = self._ledger_store, None
+        if store is not None:
+            store.close()
 
     def __enter__(self) -> "PrivateQueryEngine":
         return self

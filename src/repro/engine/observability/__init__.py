@@ -66,7 +66,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .audit import AuditLog
+from .audit import AuditLog, read_audit_events
 from .metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -89,6 +89,7 @@ __all__ = [
     "Span",
     "Trace",
     "Tracer",
+    "read_audit_events",
 ]
 
 

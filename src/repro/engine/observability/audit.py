@@ -23,13 +23,17 @@ threads, so their contexts never bleed into each other's events.
 from __future__ import annotations
 
 import json
+import logging
+import os
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import IO, List, Optional, Union
+from typing import IO, Iterator, List, Optional, Union
 
-__all__ = ["AuditLog"]
+__all__ = ["AuditLog", "read_audit_events"]
+
+logger = logging.getLogger(__name__)
 
 
 class AuditLog:
@@ -47,6 +51,13 @@ class AuditLog:
         by :meth:`close`.
     capacity:
         Bound on the in-memory mirror of recent events.
+    fsync:
+        Durability policy for the owned file.  ``False`` (default) flushes
+        each event to the OS — durable against *process* death, the crash
+        model the recovery tests exercise.  ``True`` additionally
+        ``os.fsync``\\ s after every event — durable against power loss, at
+        a per-event syscall cost (matches a ``synchronous=FULL`` ledger).
+        Ignored for caller-owned ``stream`` sinks.
     """
 
     def __init__(
@@ -54,12 +65,14 @@ class AuditLog:
         path: Optional[str] = None,
         stream: Optional[IO[str]] = None,
         capacity: int = 4096,
+        fsync: bool = False,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._path = str(path) if path is not None else None
         self._stream = stream
         self._file: Optional[IO[str]] = None
+        self._fsync = bool(fsync)
         self._lock = threading.Lock()
         self._events: "deque[dict]" = deque(maxlen=int(capacity))
         self._seq = 0
@@ -104,6 +117,8 @@ class AuditLog:
             if sink is not None:
                 sink.write(json.dumps(record, sort_keys=True, default=str) + "\n")
                 sink.flush()
+                if self._fsync and sink is self._file:
+                    os.fsync(sink.fileno())
         return record
 
     # ------------------------------------------------------------ inspection
@@ -138,3 +153,45 @@ class AuditLog:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         target = self._path or ("<stream>" if self._stream else "<memory>")
         return f"AuditLog({target}, events={self.count})"
+
+
+def read_audit_events(path: str, strict: bool = False) -> List[dict]:
+    """Read a JSONL audit stream back, tolerating a torn final line.
+
+    A process killed mid-``write`` leaves a truncated last line (JSON cut
+    off anywhere, or a line without its newline).  Crash recovery must read
+    *through* that — every completed event is intact, only the tail is torn
+    — so a malformed **final** line is skipped with a warning instead of
+    raising; pass ``strict=True`` to raise on it instead (for readers that
+    need every byte accounted for).  A malformed line *followed by further
+    lines* is real corruption, not a torn tail (a crash can only truncate
+    the end), and always raises ``ValueError``.
+    """
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            events.append(json.loads(stripped))
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1 and not strict:
+                logger.warning(
+                    "audit stream %s ends in a torn line (%d bytes) — "
+                    "skipped; the process died mid-write",
+                    path,
+                    len(line),
+                )
+                break
+            raise ValueError(
+                f"audit stream {path!r} line {index + 1} is corrupt "
+                f"(not valid JSON): {exc}"
+            ) from exc
+    return events
+
+
+def iter_audit_events(path: str) -> Iterator[dict]:
+    """Iterate a JSONL audit stream with the same torn-tail tolerance."""
+    yield from read_audit_events(path)

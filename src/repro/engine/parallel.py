@@ -855,7 +855,7 @@ class _ProcessDispatch:
         # must serve the recovered value instead of re-running the unit.
         if self._resolved is not None:
             return self._resolved
-        value = self._future.result(timeout)
+        value = self._backend._await_future(self._future, timeout)
         if isinstance(value, _BlobMiss):
             self.protocol_hops.append(
                 {
@@ -935,7 +935,7 @@ class _ProcessGroupDispatch:
     def result(self, timeout: Optional[float] = None):
         if self._resolved is not None:
             return self._resolved
-        value = self._future.result(timeout)
+        value = self._backend._await_future(self._future, timeout)
         if isinstance(value, _BlobMiss):
             self.protocol_hops.append(
                 {
@@ -1009,6 +1009,17 @@ class ProcessExecuteBackend:
         when set, each dispatch feeds per-dispatch bytes-shipped and
         serialisation-seconds histograms (the aggregate counters above
         stay available either way).
+    respawn_budget / respawn_backoff:
+        Broken-pool degradation policy: how many times a pool whose worker
+        died (OOM-kill, SIGKILL) is replaced by a fresh one — re-preloading
+        the memoised blobs through the pool initializer — and how long (in
+        seconds, scaled by the attempt number) to back off before the
+        replacement, so a crash loop cannot hot-spin worker spawns.  Past
+        the budget the backend stops building pools and every unit runs
+        inline on the flushing thread, permanently.  The dispatch that hit
+        the broken pool still fails (its batch rolls back — re-running a
+        unit that may have killed its worker inline could take the serving
+        process down); the respawn serves *subsequent* flushes.
     """
 
     name = "process"
@@ -1024,6 +1035,8 @@ class ProcessExecuteBackend:
         blob_protocol: str = "miss-only",
         observe: Optional[Callable[[PlanKey, float, float], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        respawn_budget: int = 1,
+        respawn_backoff: float = 0.5,
     ) -> None:
         if blob_protocol not in ("miss-only", "always"):
             raise ValueError(
@@ -1054,6 +1067,17 @@ class ProcessExecuteBackend:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        # Broken-pool degradation: a pool whose worker died (OOM-kill,
+        # SIGKILL, interpreter abort) is retired and — while the budget
+        # lasts — lazily respawned by the next _ensure_pool, whose
+        # initializer re-preloads the memoised blobs into every fresh
+        # worker.  Once the budget is spent the backend refuses further
+        # pools (RuntimeError from _ensure_pool), which the pipeline treats
+        # like an engine close: units run inline, permanently.
+        self._respawn_budget = max(0, int(respawn_budget))
+        self._respawn_backoff = max(0.0, float(respawn_backoff))
+        self._respawns = 0
+        self._broken = False
         self._counter_lock = threading.Lock()
         self._dispatches = 0
         self._serialization_seconds = 0.0
@@ -1129,6 +1153,12 @@ class ProcessExecuteBackend:
             return self._resubmits
 
     @property
+    def pool_respawns(self) -> int:
+        """Times a broken worker pool was replaced by a fresh one."""
+        with self._pool_lock:
+            return self._respawns
+
+    @property
     def fusion_slots(self) -> int:
         """Pool width the pipeline balances fused groups across."""
         return self._max_workers
@@ -1184,6 +1214,15 @@ class ProcessExecuteBackend:
         with self._pool_lock:
             if self._closed:
                 raise RuntimeError("cannot schedule new futures after shutdown")
+            if self._broken:
+                # Plain RuntimeError, NOT BrokenExecutor: the pipeline maps
+                # this to its closed-backend path — run the unit inline —
+                # which is the permanent fallback the budget exhaustion
+                # demands (the charge stands either way).
+                raise RuntimeError(
+                    "process worker pool broke and its respawn budget "
+                    f"({self._respawn_budget}) is exhausted; executing inline"
+                )
             created = self._pool is None
             if created:
                 self._materialise_preload()
@@ -1229,6 +1268,55 @@ class ProcessExecuteBackend:
         with self._counter_lock:
             self._serialization_seconds += time.perf_counter() - started
 
+    def _note_broken_pool(self) -> None:
+        """React to a ``BrokenExecutor``: retire the pool, maybe respawn.
+
+        Every in-flight future of a broken pool raises, so this runs once
+        per *pool*, not once per failure: the first caller retires the pool
+        (and pays the backoff); latecomers find it already gone and return.
+        The retired workers took their resident blob caches with them, so
+        the shipped-digest memo is cleared — the next dispatch to a fresh
+        pool re-ships eagerly, and the pool initializer re-preloads every
+        memoised blob anyway.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            if pool is None or self._closed or self._broken:
+                backoff = 0.0
+            elif self._respawns < self._respawn_budget:
+                self._respawns += 1
+                backoff = self._respawn_backoff * self._respawns
+                logger.warning(
+                    "process worker pool broke; respawning (attempt %d of "
+                    "%d) after %.2fs backoff",
+                    self._respawns,
+                    self._respawn_budget,
+                    backoff,
+                )
+            else:
+                self._broken = True
+                backoff = 0.0
+                logger.warning(
+                    "process worker pool broke with the respawn budget "
+                    "(%d) exhausted; falling back to inline execution "
+                    "permanently",
+                    self._respawn_budget,
+                )
+        if pool is not None:
+            pool.shutdown(wait=False)
+            with self._blob_lock:
+                self._shipped_digests.clear()
+        if backoff > 0.0:
+            time.sleep(backoff)
+
+    def _await_future(self, future, timeout: Optional[float] = None):
+        """``future.result`` that retires the pool on ``BrokenExecutor``."""
+        try:
+            return future.result(timeout)
+        except BrokenExecutor:
+            self._note_broken_pool()
+            raise
+
     def _ship_blob(self, digest: str, blob: bytes) -> Optional[bytes]:
         """Decide whether this dispatch carries the blob or the digest alone."""
         if self._ship_always:
@@ -1262,14 +1350,18 @@ class ProcessExecuteBackend:
         pool, pool_created = self._ensure_pool()  # first pool preloads the memos
         ship_plan = self._ship_blob(plan_digest, plan_blob)
         ship_db = self._ship_blob(db_digest, db_blob)
-        future = pool.submit(
-            _execute_shipped,
-            plan_digest,
-            ship_plan,
-            db_digest,
-            ship_db,
-            payload_blob,
-        )
+        try:
+            future = pool.submit(
+                _execute_shipped,
+                plan_digest,
+                ship_plan,
+                db_digest,
+                ship_db,
+                payload_blob,
+            )
+        except BrokenExecutor:
+            self._note_broken_pool()
+            raise
         shipped = (
             len(payload_blob)
             + len(plan_digest)
@@ -1320,7 +1412,11 @@ class ProcessExecuteBackend:
             (plan_digest, to_ship.get(plan_digest), db_digest, to_ship.get(db_digest))
             for plan_digest, db_digest in metas
         )
-        future = pool.submit(_execute_shipped_group, members, payload_blob)
+        try:
+            future = pool.submit(_execute_shipped_group, members, payload_blob)
+        except BrokenExecutor:
+            self._note_broken_pool()
+            raise
         shipped = (
             len(payload_blob)
             + sum(len(plan_digest) + len(db_digest) for plan_digest, db_digest in metas)
@@ -1407,6 +1503,7 @@ class ProcessExecuteBackend:
                     payload_blob,
                 )
             except BrokenExecutor:
+                self._note_broken_pool()
                 raise
             except RuntimeError:
                 # Backend closed between the miss and the resubmit: the
@@ -1443,7 +1540,7 @@ class ProcessExecuteBackend:
                     + (len(ship_plan) if ship_plan is not None else 0)
                     + (len(ship_db) if ship_db is not None else 0)
                 )
-            value = future.result(timeout)
+            value = self._await_future(future, timeout)
             if not isinstance(value, _BlobMiss):
                 return value
             miss = value
@@ -1505,6 +1602,7 @@ class ProcessExecuteBackend:
             pool, _ = self._ensure_pool()
             future = pool.submit(_execute_shipped_group, tuple(members), payload_blob)
         except BrokenExecutor:
+            self._note_broken_pool()
             raise
         except RuntimeError:
             # Backend closed between the miss and the resubmit: finish the
@@ -1531,7 +1629,7 @@ class ProcessExecuteBackend:
                 len(plan_digest) + len(plan_blob) + len(db_digest) + len(db_blob)
                 for plan_digest, plan_blob, db_digest, db_blob in members
             )
-        value = future.result(timeout)
+        value = self._await_future(future, timeout)
         if isinstance(value, _BlobMiss):  # pragma: no cover - protocol invariant
             raise RuntimeError(
                 f"worker reported {value.missing} missing although every blob "
@@ -1691,6 +1789,11 @@ class AdaptiveExecuteBackend:
     def blob_cache_misses(self) -> int:
         """Worker resident-cache misses of the process-routed dispatches."""
         return self._process.blob_cache_misses
+
+    @property
+    def pool_respawns(self) -> int:
+        """Broken-pool respawns of the inner process backend."""
+        return self._process.pool_respawns
 
     @property
     def adaptive_inline(self) -> int:

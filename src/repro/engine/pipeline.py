@@ -57,6 +57,7 @@ from ..core.workload import Workload
 from ..exceptions import MechanismError, PrivacyBudgetError
 from ..mechanisms.base import NoiseModel
 from ..policy.graph import PolicyGraph
+from .durability.faults import fault_point
 from .parallel import ExecuteUnit, ExecuteUnitGroup, run_unit, run_unit_group
 from .plan_cache import CachedPlan
 from .session import ClientSession
@@ -431,6 +432,10 @@ class FlushPipeline:
         timings["execute"] = time.perf_counter() - started
 
         # ---- stage 4: resolve (stats/cache locks only)
+        # "pre-resolve" sits after every mechanism ran but before any answer
+        # reaches a client: a crash here spends noise draws the clients never
+        # saw — the durable ledger still counts them (over-count, allowed).
+        fault_point("pre-resolve")
         started = time.perf_counter()
         wall = time.time() if trace is not None else 0.0
         for batch in batches:
@@ -547,12 +552,19 @@ class FlushPipeline:
         if partition_error is not None:
             self._refuse(ticket, partition_error, count_session=True, trace=trace)
             return
+        # Crash points bracketing the durable append: "pre-charge" crashes
+        # lose a charge the client never saw answered (nothing spent, nothing
+        # recorded — safe), "post-charge" crashes leave a durably journalled
+        # charge for an answer that never shipped (over-count — the allowed
+        # direction).  Both are no-ops unless a FaultInjector is installed.
+        fault_point("pre-charge")
         try:
             operation = session.charge(label, ticket.epsilon, ticket.partition)
         except PrivacyBudgetError as exc:
             # session.charge already counted the session-level refusal.
             self._refuse(ticket, str(exc), count_session=False, trace=trace)
             return
+        fault_point("post-charge")
         batch.admitted.append(ticket)
         batch.charged.append((session, operation))
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..blowfish.planner import Plan, plan_mechanism
-from ..exceptions import MechanismError
+from ..exceptions import MechanismError, PlanStoreError
 from ..policy.graph import PolicyGraph
 from ..policy.transform import PolicyTransform
 from .signature import PlanKey, plan_key
@@ -296,16 +296,43 @@ def read_plan_store(path: str) -> dict:
     try:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
-        raise MechanismError(f"Plan store {path!r} is corrupt: {exc}") from exc
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        # A truncated or garbled pickle can also surface as these (e.g.
+        # "pickle data was truncated" is a ValueError, an index past a
+        # cut-off memo table an IndexError, a clobbered container a
+        # KeyError/TypeError) — a corrupt store must never escape as a raw
+        # unpickling exception.
+        ValueError,
+        IndexError,
+        KeyError,
+        TypeError,
+    ) as exc:
+        raise PlanStoreError(
+            f"Plan store {path!r} is corrupt (truncated or garbled pickle): "
+            f"{exc}",
+            path=path,
+        ) from exc
     if (
         not isinstance(payload, dict)
         or payload.get("format") not in PLAN_STORE_COMPAT_FORMATS
     ):
         found = payload.get("format") if isinstance(payload, dict) else None
-        raise MechanismError(
+        raise PlanStoreError(
             f"Plan store {path!r} has format version {found!r}; this library "
             f"reads versions {sorted(PLAN_STORE_COMPAT_FORMATS)} — re-save "
-            "the store with the current version instead of mixing formats"
+            "the store with the current version instead of mixing formats",
+            path=path,
+            format_version=found,
+        )
+    if "entries" not in payload or not isinstance(payload["entries"], list):
+        raise PlanStoreError(
+            f"Plan store {path!r} is corrupt: format "
+            f"{payload.get('format')!r} payload carries no entry list",
+            path=path,
+            format_version=payload.get("format"),
         )
     return payload

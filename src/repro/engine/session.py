@@ -43,12 +43,18 @@ class ClientSession:
         self,
         client_id: str,
         accountant: ScopedAccountant,
+        recovered: bool = False,
     ) -> None:
         self.client_id = str(client_id)
         self.accountant = accountant
         self.queries_answered = 0
         self.queries_refused = 0
         self.cache_replays = 0
+        #: ``True`` when this session was rebuilt from a durable ε-ledger on
+        #: engine boot rather than opened by a client in this process — its
+        #: serving counters start from zero, but its accountant already
+        #: carries every charge the pre-crash process journalled.
+        self.recovered = bool(recovered)
 
     # ------------------------------------------------------------- budget API
     @property

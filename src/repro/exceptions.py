@@ -42,6 +42,32 @@ class MechanismError(ReproError):
     """Raised when a mechanism is configured or invoked inconsistently."""
 
 
+class PlanStoreError(MechanismError):
+    """Raised when a persisted plan/answer store cannot be read.
+
+    Covers truncated or corrupt pickles as well as format-version
+    mismatches; carries the store ``path`` and the ``format_version``
+    found in the file (``None`` when the file was unreadable before any
+    version could be parsed).  Subclasses :class:`MechanismError` so
+    pre-existing callers that caught the broader type keep working.
+    """
+
+    def __init__(self, message: str, path: str = "", format_version=None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.format_version = format_version
+
+
+class DurabilityError(ReproError):
+    """Raised when the durable ε-ledger cannot uphold its write-ahead contract.
+
+    A charge that cannot be made durable is *refused* (the in-memory
+    append is undone and this error propagates), because admitting it
+    would let a crash under-count spent budget — the one direction the
+    durability invariant forbids.
+    """
+
+
 class TransformError(ReproError):
     """Raised when the policy transformation ``P_G`` cannot be constructed."""
 
