@@ -60,7 +60,16 @@ together:
    ``kill -9``'d server that relaunches recovers its sessions' spent
    budget and refuses queries the crash tried to make affordable again —
    and ``snapshot_dir=`` adds a background snapshotter that persists warm
-   plans and cached answers crash-consistently alongside it.
+   plans and cached answers crash-consistently alongside it;
+12. the **network serving tier**: an asyncio front-end
+   (:class:`repro.engine.serving.AsyncQueryEngine`) makes tickets
+   awaitable — pending clients cost a suspended coroutine each, not a
+   parked OS thread — and a stdlib HTTP server
+   (:class:`repro.engine.serving.ServingServer`) exposes client
+   registration, query submit/poll, budget introspection and Prometheus
+   ``/metrics`` over the wire.  Flushes still run the same staged
+   pipeline, so the HTTP path's draws and ε ledgers stay byte-identical
+   to a direct ``flush()``.
 
 Run with::
 
@@ -179,6 +188,7 @@ def main() -> None:
     factorisation_demo(database, domain)
     observability_demo(database, domain)
     durability_demo(database, domain)
+    http_serving_demo(database, domain)
 
 
 def consolidate_and_top_up_demo(database: Database, domain: Domain) -> None:
@@ -702,6 +712,143 @@ def durability_demo(database: Database, domain: Domain) -> None:
                 f"  affordable query still served ({answers.shape[0]} rows); "
                 f"alice remaining={alice.remaining():.2f}"
             )
+
+
+def http_serving_demo(database: Database, domain: Domain) -> None:
+    """The network serving tier: register, submit, poll — over real HTTP.
+
+    One event loop serves every client: submissions become awaitable
+    tickets (a suspended coroutine per pending query, not a parked
+    thread), the deadline flusher is a ``loop.call_later`` timer, and the
+    blocking ``flush`` runs on a single dedicated flusher thread.  The
+    walkthrough drives the full lifecycle a network client sees:
+
+    1. boot a :class:`repro.engine.serving.ServingServer` on an ephemeral
+       port;
+    2. ``POST /api/clients`` — open a budgeted session (the response is
+       the budget snapshot also served at ``GET /api/clients/{id}/budget``);
+    3. ``POST /api/queries`` with ``wait=true`` — submit and await the
+       noisy histogram inline;
+    4. ``POST`` without ``wait`` then ``GET /api/queries/{id}`` — the
+       202-accepted-then-poll flow, resolved here by the deadline flush;
+    5. ``GET /metrics`` — the same engine counters, as Prometheus text.
+
+    See ``docs/serving_http_api.md`` for the full endpoint reference.
+    """
+    import asyncio
+
+    from repro.engine import Observability
+    from repro.engine.serving import ServingServer, create_app
+
+    print("\n-- HTTP serving tier --")
+    engine = PrivateQueryEngine(
+        database,
+        total_epsilon=8.0,
+        default_policy=line_policy(domain),
+        prefer_data_dependent=False,
+        consistency=False,
+        random_state=47,
+        observability=Observability(enabled=True),
+    )
+
+    async def wire_client(host: str, port: int, method: str, path: str, body=None):
+        """A minimal raw HTTP/1.1 client (what any real client would send)."""
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = json.dumps(body).encode() if body is not None else b""
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        status = int(raw.split(b" ", 2)[1])
+        head, _, body_bytes = raw.partition(b"\r\n\r\n")
+        if b"application/json" in head:
+            return status, json.loads(body_bytes)
+        return status, body_bytes.decode()
+
+    async def walkthrough() -> None:
+        app = create_app(engine, max_batch_size=32, max_delay=0.01)
+        async with ServingServer(app) as server:
+            host, port = server.host, server.port
+            print(f"  server up on http://{host}:{port} (ephemeral port)")
+
+            status, snapshot = await wire_client(
+                host,
+                port,
+                "POST",
+                "/api/clients",
+                {"client_id": "alice", "epsilon_allotment": 1.0},
+            )
+            print(
+                f"  registered alice ({status}): allotment="
+                f"{snapshot['allotment']} remaining={snapshot['remaining']}"
+            )
+
+            status, answered = await wire_client(
+                host,
+                port,
+                "POST",
+                "/api/queries",
+                {
+                    "client_id": "alice",
+                    "workload": {"kind": "identity"},
+                    "epsilon": 0.25,
+                    "wait": True,
+                    "timeout": 10,
+                },
+            )
+            print(
+                f"  wait=true submit ({status}): ticket "
+                f"{answered['ticket_id']} {answered['status']}, histogram "
+                f"head {[round(v, 2) for v in answered['answers'][:4]]}"
+            )
+
+            status, accepted = await wire_client(
+                host,
+                port,
+                "POST",
+                "/api/queries",
+                {
+                    "client_id": "alice",
+                    "workload": {"kind": "total"},
+                    "epsilon": 0.25,
+                },
+            )
+            print(
+                f"  fire-and-poll submit ({status}): ticket "
+                f"{accepted['ticket_id']} {accepted['status']}"
+            )
+            await asyncio.sleep(0.05)  # the deadline flush fires meanwhile
+            status, polled = await wire_client(
+                host, port, "GET", f"/api/queries/{accepted['ticket_id']}"
+            )
+            print(
+                f"  poll ({status}): {polled['status']}, total = "
+                f"{polled['answers'][0]:.2f}"
+            )
+
+            _, budget = await wire_client(
+                host, port, "GET", "/api/clients/alice/budget"
+            )
+            print(
+                f"  budget after two paid queries: spent={budget['spent']} "
+                f"remaining={budget['remaining']}"
+            )
+
+            _, metrics_text = await wire_client(host, port, "GET", "/metrics")
+            excerpt = [
+                line
+                for line in metrics_text.splitlines()
+                if line.startswith("engine_queries_")
+            ]
+            print("  /metrics excerpt:\n    " + "\n    ".join(excerpt))
+
+    asyncio.run(walkthrough())
 
 
 if __name__ == "__main__":

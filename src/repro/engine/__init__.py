@@ -90,6 +90,7 @@ from .signature import (
     policy_signature,
     workload_signature,
 )
+from .waiters import BatchTriggers, ThreadTicketWaiter, TicketLifecycle, TicketWaiter
 
 __all__ = [
     "ANSWERED",
@@ -97,6 +98,7 @@ __all__ = [
     "AnswerCache",
     "AnswerCacheStats",
     "AuditLog",
+    "BatchTriggers",
     "BatchingExecutor",
     "CRASH_POINTS",
     "CachedAnswer",
@@ -127,6 +129,9 @@ __all__ = [
     "REFUSED",
     "Span",
     "ThreadExecuteBackend",
+    "ThreadTicketWaiter",
+    "TicketLifecycle",
+    "TicketWaiter",
     "Trace",
     "Tracer",
     "ShardPiece",

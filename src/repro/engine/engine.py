@@ -71,6 +71,7 @@ from ..core.database import Database
 from ..core.rng import RandomState, ensure_rng
 from ..core.workload import Workload
 from ..exceptions import (
+    AskTimeoutError,
     DurabilityError,
     MechanismError,
     PlanStoreError,
@@ -606,6 +607,16 @@ class PrivateQueryEngine:
             raise PolicyError(f"No session open for client {client_id!r}")
         return session
 
+    def sessions(self) -> List[ClientSession]:
+        """Snapshot of every session this engine has opened (open or closed).
+
+        Taken under the queue lock so a concurrent ``open_session`` cannot
+        tear the listing; the serving tier's client-listing endpoint pages
+        over it.
+        """
+        with self._queue_lock:
+            return list(self._sessions.values())
+
     def close_session(self, client_id: str) -> float:
         """Close a session, refunding its unspent allotment to the global budget."""
         return self.session(client_id).close()
@@ -786,17 +797,27 @@ class PrivateQueryEngine:
         policy: Optional[PolicyGraph] = None,
         partition: Optional[Sequence] = None,
         random_state: RandomState = None,
+        timeout: Optional[float] = None,
     ) -> np.ndarray:
         """Submit one query and execute it immediately (submit + flush).
 
         Other queued queries are flushed alongside it, preserving batching.
+
+        When a concurrent flush races this one and drains the queue first,
+        the ticket is resolved by *that* flush and this call waits for it.
+        ``timeout`` bounds that wait in seconds (``None`` waits forever, the
+        pre-PR 9 behaviour); on expiry an
+        :class:`~repro.exceptions.AskTimeoutError` carrying the still-pending
+        ticket is raised — the ticket stays owned by whichever flush picked
+        it up and resolves normally, so ``exc.ticket`` can be re-polled.
         """
         ticket = self.submit(
             client_id, workload, epsilon, policy=policy, partition=partition
         )
         self.flush(random_state=random_state)
         if not ticket.done():  # resolved by a concurrent flush that raced the queue
-            ticket.wait()
+            if not ticket.wait(timeout):
+                raise AskTimeoutError(ticket, timeout)
         return ticket.result()
 
     # ------------------------------------------------------------ consistency

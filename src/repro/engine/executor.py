@@ -16,7 +16,12 @@ and flushing on one of two triggers:
   traffic is light.
 
 Blocking callers use :meth:`ask`, which submits and then waits on the
-ticket's event — resolved by whichever thread's flush picks the query up.
+ticket's thread waiter — resolved by whichever thread's flush picks the
+query up.  The size/deadline trigger *policy* lives in
+:class:`~repro.engine.waiters.BatchTriggers`, shared with the asyncio
+front-end (:class:`~repro.engine.serving.AsyncQueryEngine`); this class
+realises it with thread primitives (a condition variable plus a daemon
+flusher thread), the asyncio one with ``loop.call_later``.
 
 The executor adds **no privacy semantics**: it only decides *when*
 :meth:`PrivateQueryEngine.flush` runs.  Budget checks, replay, dedup and
@@ -32,9 +37,10 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.workload import Workload
-from ..exceptions import MechanismError
+from ..exceptions import AskTimeoutError, MechanismError
 from ..policy.graph import PolicyGraph
 from .pipeline import QueryTicket
+from .waiters import BatchTriggers
 
 
 class BatchingExecutor:
@@ -59,13 +65,8 @@ class BatchingExecutor:
         max_batch_size: int = 32,
         max_delay: float = 0.02,
     ) -> None:
-        if max_batch_size <= 0:
-            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
-        if max_delay <= 0:
-            raise ValueError(f"max_delay must be positive, got {max_delay}")
         self._engine = engine
-        self._max_batch_size = int(max_batch_size)
-        self._max_delay = float(max_delay)
+        self._triggers = BatchTriggers(max_batch_size, max_delay)
         # Trigger counters live in the engine's metrics registry so the
         # executor's batching behaviour (how often size beats deadline, how
         # full triggered batches run) shows up next to the flush latencies.
@@ -176,9 +177,9 @@ class BatchingExecutor:
                 client_id, workload, epsilon, policy=policy, partition=partition
             )
             if self._deadline is None:
-                self._deadline = time.monotonic() + self._max_delay
+                self._deadline = self._triggers.deadline_from(time.monotonic())
                 self._condition.notify_all()
-            if self._engine.pending_count >= self._max_batch_size:
+            if self._triggers.size_reached(self._engine.pending_count):
                 flush_now = True
                 self._inflight_flushes += 1
                 if self._c_size_trigger is not None:
@@ -207,17 +208,16 @@ class BatchingExecutor:
     ) -> np.ndarray:
         """Blocking submit: waits for whichever flush resolves the ticket.
 
-        ``timeout`` bounds the wait in seconds; on expiry a
-        :class:`~repro.exceptions.MechanismError` is raised (the ticket stays
-        queued and will still be answered by a later flush).
+        ``timeout`` bounds the wait in seconds; on expiry an
+        :class:`~repro.exceptions.AskTimeoutError` carrying the ticket is
+        raised (the ticket stays queued and will still be answered by a
+        later flush — re-poll ``exc.ticket``).
         """
         ticket = self.submit(
             client_id, workload, epsilon, policy=policy, partition=partition
         )
         if not ticket.wait(timeout):
-            raise MechanismError(
-                f"Ticket {ticket.ticket_id} was not resolved within {timeout} s"
-            )
+            raise AskTimeoutError(ticket, timeout)
         return ticket.result()
 
     def flush_now(self) -> None:
@@ -249,6 +249,6 @@ class BatchingExecutor:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"BatchingExecutor(max_batch_size={self._max_batch_size}, "
-            f"max_delay={self._max_delay}, closed={self._closed})"
+            f"BatchingExecutor(max_batch_size={self._triggers.max_batch_size}, "
+            f"max_delay={self._triggers.max_delay}, closed={self._closed})"
         )

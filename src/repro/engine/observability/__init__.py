@@ -64,6 +64,7 @@ Per-event fields:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional
 
 from .audit import AuditLog, read_audit_events
@@ -135,6 +136,32 @@ class Observability:
         if not self.enabled:
             return None
         return self.tracer.start_trace(name, **attributes)
+
+    @contextmanager
+    def request_context(self, name: str = "request", **fields):
+        """Per-request trace + ambient ε-audit attribution for front-ends.
+
+        The HTTP serving tier wraps each request in this: ``fields``
+        (``request_id`` from the ``X-Request-Id`` header, ``client_id``,
+        method/path) become trace attributes, and — when the audit stream is
+        bound — ambient :meth:`AuditLog.context` fields, so every charge,
+        refusal or scope event the request causes carries the request that
+        caused it.  ``None``-valued fields are dropped rather than stacked
+        (an absent header must not mask an outer context).  Yields the
+        request :class:`Trace`, or ``None`` when tracing is disabled; the
+        trace is finished on exit either way.
+        """
+        present = {key: value for key, value in fields.items() if value is not None}
+        trace = self.start_trace(name, **present)
+        try:
+            if self.audit is not None and present:
+                with self.audit.context(**present):
+                    yield trace
+            else:
+                yield trace
+        finally:
+            if trace is not None:
+                trace.finish()
 
     def close(self) -> None:
         """Release owned resources (the audit file handle)."""

@@ -63,6 +63,7 @@ from .plan_cache import CachedPlan
 from .session import ClientSession
 from .sharding import ShardScatter, ShardSet
 from .signature import answer_key, plan_key
+from .waiters import TicketLifecycle, TicketWaiter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import PrivateQueryEngine
@@ -82,10 +83,14 @@ STAGES = ("plan", "charge", "execute", "resolve")
 class QueryTicket:
     """Handle on one submitted query; resolved by :meth:`PrivateQueryEngine.flush`.
 
-    Tickets are also the synchronisation point of the concurrent front-end:
-    :meth:`wait` blocks until some flush (on any thread) resolves the ticket,
-    which is how :meth:`BatchingExecutor.ask` turns deadline-batched execution
-    back into a blocking call.
+    Tickets are also the synchronisation point of the concurrent front-ends.
+    Completion notification is waiter-abstracted
+    (:class:`~repro.engine.waiters.TicketLifecycle`): :meth:`wait` blocks a
+    thread on the lazily-created thread waiter — how
+    :meth:`BatchingExecutor.ask` turns deadline-batched execution back into a
+    blocking call — while an event-loop front-end attaches a
+    :class:`~repro.engine.serving.LoopTicketWaiter` via :meth:`add_waiter`
+    and awaits the resolution instead of parking a thread on it.
     """
 
     ticket_id: int
@@ -119,17 +124,31 @@ class QueryTicket:
     #: (submission → flush pickup) is derived from it when observability is
     #: enabled.  Zero for tickets constructed outside the engine.
     submitted_at: float = 0.0
-    _resolved: threading.Event = field(
-        default_factory=threading.Event, repr=False, compare=False
+    _lifecycle: TicketLifecycle = field(
+        default_factory=TicketLifecycle, repr=False, compare=False
     )
 
     def done(self) -> bool:
         """``True`` once the ticket reached a terminal status."""
-        return self._resolved.is_set()
+        return self._lifecycle.resolved
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the ticket is resolved; returns :meth:`done`."""
-        return self._resolved.wait(timeout)
+        return self._lifecycle.thread_waiter().wait(timeout)
+
+    def add_waiter(self, waiter: TicketWaiter) -> bool:
+        """Attach a completion waiter; ``True`` when it was notified inline.
+
+        Each attached waiter's ``notify`` is delivered exactly once, on
+        whichever thread's flush resolves the ticket (immediately when the
+        ticket already resolved).  This is the hook the asyncio front-end
+        uses to await tickets without a thread per client.
+        """
+        return self._lifecycle.add_waiter(waiter)
+
+    def _notify_resolved(self) -> None:
+        """Terminal-status latch: wake every waiter exactly once."""
+        self._lifecycle.resolve()
 
     def result(self) -> np.ndarray:
         """The noisy answers; raises when the query was refused or is pending."""
@@ -137,7 +156,11 @@ class QueryTicket:
             assert self.answers is not None
             return self.answers
         if self.status == REFUSED:
-            raise PrivacyBudgetError(self.error or "Query was refused")
+            raise PrivacyBudgetError(
+                self.error
+                or f"Query was refused (ticket {self.ticket_id}, "
+                f"client {self.client_id!r})"
+            )
         raise MechanismError(
             f"Ticket {self.ticket_id} is still pending; call PrivateQueryEngine.flush()"
         )
@@ -1276,7 +1299,7 @@ class FlushPipeline:
             ticket.session.queries_answered += 1
         engine._c_replays.inc()
         engine._c_answered.inc()
-        ticket._resolved.set()
+        ticket._notify_resolved()
 
     def _resolve_answer(
         self,
@@ -1306,7 +1329,7 @@ class FlushPipeline:
                 noise_stds=noise_stds,
                 noise_bases=noise_bases,
             )
-        ticket._resolved.set()
+        ticket._notify_resolved()
 
     def _refuse(
         self,
@@ -1336,7 +1359,7 @@ class FlushPipeline:
                 epsilon=ticket.epsilon,
                 error=error[:200],
             )
-        ticket._resolved.set()
+        ticket._notify_resolved()
 
     # ----------------------------------------------------------------- helper
     @staticmethod

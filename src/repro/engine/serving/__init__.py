@@ -1,0 +1,62 @@
+"""Network serving tier: asyncio front-end + stdlib HTTP API over one engine.
+
+The engine core (:mod:`repro.engine`) is synchronous and thread-centric;
+this package adapts it to an event loop without duplicating any privacy
+logic:
+
+* :class:`AsyncQueryEngine` / :class:`AsyncTicket`
+  (:mod:`~repro.engine.serving.async_engine`) — awaitable tickets via
+  :class:`LoopTicketWaiter` and a ``loop.call_later`` deadline flusher;
+  flushes run the *same* sync :meth:`~repro.engine.PrivateQueryEngine.flush`
+  on one dedicated thread, so seeded draws and ε ledgers are byte-identical
+  to the direct path.
+* :func:`create_app` / :class:`~repro.engine.serving.app.ServingApp`
+  (:mod:`~repro.engine.serving.app`) — the router + engine bindings,
+  following the app-factory + routes/queries split of the Paper-Scanner
+  exemplar (SNIPPETS.md Snippet 3).
+* :class:`ServingServer` (:mod:`~repro.engine.serving.http`) — the
+  asyncio-streams HTTP/1.1 server; no framework, no new dependencies.
+* :mod:`~repro.engine.serving.routes` / :mod:`~repro.engine.serving.queries`
+  — endpoint handlers and wire formats (pagination, sorting, workload
+  specs); the API reference lives in ``docs/serving_http_api.md``.
+
+Import isolation: :mod:`repro.engine` never imports this package — engines
+that only ever flush synchronously load no asyncio machinery.  Run a demo
+server with ``python -m repro.engine.serving``.
+"""
+
+from .app import ServingApp, create_app
+from .async_engine import AsyncQueryEngine, AsyncTicket
+from .http import HTTPError, Request, Response, ServingServer, read_request
+from .queries import (
+    DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
+    TicketRegistry,
+    apply_sort,
+    paginate,
+    parse_sort,
+    parse_workload,
+    ticket_payload,
+)
+from .waiters import LoopTicketWaiter
+
+__all__ = [
+    "AsyncQueryEngine",
+    "AsyncTicket",
+    "DEFAULT_PAGE_LIMIT",
+    "HTTPError",
+    "LoopTicketWaiter",
+    "MAX_PAGE_LIMIT",
+    "Request",
+    "Response",
+    "ServingApp",
+    "ServingServer",
+    "TicketRegistry",
+    "apply_sort",
+    "create_app",
+    "paginate",
+    "parse_sort",
+    "parse_workload",
+    "read_request",
+    "ticket_payload",
+]

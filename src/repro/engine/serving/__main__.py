@@ -1,0 +1,87 @@
+"""``python -m repro.engine.serving`` — boot a demo HTTP server.
+
+Serves a seeded engine over a synthetic salary histogram (the same dataset
+as ``examples/serving_demo.py``) so the HTTP API can be exercised without
+any setup::
+
+    PYTHONPATH=src python -m repro.engine.serving --port 8080
+
+    curl -s localhost:8080/health
+    curl -s -X POST localhost:8080/api/clients \\
+        -d '{"client_id": "alice", "epsilon_allotment": 1.0}'
+    curl -s -X POST localhost:8080/api/queries \\
+        -d '{"client_id": "alice", "workload": {"kind": "identity"},
+             "epsilon": 0.25, "wait": true}'
+
+The CI serving-smoke job boots exactly this module in a fresh process and
+asserts ``/health`` plus one answered query.  ``--port 0`` (the default)
+binds an ephemeral port and prints it on the first line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+import numpy as np
+
+from ...core import Database, Domain
+from ...policy import line_policy
+from ..engine import PrivateQueryEngine
+from .app import create_app
+from .http import ServingServer
+
+
+def build_demo_engine(
+    cells: int = 256, total_epsilon: float = 8.0, seed: int = 7
+) -> PrivateQueryEngine:
+    """A seeded engine over the demo salary histogram."""
+    rng = np.random.default_rng(0)
+    domain = Domain((cells,))
+    counts = np.zeros(domain.size)
+    counts[rng.integers(20, cells - 26, size=40)] = rng.integers(1, 200, size=40)
+    database = Database(domain, counts, name="salaries")
+    return PrivateQueryEngine(
+        database,
+        total_epsilon=total_epsilon,
+        default_policy=line_policy(domain),
+        random_state=seed,
+    )
+
+
+async def serve(args: argparse.Namespace) -> None:
+    engine = build_demo_engine(args.cells, args.epsilon, args.seed)
+    app = create_app(engine)
+    server = ServingServer(app, host=args.host, port=args.port)
+    await server.start()
+    # The smoke job parses this line for the bound (possibly ephemeral) port.
+    print(f"serving on http://{server.host}:{server.port}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.serving",
+        description="Demo HTTP server over a seeded private query engine",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument("--cells", type=int, default=256, help="domain size")
+    parser.add_argument(
+        "--epsilon", type=float, default=8.0, help="global privacy budget"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="engine random_state")
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(serve(args))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""Route handlers for the HTTP front-end.
+
+Thin translation layers only: each handler parses the wire shape
+(:mod:`~repro.engine.serving.queries`), calls the engine or the async
+front-end, and maps library exceptions onto HTTP statuses.  The full
+endpoint reference — request/response schemas, status codes, pagination —
+lives in ``docs/serving_http_api.md``.
+
+Status-code conventions:
+
+* ``400`` — malformed request (bad JSON, unknown workload kind, invalid
+  sort field, bad pagination parameters).
+* ``403`` — the privacy layer refused (opening a session past the global
+  budget, submitting on a closed session, invalid ε).
+* ``404`` — unknown client or ticket.
+* ``409`` — conflict (registering an already-open client id, closing a
+  closed session).
+* A *refused query* is **not** an HTTP error: the poll payload carries
+  ``status: "refused"`` plus the reason, because the transport request
+  succeeded — the refusal is the (privacy-mandated) answer.
+"""
+
+from __future__ import annotations
+
+from ...exceptions import (
+    DomainError,
+    PolicyError,
+    PrivacyBudgetError,
+    WorkloadError,
+)
+from .http import HTTPError, Request, Response
+from .queries import (
+    apply_sort,
+    paginate,
+    parse_sort,
+    parse_workload,
+    ticket_payload,
+)
+
+#: Sortable fields of the two collection endpoints.
+TICKET_SORT_FIELDS = ("ticket_id", "client_id", "status", "epsilon")
+CLIENT_SORT_FIELDS = ("client_id", "allotment", "spent", "remaining")
+
+
+def install_routes(app) -> None:
+    """Register every endpoint on ``app`` (the app-factory hook)."""
+    app.add_route("GET", "/health", health)
+    app.add_route("GET", "/metrics", metrics)
+    app.add_route("GET", "/api/clients", list_clients)
+    app.add_route("POST", "/api/clients", register_client)
+    app.add_route("GET", "/api/clients/{client_id}/budget", client_budget)
+    app.add_route("DELETE", "/api/clients/{client_id}", close_client)
+    app.add_route("GET", "/api/queries", list_queries)
+    app.add_route("POST", "/api/queries", submit_query)
+    app.add_route("GET", "/api/queries/{ticket_id}", poll_query)
+    app.add_route("POST", "/api/flush", flush_now)
+
+
+# -------------------------------------------------------------------- service
+async def health(app, request: Request) -> Response:
+    """Liveness: the engine is up and accepting submissions."""
+    return Response(
+        {
+            "status": "ok",
+            "pending": app.engine.pending_count,
+            "sessions": len(app.engine.sessions()),
+            "tickets": len(app.tickets),
+        }
+    )
+
+
+async def metrics(app, request: Request) -> Response:
+    """The engine's metrics registry in Prometheus text exposition format."""
+    registry = app.engine.observability.metrics
+    return Response(
+        text=registry.to_prometheus_text(),
+        content_type="text/plain; version=0.0.4; charset=utf-8",
+    )
+
+
+async def flush_now(app, request: Request) -> Response:
+    """Flush pending queries immediately (admin/testing hook)."""
+    tickets = await app.async_engine.flush()
+    return Response({"resolved": len(tickets)})
+
+
+# -------------------------------------------------------------------- clients
+async def register_client(app, request: Request) -> Response:
+    """``POST /api/clients`` — open a budgeted session (201)."""
+    body = request.json()
+    client_id = body.get("client_id")
+    if not isinstance(client_id, str) or not client_id:
+        raise HTTPError(400, "client_id must be a non-empty string")
+    allotment = body.get("epsilon_allotment")
+    if not isinstance(allotment, (int, float)):
+        raise HTTPError(400, "epsilon_allotment must be a number")
+    try:
+        session = app.engine.open_session(client_id, float(allotment))
+    except PrivacyBudgetError as exc:
+        status = 409 if "already open" in str(exc) else 403
+        raise HTTPError(status, str(exc)) from exc
+    return Response(session.budget_snapshot(), status=201)
+
+
+async def list_clients(app, request: Request) -> Response:
+    """``GET /api/clients`` — paginated budget snapshots."""
+    snapshots = [session.budget_snapshot() for session in app.engine.sessions()]
+    try:
+        keys = parse_sort(request.query.get("sort"), CLIENT_SORT_FIELDS)
+        snapshots = apply_sort(snapshots, keys or [("client_id", False)])
+        page = paginate(
+            snapshots, request.query.get("limit"), request.query.get("offset")
+        )
+    except ValueError as exc:
+        raise HTTPError(400, str(exc)) from exc
+    return Response(page)
+
+
+async def client_budget(app, request: Request, client_id: str) -> Response:
+    """``GET /api/clients/{id}/budget`` — one session's budget introspection."""
+    try:
+        session = app.engine.session(client_id)
+    except PolicyError as exc:
+        raise HTTPError(404, str(exc)) from exc
+    return Response(session.budget_snapshot())
+
+
+async def close_client(app, request: Request, client_id: str) -> Response:
+    """``DELETE /api/clients/{id}`` — close the session, refunding unspent ε."""
+    try:
+        session = app.engine.session(client_id)
+    except PolicyError as exc:
+        raise HTTPError(404, str(exc)) from exc
+    if session.closed:
+        raise HTTPError(409, f"Session {client_id!r} is already closed")
+    refunded = session.close()
+    return Response({"client_id": client_id, "refunded": refunded})
+
+
+# -------------------------------------------------------------------- queries
+async def submit_query(app, request: Request) -> Response:
+    """``POST /api/queries`` — submit; optionally await the answer.
+
+    ``wait=false`` (default) answers ``202`` with the pending ticket for
+    later polling.  ``wait=true`` awaits resolution (bounded by ``timeout``
+    seconds when given) and answers ``200`` with the resolved payload; a
+    wait that times out degrades to the ``202`` pending envelope — the
+    ticket stays queued and a later flush resolves it.
+    """
+    body = request.json()
+    client_id = body.get("client_id")
+    if not isinstance(client_id, str) or not client_id:
+        raise HTTPError(400, "client_id must be a non-empty string")
+    epsilon = body.get("epsilon")
+    if not isinstance(epsilon, (int, float)):
+        raise HTTPError(400, "epsilon must be a number")
+    wait = body.get("wait", False)
+    if not isinstance(wait, bool):
+        raise HTTPError(400, "wait must be a boolean")
+    timeout = body.get("timeout")
+    if timeout is not None and not isinstance(timeout, (int, float)):
+        raise HTTPError(400, "timeout must be a number of seconds")
+    try:
+        app.engine.session(client_id)
+    except PolicyError as exc:
+        raise HTTPError(404, str(exc)) from exc
+    try:
+        workload = parse_workload(app.engine.database.domain, body.get("workload"))
+    except (WorkloadError, DomainError) as exc:
+        raise HTTPError(400, str(exc)) from exc
+    partition = body.get("partition")
+    if partition is not None and not isinstance(partition, list):
+        raise HTTPError(400, "partition must be a list of domain cell indices")
+    try:
+        async_ticket = app.async_engine.submit(
+            client_id, workload, float(epsilon), partition=partition
+        )
+    except PrivacyBudgetError as exc:
+        raise HTTPError(403, str(exc)) from exc
+    except (WorkloadError, DomainError, PolicyError) as exc:
+        raise HTTPError(400, str(exc)) from exc
+    app.tickets.add(async_ticket.ticket)
+    if wait:
+        resolved = await async_ticket.wait(
+            float(timeout) if timeout is not None else None
+        )
+        if resolved:
+            return Response(ticket_payload(async_ticket.ticket), status=200)
+    return Response(ticket_payload(async_ticket.ticket), status=202)
+
+
+async def poll_query(app, request: Request, ticket_id: str) -> Response:
+    """``GET /api/queries/{ticket_id}`` — one ticket's status and answers."""
+    try:
+        numeric_id = int(ticket_id)
+    except ValueError as exc:
+        raise HTTPError(400, f"ticket id must be an integer, got {ticket_id!r}") from exc
+    ticket = app.tickets.get(numeric_id)
+    if ticket is None:
+        raise HTTPError(404, f"no ticket {numeric_id} (unknown or aged out)")
+    return Response(ticket_payload(ticket))
+
+
+async def list_queries(app, request: Request) -> Response:
+    """``GET /api/queries`` — paginated poll results.
+
+    Filters: ``client_id``, ``status`` (``pending``/``answered``/
+    ``refused``).  Sorting per Snippet 3 (``sort=-ticket_id`` etc.);
+    answers are elided from list items — poll the single-ticket endpoint
+    for vectors.
+    """
+    status = request.query.get("status")
+    if status is not None and status not in ("pending", "answered", "refused"):
+        raise HTTPError(400, f"invalid status filter {status!r}")
+    tickets = app.tickets.list(
+        client_id=request.query.get("client_id"), status=status
+    )
+    payloads = [ticket_payload(ticket, include_answers=False) for ticket in tickets]
+    try:
+        keys = parse_sort(request.query.get("sort"), TICKET_SORT_FIELDS)
+        payloads = apply_sort(payloads, keys or [("ticket_id", False)])
+        page = paginate(
+            payloads, request.query.get("limit"), request.query.get("offset")
+        )
+    except ValueError as exc:
+        raise HTTPError(400, str(exc)) from exc
+    return Response(page)

@@ -1,0 +1,53 @@
+"""The event-loop realisation of the ticket-waiter protocol.
+
+This module is the only place where the ticket lifecycle meets ``asyncio``:
+:class:`LoopTicketWaiter` turns the exactly-once ``notify`` of
+:class:`~repro.engine.waiters.TicketLifecycle` into an ``asyncio.Future``
+resolved on its owning loop.  It lives in :mod:`repro.engine.serving` (not
+next to :class:`~repro.engine.waiters.ThreadTicketWaiter`) so that engines
+which never serve a network path import no asyncio machinery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..waiters import TicketWaiter
+
+
+class LoopTicketWaiter(TicketWaiter):
+    """Resolve an ``asyncio.Future`` when the ticket resolves.
+
+    ``notify`` runs on whichever *thread* flushed the ticket — typically the
+    async engine's flusher thread, or some thread-front-end's flush sharing
+    the same engine — so the future is completed through
+    ``loop.call_soon_threadsafe``, the one thread-safe entry point an event
+    loop has.  The future may be awaited by any number of coroutines on the
+    owning loop; waiters attached after resolution find it already done.
+    """
+
+    __slots__ = ("_loop", "_future")
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._future: "asyncio.Future[bool]" = self._loop.create_future()
+
+    @property
+    def future(self) -> "asyncio.Future[bool]":
+        """The future completed (with ``True``) when the ticket resolves."""
+        return self._future
+
+    def notify(self) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._complete)
+        except RuntimeError:
+            # The owning loop already closed — nobody can await the future
+            # any more, so the notification has no observer to wake.  This
+            # happens when a thread front-end (e.g. BatchingExecutor.close)
+            # drains tickets after their submitting loop shut down.
+            pass
+
+    def _complete(self) -> None:
+        if not self._future.done():
+            self._future.set_result(True)

@@ -75,6 +75,27 @@ class ClientSession:
         """``True`` once the session was closed and refuses queries."""
         return self.accountant.closed
 
+    def budget_snapshot(self) -> dict:
+        """One consistent, JSON-ready view of the session's budget state.
+
+        Taken under the ledger lock so ``spent``/``remaining`` and the
+        serving counters cannot tear against a concurrent flush — this is
+        the payload the HTTP front-end's budget-introspection endpoint
+        serves (:mod:`repro.engine.serving`).
+        """
+        with self.accountant.lock:
+            return {
+                "client_id": self.client_id,
+                "allotment": self.allotment,
+                "spent": self.spent(),
+                "remaining": self.remaining(),
+                "queries_answered": self.queries_answered,
+                "queries_refused": self.queries_refused,
+                "cache_replays": self.cache_replays,
+                "closed": self.closed,
+                "recovered": self.recovered,
+            }
+
     def can_afford(self, epsilon: float, partition: Optional[Sequence] = None) -> bool:
         """``True`` when a query costing ``epsilon`` would be admitted."""
         return self.accountant.can_charge(epsilon, partition)

@@ -1,0 +1,183 @@
+"""Pluggable completion notification for query tickets.
+
+PR 2's :class:`~repro.engine.pipeline.QueryTicket` hard-coded a
+``threading.Event`` as its one way of telling a waiter "your answer is
+ready" — fine for thread-per-client front-ends, useless for an event loop:
+an ``asyncio`` server that parks a thread per pending ticket has re-invented
+thread-per-client with extra steps.  This module splits the lifecycle from
+the primitive:
+
+* :class:`TicketWaiter` — the protocol: one object, one :meth:`~TicketWaiter.notify`
+  call, delivered **exactly once** when the ticket reaches a terminal
+  status.  ``notify`` must be thread-safe and non-blocking, because it runs
+  on whichever thread's flush resolved the ticket.
+* :class:`ThreadTicketWaiter` — today's behaviour: an event a thread blocks
+  on.  :meth:`QueryTicket.wait` is backed by one of these, created lazily so
+  tickets consumed through an event loop never allocate it.
+* :class:`TicketLifecycle` — the per-ticket latch: a resolved flag plus the
+  registered waiters, drained atomically on resolution.  Any number of
+  waiters may be attached to one ticket (several threads blocking, several
+  coroutines awaiting, or both at once); each is notified exactly once, and
+  a waiter attached *after* resolution is notified immediately.
+
+The event-loop realisation
+(:class:`~repro.engine.serving.LoopTicketWaiter`, an ``asyncio`` future
+resolved via ``call_soon_threadsafe``) lives in :mod:`repro.engine.serving`
+so that engines which never serve a network path import no asyncio
+machinery at all.
+
+:class:`BatchTriggers` factors the *other* thread-primitive the front-ends
+hard-coded: the size/deadline flush policy of
+:class:`~repro.engine.BatchingExecutor`.  The decision logic (when does a
+pending queue flush?) is shared verbatim between the thread front-end (a
+``Condition`` + daemon flusher thread) and the asyncio front-end
+(``loop.call_later``), so the two cannot drift on semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+
+class TicketWaiter:
+    """Protocol: one completion signal for one ticket.
+
+    Implementations receive exactly one :meth:`notify` call when the ticket
+    they are attached to reaches a terminal status (answered or refused).
+    ``notify`` runs on the resolving thread — typically some other client's
+    flush — so it must be thread-safe and must not block.
+    """
+
+    __slots__ = ()
+
+    def notify(self) -> None:
+        raise NotImplementedError
+
+
+class ThreadTicketWaiter(TicketWaiter):
+    """The thread realisation: an event a blocking caller waits on."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def notify(self) -> None:
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until notified; ``False`` on timeout."""
+        return self._event.wait(timeout)
+
+    @property
+    def notified(self) -> bool:
+        return self._event.is_set()
+
+
+class TicketLifecycle:
+    """Resolution latch for one ticket: a flag plus its registered waiters.
+
+    Thread safety: the flag flip and the waiter-list drain happen atomically
+    under a private lock, so concurrent resolvers deliver each waiter's
+    notification exactly once (the first resolver wins; later calls are
+    no-ops), and a waiter attached concurrently with resolution is either
+    drained by the resolver or notified immediately by :meth:`add_waiter` —
+    never dropped.  Notifications themselves run outside the lock: a waiter
+    whose ``notify`` re-enters the ticket (e.g. an asyncio callback) cannot
+    deadlock the lifecycle.
+    """
+
+    __slots__ = ("_lock", "_resolved", "_waiters", "_thread_waiter")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._resolved = False
+        self._waiters: List[TicketWaiter] = []
+        self._thread_waiter: Optional[ThreadTicketWaiter] = None
+
+    @property
+    def resolved(self) -> bool:
+        """``True`` once :meth:`resolve` ran."""
+        return self._resolved
+
+    def add_waiter(self, waiter: TicketWaiter) -> bool:
+        """Attach ``waiter``; returns ``True`` when it was notified inline.
+
+        An unresolved ticket registers the waiter for the resolver to drain;
+        a resolved one notifies immediately (still outside the lock), so
+        late waiters observe the same exactly-once contract.
+        """
+        with self._lock:
+            if not self._resolved:
+                self._waiters.append(waiter)
+                return False
+        waiter.notify()
+        return True
+
+    def thread_waiter(self) -> ThreadTicketWaiter:
+        """The shared waiter backing blocking ``wait()`` calls, created lazily.
+
+        Every blocking caller waits on the *same* event, mirroring the
+        pre-refactor one-Event-per-ticket behaviour; tickets consumed purely
+        through an event loop never allocate it.
+        """
+        with self._lock:
+            waiter = self._thread_waiter
+            if waiter is None:
+                waiter = self._thread_waiter = ThreadTicketWaiter()
+                if self._resolved:
+                    waiter.notify()
+                else:
+                    self._waiters.append(waiter)
+        return waiter
+
+    def resolve(self) -> None:
+        """Flip the latch and notify every registered waiter exactly once."""
+        with self._lock:
+            if self._resolved:
+                return
+            self._resolved = True
+            waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.notify()
+
+
+class BatchTriggers:
+    """The size/deadline flush policy shared by the batching front-ends.
+
+    Pure decision logic — no threads, no loops, no locks — so the
+    ``Condition``-based :class:`~repro.engine.BatchingExecutor` and the
+    ``call_later``-based :class:`~repro.engine.serving.AsyncQueryEngine`
+    flush under identical rules:
+
+    * **size** — the pending queue reached ``max_batch_size``: flush now, in
+      the submitting context.
+    * **deadline** — the oldest pending query waited ``max_delay`` seconds:
+      flush from the front-end's background flusher (a daemon thread or a
+      scheduled loop callback).
+    """
+
+    __slots__ = ("max_batch_size", "max_delay")
+
+    def __init__(self, max_batch_size: int = 32, max_delay: float = 0.02) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_delay <= 0:
+            raise ValueError(f"max_delay must be positive, got {max_delay}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay = float(max_delay)
+
+    def size_reached(self, pending_count: int) -> bool:
+        """``True`` when ``pending_count`` warrants an immediate flush."""
+        return pending_count >= self.max_batch_size
+
+    def deadline_from(self, now: float) -> float:
+        """The absolute flush deadline for a query submitted at ``now``."""
+        return now + self.max_delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchTriggers(max_batch_size={self.max_batch_size}, "
+            f"max_delay={self.max_delay})"
+        )

@@ -42,6 +42,26 @@ class MechanismError(ReproError):
     """Raised when a mechanism is configured or invoked inconsistently."""
 
 
+class AskTimeoutError(MechanismError):
+    """Raised when a blocking or awaited ask outlived its ``timeout``.
+
+    The timeout bounds the *wait*, not the query: the ticket stays queued
+    (or in flight) and a later flush still resolves it normally, so the
+    exception carries the :class:`~repro.engine.pipeline.QueryTicket` for
+    the caller to re-poll.  Subclasses :class:`MechanismError` so callers
+    that caught the broader type keep working.
+    """
+
+    def __init__(self, ticket, timeout) -> None:
+        super().__init__(
+            f"Ticket {ticket.ticket_id} (client {ticket.client_id!r}) was not "
+            f"resolved within {timeout} s; it stays pending and a later flush "
+            "can still resolve it"
+        )
+        self.ticket = ticket
+        self.timeout = timeout
+
+
 class PlanStoreError(MechanismError):
     """Raised when a persisted plan/answer store cannot be read.
 

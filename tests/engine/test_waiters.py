@@ -1,0 +1,294 @@
+"""Ticket waiters: lifecycle latch, trigger policy, timeout semantics."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Database, Domain, identity_workload
+from repro.core.workload import Workload
+from repro.engine import (
+    BatchingExecutor,
+    BatchTriggers,
+    PrivateQueryEngine,
+    ThreadTicketWaiter,
+    TicketLifecycle,
+)
+from repro.exceptions import AskTimeoutError, PrivacyBudgetError
+from repro.policy import line_policy
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain((16,))
+
+
+@pytest.fixture
+def database(domain: Domain) -> Database:
+    counts = np.zeros(16)
+    counts[[3, 7, 11]] = [5.0, 2.0, 9.0]
+    return Database(domain, counts, name="waiters16")
+
+
+@pytest.fixture
+def engine(database: Database, domain: Domain) -> PrivateQueryEngine:
+    return PrivateQueryEngine(
+        database,
+        total_epsilon=50.0,
+        default_policy=line_policy(domain),
+        prefer_data_dependent=False,
+        consistency=False,
+        random_state=23,
+    )
+
+
+def row_workload(domain: Domain, index: int) -> Workload:
+    matrix = np.zeros((1, domain.size))
+    matrix[0, index] = 1.0
+    return Workload(domain, matrix, name=f"row{index}")
+
+
+class RecordingWaiter:
+    """Counts its notifications (the protocol is just ``notify()``)."""
+
+    def __init__(self) -> None:
+        self.notifications = 0
+
+    def notify(self) -> None:
+        self.notifications += 1
+
+
+class TestTicketLifecycle:
+    def test_starts_unresolved_and_resolve_is_idempotent(self):
+        lifecycle = TicketLifecycle()
+        assert not lifecycle.resolved
+        lifecycle.resolve()
+        assert lifecycle.resolved
+        lifecycle.resolve()
+        assert lifecycle.resolved
+
+    def test_registered_waiter_notified_exactly_once(self):
+        lifecycle = TicketLifecycle()
+        waiter = RecordingWaiter()
+        assert lifecycle.add_waiter(waiter) is False
+        lifecycle.resolve()
+        lifecycle.resolve()
+        assert waiter.notifications == 1
+
+    def test_waiter_added_after_resolution_notified_inline(self):
+        lifecycle = TicketLifecycle()
+        lifecycle.resolve()
+        waiter = RecordingWaiter()
+        assert lifecycle.add_waiter(waiter) is True
+        assert waiter.notifications == 1
+
+    def test_many_waiters_all_wake_exactly_once(self):
+        lifecycle = TicketLifecycle()
+        waiters = [RecordingWaiter() for _ in range(32)]
+        for waiter in waiters:
+            lifecycle.add_waiter(waiter)
+        lifecycle.resolve()
+        assert [w.notifications for w in waiters] == [1] * 32
+
+    def test_concurrent_thread_waiters_wake_exactly_once(self):
+        """N threads park on one lifecycle; one resolve wakes every one."""
+        lifecycle = TicketLifecycle()
+        wakes = []
+        wake_lock = threading.Lock()
+        started = threading.Barrier(9)
+
+        def park() -> None:
+            waiter = ThreadTicketWaiter()
+            lifecycle.add_waiter(waiter)
+            started.wait()
+            assert waiter.wait(5.0)
+            with wake_lock:
+                wakes.append(waiter.notified)
+
+        threads = [threading.Thread(target=park) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        started.wait()
+        lifecycle.resolve()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert wakes == [True] * 8
+
+    def test_shared_thread_waiter_is_reused(self):
+        lifecycle = TicketLifecycle()
+        assert lifecycle.thread_waiter() is lifecycle.thread_waiter()
+
+    def test_resolve_races_add_waiter(self):
+        """A waiter added around resolution is notified exactly once, never
+        zero times — the latch's whole point."""
+        for _ in range(200):
+            lifecycle = TicketLifecycle()
+            waiter = RecordingWaiter()
+            resolver = threading.Thread(target=lifecycle.resolve)
+            resolver.start()
+            lifecycle.add_waiter(waiter)
+            resolver.join()
+            assert waiter.notifications == 1
+
+
+class TestThreadLoopWaiterParity:
+    """Both waiter kinds observe one ticket resolution identically."""
+
+    def test_thread_and_loop_waiter_wake_on_one_resolution(self, engine, domain):
+        from repro.engine.serving import LoopTicketWaiter
+
+        engine.open_session("alice", 5.0)
+        ticket = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+
+        async def watch() -> bool:
+            loop_waiter = LoopTicketWaiter()
+            ticket.add_waiter(loop_waiter)
+            flusher = threading.Thread(target=engine.flush)
+            flusher.start()
+            # The thread waiter wakes on the flusher thread's resolution...
+            assert ticket.wait(5.0)
+            # ...and the loop waiter's future completes via the loop.
+            await asyncio.wait_for(loop_waiter.future, timeout=5.0)
+            flusher.join()
+            return True
+
+        assert asyncio.run(watch())
+        assert ticket.status == "answered"
+
+    def test_loop_waiter_on_already_resolved_ticket(self, engine, domain):
+        from repro.engine.serving import LoopTicketWaiter
+
+        engine.open_session("alice", 5.0)
+        answers = engine.ask("alice", identity_workload(domain), epsilon=0.5)
+
+        async def attach_late() -> None:
+            ticket = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+            engine.flush()
+            waiter = LoopTicketWaiter()
+            ticket.add_waiter(waiter)
+            await asyncio.wait_for(waiter.future, timeout=5.0)
+
+        asyncio.run(attach_late())
+        assert answers.shape == (domain.size,)
+
+
+class TestBatchTriggers:
+    def test_shared_policy_semantics(self):
+        triggers = BatchTriggers(max_batch_size=4, max_delay=0.5)
+        assert not triggers.size_reached(3)
+        assert triggers.size_reached(4)
+        assert triggers.size_reached(9)
+        assert triggers.deadline_from(10.0) == pytest.approx(10.5)
+
+    @pytest.mark.parametrize("size,delay", [(0, 0.1), (-1, 0.1), (4, 0.0), (4, -2.0)])
+    def test_rejects_non_positive_configuration(self, size, delay):
+        with pytest.raises(ValueError):
+            BatchTriggers(max_batch_size=size, max_delay=delay)
+
+
+class TestRefusalDiagnostics:
+    def test_refused_result_names_ticket_and_client(self, engine, domain):
+        engine.open_session("poor", 0.1)
+        ticket = engine.submit("poor", identity_workload(domain), epsilon=5.0)
+        engine.flush()
+        assert ticket.status == "refused"
+        with pytest.raises(PrivacyBudgetError) as excinfo:
+            ticket.result()
+        message = str(excinfo.value)
+        # Whatever the refusal text, the handle's identity must be in it so
+        # an operator can chase the ticket through logs and audit streams.
+        assert "poor" in message
+
+    def test_refused_without_error_text_still_identifies_the_ticket(
+        self, engine, domain
+    ):
+        engine.open_session("alice", 5.0)
+        ticket = engine.submit("alice", identity_workload(domain), epsilon=0.5)
+        # Force the degenerate path: refused status with no recorded reason.
+        ticket.status = "refused"
+        ticket.error = None
+        ticket._notify_resolved()
+        with pytest.raises(PrivacyBudgetError) as excinfo:
+            ticket.result()
+        message = str(excinfo.value)
+        assert str(ticket.ticket_id) in message
+        assert "alice" in message
+
+
+class TestAskTimeout:
+    def test_engine_ask_timeout_leaves_ticket_resolvable(self, engine, domain):
+        """A timed-out ask is a *wait* failure, not a query failure: the
+        ticket stays pending and a later flush resolves it normally."""
+        engine.open_session("alice", 5.0)
+        real_flush = engine.flush
+        stolen = []
+
+        def racing_flush(random_state=None):
+            # Simulate a concurrent flush winning the queue race: it drains
+            # the pending queue but has not resolved the tickets yet.
+            with engine._queue_lock:
+                stolen.extend(engine._pending)
+                engine._pending = []
+            return []
+
+        engine.flush = racing_flush
+        try:
+            with pytest.raises(AskTimeoutError) as excinfo:
+                engine.ask(
+                    "alice", identity_workload(domain), epsilon=0.5, timeout=0.05
+                )
+        finally:
+            engine.flush = real_flush
+        ticket = excinfo.value.ticket
+        assert excinfo.value.timeout == pytest.approx(0.05)
+        assert ticket.status == "pending"
+        assert str(ticket.ticket_id) in str(excinfo.value)
+
+        # The "racing" flush now completes its pipeline run: the abandoned
+        # ask's ticket resolves and stays fully consumable.
+        with engine._queue_lock:
+            engine._pending = stolen + engine._pending
+        engine.flush()
+        assert ticket.status == "answered"
+        assert ticket.result().shape == (domain.size,)
+
+    def test_executor_ask_timeout_then_later_flush_resolves(self, engine, domain):
+        engine.open_session("alice", 5.0)
+        executor = BatchingExecutor(engine, max_batch_size=64, max_delay=30.0)
+        try:
+            with pytest.raises(AskTimeoutError) as excinfo:
+                # Deadline is 30 s away and the batch is nowhere near full:
+                # the 50 ms wait must expire first.
+                executor.ask(
+                    "alice", identity_workload(domain), epsilon=0.5, timeout=0.05
+                )
+            ticket = excinfo.value.ticket
+            assert ticket.status == "pending"
+        finally:
+            executor.close()
+        # close() drains: the abandoned ask's ticket was still resolved.
+        assert ticket.status == "answered"
+        assert ticket.result().shape == (domain.size,)
+
+    def test_ask_without_timeout_blocks_until_resolution(self, engine, domain):
+        engine.open_session("alice", 5.0)
+        results = {}
+
+        def asker() -> None:
+            results["answers"] = engine.ask(
+                "alice", identity_workload(domain), epsilon=0.5
+            )
+
+        thread = threading.Thread(target=asker)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while engine.pending_count == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        engine.flush()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results["answers"].shape == (domain.size,)
