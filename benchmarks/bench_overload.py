@@ -1,0 +1,402 @@
+"""Benchmark overload protection: shed latency, zero-ε discipline, drain.
+
+Runs as a plain script (``python benchmarks/bench_overload.py``) and writes
+``BENCH_overload.json`` at the repository root.  Three experiments:
+
+1. **Shed latency at 4× capacity.**  The admission edge is loaded with four
+   times its pending-queue bound; everything over the bound must shed fast
+   — the whole point of admission control is that an overloaded server
+   answers *quickly in the negative* instead of slowly in the positive.
+   The headline, ``shed_p99_ms``, gates at ≤ 50 ms (demotable with
+   ``BENCH_OVERLOAD_TIMING_GATE=0`` on noisy runners).
+
+2. **Zero ε for shed and expired work — and byte-identical admitted
+   work.**  A *loaded* server (extra submits shed by the rate limiter,
+   extra submits expired by a past deadline) and a *calm* server (only the
+   admitted workload) run the same seed over durable ledgers.  Gates, all
+   strict: the two ledgers journal byte-identical charge sequences (shed
+   and expired work never reached the accountant), and the admitted
+   answers draw byte-identical noise (overload never shifts the RNG
+   stream of admitted work).
+
+3. **SIGTERM drain.**  The real ``python -m repro.engine.serving`` process
+   is loaded with in-flight queries and SIGTERMed; the gate (strict) is
+   that it exits 0 with every in-flight ticket resolved
+   (``drain complete: pending=0 answered=N``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core import Database, Domain  # noqa: E402
+from repro.engine import PrivateQueryEngine, recover_accountant  # noqa: E402
+from repro.engine.serving import AdmissionController, create_app  # noqa: E402
+from repro.engine.serving.http import Request  # noqa: E402
+from repro.policy import line_policy  # noqa: E402
+
+DOMAIN_SIZE = 128
+CAPACITY = 32           # admission pending bound = "capacity"
+OVERLOAD_FACTOR = 4     # submits driven per capacity slot
+SHED_P99_BUDGET_MS = 50.0
+ADMITTED = 8            # admitted queries in the determinism experiment
+EPSILON = 0.01
+
+
+def build_fixture():
+    domain = Domain((DOMAIN_SIZE,))
+    rng = np.random.default_rng(5)
+    counts = rng.integers(0, 40, size=DOMAIN_SIZE).astype(float)
+    database = Database(domain, counts, name="bench-overload")
+    return domain, database
+
+
+def make_engine(database, domain, seed: int = 0, **overrides):
+    options = dict(
+        total_epsilon=1000.0,
+        default_policy=line_policy(domain),
+        prefer_data_dependent=False,
+        consistency=False,
+        enable_answer_cache=False,
+        random_state=seed,
+    )
+    options.update(overrides)
+    return PrivateQueryEngine(database, **options)
+
+
+def http_request(method, path, body=None, headers=None):
+    payload = json.dumps(body).encode() if body is not None else b""
+    return Request(
+        method, path, {}, {k.lower(): v for k, v in (headers or {}).items()},
+        payload, True,
+    )
+
+
+def query_row(domain, index: int) -> list:
+    row = [0.0] * domain.size
+    row[(7 * index) % domain.size] = 1.0
+    return row
+
+
+# ------------------------------------------------------------- shed latency
+def run_shed_latency(domain, database):
+    """Drive 4× the admission capacity; time every shed response."""
+    engine = make_engine(database, domain)
+    engine.open_session("alice", 500.0)
+    # Big triggers: no flush runs during the burst, so the pending queue
+    # stays full and every over-capacity submit must shed.
+    app = create_app(
+        engine,
+        max_batch_size=100_000,
+        max_delay=600.0,
+        admission=AdmissionController(engine, max_pending=CAPACITY),
+    )
+
+    total = CAPACITY * OVERLOAD_FACTOR
+    body = {
+        "client_id": "alice",
+        "workload": {"kind": "identity"},
+        "epsilon": EPSILON,
+    }
+
+    async def scenario():
+        statuses = []
+        shed_latencies = []
+        for _ in range(total):
+            started = time.perf_counter()
+            response = await app.dispatch(http_request("POST", "/api/queries", body))
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            statuses.append(response.status)
+            if response.status in (429, 503):
+                shed_latencies.append(elapsed_ms)
+        await app.aclose()
+        return statuses, shed_latencies
+
+    statuses, shed_latencies = asyncio.run(scenario())
+    engine.close()
+    admitted = sum(1 for status in statuses if status == 202)
+    shed = len(shed_latencies)
+    latencies = np.asarray(shed_latencies)
+    return {
+        "capacity": CAPACITY,
+        "overload_factor": OVERLOAD_FACTOR,
+        "submits": total,
+        "admitted": admitted,
+        "shed": shed,
+        "shed_p50_ms": float(np.percentile(latencies, 50)),
+        "shed_p99_ms": float(np.percentile(latencies, 99)),
+        "shed_max_ms": float(latencies.max()),
+    }
+
+
+# ----------------------------------------------------- zero-epsilon discipline
+def run_zero_epsilon_determinism(domain, database, scratch_dir):
+    """Loaded vs calm run: identical ledgers and identical admitted draws."""
+
+    def run(loaded: bool, ledger_path: str):
+        engine = make_engine(database, domain, seed=23, durable_ledger=ledger_path)
+        engine.open_session("alice", 500.0)
+        # Token bucket with a negligible refill rate: the burst covers the
+        # admitted queries plus (in the loaded run) one born-dead expired
+        # submit apiece; once it is spent, every further submit sheds —
+        # deterministically, independent of wall-clock.
+        app = create_app(
+            engine,
+            max_batch_size=100_000,
+            max_delay=600.0,
+            admission=AdmissionController(
+                engine, client_rate=1e-9, client_burst=float(2 * ADMITTED)
+            ),
+        )
+
+        async def scenario():
+            ticket_ids = []
+            for index in range(ADMITTED):
+                body = {
+                    "client_id": "alice",
+                    "workload": {
+                        "kind": "rows",
+                        "rows": [query_row(domain, index)],
+                    },
+                    "epsilon": EPSILON,
+                }
+                response = await app.dispatch(
+                    http_request("POST", "/api/queries", body)
+                )
+                assert response.status == 202, response.status
+                ticket_ids.append(json.loads(response.body)["ticket_id"])
+            if loaded:
+                # Pile abuse on top of the admitted work before the flush:
+                # born-dead deadline expiries (admitted — they consume
+                # tokens — but resolved ``expired`` without ever queueing)
+                # followed by rate-limit sheds once the burst is spent.
+                # None of it may touch the ledger or shift the admitted
+                # RNG stream.  (Ticket ids are embedded in charge labels,
+                # so the abuse goes *after* the admitted submits to keep
+                # the byte-compare exact; interleaved expiry is covered by
+                # the unit suite's RNG-stream tests.)
+                for _ in range(ADMITTED):
+                    expired = await app.dispatch(
+                        http_request(
+                            "POST",
+                            "/api/queries",
+                            body,
+                            headers={"X-Request-Deadline": str(time.time() - 60.0)},
+                        )
+                    )
+                    assert expired.status == 202, expired.status
+                    assert (
+                        json.loads(expired.body)["status"] == "expired"
+                    ), expired.body
+                for _ in range(ADMITTED):
+                    shed = await app.dispatch(
+                        http_request("POST", "/api/queries", body)
+                    )
+                    assert shed.status == 429, shed.status
+            await app.async_engine.flush()
+            answers = []
+            for ticket_id in ticket_ids:
+                poll = await app.dispatch(
+                    http_request("GET", f"/api/queries/{ticket_id}")
+                )
+                payload = json.loads(poll.body)
+                assert payload["status"] == "answered", payload
+                answers.append(payload["answers"])
+            await app.aclose()
+            return answers
+
+        answers = asyncio.run(scenario())
+        stats = engine.stats
+        engine.close()
+        reader, state = recover_accountant(ledger_path)
+        operations = [
+            (scope.label, op.label, op.epsilon)
+            for scope in state.scopes
+            for op in scope.accountant.operations
+        ] + [
+            (None, op.label, op.epsilon) for op in state.accountant.operations
+        ]
+        reader.close()
+        return answers, operations, stats
+
+    loaded_answers, loaded_ops, loaded_stats = run(
+        True, os.path.join(scratch_dir, "loaded-ledger.db")
+    )
+    calm_answers, calm_ops, _ = run(
+        False, os.path.join(scratch_dir, "calm-ledger.db")
+    )
+    return {
+        "admitted": ADMITTED,
+        "loaded_ledger_entries": len(loaded_ops),
+        "draws_identical": loaded_answers == calm_answers,
+        "ledgers_identical": json.dumps(loaded_ops) == json.dumps(calm_ops),
+        "loaded_expired": loaded_stats.queries_expired,
+        "loaded_submitted": loaded_stats.queries_submitted,
+    }
+
+
+# -------------------------------------------------------------- SIGTERM drain
+def run_sigterm_drain():
+    """Load the real server, SIGTERM it, parse the drain banner."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo_root, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.engine.serving", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=repo_root,
+    )
+    inflight = 6
+    try:
+        banner = proc.stdout.readline()
+        port = int(banner.rstrip().rsplit(":", 1)[1])
+
+        async def load():
+            async def call(method, path, body=None):
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                payload = json.dumps(body).encode() if body is not None else b""
+                writer.write(
+                    (
+                        f"{method} {path} HTTP/1.1\r\nHost: x\r\n"
+                        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+                    ).encode()
+                    + payload
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                return int(raw.split(b" ", 2)[1])
+
+            assert await call(
+                "POST",
+                "/api/clients",
+                {"client_id": "alice", "epsilon_allotment": 4.0},
+            ) == 201
+            for _ in range(inflight):
+                assert await call(
+                    "POST",
+                    "/api/queries",
+                    {
+                        "client_id": "alice",
+                        "workload": {"kind": "identity"},
+                        "epsilon": 0.05,
+                    },
+                ) == 202
+
+        asyncio.run(load())
+        started = time.perf_counter()
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        drain_seconds = time.perf_counter() - started
+        drain_lines = [
+            line for line in out.splitlines() if line.startswith("drain complete:")
+        ]
+        return {
+            "inflight_at_sigterm": inflight,
+            "exit_code": proc.returncode,
+            "drain_seconds": drain_seconds,
+            "drain_line": drain_lines[0] if drain_lines else None,
+            "all_resolved": bool(drain_lines)
+            and "pending=0" in drain_lines[0]
+            and f"answered={inflight}" in drain_lines[0],
+        }
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+def main() -> int:
+    import tempfile
+
+    domain, database = build_fixture()
+    shed = run_shed_latency(domain, database)
+    with tempfile.TemporaryDirectory() as scratch:
+        epsilon = run_zero_epsilon_determinism(domain, database, scratch)
+    drain = run_sigterm_drain()
+
+    report = {
+        "domain_size": DOMAIN_SIZE,
+        "shed_latency": shed,
+        "zero_epsilon": epsilon,
+        "sigterm_drain": drain,
+    }
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_overload.json",
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps(report, indent=2))
+
+    timing_gate = os.environ.get("BENCH_OVERLOAD_TIMING_GATE", "1") != "0"
+    ok = True
+    if shed["shed_p99_ms"] > SHED_P99_BUDGET_MS:
+        print(
+            f"{'FAIL' if timing_gate else 'WARN'}: shed p99 "
+            f"{shed['shed_p99_ms']:.2f} ms exceeds the "
+            f"{SHED_P99_BUDGET_MS:.0f} ms budget at "
+            f"{OVERLOAD_FACTOR}x capacity "
+            f"(gate {'armed' if timing_gate else 'disarmed'})"
+        )
+        ok = ok and not timing_gate
+    if shed["shed"] == 0 or shed["admitted"] == 0:
+        print("FAIL: overload run shed or admitted nothing — gate is vacuous")
+        ok = False
+    if not epsilon["draws_identical"]:
+        print("FAIL: admitted draws under overload differ from the calm run")
+        ok = False
+    if not epsilon["ledgers_identical"]:
+        print("FAIL: shed/expired work left a trace in the durable ledger")
+        ok = False
+    if epsilon["loaded_ledger_entries"] == 0:
+        print("FAIL: zero-epsilon check charged nothing — gate is vacuous")
+        ok = False
+    if epsilon["loaded_expired"] != ADMITTED:
+        print(
+            f"FAIL: expected {ADMITTED} expired tickets in the loaded run, "
+            f"saw {epsilon['loaded_expired']} — gate is vacuous"
+        )
+        ok = False
+    if drain["exit_code"] != 0 or not drain["all_resolved"]:
+        print(
+            f"FAIL: SIGTERM drain broke its contract "
+            f"(exit {drain['exit_code']}, line {drain['drain_line']!r})"
+        )
+        ok = False
+    if ok:
+        print(
+            f"OK: shed p99 {shed['shed_p99_ms']:.2f} ms at "
+            f"{OVERLOAD_FACTOR}x capacity ({shed['shed']} shed, "
+            f"{shed['admitted']} admitted); shed/expired ε=0 with "
+            f"byte-identical admitted draws; SIGTERM drained "
+            f"{drain['inflight_at_sigterm']} in-flight tickets in "
+            f"{drain['drain_seconds']:.2f}s"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

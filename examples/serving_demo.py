@@ -189,6 +189,7 @@ def main() -> None:
     observability_demo(database, domain)
     durability_demo(database, domain)
     http_serving_demo(database, domain)
+    overload_demo(database, domain)
 
 
 def consolidate_and_top_up_demo(database: Database, domain: Domain) -> None:
@@ -847,6 +848,167 @@ def http_serving_demo(database: Database, domain: Domain) -> None:
                 if line.startswith("engine_queries_")
             ]
             print("  /metrics excerpt:\n    " + "\n    ".join(excerpt))
+
+    asyncio.run(walkthrough())
+
+
+def overload_demo(database: Database, domain: Domain) -> None:
+    """Overload protection: shed-then-retry, deadlines, cancel, drain.
+
+    Admission control runs *before* a submission reaches the engine, so a
+    shed request is free — no ticket, no batch slot, no ε.  The walkthrough
+    plays the abusive client and then the well-behaved one:
+
+    1. a per-client token bucket sheds a burst with ``429`` and a
+       ``Retry-After`` hint derived from observed flush latency;
+    2. honouring the hint, the retry is admitted and answered — shedding
+       cost the client nothing but the wait;
+    3. ``X-Request-Deadline`` expires a query before its batch is charged:
+       terminal ``expired`` status at zero ε;
+    4. ``DELETE /api/queries/{id}`` cancels a pending ticket (first claim
+       wins; never refunds ε already charged);
+    5. ``aclose()`` drains: ``/ready`` flips to 503 while ``/health``
+       stays 200, and late submits shed with ``reason: draining``.
+
+    See the *Overload & retry semantics* section of
+    ``docs/serving_http_api.md`` for the full contract.
+    """
+    import asyncio
+    import time
+
+    from repro.engine.serving import AdmissionController, ServingServer, create_app
+
+    print("\n-- overload protection --")
+    engine = PrivateQueryEngine(
+        database,
+        total_epsilon=8.0,
+        default_policy=line_policy(domain),
+        prefer_data_dependent=False,
+        consistency=False,
+        random_state=53,
+    )
+    # A deliberately tight admission edge: 2 requests of burst per client,
+    # refilling at 20/s (so the Retry-After hint is short).
+    admission = AdmissionController(engine, client_rate=20.0, client_burst=2.0)
+
+    async def call(host, port, method, path, body=None, headers=None):
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = json.dumps(body).encode() if body is not None else b""
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n{extra}"
+                f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        status = int(raw.split(b" ", 2)[1])
+        head, _, body_bytes = raw.partition(b"\r\n\r\n")
+        response_headers = {}
+        for line in head.decode().split("\r\n")[1:]:
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        parsed = (
+            json.loads(body_bytes)
+            if b"application/json" in head
+            else body_bytes.decode()
+        )
+        return status, response_headers, parsed
+
+    async def walkthrough() -> None:
+        app = create_app(engine, max_batch_size=32, max_delay=0.01, admission=admission)
+        async with ServingServer(app) as server:
+            host, port = server.host, server.port
+            await call(
+                host,
+                port,
+                "POST",
+                "/api/clients",
+                {"client_id": "alice", "epsilon_allotment": 2.0},
+            )
+            submit = {
+                "client_id": "alice",
+                "workload": {"kind": "identity"},
+                "epsilon": 0.05,
+            }
+
+            # 1. Burn the burst, then get shed.  The shed request costs
+            # nothing: no ticket was created, no ε charged.
+            statuses = []
+            retry_after = None
+            for _ in range(4):
+                status, headers, payload = await call(
+                    host, port, "POST", "/api/queries", submit
+                )
+                statuses.append(status)
+                if status == 429:
+                    retry_after = headers["retry-after"]
+            _, _, budget = await call(host, port, "GET", "/api/clients/alice/budget")
+            print(
+                f"  burst of 4 submits → statuses {statuses}; shed responses "
+                f"said Retry-After: {retry_after}s and never reached the "
+                f"engine (spent={budget['spent']:.2f} — only admitted work "
+                "can ever charge)"
+            )
+
+            # 2. The well-behaved retry: honour the hint, get admitted.
+            await asyncio.sleep(float(retry_after))
+            status, _, payload = await call(
+                host, port, "POST", "/api/queries", {**submit, "wait": True}
+            )
+            print(
+                f"  retried after the hint → {status}, ticket "
+                f"{payload['ticket_id']} {payload['status']}"
+            )
+
+            # 3. A deadline already in the past: resolved expired at zero ε,
+            # never queued, never charged.
+            _, _, before = await call(host, port, "GET", "/api/clients/alice/budget")
+            await asyncio.sleep(0.1)  # refill one token
+            status, _, payload = await call(
+                host,
+                port,
+                "POST",
+                "/api/queries",
+                submit,
+                headers={"X-Request-Deadline": str(time.time() - 1.0)},
+            )
+            _, _, after = await call(host, port, "GET", "/api/clients/alice/budget")
+            print(
+                f"  born-dead deadline → {status}, status {payload['status']!r}, "
+                f"spent unchanged at {after['spent']:.2f}"
+            )
+
+            # 4. Cancel a pending ticket before its batch flushes.
+            await asyncio.sleep(0.1)  # refill one token
+            status, _, pending = await call(
+                host, port, "POST", "/api/queries", submit
+            )
+            status, _, cancelled = await call(
+                host, port, "DELETE", f"/api/queries/{pending['ticket_id']}"
+            )
+            print(
+                f"  DELETE pending ticket {pending['ticket_id']} → {status}, "
+                f"status {cancelled['status']!r} (ε already charged is never "
+                "refunded — this one had charged nothing)"
+            )
+
+            # 5. Drain: readiness flips, liveness stays, late submits shed.
+            ready_before = (await call(host, port, "GET", "/ready"))[0]
+            app.drain()
+            ready_after = (await call(host, port, "GET", "/ready"))[0]
+            health = (await call(host, port, "GET", "/health"))[0]
+            status, _, shed = await call(host, port, "POST", "/api/queries", submit)
+            print(
+                f"  drain: /ready {ready_before}→{ready_after} while /health "
+                f"stays {health}; late submit → {status} "
+                f"(reason {shed['reason']!r})"
+            )
+        await app.aclose()
+        engine.close()
 
     asyncio.run(walkthrough())
 

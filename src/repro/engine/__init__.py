@@ -46,6 +46,7 @@ from .answer_cache import (
 )
 from .durability import (
     CRASH_POINTS,
+    SERVING_FAULT_POINTS,
     FaultInjector,
     LedgerStore,
     Snapshotter,
@@ -79,7 +80,15 @@ from .parallel import (
     ProcessExecuteBackend,
     ThreadExecuteBackend,
 )
-from .pipeline import ANSWERED, PENDING, REFUSED, FlushPipeline, QueryTicket
+from .pipeline import (
+    ANSWERED,
+    CANCELLED,
+    EXPIRED,
+    PENDING,
+    REFUSED,
+    FlushPipeline,
+    QueryTicket,
+)
 from .plan_cache import PLAN_STORE_FORMAT, CachedPlan, PlanCache, PlanCacheStats
 from .session import ClientSession
 from .sharding import DomainShard, ShardPiece, ShardScatter, ShardSet
@@ -100,11 +109,13 @@ __all__ = [
     "AuditLog",
     "BatchTriggers",
     "BatchingExecutor",
+    "CANCELLED",
     "CRASH_POINTS",
     "CachedAnswer",
     "CachedPlan",
     "ClientSession",
     "DomainShard",
+    "EXPIRED",
     "EngineStats",
     "FaultInjector",
     "LedgerStore",
@@ -127,6 +138,7 @@ __all__ = [
     "ProcessExecuteBackend",
     "QueryTicket",
     "REFUSED",
+    "SERVING_FAULT_POINTS",
     "Span",
     "ThreadExecuteBackend",
     "ThreadTicketWaiter",

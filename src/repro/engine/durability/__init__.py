@@ -20,7 +20,13 @@ engine is built without a ``durable_ledger``):
 
 from __future__ import annotations
 
-from .faults import CRASH_POINTS, FaultInjector, fault_point, kill_one_worker
+from .faults import (
+    CRASH_POINTS,
+    SERVING_FAULT_POINTS,
+    FaultInjector,
+    fault_point,
+    kill_one_worker,
+)
 from .ledger_store import (
     LEDGER_FORMAT,
     LedgerStore,
@@ -38,6 +44,7 @@ __all__ = [
     "LedgerStore",
     "RecoveredScope",
     "RecoveredState",
+    "SERVING_FAULT_POINTS",
     "Snapshotter",
     "fault_point",
     "kill_one_worker",

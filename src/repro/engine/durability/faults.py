@@ -33,6 +33,18 @@ Crash points
     between the plan-store write and the answer-store write.  Each file is
     written atomically (tmp + ``os.replace``), so a crash here must leave
     the previous answer store intact next to the new plan store.
+
+Serving fault points
+--------------------
+The live HTTP path adds its own hooks (kept out of :data:`CRASH_POINTS`,
+whose tuple is pinned by the crash-matrix tests):
+
+``serving-flush``
+    Inside the asyncio front-end's flusher thread, immediately before it
+    drives ``engine.flush()``.  ``stall_at`` here models a stalled flusher
+    (slow disk, GC pause); ``fail_at`` a flusher whose flush raises.  The
+    serving chaos harness asserts both shed-not-crash behaviour and
+    byte-identical draws/ledgers for the work that was admitted.
 """
 
 from __future__ import annotations
@@ -41,17 +53,24 @@ import errno
 import os
 import signal
 import threading
+import time
 from typing import Dict, Optional, Tuple
 
 __all__ = [
     "CRASH_POINTS",
+    "SERVING_FAULT_POINTS",
     "FaultInjector",
     "fault_point",
     "kill_one_worker",
 ]
 
 #: The named crash points compiled into the engine, in pipeline order.
+#: Pinned by the crash-matrix tests — serving-path hooks live in
+#: :data:`SERVING_FAULT_POINTS` instead of growing this tuple.
 CRASH_POINTS = ("pre-charge", "post-charge", "pre-resolve", "mid-snapshot")
+
+#: Fault points of the live serving path (chaos harness, PR 10).
+SERVING_FAULT_POINTS = ("serving-flush",)
 
 
 class FaultInjector:
@@ -76,6 +95,8 @@ class FaultInjector:
         self._crashes: Dict[str, Tuple[int, int]] = {}
         #: point -> (hit number to fire on, exception factory)
         self._errors: Dict[str, Tuple[int, object]] = {}
+        #: point -> (hit number to fire on, stall seconds)
+        self._stalls: Dict[str, Tuple[int, float]] = {}
 
     # ------------------------------------------------------------------ arming
     def crash_at(self, point: str, hits: int = 1, exit_code: int = 42) -> "FaultInjector":
@@ -88,6 +109,20 @@ class FaultInjector:
         """Raise ``exception_factory()`` on the ``hits``-th visit of ``point``."""
         self._validate(point, hits)
         self._errors[point] = (int(hits), exception_factory)
+        return self
+
+    def stall_at(self, point: str, seconds: float, hits: int = 1) -> "FaultInjector":
+        """Sleep ``seconds`` on the ``hits``-th visit of ``point``.
+
+        Models a stalled-but-alive component (slow disk, GC pause, lock
+        convoy): the visit eventually completes normally, which is exactly
+        what distinguishes a stall from a crash — admission control must
+        shed around it instead of erroring through it.
+        """
+        self._validate(point, hits)
+        if seconds < 0:
+            raise ValueError(f"stall seconds must be >= 0, got {seconds}")
+        self._stalls[point] = (int(hits), float(seconds))
         return self
 
     def disk_full_at(self, point: str, hits: int = 1) -> "FaultInjector":
@@ -140,6 +175,9 @@ class FaultInjector:
         crash = self._crashes.get(point)
         if crash is not None and count == crash[0]:
             os._exit(crash[1])
+        stall = self._stalls.get(point)
+        if stall is not None and count == stall[0]:
+            time.sleep(stall[1])
         error = self._errors.get(point)
         if error is not None and count == error[0]:
             raise error[1]()

@@ -90,7 +90,16 @@ from .parallel import (
     create_execute_backend,
     execute_unit_via,
 )
-from .pipeline import ANSWERED, PENDING, REFUSED, STAGES, FlushPipeline, QueryTicket
+from .pipeline import (
+    ANSWERED,
+    CANCELLED,
+    EXPIRED,
+    PENDING,
+    REFUSED,
+    STAGES,
+    FlushPipeline,
+    QueryTicket,
+)
 from .plan_cache import (
     PLAN_STORE_FORMAT,
     CachedPlan,
@@ -104,6 +113,8 @@ from .signature import PlanKey, policy_signature
 
 __all__ = [
     "ANSWERED",
+    "CANCELLED",
+    "EXPIRED",
     "EngineStats",
     "PENDING",
     "PrivateQueryEngine",
@@ -131,6 +142,10 @@ class EngineStats:
     queries_submitted: int = 0
     queries_answered: int = 0
     queries_refused: int = 0
+    #: Tickets whose deadline passed before the charge stage — always zero ε.
+    queries_expired: int = 0
+    #: Tickets cancelled by their client before the pipeline claimed them.
+    queries_cancelled: int = 0
     answer_cache_replays: int = 0
     #: Fresh measurements bought through :meth:`PrivateQueryEngine.top_up`,
     #: each charging exactly its declared ε increment.
@@ -401,6 +416,14 @@ class PrivateQueryEngine:
         self._c_refused = metrics.counter(
             "engine_queries_refused_total", "Tickets resolved with a refusal"
         )
+        self._c_expired = metrics.counter(
+            "engine_queries_expired_total",
+            "Tickets dropped before the charge stage (deadline passed, zero epsilon)",
+        )
+        self._c_cancelled = metrics.counter(
+            "engine_queries_cancelled_total",
+            "Tickets cancelled by their client before the pipeline claimed them",
+        )
         self._c_replays = metrics.counter(
             "engine_answer_cache_replays_total", "Zero-budget answer-cache replays"
         )
@@ -629,11 +652,18 @@ class PrivateQueryEngine:
         epsilon: float,
         policy: Optional[PolicyGraph] = None,
         partition: Optional[Sequence] = None,
+        deadline: Optional[float] = None,
     ) -> QueryTicket:
         """Queue a query for the next :meth:`flush`; returns its ticket.
 
         Submission performs validation only — budget is charged when the
         batch executes, and answer-cache replays are never charged at all.
+
+        ``deadline``, when given, is an **absolute** ``time.monotonic()``
+        instant.  A ticket whose deadline passes before the pipeline's
+        charge stage is dropped with terminal status ``"expired"`` and
+        **zero ε spent** — the client lost an answer, never budget.  An
+        already-expired deadline is rejected at submit (nothing is queued).
 
         ``partition``, when given, must be a collection of **domain cell
         indices** covering every cell the workload touches; queries over
@@ -649,6 +679,13 @@ class PrivateQueryEngine:
         resolved_policy, frozen_partition = self._validate_submission(
             client_id, workload, epsilon, policy, partition
         )
+        if deadline is not None:
+            deadline = float(deadline)
+            if not math.isfinite(deadline):
+                raise MechanismError(
+                    f"Query deadline must be a finite monotonic instant, "
+                    f"got {deadline}"
+                )
         with self._queue_lock:
             session = self.session(client_id)
             if session.closed:
@@ -666,8 +703,17 @@ class PrivateQueryEngine:
                 submitted_at=(
                     time.perf_counter() if self._observability.enabled else 0.0
                 ),
+                deadline=deadline,
+                # Stamped so cancel() can count itself without an engine ref.
+                _cancel_counter=self._c_cancelled,
             )
-            self._pending.append(ticket)
+            if ticket.expired():
+                # Born dead: resolve immediately without ever queueing it,
+                # so the flush path cannot charge it even in principle.
+                ticket._claim()
+                self._pipeline._resolve_expired(ticket)
+            else:
+                self._pending.append(ticket)
         self._c_submitted.inc()
         return ticket
 
@@ -798,10 +844,16 @@ class PrivateQueryEngine:
         partition: Optional[Sequence] = None,
         random_state: RandomState = None,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Submit one query and execute it immediately (submit + flush).
 
         Other queued queries are flushed alongside it, preserving batching.
+
+        ``deadline`` (absolute ``time.monotonic()``) forwards to
+        :meth:`submit`: a ticket that expires before the charge stage
+        resolves to ``"expired"`` with zero ε spent, and this call raises
+        :class:`~repro.exceptions.DeadlineExpiredError` from ``result()``.
 
         When a concurrent flush races this one and drains the queue first,
         the ticket is resolved by *that* flush and this call waits for it.
@@ -812,7 +864,12 @@ class PrivateQueryEngine:
         it up and resolves normally, so ``exc.ticket`` can be re-polled.
         """
         ticket = self.submit(
-            client_id, workload, epsilon, policy=policy, partition=partition
+            client_id,
+            workload,
+            epsilon,
+            policy=policy,
+            partition=partition,
+            deadline=deadline,
         )
         self.flush(random_state=random_state)
         if not ticket.done():  # resolved by a concurrent flush that raced the queue
@@ -1238,6 +1295,8 @@ class PrivateQueryEngine:
                 queries_submitted=int(self._c_submitted.value),
                 queries_answered=int(self._c_answered.value),
                 queries_refused=int(self._c_refused.value),
+                queries_expired=int(self._c_expired.value),
+                queries_cancelled=int(self._c_cancelled.value),
                 answer_cache_replays=int(self._c_replays.value),
                 top_ups=int(self._c_top_ups.value),
                 flushes=int(self._c_flushes.value),

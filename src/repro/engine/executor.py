@@ -30,6 +30,7 @@ parallel-composition discounts all live in the engine.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Optional, Sequence
@@ -41,6 +42,8 @@ from ..exceptions import AskTimeoutError, MechanismError
 from ..policy.graph import PolicyGraph
 from .pipeline import QueryTicket
 from .waiters import BatchTriggers
+
+logger = logging.getLogger(__name__)
 
 
 class BatchingExecutor:
@@ -158,12 +161,15 @@ class BatchingExecutor:
         epsilon: float,
         policy: Optional[PolicyGraph] = None,
         partition: Optional[Sequence] = None,
+        deadline: Optional[float] = None,
     ) -> QueryTicket:
         """Queue a query; returns its ticket immediately.
 
         The ticket resolves asynchronously — wait on it (``ticket.wait()``)
         or use :meth:`ask` for a blocking round trip.  Raises once the
-        executor is closed.
+        executor is closed.  ``deadline`` (absolute ``time.monotonic()``)
+        forwards to :meth:`PrivateQueryEngine.submit`: expired tickets are
+        dropped before the charge stage at zero ε.
         """
         flush_now = False
         with self._condition:
@@ -174,7 +180,12 @@ class BatchingExecutor:
             if self._closed:
                 raise MechanismError("BatchingExecutor is closed")
             ticket = self._engine.submit(
-                client_id, workload, epsilon, policy=policy, partition=partition
+                client_id,
+                workload,
+                epsilon,
+                policy=policy,
+                partition=partition,
+                deadline=deadline,
             )
             if self._deadline is None:
                 self._deadline = self._triggers.deadline_from(time.monotonic())
@@ -205,16 +216,25 @@ class BatchingExecutor:
         policy: Optional[PolicyGraph] = None,
         partition: Optional[Sequence] = None,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Blocking submit: waits for whichever flush resolves the ticket.
 
         ``timeout`` bounds the wait in seconds; on expiry an
         :class:`~repro.exceptions.AskTimeoutError` carrying the ticket is
         raised (the ticket stays queued and will still be answered by a
-        later flush — re-poll ``exc.ticket``).
+        later flush — re-poll ``exc.ticket``).  ``deadline`` (absolute
+        ``time.monotonic()``) instead bounds the *query*: an expired ticket
+        resolves to ``"expired"`` at zero ε and ``result()`` raises
+        :class:`~repro.exceptions.DeadlineExpiredError`.
         """
         ticket = self.submit(
-            client_id, workload, epsilon, policy=policy, partition=partition
+            client_id,
+            workload,
+            epsilon,
+            policy=policy,
+            partition=partition,
+            deadline=deadline,
         )
         if not ticket.wait(timeout):
             raise AskTimeoutError(ticket, timeout)
@@ -245,7 +265,18 @@ class BatchingExecutor:
                 if self._c_deadline_trigger is not None:
                     self._c_deadline_trigger.inc()
                     self._h_trigger_batch.observe(pending)
-                self._engine.flush()
+                try:
+                    self._engine.flush()
+                except Exception:
+                    # A failing flush must not kill the deadline watcher: the
+                    # pipeline resolves per-ticket failures itself, so an
+                    # exception here is unexpected (broken backend, fault
+                    # injection) — and a dead flusher would strand every
+                    # future light-traffic submission unresolved forever.
+                    logger.warning(
+                        "deadline flush failed; flusher thread stays alive",
+                        exc_info=True,
+                    )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

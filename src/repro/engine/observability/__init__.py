@@ -29,8 +29,8 @@ gate lives in ``benchmarks/bench_observability.py``.
 Each :class:`AuditLog` line is one JSON object.  Common fields:
 
 ``event``
-    One of ``"charge"``, ``"rollback"``, ``"refusal"``, ``"scope_open"``,
-    ``"scope_close"``, ``"top_up"``.
+    One of ``"charge"``, ``"rollback"``, ``"refusal"``, ``"expired"``,
+    ``"scope_open"``, ``"scope_close"``, ``"top_up"``.
 ``ts`` / ``seq``
     Epoch-seconds timestamp and a monotonically increasing sequence number
     (assigned under the log's lock — ``seq`` totally orders the stream).
@@ -52,6 +52,9 @@ Per-event fields:
     (totals after the refund).
 ``refusal``
     ``epsilon`` (amount that was requested), ``error`` (truncated reason).
+``expired``
+    ``epsilon`` (amount that was *not* charged — the ticket's deadline
+    passed before its charge stage, so the drop is free by construction).
 ``scope_open``
     ``scope`` (scope label), ``epsilon`` (reservation charged up front).
 ``scope_close``

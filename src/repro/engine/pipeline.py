@@ -54,7 +54,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..core.workload import Workload
-from ..exceptions import MechanismError, PrivacyBudgetError
+from ..exceptions import (
+    DeadlineExpiredError,
+    MechanismError,
+    PrivacyBudgetError,
+    QueryCancelledError,
+)
 from ..mechanisms.base import NoiseModel
 from ..policy.graph import PolicyGraph
 from .durability.faults import fault_point
@@ -74,6 +79,12 @@ logger = logging.getLogger(__name__)
 PENDING = "pending"
 ANSWERED = "answered"
 REFUSED = "refused"
+#: Terminal status of a ticket the client gave up on (:meth:`QueryTicket.cancel`).
+#: Work already charged keeps its ε; not-yet-charged work spends nothing.
+CANCELLED = "cancelled"
+#: Terminal status of a ticket whose deadline passed before the charge stage.
+#: Always zero ε: the pipeline drops expired tickets *before* charging.
+EXPIRED = "expired"
 
 #: The stages whose wall-clock is tracked by :class:`~repro.engine.EngineStats`.
 STAGES = ("plan", "charge", "execute", "resolve")
@@ -124,6 +135,13 @@ class QueryTicket:
     #: (submission → flush pickup) is derived from it when observability is
     #: enabled.  Zero for tickets constructed outside the engine.
     submitted_at: float = 0.0
+    #: Absolute ``time.monotonic()`` deadline (``None`` = no deadline).  The
+    #: pipeline drops tickets whose deadline passed *before* the charge
+    #: stage, so an expired query spends zero ε.
+    deadline: Optional[float] = None
+    #: Engine counter bumped by :meth:`cancel` — stamped at submit so the
+    #: ticket can count its own cancellation without holding an engine ref.
+    _cancel_counter: Optional[object] = field(default=None, repr=False, compare=False)
     _lifecycle: TicketLifecycle = field(
         default_factory=TicketLifecycle, repr=False, compare=False
     )
@@ -131,6 +149,40 @@ class QueryTicket:
     def done(self) -> bool:
         """``True`` once the ticket reached a terminal status."""
         return self._lifecycle.resolved
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """``True`` when the ticket carries a deadline that has passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    def _claim(self) -> bool:
+        """Reserve the right to resolve this ticket; first finisher wins."""
+        return self._lifecycle.claim()
+
+    def cancel(self) -> bool:
+        """Resolve the ticket to ``cancelled``; ``False`` when too late.
+
+        Cancellation races the flush pipeline through the lifecycle's claim
+        latch: whoever claims first owns the resolution.  A successful
+        cancel guarantees the query will never be charged (the pipeline
+        skips unclaimable tickets before the charge stage); a ``False``
+        return means the pipeline already owns the ticket — it may be
+        mid-charge or resolved, and any ε it spends stands.  No refunds:
+        the ledger never rewinds for a bored caller.
+        """
+        if not self._lifecycle.claim():
+            return False
+        self.status = CANCELLED
+        self.error = (
+            f"Ticket {self.ticket_id} (client {self.client_id!r}) was "
+            "cancelled by the client before it resolved"
+        )
+        counter = self._cancel_counter
+        if counter is not None:
+            counter.inc()
+        self._lifecycle.resolve()
+        return True
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the ticket is resolved; returns :meth:`done`."""
@@ -161,6 +213,10 @@ class QueryTicket:
                 or f"Query was refused (ticket {self.ticket_id}, "
                 f"client {self.client_id!r})"
             )
+        if self.status == CANCELLED:
+            raise QueryCancelledError(self)
+        if self.status == EXPIRED:
+            raise DeadlineExpiredError(self)
         raise MechanismError(
             f"Ticket {self.ticket_id} is still pending; call PrivateQueryEngine.flush()"
         )
@@ -332,7 +388,20 @@ class FlushPipeline:
         #: replay-only flush reads as "all served from cache", not as an
         #: empty tree.
         replays = 0
+        now = time.monotonic()
         for ticket in tickets:
+            if ticket.done():
+                # Cancelled (or otherwise finished) before pickup: nothing
+                # to plan, and crucially nothing to charge.
+                continue
+            if ticket.expired(now):
+                # Dropping expired tickets here — before grouping — keeps
+                # batch composition (and therefore per-batch RNG child
+                # derivation) identical to a run where the expired queries
+                # were never submitted.
+                if ticket._claim():
+                    self._resolve_expired(ticket, trace)
+                continue
             if engine.answer_cache is not None:
                 # Dedup identical queries *within* this flush: one ticket
                 # pays, the rest replay its answer — the same zero-budget
@@ -347,10 +416,11 @@ class FlushPipeline:
                     ticket.policy, ticket.workload, ticket.epsilon
                 )
                 if cached is not None:
-                    self._resolve_replay(
-                        ticket, cached.answers, cached.draw_id, cached.shard_draw_ids
-                    )
-                    replays += 1
+                    if ticket._claim():
+                        self._resolve_replay(
+                            ticket, cached.answers, cached.draw_id, cached.shard_draw_ids
+                        )
+                        replays += 1
                     continue
                 seen_keys[key] = ticket
             to_execute.append(ticket)
@@ -369,6 +439,8 @@ class FlushPipeline:
                 leader = seen_keys[key]
                 if leader.status == ANSWERED:
                     for ticket in duplicate_tickets:
+                        if not ticket._claim():
+                            continue
                         # The replay IS a cache hit (the leader's answer was
                         # just stored), so the counters must agree with the
                         # replay counter.
@@ -539,7 +611,10 @@ class FlushPipeline:
         engine = self._engine
         if batch.plan_error is not None:
             for ticket in batch.tickets:
-                self._refuse(ticket, batch.plan_error, count_session=True, trace=trace)
+                if ticket._claim():
+                    self._refuse(
+                        ticket, batch.plan_error, count_session=True, trace=trace
+                    )
             return
         audit = engine._audit
         trace_id = trace.trace_id if trace is not None else None
@@ -558,6 +633,17 @@ class FlushPipeline:
         self, batch: PlannedBatch, ticket: QueryTicket, trace: Optional["Trace"]
     ) -> None:
         """Admit or refuse one ticket (stage 2 body, per ticket)."""
+        # Last line of defence for the zero-ε guarantee: a ticket whose
+        # deadline passed since pickup, or that a client cancelled mid-plan,
+        # stops HERE — strictly before the accountant sees the charge.
+        if ticket.expired():
+            if ticket._claim():
+                self._resolve_expired(ticket, trace)
+            return
+        if not ticket._claim():
+            # A concurrent canceller won the claim: the ticket is (being)
+            # resolved as cancelled and must not be charged.
+            return
         session = ticket.session
         label = f"query:{ticket.client_id}:{ticket.ticket_id}"
         # Parallel composition only applies when the release is a function
@@ -1328,6 +1414,34 @@ class FlushPipeline:
                 shard_draw_ids=ticket.shard_draw_ids,
                 noise_stds=noise_stds,
                 noise_bases=noise_bases,
+            )
+        ticket._notify_resolved()
+
+    def _resolve_expired(
+        self, ticket: QueryTicket, trace: Optional["Trace"] = None
+    ) -> None:
+        """Resolve an expired ticket: zero ε spent, waiters woken, counted.
+
+        The caller must hold the ticket's claim.  Runs strictly before the
+        charge stage, so neither the session budget nor the durable ledger
+        ever sees the query — the privacy win that makes deadlines more
+        than a latency feature.
+        """
+        engine = self._engine
+        ticket.status = EXPIRED
+        ticket.error = (
+            f"Ticket {ticket.ticket_id} (client {ticket.client_id!r}) "
+            "expired before its charge stage; zero epsilon was spent"
+        )
+        engine._c_expired.inc()
+        audit = engine._audit
+        if audit is not None:
+            audit.emit(
+                "expired",
+                trace_id=trace.trace_id if trace is not None else None,
+                ticket_id=ticket.ticket_id,
+                client_id=ticket.client_id,
+                epsilon=ticket.epsilon,
             )
         ticket._notify_resolved()
 

@@ -16,6 +16,10 @@ logic:
   exemplar (SNIPPETS.md Snippet 3).
 * :class:`ServingServer` (:mod:`~repro.engine.serving.http`) — the
   asyncio-streams HTTP/1.1 server; no framework, no new dependencies.
+* :class:`AdmissionController` / :class:`TokenBucket`
+  (:mod:`~repro.engine.serving.admission`) — the overload edge: bounded
+  pending queue, global in-flight cap, per-client token buckets.  Shed
+  submits answer 429/503 with ``Retry-After`` *before* any ε is touched.
 * :mod:`~repro.engine.serving.routes` / :mod:`~repro.engine.serving.queries`
   — endpoint handlers and wire formats (pagination, sorting, workload
   specs); the API reference lives in ``docs/serving_http_api.md``.
@@ -25,6 +29,7 @@ that only ever flush synchronously load no asyncio machinery.  Run a demo
 server with ``python -m repro.engine.serving``.
 """
 
+from .admission import AdmissionController, ShedDecision, TokenBucket
 from .app import ServingApp, create_app
 from .async_engine import AsyncQueryEngine, AsyncTicket
 from .http import HTTPError, Request, Response, ServingServer, read_request
@@ -41,6 +46,7 @@ from .queries import (
 from .waiters import LoopTicketWaiter
 
 __all__ = [
+    "AdmissionController",
     "AsyncQueryEngine",
     "AsyncTicket",
     "DEFAULT_PAGE_LIMIT",
@@ -51,7 +57,9 @@ __all__ = [
     "Response",
     "ServingApp",
     "ServingServer",
+    "ShedDecision",
     "TicketRegistry",
+    "TokenBucket",
     "apply_sort",
     "create_app",
     "paginate",

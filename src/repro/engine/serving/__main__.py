@@ -14,14 +14,23 @@ any setup::
              "epsilon": 0.25, "wait": true}'
 
 The CI serving-smoke job boots exactly this module in a fresh process and
-asserts ``/health`` plus one answered query.  ``--port 0`` (the default)
-binds an ephemeral port and prints it on the first line.
+asserts ``/health`` plus one answered query; the chaos-serving-smoke job
+boots it with ``--chaos`` and drives the fault matrix over the wire.
+``--port 0`` (the default) binds an ephemeral port and prints it on the
+first line.
+
+Graceful shutdown: SIGTERM (or SIGINT) starts a drain — readiness flips to
+503 and new submits shed, in-flight tickets complete through their final
+flush, the engine closes (taking its final snapshot when a snapshotter is
+attached), and the process exits 0 after printing a ``drain complete``
+line the drain tests parse.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 
 import numpy as np
 
@@ -33,7 +42,12 @@ from .http import ServingServer
 
 
 def build_demo_engine(
-    cells: int = 256, total_epsilon: float = 8.0, seed: int = 7
+    cells: int = 256,
+    total_epsilon: float = 8.0,
+    seed: int = 7,
+    durable_ledger=None,
+    execute_backend=None,
+    execute_workers=None,
 ) -> PrivateQueryEngine:
     """A seeded engine over the demo salary histogram."""
     rng = np.random.default_rng(0)
@@ -41,27 +55,72 @@ def build_demo_engine(
     counts = np.zeros(domain.size)
     counts[rng.integers(20, cells - 26, size=40)] = rng.integers(1, 200, size=40)
     database = Database(domain, counts, name="salaries")
+    options = {}
+    if durable_ledger is not None:
+        options["durable_ledger"] = durable_ledger
+    if execute_backend is not None:
+        options["execute_backend"] = execute_backend
+    if execute_workers is not None:
+        options["execute_workers"] = execute_workers
     return PrivateQueryEngine(
         database,
         total_epsilon=total_epsilon,
         default_policy=line_policy(domain),
         random_state=seed,
+        **options,
     )
 
 
 async def serve(args: argparse.Namespace) -> None:
-    engine = build_demo_engine(args.cells, args.epsilon, args.seed)
-    app = create_app(engine)
+    engine = build_demo_engine(
+        args.cells,
+        args.epsilon,
+        args.seed,
+        durable_ledger=args.durable_ledger,
+        execute_backend=args.execute_backend,
+        execute_workers=args.execute_workers,
+    )
+    app = create_app(engine, enable_chaos=args.chaos)
     server = ServingServer(app, host=args.host, port=args.port)
     await server.start()
     # The smoke job parses this line for the bound (possibly ephemeral) port.
     print(f"serving on http://{server.host}:{server.port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    def _begin_drain() -> None:
+        # Signal handler: flip readiness and stop admitting *now* (cheap,
+        # loop-thread safe), then let the main coroutine run the drain.
+        app.drain()
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, _begin_drain)
     try:
-        await server.serve_forever()
-    except asyncio.CancelledError:
-        pass
+        # start() already accepts connections; this coroutine only needs to
+        # stay alive until a signal asks for the drain.
+        await stop.wait()
     finally:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.remove_signal_handler(signum)
+        # Drain order matters: complete every in-flight ticket *before*
+        # closing the listener, so clients blocked in wait=true submits
+        # receive their answers over the still-open connections.
+        await app.aclose()
         await server.aclose()
+        engine.close()
+        stats = engine.stats
+        # The drain tests parse this line: every admitted ticket resolved.
+        print(
+            "drain complete: "
+            f"pending={engine.pending_count} "
+            f"answered={stats.queries_answered} "
+            f"refused={stats.queries_refused} "
+            f"expired={stats.queries_expired} "
+            f"cancelled={stats.queries_cancelled}",
+            flush=True,
+        )
 
 
 def main(argv=None) -> None:
@@ -76,6 +135,29 @@ def main(argv=None) -> None:
         "--epsilon", type=float, default=8.0, help="global privacy budget"
     )
     parser.add_argument("--seed", type=int, default=7, help="engine random_state")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="install POST /api/chaos fault injection (test deployments only)",
+    )
+    parser.add_argument(
+        "--durable-ledger",
+        default=None,
+        metavar="PATH",
+        help="journal epsilon charges write-ahead to this SQLite ledger",
+    )
+    parser.add_argument(
+        "--execute-backend",
+        default=None,
+        choices=("inline", "thread", "process", "adaptive"),
+        help="execute-stage backend (engine default when omitted)",
+    )
+    parser.add_argument(
+        "--execute-workers",
+        type=int,
+        default=None,
+        help="execute-stage worker count (engine default when omitted)",
+    )
     args = parser.parse_args(argv)
     try:
         asyncio.run(serve(args))

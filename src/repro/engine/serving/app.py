@@ -23,6 +23,7 @@ import logging
 import re
 from typing import Callable, List, Optional, Pattern, Tuple
 
+from .admission import AdmissionController
 from .async_engine import AsyncQueryEngine
 from .http import HTTPError, Request, Response, error_response
 from .queries import TicketRegistry
@@ -45,10 +46,22 @@ class ServingApp:
         engine,
         async_engine: AsyncQueryEngine,
         tickets: TicketRegistry,
+        admission: Optional[AdmissionController] = None,
+        enable_chaos: bool = False,
     ) -> None:
         self.engine = engine
         self.async_engine = async_engine
         self.tickets = tickets
+        self.admission = (
+            admission if admission is not None else AdmissionController(engine)
+        )
+        self.async_engine.add_flush_observer(self.admission.observe_flush_seconds)
+        #: When ``True`` the ``POST /api/chaos`` fault-injection endpoint is
+        #: installed.  Never enable outside a test/chaos deployment.
+        self.enable_chaos = enable_chaos
+        #: Flipped by :meth:`drain` (SIGTERM path): ``/ready`` turns 503 and
+        #: every new submit sheds, while in-flight work keeps completing.
+        self.draining = False
         self._routes: List[RouteEntry] = []
 
     # ---------------------------------------------------------------- routing
@@ -91,8 +104,19 @@ class ServingApp:
             return error_response(405, f"method {request.method} not allowed")
         return error_response(404, f"no route for {request.path}")
 
+    def drain(self) -> None:
+        """Stop admitting queries; readiness flips to 503.
+
+        The first half of graceful shutdown: after ``drain()`` the load
+        balancer (watching ``/ready``) routes away and every new submit
+        sheds with 503, while tickets already admitted keep flowing through
+        their flushes.  :meth:`aclose` then completes them.
+        """
+        self.draining = True
+
     async def aclose(self) -> None:
         """Drain the async front-end (every accepted ticket resolves)."""
+        self.draining = True
         await self.async_engine.aclose()
 
 
@@ -102,13 +126,19 @@ def create_app(
     max_delay: float = 0.02,
     registry_capacity: int = 4096,
     async_engine: Optional[AsyncQueryEngine] = None,
+    admission: Optional[AdmissionController] = None,
+    enable_chaos: bool = False,
 ) -> ServingApp:
     """Assemble the serving app for ``engine``.
 
     ``max_batch_size`` / ``max_delay`` configure the async front-end's
     :class:`~repro.engine.waiters.BatchTriggers`; pass a pre-built
     ``async_engine`` to share one front-end between apps or to inject a
-    configured one.
+    configured one.  ``admission`` overrides the default
+    :class:`~repro.engine.serving.admission.AdmissionController` (pending
+    bound 256, in-flight cap 1024, no per-client rate limit);
+    ``enable_chaos=True`` installs the ``POST /api/chaos`` fault-injection
+    endpoint — test deployments only.
     """
     from .routes import install_routes
 
@@ -116,6 +146,12 @@ def create_app(
         async_engine = AsyncQueryEngine(
             engine, max_batch_size=max_batch_size, max_delay=max_delay
         )
-    app = ServingApp(engine, async_engine, TicketRegistry(registry_capacity))
+    app = ServingApp(
+        engine,
+        async_engine,
+        TicketRegistry(registry_capacity),
+        admission=admission,
+        enable_chaos=enable_chaos,
+    )
     install_routes(app)
     return app

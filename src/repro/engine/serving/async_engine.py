@@ -31,17 +31,22 @@ only decides *when* ``flush`` runs.
 from __future__ import annotations
 
 import asyncio
+import logging
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence, Set
+from typing import Callable, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ...core.workload import Workload
 from ...exceptions import AskTimeoutError, MechanismError
 from ...policy.graph import PolicyGraph
+from ..durability import fault_point
 from ..pipeline import QueryTicket
 from ..waiters import BatchTriggers
 from .waiters import LoopTicketWaiter
+
+logger = logging.getLogger(__name__)
 
 
 class AsyncTicket:
@@ -140,6 +145,10 @@ class AsyncQueryEngine:
         self._deadline_handle: Optional[asyncio.TimerHandle] = None
         self._inflight: Set[asyncio.Future] = set()
         self._closed = False
+        #: Callbacks fed each observed flush latency (seconds) from the
+        #: flusher thread — admission control hangs its Retry-After EWMA
+        #: here.  Single flusher thread, so observers need no locking.
+        self._flush_observers: List[Callable[[float], None]] = []
 
     # -------------------------------------------------------------- properties
     @property
@@ -157,6 +166,15 @@ class AsyncQueryEngine:
         """``True`` once :meth:`aclose` ran; submissions are then rejected."""
         return self._closed
 
+    def add_flush_observer(self, observer: Callable[[float], None]) -> None:
+        """Register a callback fed each flush's wall-clock latency (seconds).
+
+        Called from the flusher thread after every flush — including failed
+        ones, whose latency is still an honest signal of how busy the flush
+        path is.  Admission control registers its EWMA feed here.
+        """
+        self._flush_observers.append(observer)
+
     # ------------------------------------------------------------- submissions
     def submit(
         self,
@@ -165,19 +183,27 @@ class AsyncQueryEngine:
         epsilon: float,
         policy: Optional[PolicyGraph] = None,
         partition: Optional[Sequence] = None,
+        deadline: Optional[float] = None,
     ) -> AsyncTicket:
         """Queue a query; returns its awaitable ticket immediately.
 
         Must run on the event loop (it schedules the deadline timer there).
         Validation errors surface here exactly as in
         :meth:`PrivateQueryEngine.submit`; the budget is only touched when
-        a flush picks the ticket up.
+        a flush picks the ticket up.  ``deadline`` (absolute
+        ``time.monotonic()``) forwards to the engine: expired tickets are
+        dropped before the charge stage at zero ε.
         """
         if self._closed:
             raise MechanismError("AsyncQueryEngine is closed")
         loop = asyncio.get_running_loop()
         ticket = self._engine.submit(
-            client_id, workload, epsilon, policy=policy, partition=partition
+            client_id,
+            workload,
+            epsilon,
+            policy=policy,
+            partition=partition,
+            deadline=deadline,
         )
         async_ticket = AsyncTicket(ticket, loop)
         if self._triggers.size_reached(self._engine.pending_count):
@@ -199,15 +225,24 @@ class AsyncQueryEngine:
         policy: Optional[PolicyGraph] = None,
         partition: Optional[Sequence] = None,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Awaitable submit: suspends until whichever flush resolves the ticket.
 
         ``timeout`` bounds the wait; on expiry an
         :class:`~repro.exceptions.AskTimeoutError` carrying the ticket is
         raised and a later flush still resolves the ticket normally.
+        ``deadline`` instead bounds the *query*: an expired ticket resolves
+        to ``"expired"`` at zero ε and ``result()`` raises
+        :class:`~repro.exceptions.DeadlineExpiredError`.
         """
         ticket = self.submit(
-            client_id, workload, epsilon, policy=policy, partition=partition
+            client_id,
+            workload,
+            epsilon,
+            policy=policy,
+            partition=partition,
+            deadline=deadline,
         )
         return await ticket.result(timeout=timeout)
 
@@ -236,7 +271,7 @@ class AsyncQueryEngine:
         # Final drain: anything submitted before the closed flag flipped and
         # not picked up by a trigger flush.
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._flush_pool, self._engine.flush)
+        await loop.run_in_executor(self._flush_pool, self._run_flush_measured)
         self._flush_pool.shutdown(wait=True)
 
     async def __aenter__(self) -> "AsyncQueryEngine":
@@ -255,10 +290,44 @@ class AsyncQueryEngine:
 
     def _start_flush(self, loop: asyncio.AbstractEventLoop) -> asyncio.Future:
         """Run ``engine.flush()`` on the flusher thread; track it for aclose."""
-        future = loop.run_in_executor(self._flush_pool, self._engine.flush)
+        future = loop.run_in_executor(self._flush_pool, self._run_flush_measured)
         self._inflight.add(future)
-        future.add_done_callback(self._inflight.discard)
+        future.add_done_callback(self._track_flush_done)
         return future
+
+    def _track_flush_done(self, future: asyncio.Future) -> None:
+        self._inflight.discard(future)
+        # Retrieve the exception so a deadline-triggered flush that failed
+        # (chaos injection, broken backend) logs a warning instead of an
+        # "exception was never retrieved" message at GC time.  Awaiters of
+        # an explicit flush() still see the exception through the future.
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            logger.warning("serving flush failed: %s", exc)
+
+    def _run_flush_measured(self) -> List[QueryTicket]:
+        """The flusher-thread body: chaos hook, flush, latency observation.
+
+        ``fault_point("serving-flush")`` lets the chaos harness stall or
+        fail the flusher exactly here — on the flusher thread, before the
+        pipeline runs — without touching the pinned crash-point matrix.
+        The latency fed to observers covers the whole body (stall
+        included): under a stalled flusher the Retry-After hint grows,
+        which is precisely the back-pressure signal clients should see.
+        """
+        start = time.monotonic()
+        try:
+            fault_point("serving-flush")
+            return self._engine.flush()
+        finally:
+            elapsed = time.monotonic() - start
+            for observer in self._flush_observers:
+                try:
+                    observer(elapsed)
+                except Exception:  # pragma: no cover - observer bugs
+                    logger.warning("flush observer failed", exc_info=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -101,6 +101,8 @@ def ticket_payload(ticket: QueryTicket, include_answers: bool = True) -> dict:
     A refusal is a *successful* poll whose payload carries
     ``status: "refused"`` and the refusal reason — the HTTP status stays
     2xx, because the protocol request (tell me about this ticket) worked.
+    The ``expired`` and ``cancelled`` terminal statuses carry their reason
+    the same way (both resolved at zero ε for any not-yet-charged work).
     """
     payload = {
         "ticket_id": ticket.ticket_id,
@@ -113,10 +115,10 @@ def ticket_payload(ticket: QueryTicket, include_answers: bool = True) -> dict:
     }
     if ticket.status == "answered" and include_answers:
         payload["answers"] = [float(value) for value in ticket.answers]
-    if ticket.status == "refused":
+    if ticket.status in ("refused", "expired", "cancelled"):
         payload["error"] = ticket.error or (
-            f"Query was refused (ticket {ticket.ticket_id}, "
-            f"client {ticket.client_id!r})"
+            f"Query did not produce an answer (ticket {ticket.ticket_id}, "
+            f"client {ticket.client_id!r}, status {ticket.status!r})"
         )
     return payload
 

@@ -14,13 +14,20 @@ Status-code conventions:
   budget, submitting on a closed session, invalid ε).
 * ``404`` — unknown client or ticket.
 * ``409`` — conflict (registering an already-open client id, closing a
-  closed session).
+  closed session, cancelling a ticket that already resolved).
+* ``429`` / ``503`` with ``Retry-After`` — the admission edge shed the
+  submit *before* any ε was touched: 429 when the client is over its rate
+  limit, 503 when the server is saturated or draining.
 * A *refused query* is **not** an HTTP error: the poll payload carries
   ``status: "refused"`` plus the reason, because the transport request
-  succeeded — the refusal is the (privacy-mandated) answer.
+  succeeded — the refusal is the (privacy-mandated) answer.  The same
+  holds for ``expired`` and ``cancelled`` terminal statuses.
 """
 
 from __future__ import annotations
+
+import math
+import time
 
 from ...exceptions import (
     DomainError,
@@ -41,10 +48,14 @@ from .queries import (
 TICKET_SORT_FIELDS = ("ticket_id", "client_id", "status", "epsilon")
 CLIENT_SORT_FIELDS = ("client_id", "allotment", "spent", "remaining")
 
+#: Terminal + pending statuses accepted by the ``status`` list filter.
+QUERY_STATUS_FILTERS = ("pending", "answered", "refused", "expired", "cancelled")
+
 
 def install_routes(app) -> None:
     """Register every endpoint on ``app`` (the app-factory hook)."""
     app.add_route("GET", "/health", health)
+    app.add_route("GET", "/ready", ready)
     app.add_route("GET", "/metrics", metrics)
     app.add_route("GET", "/api/clients", list_clients)
     app.add_route("POST", "/api/clients", register_client)
@@ -53,7 +64,10 @@ def install_routes(app) -> None:
     app.add_route("GET", "/api/queries", list_queries)
     app.add_route("POST", "/api/queries", submit_query)
     app.add_route("GET", "/api/queries/{ticket_id}", poll_query)
+    app.add_route("DELETE", "/api/queries/{ticket_id}", cancel_query)
     app.add_route("POST", "/api/flush", flush_now)
+    if getattr(app, "enable_chaos", False):
+        app.add_route("POST", "/api/chaos", chaos)
 
 
 # -------------------------------------------------------------------- service
@@ -67,6 +81,22 @@ async def health(app, request: Request) -> Response:
             "tickets": len(app.tickets),
         }
     )
+
+
+async def ready(app, request: Request) -> Response:
+    """Readiness: 503 while draining so the load balancer routes away.
+
+    Distinct from ``/health`` on purpose — a draining server is still
+    *alive* (liveness stays 200 so the orchestrator does not kill it
+    mid-drain) but must stop receiving new traffic.
+    """
+    if app.draining:
+        return Response(
+            {"status": "draining"},
+            status=503,
+            headers={"Retry-After": _retry_after_header(app.admission.retry_after())},
+        )
+    return Response({"status": "ready", "pending": app.engine.pending_count})
 
 
 async def metrics(app, request: Request) -> Response:
@@ -138,19 +168,73 @@ async def close_client(app, request: Request, client_id: str) -> Response:
 
 
 # -------------------------------------------------------------------- queries
+def _retry_after_header(seconds: float) -> str:
+    """``Retry-After`` is delta-seconds, integral, at least 1."""
+    return str(max(1, math.ceil(seconds)))
+
+
+def _shed_response(decision) -> Response:
+    """A 429/503 shed envelope with the computed ``Retry-After``."""
+    return Response(
+        {
+            "error": decision.message,
+            "reason": decision.reason,
+            "retry_after": decision.retry_after,
+        },
+        status=decision.status,
+        headers={"Retry-After": _retry_after_header(decision.retry_after)},
+    )
+
+
+def _parse_deadline(request: Request):
+    """``X-Request-Deadline`` (unix-epoch seconds) → engine monotonic deadline.
+
+    The wire carries wall-clock time (the only clock client and server
+    share); the engine's deadline clock is ``time.monotonic()``.  Convert
+    by offsetting the remaining wall-clock budget onto the monotonic clock
+    at parse time — an already-past deadline simply converts to a
+    monotonic instant in the past and the pipeline drops the ticket at
+    zero ε.
+    """
+    raw = request.header("x-request-deadline")
+    if raw is None:
+        return None
+    try:
+        epoch = float(raw)
+    except ValueError:
+        raise HTTPError(
+            400,
+            f"X-Request-Deadline must be unix-epoch seconds, got {raw!r}",
+        ) from None
+    if not math.isfinite(epoch):
+        raise HTTPError(400, "X-Request-Deadline must be finite")
+    return time.monotonic() + (epoch - time.time())
+
+
 async def submit_query(app, request: Request) -> Response:
-    """``POST /api/queries`` — submit; optionally await the answer.
+    """``POST /api/queries`` — admission check, submit; optionally await.
 
     ``wait=false`` (default) answers ``202`` with the pending ticket for
     later polling.  ``wait=true`` awaits resolution (bounded by ``timeout``
     seconds when given) and answers ``200`` with the resolved payload; a
     wait that times out degrades to the ``202`` pending envelope — the
     ticket stays queued and a later flush resolves it.
+
+    The admission edge runs **before** session lookup and workload
+    parsing: an overloaded server answers shed traffic from a few integer
+    compares and a dict lookup, touching neither ε nor the (relatively)
+    expensive request machinery.  An ``X-Request-Deadline`` header
+    (unix-epoch seconds) attaches a deadline: a ticket still unflushed at
+    its deadline resolves to ``"expired"`` at zero ε.
     """
     body = request.json()
     client_id = body.get("client_id")
     if not isinstance(client_id, str) or not client_id:
         raise HTTPError(400, "client_id must be a non-empty string")
+    decision = app.admission.admit(client_id, draining=app.draining)
+    if decision is not None:
+        return _shed_response(decision)
+    deadline = _parse_deadline(request)
     epsilon = body.get("epsilon")
     if not isinstance(epsilon, (int, float)):
         raise HTTPError(400, "epsilon must be a number")
@@ -173,12 +257,17 @@ async def submit_query(app, request: Request) -> Response:
         raise HTTPError(400, "partition must be a list of domain cell indices")
     try:
         async_ticket = app.async_engine.submit(
-            client_id, workload, float(epsilon), partition=partition
+            client_id,
+            workload,
+            float(epsilon),
+            partition=partition,
+            deadline=deadline,
         )
     except PrivacyBudgetError as exc:
         raise HTTPError(403, str(exc)) from exc
     except (WorkloadError, DomainError, PolicyError) as exc:
         raise HTTPError(400, str(exc)) from exc
+    app.admission.register(async_ticket.ticket)
     app.tickets.add(async_ticket.ticket)
     if wait:
         resolved = await async_ticket.wait(
@@ -187,6 +276,29 @@ async def submit_query(app, request: Request) -> Response:
         if resolved:
             return Response(ticket_payload(async_ticket.ticket), status=200)
     return Response(ticket_payload(async_ticket.ticket), status=202)
+
+
+async def cancel_query(app, request: Request, ticket_id: str) -> Response:
+    """``DELETE /api/queries/{ticket_id}`` — cancel a still-pending ticket.
+
+    Cancellation wins only while the ticket is unclaimed: a cancelled
+    ticket resolves to the ``"cancelled"`` terminal status and is excluded
+    from every future flush — its not-yet-charged ε is never spent.  Once
+    the pipeline claimed (or resolved) the ticket the race is lost and
+    this answers ``409`` with the ticket's current payload: already-charged
+    work is **not** refunded, because its privacy cost was already paid
+    and rolling it back would let a client probe answers for free.
+    """
+    try:
+        numeric_id = int(ticket_id)
+    except ValueError as exc:
+        raise HTTPError(400, f"ticket id must be an integer, got {ticket_id!r}") from exc
+    ticket = app.tickets.get(numeric_id)
+    if ticket is None:
+        raise HTTPError(404, f"no ticket {numeric_id} (unknown or aged out)")
+    if ticket.cancel():
+        return Response(ticket_payload(ticket), status=200)
+    return Response(ticket_payload(ticket), status=409)
 
 
 async def poll_query(app, request: Request, ticket_id: str) -> Response:
@@ -204,13 +316,13 @@ async def poll_query(app, request: Request, ticket_id: str) -> Response:
 async def list_queries(app, request: Request) -> Response:
     """``GET /api/queries`` — paginated poll results.
 
-    Filters: ``client_id``, ``status`` (``pending``/``answered``/
-    ``refused``).  Sorting per Snippet 3 (``sort=-ticket_id`` etc.);
-    answers are elided from list items — poll the single-ticket endpoint
-    for vectors.
+    Filters: ``client_id``, ``status`` (any of
+    ``pending``/``answered``/``refused``/``expired``/``cancelled``).
+    Sorting per Snippet 3 (``sort=-ticket_id`` etc.); answers are elided
+    from list items — poll the single-ticket endpoint for vectors.
     """
     status = request.query.get("status")
-    if status is not None and status not in ("pending", "answered", "refused"):
+    if status is not None and status not in QUERY_STATUS_FILTERS:
         raise HTTPError(400, f"invalid status filter {status!r}")
     tickets = app.tickets.list(
         client_id=request.query.get("client_id"), status=status
@@ -225,3 +337,77 @@ async def list_queries(app, request: Request) -> Response:
     except ValueError as exc:
         raise HTTPError(400, str(exc)) from exc
     return Response(page)
+
+
+# ---------------------------------------------------------------------- chaos
+async def chaos(app, request: Request) -> Response:
+    """``POST /api/chaos`` — arm live fault injection (chaos deployments only).
+
+    Installed only when the app was built with ``enable_chaos=True``
+    (``--chaos`` on the CLI).  Actions:
+
+    * ``{"action": "stall", "point": ..., "seconds": S, "hits": N}`` —
+      sleep ``S`` seconds on the N-th visit of the fault point.
+    * ``{"action": "fail", "point": ..., "hits": N}`` — raise a
+      ``RuntimeError`` at the point.
+    * ``{"action": "disk_full", "point": ..., "hits": N}`` — raise
+      ``OSError(ENOSPC)`` at the point (e.g. ``ledger-append``).
+    * ``{"action": "kill_worker"}`` — SIGKILL one live execute-backend
+      worker process, immediately.
+    * ``{"action": "clear"}`` — uninstall the active injector.
+
+    The handler validates the point name against the known crash/serving
+    fault points so a typo cannot silently arm nothing.
+    """
+    from ..durability import (
+        CRASH_POINTS,
+        SERVING_FAULT_POINTS,
+        FaultInjector,
+        kill_one_worker,
+    )
+
+    body = request.json()
+    action = body.get("action")
+    if action == "clear":
+        FaultInjector.clear()
+        return Response({"status": "cleared"})
+    if action == "kill_worker":
+        backend = getattr(app.engine, "_execute_backend", None)
+        try:
+            pid = kill_one_worker(backend)
+        except RuntimeError as exc:
+            raise HTTPError(409, str(exc)) from exc
+        return Response({"status": "killed", "pid": pid})
+    if action not in ("stall", "fail", "disk_full"):
+        raise HTTPError(
+            400,
+            "action must be one of stall/fail/disk_full/kill_worker/clear",
+        )
+    point = body.get("point")
+    known_points = CRASH_POINTS + SERVING_FAULT_POINTS + ("ledger-append",)
+    if point not in known_points:
+        raise HTTPError(
+            400, f"unknown fault point {point!r}; known: {', '.join(known_points)}"
+        )
+    hits = body.get("hits", 1)
+    if not isinstance(hits, int) or hits < 1:
+        raise HTTPError(400, "hits must be a positive integer")
+    injector = FaultInjector.active() or FaultInjector()
+    # The injector's hit counts are cumulative over its lifetime, but a
+    # remote chaos client thinks in visits *from now* — re-arming after an
+    # earlier fault fired must not leave the new fault pointing at a visit
+    # number that already passed.
+    hits += injector.hits(point)
+    if action == "stall":
+        seconds = body.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise HTTPError(400, "seconds must be a non-negative number")
+        injector.stall_at(point, float(seconds), hits=hits)
+    elif action == "fail":
+        injector.fail_at(
+            point, lambda: RuntimeError(f"injected failure at {point}"), hits=hits
+        )
+    else:
+        injector.disk_full_at(point, hits=hits)
+    injector.install()
+    return Response({"status": "armed", "action": action, "point": point})

@@ -88,11 +88,12 @@ class TicketLifecycle:
     deadlock the lifecycle.
     """
 
-    __slots__ = ("_lock", "_resolved", "_waiters", "_thread_waiter")
+    __slots__ = ("_lock", "_resolved", "_claimed", "_waiters", "_thread_waiter")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._resolved = False
+        self._claimed = False
         self._waiters: List[TicketWaiter] = []
         self._thread_waiter: Optional[ThreadTicketWaiter] = None
 
@@ -100,6 +101,22 @@ class TicketLifecycle:
     def resolved(self) -> bool:
         """``True`` once :meth:`resolve` ran."""
         return self._resolved
+
+    def claim(self) -> bool:
+        """Reserve the right to resolve this ticket; first caller wins.
+
+        Arbitrates races between independent finishers — a cancelling
+        client vs the flush pipeline, an expiry sweep vs a charge path.
+        Exactly one caller ever sees ``True``; that caller must go on to
+        set the terminal status and call :meth:`resolve`.  Callers seeing
+        ``False`` must leave the ticket alone: someone else owns its fate.
+        An already-resolved lifecycle is trivially unclaimable.
+        """
+        with self._lock:
+            if self._resolved or self._claimed:
+                return False
+            self._claimed = True
+            return True
 
     def add_waiter(self, waiter: TicketWaiter) -> bool:
         """Attach ``waiter``; returns ``True`` when it was notified inline.

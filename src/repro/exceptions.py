@@ -62,6 +62,40 @@ class AskTimeoutError(MechanismError):
         self.timeout = timeout
 
 
+class QueryCancelledError(MechanismError):
+    """Raised when the result of a cancelled query ticket is consumed.
+
+    Cancellation is a *client* decision: already-charged work keeps its
+    ε spend (the ledger never rewinds for a bored caller), but a ticket
+    cancelled before its charge stage spends nothing.  Carries the
+    :class:`~repro.engine.pipeline.QueryTicket` for diagnostics.
+    """
+
+    def __init__(self, ticket) -> None:
+        super().__init__(
+            f"Ticket {ticket.ticket_id} (client {ticket.client_id!r}) was "
+            "cancelled before it resolved; no answer is available"
+        )
+        self.ticket = ticket
+
+
+class DeadlineExpiredError(MechanismError):
+    """Raised when the result of a deadline-expired query ticket is consumed.
+
+    The pipeline drops expired tickets *before* the charge stage, so an
+    expired query spends zero ε — the caller lost an answer, never
+    budget.  Carries the :class:`~repro.engine.pipeline.QueryTicket`.
+    """
+
+    def __init__(self, ticket) -> None:
+        super().__init__(
+            f"Ticket {ticket.ticket_id} (client {ticket.client_id!r}) "
+            "expired before its charge stage; zero epsilon was spent and "
+            "no answer is available"
+        )
+        self.ticket = ticket
+
+
 class PlanStoreError(MechanismError):
     """Raised when a persisted plan/answer store cannot be read.
 

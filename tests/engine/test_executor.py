@@ -214,3 +214,48 @@ class TestConcurrentSubmitters:
             assert not ticket.done()
             executor.flush_now()
             assert ticket.done()
+
+
+class TestFlusherResilience:
+    def test_deadline_flusher_survives_a_failing_flush(self, engine, domain):
+        """Regression: a flush exception must not kill the flusher thread.
+
+        Before the fix, any exception escaping ``engine.flush()`` on the
+        deadline path terminated the daemon flusher silently — every later
+        light-traffic submission then waited forever.  Now the flusher logs
+        a warning and keeps watching deadlines.
+        """
+        engine.open_session("alice", 5.0)
+        real_flush = engine.flush
+        failures = threading.Event()
+
+        def flaky_flush(*args, **kwargs):
+            if not failures.is_set():
+                failures.set()
+                raise RuntimeError("injected flush failure")
+            return real_flush(*args, **kwargs)
+
+        engine.flush = flaky_flush
+        try:
+            executor = BatchingExecutor(engine, max_batch_size=1000, max_delay=0.01)
+            try:
+                first = executor.submit(
+                    "alice", identity_workload(domain), epsilon=0.1
+                )
+                # The deadline flush for this ticket raises; the ticket
+                # stays pending and the flusher thread must stay alive.
+                assert failures.wait(5.0)
+                assert executor._flusher.is_alive()
+                # The *next* deadline window is still watched: a later
+                # flush (driven by the same thread) resolves everything.
+                second = executor.submit(
+                    "alice", cumulative_workload(domain), epsilon=0.1
+                )
+                assert first.wait(5.0)
+                assert second.wait(5.0)
+                assert first.status == "answered"
+                assert second.status == "answered"
+            finally:
+                executor.close()
+        finally:
+            engine.flush = real_flush

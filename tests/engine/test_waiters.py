@@ -134,6 +134,137 @@ class TestTicketLifecycle:
             resolver.join()
             assert waiter.notifications == 1
 
+    def test_claim_is_exclusive_and_loses_after_resolve(self):
+        lifecycle = TicketLifecycle()
+        assert lifecycle.claim() is True
+        assert lifecycle.claim() is False  # first caller owns it
+        resolved = TicketLifecycle()
+        resolved.resolve()
+        assert resolved.claim() is False  # terminal state never re-claims
+
+    def test_concurrent_claimers_exactly_one_wins(self):
+        """The cancel-vs-pipeline arbitration: N racers, exactly one claim."""
+        for _ in range(100):
+            lifecycle = TicketLifecycle()
+            wins = []
+            wins_lock = threading.Lock()
+            started = threading.Barrier(8)
+
+            def race() -> None:
+                started.wait()
+                if lifecycle.claim():
+                    with wins_lock:
+                        wins.append(threading.get_ident())
+
+            threads = [threading.Thread(target=race) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            assert len(wins) == 1
+
+
+class TestLifecycleChurn:
+    """Satellite stress: waiters churning against a resolver and a canceller.
+
+    The serving tier hangs three things off one lifecycle at once — client
+    waiters (HTTP polls, asks), the admission controller's release waiter,
+    and a claim race between the flush pipeline and ``cancel()``.  This
+    class drives all of them concurrently and asserts the latch's
+    contract: every waiter ever added is woken **exactly once**, and
+    exactly one claimer wins.
+    """
+
+    def test_waiter_churn_against_resolver_and_canceller(self):
+        for _ in range(30):
+            lifecycle = TicketLifecycle()
+            recorded = []
+            recorded_lock = threading.Lock()
+            claims = []
+            claims_lock = threading.Lock()
+            start = threading.Barrier(8)
+
+            def add_waiters() -> None:
+                start.wait()
+                for _ in range(25):
+                    waiter = RecordingWaiter()
+                    lifecycle.add_waiter(waiter)
+                    with recorded_lock:
+                        recorded.append(waiter)
+
+            def park_and_wait() -> None:
+                start.wait()
+                waiter = ThreadTicketWaiter()
+                lifecycle.add_waiter(waiter)
+                assert waiter.wait(5.0)
+                with recorded_lock:
+                    recorded.append(waiter)
+
+            def resolver() -> None:
+                start.wait()
+                # The pipeline path: claim, then resolve.
+                if lifecycle.claim():
+                    with claims_lock:
+                        claims.append("pipeline")
+                lifecycle.resolve()
+
+            def canceller() -> None:
+                start.wait()
+                # The client path: only resolve if the claim was won.
+                if lifecycle.claim():
+                    with claims_lock:
+                        claims.append("cancel")
+                    lifecycle.resolve()
+
+            threads = (
+                [threading.Thread(target=add_waiters) for _ in range(4)]
+                + [threading.Thread(target=park_and_wait) for _ in range(2)]
+                + [threading.Thread(target=resolver)]
+                + [threading.Thread(target=canceller)]
+            )
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive()
+            # Exactly one claimer won the ticket.
+            assert len(claims) == 1
+            # Every waiter — added before, during, or after resolution —
+            # woke exactly once.
+            assert len(recorded) == 4 * 25 + 2
+            for waiter in recorded:
+                if isinstance(waiter, RecordingWaiter):
+                    assert waiter.notifications == 1
+                else:
+                    assert waiter.notified
+
+    def test_churn_with_late_resolve_still_wakes_every_waiter(self):
+        """Waiters pile up first; resolution lands mid-churn."""
+        lifecycle = TicketLifecycle()
+        waiters = []
+        waiters_lock = threading.Lock()
+        stop_adding = threading.Event()
+
+        def churn() -> None:
+            while not stop_adding.is_set():
+                waiter = RecordingWaiter()
+                lifecycle.add_waiter(waiter)
+                with waiters_lock:
+                    waiters.append(waiter)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.02)
+        lifecycle.resolve()
+        time.sleep(0.02)
+        stop_adding.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert waiters  # the churn actually ran
+        for waiter in waiters:
+            assert waiter.notifications == 1
+
 
 class TestThreadLoopWaiterParity:
     """Both waiter kinds observe one ticket resolution identically."""
